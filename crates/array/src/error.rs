@@ -1,0 +1,66 @@
+//! Error type for the array substrate.
+
+use std::fmt;
+
+/// Errors raised by array-model operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // struct-variant fields are self-describing
+pub enum ArrayError {
+    /// Dimensionality of two entities did not match (e.g. a 2-D point used
+    /// with a 3-D interval).
+    DimensionMismatch { expected: usize, got: usize },
+    /// An interval bound was inverted (`lo > hi`).
+    InvalidInterval { lo: i64, hi: i64 },
+    /// A point lies outside the domain it was used against.
+    OutOfDomain { point: Vec<i64>, domain: String },
+    /// The requested sub-domain is not contained in the array's domain.
+    NotContained { inner: String, outer: String },
+    /// Cell types of two operands did not match and no promotion applies.
+    TypeMismatch { left: &'static str, right: &'static str },
+    /// A buffer had the wrong length for the (domain, cell type) pair.
+    BufferSize { expected: usize, got: usize },
+    /// Division by zero in an induced operation or condenser.
+    DivisionByZero,
+    /// Slice position outside the sliced dimension.
+    BadSlice { dim: usize, pos: i64 },
+    /// Empty input where at least one element is required.
+    Empty(&'static str),
+    /// Serialization/deserialization failure for tiles.
+    Codec(String),
+}
+
+impl fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            ArrayError::InvalidInterval { lo, hi } => {
+                write!(f, "invalid interval: lo {lo} > hi {hi}")
+            }
+            ArrayError::OutOfDomain { point, domain } => {
+                write!(f, "point {point:?} outside domain {domain}")
+            }
+            ArrayError::NotContained { inner, outer } => {
+                write!(f, "domain {inner} not contained in {outer}")
+            }
+            ArrayError::TypeMismatch { left, right } => {
+                write!(f, "cell type mismatch: {left} vs {right}")
+            }
+            ArrayError::BufferSize { expected, got } => {
+                write!(f, "buffer size mismatch: expected {expected} bytes, got {got}")
+            }
+            ArrayError::DivisionByZero => write!(f, "division by zero"),
+            ArrayError::BadSlice { dim, pos } => {
+                write!(f, "slice position {pos} outside dimension {dim}")
+            }
+            ArrayError::Empty(what) => write!(f, "empty input: {what}"),
+            ArrayError::Codec(msg) => write!(f, "codec error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArrayError {}
+
+/// Convenient result alias for the array substrate.
+pub type Result<T> = std::result::Result<T, ArrayError>;

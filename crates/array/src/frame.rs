@@ -1,0 +1,293 @@
+//! Frames: non-hypercube query regions (the geometry of Object Framing).
+//!
+//! The paper's Object-Framing extension (§3.8) lets users pose range
+//! queries over *complex frames* instead of single hyper-boxes: unions of
+//! boxes, boxes with holes (shells), L-shapes. A [`Frame`] is a set of
+//! **pairwise disjoint** mintervals closed under union, intersection and
+//! difference; evaluation layers fetch only frame-touching tiles.
+
+use crate::domain::{Interval, Minterval};
+use crate::error::{ArrayError, Result};
+
+/// A region composed of pairwise disjoint boxes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    boxes: Vec<Minterval>,
+    dim: usize,
+}
+
+impl Frame {
+    /// Frame of a single box.
+    pub fn from_box(b: Minterval) -> Frame {
+        Frame {
+            dim: b.dim(),
+            boxes: vec![b],
+        }
+    }
+
+    /// The empty frame of dimensionality `dim`.
+    pub fn empty(dim: usize) -> Frame {
+        Frame {
+            boxes: Vec::new(),
+            dim,
+        }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The disjoint boxes composing the frame.
+    pub fn boxes(&self) -> &[Minterval] {
+        &self.boxes
+    }
+
+    /// Whether the frame covers no cells.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// Number of cells covered.
+    pub fn cell_count(&self) -> u64 {
+        self.boxes.iter().map(|b| b.cell_count()).sum()
+    }
+
+    /// Smallest box covering the frame.
+    pub fn bounding_box(&self) -> Option<Minterval> {
+        let mut it = self.boxes.iter();
+        let first = it.next()?.clone();
+        Some(it.fold(first, |acc, b| acc.hull(b).expect("same dim")))
+    }
+
+    /// Union with another frame (result boxes stay disjoint).
+    pub fn union(&self, other: &Frame) -> Result<Frame> {
+        if self.dim != other.dim {
+            return Err(ArrayError::DimensionMismatch {
+                expected: self.dim,
+                got: other.dim,
+            });
+        }
+        // Add other's boxes minus whatever self already covers.
+        let mut boxes = self.boxes.clone();
+        for b in &other.boxes {
+            let mut pieces = vec![b.clone()];
+            for mine in &self.boxes {
+                let mut next = Vec::new();
+                for piece in pieces {
+                    next.extend(subtract_box(&piece, mine));
+                }
+                pieces = next;
+            }
+            boxes.extend(pieces);
+        }
+        Ok(Frame {
+            boxes,
+            dim: self.dim,
+        })
+    }
+
+    /// Difference: cells of `self` not in `other`.
+    pub fn difference(&self, other: &Frame) -> Result<Frame> {
+        if self.dim != other.dim {
+            return Err(ArrayError::DimensionMismatch {
+                expected: self.dim,
+                got: other.dim,
+            });
+        }
+        let mut boxes = Vec::new();
+        for mine in &self.boxes {
+            let mut pieces = vec![mine.clone()];
+            for theirs in &other.boxes {
+                let mut next = Vec::new();
+                for piece in pieces {
+                    next.extend(subtract_box(&piece, theirs));
+                }
+                pieces = next;
+            }
+            boxes.extend(pieces);
+        }
+        Ok(Frame {
+            boxes,
+            dim: self.dim,
+        })
+    }
+
+    /// Intersection with a single box (clip).
+    pub fn clip(&self, region: &Minterval) -> Frame {
+        Frame {
+            boxes: self
+                .boxes
+                .iter()
+                .filter_map(|b| b.intersection(region))
+                .collect(),
+            dim: self.dim,
+        }
+    }
+
+    /// Whether the frame intersects `region` (e.g. a tile domain).
+    pub fn touches(&self, region: &Minterval) -> bool {
+        self.boxes.iter().any(|b| b.intersects(region))
+    }
+
+    /// Number of cells shared with `region`.
+    pub fn overlap_cells(&self, region: &Minterval) -> u64 {
+        self.boxes.iter().map(|b| b.overlap_cells(region)).sum()
+    }
+
+    /// Whether a point lies in the frame.
+    pub fn contains_point(&self, p: &crate::domain::Point) -> bool {
+        self.boxes.iter().any(|b| b.contains_point(p))
+    }
+
+    /// Check the disjointness invariant (used by property tests).
+    pub fn check_disjoint(&self) -> bool {
+        for i in 0..self.boxes.len() {
+            for j in (i + 1)..self.boxes.len() {
+                if self.boxes[i].intersects(&self.boxes[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// `a \ b` as a set of disjoint boxes.
+///
+/// Standard axis-sweep decomposition: for each axis, split off the parts of
+/// `a` lying below/above `b` on that axis, then shrink `a` to `b`'s range
+/// on the axis and continue.
+pub fn subtract_box(a: &Minterval, b: &Minterval) -> Vec<Minterval> {
+    let Some(overlap) = a.intersection(b) else {
+        return vec![a.clone()];
+    };
+    let mut out = Vec::new();
+    let mut remaining = a.clone();
+    for axis in 0..a.dim() {
+        let r = remaining.axis(axis);
+        let o = overlap.axis(axis);
+        // part below the overlap on this axis
+        if r.lo < o.lo {
+            let mut axes = remaining.axes().to_vec();
+            axes[axis] = Interval::new(r.lo, o.lo - 1).expect("lo < o.lo");
+            out.push(Minterval::from_intervals(axes));
+        }
+        // part above the overlap
+        if r.hi > o.hi {
+            let mut axes = remaining.axes().to_vec();
+            axes[axis] = Interval::new(o.hi + 1, r.hi).expect("hi > o.hi");
+            out.push(Minterval::from_intervals(axes));
+        }
+        // shrink to the overlap on this axis and continue
+        let mut axes = remaining.axes().to_vec();
+        axes[axis] = o;
+        remaining = Minterval::from_intervals(axes);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Point;
+
+    fn mi(b: &[(i64, i64)]) -> Minterval {
+        Minterval::new(b).unwrap()
+    }
+
+    #[test]
+    fn subtract_disjoint_returns_original() {
+        let a = mi(&[(0, 4), (0, 4)]);
+        let b = mi(&[(10, 14), (0, 4)]);
+        assert_eq!(subtract_box(&a, &b), vec![a]);
+    }
+
+    #[test]
+    fn subtract_contained_hole_produces_shell() {
+        let a = mi(&[(0, 9), (0, 9)]);
+        let b = mi(&[(3, 6), (3, 6)]);
+        let parts = subtract_box(&a, &b);
+        let total: u64 = parts.iter().map(|p| p.cell_count()).sum();
+        assert_eq!(total, 100 - 16);
+        // disjoint
+        for i in 0..parts.len() {
+            for j in (i + 1)..parts.len() {
+                assert!(!parts[i].intersects(&parts[j]));
+            }
+            assert!(!parts[i].intersects(&b));
+        }
+    }
+
+    #[test]
+    fn subtract_covering_box_is_empty() {
+        let a = mi(&[(2, 4), (2, 4)]);
+        let b = mi(&[(0, 9), (0, 9)]);
+        assert!(subtract_box(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn union_of_overlapping_boxes_counts_once() {
+        let f1 = Frame::from_box(mi(&[(0, 9), (0, 9)]));
+        let f2 = Frame::from_box(mi(&[(5, 14), (0, 9)]));
+        let u = f1.union(&f2).unwrap();
+        assert!(u.check_disjoint());
+        assert_eq!(u.cell_count(), 15 * 10);
+        assert!(u.contains_point(&Point::new(vec![12, 3])));
+        assert!(!u.contains_point(&Point::new(vec![20, 3])));
+    }
+
+    #[test]
+    fn l_shape_via_union() {
+        // L-shape: vertical bar plus horizontal bar.
+        let v = Frame::from_box(mi(&[(0, 99), (0, 9)]));
+        let h = Frame::from_box(mi(&[(90, 99), (0, 99)]));
+        let l = v.union(&h).unwrap();
+        assert_eq!(l.cell_count(), 100 * 10 + 10 * 100 - 10 * 10);
+        assert!(l.check_disjoint());
+    }
+
+    #[test]
+    fn shell_via_difference() {
+        let outer = Frame::from_box(mi(&[(0, 99), (0, 99)]));
+        let inner = Frame::from_box(mi(&[(10, 89), (10, 89)]));
+        let shell = outer.difference(&inner).unwrap();
+        assert_eq!(shell.cell_count(), 100 * 100 - 80 * 80);
+        assert!(shell.check_disjoint());
+        assert!(!shell.contains_point(&Point::new(vec![50, 50])));
+        assert!(shell.contains_point(&Point::new(vec![5, 50])));
+    }
+
+    #[test]
+    fn touches_and_overlap() {
+        let shell = Frame::from_box(mi(&[(0, 99), (0, 99)]))
+            .difference(&Frame::from_box(mi(&[(10, 89), (10, 89)])))
+            .unwrap();
+        let central_tile = mi(&[(40, 49), (40, 49)]);
+        let edge_tile = mi(&[(0, 9), (40, 49)]);
+        assert!(!shell.touches(&central_tile));
+        assert!(shell.touches(&edge_tile));
+        assert_eq!(shell.overlap_cells(&edge_tile), 100);
+        assert_eq!(shell.overlap_cells(&central_tile), 0);
+    }
+
+    #[test]
+    fn clip_restricts_to_region() {
+        let f = Frame::from_box(mi(&[(0, 9), (0, 9)]));
+        let c = f.clip(&mi(&[(5, 20), (5, 20)]));
+        assert_eq!(c.cell_count(), 25);
+        assert_eq!(c.bounding_box(), Some(mi(&[(5, 9), (5, 9)])));
+    }
+
+    #[test]
+    fn empty_frame_behaviour() {
+        let e = Frame::empty(2);
+        assert!(e.is_empty());
+        assert_eq!(e.cell_count(), 0);
+        assert_eq!(e.bounding_box(), None);
+        assert!(!e.touches(&mi(&[(0, 1), (0, 1)])));
+        let f = Frame::from_box(mi(&[(0, 1), (0, 1)]));
+        assert_eq!(f.difference(&f).unwrap().cell_count(), 0);
+        assert_eq!(e.union(&f).unwrap().cell_count(), 4);
+    }
+}

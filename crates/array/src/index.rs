@@ -1,0 +1,581 @@
+//! Multidimensional tile indexes.
+//!
+//! RasDaMan locates the tiles intersecting a query box through a
+//! multidimensional index (paper §2.6.4). We provide two:
+//!
+//! * [`GridIndex`] — a directory index for *aligned* (regular) tilings:
+//!   O(result) lookup by pure arithmetic, the common case in HEAVEN;
+//! * [`RTreeIndex`] — an R-tree with quadratic split for arbitrary tile
+//!   layouts (border-clipped or directional tilings, framed objects).
+//!
+//! Both index `(Minterval → TileId)` pairs and answer box-intersection
+//! queries.
+
+use crate::domain::Minterval;
+use crate::error::{ArrayError, Result};
+use crate::tile::TileId;
+
+/// Common interface of tile indexes.
+pub trait TileIndex {
+    /// Register a tile domain.
+    fn insert(&mut self, domain: Minterval, id: TileId) -> Result<()>;
+    /// Remove a tile by id; returns whether it existed.
+    fn remove(&mut self, id: TileId) -> bool;
+    /// Ids of all tiles whose domain intersects `query`.
+    fn lookup(&self, query: &Minterval) -> Vec<TileId>;
+    /// Number of indexed tiles.
+    fn len(&self) -> usize;
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Grid directory index
+// ---------------------------------------------------------------------------
+
+/// Directory index over a regular tile grid.
+///
+/// Knows the object domain and the tile shape; a query box is converted to a
+/// grid-coordinate range and the directory cells in that range are returned.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    domain: Minterval,
+    tile_shape: Vec<u64>,
+    counts: Vec<u64>,
+    /// Directory: row-major over grid coordinates; `None` = tile absent.
+    cells: Vec<Option<TileId>>,
+    len: usize,
+}
+
+impl GridIndex {
+    /// Create an empty grid index for `domain` tiled by `tile_shape`.
+    pub fn new(domain: Minterval, tile_shape: Vec<u64>) -> Result<GridIndex> {
+        if tile_shape.len() != domain.dim() {
+            return Err(ArrayError::DimensionMismatch {
+                expected: domain.dim(),
+                got: tile_shape.len(),
+            });
+        }
+        if tile_shape.contains(&0) {
+            return Err(ArrayError::Empty("tile edge"));
+        }
+        let counts: Vec<u64> = (0..domain.dim())
+            .map(|i| domain.axis(i).extent().div_ceil(tile_shape[i]))
+            .collect();
+        let total: u64 = counts.iter().product();
+        Ok(GridIndex {
+            domain,
+            tile_shape,
+            counts,
+            cells: vec![None; total as usize],
+            len: 0,
+        })
+    }
+
+    fn grid_offset(&self, gc: &[u64]) -> usize {
+        let mut off: u64 = 0;
+        for (c, n) in gc.iter().zip(&self.counts) {
+            off = off * n + c;
+        }
+        off as usize
+    }
+
+    /// Grid coordinate of the tile whose lower corner is `tile_lo`.
+    fn grid_coord(&self, tile: &Minterval) -> Result<Vec<u64>> {
+        let mut gc = Vec::with_capacity(self.domain.dim());
+        for i in 0..self.domain.dim() {
+            let rel = tile.axis(i).lo - self.domain.axis(i).lo;
+            if rel < 0 {
+                return Err(ArrayError::NotContained {
+                    inner: tile.to_string(),
+                    outer: self.domain.to_string(),
+                });
+            }
+            let c = rel as u64 / self.tile_shape[i];
+            if c >= self.counts[i] {
+                return Err(ArrayError::NotContained {
+                    inner: tile.to_string(),
+                    outer: self.domain.to_string(),
+                });
+            }
+            gc.push(c);
+        }
+        Ok(gc)
+    }
+}
+
+impl TileIndex for GridIndex {
+    fn insert(&mut self, domain: Minterval, id: TileId) -> Result<()> {
+        let gc = self.grid_coord(&domain)?;
+        let off = self.grid_offset(&gc);
+        if self.cells[off].is_none() {
+            self.len += 1;
+        }
+        self.cells[off] = Some(id);
+        Ok(())
+    }
+
+    fn remove(&mut self, id: TileId) -> bool {
+        for c in self.cells.iter_mut() {
+            if *c == Some(id) {
+                *c = None;
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn lookup(&self, query: &Minterval) -> Vec<TileId> {
+        if query.dim() != self.domain.dim() {
+            return Vec::new();
+        }
+        let q = match self.domain.intersection(query) {
+            Some(q) => q,
+            None => return Vec::new(),
+        };
+        // Grid coordinate range touched by the query.
+        let d = self.domain.dim();
+        let mut ranges = Vec::with_capacity(d);
+        for i in 0..d {
+            let lo = (q.axis(i).lo - self.domain.axis(i).lo) as u64 / self.tile_shape[i];
+            let hi = (q.axis(i).hi - self.domain.axis(i).lo) as u64 / self.tile_shape[i];
+            ranges.push((lo, hi.min(self.counts[i] - 1)));
+        }
+        let mut out = Vec::new();
+        let mut gc: Vec<u64> = ranges.iter().map(|&(lo, _)| lo).collect();
+        loop {
+            if let Some(id) = self.cells[self.grid_offset(&gc)] {
+                out.push(id);
+            }
+            // odometer over grid ranges
+            let mut i = d;
+            loop {
+                if i == 0 {
+                    return out;
+                }
+                i -= 1;
+                gc[i] += 1;
+                if gc[i] <= ranges[i].1 {
+                    break;
+                }
+                gc[i] = ranges[i].0;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R-tree index
+// ---------------------------------------------------------------------------
+
+const RTREE_MAX: usize = 8;
+const RTREE_MIN: usize = 3;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        entries: Vec<(Minterval, TileId)>,
+    },
+    Inner {
+        entries: Vec<(Minterval, Box<Node>)>,
+    },
+}
+
+impl Node {
+    fn mbr(&self) -> Option<Minterval> {
+        let boxes: Vec<&Minterval> = match self {
+            Node::Leaf { entries } => entries.iter().map(|(b, _)| b).collect(),
+            Node::Inner { entries } => entries.iter().map(|(b, _)| b).collect(),
+        };
+        let mut it = boxes.into_iter();
+        let first = it.next()?.clone();
+        Some(it.fold(first, |acc, b| acc.hull(b).expect("same dim")))
+    }
+}
+
+/// R-tree over tile bounding boxes with quadratic split.
+#[derive(Debug, Clone)]
+pub struct RTreeIndex {
+    root: Node,
+    len: usize,
+    dim: Option<usize>,
+}
+
+impl Default for RTreeIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RTreeIndex {
+    /// Create an empty R-tree.
+    pub fn new() -> RTreeIndex {
+        RTreeIndex {
+            root: Node::Leaf {
+                entries: Vec::new(),
+            },
+            len: 0,
+            dim: None,
+        }
+    }
+
+    /// Height of the tree (1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Inner { entries } = node {
+            h += 1;
+            node = &entries[0].1;
+        }
+        h
+    }
+
+    fn insert_rec(node: &mut Node, domain: &Minterval, id: TileId) -> Option<Node> {
+        match node {
+            Node::Leaf { entries } => {
+                entries.push((domain.clone(), id));
+                if entries.len() > RTREE_MAX {
+                    let split = quadratic_split(entries);
+                    Some(Node::Leaf { entries: split })
+                } else {
+                    None
+                }
+            }
+            Node::Inner { entries } => {
+                // Choose subtree with least enlargement.
+                let mut best = 0usize;
+                let mut best_delta = f64::INFINITY;
+                let mut best_area = f64::INFINITY;
+                for (i, (mbr, _)) in entries.iter().enumerate() {
+                    let area = volume(mbr);
+                    let grown = volume(&mbr.hull(domain).expect("same dim"));
+                    let delta = grown - area;
+                    if delta < best_delta || (delta == best_delta && area < best_area) {
+                        best = i;
+                        best_delta = delta;
+                        best_area = area;
+                    }
+                }
+                let overflow = Self::insert_rec(&mut entries[best].1, domain, id);
+                entries[best].0 = entries[best].1.mbr().expect("non-empty after insert");
+                if let Some(new_node) = overflow {
+                    let mbr = new_node.mbr().expect("split node non-empty");
+                    entries.push((mbr, Box::new(new_node)));
+                    if entries.len() > RTREE_MAX {
+                        let split = quadratic_split_inner(entries);
+                        return Some(Node::Inner { entries: split });
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn lookup_rec(node: &Node, query: &Minterval, out: &mut Vec<TileId>) {
+        match node {
+            Node::Leaf { entries } => {
+                for (b, id) in entries {
+                    if b.intersects(query) {
+                        out.push(*id);
+                    }
+                }
+            }
+            Node::Inner { entries } => {
+                for (mbr, child) in entries {
+                    if mbr.intersects(query) {
+                        Self::lookup_rec(child, query, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn remove_rec(node: &mut Node, id: TileId) -> bool {
+        match node {
+            Node::Leaf { entries } => {
+                let before = entries.len();
+                entries.retain(|&(_, tid)| tid != id);
+                entries.len() != before
+            }
+            Node::Inner { entries } => {
+                for (mbr, child) in entries.iter_mut() {
+                    if Self::remove_rec(child, id) {
+                        if let Some(new_mbr) = child.mbr() {
+                            *mbr = new_mbr;
+                        }
+                        return true;
+                    }
+                }
+                // prune empty children
+                false
+            }
+        }
+    }
+}
+
+fn volume(m: &Minterval) -> f64 {
+    m.axes().iter().map(|a| a.extent() as f64).product()
+}
+
+/// Quadratic split for leaf entries: picks the pair wasting the most space
+/// as seeds, then assigns remaining entries to the group whose MBR grows
+/// least. Returns the entries of the *new* node; `entries` keeps the rest.
+fn quadratic_split(entries: &mut Vec<(Minterval, TileId)>) -> Vec<(Minterval, TileId)> {
+    let (s1, s2) = pick_seeds(entries.iter().map(|(b, _)| b));
+    distribute(entries, s1, s2)
+}
+
+fn quadratic_split_inner(
+    entries: &mut Vec<(Minterval, Box<Node>)>,
+) -> Vec<(Minterval, Box<Node>)> {
+    let (s1, s2) = pick_seeds(entries.iter().map(|(b, _)| b));
+    distribute(entries, s1, s2)
+}
+
+fn pick_seeds<'a, I: Iterator<Item = &'a Minterval> + Clone>(boxes: I) -> (usize, usize) {
+    let v: Vec<&Minterval> = boxes.collect();
+    let mut worst = f64::NEG_INFINITY;
+    let mut pair = (0, 1);
+    for i in 0..v.len() {
+        for j in (i + 1)..v.len() {
+            let waste = volume(&v[i].hull(v[j]).expect("same dim"))
+                - volume(v[i])
+                - volume(v[j]);
+            if waste > worst {
+                worst = waste;
+                pair = (i, j);
+            }
+        }
+    }
+    pair
+}
+
+fn distribute<T>(entries: &mut Vec<(Minterval, T)>, s1: usize, s2: usize) -> Vec<(Minterval, T)> {
+    // Pull the two seeds out first (remove higher index first).
+    let (hi, lo) = if s1 > s2 { (s1, s2) } else { (s2, s1) };
+    let seed_b = entries.remove(hi);
+    let seed_a = entries.remove(lo);
+    let mut group_a = vec![seed_a];
+    let mut group_b = vec![seed_b];
+    let mut mbr_a = group_a[0].0.clone();
+    let mut mbr_b = group_b[0].0.clone();
+    while let Some(e) = entries.pop() {
+        // Force balance if one group risks underflow.
+        let remaining = entries.len();
+        if group_a.len() + remaining < RTREE_MIN {
+            mbr_a = mbr_a.hull(&e.0).expect("same dim");
+            group_a.push(e);
+            continue;
+        }
+        if group_b.len() + remaining < RTREE_MIN {
+            mbr_b = mbr_b.hull(&e.0).expect("same dim");
+            group_b.push(e);
+            continue;
+        }
+        let grow_a = volume(&mbr_a.hull(&e.0).expect("same dim")) - volume(&mbr_a);
+        let grow_b = volume(&mbr_b.hull(&e.0).expect("same dim")) - volume(&mbr_b);
+        if grow_a <= grow_b {
+            mbr_a = mbr_a.hull(&e.0).expect("same dim");
+            group_a.push(e);
+        } else {
+            mbr_b = mbr_b.hull(&e.0).expect("same dim");
+            group_b.push(e);
+        }
+    }
+    *entries = group_a;
+    group_b
+}
+
+impl TileIndex for RTreeIndex {
+    fn insert(&mut self, domain: Minterval, id: TileId) -> Result<()> {
+        match self.dim {
+            None => self.dim = Some(domain.dim()),
+            Some(d) if d != domain.dim() => {
+                return Err(ArrayError::DimensionMismatch {
+                    expected: d,
+                    got: domain.dim(),
+                })
+            }
+            _ => {}
+        }
+        if let Some(new_node) = Self::insert_rec(&mut self.root, &domain, id) {
+            // Root split: grow the tree.
+            let old_root = std::mem::replace(
+                &mut self.root,
+                Node::Leaf {
+                    entries: Vec::new(),
+                },
+            );
+            let mbr_old = old_root.mbr().expect("non-empty");
+            let mbr_new = new_node.mbr().expect("non-empty");
+            self.root = Node::Inner {
+                entries: vec![
+                    (mbr_old, Box::new(old_root)),
+                    (mbr_new, Box::new(new_node)),
+                ],
+            };
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    fn remove(&mut self, id: TileId) -> bool {
+        let removed = Self::remove_rec(&mut self.root, id);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn lookup(&self, query: &Minterval) -> Vec<TileId> {
+        let mut out = Vec::new();
+        Self::lookup_rec(&self.root, query, &mut out);
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiling::Tiling;
+    use crate::value::CellType;
+
+    fn mi(b: &[(i64, i64)]) -> Minterval {
+        Minterval::new(b).unwrap()
+    }
+
+    fn populated_indexes() -> (GridIndex, RTreeIndex, Vec<Minterval>) {
+        let dom = mi(&[(0, 99), (0, 99)]);
+        let tiling = Tiling::Regular {
+            tile_shape: vec![10, 10],
+        };
+        let tiles = tiling.tile_domains(&dom, CellType::U8).unwrap();
+        let mut grid = GridIndex::new(dom, vec![10, 10]).unwrap();
+        let mut rtree = RTreeIndex::new();
+        for (i, t) in tiles.iter().enumerate() {
+            grid.insert(t.clone(), i as TileId).unwrap();
+            rtree.insert(t.clone(), i as TileId).unwrap();
+        }
+        (grid, rtree, tiles)
+    }
+
+    fn brute_force(tiles: &[Minterval], q: &Minterval) -> Vec<TileId> {
+        tiles
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.intersects(q))
+            .map(|(i, _)| i as TileId)
+            .collect()
+    }
+
+    #[test]
+    fn grid_and_rtree_agree_with_brute_force() {
+        let (grid, rtree, tiles) = populated_indexes();
+        assert_eq!(grid.len(), 100);
+        assert_eq!(rtree.len(), 100);
+        let queries = [
+            mi(&[(0, 0), (0, 0)]),
+            mi(&[(5, 15), (5, 15)]),
+            mi(&[(0, 99), (0, 99)]),
+            mi(&[(95, 99), (0, 99)]),
+            mi(&[(33, 66), (21, 22)]),
+        ];
+        for q in &queries {
+            let mut expect = brute_force(&tiles, q);
+            expect.sort_unstable();
+            let mut got_grid = grid.lookup(q);
+            got_grid.sort_unstable();
+            let mut got_rtree = rtree.lookup(q);
+            got_rtree.sort_unstable();
+            assert_eq!(got_grid, expect, "grid for {q}");
+            assert_eq!(got_rtree, expect, "rtree for {q}");
+        }
+    }
+
+    #[test]
+    fn lookup_outside_domain_is_empty() {
+        let (grid, rtree, _) = populated_indexes();
+        let q = mi(&[(200, 210), (200, 210)]);
+        assert!(grid.lookup(&q).is_empty());
+        assert!(rtree.lookup(&q).is_empty());
+    }
+
+    #[test]
+    fn query_clipped_to_domain() {
+        let (grid, _, tiles) = populated_indexes();
+        let q = mi(&[(-50, 5), (-50, 5)]);
+        let mut got = grid.lookup(&q);
+        got.sort_unstable();
+        let mut expect = brute_force(&tiles, &q);
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn removal_works() {
+        let (mut grid, mut rtree, tiles) = populated_indexes();
+        assert!(grid.remove(0));
+        assert!(!grid.remove(0));
+        assert!(rtree.remove(0));
+        assert!(!rtree.remove(0));
+        let q = tiles[0].clone();
+        assert!(!grid.lookup(&q).contains(&0));
+        assert!(!rtree.lookup(&q).contains(&0));
+        assert_eq!(grid.len(), 99);
+        assert_eq!(rtree.len(), 99);
+    }
+
+    #[test]
+    fn rtree_handles_irregular_boxes() {
+        let mut rtree = RTreeIndex::new();
+        let boxes = [
+            mi(&[(0, 5), (0, 100)]),
+            mi(&[(6, 100), (0, 10)]),
+            mi(&[(50, 60), (50, 60)]),
+            mi(&[(0, 1), (0, 1)]),
+            mi(&[(90, 99), (90, 99)]),
+        ];
+        for (i, b) in boxes.iter().enumerate() {
+            rtree.insert(b.clone(), i as TileId).unwrap();
+        }
+        let q = mi(&[(0, 10), (0, 10)]);
+        let mut got = rtree.lookup(&q);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn rtree_grows_in_height_under_load() {
+        let mut rtree = RTreeIndex::new();
+        for i in 0..200i64 {
+            rtree
+                .insert(mi(&[(i * 10, i * 10 + 9), (0, 9)]), i as TileId)
+                .unwrap();
+        }
+        assert_eq!(rtree.len(), 200);
+        assert!(rtree.height() >= 2);
+        // every tile individually findable
+        for i in 0..200i64 {
+            let q = mi(&[(i * 10 + 2, i * 10 + 3), (2, 3)]);
+            assert_eq!(rtree.lookup(&q), vec![i as TileId]);
+        }
+    }
+
+    #[test]
+    fn rtree_rejects_mixed_dimensions() {
+        let mut rtree = RTreeIndex::new();
+        rtree.insert(mi(&[(0, 1), (0, 1)]), 0).unwrap();
+        assert!(rtree.insert(mi(&[(0, 1)]), 1).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # heaven-array — multidimensional array substrate
+//!
+//! The array data model underlying the HEAVEN reproduction: domains
+//! ([`Minterval`]), cell types, dense arrays ([`MDArray`]), tiling, tile
+//! codecs, linearization orders, array algebra (trim / slice / induced /
+//! condense) and multidimensional tile indexes.
+//!
+//! This corresponds to RasDaMan's logical and physical data model as
+//! described in §2.1 and §2.6 of the dissertation; every higher layer
+//! (the array DBMS, the HEAVEN core) builds on these types.
+
+pub mod codec;
+pub mod domain;
+pub mod error;
+pub mod frame;
+pub mod index;
+pub mod mdd;
+pub mod ops;
+pub mod order;
+pub mod tile;
+pub mod tiling;
+pub mod value;
+
+pub use codec::{rle_compress, rle_decompress, rle_ratio};
+pub use domain::{Interval, Minterval, Point};
+pub use error::{ArrayError, Result};
+pub use frame::{subtract_box, Frame};
+pub use index::{GridIndex, RTreeIndex, TileIndex};
+pub use mdd::MDArray;
+pub use ops::{induced_binary, induced_scalar, induced_unary, scale_down, slice, trim, BinaryOp, Condenser, UnaryOp};
+pub use order::LinearOrder;
+pub use tile::{ObjectId, Tile, TileId};
+pub use tiling::Tiling;
+pub use value::{CellType, CellValue};

@@ -1,0 +1,299 @@
+//! `MDArray` — a dense multidimensional array (RasDaMan's "MDD object").
+//!
+//! An `MDArray` pairs a [`Minterval`] domain with a typed dense buffer in
+//! row-major cell order. Tiles are themselves small `MDArray`s; full objects
+//! in the DBMS are materialized into `MDArray`s only when needed (query
+//! results, generated test data).
+
+use crate::domain::{Minterval, Point};
+use crate::error::{ArrayError, Result};
+use crate::value::{CellType, CellValue};
+
+/// A dense multidimensional array with inclusive-bounds domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MDArray {
+    domain: Minterval,
+    cell_type: CellType,
+    /// Row-major (last axis fastest) little-endian cell buffer.
+    data: Vec<u8>,
+}
+
+impl MDArray {
+    /// Create a zero-filled array.
+    pub fn zeros(domain: Minterval, cell_type: CellType) -> MDArray {
+        let len = domain.cell_count() as usize * cell_type.size_bytes();
+        MDArray {
+            domain,
+            cell_type,
+            data: vec![0u8; len],
+        }
+    }
+
+    /// Create from an existing raw buffer (must be exactly the right size).
+    pub fn from_bytes(
+        domain: Minterval,
+        cell_type: CellType,
+        data: Vec<u8>,
+    ) -> Result<MDArray> {
+        let expected = domain.cell_count() as usize * cell_type.size_bytes();
+        if data.len() != expected {
+            return Err(ArrayError::BufferSize {
+                expected,
+                got: data.len(),
+            });
+        }
+        Ok(MDArray {
+            domain,
+            cell_type,
+            data,
+        })
+    }
+
+    /// Create by evaluating `f` at every point of the domain.
+    pub fn generate<F>(domain: Minterval, cell_type: CellType, mut f: F) -> MDArray
+    where
+        F: FnMut(&Point) -> f64,
+    {
+        let mut arr = MDArray::zeros(domain.clone(), cell_type);
+        for (i, p) in domain.iter_points().enumerate() {
+            CellValue::from_f64(cell_type, f(&p))
+                .write(&mut arr.data, i)
+                .expect("buffer sized for domain");
+        }
+        arr
+    }
+
+    /// The array's spatial domain.
+    pub fn domain(&self) -> &Minterval {
+        &self.domain
+    }
+
+    /// The array's cell type.
+    pub fn cell_type(&self) -> CellType {
+        self.cell_type
+    }
+
+    /// Raw cell buffer.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Consume into the raw cell buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Size of the cell buffer in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Read the cell at `p`.
+    pub fn get(&self, p: &Point) -> Result<CellValue> {
+        let off = self.domain.offset_of(p)?;
+        CellValue::read(self.cell_type, &self.data, off)
+    }
+
+    /// Read the cell at `p` as f64.
+    pub fn get_f64(&self, p: &Point) -> Result<f64> {
+        Ok(self.get(p)?.as_f64())
+    }
+
+    /// Write the cell at `p` (value is converted to the array's type).
+    pub fn set(&mut self, p: &Point, v: f64) -> Result<()> {
+        let off = self.domain.offset_of(p)?;
+        CellValue::from_f64(self.cell_type, v).write(&mut self.data, off)
+    }
+
+    /// Extract the sub-array covering `sub` (must be contained in the domain).
+    pub fn extract(&self, sub: &Minterval) -> Result<MDArray> {
+        if !self.domain.contains(sub) {
+            return Err(ArrayError::NotContained {
+                inner: sub.to_string(),
+                outer: self.domain.to_string(),
+            });
+        }
+        let mut out = MDArray::zeros(sub.clone(), self.cell_type);
+        copy_region(self, &mut out, sub)?;
+        Ok(out)
+    }
+
+    /// Copy the overlap of `src` into `self` (both interpreted in the same
+    /// global coordinate space). Non-overlapping parts are untouched.
+    pub fn patch(&mut self, src: &MDArray) -> Result<()> {
+        if src.cell_type != self.cell_type {
+            return Err(ArrayError::TypeMismatch {
+                left: self.cell_type.name(),
+                right: src.cell_type.name(),
+            });
+        }
+        let overlap = match self.domain.intersection(src.domain()) {
+            Some(o) => o,
+            None => return Ok(()),
+        };
+        copy_region(src, self, &overlap)
+    }
+
+    /// Iterate over `(point, value)` pairs in row-major order.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (Point, CellValue)> + '_ {
+        self.domain.iter_points().enumerate().map(move |(i, p)| {
+            let v = CellValue::read(self.cell_type, &self.data, i)
+                .expect("buffer sized for domain");
+            (p, v)
+        })
+    }
+
+    /// Sum of all cells as f64 (convenience used by tests and condensers).
+    pub fn sum(&self) -> f64 {
+        let n = self.domain.cell_count() as usize;
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += CellValue::read(self.cell_type, &self.data, i)
+                .expect("in range")
+                .as_f64();
+        }
+        acc
+    }
+}
+
+/// Copy the cells of region `region` from `src` into `dst`; `region` must be
+/// contained in both domains. Copies are performed run-wise along the last
+/// axis for efficiency.
+pub fn copy_region(src: &MDArray, dst: &mut MDArray, region: &Minterval) -> Result<()> {
+    if !src.domain().contains(region) {
+        return Err(ArrayError::NotContained {
+            inner: region.to_string(),
+            outer: src.domain().to_string(),
+        });
+    }
+    if !dst.domain().contains(region) {
+        return Err(ArrayError::NotContained {
+            inner: region.to_string(),
+            outer: dst.domain().to_string(),
+        });
+    }
+    if src.cell_type() != dst.cell_type() {
+        return Err(ArrayError::TypeMismatch {
+            left: src.cell_type().name(),
+            right: dst.cell_type().name(),
+        });
+    }
+    let d = region.dim();
+    let cell_sz = src.cell_type().size_bytes();
+    if d == 0 {
+        return Ok(());
+    }
+    // Iterate over all "rows": fix all axes but the last, copy a contiguous run.
+    let last = d - 1;
+    let run_len = region.axis(last).extent() as usize * cell_sz;
+    let outer = if d == 1 {
+        None
+    } else {
+        Some(Minterval::from_intervals(
+            region.axes()[..last].to_vec(),
+        ))
+    };
+    let row_starts: Box<dyn Iterator<Item = Point>> = match &outer {
+        None => Box::new(std::iter::once(Point::new(vec![region.axis(0).lo]))),
+        Some(o) => Box::new(o.iter_points().map(move |mut p| {
+            p.0.push(region.axis(last).lo);
+            p
+        })),
+    };
+    let src_dom = src.domain().clone();
+    let dst_dom = dst.domain().clone();
+    for start in row_starts {
+        let so = src_dom.offset_of(&start)? * cell_sz;
+        let doff = dst_dom.offset_of(&start)? * cell_sz;
+        let src_bytes = &src.data[so..so + run_len];
+        dst.data[doff..doff + run_len].copy_from_slice(src_bytes);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mi(b: &[(i64, i64)]) -> Minterval {
+        Minterval::new(b).unwrap()
+    }
+
+    #[test]
+    fn zeros_has_right_size() {
+        let a = MDArray::zeros(mi(&[(0, 9), (0, 9)]), CellType::F32);
+        assert_eq!(a.size_bytes(), 100 * 4);
+        assert_eq!(a.get_f64(&Point::new(vec![5, 5])).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn generate_and_get() {
+        let a = MDArray::generate(mi(&[(0, 3), (0, 3)]), CellType::I32, |p| {
+            (p.coord(0) * 10 + p.coord(1)) as f64
+        });
+        assert_eq!(a.get_f64(&Point::new(vec![2, 3])).unwrap(), 23.0);
+        assert_eq!(a.get_f64(&Point::new(vec![0, 0])).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn extract_subarray() {
+        let a = MDArray::generate(mi(&[(0, 9), (0, 9)]), CellType::F64, |p| {
+            (p.coord(0) * 100 + p.coord(1)) as f64
+        });
+        let sub = a.extract(&mi(&[(2, 4), (5, 7)])).unwrap();
+        assert_eq!(sub.domain(), &mi(&[(2, 4), (5, 7)]));
+        for p in sub.domain().iter_points() {
+            assert_eq!(
+                sub.get_f64(&p).unwrap(),
+                (p.coord(0) * 100 + p.coord(1)) as f64
+            );
+        }
+    }
+
+    #[test]
+    fn extract_rejects_uncontained() {
+        let a = MDArray::zeros(mi(&[(0, 4), (0, 4)]), CellType::U8);
+        assert!(a.extract(&mi(&[(3, 6), (0, 4)])).is_err());
+    }
+
+    #[test]
+    fn patch_merges_overlap() {
+        let mut dst = MDArray::zeros(mi(&[(0, 9), (0, 9)]), CellType::I32);
+        let src = MDArray::generate(mi(&[(5, 12), (5, 12)]), CellType::I32, |_| 7.0);
+        dst.patch(&src).unwrap();
+        assert_eq!(dst.get_f64(&Point::new(vec![6, 6])).unwrap(), 7.0);
+        assert_eq!(dst.get_f64(&Point::new(vec![4, 4])).unwrap(), 0.0);
+        // disjoint patch is a no-op
+        let far = MDArray::generate(mi(&[(50, 52), (50, 52)]), CellType::I32, |_| 9.0);
+        dst.patch(&far).unwrap();
+        assert_eq!(dst.sum(), 7.0 * 25.0);
+    }
+
+    #[test]
+    fn patch_rejects_type_mismatch() {
+        let mut dst = MDArray::zeros(mi(&[(0, 4)]), CellType::I32);
+        let src = MDArray::zeros(mi(&[(0, 4)]), CellType::F32);
+        assert!(dst.patch(&src).is_err());
+    }
+
+    #[test]
+    fn one_dimensional_copy() {
+        let src = MDArray::generate(mi(&[(0, 9)]), CellType::U8, |p| p.coord(0) as f64);
+        let sub = src.extract(&mi(&[(3, 6)])).unwrap();
+        assert_eq!(sub.sum(), (3 + 4 + 5 + 6) as f64);
+    }
+
+    #[test]
+    fn reassemble_from_extracted_pieces() {
+        // Extract two halves and patch them back into an empty array.
+        let orig = MDArray::generate(mi(&[(0, 7), (0, 7)]), CellType::F32, |p| {
+            (p.coord(0) * 8 + p.coord(1)) as f64
+        });
+        let left = orig.extract(&mi(&[(0, 7), (0, 3)])).unwrap();
+        let right = orig.extract(&mi(&[(0, 7), (4, 7)])).unwrap();
+        let mut rebuilt = MDArray::zeros(mi(&[(0, 7), (0, 7)]), CellType::F32);
+        rebuilt.patch(&left).unwrap();
+        rebuilt.patch(&right).unwrap();
+        assert_eq!(rebuilt, orig);
+    }
+}

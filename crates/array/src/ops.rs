@@ -1,0 +1,507 @@
+//! Array operations: trimming, slicing, induced operations and condensers.
+//!
+//! These mirror the RasDaMan algebra subset the paper's workloads use
+//! (§2.6.5): geometric operations that shrink domains, cell-wise *induced*
+//! operations, and *condensers* (aggregations). HEAVEN's precomputed-result
+//! catalog (§3.9) memoizes condenser results.
+
+use crate::domain::{Minterval, Point};
+use crate::error::{ArrayError, Result};
+use crate::mdd::MDArray;
+use crate::value::{CellType, CellValue};
+
+/// Trim: restrict the array to a sub-box (dimensionality preserved).
+pub fn trim(a: &MDArray, region: &Minterval) -> Result<MDArray> {
+    a.extract(region)
+}
+
+/// Slice: fix dimension `dim` to position `pos`; the result has
+/// dimensionality d-1.
+pub fn slice(a: &MDArray, dim: usize, pos: i64) -> Result<MDArray> {
+    let dom = a.domain();
+    if dim >= dom.dim() {
+        return Err(ArrayError::BadSlice { dim, pos });
+    }
+    if !dom.axis(dim).contains(pos) {
+        return Err(ArrayError::BadSlice { dim, pos });
+    }
+    let out_dom = dom.project_out(dim)?;
+    let mut out = MDArray::zeros(out_dom.clone(), a.cell_type());
+    for (i, p) in out_dom.iter_points().enumerate() {
+        let mut full = p.0.clone();
+        full.insert(dim, pos);
+        let v = a.get(&Point::new(full))?;
+        v.write_at(&mut out, i)?;
+    }
+    Ok(out)
+}
+
+trait WriteAt {
+    fn write_at(self, arr: &mut MDArray, index: usize) -> Result<()>;
+}
+
+impl WriteAt for CellValue {
+    fn write_at(self, arr: &mut MDArray, index: usize) -> Result<()> {
+        let p = arr.domain().point_at(index as u64);
+        arr.set(&p, self.as_f64())
+    }
+}
+
+/// A unary induced operation applied cell-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Absolute value.
+    Abs,
+    /// Square root (result is float).
+    Sqrt,
+    /// Cast to another cell type.
+    Cast(CellType),
+}
+
+impl UnaryOp {
+    /// Result cell type for an input of type `t`.
+    pub fn result_type(self, t: CellType) -> CellType {
+        match self {
+            UnaryOp::Neg | UnaryOp::Abs => t,
+            UnaryOp::Sqrt => {
+                if t == CellType::F64 {
+                    CellType::F64
+                } else {
+                    CellType::F32
+                }
+            }
+            UnaryOp::Cast(to) => to,
+        }
+    }
+
+    fn apply(self, v: f64) -> f64 {
+        match self {
+            UnaryOp::Neg => -v,
+            UnaryOp::Abs => v.abs(),
+            UnaryOp::Sqrt => v.sqrt(),
+            UnaryOp::Cast(_) => v,
+        }
+    }
+}
+
+/// Apply a unary induced operation.
+pub fn induced_unary(a: &MDArray, op: UnaryOp) -> MDArray {
+    let out_ty = op.result_type(a.cell_type());
+    MDArray::generate(a.domain().clone(), out_ty, |p| {
+        op.apply(a.get_f64(p).expect("point from own domain"))
+    })
+}
+
+/// A binary induced operation applied cell-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// Cell-wise addition.
+    Add,
+    /// Cell-wise subtraction.
+    Sub,
+    /// Cell-wise multiplication.
+    Mul,
+    /// Cell-wise division (errors on a zero divisor).
+    Div,
+    /// Cell-wise minimum.
+    Min,
+    /// Cell-wise maximum.
+    Max,
+    /// Less-than comparison producing a 0/1 `octet` mask.
+    Lt,
+    /// Less-or-equal comparison mask.
+    Le,
+    /// Greater-than comparison mask.
+    Gt,
+    /// Greater-or-equal comparison mask.
+    Ge,
+    /// Equality comparison mask.
+    Eq,
+    /// Inequality comparison mask.
+    Ne,
+}
+
+impl BinaryOp {
+    /// Whether the operation yields a boolean (0/1) mask.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge
+                | BinaryOp::Eq
+                | BinaryOp::Ne
+        )
+    }
+
+    /// Result type for operand types `l`, `r`.
+    pub fn result_type(self, l: CellType, r: CellType) -> CellType {
+        if self.is_comparison() {
+            CellType::U8
+        } else {
+            l.promote(r)
+        }
+    }
+
+    fn apply(self, a: f64, b: f64) -> Result<f64> {
+        Ok(match self {
+            BinaryOp::Add => a + b,
+            BinaryOp::Sub => a - b,
+            BinaryOp::Mul => a * b,
+            BinaryOp::Div => {
+                if b == 0.0 {
+                    return Err(ArrayError::DivisionByZero);
+                }
+                a / b
+            }
+            BinaryOp::Min => a.min(b),
+            BinaryOp::Max => a.max(b),
+            BinaryOp::Lt => (a < b) as u8 as f64,
+            BinaryOp::Le => (a <= b) as u8 as f64,
+            BinaryOp::Gt => (a > b) as u8 as f64,
+            BinaryOp::Ge => (a >= b) as u8 as f64,
+            BinaryOp::Eq => (a == b) as u8 as f64,
+            BinaryOp::Ne => (a != b) as u8 as f64,
+        })
+    }
+}
+
+/// Apply a binary induced operation between two arrays.
+///
+/// The operation is evaluated over the *intersection* of the operand domains
+/// (RasDaMan requires equal domains; evaluating on the intersection is the
+/// common generalization and errors when the intersection is empty).
+pub fn induced_binary(a: &MDArray, b: &MDArray, op: BinaryOp) -> Result<MDArray> {
+    let dom = a
+        .domain()
+        .intersection(b.domain())
+        .ok_or(ArrayError::Empty("operand domain intersection"))?;
+    let out_ty = op.result_type(a.cell_type(), b.cell_type());
+    let mut out = MDArray::zeros(dom.clone(), out_ty);
+    for p in dom.iter_points() {
+        let v = op.apply(a.get_f64(&p)?, b.get_f64(&p)?)?;
+        out.set(&p, v)?;
+    }
+    Ok(out)
+}
+
+/// Apply a binary induced operation between an array and a scalar.
+pub fn induced_scalar(a: &MDArray, scalar: f64, op: BinaryOp) -> Result<MDArray> {
+    let out_ty = op.result_type(a.cell_type(), a.cell_type());
+    let mut out = MDArray::zeros(a.domain().clone(), out_ty);
+    for p in a.domain().iter_points() {
+        let v = op.apply(a.get_f64(&p)?, scalar)?;
+        out.set(&p, v)?;
+    }
+    Ok(out)
+}
+
+/// A condenser (aggregation over all cells).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Condenser {
+    /// Sum of all cells (`add_cells`).
+    Sum,
+    /// Arithmetic mean (`avg_cells`).
+    Avg,
+    /// Minimum cell (`min_cells`).
+    Min,
+    /// Maximum cell (`max_cells`).
+    Max,
+    /// Count of non-zero cells (`count_cells`).
+    CountNonZero,
+}
+
+impl Condenser {
+    /// Parse the query-language name (`add_cells`, `avg_cells`, ...).
+    pub fn parse(name: &str) -> Option<Condenser> {
+        match name {
+            "add_cells" | "sum" => Some(Condenser::Sum),
+            "avg_cells" | "avg" => Some(Condenser::Avg),
+            "min_cells" | "min" => Some(Condenser::Min),
+            "max_cells" | "max" => Some(Condenser::Max),
+            "count_cells" | "count" => Some(Condenser::CountNonZero),
+            _ => None,
+        }
+    }
+
+    /// Query-language name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Condenser::Sum => "add_cells",
+            Condenser::Avg => "avg_cells",
+            Condenser::Min => "min_cells",
+            Condenser::Max => "max_cells",
+            Condenser::CountNonZero => "count_cells",
+        }
+    }
+
+    /// Evaluate over a whole array.
+    pub fn eval(self, a: &MDArray) -> Result<f64> {
+        let n = a.domain().cell_count();
+        if n == 0 {
+            return Err(ArrayError::Empty("condenser input"));
+        }
+        let mut acc = match self {
+            Condenser::Min => f64::INFINITY,
+            Condenser::Max => f64::NEG_INFINITY,
+            _ => 0.0,
+        };
+        for (_, v) in a.iter_cells() {
+            let x = v.as_f64();
+            match self {
+                Condenser::Sum | Condenser::Avg => acc += x,
+                Condenser::Min => acc = acc.min(x),
+                Condenser::Max => acc = acc.max(x),
+                Condenser::CountNonZero => {
+                    if x != 0.0 {
+                        acc += 1.0;
+                    }
+                }
+            }
+        }
+        if self == Condenser::Avg {
+            acc /= n as f64;
+        }
+        Ok(acc)
+    }
+
+    /// Combine per-partition partial results into the final result.
+    ///
+    /// `parts` are `(partial_value, cell_count)` pairs — this is what makes
+    /// condensers computable tile-by-tile (and memoizable per region in the
+    /// precomputed-result catalog): Sum/Min/Max/Count combine directly, Avg
+    /// combines via the weighted mean.
+    pub fn combine(self, parts: &[(f64, u64)]) -> Result<f64> {
+        if parts.is_empty() {
+            return Err(ArrayError::Empty("condenser partials"));
+        }
+        Ok(match self {
+            Condenser::Sum | Condenser::CountNonZero => {
+                parts.iter().map(|&(v, _)| v).sum()
+            }
+            Condenser::Min => parts.iter().map(|&(v, _)| v).fold(f64::INFINITY, f64::min),
+            Condenser::Max => parts
+                .iter()
+                .map(|&(v, _)| v)
+                .fold(f64::NEG_INFINITY, f64::max),
+            Condenser::Avg => {
+                let total: u64 = parts.iter().map(|&(_, n)| n).sum();
+                if total == 0 {
+                    return Err(ArrayError::Empty("condenser partials"));
+                }
+                parts
+                    .iter()
+                    .map(|&(v, n)| v * n as f64)
+                    .sum::<f64>()
+                    / total as f64
+            }
+        })
+    }
+}
+
+/// Scale (downsample) an array by integer `factors` per axis: each result
+/// cell is the average of the corresponding block of source cells (blocks
+/// at the upper border may be partial). The result domain is normalized to
+/// a zero origin with `ceil(extent / factor)` cells per axis — RasDaMan's
+/// `scale()` used for overview products.
+pub fn scale_down(a: &MDArray, factors: &[u64]) -> Result<MDArray> {
+    let dom = a.domain();
+    let d = dom.dim();
+    if factors.len() != d {
+        return Err(ArrayError::DimensionMismatch {
+            expected: d,
+            got: factors.len(),
+        });
+    }
+    if factors.contains(&0) {
+        return Err(ArrayError::Empty("scale factor"));
+    }
+    let out_shape: Vec<u64> = dom
+        .shape()
+        .iter()
+        .zip(factors)
+        .map(|(&e, &f)| e.div_ceil(f))
+        .collect();
+    let out_dom = Minterval::with_shape(&out_shape)?;
+    let mut out = MDArray::zeros(out_dom.clone(), a.cell_type());
+    for op in out_dom.iter_points() {
+        // source block for this output cell
+        let mut axes = Vec::with_capacity(d);
+        for (i, &f) in factors.iter().enumerate() {
+            let lo = dom.axis(i).lo + op.coord(i) * f as i64;
+            let hi = (lo + f as i64 - 1).min(dom.axis(i).hi);
+            axes.push(crate::domain::Interval::new(lo, hi)?);
+        }
+        let block = Minterval::from_intervals(axes);
+        let mut acc = 0.0;
+        for p in block.iter_points() {
+            acc += a.get_f64(&p)?;
+        }
+        out.set(&op, acc / block.cell_count() as f64)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Point;
+
+    fn mi(b: &[(i64, i64)]) -> Minterval {
+        Minterval::new(b).unwrap()
+    }
+
+    fn ramp2d() -> MDArray {
+        MDArray::generate(mi(&[(0, 3), (0, 3)]), CellType::I32, |p| {
+            (p.coord(0) * 4 + p.coord(1)) as f64
+        })
+    }
+
+    #[test]
+    fn trim_restricts_domain() {
+        let a = ramp2d();
+        let t = trim(&a, &mi(&[(1, 2), (1, 2)])).unwrap();
+        assert_eq!(t.domain(), &mi(&[(1, 2), (1, 2)]));
+        assert_eq!(t.sum(), (5 + 6 + 9 + 10) as f64);
+    }
+
+    #[test]
+    fn slice_reduces_dimensionality() {
+        let a = ramp2d();
+        let s = slice(&a, 0, 2).unwrap();
+        assert_eq!(s.domain(), &mi(&[(0, 3)]));
+        assert_eq!(s.sum(), (8 + 9 + 10 + 11) as f64);
+        let s2 = slice(&a, 1, 0).unwrap();
+        assert_eq!(s2.sum(), (4 + 8 + 12) as f64);
+    }
+
+    #[test]
+    fn slice_rejects_bad_position() {
+        let a = ramp2d();
+        assert!(slice(&a, 0, 9).is_err());
+        assert!(slice(&a, 5, 0).is_err());
+    }
+
+    #[test]
+    fn induced_unary_ops() {
+        let a = ramp2d();
+        let n = induced_unary(&a, UnaryOp::Neg);
+        assert_eq!(n.sum(), -a.sum());
+        let abs = induced_unary(&n, UnaryOp::Abs);
+        assert_eq!(abs.sum(), a.sum());
+        let c = induced_unary(&a, UnaryOp::Cast(CellType::F64));
+        assert_eq!(c.cell_type(), CellType::F64);
+        assert_eq!(c.sum(), a.sum());
+    }
+
+    #[test]
+    fn induced_binary_on_intersection() {
+        let a = MDArray::generate(mi(&[(0, 3), (0, 3)]), CellType::I32, |_| 10.0);
+        let b = MDArray::generate(mi(&[(2, 5), (2, 5)]), CellType::I32, |_| 4.0);
+        let s = induced_binary(&a, &b, BinaryOp::Sub).unwrap();
+        assert_eq!(s.domain(), &mi(&[(2, 3), (2, 3)]));
+        assert_eq!(s.sum(), 6.0 * 4.0);
+        let disjoint = MDArray::zeros(mi(&[(10, 11), (10, 11)]), CellType::I32);
+        assert!(induced_binary(&a, &disjoint, BinaryOp::Add).is_err());
+    }
+
+    #[test]
+    fn comparison_produces_mask() {
+        let a = ramp2d();
+        let m = induced_scalar(&a, 8.0, BinaryOp::Ge).unwrap();
+        assert_eq!(m.cell_type(), CellType::U8);
+        assert_eq!(m.sum(), 8.0); // cells 8..15
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let a = ramp2d();
+        assert!(induced_scalar(&a, 0.0, BinaryOp::Div).is_err());
+        let z = MDArray::zeros(mi(&[(0, 3), (0, 3)]), CellType::I32);
+        assert!(induced_binary(&a, &z, BinaryOp::Div).is_err());
+    }
+
+    #[test]
+    fn condensers_match_direct_computation() {
+        let a = ramp2d(); // values 0..=15
+        assert_eq!(Condenser::Sum.eval(&a).unwrap(), 120.0);
+        assert_eq!(Condenser::Avg.eval(&a).unwrap(), 7.5);
+        assert_eq!(Condenser::Min.eval(&a).unwrap(), 0.0);
+        assert_eq!(Condenser::Max.eval(&a).unwrap(), 15.0);
+        assert_eq!(Condenser::CountNonZero.eval(&a).unwrap(), 15.0);
+    }
+
+    #[test]
+    fn condenser_combine_matches_whole() {
+        let a = ramp2d();
+        let left = trim(&a, &mi(&[(0, 3), (0, 1)])).unwrap();
+        let right = trim(&a, &mi(&[(0, 3), (2, 3)])).unwrap();
+        for c in [
+            Condenser::Sum,
+            Condenser::Avg,
+            Condenser::Min,
+            Condenser::Max,
+            Condenser::CountNonZero,
+        ] {
+            let whole = c.eval(&a).unwrap();
+            let parts = vec![
+                (c.eval(&left).unwrap(), left.domain().cell_count()),
+                (c.eval(&right).unwrap(), right.domain().cell_count()),
+            ];
+            let combined = c.combine(&parts).unwrap();
+            assert!(
+                (whole - combined).abs() < 1e-9,
+                "{c:?}: whole {whole} vs combined {combined}"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_down_averages_blocks() {
+        let a = MDArray::generate(mi(&[(0, 3), (0, 3)]), CellType::F64, |p| {
+            (p.coord(0) * 4 + p.coord(1)) as f64
+        });
+        let s = scale_down(&a, &[2, 2]).unwrap();
+        assert_eq!(s.domain(), &mi(&[(0, 1), (0, 1)]));
+        // top-left block: cells 0,1,4,5 -> mean 2.5
+        assert_eq!(s.get_f64(&Point::new(vec![0, 0])).unwrap(), 2.5);
+        // bottom-right block: 10,11,14,15 -> 12.5
+        assert_eq!(s.get_f64(&Point::new(vec![1, 1])).unwrap(), 12.5);
+    }
+
+    #[test]
+    fn scale_down_handles_partial_border_blocks() {
+        let a = MDArray::generate(mi(&[(0, 4)]), CellType::F64, |p| p.coord(0) as f64);
+        let s = scale_down(&a, &[2]).unwrap();
+        assert_eq!(s.domain().cell_count(), 3);
+        assert_eq!(s.get_f64(&Point::new(vec![0])).unwrap(), 0.5);
+        assert_eq!(s.get_f64(&Point::new(vec![2])).unwrap(), 4.0); // lone cell
+    }
+
+    #[test]
+    fn scale_down_normalizes_origin_and_validates() {
+        let a = MDArray::generate(mi(&[(10, 13), (20, 23)]), CellType::I32, |_| 8.0);
+        let s = scale_down(&a, &[2, 2]).unwrap();
+        assert_eq!(s.domain(), &mi(&[(0, 1), (0, 1)]));
+        assert_eq!(s.sum(), 32.0);
+        assert!(scale_down(&a, &[2]).is_err());
+        assert!(scale_down(&a, &[0, 2]).is_err());
+    }
+
+    #[test]
+    fn condenser_names_roundtrip() {
+        for c in [
+            Condenser::Sum,
+            Condenser::Avg,
+            Condenser::Min,
+            Condenser::Max,
+            Condenser::CountNonZero,
+        ] {
+            assert_eq!(Condenser::parse(c.name()), Some(c));
+        }
+        assert_eq!(Condenser::parse("median_cells"), None);
+    }
+}

@@ -1,0 +1,282 @@
+//! Linearization orders for multidimensional cells and tiles.
+//!
+//! Clustering data on a linear medium (a tape!) requires mapping the
+//! d-dimensional tile grid onto a sequence. HEAVEN's intra- and
+//! inter-super-tile clustering (paper §3.4.2) orders tiles along such a
+//! linearization so that spatially close tiles end up physically close on
+//! the medium. We provide row-major, column-major, Z-order (Morton) and
+//! Hilbert curves, plus *directional* orders that prioritize a preferred
+//! access axis (eSTAR, §3.3.3).
+
+use crate::domain::Point;
+
+/// A linearization order over grid coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinearOrder {
+    /// Last axis varies fastest (C order) — RasDaMan's storage default.
+    RowMajor,
+    /// First axis varies fastest (Fortran order).
+    ColMajor,
+    /// Morton / Z-order: bit-interleaved coordinates; good locality at all
+    /// scales with a cheap computation.
+    ZOrder,
+    /// Hilbert curve: best spatial locality; slightly costlier to compute.
+    Hilbert,
+    /// Nested order with `axis` varying fastest — models a dominant access
+    /// direction (e.g. time-series reads along the time axis).
+    Directional {
+        /// The axis that varies fastest.
+        axis: usize,
+    },
+}
+
+impl LinearOrder {
+    /// Sort key of grid cell `coords` within a grid of shape `shape`.
+    ///
+    /// Keys are comparable only between points of the same grid.
+    pub fn key(&self, coords: &[u64], shape: &[u64]) -> u128 {
+        debug_assert_eq!(coords.len(), shape.len());
+        match self {
+            LinearOrder::RowMajor => {
+                let mut k: u128 = 0;
+                for (c, s) in coords.iter().zip(shape) {
+                    k = k * (*s as u128) + (*c as u128);
+                }
+                k
+            }
+            LinearOrder::ColMajor => {
+                let mut k: u128 = 0;
+                for (c, s) in coords.iter().zip(shape).rev() {
+                    k = k * (*s as u128) + (*c as u128);
+                }
+                k
+            }
+            LinearOrder::ZOrder => morton_key(coords),
+            LinearOrder::Hilbert => hilbert_key(coords, shape),
+            LinearOrder::Directional { axis } => {
+                // The preferred axis becomes the innermost (fastest) loop.
+                let a = (*axis).min(coords.len() - 1);
+                let mut k: u128 = 0;
+                for (i, (c, s)) in coords.iter().zip(shape).enumerate() {
+                    if i == a {
+                        continue;
+                    }
+                    k = k * (*s as u128) + (*c as u128);
+                }
+                k * (shape[a] as u128) + coords[a] as u128
+            }
+        }
+    }
+
+    /// Sort grid coordinates (each paired with a payload index) in place.
+    pub fn sort_indices(&self, coords: &[Vec<u64>], shape: &[u64]) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..coords.len()).collect();
+        idx.sort_by_key(|&i| self.key(&coords[i], shape));
+        idx
+    }
+
+    /// Order the lower corners of arbitrary boxes: maps each point's
+    /// coordinates (shifted to non-negative) to a key. Used when tiles are
+    /// not on a regular grid.
+    pub fn key_for_point(&self, p: &Point, origin: &Point, shape: &[u64]) -> u128 {
+        let coords: Vec<u64> = p
+            .0
+            .iter()
+            .zip(&origin.0)
+            .map(|(&c, &o)| (c - o).max(0) as u64)
+            .collect();
+        self.key(&coords, shape)
+    }
+}
+
+/// Morton (Z-order) key: interleave the bits of all coordinates.
+fn morton_key(coords: &[u64]) -> u128 {
+    let d = coords.len();
+    if d == 0 {
+        return 0;
+    }
+    // Find highest bit used.
+    let max_bits = coords
+        .iter()
+        .map(|c| 64 - c.leading_zeros() as usize)
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let usable_bits = (128 / d).min(max_bits);
+    let mut key: u128 = 0;
+    for bit in (0..usable_bits).rev() {
+        for &c in coords {
+            key = (key << 1) | (((c >> bit) & 1) as u128);
+        }
+    }
+    key
+}
+
+/// Hilbert key via the standard transpose algorithm (Skilling's method),
+/// generalized to d dimensions.
+fn hilbert_key(coords: &[u64], shape: &[u64]) -> u128 {
+    let d = coords.len();
+    if d == 0 {
+        return 0;
+    }
+    if d == 1 {
+        return coords[0] as u128;
+    }
+    // Bits needed per axis.
+    let bits = shape
+        .iter()
+        .map(|&s| 64 - (s.max(1) - 1).leading_zeros() as usize)
+        .max()
+        .unwrap_or(1)
+        .max(1)
+        .min(128 / d);
+
+    let mut x: Vec<u64> = coords.to_vec();
+
+    // Inverse undo excess work (Skilling transform: axes -> transposed Hilbert).
+    let m = 1u64 << (bits - 1);
+    // Inverse undo
+    let mut q = m;
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..d {
+            if x[i] & q != 0 {
+                x[0] ^= p; // invert
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode
+    for i in 1..d {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0u64;
+    let mut q = m;
+    while q > 1 {
+        if x[d - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for xi in x.iter_mut() {
+        *xi ^= t;
+    }
+
+    // Interleave transposed bits into a single key (axis 0 contributes the
+    // most significant bit of each group).
+    let mut key: u128 = 0;
+    for bit in (0..bits).rev() {
+        for xi in x.iter() {
+            key = (key << 1) | (((xi >> bit) & 1) as u128);
+        }
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn row_major_matches_linear_offset() {
+        let shape = [3u64, 4];
+        let mut keys = Vec::new();
+        for a in 0..3u64 {
+            for b in 0..4u64 {
+                keys.push(LinearOrder::RowMajor.key(&[a, b], &shape));
+            }
+        }
+        let expect: Vec<u128> = (0..12u128).collect();
+        assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn col_major_reverses_axis_priority() {
+        let shape = [3u64, 4];
+        // column-major: first axis fastest
+        let k00 = LinearOrder::ColMajor.key(&[0, 0], &shape);
+        let k10 = LinearOrder::ColMajor.key(&[1, 0], &shape);
+        let k01 = LinearOrder::ColMajor.key(&[0, 1], &shape);
+        assert!(k00 < k10 && k10 < k01);
+    }
+
+    #[test]
+    fn morton_interleaves() {
+        // (1,1) -> 0b11 = 3, (0,1) -> 0b01 = 1, (1,0) -> 0b10 = 2
+        assert_eq!(morton_key(&[0, 0]), 0);
+        assert_eq!(morton_key(&[0, 1]), 1);
+        assert_eq!(morton_key(&[1, 0]), 2);
+        assert_eq!(morton_key(&[1, 1]), 3);
+    }
+
+    fn all_keys_unique(order: LinearOrder, shape: &[u64]) {
+        let mut seen = HashSet::new();
+        let total: u64 = shape.iter().product();
+        let mut coords = vec![0u64; shape.len()];
+        for _ in 0..total {
+            assert!(
+                seen.insert(order.key(&coords, shape)),
+                "duplicate key for {coords:?} with {order:?}"
+            );
+            // increment odometer
+            for i in (0..shape.len()).rev() {
+                coords[i] += 1;
+                if coords[i] < shape[i] {
+                    break;
+                }
+                coords[i] = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn keys_are_bijective_for_all_orders() {
+        for order in [
+            LinearOrder::RowMajor,
+            LinearOrder::ColMajor,
+            LinearOrder::ZOrder,
+            LinearOrder::Hilbert,
+            LinearOrder::Directional { axis: 1 },
+        ] {
+            all_keys_unique(order, &[4, 4]);
+            all_keys_unique(order, &[3, 5, 2]);
+            all_keys_unique(order, &[8, 8, 8]);
+        }
+    }
+
+    #[test]
+    fn hilbert_neighbors_are_adjacent_in_2d() {
+        // Successive Hilbert keys must differ by exactly one grid step.
+        let shape = [8u64, 8];
+        let mut cells: Vec<([u64; 2], u128)> = Vec::new();
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                cells.push(([a, b], LinearOrder::Hilbert.key(&[a, b], &shape)));
+            }
+        }
+        cells.sort_by_key(|&(_, k)| k);
+        for w in cells.windows(2) {
+            let ([a0, b0], _) = w[0];
+            let ([a1, b1], _) = w[1];
+            let dist = a0.abs_diff(a1) + b0.abs_diff(b1);
+            assert_eq!(dist, 1, "Hilbert successors must be grid neighbors");
+        }
+    }
+
+    #[test]
+    fn directional_order_keeps_axis_contiguous() {
+        let shape = [4u64, 4];
+        // Directional on axis 0: all rows of a single column adjacent.
+        let o = LinearOrder::Directional { axis: 0 };
+        let k0 = o.key(&[0, 2], &shape);
+        let k1 = o.key(&[1, 2], &shape);
+        let k2 = o.key(&[2, 2], &shape);
+        assert_eq!(k1 - k0, 1);
+        assert_eq!(k2 - k1, 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Tiles — the DBMS storage unit — and their binary codec.
+//!
+//! A tile is an `MDArray` restricted to a tile domain, together with the id
+//! of the object it belongs to. Tiles are serialized into self-describing
+//! binary blobs (the format written into RDBMS BLOBs and into super-tiles on
+//! tape); the codec is deliberately fixed-layout so that offsets within
+//! super-tiles can be computed without parsing cell data.
+
+use crate::domain::Minterval;
+use crate::error::{ArrayError, Result};
+use crate::mdd::MDArray;
+use crate::value::CellType;
+
+/// Identifier of an MDD object within the DBMS.
+pub type ObjectId = u64;
+
+/// Identifier of a tile (unique per database).
+pub type TileId = u64;
+
+/// A stored tile: payload plus identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tile {
+    /// Unique tile id.
+    pub id: TileId,
+    /// Owning MDD object.
+    pub object: ObjectId,
+    /// Cell payload covering the tile's domain.
+    pub data: MDArray,
+}
+
+impl Tile {
+    /// Create a tile.
+    pub fn new(id: TileId, object: ObjectId, data: MDArray) -> Tile {
+        Tile { id, object, data }
+    }
+
+    /// The tile's spatial domain.
+    pub fn domain(&self) -> &Minterval {
+        self.data.domain()
+    }
+
+    /// Payload size in bytes (cell data only).
+    pub fn payload_bytes(&self) -> u64 {
+        self.data.size_bytes()
+    }
+
+    /// Encoded size in bytes (header + cell data). Header layout:
+    ///
+    /// ```text
+    /// magic          u32   "HTIL"
+    /// tile id        u64
+    /// object id      u64
+    /// cell type tag  u8
+    /// dimensionality u8
+    /// (lo, hi) pairs i64 * 2d
+    /// payload bytes  u64
+    /// payload        [u8]
+    /// ```
+    pub fn encoded_len(&self) -> usize {
+        Self::header_len(self.domain().dim()) + self.data.bytes().len()
+    }
+
+    /// Length of the fixed header for dimensionality `d`.
+    pub fn header_len(d: usize) -> usize {
+        4 + 8 + 8 + 1 + 1 + 16 * d + 8
+    }
+
+    /// Serialize into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(&self.object.to_le_bytes());
+        out.push(self.data.cell_type().tag());
+        out.push(self.domain().dim() as u8);
+        for ax in self.domain().axes() {
+            out.extend_from_slice(&ax.lo.to_le_bytes());
+            out.extend_from_slice(&ax.hi.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.data.bytes().len() as u64).to_le_bytes());
+        out.extend_from_slice(self.data.bytes());
+        out
+    }
+
+    /// Deserialize from a buffer; returns the tile and the number of bytes
+    /// consumed (so multiple tiles can be read back-to-back).
+    pub fn decode(buf: &[u8]) -> Result<(Tile, usize)> {
+        let need = |n: usize| -> Result<()> {
+            if buf.len() < n {
+                Err(ArrayError::Codec(format!(
+                    "tile truncated: need {n} bytes, have {}",
+                    buf.len()
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        need(4 + 8 + 8 + 2)?;
+        if &buf[0..4] != MAGIC {
+            return Err(ArrayError::Codec("bad tile magic".into()));
+        }
+        let id = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+        let object = u64::from_le_bytes(buf[12..20].try_into().unwrap());
+        let ty = CellType::from_tag(buf[20])
+            .ok_or_else(|| ArrayError::Codec(format!("bad cell type tag {}", buf[20])))?;
+        let d = buf[21] as usize;
+        let hdr = Self::header_len(d);
+        need(hdr)?;
+        let mut bounds = Vec::with_capacity(d);
+        let mut off = 22;
+        for _ in 0..d {
+            let lo = i64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+            let hi = i64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap());
+            bounds.push((lo, hi));
+            off += 16;
+        }
+        let payload_len =
+            u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) as usize;
+        off += 8;
+        need(off + payload_len)?;
+        let domain = Minterval::new(&bounds)
+            .map_err(|e| ArrayError::Codec(format!("bad tile domain: {e}")))?;
+        let data = MDArray::from_bytes(domain, ty, buf[off..off + payload_len].to_vec())
+            .map_err(|e| ArrayError::Codec(format!("bad tile payload: {e}")))?;
+        Ok((Tile { id, object, data }, off + payload_len))
+    }
+}
+
+const MAGIC: &[u8; 4] = b"HTIL";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::CellType;
+
+    fn mi(b: &[(i64, i64)]) -> Minterval {
+        Minterval::new(b).unwrap()
+    }
+
+    fn sample_tile() -> Tile {
+        let data = MDArray::generate(mi(&[(4, 7), (10, 12)]), CellType::I16, |p| {
+            (p.coord(0) - p.coord(1)) as f64
+        });
+        Tile::new(42, 7, data)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let t = sample_tile();
+        let enc = t.encode();
+        assert_eq!(enc.len(), t.encoded_len());
+        let (dec, used) = Tile::decode(&enc).unwrap();
+        assert_eq!(used, enc.len());
+        assert_eq!(dec, t);
+    }
+
+    #[test]
+    fn back_to_back_tiles_decode() {
+        let t1 = sample_tile();
+        let data2 = MDArray::generate(mi(&[(0, 1)]), CellType::F64, |p| {
+            p.coord(0) as f64 * 0.5
+        });
+        let t2 = Tile::new(43, 7, data2);
+        let mut buf = t1.encode();
+        buf.extend_from_slice(&t2.encode());
+        let (d1, n1) = Tile::decode(&buf).unwrap();
+        let (d2, n2) = Tile::decode(&buf[n1..]).unwrap();
+        assert_eq!(d1, t1);
+        assert_eq!(d2, t2);
+        assert_eq!(n1 + n2, buf.len());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Tile::decode(b"nope").is_err());
+        let mut enc = sample_tile().encode();
+        enc[0] = b'X';
+        assert!(Tile::decode(&enc).is_err());
+        // truncated payload
+        let enc = sample_tile().encode();
+        assert!(Tile::decode(&enc[..enc.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn header_len_matches_encoding() {
+        let t = sample_tile();
+        let enc = t.encode();
+        assert_eq!(
+            enc.len(),
+            Tile::header_len(2) + t.payload_bytes() as usize
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! Tiling: partitioning an array domain into tiles.
+//!
+//! RasDaMan's physical model (paper §2.6.3) stores each MDD object as a set
+//! of *tiles*, each a contiguous BLOB. HEAVEN's super-tile machinery operates
+//! on these tiles. We implement the tiling strategies relevant to the paper:
+//!
+//! * **Regular (aligned)** tiling — the grid of equally-shaped tiles used by
+//!   all experiments;
+//! * **Directional** tiling — elongated tiles along a preferred access axis;
+//! * **Size-bounded** tiling — regular tiling whose tile shape is derived
+//!   from a target tile size in bytes (RasDaMan's classic 64 KB–8 MB tiles).
+
+use crate::domain::{Interval, Minterval};
+use crate::error::{ArrayError, Result};
+use crate::value::CellType;
+
+/// A tiling strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tiling {
+    /// Equally shaped tiles of the given shape (border tiles may be smaller).
+    Regular {
+        /// Per-axis tile edge lengths.
+        tile_shape: Vec<u64>,
+    },
+    /// Tiles stretched along `axis` by `factor` relative to a cubic base
+    /// edge, squeezed on the other axes to keep tile size roughly constant.
+    Directional {
+        /// The elongated axis.
+        axis: usize,
+        /// Edge length on the non-preferred axes.
+        base_edge: u64,
+        /// Stretch factor of the preferred axis.
+        factor: u64,
+    },
+    /// Regular tiling with near-cubic tiles not exceeding `max_bytes`.
+    SizeBounded {
+        /// Upper bound on the tile payload in bytes.
+        max_bytes: u64,
+    },
+}
+
+impl Tiling {
+    /// Compute the tile shape this strategy uses for the given domain and
+    /// cell type.
+    pub fn tile_shape(&self, domain: &Minterval, cell_type: CellType) -> Result<Vec<u64>> {
+        let d = domain.dim();
+        if d == 0 {
+            return Err(ArrayError::Empty("domain"));
+        }
+        match self {
+            Tiling::Regular { tile_shape } => {
+                if tile_shape.len() != d {
+                    return Err(ArrayError::DimensionMismatch {
+                        expected: d,
+                        got: tile_shape.len(),
+                    });
+                }
+                if tile_shape.contains(&0) {
+                    return Err(ArrayError::Empty("tile edge"));
+                }
+                Ok(tile_shape.clone())
+            }
+            Tiling::Directional { axis, base_edge, factor } => {
+                if *axis >= d {
+                    return Err(ArrayError::BadSlice { dim: *axis, pos: 0 });
+                }
+                if *base_edge == 0 || *factor == 0 {
+                    return Err(ArrayError::Empty("tile edge"));
+                }
+                let mut shape = vec![*base_edge; d];
+                shape[*axis] = base_edge * factor;
+                Ok(shape)
+            }
+            Tiling::SizeBounded { max_bytes } => {
+                let cell = cell_type.size_bytes() as u64;
+                if *max_bytes < cell {
+                    return Err(ArrayError::Empty("tile size budget"));
+                }
+                let max_cells = (*max_bytes / cell).max(1);
+                // Near-cubic edge: floor(max_cells^(1/d)).
+                let mut edge = (max_cells as f64).powf(1.0 / d as f64).floor() as u64;
+                edge = edge.max(1);
+                // floating point may overshoot; shrink until within budget
+                while edge > 1 && edge.pow(d as u32) > max_cells {
+                    edge -= 1;
+                }
+                Ok(vec![edge; d])
+            }
+        }
+    }
+
+    /// Partition the domain into tile domains, in row-major grid order.
+    ///
+    /// Tiles are aligned to the domain's lower corner; tiles on the upper
+    /// border are clipped to the domain.
+    pub fn tile_domains(
+        &self,
+        domain: &Minterval,
+        cell_type: CellType,
+    ) -> Result<Vec<Minterval>> {
+        let shape = self.tile_shape(domain, cell_type)?;
+        let d = domain.dim();
+        // Number of tiles along each axis.
+        let counts: Vec<u64> = (0..d)
+            .map(|i| domain.axis(i).extent().div_ceil(shape[i]))
+            .collect();
+        let grid = Minterval::with_shape(&counts)?;
+        let mut tiles = Vec::with_capacity(grid.cell_count() as usize);
+        for gp in grid.iter_points() {
+            let mut axes = Vec::with_capacity(d);
+            for (i, &edge) in shape.iter().enumerate() {
+                let lo = domain.axis(i).lo + gp.coord(i) * edge as i64;
+                let hi = (lo + edge as i64 - 1).min(domain.axis(i).hi);
+                axes.push(Interval::new(lo, hi)?);
+            }
+            tiles.push(Minterval::from_intervals(axes));
+        }
+        Ok(tiles)
+    }
+
+    /// The grid coordinates of each tile produced by
+    /// [`tile_domains`](Self::tile_domains), in the same order, together with
+    /// the grid dimensions. Used by linearization orders.
+    pub fn tile_grid(
+        &self,
+        domain: &Minterval,
+        cell_type: CellType,
+    ) -> Result<(Vec<Vec<u64>>, Vec<u64>)> {
+        let shape = self.tile_shape(domain, cell_type)?;
+        let d = domain.dim();
+        let counts: Vec<u64> = (0..d)
+            .map(|i| domain.axis(i).extent().div_ceil(shape[i]))
+            .collect();
+        let grid = Minterval::with_shape(&counts)?;
+        let coords = grid
+            .iter_points()
+            .map(|p| p.0.iter().map(|&c| c as u64).collect())
+            .collect();
+        Ok((coords, counts))
+    }
+
+    /// Grid coordinate of the tile containing global point coordinates,
+    /// given the tile shape returned by [`tile_shape`](Self::tile_shape).
+    pub fn grid_coord_of(
+        domain: &Minterval,
+        tile_shape: &[u64],
+        tile: &Minterval,
+    ) -> Vec<u64> {
+        (0..domain.dim())
+            .map(|i| ((tile.axis(i).lo - domain.axis(i).lo) as u64) / tile_shape[i])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mi(b: &[(i64, i64)]) -> Minterval {
+        Minterval::new(b).unwrap()
+    }
+
+    #[test]
+    fn regular_tiling_covers_domain_disjointly() {
+        let dom = mi(&[(0, 99), (0, 99)]);
+        let t = Tiling::Regular {
+            tile_shape: vec![30, 40],
+        };
+        let tiles = t.tile_domains(&dom, CellType::U8).unwrap();
+        assert_eq!(tiles.len(), 4 * 3);
+        // disjoint
+        for i in 0..tiles.len() {
+            for j in (i + 1)..tiles.len() {
+                assert!(!tiles[i].intersects(&tiles[j]));
+            }
+        }
+        // covering
+        let total: u64 = tiles.iter().map(|t| t.cell_count()).sum();
+        assert_eq!(total, dom.cell_count());
+    }
+
+    #[test]
+    fn border_tiles_are_clipped() {
+        let dom = mi(&[(0, 9)]);
+        let t = Tiling::Regular { tile_shape: vec![4] };
+        let tiles = t.tile_domains(&dom, CellType::U8).unwrap();
+        assert_eq!(tiles.len(), 3);
+        assert_eq!(tiles[2], mi(&[(8, 9)]));
+    }
+
+    #[test]
+    fn tiling_respects_non_zero_origin() {
+        let dom = mi(&[(10, 29), (-5, 14)]);
+        let t = Tiling::Regular {
+            tile_shape: vec![10, 10],
+        };
+        let tiles = t.tile_domains(&dom, CellType::U8).unwrap();
+        assert_eq!(tiles.len(), 4);
+        assert_eq!(tiles[0], mi(&[(10, 19), (-5, 4)]));
+        assert_eq!(tiles[3], mi(&[(20, 29), (5, 14)]));
+    }
+
+    #[test]
+    fn size_bounded_tiles_fit_budget() {
+        let dom = mi(&[(0, 999), (0, 999), (0, 999)]);
+        let t = Tiling::SizeBounded {
+            max_bytes: 8 << 20, // 8 MB
+        };
+        let shape = t.tile_shape(&dom, CellType::F32).unwrap();
+        let cells: u64 = shape.iter().product();
+        assert!(cells * 4 <= 8 << 20);
+        // Reasonably close to the budget (at least 1/8 of it for cubic shapes).
+        assert!(cells * 4 >= (8 << 20) / 8);
+    }
+
+    #[test]
+    fn directional_tiles_are_elongated() {
+        let dom = mi(&[(0, 99), (0, 99), (0, 99)]);
+        let t = Tiling::Directional {
+            axis: 2,
+            base_edge: 10,
+            factor: 5,
+        };
+        let shape = t.tile_shape(&dom, CellType::F32).unwrap();
+        assert_eq!(shape, vec![10, 10, 50]);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let dom = mi(&[(0, 9), (0, 9)]);
+        assert!(Tiling::Regular {
+            tile_shape: vec![0, 5]
+        }
+        .tile_domains(&dom, CellType::U8)
+        .is_err());
+        assert!(Tiling::Regular {
+            tile_shape: vec![5]
+        }
+        .tile_domains(&dom, CellType::U8)
+        .is_err());
+        assert!(Tiling::Directional {
+            axis: 5,
+            base_edge: 4,
+            factor: 2
+        }
+        .tile_shape(&dom, CellType::U8)
+        .is_err());
+    }
+
+    #[test]
+    fn grid_coords_match_tile_order() {
+        let dom = mi(&[(0, 19), (0, 29)]);
+        let t = Tiling::Regular {
+            tile_shape: vec![10, 10],
+        };
+        let tiles = t.tile_domains(&dom, CellType::U8).unwrap();
+        let (coords, counts) = t.tile_grid(&dom, CellType::U8).unwrap();
+        assert_eq!(counts, vec![2, 3]);
+        assert_eq!(coords.len(), tiles.len());
+        let shape = t.tile_shape(&dom, CellType::U8).unwrap();
+        for (tile, gc) in tiles.iter().zip(&coords) {
+            assert_eq!(&Tiling::grid_coord_of(&dom, &shape, tile), gc);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for the array DBMS.
+
+use heaven_array::ArrayError;
+use heaven_rdbms::DbError;
+use std::fmt;
+
+/// Errors raised by the array DBMS.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // struct-variant fields are self-describing
+pub enum ArrayDbError {
+    /// Unknown collection name.
+    NoSuchCollection(String),
+    /// A collection with this name already exists.
+    CollectionExists(String),
+    /// Unknown object id.
+    NoSuchObject(u64),
+    /// Unknown tile id.
+    NoSuchTile(u64),
+    /// The tile is not on disk (it has been exported to tertiary storage);
+    /// a hierarchy-aware provider must resolve it.
+    TileExported(u64),
+    /// Cell type of an inserted array does not match the collection.
+    WrongCellType { collection: String, expected: String, got: String },
+    /// Query text failed to lex/parse.
+    Syntax { pos: usize, msg: String },
+    /// Query is type-incorrect or malformed.
+    Semantic(String),
+    /// Array-algebra failure during evaluation.
+    Array(ArrayError),
+    /// Storage-layer failure.
+    Db(DbError),
+}
+
+impl fmt::Display for ArrayDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayDbError::NoSuchCollection(n) => write!(f, "no such collection: {n}"),
+            ArrayDbError::CollectionExists(n) => write!(f, "collection exists: {n}"),
+            ArrayDbError::NoSuchObject(o) => write!(f, "no such object: {o}"),
+            ArrayDbError::NoSuchTile(t) => write!(f, "no such tile: {t}"),
+            ArrayDbError::TileExported(t) => {
+                write!(f, "tile {t} exported to tertiary storage")
+            }
+            ArrayDbError::WrongCellType { collection, expected, got } => write!(
+                f,
+                "collection {collection} holds {expected} cells, got {got}"
+            ),
+            ArrayDbError::Syntax { pos, msg } => write!(f, "syntax error at {pos}: {msg}"),
+            ArrayDbError::Semantic(msg) => write!(f, "semantic error: {msg}"),
+            ArrayDbError::Array(e) => write!(f, "array error: {e}"),
+            ArrayDbError::Db(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArrayDbError {}
+
+impl From<ArrayError> for ArrayDbError {
+    fn from(e: ArrayError) -> Self {
+        ArrayDbError::Array(e)
+    }
+}
+
+impl From<DbError> for ArrayDbError {
+    fn from(e: DbError) -> Self {
+        ArrayDbError::Db(e)
+    }
+}
+
+/// Result alias for the array DBMS.
+pub type Result<T> = std::result::Result<T, ArrayDbError>;

@@ -1,0 +1,112 @@
+//! Abstract syntax of the RasQL subset (with the Object-Framing extension).
+//!
+//! ```text
+//! query    := SELECT expr FROM ident [AS ident] [WHERE oidfilter]
+//! oidfilter:= OID '(' ident ')' ( '=' int | IN '(' int (',' int)* ')' )
+//! expr     := cmp
+//! cmp      := add ( ('<'|'<='|'>'|'>='|'='|'!=') add )?
+//! add      := mul ( ('+'|'-') mul )*
+//! mul      := unary ( ('*'|'/') unary )*
+//! unary    := '-' unary | postfix
+//! postfix  := primary ( '[' frame ']' )*
+//! primary  := number | ident | func '(' expr ')' | SCALE '(' expr ',' int ')'
+//!           | '(' expr ')'
+//! frame    := boxsel ( '|' boxsel )* | boxsel '\' boxsel   -- framing ext.
+//! boxsel   := rangesel ( ',' rangesel )*
+//! rangesel := bound ':' bound | int            -- int alone slices
+//! bound    := int | '*'
+//! ```
+
+use heaven_array::{BinaryOp, Condenser, UnaryOp};
+
+/// One per-axis selector inside a trim/slice bracket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RangeSel {
+    /// `lo:hi`, with `None` meaning `*` (the object's own bound).
+    Range(Option<i64>, Option<i64>),
+    /// A single position: slices the axis away.
+    At(i64),
+}
+
+/// One box of selectors, e.g. `0:9,*:*,5`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoxSel(pub Vec<RangeSel>);
+
+/// The bracket contents: a single box, a union of boxes (`|`), or a
+/// difference (`\`) — the Object-Framing extension (paper §3.8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameSpec {
+    /// Plain trim/slice.
+    Single(BoxSel),
+    /// Union frame: `[b1 | b2 | ...]`.
+    Union(Vec<BoxSel>),
+    /// Difference frame: `[outer \ inner]`.
+    Diff(BoxSel, BoxSel),
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// The collection iteration variable.
+    Var(String),
+    /// A numeric literal.
+    Num(f64),
+    /// Trim/slice/frame selection.
+    Select(Box<Expr>, FrameSpec),
+    /// Unary induced operation (neg, abs, sqrt, casts).
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary induced operation (arith/comparison), array or scalar operands.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Condenser (aggregation) over an array expression.
+    Condense(Condenser, Box<Expr>),
+    /// Downsample by a uniform integer factor: `scale(expr, k)`.
+    Scale(Box<Expr>, u64),
+}
+
+/// An object filter from the WHERE clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OidFilter {
+    /// `where oid(v) = N`
+    Eq(u64),
+    /// `where oid(v) in (N, M, ...)`
+    In(Vec<u64>),
+}
+
+impl OidFilter {
+    /// Whether an object id passes the filter.
+    pub fn accepts(&self, oid: u64) -> bool {
+        match self {
+            OidFilter::Eq(n) => *n == oid,
+            OidFilter::In(ns) => ns.contains(&oid),
+        }
+    }
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The selected expression.
+    pub target: Expr,
+    /// Collection name.
+    pub collection: String,
+    /// Iteration-variable name (alias; defaults to the collection name).
+    pub alias: String,
+    /// Optional object filter (`WHERE oid(v) ...`).
+    pub filter: Option<OidFilter>,
+}
+
+impl Expr {
+    /// Whether the expression contains the iteration variable (queries whose
+    /// target is constant are rejected as semantic errors).
+    pub fn uses_var(&self, name: &str) -> bool {
+        match self {
+            Expr::Var(v) => v == name,
+            Expr::Num(_) => false,
+            Expr::Select(e, _)
+            | Expr::Unary(_, e)
+            | Expr::Condense(_, e)
+            | Expr::Scale(e, _) => e.uses_var(name),
+            Expr::Binary(_, l, r) => l.uses_var(name) || r.uses_var(name),
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Tokenizer for the RasQL subset.
+
+use crate::error::{ArrayDbError, Result};
+
+/// A lexical token with its byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognized by the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `*` (multiplication, or a wildcard bound inside brackets)
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `\` (frame difference)
+    Backslash,
+    /// `|` (frame union)
+    Pipe,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// A token plus its source position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Token,
+    /// Byte offset in the query text.
+    pub pos: usize,
+}
+
+/// Tokenize query text.
+pub fn lex(input: &str) -> Result<Vec<Spanned>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                out.push(Spanned { tok: Token::LParen, pos });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { tok: Token::RParen, pos });
+                i += 1;
+            }
+            '[' => {
+                out.push(Spanned { tok: Token::LBracket, pos });
+                i += 1;
+            }
+            ']' => {
+                out.push(Spanned { tok: Token::RBracket, pos });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { tok: Token::Comma, pos });
+                i += 1;
+            }
+            ':' => {
+                out.push(Spanned { tok: Token::Colon, pos });
+                i += 1;
+            }
+            '*' => {
+                out.push(Spanned { tok: Token::Star, pos });
+                i += 1;
+            }
+            '+' => {
+                out.push(Spanned { tok: Token::Plus, pos });
+                i += 1;
+            }
+            '-' => {
+                out.push(Spanned { tok: Token::Minus, pos });
+                i += 1;
+            }
+            '/' => {
+                out.push(Spanned { tok: Token::Slash, pos });
+                i += 1;
+            }
+            '\\' => {
+                out.push(Spanned { tok: Token::Backslash, pos });
+                i += 1;
+            }
+            '|' => {
+                out.push(Spanned { tok: Token::Pipe, pos });
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Token::Le, pos });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Token::Lt, pos });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Token::Ge, pos });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Token::Gt, pos });
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push(Spanned { tok: Token::Eq, pos });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Token::Ne, pos });
+                    i += 2;
+                } else {
+                    return Err(ArrayDbError::Syntax {
+                        pos,
+                        msg: "expected '=' after '!'".into(),
+                    });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                let tok = if is_float {
+                    Token::Float(text.parse().map_err(|_| ArrayDbError::Syntax {
+                        pos: start,
+                        msg: format!("bad float literal {text}"),
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| ArrayDbError::Syntax {
+                        pos: start,
+                        msg: format!("bad integer literal {text}"),
+                    })?)
+                };
+                out.push(Spanned { tok, pos: start });
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Token::Ident(input[start..i].to_string()),
+                    pos: start,
+                });
+            }
+            _ => {
+                return Err(ArrayDbError::Syntax {
+                    pos,
+                    msg: format!("unexpected character {c:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        lex(s).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_a_typical_query() {
+        let t = toks("select avg_cells(t[0:99, 5]) from temps as t");
+        assert_eq!(t[0], Token::Ident("select".into()));
+        assert!(t.contains(&Token::LBracket));
+        assert!(t.contains(&Token::Colon));
+        assert!(t.contains(&Token::Int(99)));
+        assert_eq!(*t.last().unwrap(), Token::Ident("t".into()));
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            toks("a <= b != c >= d < e > f = g"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Le,
+                Token::Ident("b".into()),
+                Token::Ne,
+                Token::Ident("c".into()),
+                Token::Ge,
+                Token::Ident("d".into()),
+                Token::Lt,
+                Token::Ident("e".into()),
+                Token::Gt,
+                Token::Ident("f".into()),
+                Token::Eq,
+                Token::Ident("g".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(toks("42 3.25"), vec![Token::Int(42), Token::Float(3.25)]);
+    }
+
+    #[test]
+    fn lexes_frame_operators() {
+        assert_eq!(
+            toks("[0:1 | 2:3] [4:5 \\ 6:7]")
+                .iter()
+                .filter(|t| matches!(t, Token::Pipe | Token::Backslash))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a § b").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn positions_point_into_source() {
+        let s = lex("ab   cd").unwrap();
+        assert_eq!(s[0].pos, 0);
+        assert_eq!(s[1].pos, 5);
+    }
+}

@@ -1,0 +1,15 @@
+//! The RasQL-subset query language: AST, lexer, parser, executor.
+//!
+//! Covers the operations the paper's workloads use (§2.6.5–§2.6.6): trims,
+//! slices, induced arithmetic and comparisons, condensers — plus the
+//! Object-Framing extension (§3.8): union (`|`) and difference (`\`)
+//! frames inside selection brackets.
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{BoxSel, Expr, FrameSpec, OidFilter, Query, RangeSel};
+pub use exec::{execute, run, QueryResult, Value};
+pub use parser::{parse_expr, parse_query};

@@ -1,0 +1,536 @@
+//! Recursive-descent parser for the RasQL subset.
+
+use super::ast::{BoxSel, Expr, FrameSpec, OidFilter, Query, RangeSel};
+use super::lexer::{lex, Spanned, Token};
+use crate::error::{ArrayDbError, Result};
+use heaven_array::{BinaryOp, CellType, Condenser, UnaryOp};
+
+/// Parse a full `SELECT ... FROM ...` query.
+pub fn parse_query(input: &str) -> Result<Query> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, i: 0 };
+    p.expect_keyword("select")?;
+    let target = p.expr()?;
+    p.expect_keyword("from")?;
+    let collection = p.expect_ident()?;
+    let alias = if p.peek_keyword("as") {
+        p.advance();
+        p.expect_ident()?
+    } else {
+        collection.clone()
+    };
+    let filter = if p.peek_keyword("where") {
+        p.advance();
+        Some(p.oid_filter(&alias)?)
+    } else {
+        None
+    };
+    p.expect_end()?;
+    let q = Query {
+        target,
+        collection,
+        alias,
+        filter,
+    };
+    if !q.target.uses_var(&q.alias) {
+        return Err(ArrayDbError::Semantic(format!(
+            "query target never uses the iteration variable '{}'",
+            q.alias
+        )));
+    }
+    Ok(q)
+}
+
+/// Parse a bare expression (used by tests and by the framing helpers).
+pub fn parse_expr(input: &str) -> Result<Expr> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, i: 0 };
+    let e = p.expr()?;
+    p.expect_end()?;
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.i).map(|s| &s.tok)
+    }
+
+    fn pos(&self) -> usize {
+        self.toks
+            .get(self.i)
+            .map(|s| s.pos)
+            .unwrap_or_else(|| self.toks.last().map(|s| s.pos + 1).unwrap_or(0))
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.i).map(|s| s.tok.clone());
+        self.i += 1;
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(ArrayDbError::Syntax {
+            pos: self.pos(),
+            msg: msg.into(),
+        })
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.peek_keyword(kw) {
+            self.advance();
+            Ok(())
+        } else {
+            self.err(format!("expected keyword '{kw}'"))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.i -= 1;
+                self.err("expected identifier")
+            }
+        }
+    }
+
+    fn expect_tok(&mut self, want: Token, what: &str) -> Result<()> {
+        if self.peek() == Some(&want) {
+            self.advance();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}"))
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<()> {
+        if self.peek().is_none() {
+            Ok(())
+        } else {
+            self.err("trailing input after query")
+        }
+    }
+
+    // expr := cmp
+    fn expr(&mut self) -> Result<Expr> {
+        self.cmp()
+    }
+
+    fn cmp(&mut self) -> Result<Expr> {
+        let left = self.add()?;
+        let op = match self.peek() {
+            Some(Token::Lt) => BinaryOp::Lt,
+            Some(Token::Le) => BinaryOp::Le,
+            Some(Token::Gt) => BinaryOp::Gt,
+            Some(Token::Ge) => BinaryOp::Ge,
+            Some(Token::Eq) => BinaryOp::Eq,
+            Some(Token::Ne) => BinaryOp::Ne,
+            _ => return Ok(left),
+        };
+        self.advance();
+        let right = self.add()?;
+        Ok(Expr::Binary(op, Box::new(left), Box::new(right)))
+    }
+
+    fn add(&mut self) -> Result<Expr> {
+        let mut e = self.mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinaryOp::Add,
+                Some(Token::Minus) => BinaryOp::Sub,
+                _ => return Ok(e),
+            };
+            self.advance();
+            let rhs = self.mul()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(rhs));
+        }
+    }
+
+    fn mul(&mut self) -> Result<Expr> {
+        let mut e = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinaryOp::Mul,
+                Some(Token::Slash) => BinaryOp::Div,
+                _ => return Ok(e),
+            };
+            self.advance();
+            let rhs = self.unary()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(rhs));
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.peek() == Some(&Token::Minus) {
+            self.advance();
+            let inner = self.unary()?;
+            return Ok(match inner {
+                Expr::Num(n) => Expr::Num(-n),
+                other => Expr::Unary(UnaryOp::Neg, Box::new(other)),
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut e = self.primary()?;
+        while self.peek() == Some(&Token::LBracket) {
+            self.advance();
+            let frame = self.frame_spec()?;
+            self.expect_tok(Token::RBracket, "']'")?;
+            e = Expr::Select(Box::new(e), frame);
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.advance() {
+            Some(Token::Int(n)) => Ok(Expr::Num(n as f64)),
+            Some(Token::Float(x)) => Ok(Expr::Num(x)),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect_tok(Token::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if self.peek() == Some(&Token::LParen) {
+                    self.advance();
+                    let arg = self.expr()?;
+                    if name.eq_ignore_ascii_case("scale") {
+                        self.expect_tok(Token::Comma, "',' (scale takes a factor)")?;
+                        let factor = match self.advance() {
+                            Some(Token::Int(n)) if n > 0 => n as u64,
+                            _ => {
+                                self.i -= 1;
+                                return self.err("expected positive scale factor");
+                            }
+                        };
+                        self.expect_tok(Token::RParen, "')'")?;
+                        return Ok(Expr::Scale(Box::new(arg), factor));
+                    }
+                    self.expect_tok(Token::RParen, "')'")?;
+                    self.function(&name, arg)
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            _ => {
+                self.i -= 1;
+                self.err("expected expression")
+            }
+        }
+    }
+
+    fn function(&mut self, name: &str, arg: Expr) -> Result<Expr> {
+        let lower = name.to_ascii_lowercase();
+        if let Some(c) = Condenser::parse(&lower) {
+            return Ok(Expr::Condense(c, Box::new(arg)));
+        }
+        let op = match lower.as_str() {
+            "sqrt" => UnaryOp::Sqrt,
+            "abs" => UnaryOp::Abs,
+            _ => {
+                if let Some(ty) = CellType::parse(&lower) {
+                    UnaryOp::Cast(ty)
+                } else {
+                    return self.err(format!("unknown function '{name}'"));
+                }
+            }
+        };
+        Ok(Expr::Unary(op, Box::new(arg)))
+    }
+
+    /// `oidfilter := oid '(' alias ')' ('=' int | in '(' int, ... ')')`
+    fn oid_filter(&mut self, alias: &str) -> Result<OidFilter> {
+        self.expect_keyword("oid")?;
+        self.expect_tok(Token::LParen, "'('")?;
+        let var = self.expect_ident()?;
+        if var != alias {
+            return Err(ArrayDbError::Semantic(format!(
+                "oid() takes the iteration variable '{alias}', got '{var}'"
+            )));
+        }
+        self.expect_tok(Token::RParen, "')'")?;
+        if self.peek() == Some(&Token::Eq) {
+            self.advance();
+            match self.advance() {
+                Some(Token::Int(n)) if n >= 0 => Ok(OidFilter::Eq(n as u64)),
+                _ => {
+                    self.i -= 1;
+                    self.err("expected object id")
+                }
+            }
+        } else if self.peek_keyword("in") {
+            self.advance();
+            self.expect_tok(Token::LParen, "'('")?;
+            let mut ids = Vec::new();
+            loop {
+                match self.advance() {
+                    Some(Token::Int(n)) if n >= 0 => ids.push(n as u64),
+                    _ => {
+                        self.i -= 1;
+                        return self.err("expected object id");
+                    }
+                }
+                match self.advance() {
+                    Some(Token::Comma) => continue,
+                    Some(Token::RParen) => break,
+                    _ => {
+                        self.i -= 1;
+                        return self.err("expected ',' or ')'");
+                    }
+                }
+            }
+            Ok(OidFilter::In(ids))
+        } else {
+            self.err("expected '=' or 'in' after oid()")
+        }
+    }
+
+    // frame := boxsel ('|' boxsel)*  |  boxsel '\' boxsel
+    fn frame_spec(&mut self) -> Result<FrameSpec> {
+        let first = self.box_sel()?;
+        match self.peek() {
+            Some(Token::Pipe) => {
+                let mut boxes = vec![first];
+                while self.peek() == Some(&Token::Pipe) {
+                    self.advance();
+                    boxes.push(self.box_sel()?);
+                }
+                Ok(FrameSpec::Union(boxes))
+            }
+            Some(Token::Backslash) => {
+                self.advance();
+                let inner = self.box_sel()?;
+                Ok(FrameSpec::Diff(first, inner))
+            }
+            _ => Ok(FrameSpec::Single(first)),
+        }
+    }
+
+    fn box_sel(&mut self) -> Result<BoxSel> {
+        let mut sels = vec![self.range_sel()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.advance();
+            sels.push(self.range_sel()?);
+        }
+        Ok(BoxSel(sels))
+    }
+
+    fn range_sel(&mut self) -> Result<RangeSel> {
+        let lo = self.bound()?;
+        if self.peek() == Some(&Token::Colon) {
+            self.advance();
+            let hi = self.bound()?;
+            Ok(RangeSel::Range(lo, hi))
+        } else {
+            match lo {
+                Some(v) => Ok(RangeSel::At(v)),
+                None => self.err("'*' alone cannot slice; use '*:*'"),
+            }
+        }
+    }
+
+    /// `bound := int | '-' int | '*'`; `None` = `*`.
+    fn bound(&mut self) -> Result<Option<i64>> {
+        match self.peek() {
+            Some(Token::Star) => {
+                self.advance();
+                Ok(None)
+            }
+            Some(Token::Minus) => {
+                self.advance();
+                match self.advance() {
+                    Some(Token::Int(n)) => Ok(Some(-n)),
+                    _ => {
+                        self.i -= 1;
+                        self.err("expected integer after '-'")
+                    }
+                }
+            }
+            Some(Token::Int(_)) => {
+                let Some(Token::Int(n)) = self.advance() else {
+                    unreachable!()
+                };
+                Ok(Some(n))
+            }
+            _ => self.err("expected bound (integer or '*')"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_trim() {
+        let q = parse_query("select t[0:9, 10:19] from temps as t").unwrap();
+        assert_eq!(q.collection, "temps");
+        assert_eq!(q.alias, "t");
+        match q.target {
+            Expr::Select(inner, FrameSpec::Single(BoxSel(sels))) => {
+                assert_eq!(*inner, Expr::Var("t".into()));
+                assert_eq!(
+                    sels,
+                    vec![
+                        RangeSel::Range(Some(0), Some(9)),
+                        RangeSel::Range(Some(10), Some(19))
+                    ]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alias_defaults_to_collection() {
+        let q = parse_query("select temps[0:1,0:1] from temps").unwrap();
+        assert_eq!(q.alias, "temps");
+    }
+
+    #[test]
+    fn parses_slice_and_star() {
+        let q = parse_query("select t[*:*, 5] from c as t").unwrap();
+        match q.target {
+            Expr::Select(_, FrameSpec::Single(BoxSel(sels))) => {
+                assert_eq!(sels[0], RangeSel::Range(None, None));
+                assert_eq!(sels[1], RangeSel::At(5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_condenser_and_arith() {
+        let q =
+            parse_query("select avg_cells(t[0:9,0:9]) * 2 + 1 from c as t").unwrap();
+        match &q.target {
+            Expr::Binary(BinaryOp::Add, l, r) => {
+                assert_eq!(**r, Expr::Num(1.0));
+                match &**l {
+                    Expr::Binary(BinaryOp::Mul, c, two) => {
+                        assert!(matches!(**c, Expr::Condense(Condenser::Avg, _)));
+                        assert_eq!(**two, Expr::Num(2.0));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_union_frame() {
+        let q = parse_query("select t[0:9,0:9 | 20:29,0:9] from c as t").unwrap();
+        match q.target {
+            Expr::Select(_, FrameSpec::Union(boxes)) => assert_eq!(boxes.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_difference_frame() {
+        let q = parse_query(r"select t[0:99,0:99 \ 10:89,10:89] from c as t").unwrap();
+        assert!(matches!(
+            q.target,
+            Expr::Select(_, FrameSpec::Diff(_, _))
+        ));
+    }
+
+    #[test]
+    fn parses_comparison_masks() {
+        let q = parse_query("select t[0:9,0:9] >= 273.5 from c as t").unwrap();
+        assert!(matches!(q.target, Expr::Binary(BinaryOp::Ge, _, _)));
+    }
+
+    #[test]
+    fn parses_negative_bounds_and_unary_minus() {
+        let q = parse_query("select -t[-10:-1, 0:4] from c as t").unwrap();
+        match q.target {
+            Expr::Unary(UnaryOp::Neg, inner) => match *inner {
+                Expr::Select(_, FrameSpec::Single(BoxSel(sels))) => {
+                    assert_eq!(sels[0], RangeSel::Range(Some(-10), Some(-1)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_functions() {
+        assert!(matches!(
+            parse_expr("sqrt(x)").unwrap(),
+            Expr::Unary(UnaryOp::Sqrt, _)
+        ));
+        assert!(matches!(
+            parse_expr("double(x)").unwrap(),
+            Expr::Unary(UnaryOp::Cast(CellType::F64), _)
+        ));
+        assert!(parse_expr("frobnicate(x)").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse_query("select from c").is_err());
+        assert!(parse_query("select t[0:9 from c as t").is_err());
+        assert!(parse_query("select t[*] from c as t").is_err());
+        assert!(parse_query("select 1 + 2 from c as t").is_err()); // no var
+        assert!(parse_query("select t[0:1] from c as t garbage").is_err());
+    }
+
+    #[test]
+    fn chained_selections_parse() {
+        // slice then trim on the result
+        let e = parse_expr("t[*:*, 3][0:4]").unwrap();
+        match e {
+            Expr::Select(inner, _) => assert!(matches!(*inner, Expr::Select(_, _))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod where_tests {
+    use super::*;
+    use crate::ql::ast::OidFilter;
+
+    #[test]
+    fn parses_oid_equality() {
+        let q = parse_query("select t[0:1,0:1] from c as t where oid(t) = 7").unwrap();
+        assert_eq!(q.filter, Some(OidFilter::Eq(7)));
+    }
+
+    #[test]
+    fn parses_oid_in_list() {
+        let q =
+            parse_query("select t[0:1,0:1] from c as t where oid(t) in (1, 2, 9)").unwrap();
+        assert_eq!(q.filter, Some(OidFilter::In(vec![1, 2, 9])));
+    }
+
+    #[test]
+    fn filter_accepts_logic() {
+        assert!(OidFilter::Eq(3).accepts(3));
+        assert!(!OidFilter::Eq(3).accepts(4));
+        assert!(OidFilter::In(vec![1, 5]).accepts(5));
+        assert!(!OidFilter::In(vec![1, 5]).accepts(2));
+    }
+
+    #[test]
+    fn rejects_bad_where_clauses() {
+        assert!(parse_query("select t[0:1,0:1] from c as t where oid(x) = 7").is_err());
+        assert!(parse_query("select t[0:1,0:1] from c as t where oid(t)").is_err());
+        assert!(parse_query("select t[0:1,0:1] from c as t where oid(t) in ()").is_err());
+        assert!(parse_query("select t[0:1,0:1] from c as t where oid(t) = -1").is_err());
+    }
+}

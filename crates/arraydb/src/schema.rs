@@ -1,0 +1,101 @@
+//! Logical schema: collections of MDD objects (paper §2.6.2).
+//!
+//! A *collection* is a named set of multidimensional objects sharing a cell
+//! type and dimensionality; each *object* (MDD) has a spatial domain and a
+//! set of tiles.
+
+use heaven_array::{CellType, Minterval, ObjectId, TileId, Tiling};
+
+/// Identifier of a collection.
+pub type CollectionId = u64;
+
+/// Metadata of a collection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Collection {
+    /// Id of the collection.
+    pub id: CollectionId,
+    /// Collection name (unique).
+    pub name: String,
+    /// Cell type of all member objects.
+    pub cell_type: CellType,
+    /// Dimensionality of all member objects.
+    pub dim: usize,
+    /// Member objects in insertion order.
+    pub objects: Vec<ObjectId>,
+}
+
+/// Metadata of one MDD object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectMeta {
+    /// Object id.
+    pub oid: ObjectId,
+    /// Owning collection.
+    pub collection: CollectionId,
+    /// Spatial domain.
+    pub domain: Minterval,
+    /// Cell type.
+    pub cell_type: CellType,
+    /// The tiling used at insertion.
+    pub tiling: Tiling,
+    /// Tiles: `(domain, tile id)` pairs in creation (grid row-major) order.
+    pub tiles: Vec<(Minterval, TileId)>,
+}
+
+impl ObjectMeta {
+    /// Total cell-payload size of the object in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.domain.cell_count() * self.cell_type.size_bytes() as u64
+    }
+
+    /// Tile ids whose domains intersect `region`.
+    pub fn tiles_intersecting(&self, region: &Minterval) -> Vec<TileId> {
+        self.tiles
+            .iter()
+            .filter(|(d, _)| d.intersects(region))
+            .map(|&(_, id)| id)
+            .collect()
+    }
+
+    /// Domain of a tile of this object.
+    pub fn tile_domain(&self, tile: TileId) -> Option<&Minterval> {
+        self.tiles
+            .iter()
+            .find(|&&(_, id)| id == tile)
+            .map(|(d, _)| d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_meta_queries() {
+        let domain = Minterval::new(&[(0, 19), (0, 19)]).unwrap();
+        let tiling = Tiling::Regular {
+            tile_shape: vec![10, 10],
+        };
+        let tiles: Vec<(Minterval, TileId)> = tiling
+            .tile_domains(&domain, CellType::F32)
+            .unwrap()
+            .into_iter()
+            .zip(100..)
+            .collect();
+        let meta = ObjectMeta {
+            oid: 7,
+            collection: 1,
+            domain: domain.clone(),
+            cell_type: CellType::F32,
+            tiling,
+            tiles,
+        };
+        assert_eq!(meta.size_bytes(), 400 * 4);
+        let q = Minterval::new(&[(5, 14), (0, 4)]).unwrap();
+        assert_eq!(meta.tiles_intersecting(&q), vec![100, 102]);
+        assert_eq!(
+            meta.tile_domain(102),
+            Some(&Minterval::new(&[(10, 19), (0, 9)]).unwrap())
+        );
+        assert_eq!(meta.tile_domain(999), None);
+    }
+}

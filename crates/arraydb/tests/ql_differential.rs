@@ -1,0 +1,163 @@
+//! Differential testing of the query language: results of RasQL queries
+//! must equal direct array-algebra computation on the source array,
+//! regardless of tiling.
+
+use heaven_array::{
+    induced_scalar, slice, trim, BinaryOp, CellType, Condenser, MDArray, Minterval,
+    Point, Tiling,
+};
+use heaven_arraydb::{run, ArrayDb};
+use proptest::prelude::*;
+
+/// Build a DB holding one deterministic 2-D object with the given tiling
+/// edges, returning the source array for direct comparison.
+fn setup(extent: i64, te0: u64, te1: u64, seed: i64) -> (ArrayDb, MDArray) {
+    let mut adb = ArrayDb::for_tests();
+    adb.create_collection("c", CellType::F64, 2).unwrap();
+    let dom = Minterval::new(&[(0, extent - 1), (0, extent - 1)]).unwrap();
+    let arr = MDArray::generate(dom, CellType::F64, |p: &Point| {
+        ((seed + p.coord(0) * 31 + p.coord(1) * 7) % 1000) as f64
+    });
+    adb.insert_object(
+        "c",
+        &arr,
+        Tiling::Regular {
+            tile_shape: vec![te0, te1],
+        },
+    )
+    .unwrap();
+    (adb, arr)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn trim_query_equals_direct_trim(
+        extent in 8i64..24,
+        te0 in 1u64..9,
+        te1 in 1u64..9,
+        seed in 0i64..100,
+        fx in 0.0f64..1.0,
+        fy in 0.0f64..1.0,
+        fw in 0.0f64..1.0,
+        fh in 0.0f64..1.0,
+    ) {
+        let (mut adb, arr) = setup(extent, te0, te1, seed);
+        let lo0 = (fx * (extent - 1) as f64) as i64;
+        let lo1 = (fy * (extent - 1) as f64) as i64;
+        let hi0 = lo0 + (fw * (extent - 1 - lo0) as f64) as i64;
+        let hi1 = lo1 + (fh * (extent - 1 - lo1) as f64) as i64;
+        let q = format!("select c[{lo0}:{hi0}, {lo1}:{hi1}] from c");
+        let rs = run(&mut adb, &q).unwrap();
+        let got = rs[0].value.as_array().unwrap();
+        let region = Minterval::new(&[(lo0, hi0), (lo1, hi1)]).unwrap();
+        let expect = trim(&arr, &region).unwrap();
+        prop_assert_eq!(got, &expect);
+    }
+
+    #[test]
+    fn slice_query_equals_direct_slice(
+        extent in 8i64..24,
+        te0 in 1u64..9,
+        te1 in 1u64..9,
+        seed in 0i64..100,
+        frac in 0.0f64..1.0,
+    ) {
+        let (mut adb, arr) = setup(extent, te0, te1, seed);
+        let pos = (frac * (extent - 1) as f64) as i64;
+        let rs = run(&mut adb, &format!("select c[{pos}, *:*] from c")).unwrap();
+        let got = rs[0].value.as_array().unwrap();
+        let expect = slice(&arr, 0, pos).unwrap();
+        prop_assert_eq!(got, &expect);
+    }
+
+    #[test]
+    fn condenser_query_equals_direct_condense(
+        extent in 8i64..20,
+        te0 in 1u64..9,
+        te1 in 1u64..9,
+        seed in 0i64..100,
+        op_idx in 0usize..5,
+    ) {
+        let (mut adb, arr) = setup(extent, te0, te1, seed);
+        let ops = [
+            Condenser::Sum,
+            Condenser::Avg,
+            Condenser::Min,
+            Condenser::Max,
+            Condenser::CountNonZero,
+        ];
+        let op = ops[op_idx];
+        let rs = run(&mut adb, &format!("select {}(c[*:*, *:*]) from c", op.name())).unwrap();
+        let got = rs[0].value.as_scalar().unwrap();
+        let expect = op.eval(&arr).unwrap();
+        prop_assert!((got - expect).abs() < 1e-9, "{op:?}: {got} vs {expect}");
+    }
+
+    #[test]
+    fn arithmetic_query_equals_direct_ops(
+        extent in 8i64..16,
+        te in 1u64..9,
+        seed in 0i64..100,
+        k in 1i64..50,
+    ) {
+        let (mut adb, arr) = setup(extent, te, te, seed);
+        let rs = run(&mut adb, &format!("select c * 2 + {k} from c")).unwrap();
+        let got = rs[0].value.as_array().unwrap();
+        let expect = induced_scalar(
+            &induced_scalar(&arr, 2.0, BinaryOp::Mul).unwrap(),
+            k as f64,
+            BinaryOp::Add,
+        )
+        .unwrap();
+        prop_assert_eq!(got, &expect);
+    }
+
+    #[test]
+    fn union_frame_query_equals_patchwork(
+        extent in 10i64..20,
+        te in 1u64..9,
+        seed in 0i64..100,
+        split in 0.2f64..0.8,
+    ) {
+        let (mut adb, arr) = setup(extent, te, te, seed);
+        let m = (split * (extent - 1) as f64) as i64;
+        // two horizontal bands
+        let q = format!("select c[0:{m},0:{e} | {n}:{e},0:{e}] from c",
+            e = extent - 1, n = (m + 2).min(extent - 1));
+        let rs = run(&mut adb, &q).unwrap();
+        let got = rs[0].value.as_array().unwrap();
+        // direct: zeros + patch both bands
+        let mut expect = MDArray::zeros(
+            Minterval::new(&[(0, extent - 1), (0, extent - 1)]).unwrap(),
+            CellType::F64,
+        );
+        let b1 = Minterval::new(&[(0, m), (0, extent - 1)]).unwrap();
+        let b2 =
+            Minterval::new(&[((m + 2).min(extent - 1), extent - 1), (0, extent - 1)])
+                .unwrap();
+        expect.patch(&trim(&arr, &b1).unwrap()).unwrap();
+        expect.patch(&trim(&arr, &b2).unwrap()).unwrap();
+        prop_assert_eq!(got, &expect);
+    }
+
+    #[test]
+    fn mask_count_equals_direct_threshold(
+        extent in 8i64..16,
+        te in 1u64..9,
+        seed in 0i64..100,
+        threshold in 0i64..1000,
+    ) {
+        let (mut adb, arr) = setup(extent, te, te, seed);
+        let rs = run(
+            &mut adb,
+            &format!("select count_cells(c >= {threshold}) from c"),
+        )
+        .unwrap();
+        let got = rs[0].value.as_scalar().unwrap();
+        let mask = induced_scalar(&arr, threshold as f64, BinaryOp::Ge).unwrap();
+        let expect = Condenser::CountNonZero.eval(&mask).unwrap();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,78 @@
+//! Microbenchmarks of the array substrate: tiling, linearization orders,
+//! trims and condensers. These are the CPU-side hot paths of export and
+//! retrieval (the device costs are simulated and excluded here).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use heaven_array::{
+    trim, CellType, Condenser, LinearOrder, MDArray, Minterval, Tiling,
+};
+
+fn mi(b: &[(i64, i64)]) -> Minterval {
+    Minterval::new(b).unwrap()
+}
+
+fn bench_tiling(c: &mut Criterion) {
+    let dom = mi(&[(0, 1023), (0, 1023), (0, 1023)]);
+    let tiling = Tiling::Regular {
+        tile_shape: vec![64, 64, 64],
+    };
+    c.bench_function("tiling/tile_domains 4096 tiles", |b| {
+        b.iter(|| {
+            let d = tiling
+                .tile_domains(black_box(&dom), CellType::F32)
+                .unwrap();
+            black_box(d.len())
+        })
+    });
+}
+
+fn bench_orders(c: &mut Criterion) {
+    let shape = [16u64, 16, 16];
+    let coords: Vec<Vec<u64>> = {
+        let grid = Minterval::with_shape(&shape).unwrap();
+        grid.iter_points()
+            .map(|p| p.0.iter().map(|&c| c as u64).collect())
+            .collect()
+    };
+    for order in [
+        LinearOrder::RowMajor,
+        LinearOrder::ZOrder,
+        LinearOrder::Hilbert,
+    ] {
+        c.bench_function(&format!("order/sort 4096 cells {order:?}"), |b| {
+            b.iter(|| black_box(order.sort_indices(&coords, &shape)))
+        });
+    }
+}
+
+fn bench_trim_and_condense(c: &mut Criterion) {
+    let arr = MDArray::generate(mi(&[(0, 127), (0, 127), (0, 15)]), CellType::F32, |p| {
+        (p.coord(0) + p.coord(1) + p.coord(2)) as f64
+    });
+    c.bench_function("ops/trim 64x64x8 of 128x128x16", |b| {
+        b.iter(|| black_box(trim(&arr, &mi(&[(32, 95), (32, 95), (4, 11)])).unwrap()))
+    });
+    c.bench_function("ops/avg_cells 128x128x16", |b| {
+        b.iter(|| black_box(Condenser::Avg.eval(&arr).unwrap()))
+    });
+}
+
+fn bench_patch(c: &mut Criterion) {
+    let src = MDArray::generate(mi(&[(0, 63), (0, 63)]), CellType::F64, |_| 1.0);
+    c.bench_function("ops/patch 64x64 into 256x256", |b| {
+        b.iter(|| {
+            let mut dst = MDArray::zeros(mi(&[(0, 255), (0, 255)]), CellType::F64);
+            dst.patch(black_box(&src)).unwrap();
+            black_box(dst.size_bytes())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tiling,
+    bench_orders,
+    bench_trim_and_condense,
+    bench_patch
+);
+criterion_main!(benches);

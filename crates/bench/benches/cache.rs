@@ -1,0 +1,55 @@
+//! Benchmarks of the cache hierarchy: super-tile cache under each eviction
+//! policy, and the memory tile cache.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use heaven_array::{CellType, MDArray, Minterval, Tile};
+use heaven_core::{EvictionPolicy, SuperTileCache, TileCache};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_st_cache(c: &mut Criterion) {
+    for policy in EvictionPolicy::all() {
+        c.bench_function(&format!("st_cache/{} mixed ops", policy.name()), |b| {
+            b.iter(|| {
+                let mut cache = SuperTileCache::new(100 << 20, policy, None);
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut hits = 0u32;
+                for i in 0..2000u64 {
+                    let st = rng.gen_range(0..200);
+                    if cache.get(st).is_some() {
+                        hits += 1;
+                    } else {
+                        cache.put_phantom(st, 1 << 20, (i % 90) as f64);
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
+}
+
+fn bench_tile_cache(c: &mut Criterion) {
+    let dom = Minterval::new(&[(0, 31), (0, 31)]).unwrap();
+    let tiles: Vec<Tile> = (0..256u64)
+        .map(|i| Tile::new(i, 1, MDArray::zeros(dom.clone(), CellType::F32)))
+        .collect();
+    c.bench_function("tile_cache/lru mixed ops", |b| {
+        b.iter(|| {
+            let mut cache = TileCache::new(128 * 4096);
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut hits = 0u32;
+            for _ in 0..2000 {
+                let id = rng.gen_range(0..256u64);
+                if cache.get(id).is_some() {
+                    hits += 1;
+                } else {
+                    cache.put(tiles[id as usize].clone());
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+criterion_group!(benches, bench_st_cache, bench_tile_cache);
+criterion_main!(benches);

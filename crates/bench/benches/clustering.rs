@@ -1,0 +1,61 @@
+//! Benchmarks of super-tile formation: STAR and eSTAR over realistic tile
+//! counts (an 8 GB object has ~1k tiles; a 256 GB object ~32k).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use heaven_array::{CellType, LinearOrder, Minterval, Tiling};
+use heaven_core::{estar_partition, star_partition, AccessPattern, TileInfo};
+
+fn tile_set(edge: u64) -> (Vec<TileInfo>, Vec<u64>) {
+    let hi = (edge * 64 - 1) as i64;
+    let dom = Minterval::new(&[(0, hi), (0, hi), (0, hi)]).unwrap();
+    let tiling = Tiling::Regular {
+        tile_shape: vec![64, 64, 64],
+    };
+    let domains = tiling.tile_domains(&dom, CellType::F32).unwrap();
+    let (grid, shape) = tiling.tile_grid(&dom, CellType::F32).unwrap();
+    let tiles = domains
+        .into_iter()
+        .zip(grid)
+        .enumerate()
+        .map(|(i, (domain, gc))| TileInfo {
+            id: i as u64,
+            domain,
+            bytes: 1 << 20,
+            grid: gc,
+        })
+        .collect();
+    (tiles, shape)
+}
+
+fn bench_star(c: &mut Criterion) {
+    for edge in [8u64, 16, 32] {
+        let (tiles, shape) = tile_set(edge);
+        let n = tiles.len();
+        c.bench_function(&format!("star/hilbert {n} tiles"), |b| {
+            b.iter(|| {
+                black_box(star_partition(
+                    &tiles,
+                    &shape,
+                    64 << 20,
+                    LinearOrder::Hilbert,
+                ))
+            })
+        });
+    }
+}
+
+fn bench_estar(c: &mut Criterion) {
+    let (tiles, shape) = tile_set(16);
+    for pattern in [
+        AccessPattern::Uniform,
+        AccessPattern::Directional { axis: 2 },
+        AccessPattern::SliceDominant { axis: 0 },
+    ] {
+        c.bench_function(&format!("estar/{pattern:?} 4096 tiles"), |b| {
+            b.iter(|| black_box(estar_partition(&tiles, &shape, 64 << 20, pattern)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_star, bench_estar);
+criterion_main!(benches);

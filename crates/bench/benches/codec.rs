@@ -1,0 +1,45 @@
+//! Benchmarks of the tile and super-tile binary codecs — the CPU work the
+//! decoupled TCT thread performs during export.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use heaven_array::{CellType, MDArray, Minterval, Tile};
+use heaven_core::{decode_member, encode_supertile};
+
+fn make_tiles(n: usize, edge: i64) -> Vec<Tile> {
+    (0..n)
+        .map(|i| {
+            let lo = i as i64 * edge;
+            let dom = Minterval::new(&[(lo, lo + edge - 1), (0, edge - 1)]).unwrap();
+            Tile::new(
+                i as u64,
+                1,
+                MDArray::generate(dom, CellType::F32, |p| (p.coord(0) ^ p.coord(1)) as f64),
+            )
+        })
+        .collect()
+}
+
+fn bench_tile_codec(c: &mut Criterion) {
+    let tiles = make_tiles(1, 256); // one 256 KB tile
+    let enc = tiles[0].encode();
+    c.bench_function("codec/tile encode 256KB", |b| {
+        b.iter(|| black_box(tiles[0].encode()))
+    });
+    c.bench_function("codec/tile decode 256KB", |b| {
+        b.iter(|| black_box(Tile::decode(&enc).unwrap()))
+    });
+}
+
+fn bench_supertile_codec(c: &mut Criterion) {
+    let tiles = make_tiles(32, 128); // 32 x 64 KB = 2 MB super-tile
+    c.bench_function("codec/supertile encode 32 tiles", |b| {
+        b.iter(|| black_box(encode_supertile(1, 1, &tiles)))
+    });
+    let (payload, meta) = encode_supertile(1, 1, &tiles);
+    c.bench_function("codec/supertile decode 1 member", |b| {
+        b.iter(|| black_box(decode_member(&meta, &payload, 17).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_tile_codec, bench_supertile_codec);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Benchmarks of the query language: lexing/parsing and end-to-end
+//! execution against an in-memory array database.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use heaven_array::{CellType, MDArray, Minterval, Tiling};
+use heaven_arraydb::ql::{parse_query, run};
+use heaven_arraydb::ArrayDb;
+
+fn bench_parse(c: &mut Criterion) {
+    let queries = [
+        "select t[0:99, 10:19] from temps as t",
+        "select avg_cells(t[0:99,0:99] * 2 + 1) from temps as t",
+        r"select add_cells(t[0:99,0:99 \ 10:89,10:89]) from temps as t",
+        "select count_cells(t[0:9,0:9 | 20:29,0:9 | 40:49,0:9] >= 273) from temps as t",
+    ];
+    c.bench_function("ql/parse 4 queries", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(parse_query(q).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let mut adb = ArrayDb::for_tests();
+    adb.create_collection("temps", CellType::F32, 2).unwrap();
+    let dom = Minterval::new(&[(0, 255), (0, 255)]).unwrap();
+    let arr = MDArray::generate(dom, CellType::F32, |p| {
+        (p.coord(0) * 256 + p.coord(1)) as f64
+    });
+    adb.insert_object(
+        "temps",
+        &arr,
+        Tiling::Regular {
+            tile_shape: vec![64, 64],
+        },
+    )
+    .unwrap();
+    c.bench_function("ql/execute trim 64x64", |b| {
+        b.iter(|| {
+            black_box(run(&mut adb, "select t[64:127, 64:127] from temps as t").unwrap())
+        })
+    });
+    c.bench_function("ql/execute condenser over trim", |b| {
+        b.iter(|| {
+            black_box(
+                run(
+                    &mut adb,
+                    "select avg_cells(t[0:127, 0:127]) from temps as t",
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_execute);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! E2 + E3 — Data export (paper §4.3).
+//!
+//! Compares the standard RasDaMan export path (§4.3.1: synchronous,
+//! tile-at-a-time, one tape block per tile) against the decoupled TCT
+//! export (§4.3.2: super-tiles via eSTAR, intra-/inter-super-tile
+//! clustering, DBMS reads overlapping tape writes) over a sweep of object
+//! sizes. Real cell data end-to-end; device: DLT7000.
+
+use heaven_arraydb::ArrayDb;
+use heaven_bench::table::{fmt_bytes, fmt_s};
+use heaven_bench::Table;
+use heaven_core::{
+    AccessPattern, ClusteringStrategy, ExportMode, Heaven, HeavenConfig,
+};
+use heaven_array::{CellType, Minterval, Tiling};
+use heaven_rdbms::Database;
+use heaven_tape::{DeviceProfile, DiskProfile, SimClock, TapeLibrary};
+use heaven_workload::climate_field;
+
+/// Build a Heaven holding one freshly inserted climate object of roughly
+/// `edge^3` f32 cells, tiled into ~`tile_edge^3` tiles.
+fn heaven_with_object(edge: i64, tile_edge: u64, st_bytes: u64) -> (Heaven, u64) {
+    let clock = SimClock::new();
+    // a realistic buffer pool (4 MB) — archive objects do not fit, so
+    // export pays real secondary-storage reads like a production system
+    let db = Database::new(DiskProfile::scsi2003(), clock.clone(), 512);
+    let mut adb = ArrayDb::create(db).expect("db");
+    adb.create_collection("climate", CellType::F32, 3).expect("collection");
+    let dom = Minterval::new(&[(0, edge - 1), (0, edge - 1), (0, edge - 1)]).unwrap();
+    let arr = climate_field(dom, 42);
+    let oid = adb
+        .insert_object(
+            "climate",
+            &arr,
+            Tiling::Regular {
+                tile_shape: vec![tile_edge; 3],
+            },
+        )
+        .expect("insert");
+    let lib = TapeLibrary::new(DeviceProfile::dlt7000(), 1, clock);
+    let config = HeavenConfig {
+        supertile_bytes: Some(st_bytes),
+        clustering: ClusteringStrategy::EStar(AccessPattern::Uniform),
+        ..HeavenConfig::default()
+    };
+    (Heaven::new(adb, lib, config), oid)
+}
+
+fn main() {
+    // Object edge sweep: 64^3..192^3 f32 = 1 MB .. 27 MB real data.
+    // Tile 32^3 = 128 KB; super-tile = 8 tiles = 1 MB.
+    // (Scaled 1:64 from the paper's 8 MB tiles / 256 MB super-tiles; the
+    // tile:super-tile:object ratios are preserved.)
+    let mut t = Table::new(
+        "E2/E3: export time, RasDaMan tile-at-a-time vs decoupled TCT (DLT7000)",
+        &[
+            "object",
+            "tiles",
+            "super-tiles",
+            "naive export",
+            "TCT export",
+            "speedup",
+        ],
+    );
+    for &edge in &[64i64, 96, 128, 160, 192] {
+        let st_bytes = 1 << 20;
+        // Naive run.
+        let (mut h1, oid1) = heaven_with_object(edge, 32, st_bytes);
+        let naive = h1.export_object(oid1, ExportMode::Naive).expect("naive export");
+        // TCT run (fresh system; identical data).
+        let (mut h2, oid2) = heaven_with_object(edge, 32, st_bytes);
+        let tct = h2.export_object(oid2, ExportMode::Tct).expect("tct export");
+        t.row(&[
+            fmt_bytes(naive.bytes),
+            format!("{}", naive.supertiles),
+            format!("{}", tct.supertiles),
+            fmt_s(naive.elapsed_s),
+            fmt_s(tct.pipelined_s),
+            format!("{:.1}x", naive.elapsed_s / tct.pipelined_s),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nShape check (paper §4.3): the decoupled, clustered TCT export is a\n\
+         multiple faster than tile-at-a-time export; the gap grows with the\n\
+         number of tiles (per-block tape sync dominates the naive path).\n"
+    );
+}

@@ -1,0 +1,104 @@
+//! E10 — Precomputed operation results (paper §3.9).
+//!
+//! Condenser queries (averages, sums) over archived objects, three ways:
+//! cold (stage super-tiles, aggregate), warm exact-match (the same query
+//! repeated), and combined-from-partials (per-tile aggregates recorded at
+//! export time answer whole-tile-aligned regions without touching tape).
+//! Real data end-to-end.
+
+use heaven_arraydb::{run, ArrayDb};
+use heaven_bench::table::fmt_s;
+use heaven_bench::Table;
+use heaven_core::{ExportMode, Heaven, HeavenConfig};
+use heaven_array::{CellType, Condenser, Minterval, Tiling};
+use heaven_rdbms::Database;
+use heaven_tape::{DeviceProfile, DiskProfile, SimClock, TapeLibrary};
+use heaven_workload::climate_field;
+
+fn setup(precompute: bool) -> Heaven {
+    let clock = SimClock::new();
+    let db = Database::new(DiskProfile::scsi2003(), clock.clone(), 8192);
+    let mut adb = ArrayDb::create(db).expect("db");
+    adb.create_collection("climate", CellType::F32, 3).expect("collection");
+    let dom = Minterval::new(&[(0, 95), (0, 95), (0, 95)]).unwrap();
+    let arr = climate_field(dom, 5);
+    let oid = adb
+        .insert_object(
+            "climate",
+            &arr,
+            Tiling::Regular {
+                tile_shape: vec![32, 32, 32],
+            },
+        )
+        .expect("insert");
+    let lib = TapeLibrary::new(DeviceProfile::dlt7000(), 1, clock);
+    let config = HeavenConfig {
+        supertile_bytes: Some(1 << 20),
+        precompute: if precompute {
+            vec![Condenser::Avg, Condenser::Sum, Condenser::Max]
+        } else {
+            vec![]
+        },
+        ..HeavenConfig::default()
+    };
+    let mut heaven = Heaven::new(adb, lib, config);
+    heaven.export_object(oid, ExportMode::Tct).expect("export");
+    heaven.clear_caches();
+    // Model an idle shared archive: another user's medium sits in the
+    // drive, so a cold query pays the full exchange + locate.
+    heaven.occupy_drives().expect("scratch mount");
+    heaven
+}
+
+fn timed_query(heaven: &mut Heaven, q: &str) -> (f64, f64) {
+    let clock = heaven.clock();
+    let t0 = clock.now_s();
+    let rs = run(heaven, q).expect("query");
+    let v = rs[0].value.as_scalar().expect("scalar");
+    (clock.now_s() - t0, v)
+}
+
+fn main() {
+    let queries = [
+        ("avg, whole object", "select avg_cells(c[0:95,0:95,0:95]) from climate as c"),
+        ("max, tile-aligned half", "select max_cells(c[0:95,0:95,0:31]) from climate as c"),
+        ("sum, tile-aligned block", "select add_cells(c[0:31,0:63,0:63]) from climate as c"),
+    ];
+    let mut t = Table::new(
+        "E10: condenser queries over an archived object (real data, DLT7000)",
+        &["query", "cold (no catalog)", "catalog (partials)", "repeat (exact)", "gain"],
+    );
+    for (name, q) in &queries {
+        // Cold system without precompute: every query stages from tape.
+        let mut cold = setup(false);
+        let (t_cold, v_cold) = timed_query(&mut cold, q);
+        // System with per-tile partials recorded at export.
+        let mut warm = setup(true);
+        let (t_cat, v_cat) = timed_query(&mut warm, q);
+        assert!(
+            (v_cold - v_cat).abs() < 1e-3 * v_cold.abs().max(1.0),
+            "{name}: {v_cold} vs {v_cat}"
+        );
+        // Repeat on the cold system: exact-match memo recorded by the
+        // first execution.
+        let (t_repeat, _) = timed_query(&mut cold, q);
+        t.row(&[
+            name.to_string(),
+            fmt_s(t_cold),
+            fmt_s(t_cat),
+            fmt_s(t_repeat),
+            if t_cat < 1e-3 {
+                "no tape at all".into()
+            } else {
+                format!("{:.0}x", t_cold / t_cat)
+            },
+        ]);
+    }
+    t.print();
+    println!(
+        "\nShape check (paper §3.9): tile-aligned condensers served from the\n\
+         precomputed catalog avoid tape entirely — queries that pay a full\n\
+         mount + locate + transfer when cold return instantly; repeated\n\
+         queries hit the exact-match memo likewise.\n"
+    );
+}

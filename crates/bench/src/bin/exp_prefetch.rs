@@ -1,0 +1,116 @@
+//! E13 — Prefetching (paper §3.6).
+//!
+//! A sequential analysis sweep (a scientist processing an archived object
+//! slab by slab) under three prefetch policies. Prefetch I/O is
+//! *overlappable background work*: while the scientist analyses slab *n*,
+//! HEAVEN stages the super-tiles of slabs *n+1..n+k* into the disk cache.
+//! Reported: mean **foreground** response per query (total minus
+//! overlapped prefetch time) and the tape traffic split.
+
+use heaven_arraydb::ArrayDb;
+use heaven_bench::table::{fmt_bytes, fmt_s};
+use heaven_bench::Table;
+use heaven_core::{
+    AccessPattern, ClusteringStrategy, ExportMode, Heaven, HeavenConfig, PrefetchPolicy,
+};
+use heaven_array::{CellType, Minterval, Tiling};
+use heaven_rdbms::Database;
+use heaven_tape::{DeviceProfile, DiskProfile, SimClock, TapeLibrary};
+use heaven_workload::climate_field;
+
+fn build(policy: PrefetchPolicy) -> (Heaven, u64) {
+    let clock = SimClock::new();
+    let db = Database::new(DiskProfile::scsi2003(), clock.clone(), 2048);
+    let mut adb = ArrayDb::create(db).expect("db");
+    adb.create_collection("era", CellType::F32, 3).expect("collection");
+    // 96 months x 48 x 48
+    let dom = Minterval::new(&[(0, 95), (0, 47), (0, 47)]).unwrap();
+    let arr = climate_field(dom, 17);
+    let oid = adb
+        .insert_object(
+            "era",
+            &arr,
+            Tiling::Regular {
+                tile_shape: vec![8, 24, 24],
+            },
+        )
+        .expect("insert");
+    let lib = TapeLibrary::new(DeviceProfile::dlt7000(), 1, clock);
+    let mut heaven = Heaven::new(
+        adb,
+        lib,
+        HeavenConfig {
+            // one super-tile per time slab: 4 tiles x ~18.6 KB
+            supertile_bytes: Some(80 << 10),
+            clustering: ClusteringStrategy::EStar(AccessPattern::SliceDominant { axis: 0 }),
+            prefetch: policy,
+            ..HeavenConfig::default()
+        },
+    );
+    heaven.export_object(oid, ExportMode::Tct).expect("export");
+    heaven.clear_caches();
+    heaven.occupy_drives().expect("cold drives");
+    (heaven, oid)
+}
+
+fn main() {
+    let mut t = Table::new(
+        "E13: sequential slab sweep with prefetching (DLT7000, 12 slabs)",
+        &[
+            "policy",
+            "foreground/query",
+            "background prefetch",
+            "tape bytes",
+            "vs none",
+        ],
+    );
+    let mut base = 0.0;
+    for (name, policy) in [
+        ("none", PrefetchPolicy::None),
+        ("next-1", PrefetchPolicy::NextInOrder(1)),
+        ("next-3", PrefetchPolicy::NextInOrder(3)),
+    ] {
+        let (mut heaven, oid) = build(policy);
+        let clock = heaven.clock();
+        let mut foreground = 0.0;
+        let queries = 12;
+        for slab in 0..queries {
+            let t0 = clock.now_s();
+            let pf0 = heaven.stats().prefetch_s;
+            let lo = slab * 8;
+            heaven
+                .fetch_region_hierarchical(
+                    oid,
+                    &Minterval::new(&[(lo, lo + 7), (0, 47), (0, 47)]).unwrap(),
+                )
+                .expect("query");
+            let total = clock.now_s() - t0;
+            let prefetch = heaven.stats().prefetch_s - pf0;
+            foreground += total - prefetch;
+            // The library is shared: between two analysis steps another
+            // user's job takes the drive, so the next tape access pays a
+            // full remount. This is the latency prefetching hides — the
+            // prefetched successors already sit in the disk cache.
+            heaven.occupy_drives().expect("interfering user");
+        }
+        let mean_fg = foreground / queries as f64;
+        if policy == PrefetchPolicy::None {
+            base = mean_fg;
+        }
+        t.row(&[
+            name.to_string(),
+            fmt_s(mean_fg),
+            fmt_s(heaven.stats().prefetch_s),
+            fmt_bytes(heaven.tape_stats().bytes_read),
+            format!("{:.1}x", base / mean_fg),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nShape check (paper §3.6): with sequential access and cluster-order\n\
+         prefetching, successor super-tiles are already in the disk cache when\n\
+         the next query arrives — the foreground response collapses to cache\n\
+         reads while the tape streams ahead in the background. Total tape\n\
+         traffic is unchanged (the same super-tiles move either way).\n"
+    );
+}

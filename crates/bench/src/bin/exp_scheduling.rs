@@ -1,0 +1,88 @@
+//! E7 — Query scheduling (paper §3.5.3).
+//!
+//! A batch of queries over many objects spread across many media is
+//! executed (a) in arrival order and (b) after HEAVEN's scheduling
+//! (group by medium, mounted first, ascending offsets). Metrics: media
+//! exchanges and total simulated time, for 1 and 2 drives.
+
+use heaven_array::{CellType, LinearOrder, Minterval};
+use heaven_bench::table::fmt_s;
+use heaven_bench::{PhantomArchive, Table};
+use heaven_core::ClusteringStrategy;
+use heaven_tape::DeviceProfile;
+use heaven_workload::selectivity_queries;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const OBJECTS: usize = 16;
+const BATCH: usize = 32;
+
+fn build(drives: usize) -> PhantomArchive {
+    // 16 x 4 GB objects on IBM3590 (10 GB media): ~2 objects per medium,
+    // 8 media. Tiles 8 MB, super-tiles 256 MB.
+    let domains: Vec<Minterval> = (0..OBJECTS)
+        .map(|_| Minterval::new(&[(0, 1023), (0, 1023), (0, 1023)]).unwrap())
+        .collect();
+    PhantomArchive::build(
+        DeviceProfile::ibm3590(),
+        drives,
+        &domains,
+        CellType::F32,
+        &[128, 128, 128],
+        256 << 20,
+        ClusteringStrategy::Star(LinearOrder::Hilbert),
+    )
+}
+
+fn make_batch(seed: u64) -> Vec<(usize, Minterval)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let domain = Minterval::new(&[(0, 1023), (0, 1023), (0, 1023)]).unwrap();
+    (0..BATCH)
+        .map(|i| {
+            let obj = rng.gen_range(0..OBJECTS);
+            let q = selectivity_queries(&domain, 0.02, 1, seed * 1000 + i as u64)
+                .pop()
+                .expect("one query");
+            (obj, q)
+        })
+        .collect()
+}
+
+fn main() {
+    let mut t = Table::new(
+        "E7: batch of 32 queries over 16 objects / 8 media (IBM3590)",
+        &["drives", "order", "exchanges", "total time", "vs naive"],
+    );
+    for &drives in &[1usize, 2] {
+        let batch = make_batch(5);
+        let mut naive_time = 0.0;
+        for (scheduled, label) in [(false, "arrival"), (true, "scheduled")] {
+            let mut archive = build(drives);
+            let mounts_before = archive.stats().mounts;
+            let (time, _bytes, _sts) = archive.fetch_batch(&batch, scheduled);
+            let exchanges = archive.stats().mounts - mounts_before;
+            if !scheduled {
+                naive_time = time;
+            }
+            t.row(&[
+                format!("{drives}"),
+                label.to_string(),
+                format!("{exchanges}"),
+                fmt_s(time),
+                if scheduled {
+                    format!("{:.1}x faster", naive_time / time)
+                } else {
+                    "-".into()
+                },
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nShape check (paper §3.5.3): scheduling collapses the media\n\
+         exchanges of an interleaved batch to ~one mount per medium and\n\
+         shortens intra-medium seeks (ascending offsets), a multiple in\n\
+         total time; a second drive helps both but the scheduled order\n\
+         stays ahead.\n"
+    );
+}

@@ -1,0 +1,103 @@
+//! E11 — STAR vs eSTAR clustering quality (paper §3.3.2–3.3.3).
+//!
+//! For a 3-D object and three access patterns (cubic, directional along
+//! the time axis, slice-dominant), measures the mean number of super-tiles
+//! and bytes a query touches under (a) STAR with row-major order, (b) STAR
+//! with Hilbert order, and (c) eSTAR tuned to the pattern. Pure placement
+//! geometry — the metric that drives tape time.
+
+use heaven_array::{CellType, LinearOrder, Minterval, Tile, Tiling};
+use heaven_bench::table::fmt_bytes;
+use heaven_bench::Table;
+use heaven_core::{
+    bytes_touched, estar_partition, groups_touched, star_partition, AccessPattern,
+    TileInfo,
+};
+use heaven_workload::{directional_queries, selectivity_queries, slice_queries};
+
+fn build_tiles(domain: &Minterval) -> (Vec<TileInfo>, Vec<u64>) {
+    let tiling = Tiling::Regular {
+        tile_shape: vec![64, 64, 64], // 1 MB f32 tiles
+    };
+    let domains = tiling.tile_domains(domain, CellType::F32).unwrap();
+    let (grid, shape) = tiling.tile_grid(domain, CellType::F32).unwrap();
+    let tiles = domains
+        .into_iter()
+        .zip(grid)
+        .enumerate()
+        .map(|(i, (d, gc))| TileInfo {
+            id: i as u64,
+            domain: d.clone(),
+            bytes: Tile::header_len(3) as u64 + d.cell_count() * 4,
+            grid: gc,
+        })
+        .collect();
+    (tiles, shape)
+}
+
+fn main() {
+    // 4 GB object: 1024^3 f32.
+    let domain = Minterval::new(&[(0, 1023), (0, 1023), (0, 1023)]).unwrap();
+    let (tiles, shape) = build_tiles(&domain);
+    let target = 64 << 20; // 64 MB super-tiles = 64 tiles
+
+    let workloads: Vec<(&str, Vec<Minterval>, AccessPattern)> = vec![
+        (
+            "cubic 2%",
+            selectivity_queries(&domain, 0.02, 12, 31),
+            AccessPattern::Uniform,
+        ),
+        (
+            "directional (runs along axis 0)",
+            directional_queries(&domain, 0, 0.02, 12, 32),
+            AccessPattern::Directional { axis: 0 },
+        ),
+        (
+            "slices (fix axis 2)",
+            slice_queries(&domain, 2, 12, 33),
+            AccessPattern::SliceDominant { axis: 2 },
+        ),
+    ];
+
+    let mut t = Table::new(
+        "E11: super-tiles touched per query, STAR orders vs pattern-aware eSTAR\n\
+         (4 GB object, 1 MB tiles, 64 MB super-tiles)",
+        &["workload", "strategy", "mean STs/query", "mean bytes/query"],
+    );
+    for (wname, queries, pattern) in &workloads {
+        let strategies: Vec<(String, Vec<Vec<usize>>)> = vec![
+            (
+                "STAR row-major".into(),
+                star_partition(&tiles, &shape, target, LinearOrder::RowMajor),
+            ),
+            (
+                "STAR Hilbert".into(),
+                star_partition(&tiles, &shape, target, LinearOrder::Hilbert),
+            ),
+            (
+                format!("eSTAR ({pattern:?})"),
+                estar_partition(&tiles, &shape, target, *pattern),
+            ),
+        ];
+        for (sname, partition) in strategies {
+            let mut sts = 0usize;
+            let mut bytes = 0u64;
+            for q in queries {
+                sts += groups_touched(&tiles, &partition, q);
+                bytes += bytes_touched(&tiles, &partition, q);
+            }
+            t.row(&[
+                wname.to_string(),
+                sname,
+                format!("{:.1}", sts as f64 / queries.len() as f64),
+                fmt_bytes(bytes / queries.len() as u64),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nShape check (paper §3.3): Hilbert STAR beats row-major on cubic\n\
+         queries; pattern-aware eSTAR wins its own workload class (often by a\n\
+         multiple), because super-tiles are shaped like the queries.\n"
+    );
+}

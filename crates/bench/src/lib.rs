@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+//! # heaven-bench — the experiment harness
+//!
+//! One binary per table/figure of the evaluation (Chapter 4 plus the
+//! technique-specific measurements of Chapter 3); see DESIGN.md §3 for the
+//! experiment index and EXPERIMENTS.md for recorded results.
+//!
+//! Two experiment scales are used:
+//!
+//! * **real-data scale** — full `Heaven` systems with actual cell data
+//!   (megabytes), exercising every code path end-to-end;
+//! * **paper scale** — [`PhantomArchive`]: objects of hundreds of
+//!   gigabytes whose *geometry* (tile grids, super-tile partitions, media
+//!   placement) is exact but whose payloads are phantom, so the simulated
+//!   access times match the paper's data volumes without host memory.
+
+pub mod phantom;
+pub mod table;
+
+pub use phantom::{PhantomArchive, PhantomObject};
+pub use table::Table;

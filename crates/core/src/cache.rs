@@ -1,0 +1,478 @@
+//! The HEAVEN caching hierarchy (paper §3.7).
+//!
+//! Three levels: main-memory **tile cache** (decoded tiles, free access) →
+//! secondary-storage **super-tile cache** (raw payloads, disk-cost access)
+//! → tertiary storage. The super-tile cache supports pluggable eviction
+//! strategies (§3.7.3): LRU, LFU, FIFO and a cost-aware policy weighting
+//! the tertiary refetch cost per byte — a super-tile that is expensive to
+//! re-fetch (deep on a rarely mounted medium) is kept longer.
+
+use crate::supertile::SuperTileId;
+use heaven_array::{Tile, TileId};
+use heaven_tape::{DiskProfile, SimClock};
+use std::collections::HashMap;
+
+/// Eviction strategy of the super-tile cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Least recently used.
+    Lru,
+    /// Least frequently used (ties broken by recency).
+    Lfu,
+    /// First in, first out.
+    Fifo,
+    /// Smallest (refetch cost × frequency / size) first.
+    CostAware,
+}
+
+impl EvictionPolicy {
+    /// All policies (for the eviction-strategy experiment, E8).
+    pub fn all() -> [EvictionPolicy; 4] {
+        [
+            EvictionPolicy::Lru,
+            EvictionPolicy::Lfu,
+            EvictionPolicy::Fifo,
+            EvictionPolicy::CostAware,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictionPolicy::Lru => "LRU",
+            EvictionPolicy::Lfu => "LFU",
+            EvictionPolicy::Fifo => "FIFO",
+            EvictionPolicy::CostAware => "COST",
+        }
+    }
+}
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted.
+    pub evictions: u64,
+    /// Bytes served from the cache.
+    pub bytes_served: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]` (0 when no lookups).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct StEntry {
+    payload: Vec<u8>,
+    /// Accounted size in bytes (equals `payload.len()` for real entries;
+    /// may exceed it for phantom entries used by paper-scale experiments).
+    size: u64,
+    last_access: u64,
+    access_count: u64,
+    insert_seq: u64,
+    /// Estimated seconds to refetch from tertiary storage.
+    refetch_cost_s: f64,
+}
+
+/// The disk-resident super-tile cache.
+#[derive(Debug)]
+pub struct SuperTileCache {
+    capacity: u64,
+    used: u64,
+    policy: EvictionPolicy,
+    entries: HashMap<SuperTileId, StEntry>,
+    counter: u64,
+    stats: CacheStats,
+    disk: Option<(DiskProfile, SimClock)>,
+}
+
+impl SuperTileCache {
+    /// Create a cache of `capacity` bytes. When `disk` is given, hits and
+    /// stores charge disk I/O costs to the clock (the cache lives on
+    /// secondary storage).
+    pub fn new(
+        capacity: u64,
+        policy: EvictionPolicy,
+        disk: Option<(DiskProfile, SimClock)>,
+    ) -> SuperTileCache {
+        SuperTileCache {
+            capacity,
+            used: 0,
+            policy,
+            entries: HashMap::new(),
+            counter: 0,
+            stats: CacheStats::default(),
+            disk,
+        }
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Bytes currently cached.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// The eviction policy.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Whether a super-tile is cached (no stats/cost effect).
+    pub fn contains(&self, st: SuperTileId) -> bool {
+        self.entries.contains_key(&st)
+    }
+
+    fn charge(&self, bytes: u64) {
+        if let Some((profile, clock)) = &self.disk {
+            clock.advance_s(profile.access_time_s(bytes));
+        }
+    }
+
+    /// Look up a super-tile payload.
+    pub fn get(&mut self, st: SuperTileId) -> Option<Vec<u8>> {
+        self.counter += 1;
+        let counter = self.counter;
+        match self.entries.get_mut(&st) {
+            Some(e) => {
+                e.last_access = counter;
+                e.access_count += 1;
+                self.stats.hits += 1;
+                self.stats.bytes_served += e.size;
+                let size = e.size;
+                let payload = e.payload.clone();
+                self.charge(size);
+                Some(payload)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a payload with its estimated tertiary refetch cost; evicts
+    /// per policy until it fits. Payloads larger than the whole cache are
+    /// not admitted.
+    pub fn put(&mut self, st: SuperTileId, payload: Vec<u8>, refetch_cost_s: f64) {
+        let size = payload.len() as u64;
+        self.put_sized(st, payload, size, refetch_cost_s);
+    }
+
+    /// Insert a phantom entry: accounted as `size` bytes without holding
+    /// them (paper-scale experiments). Lookups return an empty payload.
+    pub fn put_phantom(&mut self, st: SuperTileId, size: u64, refetch_cost_s: f64) {
+        self.put_sized(st, Vec::new(), size, refetch_cost_s);
+    }
+
+    fn put_sized(&mut self, st: SuperTileId, payload: Vec<u8>, size: u64, refetch_cost_s: f64) {
+        if size > self.capacity {
+            return;
+        }
+        if let Some(old) = self.entries.remove(&st) {
+            self.used -= old.size;
+        }
+        while self.used + size > self.capacity {
+            match self.pick_victim() {
+                Some(victim) => {
+                    let e = self.entries.remove(&victim).expect("victim exists");
+                    self.used -= e.size;
+                    self.stats.evictions += 1;
+                }
+                None => return,
+            }
+        }
+        self.counter += 1;
+        self.charge(size);
+        self.entries.insert(
+            st,
+            StEntry {
+                payload,
+                size,
+                last_access: self.counter,
+                access_count: 1,
+                insert_seq: self.counter,
+                refetch_cost_s,
+            },
+        );
+        self.used += size;
+    }
+
+    fn pick_victim(&self) -> Option<SuperTileId> {
+        let score = |e: &StEntry| -> f64 {
+            match self.policy {
+                EvictionPolicy::Lru => e.last_access as f64,
+                EvictionPolicy::Lfu => {
+                    e.access_count as f64 * 1e12 + e.last_access as f64
+                }
+                EvictionPolicy::Fifo => e.insert_seq as f64,
+                EvictionPolicy::CostAware => {
+                    // keep entries whose refetch is expensive per byte and
+                    // that are used often; evict the cheapest-to-lose first
+                    e.refetch_cost_s * e.access_count as f64 / (e.size.max(1) as f64)
+                }
+            }
+        };
+        self.entries
+            .iter()
+            .min_by(|(_, a), (_, b)| score(a).partial_cmp(&score(b)).expect("no NaN"))
+            .map(|(&id, _)| id)
+    }
+
+    /// Drop an entry (e.g. after the super-tile was rewritten).
+    pub fn invalidate(&mut self, st: SuperTileId) {
+        if let Some(e) = self.entries.remove(&st) {
+            self.used -= e.size;
+        }
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.used = 0;
+    }
+}
+
+/// The main-memory tile cache: decoded tiles, LRU, no access cost.
+#[derive(Debug)]
+pub struct TileCache {
+    capacity: u64,
+    used: u64,
+    entries: HashMap<TileId, (Tile, u64)>,
+    counter: u64,
+    stats: CacheStats,
+}
+
+impl TileCache {
+    /// Create a tile cache of `capacity` payload bytes.
+    pub fn new(capacity: u64) -> TileCache {
+        TileCache {
+            capacity,
+            used: 0,
+            entries: HashMap::new(),
+            counter: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Look up a tile.
+    pub fn get(&mut self, id: TileId) -> Option<Tile> {
+        self.counter += 1;
+        let c = self.counter;
+        match self.entries.get_mut(&id) {
+            Some((t, last)) => {
+                *last = c;
+                self.stats.hits += 1;
+                self.stats.bytes_served += t.payload_bytes();
+                Some(t.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a tile, evicting LRU entries as needed.
+    pub fn put(&mut self, tile: Tile) {
+        let len = tile.payload_bytes();
+        if len > self.capacity {
+            return;
+        }
+        if let Some((old, _)) = self.entries.remove(&tile.id) {
+            self.used -= old.payload_bytes();
+        }
+        while self.used + len > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, last))| *last)
+                .map(|(&id, _)| id);
+            match victim {
+                Some(v) => {
+                    let (t, _) = self.entries.remove(&v).expect("victim exists");
+                    self.used -= t.payload_bytes();
+                    self.stats.evictions += 1;
+                }
+                None => return,
+            }
+        }
+        self.counter += 1;
+        self.used += len;
+        self.entries.insert(tile.id, (tile, self.counter));
+    }
+
+    /// Drop an entry.
+    pub fn invalidate(&mut self, id: TileId) {
+        if let Some((t, _)) = self.entries.remove(&id) {
+            self.used -= t.payload_bytes();
+        }
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heaven_array::{CellType, MDArray, Minterval};
+
+    fn payload(n: usize, fill: u8) -> Vec<u8> {
+        vec![fill; n]
+    }
+
+    fn cache(cap: u64, policy: EvictionPolicy) -> SuperTileCache {
+        SuperTileCache::new(cap, policy, None)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut c = cache(1000, EvictionPolicy::Lru);
+        c.put(1, payload(100, 0xAA), 30.0);
+        assert_eq!(c.get(1), Some(payload(100, 0xAA)));
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = cache(300, EvictionPolicy::Lru);
+        c.put(1, payload(100, 1), 1.0);
+        c.put(2, payload(100, 2), 1.0);
+        c.put(3, payload(100, 3), 1.0);
+        c.get(1); // 2 is now LRU
+        c.put(4, payload(100, 4), 1.0);
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3) && c.contains(4));
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_insert() {
+        let mut c = cache(300, EvictionPolicy::Fifo);
+        c.put(1, payload(100, 1), 1.0);
+        c.put(2, payload(100, 2), 1.0);
+        c.put(3, payload(100, 3), 1.0);
+        c.get(1); // does not matter for FIFO
+        c.put(4, payload(100, 4), 1.0);
+        assert!(!c.contains(1));
+        assert!(c.contains(2));
+    }
+
+    #[test]
+    fn lfu_keeps_frequent_entries() {
+        let mut c = cache(300, EvictionPolicy::Lfu);
+        c.put(1, payload(100, 1), 1.0);
+        c.put(2, payload(100, 2), 1.0);
+        c.put(3, payload(100, 3), 1.0);
+        c.get(1);
+        c.get(1);
+        c.get(3);
+        c.put(4, payload(100, 4), 1.0); // evicts 2 (count 1)
+        assert!(!c.contains(2));
+        assert!(c.contains(1) && c.contains(3));
+    }
+
+    #[test]
+    fn cost_aware_keeps_expensive_refetches() {
+        let mut c = cache(300, EvictionPolicy::CostAware);
+        c.put(1, payload(100, 1), 120.0); // expensive to refetch
+        c.put(2, payload(100, 2), 1.0); // cheap
+        c.put(3, payload(100, 3), 60.0);
+        c.put(4, payload(100, 4), 60.0); // evicts 2
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+    }
+
+    #[test]
+    fn oversized_entry_not_admitted() {
+        let mut c = cache(100, EvictionPolicy::Lru);
+        c.put(1, payload(200, 1), 1.0);
+        assert!(!c.contains(1));
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let mut c = cache(1000, EvictionPolicy::Lru);
+        c.put(1, payload(100, 1), 1.0);
+        c.put(2, payload(100, 2), 1.0);
+        c.invalidate(1);
+        assert!(!c.contains(1));
+        assert_eq!(c.used(), 100);
+        c.clear();
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn disk_backed_cache_charges_time() {
+        let clock = SimClock::new();
+        let mut c = SuperTileCache::new(
+            1 << 30,
+            EvictionPolicy::Lru,
+            Some((DiskProfile::scsi2003(), clock.clone())),
+        );
+        c.put(1, payload(30 << 20, 0), 10.0);
+        let after_put = clock.now_s();
+        assert!(after_put > 1.0);
+        c.get(1);
+        assert!(clock.now_s() > after_put + 0.9);
+    }
+
+    #[test]
+    fn tile_cache_lru() {
+        let dom = Minterval::new(&[(0, 9)]).unwrap();
+        let mk = |id: TileId| {
+            Tile::new(id, 1, MDArray::zeros(dom.clone(), CellType::F64))
+        };
+        let mut c = TileCache::new(200); // each tile 80 bytes
+        c.put(mk(1));
+        c.put(mk(2));
+        c.get(1);
+        c.put(mk(3)); // evicts 2
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn hit_ratio_math() {
+        let mut c = cache(1000, EvictionPolicy::Lru);
+        assert_eq!(c.stats().hit_ratio(), 0.0);
+        c.put(1, payload(10, 0), 1.0);
+        c.get(1);
+        c.get(1);
+        c.get(9);
+        assert!((c.stats().hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

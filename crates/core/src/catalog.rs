@@ -1,0 +1,284 @@
+//! HEAVEN's tertiary-storage catalog: where every super-tile lives.
+//!
+//! Maps super-tiles to block addresses on media and member tiles to their
+//! super-tiles. This is the metadata HEAVEN adds on top of the DBMS
+//! catalogs so that queries can be routed across the storage hierarchy.
+
+use crate::error::{HeavenError, Result};
+use crate::supertile::{SuperTileId, SuperTileMeta};
+use heaven_array::{Minterval, ObjectId, TileId};
+use heaven_hsm::BlockAddress;
+use std::collections::HashMap;
+
+/// Catalog of exported super-tiles.
+#[derive(Debug, Default)]
+pub struct SuperTileCatalog {
+    supertiles: HashMap<SuperTileId, (SuperTileMeta, BlockAddress)>,
+    tile_to_st: HashMap<TileId, SuperTileId>,
+    by_object: HashMap<ObjectId, Vec<SuperTileId>>,
+    next_id: SuperTileId,
+}
+
+impl SuperTileCatalog {
+    /// Empty catalog.
+    pub fn new() -> SuperTileCatalog {
+        SuperTileCatalog {
+            next_id: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Reserve a fresh super-tile id.
+    pub fn next_id(&mut self) -> SuperTileId {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Ensure future ids are greater than `min` (after a catalog reload).
+    pub fn bump_next_id(&mut self, min: SuperTileId) {
+        if self.next_id <= min {
+            self.next_id = min + 1;
+        }
+    }
+
+    /// Register an exported super-tile.
+    pub fn register(&mut self, meta: SuperTileMeta, addr: BlockAddress) {
+        for m in &meta.members {
+            self.tile_to_st.insert(m.tile, meta.id);
+        }
+        self.by_object.entry(meta.object).or_default().push(meta.id);
+        self.supertiles.insert(meta.id, (meta, addr));
+    }
+
+    /// The super-tile containing a tile.
+    pub fn supertile_of(&self, tile: TileId) -> Result<SuperTileId> {
+        self.tile_to_st
+            .get(&tile)
+            .copied()
+            .ok_or(HeavenError::TileUnlocated(tile))
+    }
+
+    /// Metadata of a super-tile.
+    pub fn meta(&self, st: SuperTileId) -> Result<&SuperTileMeta> {
+        self.supertiles
+            .get(&st)
+            .map(|(m, _)| m)
+            .ok_or(HeavenError::NoSuchSuperTile(st))
+    }
+
+    /// Block address of a super-tile.
+    pub fn address(&self, st: SuperTileId) -> Result<BlockAddress> {
+        self.supertiles
+            .get(&st)
+            .map(|&(_, a)| a)
+            .ok_or(HeavenError::NoSuchSuperTile(st))
+    }
+
+    /// Replace the address of a super-tile (after rewrite/compaction).
+    pub fn relocate(&mut self, st: SuperTileId, addr: BlockAddress) -> Result<()> {
+        match self.supertiles.get_mut(&st) {
+            Some(e) => {
+                e.1 = addr;
+                Ok(())
+            }
+            None => Err(HeavenError::NoSuchSuperTile(st)),
+        }
+    }
+
+    /// Super-tiles of an object, in export (cluster) order.
+    pub fn object_supertiles(&self, oid: ObjectId) -> Vec<SuperTileId> {
+        self.by_object.get(&oid).cloned().unwrap_or_default()
+    }
+
+    /// Whether an object has any exported super-tiles.
+    pub fn is_exported(&self, oid: ObjectId) -> bool {
+        self.by_object
+            .get(&oid)
+            .map(|v| !v.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// Super-tiles of an object touching `region`.
+    pub fn supertiles_touching(&self, oid: ObjectId, region: &Minterval) -> Vec<SuperTileId> {
+        self.object_supertiles(oid)
+            .into_iter()
+            .filter(|st| {
+                self.supertiles
+                    .get(st)
+                    .map(|(m, _)| m.touches(region))
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Drop all catalog entries of an object; returns the freed addresses
+    /// (dead space on media until reclaimed).
+    pub fn remove_object(&mut self, oid: ObjectId) -> Vec<BlockAddress> {
+        let sts = self.by_object.remove(&oid).unwrap_or_default();
+        let mut freed = Vec::with_capacity(sts.len());
+        for st in sts {
+            if let Some((meta, addr)) = self.supertiles.remove(&st) {
+                for m in &meta.members {
+                    self.tile_to_st.remove(&m.tile);
+                }
+                freed.push(addr);
+            }
+        }
+        freed
+    }
+
+    /// Remove a single super-tile (e.g. replaced by an updated version);
+    /// returns its old address.
+    pub fn remove_supertile(&mut self, st: SuperTileId) -> Result<BlockAddress> {
+        let (meta, addr) = self
+            .supertiles
+            .remove(&st)
+            .ok_or(HeavenError::NoSuchSuperTile(st))?;
+        for m in &meta.members {
+            self.tile_to_st.remove(&m.tile);
+        }
+        if let Some(v) = self.by_object.get_mut(&meta.object) {
+            v.retain(|&s| s != st);
+        }
+        Ok(addr)
+    }
+
+    /// Number of registered super-tiles.
+    pub fn len(&self) -> usize {
+        self.supertiles.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.supertiles.is_empty()
+    }
+
+    /// All super-tiles on a medium with their addresses (for compaction).
+    pub fn on_medium(&self, medium: heaven_tape::MediumId) -> Vec<(SuperTileId, BlockAddress)> {
+        let mut v: Vec<(SuperTileId, BlockAddress)> = self
+            .supertiles
+            .iter()
+            .filter(|(_, (_, a))| a.medium == medium)
+            .map(|(&id, &(_, a))| (id, a))
+            .collect();
+        v.sort_by_key(|&(_, a)| a.offset);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supertile::MemberEntry;
+
+    fn mi(b: &[(i64, i64)]) -> Minterval {
+        Minterval::new(b).unwrap()
+    }
+
+    fn meta(id: SuperTileId, oid: ObjectId, tiles: &[(TileId, Minterval)]) -> SuperTileMeta {
+        let mut off = 0;
+        let members = tiles
+            .iter()
+            .map(|(t, d)| {
+                let e = MemberEntry {
+                    tile: *t,
+                    domain: d.clone(),
+                    offset: off,
+                    len: 100,
+                };
+                off += 100;
+                e
+            })
+            .collect();
+        SuperTileMeta {
+            id,
+            object: oid,
+            members,
+            total_len: off,
+        }
+    }
+
+    fn addr(medium: u64, offset: u64) -> BlockAddress {
+        BlockAddress {
+            medium,
+            offset,
+            len: 200,
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = SuperTileCatalog::new();
+        let id = c.next_id();
+        c.register(
+            meta(id, 7, &[(1, mi(&[(0, 9)])), (2, mi(&[(10, 19)]))]),
+            addr(0, 0),
+        );
+        assert_eq!(c.supertile_of(1).unwrap(), id);
+        assert_eq!(c.supertile_of(2).unwrap(), id);
+        assert!(c.supertile_of(3).is_err());
+        assert_eq!(c.address(id).unwrap(), addr(0, 0));
+        assert_eq!(c.object_supertiles(7), vec![id]);
+        assert!(c.is_exported(7));
+        assert!(!c.is_exported(8));
+    }
+
+    #[test]
+    fn touching_filters_by_member_domains() {
+        let mut c = SuperTileCatalog::new();
+        let a = c.next_id();
+        let b = c.next_id();
+        c.register(meta(a, 7, &[(1, mi(&[(0, 9)]))]), addr(0, 0));
+        c.register(meta(b, 7, &[(2, mi(&[(50, 59)]))]), addr(0, 200));
+        assert_eq!(c.supertiles_touching(7, &mi(&[(5, 6)])), vec![a]);
+        assert_eq!(c.supertiles_touching(7, &mi(&[(0, 59)])), vec![a, b]);
+        assert!(c.supertiles_touching(7, &mi(&[(100, 110)])).is_empty());
+    }
+
+    #[test]
+    fn remove_object_frees_addresses() {
+        let mut c = SuperTileCatalog::new();
+        let a = c.next_id();
+        c.register(meta(a, 7, &[(1, mi(&[(0, 9)]))]), addr(3, 500));
+        let freed = c.remove_object(7);
+        assert_eq!(freed, vec![addr(3, 500)]);
+        assert!(c.is_empty());
+        assert!(c.supertile_of(1).is_err());
+    }
+
+    #[test]
+    fn remove_single_supertile() {
+        let mut c = SuperTileCatalog::new();
+        let a = c.next_id();
+        let b = c.next_id();
+        c.register(meta(a, 7, &[(1, mi(&[(0, 9)]))]), addr(0, 0));
+        c.register(meta(b, 7, &[(2, mi(&[(10, 19)]))]), addr(0, 200));
+        let old = c.remove_supertile(a).unwrap();
+        assert_eq!(old, addr(0, 0));
+        assert_eq!(c.object_supertiles(7), vec![b]);
+        assert!(c.remove_supertile(a).is_err());
+    }
+
+    #[test]
+    fn on_medium_sorted_by_offset() {
+        let mut c = SuperTileCatalog::new();
+        let a = c.next_id();
+        let b = c.next_id();
+        let x = c.next_id();
+        c.register(meta(a, 1, &[(1, mi(&[(0, 9)]))]), addr(0, 900));
+        c.register(meta(b, 2, &[(2, mi(&[(0, 9)]))]), addr(0, 100));
+        c.register(meta(x, 3, &[(3, mi(&[(0, 9)]))]), addr(1, 0));
+        let on0 = c.on_medium(0);
+        assert_eq!(on0.iter().map(|&(id, _)| id).collect::<Vec<_>>(), vec![b, a]);
+    }
+
+    #[test]
+    fn relocate_updates_address() {
+        let mut c = SuperTileCatalog::new();
+        let a = c.next_id();
+        c.register(meta(a, 1, &[(1, mi(&[(0, 9)]))]), addr(0, 0));
+        c.relocate(a, addr(5, 123)).unwrap();
+        assert_eq!(c.address(a).unwrap(), addr(5, 123));
+    }
+}

@@ -1,0 +1,91 @@
+//! HEAVEN configuration.
+
+use crate::cache::EvictionPolicy;
+use crate::estar::AccessPattern;
+use heaven_array::{Condenser, LinearOrder};
+
+/// How super-tiles are formed at export time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusteringStrategy {
+    /// STAR along a fixed linearization order (paper §3.3.2).
+    Star(LinearOrder),
+    /// eSTAR, access-pattern aware (paper §3.3.3).
+    EStar(AccessPattern),
+}
+
+/// Prefetching policy (paper §3.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchPolicy {
+    /// No prefetching.
+    None,
+    /// After serving a query, stage the next `n` super-tiles in cluster
+    /// order into the disk cache (cluster order ≈ spatial successor).
+    NextInOrder(usize),
+}
+
+/// Tunable parameters of a HEAVEN instance.
+#[derive(Debug, Clone)]
+pub struct HeavenConfig {
+    /// Fixed super-tile size; `None` selects the automatic size adaptation
+    /// (paper §3.3.4) from the device profile and `expected_query_bytes`.
+    pub supertile_bytes: Option<u64>,
+    /// Expected useful bytes per query, for the sizing model.
+    pub expected_query_bytes: u64,
+    /// Clustering strategy for export.
+    pub clustering: ClusteringStrategy,
+    /// Main-memory tile cache size in bytes.
+    pub mem_cache_bytes: u64,
+    /// Disk super-tile cache size in bytes.
+    pub disk_cache_bytes: u64,
+    /// Eviction policy of the disk super-tile cache.
+    pub eviction: EvictionPolicy,
+    /// Prefetching policy.
+    pub prefetch: PrefetchPolicy,
+    /// Whether to reorder tertiary fetches (query scheduling, §3.5.3).
+    pub scheduling: bool,
+    /// Start every exported object on a fresh medium (strong inter-object
+    /// clustering; costs media, avoids inter-object interference).
+    pub medium_per_object: bool,
+    /// Condensers to precompute per tile at export time (§3.9).
+    pub precompute: Vec<Condenser>,
+    /// Compress super-tile payloads (RLE) before they go to tape —
+    /// RasDaMan's tile compression / tape hardware compression analogue.
+    /// Trades CPU for tertiary transfer volume; disables partial
+    /// super-tile reads on random-access media.
+    pub compress: bool,
+}
+
+impl Default for HeavenConfig {
+    fn default() -> Self {
+        HeavenConfig {
+            supertile_bytes: None,
+            expected_query_bytes: 256 << 20,
+            clustering: ClusteringStrategy::EStar(AccessPattern::Uniform),
+            mem_cache_bytes: 64 << 20,
+            disk_cache_bytes: 1 << 30,
+            eviction: EvictionPolicy::Lru,
+            prefetch: PrefetchPolicy::None,
+            scheduling: true,
+            medium_per_object: false,
+            precompute: Vec::new(),
+            compress: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let c = HeavenConfig::default();
+        assert!(c.supertile_bytes.is_none());
+        assert!(c.scheduling);
+        assert!(matches!(
+            c.clustering,
+            ClusteringStrategy::EStar(AccessPattern::Uniform)
+        ));
+        assert_eq!(c.prefetch, PrefetchPolicy::None);
+    }
+}

@@ -1,0 +1,268 @@
+//! Maintenance of archived objects: delete, update, re-import, and media
+//! reclamation (paper §3.6).
+//!
+//! Tapes are append-only: deleting or updating archived data leaves *dead
+//! space* behind. HEAVEN tracks dead bytes per medium and compacts a
+//! medium (rewriting only its live super-tiles) once the dead fraction
+//! crosses a threshold.
+
+use crate::error::{HeavenError, Result};
+use crate::supertile::{decode_all, MemberEntry, SuperTileMeta};
+use crate::system::Heaven;
+use heaven_array::{MDArray, ObjectId};
+use heaven_tape::{MediumId, WritePayload};
+
+impl Heaven {
+    /// Dead bytes currently recorded for a medium.
+    pub fn dead_bytes_on(&self, medium: MediumId) -> u64 {
+        self.dead_bytes.get(&medium).copied().unwrap_or(0)
+    }
+
+    /// Dead fraction of a medium (`0.0` for an unused medium).
+    pub fn dead_fraction(&self, medium: MediumId) -> f64 {
+        let used = self
+            .store
+            .library()
+            .medium_used(medium)
+            .unwrap_or(0);
+        if used == 0 {
+            0.0
+        } else {
+            self.dead_bytes_on(medium) as f64 / used as f64
+        }
+    }
+
+    /// Delete an object everywhere: DBMS tiles, super-tile catalog, caches
+    /// and the precomputed-result catalog. Tertiary blocks become dead
+    /// space.
+    pub fn delete_object(&mut self, oid: ObjectId) -> Result<()> {
+        let tiles: Vec<u64> = self
+            .adb
+            .object(oid)?
+            .tiles
+            .iter()
+            .map(|&(_, t)| t)
+            .collect();
+        for t in &tiles {
+            self.tile_cache.invalidate(*t);
+        }
+        for st in self.catalog.object_supertiles(oid) {
+            self.st_cache.invalidate(st);
+        }
+        let freed = self.unregister_object(oid)?;
+        for addr in freed {
+            *self.dead_bytes.entry(addr.medium).or_insert(0) += addr.len;
+        }
+        self.precomp.invalidate_object(oid);
+        self.adb.delete_object(oid)?;
+        Ok(())
+    }
+
+    /// Re-import an archived object: all its tiles return to secondary
+    /// storage and its tertiary blocks become dead space.
+    pub fn reimport_object(&mut self, oid: ObjectId) -> Result<()> {
+        let sts = self.catalog.object_supertiles(oid);
+        if sts.is_empty() {
+            return Err(HeavenError::NotExported(oid));
+        }
+        for st in sts {
+            let payload = self.supertile_payload(st)?;
+            let meta = self.catalog.meta(st)?.clone();
+            for tile in decode_all(&meta, &payload)? {
+                self.adb.restore_tile(&tile)?;
+            }
+            self.st_cache.invalidate(st);
+        }
+        let freed = self.unregister_object(oid)?;
+        for addr in freed {
+            *self.dead_bytes.entry(addr.medium).or_insert(0) += addr.len;
+        }
+        Ok(())
+    }
+
+    /// Update archived data in place: cells of `patch` overwrite the
+    /// overlapping region of `oid`. Affected super-tiles are re-written as
+    /// new versions (old blocks become dead space); affected disk tiles
+    /// are patched directly. Precomputed results of the object are
+    /// invalidated.
+    pub fn update_region(&mut self, oid: ObjectId, patch: &MDArray) -> Result<()> {
+        let meta = self.adb.object(oid)?.clone();
+        if meta.cell_type != patch.cell_type() {
+            return Err(HeavenError::Config(format!(
+                "update cell type {} does not match object {}",
+                patch.cell_type().name(),
+                meta.cell_type.name()
+            )));
+        }
+        let affected = meta.tiles_intersecting(patch.domain());
+        // Group affected exported tiles by super-tile.
+        let mut by_st: std::collections::BTreeMap<u64, Vec<u64>> = Default::default();
+        for tid in affected {
+            self.tile_cache.invalidate(tid);
+            match self.adb.tile_location(tid)? {
+                heaven_arraydb::TileLocation::Disk => {
+                    let mut tile = self.adb.read_tile(tid)?;
+                    tile.data.patch(patch)?;
+                    self.adb.restore_tile(&tile)?;
+                }
+                heaven_arraydb::TileLocation::Exported => {
+                    let st = self.catalog.supertile_of(tid)?;
+                    by_st.entry(st).or_default().push(tid);
+                }
+            }
+        }
+        for (st, _) in by_st {
+            let payload = self.supertile_payload(st)?;
+            let st_meta = self.catalog.meta(st)?.clone();
+            let mut tiles = decode_all(&st_meta, &payload)?;
+            for t in tiles.iter_mut() {
+                if t.domain().intersects(patch.domain()) {
+                    t.data.patch(patch)?;
+                }
+            }
+            // Write the new version under a fresh id.
+            let new_id = self.catalog.next_id();
+            let (new_payload, new_meta) =
+                crate::supertile::encode_supertile(new_id, oid, &tiles);
+            let wire = self.maybe_compress(new_payload);
+            let addr = self.store.append(WritePayload::Real(wire))?;
+            let old_addr = self.unregister_supertile(st)?;
+            *self.dead_bytes.entry(old_addr.medium).or_insert(0) += old_addr.len;
+            self.st_cache.invalidate(st);
+            self.register_supertile(new_meta, addr)?;
+        }
+        self.precomp.invalidate_object(oid);
+        Ok(())
+    }
+
+    /// Disaster recovery: rebuild the super-tile catalog by *scanning the
+    /// media themselves*. Super-tile blocks are self-describing (a run of
+    /// tile records); segments that do not parse (foreign files, dead
+    /// versions of updated blocks) are skipped. Every recovered block is
+    /// re-registered (including write-through persistence) and its tiles
+    /// marked exported. Returns the number of super-tiles recovered.
+    ///
+    /// This is the last resort when both the in-memory catalog and its
+    /// persisted tables are gone; a full archive scan costs real tape time
+    /// (charged to the clock), exactly as it would in an installation.
+    pub fn scavenge_catalog_from_media(&mut self) -> Result<usize> {
+        self.catalog = crate::catalog::SuperTileCatalog::new();
+        self.catalog_store.clear(self.adb.database_mut())?;
+        self.clear_caches();
+        let media = self.store.library().media_ids();
+        let mut recovered = 0usize;
+        let mut live_tiles: std::collections::HashMap<u64, crate::supertile::SuperTileId> =
+            Default::default();
+        for medium in media {
+            let segments = self.store.library().medium_segments(medium)?;
+            for (offset, len) in segments {
+                let raw = self.store.library_mut().read(medium, offset, len)?;
+                let Ok(payload) = self.maybe_decompress(raw) else {
+                    continue;
+                };
+                let Some((members, object)) = parse_supertile_payload(&payload) else {
+                    continue;
+                };
+                let st = self.catalog.next_id();
+                let meta = SuperTileMeta {
+                    id: st,
+                    object,
+                    total_len: payload.len() as u64,
+                    members,
+                };
+                // Later versions of a tile supersede earlier ones (updates
+                // append new blocks after the originals in tape order).
+                for m in &meta.members {
+                    if let Some(old_st) = live_tiles.insert(m.tile, st) {
+                        if old_st != st {
+                            // the older block is (partially) dead; drop it
+                            // entirely if every member was superseded
+                            let all_dead = self
+                                .catalog
+                                .meta(old_st)
+                                .map(|om| {
+                                    om.members
+                                        .iter()
+                                        .all(|om| live_tiles.get(&om.tile) != Some(&old_st))
+                                })
+                                .unwrap_or(false);
+                            if all_dead {
+                                let _ = self.unregister_supertile(old_st);
+                                recovered -= 1;
+                            }
+                        }
+                    }
+                }
+                let addr = heaven_hsm::BlockAddress {
+                    medium,
+                    offset,
+                    len,
+                };
+                self.register_supertile(meta, addr)?;
+                recovered += 1;
+            }
+        }
+        // Tiles found on media are exported (drop any stale disk copies).
+        for (&tile, _) in live_tiles.iter() {
+            if self.adb.tile_location(tile).is_ok() {
+                self.adb.mark_exported(tile)?;
+            }
+        }
+        Ok(recovered)
+    }
+
+    /// Compact a medium whose dead fraction exceeds `threshold`: read all
+    /// live super-tiles, erase the medium, and rewrite them back-to-back.
+    /// Returns the number of super-tiles rewritten (0 when below the
+    /// threshold).
+    pub fn reclaim_medium(&mut self, medium: MediumId, threshold: f64) -> Result<usize> {
+        if self.dead_fraction(medium) < threshold {
+            return Ok(0);
+        }
+        let live = self.catalog.on_medium(medium);
+        // Read every live payload before erasing.
+        let mut payloads = Vec::with_capacity(live.len());
+        for &(st, addr) in &live {
+            let payload = self.store.read(addr)?;
+            payloads.push((st, payload));
+        }
+        self.store.library_mut().erase_medium(medium)?;
+        for (st, payload) in payloads {
+            let addr = self
+                .store
+                .write_to(medium, WritePayload::Real(payload))?;
+            self.relocate_supertile(st, addr)?;
+        }
+        self.dead_bytes.insert(medium, 0);
+        Ok(live.len())
+    }
+}
+
+/// Parse a buffer as a run of tile records; returns the member directory
+/// and owning object, or `None` when the buffer is not a super-tile.
+fn parse_supertile_payload(
+    payload: &[u8],
+) -> Option<(Vec<MemberEntry>, heaven_array::ObjectId)> {
+    let mut members = Vec::new();
+    let mut object = None;
+    let mut off = 0usize;
+    while off < payload.len() {
+        let (tile, used) = heaven_array::Tile::decode(&payload[off..]).ok()?;
+        match object {
+            None => object = Some(tile.object),
+            Some(o) if o != tile.object => return None,
+            _ => {}
+        }
+        members.push(MemberEntry {
+            tile: tile.id,
+            domain: tile.domain().clone(),
+            offset: off as u64,
+            len: used as u64,
+        });
+        off += used;
+    }
+    if members.is_empty() {
+        return None;
+    }
+    Some((members, object?))
+}

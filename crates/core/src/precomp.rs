@@ -1,0 +1,237 @@
+//! System catalog for precomputed operation results (paper §3.9).
+//!
+//! Condenser results over archived objects are expensive: they may stage
+//! gigabytes from tape to add up numbers. HEAVEN memoizes them at two
+//! granularities:
+//!
+//! * **exact**: every `(object, op, region) → value` a query computed is
+//!   remembered and reused verbatim;
+//! * **per-tile partials**: at export time HEAVEN can precompute each
+//!   tile's partial aggregate; a later condenser whose region is exactly a
+//!   union of whole tiles combines the partials *without touching tape at
+//!   all* (condensers are distributive — see
+//!   [`Condenser::combine`](heaven_array::Condenser::combine)).
+
+use heaven_array::{Condenser, Minterval, ObjectId, TileId};
+use std::collections::HashMap;
+
+/// Statistics of catalog usage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrecompStats {
+    /// Exact-match reuses.
+    pub exact_hits: u64,
+    /// Tile-combination reuses.
+    pub combine_hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+}
+
+/// The precomputed-result catalog.
+#[derive(Debug, Default)]
+pub struct PrecompCatalog {
+    /// Exact results of past queries.
+    exact: HashMap<(ObjectId, Condenser, Minterval), f64>,
+    /// Per-tile partials: `(oid, op) → tile → (value, cell_count)`.
+    tile_partials: HashMap<(ObjectId, Condenser), HashMap<TileId, (f64, u64)>>,
+    stats: PrecompStats,
+}
+
+impl PrecompCatalog {
+    /// Empty catalog.
+    pub fn new() -> PrecompCatalog {
+        PrecompCatalog::default()
+    }
+
+    /// Usage statistics.
+    pub fn stats(&self) -> PrecompStats {
+        self.stats
+    }
+
+    /// Number of exact entries.
+    pub fn exact_len(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// Remember an exact result.
+    pub fn record_exact(&mut self, oid: ObjectId, op: Condenser, region: Minterval, value: f64) {
+        self.exact.insert((oid, op, region), value);
+    }
+
+    /// Remember a tile's partial aggregate.
+    pub fn record_tile_partial(
+        &mut self,
+        oid: ObjectId,
+        op: Condenser,
+        tile: TileId,
+        value: f64,
+        cells: u64,
+    ) {
+        self.tile_partials
+            .entry((oid, op))
+            .or_default()
+            .insert(tile, (value, cells));
+    }
+
+    /// Try to answer `(oid, op, region)` from the catalog.
+    ///
+    /// `tiles` is the object's tile layout (`(domain, id)` pairs); the
+    /// combination path applies when `region` is exactly the union of whole
+    /// tiles with recorded partials.
+    pub fn lookup(
+        &mut self,
+        oid: ObjectId,
+        op: Condenser,
+        region: &Minterval,
+        tiles: &[(Minterval, TileId)],
+    ) -> Option<f64> {
+        if let Some(&v) = self.exact.get(&(oid, op, region.clone())) {
+            self.stats.exact_hits += 1;
+            return Some(v);
+        }
+        if let Some(v) = self.try_combine(oid, op, region, tiles) {
+            self.stats.combine_hits += 1;
+            // promote to an exact entry for next time
+            self.exact.insert((oid, op, region.clone()), v);
+            return Some(v);
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    fn try_combine(
+        &self,
+        oid: ObjectId,
+        op: Condenser,
+        region: &Minterval,
+        tiles: &[(Minterval, TileId)],
+    ) -> Option<f64> {
+        let partials = self.tile_partials.get(&(oid, op))?;
+        // All tiles intersecting the region must be fully contained in it
+        // (region = union of whole tiles) and have recorded partials.
+        let mut parts: Vec<(f64, u64)> = Vec::new();
+        let mut covered: u64 = 0;
+        for (dom, tid) in tiles {
+            if !dom.intersects(region) {
+                continue;
+            }
+            if !region.contains(dom) {
+                return None; // partial tile: cannot combine
+            }
+            let &(v, n) = partials.get(tid)?;
+            parts.push((v, n));
+            covered += dom.cell_count();
+        }
+        if covered != region.cell_count() || parts.is_empty() {
+            return None;
+        }
+        op.combine(&parts).ok()
+    }
+
+    /// Drop everything recorded for an object (delete/update invalidation,
+    /// §3.6).
+    pub fn invalidate_object(&mut self, oid: ObjectId) {
+        self.exact.retain(|&(o, _, _), _| o != oid);
+        self.tile_partials.retain(|&(o, _), _| o != oid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mi(b: &[(i64, i64)]) -> Minterval {
+        Minterval::new(b).unwrap()
+    }
+
+    /// 2x2 tile layout, tiles 10x10, values: tile i has cells all equal i+1.
+    fn layout() -> Vec<(Minterval, TileId)> {
+        vec![
+            (mi(&[(0, 9), (0, 9)]), 1),
+            (mi(&[(0, 9), (10, 19)]), 2),
+            (mi(&[(10, 19), (0, 9)]), 3),
+            (mi(&[(10, 19), (10, 19)]), 4),
+        ]
+    }
+
+    fn catalog_with_partials(op: Condenser) -> PrecompCatalog {
+        let mut c = PrecompCatalog::new();
+        for (i, (_, tid)) in layout().iter().enumerate() {
+            let v = (i + 1) as f64;
+            let partial = match op {
+                Condenser::Sum => v * 100.0,
+                Condenser::Avg => v,
+                Condenser::Min | Condenser::Max => v,
+                Condenser::CountNonZero => 100.0,
+            };
+            c.record_tile_partial(7, op, *tid, partial, 100);
+        }
+        c
+    }
+
+    #[test]
+    fn exact_match_hit() {
+        let mut c = PrecompCatalog::new();
+        let r = mi(&[(0, 4), (0, 4)]);
+        c.record_exact(7, Condenser::Avg, r.clone(), 3.5);
+        assert_eq!(c.lookup(7, Condenser::Avg, &r, &layout()), Some(3.5));
+        assert_eq!(c.stats().exact_hits, 1);
+        // different op or object misses
+        assert_eq!(c.lookup(7, Condenser::Sum, &r, &layout()), None);
+        assert_eq!(c.lookup(8, Condenser::Avg, &r, &layout()), None);
+    }
+
+    #[test]
+    fn combines_whole_tile_unions() {
+        let mut c = catalog_with_partials(Condenser::Avg);
+        // left column = tiles 1 and 3 → avg of (1, 3) weighted equally = 2
+        let region = mi(&[(0, 19), (0, 9)]);
+        assert_eq!(
+            c.lookup(7, Condenser::Avg, &region, &layout()),
+            Some(2.0)
+        );
+        assert_eq!(c.stats().combine_hits, 1);
+        // promoted to exact
+        assert_eq!(
+            c.lookup(7, Condenser::Avg, &region, &layout()),
+            Some(2.0)
+        );
+        assert_eq!(c.stats().exact_hits, 1);
+    }
+
+    #[test]
+    fn sum_combination() {
+        let mut c = catalog_with_partials(Condenser::Sum);
+        let whole = mi(&[(0, 19), (0, 19)]);
+        assert_eq!(
+            c.lookup(7, Condenser::Sum, &whole, &layout()),
+            Some(100.0 + 200.0 + 300.0 + 400.0)
+        );
+    }
+
+    #[test]
+    fn partial_tile_regions_do_not_combine() {
+        let mut c = catalog_with_partials(Condenser::Sum);
+        let region = mi(&[(0, 14), (0, 9)]); // cuts tile 3 in half
+        assert_eq!(c.lookup(7, Condenser::Sum, &region, &layout()), None);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn missing_partials_block_combination() {
+        let mut c = PrecompCatalog::new();
+        c.record_tile_partial(7, Condenser::Sum, 1, 100.0, 100);
+        // tile 3 has no partial
+        let region = mi(&[(0, 19), (0, 9)]);
+        assert_eq!(c.lookup(7, Condenser::Sum, &region, &layout()), None);
+    }
+
+    #[test]
+    fn invalidation_clears_object() {
+        let mut c = catalog_with_partials(Condenser::Max);
+        let whole = mi(&[(0, 19), (0, 19)]);
+        assert_eq!(c.lookup(7, Condenser::Max, &whole, &layout()), Some(4.0));
+        c.invalidate_object(7);
+        assert_eq!(c.lookup(7, Condenser::Max, &whole, &layout()), None);
+        assert_eq!(c.exact_len(), 0);
+    }
+}

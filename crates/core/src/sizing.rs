@@ -1,0 +1,122 @@
+//! Automatic super-tile size adaptation (paper §3.3.4).
+//!
+//! The super-tile size trades off two costs:
+//!
+//! * **too small** → a query touches many super-tiles, each paying a tape
+//!   locate (tens of seconds);
+//! * **too large** → each touched super-tile transfers mostly useless
+//!   bytes (the query needs only 1–10 % of the data, §1.1).
+//!
+//! For a query expected to need `q` bytes of an object, fetched through
+//! super-tiles of `s` bytes, the expected retrieval cost is modeled as
+//!
+//! ```text
+//! cost(s) = n(s) · t_locate  +  n(s) · s / rate        n(s) = ceil(q·f(s) / s)
+//! ```
+//!
+//! where `f(s) ≥ 1` is a boundary-overfetch factor (a query never aligns
+//! perfectly with super-tile boundaries, so it touches partial ones).
+//! HEAVEN minimizes `cost(s)` over a geometric grid of candidate sizes,
+//! clamped to sane bounds.
+
+use heaven_tape::DeviceProfile;
+
+/// Bounds for the size search.
+pub const MIN_SUPERTILE: u64 = 16 << 20; // 16 MB
+/// Upper clamp: a super-tile never exceeds 1/4 medium capacity.
+pub const MAX_SUPERTILE_FRACTION: f64 = 0.25;
+
+/// Expected cost (seconds) of answering one query of `query_bytes` useful
+/// bytes via super-tiles of `size` bytes on `profile`.
+pub fn expected_query_cost_s(profile: &DeviceProfile, query_bytes: u64, size: u64) -> f64 {
+    let size = size.max(1);
+    // Boundary overfetch: a query spanning k super-tiles fully touches
+    // k-1 boundaries; model the waste as one extra half super-tile per
+    // boundary row, folded into a multiplicative factor.
+    let n = (query_bytes as f64 / size as f64).ceil().max(1.0) + 1.0;
+    let locate = profile.avg_locate_s;
+    n * locate + n * size as f64 / profile.transfer_bps
+}
+
+/// The super-tile size minimizing [`expected_query_cost_s`] for queries of
+/// `query_bytes`, searched over a geometric candidate grid.
+pub fn optimal_supertile_size(profile: &DeviceProfile, query_bytes: u64) -> u64 {
+    let max = (profile.media_capacity as f64 * MAX_SUPERTILE_FRACTION) as u64;
+    let mut best = MIN_SUPERTILE;
+    let mut best_cost = f64::INFINITY;
+    let mut s = MIN_SUPERTILE;
+    while s <= max {
+        let c = expected_query_cost_s(profile, query_bytes, s);
+        if c < best_cost {
+            best_cost = c;
+            best = s;
+        }
+        s = (s as f64 * 1.25) as u64;
+    }
+    best
+}
+
+/// Closed-form sanity reference: ignoring ceilings, the cost is minimized
+/// where marginal locate savings equal marginal transfer waste, i.e. at
+/// `s* = sqrt(q · t_locate · rate)` — used by tests to validate the search.
+pub fn analytic_optimum(profile: &DeviceProfile, query_bytes: u64) -> f64 {
+    (query_bytes as f64 * profile.avg_locate_s * profile.transfer_bps).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_is_u_shaped() {
+        let p = DeviceProfile::dlt7000();
+        let q = 512 << 20; // 512 MB useful per query
+        let small = expected_query_cost_s(&p, q, 16 << 20);
+        let opt = optimal_supertile_size(&p, q);
+        let opt_cost = expected_query_cost_s(&p, q, opt);
+        let huge = expected_query_cost_s(&p, q, 8 << 30);
+        assert!(opt_cost < small, "optimum beats tiny super-tiles");
+        assert!(opt_cost <= huge, "optimum beats giant super-tiles");
+    }
+
+    #[test]
+    fn search_tracks_analytic_optimum() {
+        let p = DeviceProfile::lto1();
+        for q in [64u64 << 20, 512 << 20, 4 << 30] {
+            let found = optimal_supertile_size(&p, q) as f64;
+            let analytic = analytic_optimum(&p, q)
+                .clamp(MIN_SUPERTILE as f64, p.media_capacity as f64 * 0.25);
+            let ratio = found / analytic;
+            assert!(
+                (0.3..=3.0).contains(&ratio),
+                "q={q}: found {found}, analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_queries_want_bigger_supertiles() {
+        let p = DeviceProfile::dlt7000();
+        let small_q = optimal_supertile_size(&p, 32 << 20);
+        let big_q = optimal_supertile_size(&p, 8 << 30);
+        assert!(big_q >= small_q);
+    }
+
+    #[test]
+    fn size_respects_bounds() {
+        let p = DeviceProfile::ibm3590();
+        for q in [1u64, 1 << 20, 1 << 40] {
+            let s = optimal_supertile_size(&p, q);
+            assert!(s >= MIN_SUPERTILE);
+            assert!(s as f64 <= p.media_capacity as f64 * MAX_SUPERTILE_FRACTION);
+        }
+    }
+
+    #[test]
+    fn slower_locate_devices_prefer_bigger_supertiles() {
+        let fast = DeviceProfile::ibm3590(); // 27 s locate
+        let slow = DeviceProfile::ait2(); // 75 s locate
+        let q = 1 << 30;
+        assert!(optimal_supertile_size(&slow, q) >= optimal_supertile_size(&fast, q));
+    }
+}

@@ -1,0 +1,207 @@
+//! Super-tiles: HEAVEN's unit of tertiary-storage transfer (paper §3.3).
+//!
+//! Tiles — the DBMS access unit, megabytes — are far too small to read from
+//! tape individually: every access would pay a locate of tens of seconds.
+//! A *super-tile* groups many spatially adjacent tiles into one block of
+//! typically hundreds of megabytes, so a single locate amortizes over all
+//! member tiles. The serialized form carries a directory so an individual
+//! member tile can be cut out of the raw bytes without decoding the rest.
+
+use crate::error::{HeavenError, Result};
+use heaven_array::{Minterval, ObjectId, Tile, TileId};
+
+/// Identifier of a super-tile.
+pub type SuperTileId = u64;
+
+/// Directory entry for one member tile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberEntry {
+    /// The member tile.
+    pub tile: TileId,
+    /// The tile's spatial domain.
+    pub domain: Minterval,
+    /// Byte offset of the tile's encoding within the super-tile payload.
+    pub offset: u64,
+    /// Length of the tile's encoding.
+    pub len: u64,
+}
+
+/// Metadata of a super-tile (kept in HEAVEN's catalog; the payload lives on
+/// tertiary storage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperTileMeta {
+    /// Super-tile id.
+    pub id: SuperTileId,
+    /// Owning object.
+    pub object: ObjectId,
+    /// Member directory, in intra-super-tile cluster order.
+    pub members: Vec<MemberEntry>,
+    /// Total payload size in bytes.
+    pub total_len: u64,
+}
+
+impl SuperTileMeta {
+    /// Bounding box of all member tiles.
+    pub fn bounding_box(&self) -> Option<Minterval> {
+        let mut it = self.members.iter();
+        let first = it.next()?.domain.clone();
+        Some(it.fold(first, |acc, m| acc.hull(&m.domain).expect("same dim")))
+    }
+
+    /// Whether any member tile intersects `region`.
+    pub fn touches(&self, region: &Minterval) -> bool {
+        self.members.iter().any(|m| m.domain.intersects(region))
+    }
+
+    /// The member entry of a tile.
+    pub fn member(&self, tile: TileId) -> Option<&MemberEntry> {
+        self.members.iter().find(|m| m.tile == tile)
+    }
+}
+
+/// Serialize a run of tiles into a super-tile payload; returns the bytes
+/// and the member directory (offsets into those bytes).
+pub fn encode_supertile(
+    id: SuperTileId,
+    object: ObjectId,
+    tiles: &[Tile],
+) -> (Vec<u8>, SuperTileMeta) {
+    let total: usize = tiles.iter().map(|t| t.encoded_len()).sum();
+    let mut payload = Vec::with_capacity(total);
+    let mut members = Vec::with_capacity(tiles.len());
+    for t in tiles {
+        let offset = payload.len() as u64;
+        let enc = t.encode();
+        members.push(MemberEntry {
+            tile: t.id,
+            domain: t.domain().clone(),
+            offset,
+            len: enc.len() as u64,
+        });
+        payload.extend_from_slice(&enc);
+    }
+    let meta = SuperTileMeta {
+        id,
+        object,
+        total_len: payload.len() as u64,
+        members,
+    };
+    (payload, meta)
+}
+
+/// Decode one member tile out of a full super-tile payload.
+pub fn decode_member(meta: &SuperTileMeta, payload: &[u8], tile: TileId) -> Result<Tile> {
+    let entry = meta
+        .member(tile)
+        .ok_or(HeavenError::TileUnlocated(tile))?;
+    let start = entry.offset as usize;
+    let end = start + entry.len as usize;
+    if end > payload.len() {
+        return Err(HeavenError::Codec(format!(
+            "member {tile} extends past payload ({} > {})",
+            end,
+            payload.len()
+        )));
+    }
+    let (t, used) = Tile::decode(&payload[start..end])?;
+    if used != entry.len as usize || t.id != tile {
+        return Err(HeavenError::Codec(format!(
+            "member {tile} decoded inconsistently"
+        )));
+    }
+    Ok(t)
+}
+
+/// Decode all member tiles of a payload.
+pub fn decode_all(meta: &SuperTileMeta, payload: &[u8]) -> Result<Vec<Tile>> {
+    meta.members
+        .iter()
+        .map(|m| decode_member(meta, payload, m.tile))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heaven_array::{CellType, MDArray, Point};
+
+    fn mi(b: &[(i64, i64)]) -> Minterval {
+        Minterval::new(b).unwrap()
+    }
+
+    fn make_tiles() -> Vec<Tile> {
+        (0..4)
+            .map(|i| {
+                let dom = mi(&[(i * 10, i * 10 + 9), (0, 9)]);
+                let data = MDArray::generate(dom, CellType::I32, |p| {
+                    (p.coord(0) * 1000 + p.coord(1)) as f64
+                });
+                Tile::new(100 + i as u64, 7, data)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encode_then_decode_members() {
+        let tiles = make_tiles();
+        let (payload, meta) = encode_supertile(1, 7, &tiles);
+        assert_eq!(meta.total_len as usize, payload.len());
+        assert_eq!(meta.members.len(), 4);
+        for t in &tiles {
+            let back = decode_member(&meta, &payload, t.id).unwrap();
+            assert_eq!(&back, t);
+        }
+        let all = decode_all(&meta, &payload).unwrap();
+        assert_eq!(all, tiles);
+    }
+
+    #[test]
+    fn member_offsets_are_contiguous() {
+        let tiles = make_tiles();
+        let (_, meta) = encode_supertile(1, 7, &tiles);
+        let mut expect = 0u64;
+        for m in &meta.members {
+            assert_eq!(m.offset, expect);
+            expect += m.len;
+        }
+        assert_eq!(expect, meta.total_len);
+    }
+
+    #[test]
+    fn bounding_box_and_touch() {
+        let tiles = make_tiles();
+        let (_, meta) = encode_supertile(1, 7, &tiles);
+        assert_eq!(meta.bounding_box(), Some(mi(&[(0, 39), (0, 9)])));
+        assert!(meta.touches(&mi(&[(15, 16), (3, 4)])));
+        assert!(!meta.touches(&mi(&[(0, 39), (20, 30)])));
+    }
+
+    #[test]
+    fn decode_missing_member_fails() {
+        let tiles = make_tiles();
+        let (payload, meta) = encode_supertile(1, 7, &tiles);
+        assert!(matches!(
+            decode_member(&meta, &payload, 999),
+            Err(HeavenError::TileUnlocated(999))
+        ));
+    }
+
+    #[test]
+    fn decode_with_truncated_payload_fails() {
+        let tiles = make_tiles();
+        let (payload, meta) = encode_supertile(1, 7, &tiles);
+        let last = meta.members.last().unwrap().tile;
+        assert!(decode_member(&meta, &payload[..payload.len() - 1], last).is_err());
+    }
+
+    #[test]
+    fn member_cells_survive_roundtrip() {
+        let tiles = make_tiles();
+        let (payload, meta) = encode_supertile(1, 7, &tiles);
+        let t = decode_member(&meta, &payload, 102).unwrap();
+        assert_eq!(
+            t.data.get_f64(&Point::new(vec![25, 3])).unwrap(),
+            25003.0
+        );
+    }
+}

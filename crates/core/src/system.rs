@@ -1,0 +1,527 @@
+//! The HEAVEN system: a hierarchy-aware array database.
+//!
+//! [`Heaven`] fuses the array DBMS with the tertiary-storage system
+//! (paper §3.1): it implements the DBMS's [`TileProvider`] seam, so every
+//! query runs transparently across main memory (tile cache), secondary
+//! storage (DBMS tiles + super-tile cache) and tertiary storage
+//! (super-tiles on media) — no user interaction, regardless of where the
+//! data currently lives.
+
+use crate::cache::{CacheStats, SuperTileCache, TileCache};
+use crate::catalog::SuperTileCatalog;
+use crate::config::{HeavenConfig, PrefetchPolicy};
+use crate::error::{HeavenError, Result};
+use crate::persist::CatalogStore;
+use crate::precomp::PrecompCatalog;
+use crate::scheduler::{schedule, FetchRequest};
+use crate::sizing::optimal_supertile_size;
+use crate::supertile::{decode_member, SuperTileId};
+use heaven_array::{Condenser, MDArray, Minterval, ObjectId, TileId};
+use heaven_arraydb::{ArrayDb, ObjectMeta, TileLocation, TileProvider};
+use heaven_hsm::DirectStore;
+use heaven_tape::{DiskProfile, MediumId, SimClock, TapeLibrary, TapeStats};
+use std::collections::{BTreeMap, HashMap};
+
+/// Counters of HEAVEN-level activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HeavenStats {
+    /// Super-tiles fetched from tertiary storage (cache misses).
+    pub st_tape_fetches: u64,
+    /// Bytes fetched from tertiary storage.
+    pub st_tape_bytes: u64,
+    /// Super-tiles prefetched.
+    pub prefetches: u64,
+    /// Simulated seconds spent prefetching (overlappable background work).
+    pub prefetch_s: f64,
+    /// Bytes fetched by the prefetcher (subset of `st_tape_bytes`).
+    pub prefetch_bytes: u64,
+    /// Regions served by `fetch_region`.
+    pub region_fetches: u64,
+}
+
+/// The assembled HEAVEN system.
+#[derive(Debug)]
+pub struct Heaven {
+    pub(crate) adb: ArrayDb,
+    pub(crate) store: DirectStore,
+    pub(crate) catalog: SuperTileCatalog,
+    pub(crate) tile_cache: TileCache,
+    pub(crate) st_cache: SuperTileCache,
+    pub(crate) precomp: PrecompCatalog,
+    pub(crate) catalog_store: CatalogStore,
+    pub(crate) config: HeavenConfig,
+    pub(crate) stats: HeavenStats,
+    /// Dead (unreferenced) bytes per medium, from deletes/updates.
+    pub(crate) dead_bytes: HashMap<MediumId, u64>,
+}
+
+impl Heaven {
+    /// Assemble HEAVEN from an array DBMS and a tape library.
+    pub fn new(mut adb: ArrayDb, library: TapeLibrary, config: HeavenConfig) -> Heaven {
+        let clock = library.clock().clone();
+        let st_cache = SuperTileCache::new(
+            config.disk_cache_bytes,
+            config.eviction,
+            Some((DiskProfile::scsi2003(), clock)),
+        );
+        let catalog_store =
+            CatalogStore::create(adb.database_mut()).expect("fresh catalog store");
+        Heaven {
+            tile_cache: TileCache::new(config.mem_cache_bytes),
+            st_cache,
+            adb,
+            store: DirectStore::new(library),
+            catalog: SuperTileCatalog::new(),
+            precomp: PrecompCatalog::new(),
+            catalog_store,
+            config,
+            stats: HeavenStats::default(),
+            dead_bytes: HashMap::new(),
+        }
+    }
+
+    /// The array DBMS.
+    pub fn arraydb(&self) -> &ArrayDb {
+        &self.adb
+    }
+
+    /// The direct tertiary store (read-only view for reporting).
+    pub fn store(&self) -> &DirectStore {
+        &self.store
+    }
+
+    /// Mutable access to the array DBMS (inserts, collection management).
+    pub fn arraydb_mut(&mut self) -> &mut ArrayDb {
+        &mut self.adb
+    }
+
+    /// The shared simulated clock.
+    pub fn clock(&self) -> SimClock {
+        self.store.clock()
+    }
+
+    /// Tertiary-storage statistics.
+    pub fn tape_stats(&self) -> TapeStats {
+        self.store.stats()
+    }
+
+    /// HEAVEN-level statistics.
+    pub fn stats(&self) -> HeavenStats {
+        self.stats
+    }
+
+    /// Disk super-tile cache statistics.
+    pub fn st_cache_stats(&self) -> CacheStats {
+        self.st_cache.stats()
+    }
+
+    /// Memory tile cache statistics.
+    pub fn tile_cache_stats(&self) -> CacheStats {
+        self.tile_cache.stats()
+    }
+
+    /// The super-tile catalog (read-only).
+    pub fn catalog(&self) -> &SuperTileCatalog {
+        &self.catalog
+    }
+
+    /// The precomputed-result catalog statistics.
+    pub fn precomp_stats(&self) -> crate::precomp::PrecompStats {
+        self.precomp.stats()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HeavenConfig {
+        &self.config
+    }
+
+    /// The effective super-tile target size for export.
+    pub fn supertile_target(&self) -> u64 {
+        self.config.supertile_bytes.unwrap_or_else(|| {
+            optimal_supertile_size(
+                self.store.library().profile(),
+                self.config.expected_query_bytes,
+            )
+        })
+    }
+
+    /// Clear both cache levels (between experiment runs).
+    pub fn clear_caches(&mut self) {
+        self.tile_cache.clear();
+        self.st_cache.clear();
+    }
+
+    /// Enable the finite-slot + shelf model on the underlying library
+    /// (see [`heaven_tape::SlotConfig`]).
+    pub fn set_slot_config(&mut self, config: heaven_tape::SlotConfig) {
+        self.store.library_mut().set_slot_config(config);
+    }
+
+    /// Occupy every drive with scratch media, modelling other users of the
+    /// shared library: the next archive access pays a full media exchange.
+    /// Used by experiments to measure truly cold retrievals.
+    pub fn occupy_drives(&mut self) -> Result<()> {
+        let lib = self.store.library_mut();
+        for _ in 0..lib.drive_count() {
+            let scratch = lib.add_medium();
+            lib.ensure_mounted(scratch)?;
+        }
+        Ok(())
+    }
+
+    // -- catalog mutation (write-through to the base RDBMS) -------------------
+
+    /// Register an exported super-tile in the in-memory catalog *and* the
+    /// persistent catalog tables.
+    pub(crate) fn register_supertile(
+        &mut self,
+        meta: crate::supertile::SuperTileMeta,
+        addr: heaven_hsm::BlockAddress,
+    ) -> Result<()> {
+        self.catalog_store
+            .insert(self.adb.database_mut(), &meta, addr)?;
+        self.catalog.register(meta, addr);
+        Ok(())
+    }
+
+    /// Remove one super-tile everywhere; returns its old address.
+    pub(crate) fn unregister_supertile(
+        &mut self,
+        st: SuperTileId,
+    ) -> Result<heaven_hsm::BlockAddress> {
+        let addr = self.catalog.remove_supertile(st)?;
+        self.catalog_store.remove(self.adb.database_mut(), st)?;
+        Ok(addr)
+    }
+
+    /// Remove an object's super-tiles everywhere; returns the freed
+    /// addresses.
+    pub(crate) fn unregister_object(
+        &mut self,
+        oid: ObjectId,
+    ) -> Result<Vec<heaven_hsm::BlockAddress>> {
+        let sts = self.catalog.object_supertiles(oid);
+        for st in &sts {
+            self.catalog_store.remove(self.adb.database_mut(), *st)?;
+        }
+        Ok(self.catalog.remove_object(oid))
+    }
+
+    /// Change a super-tile's address everywhere (compaction).
+    pub(crate) fn relocate_supertile(
+        &mut self,
+        st: SuperTileId,
+        addr: heaven_hsm::BlockAddress,
+    ) -> Result<()> {
+        self.catalog.relocate(st, addr)?;
+        let meta = self.catalog.meta(st)?.clone();
+        self.catalog_store
+            .update_addr(self.adb.database_mut(), st, &meta, addr)?;
+        Ok(())
+    }
+
+    /// Rebuild the archive catalog from the persistent tables — used after
+    /// a server restart or RDBMS crash recovery. Dead space per medium is
+    /// recomputed as (bytes used on medium) − (bytes of live super-tiles).
+    pub fn rebuild_archive_catalog(&mut self) -> Result<()> {
+        let loaded = self.catalog_store.load_all(self.adb.database_mut())?;
+        let mut catalog = SuperTileCatalog::new();
+        let mut max_id = 0;
+        let mut live: HashMap<MediumId, u64> = HashMap::new();
+        for (meta, addr) in loaded {
+            max_id = max_id.max(meta.id);
+            *live.entry(addr.medium).or_insert(0) += addr.len;
+            catalog.register(meta, addr);
+        }
+        catalog.bump_next_id(max_id);
+        debug_assert_eq!(self.catalog_store.len(), catalog.len());
+        self.catalog = catalog;
+        self.dead_bytes.clear();
+        for m in self.store.library().media_ids() {
+            let used = self.store.library().medium_used(m).unwrap_or(0);
+            let l = live.get(&m).copied().unwrap_or(0);
+            if used > l {
+                self.dead_bytes.insert(m, used - l);
+            }
+        }
+        self.clear_caches();
+        Ok(())
+    }
+
+    // -- the retrieval path (paper §3.5.2) -----------------------------------
+
+    /// Compress an outgoing super-tile payload if configured.
+    pub(crate) fn maybe_compress(&self, payload: Vec<u8>) -> Vec<u8> {
+        if self.config.compress {
+            heaven_array::rle_compress(&payload)
+        } else {
+            payload
+        }
+    }
+
+    /// Undo [`Self::maybe_compress`] on bytes read from tape.
+    pub(crate) fn maybe_decompress(&self, bytes: Vec<u8>) -> Result<Vec<u8>> {
+        if self.config.compress {
+            heaven_array::rle_decompress(&bytes)
+                .ok_or_else(|| HeavenError::Codec("corrupt compressed super-tile".into()))
+        } else {
+            Ok(bytes)
+        }
+    }
+
+    /// Ensure a super-tile's payload is available *uncompressed*; returns
+    /// it. Charges either a disk-cache hit or a tape fetch.
+    pub(crate) fn supertile_payload(&mut self, st: SuperTileId) -> Result<Vec<u8>> {
+        if let Some(p) = self.st_cache.get(st) {
+            return Ok(p);
+        }
+        let addr = self.catalog.address(st)?;
+        let raw = self.store.read(addr)?;
+        self.stats.st_tape_fetches += 1;
+        self.stats.st_tape_bytes += addr.len;
+        let payload = self.maybe_decompress(raw)?;
+        let refetch = self.store.estimate_read_s(addr);
+        self.st_cache.put(st, payload.clone(), refetch);
+        Ok(payload)
+    }
+
+    /// Fetch one tile through the hierarchy (memory → disk → tape).
+    pub fn fetch_tile(&mut self, tile: TileId) -> Result<heaven_array::Tile> {
+        if let Some(t) = self.tile_cache.get(tile) {
+            return Ok(t);
+        }
+        let t = match self.adb.tile_location(tile)? {
+            TileLocation::Disk => self.adb.read_tile(tile)?,
+            TileLocation::Exported => {
+                let st = self.catalog.supertile_of(tile)?;
+                let payload = self.supertile_payload(st)?;
+                let meta = self.catalog.meta(st)?;
+                decode_member(meta, &payload, tile)?
+            }
+        };
+        self.tile_cache.put(t.clone());
+        Ok(t)
+    }
+
+    /// The core retrieval routine: materialize `region` of `oid` across
+    /// the whole hierarchy, with query scheduling over the tertiary
+    /// fetches.
+    pub fn fetch_region_hierarchical(
+        &mut self,
+        oid: ObjectId,
+        region: &Minterval,
+    ) -> Result<MDArray> {
+        self.stats.region_fetches += 1;
+        let meta = self.adb.object(oid)?.clone();
+        let target = meta.domain.intersection(region).ok_or_else(|| {
+            HeavenError::Config(format!(
+                "region {region} outside object domain {}",
+                meta.domain
+            ))
+        })?;
+        let mut out = MDArray::zeros(target.clone(), meta.cell_type);
+        // Classify needed tiles.
+        let mut pending: BTreeMap<SuperTileId, Vec<TileId>> = BTreeMap::new();
+        for tid in meta.tiles_intersecting(&target) {
+            if let Some(t) = self.tile_cache.get(tid) {
+                out.patch(&t.data)?;
+                continue;
+            }
+            match self.adb.tile_location(tid)? {
+                TileLocation::Disk => {
+                    let t = self.adb.read_tile(tid)?;
+                    out.patch(&t.data)?;
+                    self.tile_cache.put(t);
+                }
+                TileLocation::Exported => {
+                    let st = self.catalog.supertile_of(tid)?;
+                    pending.entry(st).or_default().push(tid);
+                }
+            }
+        }
+        // Split cached super-tiles from ones needing tape.
+        let mut to_fetch = Vec::new();
+        let mut ordered: Vec<SuperTileId> = Vec::new();
+        for &st in pending.keys() {
+            if self.st_cache.contains(st) {
+                ordered.push(st);
+            } else {
+                to_fetch.push(FetchRequest {
+                    st,
+                    addr: self.catalog.address(st)?,
+                });
+            }
+        }
+        // Schedule the tape fetches.
+        if self.config.scheduling {
+            let mounted = self.store.library().mounted_media();
+            let scheduled = schedule(&to_fetch, &mounted);
+            ordered.extend(scheduled.iter().map(|r| r.st));
+        } else {
+            ordered.extend(to_fetch.iter().map(|r| r.st));
+        }
+        // partial reads need uncompressed on-media layout
+        let random_access =
+            !self.store.library().profile().linear_seek && !self.config.compress;
+        for st in ordered {
+            let meta_st = self.catalog.meta(st)?.clone();
+            let needed = pending.get(&st).cloned().unwrap_or_default();
+            // On random-access media (MO jukeboxes) a sparse request reads
+            // only the member tiles, not the whole super-tile — the medium
+            // has no locate penalty to amortize (paper §2.2).
+            let needed_bytes: u64 = needed
+                .iter()
+                .filter_map(|t| meta_st.member(*t))
+                .map(|m| m.len)
+                .sum();
+            if random_access
+                && !self.st_cache.contains(st)
+                && needed_bytes * 2 < meta_st.total_len
+            {
+                let addr = self.catalog.address(st)?;
+                for tid in needed {
+                    let m = meta_st
+                        .member(tid)
+                        .ok_or(HeavenError::TileUnlocated(tid))?
+                        .clone();
+                    let bytes = self.store.read_range(addr, m.offset, m.len)?;
+                    self.stats.st_tape_bytes += m.len;
+                    let (t, _) = heaven_array::Tile::decode(&bytes)
+                        .map_err(HeavenError::Array)?;
+                    out.patch(&t.data)?;
+                    self.tile_cache.put(t);
+                }
+                self.stats.st_tape_fetches += 1;
+                continue;
+            }
+            let payload = self.supertile_payload(st)?;
+            for tid in needed {
+                let t = decode_member(&meta_st, &payload, tid)?;
+                out.patch(&t.data)?;
+                self.tile_cache.put(t);
+            }
+        }
+        self.run_prefetch(oid, &pending)?;
+        Ok(out)
+    }
+
+    /// Execute a *batch* of region queries with inter-query scheduling
+    /// (paper §3.5.3): the tertiary fetches of all queries are merged,
+    /// deduplicated and ordered (one visit per medium, ascending offsets),
+    /// staged through the cache hierarchy, and only then is each query's
+    /// result assembled. Results are returned in request order.
+    pub fn fetch_batch(
+        &mut self,
+        requests: &[(ObjectId, Minterval)],
+    ) -> Result<Vec<MDArray>> {
+        // Collect every exported super-tile any query needs.
+        let mut needed: Vec<FetchRequest> = Vec::new();
+        for (oid, region) in requests {
+            let meta = self.adb.object(*oid)?.clone();
+            let Some(target) = meta.domain.intersection(region) else {
+                continue;
+            };
+            for tid in meta.tiles_intersecting(&target) {
+                if self.adb.tile_location(tid)? == TileLocation::Exported {
+                    let st = self.catalog.supertile_of(tid)?;
+                    if !self.st_cache.contains(st) {
+                        needed.push(FetchRequest {
+                            st,
+                            addr: self.catalog.address(st)?,
+                        });
+                    }
+                }
+            }
+        }
+        // One scheduled sweep stages everything.
+        let order = if self.config.scheduling {
+            schedule(&needed, &self.store.library().mounted_media())
+        } else {
+            let mut seen = std::collections::HashSet::new();
+            needed.into_iter().filter(|r| seen.insert(r.st)).collect()
+        };
+        for r in order {
+            if self.st_cache.contains(r.st) {
+                continue;
+            }
+            let payload = self.store.read(r.addr)?;
+            self.stats.st_tape_fetches += 1;
+            self.stats.st_tape_bytes += r.addr.len;
+            let refetch = self.store.estimate_read_s(r.addr);
+            self.st_cache.put(r.st, payload, refetch);
+        }
+        // Assemble each query (cache hits all the way).
+        requests
+            .iter()
+            .map(|(oid, region)| self.fetch_region_hierarchical(*oid, region))
+            .collect()
+    }
+
+    /// Prefetch successor super-tiles in cluster order (paper §3.6).
+    fn run_prefetch(
+        &mut self,
+        oid: ObjectId,
+        touched: &BTreeMap<SuperTileId, Vec<TileId>>,
+    ) -> Result<()> {
+        let PrefetchPolicy::NextInOrder(n) = self.config.prefetch else {
+            return Ok(());
+        };
+        let Some(&max_touched) = touched.keys().max() else {
+            return Ok(());
+        };
+        let order = self.catalog.object_supertiles(oid);
+        let Some(pos) = order.iter().position(|&s| s == max_touched) else {
+            return Ok(());
+        };
+        let clock = self.clock();
+        for &st in order.iter().skip(pos + 1).take(n) {
+            if self.st_cache.contains(st) {
+                continue;
+            }
+            let t0 = clock.now_s();
+            let addr = self.catalog.address(st)?;
+            let payload = self.store.read(addr)?;
+            self.stats.st_tape_fetches += 1;
+            self.stats.st_tape_bytes += addr.len;
+            let refetch = self.store.estimate_read_s(addr);
+            self.st_cache.put(st, payload, refetch);
+            self.stats.prefetches += 1;
+            self.stats.prefetch_s += clock.now_s() - t0;
+            self.stats.prefetch_bytes += addr.len;
+        }
+        Ok(())
+    }
+}
+
+impl TileProvider for Heaven {
+    fn object_meta(&self, oid: ObjectId) -> heaven_arraydb::Result<ObjectMeta> {
+        Ok(self.adb.object(oid)?.clone())
+    }
+
+    fn collection_objects(&self, name: &str) -> heaven_arraydb::Result<Vec<ObjectId>> {
+        Ok(self.adb.collection(name)?.objects.clone())
+    }
+
+    fn fetch_region(
+        &mut self,
+        oid: ObjectId,
+        region: &Minterval,
+    ) -> heaven_arraydb::Result<MDArray> {
+        self.fetch_region_hierarchical(oid, region)
+            .map_err(Into::into)
+    }
+
+    fn precomputed(
+        &mut self,
+        oid: ObjectId,
+        op: Condenser,
+        region: &Minterval,
+    ) -> Option<f64> {
+        let tiles = self.adb.object(oid).ok()?.tiles.clone();
+        self.precomp.lookup(oid, op, region, &tiles)
+    }
+
+    fn note_computed(&mut self, oid: ObjectId, op: Condenser, region: &Minterval, value: f64) {
+        self.precomp.record_exact(oid, op, region.clone(), value);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests of HEAVEN's core invariants: STAR/eSTAR
+//! partitioning, the scheduler, the cache, and the super-tile codec.
+
+use heaven_array::{CellType, LinearOrder, MDArray, Minterval, Tile, Tiling};
+use heaven_core::{
+    count_exchanges, decode_all, encode_supertile, estar_partition, schedule,
+    star_partition, AccessPattern, EvictionPolicy, FetchRequest, SuperTileCache,
+    TileInfo,
+};
+use heaven_hsm::BlockAddress;
+use proptest::prelude::*;
+
+fn tile_infos(gx: u64, gy: u64, bytes: u64) -> (Vec<TileInfo>, Vec<u64>) {
+    let dom = Minterval::new(&[(0, gx as i64 * 10 - 1), (0, gy as i64 * 10 - 1)]).unwrap();
+    let tiling = Tiling::Regular {
+        tile_shape: vec![10, 10],
+    };
+    let domains = tiling.tile_domains(&dom, CellType::U8).unwrap();
+    let (grid, shape) = tiling.tile_grid(&dom, CellType::U8).unwrap();
+    let tiles = domains
+        .into_iter()
+        .zip(grid)
+        .enumerate()
+        .map(|(i, (domain, gc))| TileInfo {
+            id: i as u64,
+            domain,
+            bytes,
+            grid: gc,
+        })
+        .collect();
+    (tiles, shape)
+}
+
+proptest! {
+    #[test]
+    fn star_partition_is_exact_cover(
+        gx in 1u64..10,
+        gy in 1u64..10,
+        tile_bytes in 1u64..500,
+        target in 1u64..2000,
+        order_idx in 0usize..3,
+    ) {
+        let order = [LinearOrder::RowMajor, LinearOrder::ZOrder, LinearOrder::Hilbert][order_idx];
+        let (tiles, shape) = tile_infos(gx, gy, tile_bytes);
+        let p = star_partition(&tiles, &shape, target, order);
+        let mut seen = vec![0u32; tiles.len()];
+        for g in &p {
+            prop_assert!(!g.is_empty());
+            let sz: u64 = g.iter().map(|&i| tiles[i].bytes).sum();
+            prop_assert!(sz <= target.max(tile_bytes), "group {sz} > target {target}");
+            for &i in g {
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn estar_partition_is_exact_cover(
+        gx in 1u64..8,
+        gy in 1u64..8,
+        target in 100u64..3000,
+        pattern_idx in 0usize..3,
+    ) {
+        let pattern = [
+            AccessPattern::Uniform,
+            AccessPattern::Directional { axis: 1 },
+            AccessPattern::SliceDominant { axis: 0 },
+        ][pattern_idx];
+        let (tiles, shape) = tile_infos(gx, gy, 100);
+        let p = estar_partition(&tiles, &shape, target, pattern);
+        let mut seen = vec![0u32; tiles.len()];
+        for g in &p {
+            for &i in g {
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+        // merge tolerance: no group exceeds 1.25 * target + one tile
+        for g in &p {
+            let sz: u64 = g.iter().map(|&i| tiles[i].bytes).sum();
+            prop_assert!(sz as f64 <= 1.25 * target as f64 + 100.0);
+        }
+    }
+
+    #[test]
+    fn schedule_preserves_request_set(
+        reqs in prop::collection::vec((0u64..2000, 0u64..6, 0u64..10_000u64), 1..60),
+    ) {
+        let requests: Vec<FetchRequest> = reqs
+            .iter()
+            .map(|&(st, medium, offset)| FetchRequest {
+                st,
+                addr: BlockAddress { medium, offset, len: 10 },
+            })
+            .collect();
+        let out = schedule(&requests, &[2]);
+        // every distinct st appears exactly once
+        let mut in_sts: Vec<u64> = requests.iter().map(|r| r.st).collect();
+        in_sts.sort_unstable();
+        in_sts.dedup();
+        let mut out_sts: Vec<u64> = out.iter().map(|r| r.st).collect();
+        out_sts.sort_unstable();
+        out_sts.dedup();
+        prop_assert_eq!(&out_sts, &in_sts);
+        prop_assert_eq!(out.len(), in_sts.len());
+        // within each medium, offsets ascend
+        let mut last: std::collections::HashMap<u64, u64> = Default::default();
+        for r in &out {
+            if let Some(&prev) = last.get(&r.addr.medium) {
+                prop_assert!(r.addr.offset >= prev);
+            }
+            last.insert(r.addr.medium, r.addr.offset);
+        }
+    }
+
+    #[test]
+    fn scheduled_order_never_increases_exchanges(
+        reqs in prop::collection::vec((0u64..500, 0u64..5, 0u64..10_000u64), 1..40),
+        drives in 1usize..3,
+    ) {
+        let requests: Vec<FetchRequest> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, medium, offset))| FetchRequest {
+                st: i as u64, // unique: keep all requests
+                addr: BlockAddress { medium, offset, len: 10 },
+            })
+            .collect();
+        let scheduled = schedule(&requests, &[]);
+        let ex_naive = count_exchanges(&requests, drives, &[]);
+        let ex_sched = count_exchanges(&scheduled, drives, &[]);
+        prop_assert!(ex_sched <= ex_naive);
+        // scheduled exchanges = number of distinct media (single visit each)
+        let mut media: Vec<u64> = requests.iter().map(|r| r.addr.medium).collect();
+        media.sort_unstable();
+        media.dedup();
+        prop_assert_eq!(ex_sched, media.len() as u64);
+    }
+
+    #[test]
+    fn cache_usage_never_exceeds_capacity(
+        capacity in 100u64..2000,
+        ops in prop::collection::vec((0u64..30, 50u64..400, 0.0f64..100.0), 1..80),
+        policy_idx in 0usize..4,
+    ) {
+        let policy = EvictionPolicy::all()[policy_idx];
+        let mut cache = SuperTileCache::new(capacity, policy, None);
+        for &(st, size, cost) in &ops {
+            if cache.get(st).is_none() {
+                cache.put_phantom(st, size, cost);
+            }
+            prop_assert!(cache.used() <= capacity);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, ops.len() as u64);
+    }
+
+    #[test]
+    fn supertile_codec_roundtrips_any_tile_run(
+        n in 1usize..10,
+        seed in 0i64..1000,
+    ) {
+        let tiles: Vec<Tile> = (0..n)
+            .map(|i| {
+                let lo = i as i64 * 10;
+                let dom = Minterval::new(&[(lo, lo + 9), (0, 4)]).unwrap();
+                Tile::new(
+                    i as u64 + 1,
+                    7,
+                    MDArray::generate(dom, CellType::I16, |p| {
+                        ((seed + p.coord(0) * 5 + p.coord(1)) % 32_000) as f64
+                    }),
+                )
+            })
+            .collect();
+        let (payload, meta) = encode_supertile(99, 7, &tiles);
+        prop_assert_eq!(meta.total_len as usize, payload.len());
+        let decoded = decode_all(&meta, &payload).unwrap();
+        prop_assert_eq!(decoded, tiles);
+    }
+}

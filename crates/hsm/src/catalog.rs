@@ -1,0 +1,121 @@
+//! The HSM file catalog: name → tertiary-storage location.
+
+use heaven_tape::MediumId;
+use std::collections::BTreeMap;
+
+/// Location of one archived file on tertiary storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileEntry {
+    /// Medium holding the file.
+    pub medium: MediumId,
+    /// Byte offset on the medium.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// Catalog mapping archived file names to media locations.
+#[derive(Debug, Default, Clone)]
+pub struct FileCatalog {
+    entries: BTreeMap<String, FileEntry>,
+}
+
+impl FileCatalog {
+    /// Empty catalog.
+    pub fn new() -> FileCatalog {
+        FileCatalog::default()
+    }
+
+    /// Register a file; returns the previous entry if the name was taken.
+    pub fn insert(&mut self, name: &str, entry: FileEntry) -> Option<FileEntry> {
+        self.entries.insert(name.to_string(), entry)
+    }
+
+    /// Look up a file.
+    pub fn get(&self, name: &str) -> Option<FileEntry> {
+        self.entries.get(name).copied()
+    }
+
+    /// Remove a file; returns its entry.
+    pub fn remove(&mut self, name: &str) -> Option<FileEntry> {
+        self.entries.remove(name)
+    }
+
+    /// Whether the name is catalogued.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Number of catalogued files.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate `(name, entry)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &FileEntry)> {
+        self.entries.iter().map(|(n, e)| (n.as_str(), e))
+    }
+
+    /// All files on a given medium, ordered by offset — the order a
+    /// sequential sweep of that medium would encounter them.
+    pub fn files_on_medium(&self, medium: MediumId) -> Vec<(String, FileEntry)> {
+        let mut v: Vec<(String, FileEntry)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.medium == medium)
+            .map(|(n, e)| (n.clone(), *e))
+            .collect();
+        v.sort_by_key(|(_, e)| e.offset);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut c = FileCatalog::new();
+        let e = FileEntry {
+            medium: 1,
+            offset: 100,
+            len: 50,
+        };
+        assert_eq!(c.insert("obj1", e), None);
+        assert_eq!(c.get("obj1"), Some(e));
+        assert!(c.contains("obj1"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.remove("obj1"), Some(e));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_returns_previous() {
+        let mut c = FileCatalog::new();
+        let e1 = FileEntry { medium: 1, offset: 0, len: 10 };
+        let e2 = FileEntry { medium: 2, offset: 5, len: 10 };
+        c.insert("f", e1);
+        assert_eq!(c.insert("f", e2), Some(e1));
+        assert_eq!(c.get("f"), Some(e2));
+    }
+
+    #[test]
+    fn files_on_medium_sorted_by_offset() {
+        let mut c = FileCatalog::new();
+        c.insert("b", FileEntry { medium: 1, offset: 500, len: 10 });
+        c.insert("a", FileEntry { medium: 1, offset: 100, len: 10 });
+        c.insert("x", FileEntry { medium: 2, offset: 0, len: 10 });
+        let on1 = c.files_on_medium(1);
+        assert_eq!(
+            on1.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        assert_eq!(c.files_on_medium(3).len(), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! The staging disk: the secondary-storage cache in front of the tape
+//! library.
+//!
+//! Holds staged file copies with a capacity limit; charges seek + transfer
+//! costs to the shared simulated clock. Purging decisions are made by the
+//! HSM (see [`crate::policy`]); the disk itself only tracks recency.
+
+use heaven_tape::{DiskProfile, SimClock};
+use std::collections::HashMap;
+
+/// Statistics of the staging disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DiskStats {
+    /// Read operations served.
+    pub reads: u64,
+    /// Write operations performed.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Seconds spent on disk I/O.
+    pub io_s: f64,
+}
+
+#[derive(Debug, Clone)]
+struct StagedFile {
+    len: u64,
+    /// `None` for phantom payloads.
+    data: Option<Vec<u8>>,
+    last_access: u64,
+    /// Pinned files are never purge candidates (in active use).
+    pinned: bool,
+}
+
+/// A capacity-bounded staging disk.
+#[derive(Debug)]
+pub struct StagingDisk {
+    profile: DiskProfile,
+    clock: SimClock,
+    capacity: u64,
+    used: u64,
+    files: HashMap<String, StagedFile>,
+    stats: DiskStats,
+    counter: u64,
+}
+
+impl StagingDisk {
+    /// Create a staging disk of `capacity` bytes.
+    pub fn new(profile: DiskProfile, capacity: u64, clock: SimClock) -> StagingDisk {
+        StagingDisk {
+            profile,
+            clock,
+            capacity,
+            used: 0,
+            files: HashMap::new(),
+            stats: DiskStats::default(),
+            counter: 0,
+        }
+    }
+
+    /// Disk capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently staged.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// Whether `name` is staged.
+    pub fn contains(&self, name: &str) -> bool {
+        self.files.contains_key(name)
+    }
+
+    /// Length of a staged file.
+    pub fn len_of(&self, name: &str) -> Option<u64> {
+        self.files.get(name).map(|f| f.len)
+    }
+
+    /// Store a file (replacing any previous copy). Charges one write.
+    /// Returns `false` if the file exceeds the disk capacity outright.
+    pub fn store(&mut self, name: &str, len: u64, data: Option<Vec<u8>>) -> bool {
+        if len > self.capacity {
+            return false;
+        }
+        self.remove(name);
+        self.counter += 1;
+        let t = self.profile.access_time_s(len);
+        self.clock.advance_s(t);
+        self.stats.writes += 1;
+        self.stats.bytes_written += len;
+        self.stats.io_s += t;
+        self.used += len;
+        self.files.insert(
+            name.to_string(),
+            StagedFile {
+                len,
+                data,
+                last_access: self.counter,
+                pinned: false,
+            },
+        );
+        true
+    }
+
+    /// Read `len` bytes at `offset` of a staged file. Returns `None` when
+    /// the file is absent or the range is out of bounds; phantom files read
+    /// as zeros. Charges one read of `len` bytes.
+    pub fn read(&mut self, name: &str, offset: u64, len: u64) -> Option<Vec<u8>> {
+        self.counter += 1;
+        let counter = self.counter;
+        let f = self.files.get_mut(name)?;
+        if offset + len > f.len {
+            return None;
+        }
+        f.last_access = counter;
+        let t = self.profile.access_time_s(len);
+        self.clock.advance_s(t);
+        self.stats.reads += 1;
+        self.stats.bytes_read += len;
+        self.stats.io_s += t;
+        Some(match &f.data {
+            Some(bytes) => bytes[offset as usize..(offset + len) as usize].to_vec(),
+            None => vec![0u8; len as usize],
+        })
+    }
+
+    /// Drop a staged file; returns its length if it was present.
+    pub fn remove(&mut self, name: &str) -> Option<u64> {
+        let f = self.files.remove(name)?;
+        self.used -= f.len;
+        Some(f.len)
+    }
+
+    /// Pin or unpin a staged file (pinned files are not purge candidates).
+    pub fn set_pinned(&mut self, name: &str, pinned: bool) {
+        if let Some(f) = self.files.get_mut(name) {
+            f.pinned = pinned;
+        }
+    }
+
+    /// The least-recently-used unpinned file, if any.
+    pub fn lru_candidate(&self) -> Option<(String, u64)> {
+        self.files
+            .iter()
+            .filter(|(_, f)| !f.pinned)
+            .min_by_key(|(_, f)| f.last_access)
+            .map(|(n, f)| (n.clone(), f.len))
+    }
+
+    /// Names of all staged files.
+    pub fn names(&self) -> Vec<String> {
+        self.files.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk(cap: u64) -> StagingDisk {
+        StagingDisk::new(DiskProfile::scsi2003(), cap, SimClock::new())
+    }
+
+    #[test]
+    fn store_read_remove() {
+        let mut d = disk(1000);
+        assert!(d.store("a", 4, Some(vec![1, 2, 3, 4])));
+        assert_eq!(d.read("a", 1, 2), Some(vec![2, 3]));
+        assert_eq!(d.used(), 4);
+        assert_eq!(d.remove("a"), Some(4));
+        assert_eq!(d.used(), 0);
+        assert_eq!(d.read("a", 0, 1), None);
+    }
+
+    #[test]
+    fn oversized_file_rejected() {
+        let mut d = disk(10);
+        assert!(!d.store("big", 11, None));
+        assert!(d.store("fits", 10, None));
+    }
+
+    #[test]
+    fn out_of_range_read_fails() {
+        let mut d = disk(100);
+        d.store("a", 10, None);
+        assert!(d.read("a", 5, 10).is_none());
+        assert_eq!(d.read("a", 5, 5), Some(vec![0u8; 5]));
+    }
+
+    #[test]
+    fn lru_tracks_recency_and_pins() {
+        let mut d = disk(100);
+        d.store("a", 10, None);
+        d.store("b", 10, None);
+        d.store("c", 10, None);
+        d.read("a", 0, 1);
+        assert_eq!(d.lru_candidate().unwrap().0, "b");
+        d.set_pinned("b", true);
+        assert_eq!(d.lru_candidate().unwrap().0, "c");
+        d.set_pinned("b", false);
+        assert_eq!(d.lru_candidate().unwrap().0, "b");
+    }
+
+    #[test]
+    fn io_costs_accrue_on_clock() {
+        let clock = SimClock::new();
+        let mut d = StagingDisk::new(DiskProfile::scsi2003(), 1 << 30, clock.clone());
+        d.store("a", 30 << 20, None); // 30 MB at 30 MB/s + seek
+        assert!(clock.now_s() > 1.0 && clock.now_s() < 1.1);
+        d.read("a", 0, 30 << 20);
+        assert!(clock.now_s() > 2.0);
+        assert_eq!(d.stats().reads, 1);
+        assert_eq!(d.stats().writes, 1);
+    }
+
+    #[test]
+    fn restore_replaces_existing_copy() {
+        let mut d = disk(100);
+        d.store("a", 40, None);
+        d.store("a", 20, None);
+        assert_eq!(d.used(), 20);
+        assert_eq!(d.len_of("a"), Some(20));
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type for the HSM layer.
+
+use heaven_tape::TapeError;
+use std::fmt;
+
+/// Errors raised by the hierarchical storage manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // struct-variant fields are self-describing
+pub enum HsmError {
+    /// No file with this name is archived.
+    NoSuchFile(String),
+    /// A file with this name already exists.
+    FileExists(String),
+    /// The staging disk cannot hold the file even after purging everything.
+    StagingTooSmall { need: u64, capacity: u64 },
+    /// Read range exceeds the file.
+    BadRange { file: String, offset: u64, len: u64, file_len: u64 },
+    /// Underlying tertiary-storage failure.
+    Tape(TapeError),
+}
+
+impl fmt::Display for HsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HsmError::NoSuchFile(n) => write!(f, "no such file: {n}"),
+            HsmError::FileExists(n) => write!(f, "file exists: {n}"),
+            HsmError::StagingTooSmall { need, capacity } => {
+                write!(f, "staging disk too small: need {need}, capacity {capacity}")
+            }
+            HsmError::BadRange { file, offset, len, file_len } => write!(
+                f,
+                "range {offset}+{len} exceeds file {file} of {file_len} bytes"
+            ),
+            HsmError::Tape(e) => write!(f, "tertiary storage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HsmError {}
+
+impl From<TapeError> for HsmError {
+    fn from(e: TapeError) -> Self {
+        HsmError::Tape(e)
+    }
+}
+
+/// Result alias for the HSM layer.
+pub type Result<T> = std::result::Result<T, HsmError>;

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! # heaven-hsm — hierarchical storage management
+//!
+//! Two couplings of a DBMS (or any client) to the tertiary-storage
+//! simulator, mirroring the dissertation's §2.3–§2.5 and §3.1:
+//!
+//! * [`HsmSystem`] — the classical HSM: file granularity, transparent
+//!   whole-file staging through a watermark-managed disk cache. Reading one
+//!   byte of an archived file stages the entire file — the deficiency
+//!   HEAVEN's super-tiles remove.
+//! * [`DirectStore`] — direct tape-drive attachment: placement-aware
+//!   block writes and byte-range reads, the substrate of HEAVEN's
+//!   clustering, scheduling and caching machinery.
+
+pub mod catalog;
+pub mod direct;
+pub mod disk;
+pub mod error;
+pub mod hsm;
+pub mod policy;
+
+pub use catalog::{FileCatalog, FileEntry};
+pub use direct::{BlockAddress, DirectStore};
+pub use disk::{DiskStats, StagingDisk};
+pub use error::{HsmError, Result};
+pub use hsm::HsmSystem;
+pub use policy::WatermarkPolicy;

@@ -1,0 +1,74 @@
+//! Staging-disk purge policy: high/low watermarks.
+//!
+//! Classic HSM behaviour (paper §2.3): when the staging disk fills past the
+//! *high* watermark, least-recently-used staged copies are purged (their
+//! tape copies remain authoritative) until usage drops below the *low*
+//! watermark.
+
+/// Watermark-based purge policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatermarkPolicy {
+    /// Fraction of capacity above which purging starts (0..=1).
+    pub high: f64,
+    /// Fraction of capacity purging drives usage down to (0..=1).
+    pub low: f64,
+}
+
+impl Default for WatermarkPolicy {
+    fn default() -> Self {
+        WatermarkPolicy {
+            high: 0.90,
+            low: 0.70,
+        }
+    }
+}
+
+impl WatermarkPolicy {
+    /// Create a policy, clamping the fractions into `[0, 1]` and ensuring
+    /// `low <= high`.
+    pub fn new(high: f64, low: f64) -> WatermarkPolicy {
+        let high = high.clamp(0.0, 1.0);
+        let low = low.clamp(0.0, high);
+        WatermarkPolicy { high, low }
+    }
+
+    /// Whether a purge pass should start, given `used`/`capacity` after an
+    /// intended store of `incoming` bytes.
+    pub fn should_purge(&self, used: u64, incoming: u64, capacity: u64) -> bool {
+        (used + incoming) as f64 > self.high * capacity as f64
+    }
+
+    /// The usage level a purge pass should reach (in bytes).
+    pub fn purge_target(&self, capacity: u64) -> u64 {
+        (self.low * capacity as f64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = WatermarkPolicy::default();
+        assert!(p.low < p.high);
+    }
+
+    #[test]
+    fn purge_triggers_above_high() {
+        let p = WatermarkPolicy::new(0.8, 0.5);
+        assert!(!p.should_purge(700, 0, 1000));
+        assert!(p.should_purge(700, 200, 1000));
+        assert!(p.should_purge(900, 0, 1000));
+        assert_eq!(p.purge_target(1000), 500);
+    }
+
+    #[test]
+    fn constructor_clamps() {
+        let p = WatermarkPolicy::new(1.5, 2.0);
+        assert_eq!(p.high, 1.0);
+        assert_eq!(p.low, 1.0);
+        let p = WatermarkPolicy::new(0.5, 0.9);
+        assert!(p.low <= p.high);
+    }
+}

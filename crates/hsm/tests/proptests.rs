@@ -1,0 +1,78 @@
+//! Property-based tests of the HSM: archived files always read back
+//! correctly regardless of staging-cache pressure, and the staging disk
+//! never exceeds its capacity.
+
+use heaven_hsm::{HsmSystem, StagingDisk, WatermarkPolicy};
+use heaven_tape::{DeviceProfile, DiskProfile, SimClock, TapeLibrary, WritePayload};
+use proptest::prelude::*;
+
+fn hsm(disk_cap: u64, high: f64, low: f64) -> HsmSystem {
+    let clock = SimClock::new();
+    let disk = StagingDisk::new(DiskProfile::scsi2003(), disk_cap, clock.clone());
+    let lib = TapeLibrary::new(DeviceProfile::ibm3590(), 1, clock);
+    HsmSystem::new(disk, lib, WatermarkPolicy::new(high, low))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn archived_files_always_read_back(
+        sizes in prop::collection::vec(1u64..5000, 1..12),
+        reads in prop::collection::vec((0usize..12, 0.0f64..1.0, 0.0f64..1.0), 0..30),
+        disk_cap in 6000u64..40_000,
+        high in 0.5f64..1.0,
+        low in 0.1f64..0.5,
+    ) {
+        let mut h = hsm(disk_cap, high, low);
+        // archive files with recognizable contents
+        for (i, &len) in sizes.iter().enumerate() {
+            let data: Vec<u8> = (0..len).map(|b| ((b + i as u64 * 37) % 251) as u8).collect();
+            h.archive(&format!("f{i}"), WritePayload::Real(data)).unwrap();
+        }
+        for &(fi, off_frac, len_frac) in &reads {
+            let fi = fi % sizes.len();
+            let flen = sizes[fi];
+            if flen > disk_cap {
+                continue;
+            }
+            let off = (off_frac * (flen - 1) as f64) as u64;
+            let len = 1 + (len_frac * (flen - off - 1) as f64) as u64;
+            let got = h.read_range(&format!("f{fi}"), off, len).unwrap();
+            prop_assert_eq!(got.len() as u64, len);
+            for (j, &b) in got.iter().enumerate() {
+                let expect = ((off + j as u64 + fi as u64 * 37) % 251) as u8;
+                prop_assert_eq!(b, expect, "file f{} byte {}", fi, off + j as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn staging_disk_never_overflows(
+        sizes in prop::collection::vec(100u64..3000, 2..10),
+        order in prop::collection::vec(0usize..10, 5..40),
+    ) {
+        let cap = 5000u64;
+        let mut h = hsm(cap, 0.9, 0.5);
+        for (i, &len) in sizes.iter().enumerate() {
+            h.archive(&format!("f{i}"), WritePayload::Phantom(len)).unwrap();
+        }
+        for &fi in &order {
+            let fi = fi % sizes.len();
+            if sizes[fi] <= cap {
+                h.read_range(&format!("f{fi}"), 0, 1).unwrap();
+            }
+        }
+        // every byte that reached the disk cache was staged from tape
+        prop_assert!(h.tape_stats().bytes_read >= h.disk_stats().bytes_written);
+        prop_assert!(h.stage_ops() as usize <= order.len() + sizes.len());
+        // staged bytes bounded by capacity is internal; verify indirectly:
+        // all reads succeeded and every file is still readable
+        for (i, &len) in sizes.iter().enumerate() {
+            if len <= cap {
+                let name = format!("f{i}");
+                prop_assert!(h.read_range(&name, len - 1, 1).is_ok());
+            }
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! BLOB storage: byte strings of arbitrary length as page chains.
+//!
+//! RasDaMan stores every tile as a BLOB in the base RDBMS (paper §2.6.3).
+//! A BLOB is a chain of pages; a B+-tree directory maps BLOB ids to chain
+//! heads. Range reads walk only the pages covering the range.
+
+use crate::btree::BTree;
+use crate::db::Database;
+use crate::error::{DbError, Result};
+use crate::page::{PageId, PAGE_SIZE};
+
+/// Identifier of a BLOB.
+pub type BlobId = u64;
+
+const FIRST_HDR: usize = 16; // next (8) + total_len (8)
+const CONT_HDR: usize = 8; // next (8)
+const FIRST_CAP: usize = PAGE_SIZE - FIRST_HDR;
+const CONT_CAP: usize = PAGE_SIZE - CONT_HDR;
+
+/// A BLOB store with a B+-tree directory.
+#[derive(Debug, Clone, Copy)]
+pub struct BlobStore {
+    dir: BTree,
+    // The next id is kept in the directory under the reserved key 0
+    // (BLOB ids start at 1), so a reopened store continues correctly.
+}
+
+impl BlobStore {
+    /// Create a fresh store.
+    pub fn create(db: &mut Database) -> Result<BlobStore> {
+        let mut dir = BTree::create(db)?;
+        dir.insert(db, 0, 1)?; // next id
+        Ok(BlobStore { dir })
+    }
+
+    /// Re-open a store by its directory root page.
+    pub fn open(dir_root: PageId) -> BlobStore {
+        BlobStore {
+            dir: BTree::open(dir_root),
+        }
+    }
+
+    /// The directory root page (persist to re-open).
+    pub fn dir_root(&self) -> PageId {
+        self.dir.root()
+    }
+
+    fn alloc_id(&mut self, db: &mut Database) -> Result<BlobId> {
+        let id = self.dir.get(db, 0)?.ok_or(DbError::Corrupt(
+            "blob store missing id counter".into(),
+        ))?;
+        self.dir.insert(db, 0, id + 1)?;
+        Ok(id)
+    }
+
+    /// Store a BLOB; returns its id.
+    pub fn put(&mut self, db: &mut Database, data: &[u8]) -> Result<BlobId> {
+        let id = self.alloc_id(db)?;
+        let first = db.alloc_page()?;
+        self.dir.insert(db, id, first)?;
+        // Write the first page.
+        let head = data.len().min(FIRST_CAP);
+        let total = data.len() as u64;
+        let mut rest = &data[head..];
+        let mut next_needed = !rest.is_empty();
+        let mut next_page = if next_needed { db.alloc_page()? } else { 0 };
+        db.update_page(first, |p| {
+            p.write_u64(0, next_page);
+            p.write_u64(8, total);
+            p.as_mut_slice()[FIRST_HDR..FIRST_HDR + head].copy_from_slice(&data[..head]);
+        })?;
+        // Continuation pages.
+        let mut cur = next_page;
+        while next_needed {
+            let take = rest.len().min(CONT_CAP);
+            let chunk = &rest[..take];
+            rest = &rest[take..];
+            next_needed = !rest.is_empty();
+            next_page = if next_needed { db.alloc_page()? } else { 0 };
+            db.update_page(cur, |p| {
+                p.write_u64(0, next_page);
+                p.as_mut_slice()[CONT_HDR..CONT_HDR + take].copy_from_slice(chunk);
+            })?;
+            cur = next_page;
+        }
+        Ok(id)
+    }
+
+    /// Length of a BLOB in bytes.
+    pub fn len(&self, db: &mut Database, id: BlobId) -> Result<u64> {
+        let first = self.first_page(db, id)?;
+        Ok(db.read_page(first)?.read_u64(8))
+    }
+
+    fn first_page(&self, db: &mut Database, id: BlobId) -> Result<PageId> {
+        if id == 0 {
+            return Err(DbError::NoSuchBlob(0));
+        }
+        self.dir
+            .get(db, id)?
+            .ok_or(DbError::NoSuchBlob(id))
+    }
+
+    /// Read a whole BLOB.
+    pub fn get(&self, db: &mut Database, id: BlobId) -> Result<Vec<u8>> {
+        let len = self.len(db, id)?;
+        self.get_range(db, id, 0, len)
+    }
+
+    /// Read `len` bytes starting at byte `offset`.
+    pub fn get_range(
+        &self,
+        db: &mut Database,
+        id: BlobId,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>> {
+        let first = self.first_page(db, id)?;
+        let fp = db.read_page(first)?;
+        let total = fp.read_u64(8);
+        if offset + len > total {
+            return Err(DbError::BadOffset {
+                page: first,
+                offset: offset as usize,
+                len: len as usize,
+            });
+        }
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        let mut remaining = len;
+        let mut skip = offset;
+        // First page.
+        let head = (total as usize).min(FIRST_CAP) as u64;
+        if skip < head {
+            let take = (head - skip).min(remaining);
+            out.extend_from_slice(
+                &fp.as_slice()[FIRST_HDR + skip as usize..FIRST_HDR + (skip + take) as usize],
+            );
+            remaining -= take;
+            skip = 0;
+        } else {
+            skip -= head;
+        }
+        let mut cur = fp.read_u64(0);
+        while remaining > 0 {
+            if cur == 0 {
+                return Err(DbError::Corrupt(format!("blob {id} chain truncated")));
+            }
+            let p = db.read_page(cur)?;
+            let cap = CONT_CAP as u64;
+            if skip < cap {
+                let take = (cap - skip).min(remaining);
+                out.extend_from_slice(
+                    &p.as_slice()
+                        [CONT_HDR + skip as usize..CONT_HDR + (skip + take) as usize],
+                );
+                remaining -= take;
+                skip = 0;
+            } else {
+                skip -= cap;
+            }
+            cur = p.read_u64(0);
+        }
+        Ok(out)
+    }
+
+    /// Delete a BLOB and free its pages.
+    pub fn delete(&mut self, db: &mut Database, id: BlobId) -> Result<()> {
+        let first = self.first_page(db, id)?;
+        let mut cur = first;
+        while cur != 0 {
+            let next = db.read_page(cur)?.read_u64(0);
+            db.free_page(cur)?;
+            cur = next;
+        }
+        self.dir.remove(db, id)?;
+        Ok(())
+    }
+
+    /// Ids of all stored BLOBs.
+    pub fn ids(&self, db: &mut Database) -> Result<Vec<BlobId>> {
+        Ok(self
+            .dir
+            .range(db, 1, u64::MAX)?
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i % 251) as u8).collect()
+    }
+
+    #[test]
+    fn small_blob_roundtrip() {
+        let mut db = Database::for_tests();
+        let mut bs = BlobStore::create(&mut db).unwrap();
+        let data = pattern(100);
+        let id = bs.put(&mut db, &data).unwrap();
+        assert_eq!(bs.get(&mut db, id).unwrap(), data);
+        assert_eq!(bs.len(&mut db, id).unwrap(), 100);
+    }
+
+    #[test]
+    fn multi_page_blob_roundtrip() {
+        let mut db = Database::for_tests();
+        let mut bs = BlobStore::create(&mut db).unwrap();
+        let data = pattern(3 * PAGE_SIZE + 123);
+        let id = bs.put(&mut db, &data).unwrap();
+        assert_eq!(bs.get(&mut db, id).unwrap(), data);
+    }
+
+    #[test]
+    fn range_reads_cross_page_boundaries() {
+        let mut db = Database::for_tests();
+        let mut bs = BlobStore::create(&mut db).unwrap();
+        let data = pattern(4 * PAGE_SIZE);
+        let id = bs.put(&mut db, &data).unwrap();
+        // a range straddling the first/second page boundary
+        let off = FIRST_CAP as u64 - 10;
+        let got = bs.get_range(&mut db, id, off, 100).unwrap();
+        assert_eq!(got, data[off as usize..off as usize + 100]);
+        // a range deep in the chain
+        let off = (FIRST_CAP + 2 * CONT_CAP + 50) as u64;
+        let got = bs.get_range(&mut db, id, off, 200).unwrap();
+        assert_eq!(got, data[off as usize..off as usize + 200]);
+    }
+
+    #[test]
+    fn out_of_range_read_fails() {
+        let mut db = Database::for_tests();
+        let mut bs = BlobStore::create(&mut db).unwrap();
+        let id = bs.put(&mut db, &pattern(100)).unwrap();
+        assert!(bs.get_range(&mut db, id, 90, 20).is_err());
+    }
+
+    #[test]
+    fn delete_frees_pages_for_reuse() {
+        let mut db = Database::for_tests();
+        let mut bs = BlobStore::create(&mut db).unwrap();
+        let id = bs.put(&mut db, &pattern(5 * PAGE_SIZE)).unwrap();
+        let pages_before = db.page_count();
+        bs.delete(&mut db, id).unwrap();
+        assert!(matches!(bs.get(&mut db, id), Err(DbError::NoSuchBlob(_))));
+        // A same-sized blob reuses the freed pages: the file does not grow.
+        bs.put(&mut db, &pattern(5 * PAGE_SIZE)).unwrap();
+        assert_eq!(db.page_count(), pages_before);
+    }
+
+    #[test]
+    fn ids_are_distinct_and_listable() {
+        let mut db = Database::for_tests();
+        let mut bs = BlobStore::create(&mut db).unwrap();
+        let a = bs.put(&mut db, b"aa").unwrap();
+        let b = bs.put(&mut db, b"bb").unwrap();
+        assert_ne!(a, b);
+        let ids = bs.ids(&mut db).unwrap();
+        assert!(ids.contains(&a) && ids.contains(&b));
+    }
+
+    #[test]
+    fn zero_length_range_reads_are_empty() {
+        let mut db = Database::for_tests();
+        let mut bs = BlobStore::create(&mut db).unwrap();
+        let id = bs.put(&mut db, &pattern(3 * PAGE_SIZE)).unwrap();
+        // zero-length reads at any offset, including past the first page
+        for off in [0u64, 100, FIRST_CAP as u64 + 5, (3 * PAGE_SIZE - 1) as u64] {
+            assert_eq!(bs.get_range(&mut db, id, off, 0).unwrap(), Vec::<u8>::new());
+        }
+    }
+
+    #[test]
+    fn empty_blob_roundtrip() {
+        let mut db = Database::for_tests();
+        let mut bs = BlobStore::create(&mut db).unwrap();
+        let id = bs.put(&mut db, &[]).unwrap();
+        assert_eq!(bs.len(&mut db, id).unwrap(), 0);
+        assert_eq!(bs.get(&mut db, id).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn blob_survives_commit_crash_recover() {
+        let mut db = Database::for_tests();
+        db.begin().unwrap();
+        let mut bs = BlobStore::create(&mut db).unwrap();
+        let data = pattern(2 * PAGE_SIZE);
+        let id = bs.put(&mut db, &data).unwrap();
+        db.commit().unwrap();
+        db.crash();
+        db.recover().unwrap();
+        assert_eq!(bs.get(&mut db, id).unwrap(), data);
+    }
+}

@@ -1,0 +1,477 @@
+//! A page-based B+-tree mapping `u64` keys to `u64` values.
+//!
+//! Used by the array DBMS for its catalogs: tile id → BLOB id, object id →
+//! metadata row, etc. Leaves are chained for range scans. Deletion removes
+//! entries without rebalancing (underfull nodes are tolerated — the
+//! workloads are append-mostly, matching an archive system).
+
+use crate::db::Database;
+use crate::error::{DbError, Result};
+use crate::page::{Page, PageId, PAGE_SIZE};
+
+const TYPE_OFF: usize = 0; // u8: 1 = leaf, 0 = inner
+const COUNT_OFF: usize = 2; // u16
+const NEXT_OFF: usize = 8; // u64: next leaf (leaf nodes)
+const ENTRIES_OFF: usize = 16;
+
+/// Max (key, value) pairs in a leaf.
+const LEAF_CAP: usize = (PAGE_SIZE - ENTRIES_OFF) / 16 - 1;
+/// Max keys in an inner node (children = keys + 1).
+const INNER_CAP: usize = (PAGE_SIZE - ENTRIES_OFF - 8) / 16 - 1;
+
+/// Result of a recursive insert: `(previous value, optional split as
+/// (separator key, new right sibling page))`.
+type InsertOutcome = (Option<u64>, Option<(u64, PageId)>);
+
+/// A persistent B+-tree rooted at a page.
+#[derive(Debug, Clone, Copy)]
+pub struct BTree {
+    root: PageId,
+}
+
+impl BTree {
+    /// Create an empty tree; allocates the root leaf.
+    pub fn create(db: &mut Database) -> Result<BTree> {
+        let root = db.alloc_page()?;
+        db.update_page(root, |p| {
+            p.as_mut_slice()[TYPE_OFF] = 1;
+            p.write_u16(COUNT_OFF, 0);
+            p.write_u64(NEXT_OFF, 0);
+        })?;
+        Ok(BTree { root })
+    }
+
+    /// Re-open a tree by its root page (as recorded in a catalog).
+    pub fn open(root: PageId) -> BTree {
+        BTree { root }
+    }
+
+    /// The root page id (persist this to re-open the tree).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    // -- page accessors -------------------------------------------------------
+
+    fn is_leaf(p: &Page) -> bool {
+        p.as_slice()[TYPE_OFF] == 1
+    }
+
+    fn count(p: &Page) -> usize {
+        p.read_u16(COUNT_OFF) as usize
+    }
+
+    fn leaf_key(p: &Page, i: usize) -> u64 {
+        p.read_u64(ENTRIES_OFF + i * 16)
+    }
+
+    fn leaf_val(p: &Page, i: usize) -> u64 {
+        p.read_u64(ENTRIES_OFF + i * 16 + 8)
+    }
+
+    fn set_leaf_entry(p: &mut Page, i: usize, k: u64, v: u64) {
+        p.write_u64(ENTRIES_OFF + i * 16, k);
+        p.write_u64(ENTRIES_OFF + i * 16 + 8, v);
+    }
+
+    /// Inner layout: child0 at ENTRIES_OFF, then (key_i, child_{i+1}) pairs.
+    fn inner_child(p: &Page, i: usize) -> PageId {
+        if i == 0 {
+            p.read_u64(ENTRIES_OFF)
+        } else {
+            p.read_u64(ENTRIES_OFF + 8 + (i - 1) * 16 + 8)
+        }
+    }
+
+    fn inner_key(p: &Page, i: usize) -> u64 {
+        p.read_u64(ENTRIES_OFF + 8 + i * 16)
+    }
+
+    fn set_inner_child0(p: &mut Page, c: PageId) {
+        p.write_u64(ENTRIES_OFF, c);
+    }
+
+    fn set_inner_pair(p: &mut Page, i: usize, key: u64, child: PageId) {
+        p.write_u64(ENTRIES_OFF + 8 + i * 16, key);
+        p.write_u64(ENTRIES_OFF + 8 + i * 16 + 8, child);
+    }
+
+    // -- lookup ---------------------------------------------------------------
+
+    /// Look up a key.
+    pub fn get(&self, db: &mut Database, key: u64) -> Result<Option<u64>> {
+        let mut page_id = self.root;
+        loop {
+            let p = db.read_page(page_id)?;
+            if Self::is_leaf(&p) {
+                let n = Self::count(&p);
+                for i in 0..n {
+                    let k = Self::leaf_key(&p, i);
+                    if k == key {
+                        return Ok(Some(Self::leaf_val(&p, i)));
+                    }
+                    if k > key {
+                        return Ok(None);
+                    }
+                }
+                return Ok(None);
+            }
+            page_id = Self::descend(&p, key);
+        }
+    }
+
+    fn descend(p: &Page, key: u64) -> PageId {
+        let n = Self::count(p);
+        let mut i = 0;
+        while i < n && key >= Self::inner_key(p, i) {
+            i += 1;
+        }
+        Self::inner_child(p, i)
+    }
+
+    // -- insert ---------------------------------------------------------------
+
+    /// Insert or replace a key; returns the previous value if present.
+    pub fn insert(&mut self, db: &mut Database, key: u64, val: u64) -> Result<Option<u64>> {
+        let (prev, split) = Self::insert_rec(db, self.root, key, val)?;
+        if let Some((sep, right)) = split {
+            // Grow a new root.
+            let new_root = db.alloc_page()?;
+            let old_root = self.root;
+            db.update_page(new_root, |p| {
+                p.as_mut_slice()[TYPE_OFF] = 0;
+                p.write_u16(COUNT_OFF, 1);
+                Self::set_inner_child0(p, old_root);
+                Self::set_inner_pair(p, 0, sep, right);
+            })?;
+            self.root = new_root;
+        }
+        Ok(prev)
+    }
+
+    /// Recursive insert; returns (previous value, optional split as
+    /// (separator key, new right sibling page)).
+    fn insert_rec(
+        db: &mut Database,
+        page_id: PageId,
+        key: u64,
+        val: u64,
+    ) -> Result<InsertOutcome> {
+        let p = db.read_page(page_id)?;
+        if Self::is_leaf(&p) {
+            return Self::leaf_insert(db, page_id, key, val);
+        }
+        let child = Self::descend(&p, key);
+        let (prev, split) = Self::insert_rec(db, child, key, val)?;
+        let Some((sep, right)) = split else {
+            return Ok((prev, None));
+        };
+        // Insert (sep, right) into this inner node.
+        let mut p = db.read_page(page_id)?;
+        let n = Self::count(&p);
+        let mut pos = 0;
+        while pos < n && Self::inner_key(&p, pos) < sep {
+            pos += 1;
+        }
+        // shift pairs right
+        for i in (pos..n).rev() {
+            let k = Self::inner_key(&p, i);
+            let c = Self::inner_child(&p, i + 1);
+            Self::set_inner_pair(&mut p, i + 1, k, c);
+        }
+        Self::set_inner_pair(&mut p, pos, sep, right);
+        p.write_u16(COUNT_OFF, (n + 1) as u16);
+        if n < INNER_CAP {
+            db.write_page(page_id, p)?;
+            return Ok((prev, None));
+        }
+        // Split the inner node: middle key moves up.
+        let total = n + 1;
+        let mid = total / 2;
+        let up_key = Self::inner_key(&p, mid);
+        let right_id = db.alloc_page()?;
+        let mut rp = Page::new();
+        rp.as_mut_slice()[TYPE_OFF] = 0;
+        let right_keys = total - mid - 1;
+        Self::set_inner_child0(&mut rp, Self::inner_child(&p, mid + 1));
+        for i in 0..right_keys {
+            Self::set_inner_pair(
+                &mut rp,
+                i,
+                Self::inner_key(&p, mid + 1 + i),
+                Self::inner_child(&p, mid + 2 + i),
+            );
+        }
+        rp.write_u16(COUNT_OFF, right_keys as u16);
+        p.write_u16(COUNT_OFF, mid as u16);
+        db.write_page(page_id, p)?;
+        db.write_page(right_id, rp)?;
+        Ok((prev, Some((up_key, right_id))))
+    }
+
+    fn leaf_insert(
+        db: &mut Database,
+        page_id: PageId,
+        key: u64,
+        val: u64,
+    ) -> Result<InsertOutcome> {
+        let mut p = db.read_page(page_id)?;
+        let n = Self::count(&p);
+        let mut pos = 0;
+        while pos < n && Self::leaf_key(&p, pos) < key {
+            pos += 1;
+        }
+        if pos < n && Self::leaf_key(&p, pos) == key {
+            let prev = Self::leaf_val(&p, pos);
+            Self::set_leaf_entry(&mut p, pos, key, val);
+            db.write_page(page_id, p)?;
+            return Ok((Some(prev), None));
+        }
+        // shift right
+        for i in (pos..n).rev() {
+            let (k, v) = (Self::leaf_key(&p, i), Self::leaf_val(&p, i));
+            Self::set_leaf_entry(&mut p, i + 1, k, v);
+        }
+        Self::set_leaf_entry(&mut p, pos, key, val);
+        p.write_u16(COUNT_OFF, (n + 1) as u16);
+        if n < LEAF_CAP {
+            db.write_page(page_id, p)?;
+            return Ok((None, None));
+        }
+        // Split the leaf.
+        let total = n + 1;
+        let mid = total / 2;
+        let right_id = db.alloc_page()?;
+        let mut rp = Page::new();
+        rp.as_mut_slice()[TYPE_OFF] = 1;
+        for i in mid..total {
+            let (k, v) = (Self::leaf_key(&p, i), Self::leaf_val(&p, i));
+            Self::set_leaf_entry(&mut rp, i - mid, k, v);
+        }
+        rp.write_u16(COUNT_OFF, (total - mid) as u16);
+        rp.write_u64(NEXT_OFF, p.read_u64(NEXT_OFF));
+        p.write_u16(COUNT_OFF, mid as u16);
+        p.write_u64(NEXT_OFF, right_id);
+        let sep = Self::leaf_key(&rp, 0);
+        db.write_page(page_id, p)?;
+        db.write_page(right_id, rp)?;
+        Ok((None, Some((sep, right_id))))
+    }
+
+    // -- delete ---------------------------------------------------------------
+
+    /// Remove a key; returns its value if it was present. Nodes are not
+    /// rebalanced (archive workloads are append-mostly).
+    pub fn remove(&mut self, db: &mut Database, key: u64) -> Result<Option<u64>> {
+        let mut page_id = self.root;
+        loop {
+            let p = db.read_page(page_id)?;
+            if Self::is_leaf(&p) {
+                let n = Self::count(&p);
+                for i in 0..n {
+                    if Self::leaf_key(&p, i) == key {
+                        let val = Self::leaf_val(&p, i);
+                        let mut p = p;
+                        for j in i..n - 1 {
+                            let (k, v) =
+                                (Self::leaf_key(&p, j + 1), Self::leaf_val(&p, j + 1));
+                            Self::set_leaf_entry(&mut p, j, k, v);
+                        }
+                        p.write_u16(COUNT_OFF, (n - 1) as u16);
+                        db.write_page(page_id, p)?;
+                        return Ok(Some(val));
+                    }
+                }
+                return Ok(None);
+            }
+            page_id = Self::descend(&p, key);
+        }
+    }
+
+    // -- scans ----------------------------------------------------------------
+
+    /// All `(key, value)` pairs with `lo <= key <= hi`, in key order.
+    pub fn range(&self, db: &mut Database, lo: u64, hi: u64) -> Result<Vec<(u64, u64)>> {
+        let mut out = Vec::new();
+        // descend to the leaf containing lo
+        let mut page_id = self.root;
+        loop {
+            let p = db.read_page(page_id)?;
+            if Self::is_leaf(&p) {
+                break;
+            }
+            page_id = Self::descend(&p, lo);
+        }
+        loop {
+            let p = db.read_page(page_id)?;
+            let n = Self::count(&p);
+            for i in 0..n {
+                let k = Self::leaf_key(&p, i);
+                if k > hi {
+                    return Ok(out);
+                }
+                if k >= lo {
+                    out.push((k, Self::leaf_val(&p, i)));
+                }
+            }
+            let next = p.read_u64(NEXT_OFF);
+            if next == 0 {
+                return Ok(out);
+            }
+            page_id = next;
+        }
+    }
+
+    /// Number of entries (full scan).
+    pub fn len(&self, db: &mut Database) -> Result<usize> {
+        Ok(self.range(db, 0, u64::MAX)?.len())
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self, db: &mut Database) -> Result<bool> {
+        Ok(self.len(db)? == 0)
+    }
+
+    /// Validate structural invariants (keys sorted, counts within caps).
+    /// Used by property tests.
+    pub fn check(&self, db: &mut Database) -> Result<()> {
+        Self::check_rec(db, self.root, None, None)
+    }
+
+    fn check_rec(
+        db: &mut Database,
+        page_id: PageId,
+        lo: Option<u64>,
+        hi: Option<u64>,
+    ) -> Result<()> {
+        let p = db.read_page(page_id)?;
+        let n = Self::count(&p);
+        let in_bounds = |k: u64| {
+            lo.map(|l| k >= l).unwrap_or(true) && hi.map(|h| k < h).unwrap_or(true)
+        };
+        if Self::is_leaf(&p) {
+            if n > LEAF_CAP {
+                return Err(DbError::Corrupt(format!("leaf overfull: {n}")));
+            }
+            for i in 0..n {
+                let k = Self::leaf_key(&p, i);
+                if !in_bounds(k) {
+                    return Err(DbError::Corrupt(format!("leaf key {k} out of bounds")));
+                }
+                if i > 0 && Self::leaf_key(&p, i - 1) >= k {
+                    return Err(DbError::Corrupt("leaf keys unsorted".into()));
+                }
+            }
+            return Ok(());
+        }
+        if n == 0 || n > INNER_CAP {
+            return Err(DbError::Corrupt(format!("inner count {n}")));
+        }
+        for i in 0..n {
+            let k = Self::inner_key(&p, i);
+            if !in_bounds(k) {
+                return Err(DbError::Corrupt(format!("inner key {k} out of bounds")));
+            }
+            if i > 0 && Self::inner_key(&p, i - 1) >= k {
+                return Err(DbError::Corrupt("inner keys unsorted".into()));
+            }
+        }
+        for i in 0..=n {
+            let child_lo = if i == 0 { lo } else { Some(Self::inner_key(&p, i - 1)) };
+            let child_hi = if i == n { hi } else { Some(Self::inner_key(&p, i)) };
+            Self::check_rec(db, Self::inner_child(&p, i), child_lo, child_hi)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_small() {
+        let mut db = Database::for_tests();
+        let mut t = BTree::create(&mut db).unwrap();
+        assert_eq!(t.insert(&mut db, 5, 50).unwrap(), None);
+        assert_eq!(t.insert(&mut db, 3, 30).unwrap(), None);
+        assert_eq!(t.insert(&mut db, 9, 90).unwrap(), None);
+        assert_eq!(t.get(&mut db, 3).unwrap(), Some(30));
+        assert_eq!(t.get(&mut db, 5).unwrap(), Some(50));
+        assert_eq!(t.get(&mut db, 9).unwrap(), Some(90));
+        assert_eq!(t.get(&mut db, 4).unwrap(), None);
+        // replace
+        assert_eq!(t.insert(&mut db, 5, 55).unwrap(), Some(50));
+        assert_eq!(t.get(&mut db, 5).unwrap(), Some(55));
+    }
+
+    #[test]
+    fn bulk_inserts_force_splits_and_stay_consistent() {
+        let mut db = Database::for_tests();
+        let mut t = BTree::create(&mut db).unwrap();
+        let n: u64 = 5000;
+        // insert in a scrambled order
+        for i in 0..n {
+            let k = (i * 2654435761) % n;
+            t.insert(&mut db, k, k * 2).unwrap();
+        }
+        t.check(&mut db).unwrap();
+        for k in 0..n {
+            assert_eq!(t.get(&mut db, k).unwrap(), Some(k * 2), "key {k}");
+        }
+        assert_eq!(t.len(&mut db).unwrap(), n as usize);
+    }
+
+    #[test]
+    fn range_scan_in_order() {
+        let mut db = Database::for_tests();
+        let mut t = BTree::create(&mut db).unwrap();
+        for k in (0..2000u64).rev() {
+            t.insert(&mut db, k, k + 1).unwrap();
+        }
+        let r = t.range(&mut db, 100, 110).unwrap();
+        let expect: Vec<(u64, u64)> = (100..=110).map(|k| (k, k + 1)).collect();
+        assert_eq!(r, expect);
+        let all = t.range(&mut db, 0, u64::MAX).unwrap();
+        assert_eq!(all.len(), 2000);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn remove_deletes_entries() {
+        let mut db = Database::for_tests();
+        let mut t = BTree::create(&mut db).unwrap();
+        for k in 0..1500u64 {
+            t.insert(&mut db, k, k).unwrap();
+        }
+        assert_eq!(t.remove(&mut db, 700).unwrap(), Some(700));
+        assert_eq!(t.remove(&mut db, 700).unwrap(), None);
+        assert_eq!(t.get(&mut db, 700).unwrap(), None);
+        assert_eq!(t.len(&mut db).unwrap(), 1499);
+        t.check(&mut db).unwrap();
+    }
+
+    #[test]
+    fn reopen_by_root_page() {
+        let mut db = Database::for_tests();
+        let root;
+        {
+            let mut t = BTree::create(&mut db).unwrap();
+            for k in 0..100u64 {
+                t.insert(&mut db, k, k * 7).unwrap();
+            }
+            root = t.root();
+        }
+        let t2 = BTree::open(root);
+        assert_eq!(t2.get(&mut db, 50).unwrap(), Some(350));
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let mut db = Database::for_tests();
+        let t = BTree::create(&mut db).unwrap();
+        assert!(t.is_empty(&mut db).unwrap());
+        assert_eq!(t.get(&mut db, 1).unwrap(), None);
+        assert_eq!(t.range(&mut db, 0, 100).unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Buffer pool: LRU page cache over the disk manager.
+
+use crate::disk::DiskManager;
+use crate::error::Result;
+use crate::page::{Page, PageId};
+use std::collections::HashMap;
+
+/// Buffer pool statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Accesses served from memory.
+    pub hits: u64,
+    /// Accesses that required a disk read.
+    pub misses: u64,
+    /// Dirty-page evictions (write-backs).
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct Frame {
+    page: Page,
+    dirty: bool,
+    last_used: u64,
+}
+
+/// An LRU buffer pool.
+#[derive(Debug)]
+pub struct BufferPool {
+    disk: DiskManager,
+    capacity: usize,
+    frames: HashMap<PageId, Frame>,
+    counter: u64,
+    stats: BufferStats,
+}
+
+impl BufferPool {
+    /// Create a pool of `capacity` frames over `disk`.
+    pub fn new(disk: DiskManager, capacity: usize) -> BufferPool {
+        BufferPool {
+            disk,
+            capacity: capacity.max(1),
+            frames: HashMap::new(),
+            counter: 0,
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Pool statistics.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// The underlying disk manager.
+    pub fn disk(&self) -> &DiskManager {
+        &self.disk
+    }
+
+    /// Mutable access to the underlying disk manager (page allocation).
+    pub fn disk_mut(&mut self) -> &mut DiskManager {
+        &mut self.disk
+    }
+
+    fn touch(&mut self) -> u64 {
+        self.counter += 1;
+        self.counter
+    }
+
+    fn ensure_resident(&mut self, id: PageId) -> Result<()> {
+        if self.frames.contains_key(&id) {
+            self.stats.hits += 1;
+            return Ok(());
+        }
+        self.stats.misses += 1;
+        let page = self.disk.read_page(id)?;
+        self.admit(id, page, false)?;
+        Ok(())
+    }
+
+    fn admit(&mut self, id: PageId, page: Page, dirty: bool) -> Result<()> {
+        while self.frames.len() >= self.capacity {
+            // Evict LRU.
+            let victim = self
+                .frames
+                .iter()
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(&id, _)| id)
+                .expect("non-empty");
+            let frame = self.frames.remove(&victim).expect("present");
+            if frame.dirty {
+                self.disk.write_page(victim, &frame.page)?;
+                self.stats.evictions += 1;
+            }
+        }
+        let last_used = self.touch();
+        self.frames.insert(
+            id,
+            Frame {
+                page,
+                dirty,
+                last_used,
+            },
+        );
+        Ok(())
+    }
+
+    /// Read a page (through the cache); returns a copy of its image.
+    pub fn read(&mut self, id: PageId) -> Result<Page> {
+        self.ensure_resident(id)?;
+        let t = self.touch();
+        let f = self.frames.get_mut(&id).expect("resident");
+        f.last_used = t;
+        Ok(f.page.clone())
+    }
+
+    /// Replace a page image (marks it dirty; written back on eviction or
+    /// flush).
+    pub fn write(&mut self, id: PageId, page: Page) -> Result<()> {
+        if id >= self.disk.page_count() {
+            return Err(crate::error::DbError::BadPage(id));
+        }
+        if let Some(f) = self.frames.get_mut(&id) {
+            self.stats.hits += 1;
+            f.page = page;
+            f.dirty = true;
+            let t = self.touch();
+            self.frames.get_mut(&id).unwrap().last_used = t;
+            return Ok(());
+        }
+        self.stats.misses += 1;
+        self.admit(id, page, true)
+    }
+
+    /// Update a page in place via a closure (marks it dirty).
+    pub fn update<R>(&mut self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> Result<R> {
+        self.ensure_resident(id)?;
+        let t = self.touch();
+        let frame = self.frames.get_mut(&id).expect("resident");
+        frame.last_used = t;
+        frame.dirty = true;
+        Ok(f(&mut frame.page))
+    }
+
+    /// Write all dirty pages back to disk.
+    pub fn flush_all(&mut self) -> Result<()> {
+        let mut dirty: Vec<PageId> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(&id, _)| id)
+            .collect();
+        dirty.sort_unstable(); // sequential write-back
+        for id in dirty {
+            let page = self.frames.get(&id).expect("present").page.clone();
+            self.disk.write_page(id, &page)?;
+            self.frames.get_mut(&id).expect("present").dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Drop every frame *without* writing dirty pages back — simulates a
+    /// crash losing volatile state.
+    pub fn drop_all_unflushed(&mut self) {
+        self.frames.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heaven_tape::{DiskProfile, SimClock};
+
+    fn pool(cap: usize) -> BufferPool {
+        let mut disk = DiskManager::new(DiskProfile::scsi2003(), SimClock::new());
+        for _ in 0..20 {
+            disk.grow();
+        }
+        BufferPool::new(disk, cap)
+    }
+
+    #[test]
+    fn read_caches_pages() {
+        let mut b = pool(4);
+        b.read(1).unwrap();
+        b.read(1).unwrap();
+        assert_eq!(b.stats().misses, 1);
+        assert_eq!(b.stats().hits, 1);
+    }
+
+    #[test]
+    fn writes_are_buffered_until_flush() {
+        let mut b = pool(4);
+        let mut p = Page::new();
+        p.write_u64(0, 77);
+        b.write(3, p).unwrap();
+        let before = b.disk().stats().page_writes;
+        b.flush_all().unwrap();
+        assert_eq!(b.disk().stats().page_writes, before + 1);
+        // after flush the disk has the data
+        assert_eq!(b.disk_mut().read_page(3).unwrap().read_u64(0), 77);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let mut b = pool(2);
+        for id in 1..=4u64 {
+            b.update(id, |p| p.write_u64(0, id * 10)).unwrap();
+        }
+        assert!(b.stats().evictions >= 2);
+        // Every page readable with correct contents (possibly from disk).
+        for id in 1..=4u64 {
+            assert_eq!(b.read(id).unwrap().read_u64(0), id * 10);
+        }
+    }
+
+    #[test]
+    fn crash_loses_unflushed_writes() {
+        let mut b = pool(8);
+        b.update(2, |p| p.write_u64(0, 123)).unwrap();
+        b.drop_all_unflushed();
+        assert_eq!(b.read(2).unwrap().read_u64(0), 0, "write was volatile");
+    }
+
+    #[test]
+    fn update_returns_closure_result() {
+        let mut b = pool(2);
+        let v = b.update(1, |p| {
+            p.write_u32(4, 9);
+            p.read_u32(4) + 1
+        });
+        assert_eq!(v.unwrap(), 10);
+    }
+
+    #[test]
+    fn write_to_unallocated_page_fails() {
+        let mut b = pool(2);
+        assert!(b.write(999, Page::new()).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for the RDBMS substrate.
+
+use std::fmt;
+
+/// Errors raised by the relational storage manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // struct-variant fields are self-describing
+pub enum DbError {
+    /// Page id outside the allocated file.
+    BadPage(u64),
+    /// Page-internal offset/length out of bounds.
+    BadOffset { page: u64, offset: usize, len: usize },
+    /// Unknown BLOB id.
+    NoSuchBlob(u64),
+    /// Unknown transaction id.
+    NoSuchTxn(u64),
+    /// Operation requires an active transaction.
+    NoActiveTxn,
+    /// B-tree node corruption (invariant violation).
+    Corrupt(String),
+    /// A record was too large for a page.
+    RecordTooLarge { len: usize, max: usize },
+    /// Unknown row id.
+    NoSuchRow { page: u64, slot: u16 },
+    /// Key not found.
+    KeyNotFound(u64),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::BadPage(p) => write!(f, "bad page id {p}"),
+            DbError::BadOffset { page, offset, len } => {
+                write!(f, "bad access on page {page}: offset {offset} len {len}")
+            }
+            DbError::NoSuchBlob(id) => write!(f, "no such blob {id}"),
+            DbError::NoSuchTxn(id) => write!(f, "no such transaction {id}"),
+            DbError::NoActiveTxn => write!(f, "no active transaction"),
+            DbError::Corrupt(msg) => write!(f, "corruption: {msg}"),
+            DbError::RecordTooLarge { len, max } => {
+                write!(f, "record of {len} bytes exceeds page payload {max}")
+            }
+            DbError::NoSuchRow { page, slot } => {
+                write!(f, "no such row: page {page} slot {slot}")
+            }
+            DbError::KeyNotFound(k) => write!(f, "key not found: {k}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Result alias for the RDBMS substrate.
+pub type Result<T> = std::result::Result<T, DbError>;

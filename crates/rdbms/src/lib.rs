@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # heaven-rdbms — base RDBMS substrate
+//!
+//! RasDaMan delegates durable storage to a conventional RDBMS (Oracle,
+//! IBM DB2) used as a BLOB + catalog store with transactions (paper §2.6,
+//! Fig. 1.3). This crate provides that substrate from scratch: a simulated
+//! page disk with cost accounting, an LRU buffer pool, WAL-backed
+//! transactions with crash recovery, a page-based B+-tree, a BLOB store
+//! (tiles live here), and slotted-page heap tables (catalogs live here).
+
+pub mod blob;
+pub mod btree;
+pub mod buffer;
+pub mod db;
+pub mod disk;
+pub mod error;
+pub mod page;
+pub mod table;
+pub mod wal;
+
+pub use blob::{BlobId, BlobStore};
+pub use btree::BTree;
+pub use buffer::{BufferPool, BufferStats};
+pub use db::Database;
+pub use disk::{DiskManager, IoStats};
+pub use error::{DbError, Result};
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use table::{RowId, Table};
+pub use wal::{TxnId, Wal, WalRecord};

@@ -1,0 +1,100 @@
+//! Pages: the unit of disk I/O and buffering.
+
+/// Size of one page in bytes (8 KiB, the classical RDBMS default).
+pub const PAGE_SIZE: usize = 8192;
+
+/// Identifier of a page within the database file.
+pub type PageId = u64;
+
+/// The reserved meta page holding allocator state.
+pub const META_PAGE: PageId = 0;
+
+/// An in-memory page image.
+#[derive(Clone)]
+pub struct Page {
+    bytes: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Page {
+            bytes: Box::new([0u8; PAGE_SIZE]),
+        }
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Page({} bytes)", PAGE_SIZE)
+    }
+}
+
+impl Page {
+    /// A zeroed page.
+    pub fn new() -> Page {
+        Page::default()
+    }
+
+    /// Immutable view of the page bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes[..]
+    }
+
+    /// Mutable view of the page bytes.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.bytes[..]
+    }
+
+    /// Read a little-endian u64 at `off`.
+    pub fn read_u64(&self, off: usize) -> u64 {
+        u64::from_le_bytes(self.bytes[off..off + 8].try_into().unwrap())
+    }
+
+    /// Write a little-endian u64 at `off`.
+    pub fn write_u64(&mut self, off: usize, v: u64) {
+        self.bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Read a little-endian u32 at `off`.
+    pub fn read_u32(&self, off: usize) -> u32 {
+        u32::from_le_bytes(self.bytes[off..off + 4].try_into().unwrap())
+    }
+
+    /// Write a little-endian u32 at `off`.
+    pub fn write_u32(&mut self, off: usize, v: u32) {
+        self.bytes[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Read a little-endian u16 at `off`.
+    pub fn read_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes(self.bytes[off..off + 2].try_into().unwrap())
+    }
+
+    /// Write a little-endian u16 at `off`.
+    pub fn write_u16(&mut self, off: usize, v: u16) {
+        self.bytes[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_accessors_roundtrip() {
+        let mut p = Page::new();
+        p.write_u64(0, 0xDEAD_BEEF_CAFE_BABE);
+        p.write_u32(100, 42);
+        p.write_u16(200, 7);
+        assert_eq!(p.read_u64(0), 0xDEAD_BEEF_CAFE_BABE);
+        assert_eq!(p.read_u32(100), 42);
+        assert_eq!(p.read_u16(200), 7);
+    }
+
+    #[test]
+    fn fresh_page_is_zeroed() {
+        let p = Page::new();
+        assert!(p.as_slice().iter().all(|&b| b == 0));
+        assert_eq!(p.as_slice().len(), PAGE_SIZE);
+    }
+}

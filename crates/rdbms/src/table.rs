@@ -1,0 +1,266 @@
+//! Heap tables: variable-length records in slotted pages.
+//!
+//! The array DBMS keeps its catalogs (collections, object metadata,
+//! precomputed-result entries) in heap tables of serialized records,
+//! mirroring how RasDaMan keeps its metadata in relational tables of the
+//! base RDBMS.
+
+use crate::db::Database;
+use crate::error::{DbError, Result};
+use crate::page::{PageId, PAGE_SIZE};
+
+const NEXT_OFF: usize = 0; // u64 next page
+const COUNT_OFF: usize = 8; // u16 slot count
+const DATA_START: usize = 16;
+/// Each slot directory entry: record offset (u16) + record length (u16),
+/// stored from the page end growing downwards.
+const SLOT_SIZE: usize = 4;
+
+/// Address of a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RowId {
+    /// Page holding the record.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+/// A heap table of byte-string records.
+#[derive(Debug, Clone, Copy)]
+pub struct Table {
+    first: PageId,
+}
+
+impl Table {
+    /// Largest record that fits a fresh page.
+    pub const MAX_RECORD: usize = PAGE_SIZE - DATA_START - SLOT_SIZE;
+
+    /// Create an empty table.
+    pub fn create(db: &mut Database) -> Result<Table> {
+        let first = db.alloc_page()?;
+        Ok(Table { first })
+    }
+
+    /// Re-open by first page id.
+    pub fn open(first: PageId) -> Table {
+        Table { first }
+    }
+
+    /// The first page id (persist to re-open).
+    pub fn first_page(&self) -> PageId {
+        self.first
+    }
+
+    /// Insert a record; returns its row id.
+    pub fn insert(&self, db: &mut Database, record: &[u8]) -> Result<RowId> {
+        if record.len() > Self::MAX_RECORD {
+            return Err(DbError::RecordTooLarge {
+                len: record.len(),
+                max: Self::MAX_RECORD,
+            });
+        }
+        let mut page_id = self.first;
+        loop {
+            let p = db.read_page(page_id)?;
+            let count = p.read_u16(COUNT_OFF) as usize;
+            // Free space: between end of record area and start of slot dir.
+            let data_end = Self::data_end(&p, count);
+            let dir_start = PAGE_SIZE - (count + 1) * SLOT_SIZE;
+            if data_end + record.len() <= dir_start {
+                let slot = count as u16;
+                db.update_page(page_id, |p| {
+                    p.as_mut_slice()[data_end..data_end + record.len()]
+                        .copy_from_slice(record);
+                    let entry_off = PAGE_SIZE - (count + 1) * SLOT_SIZE;
+                    p.write_u16(entry_off, data_end as u16);
+                    p.write_u16(entry_off + 2, record.len() as u16);
+                    p.write_u16(COUNT_OFF, (count + 1) as u16);
+                })?;
+                return Ok(RowId {
+                    page: page_id,
+                    slot,
+                });
+            }
+            let next = p.read_u64(NEXT_OFF);
+            if next == 0 {
+                let new_page = db.alloc_page()?;
+                db.update_page(page_id, |p| p.write_u64(NEXT_OFF, new_page))?;
+                page_id = new_page;
+            } else {
+                page_id = next;
+            }
+        }
+    }
+
+    fn data_end(p: &crate::page::Page, count: usize) -> usize {
+        let mut end = DATA_START;
+        for s in 0..count {
+            let entry_off = PAGE_SIZE - (s + 1) * SLOT_SIZE;
+            let off = p.read_u16(entry_off) as usize;
+            let len = p.read_u16(entry_off + 2) as usize;
+            end = end.max(off + len);
+        }
+        end
+    }
+
+    /// Fetch a record.
+    pub fn get(&self, db: &mut Database, rid: RowId) -> Result<Vec<u8>> {
+        let p = db.read_page(rid.page)?;
+        let count = p.read_u16(COUNT_OFF);
+        if rid.slot >= count {
+            return Err(DbError::NoSuchRow {
+                page: rid.page,
+                slot: rid.slot,
+            });
+        }
+        let entry_off = PAGE_SIZE - (rid.slot as usize + 1) * SLOT_SIZE;
+        let off = p.read_u16(entry_off) as usize;
+        let len = p.read_u16(entry_off + 2) as usize;
+        if off == 0 {
+            return Err(DbError::NoSuchRow {
+                page: rid.page,
+                slot: rid.slot,
+            });
+        }
+        Ok(p.as_slice()[off..off + len].to_vec())
+    }
+
+    /// Delete a record (tombstones the slot; space is reclaimed only when
+    /// the page empties completely — archive catalogs shrink rarely).
+    pub fn delete(&self, db: &mut Database, rid: RowId) -> Result<()> {
+        let p = db.read_page(rid.page)?;
+        let count = p.read_u16(COUNT_OFF);
+        if rid.slot >= count {
+            return Err(DbError::NoSuchRow {
+                page: rid.page,
+                slot: rid.slot,
+            });
+        }
+        let entry_off = PAGE_SIZE - (rid.slot as usize + 1) * SLOT_SIZE;
+        if p.read_u16(entry_off) == 0 {
+            return Err(DbError::NoSuchRow {
+                page: rid.page,
+                slot: rid.slot,
+            });
+        }
+        db.update_page(rid.page, |p| {
+            p.write_u16(entry_off, 0);
+            p.write_u16(entry_off + 2, 0);
+        })?;
+        Ok(())
+    }
+
+    /// Scan all live records as `(row id, bytes)`.
+    pub fn scan(&self, db: &mut Database) -> Result<Vec<(RowId, Vec<u8>)>> {
+        let mut out = Vec::new();
+        let mut page_id = self.first;
+        loop {
+            let p = db.read_page(page_id)?;
+            let count = p.read_u16(COUNT_OFF);
+            for slot in 0..count {
+                let entry_off = PAGE_SIZE - (slot as usize + 1) * SLOT_SIZE;
+                let off = p.read_u16(entry_off) as usize;
+                let len = p.read_u16(entry_off + 2) as usize;
+                if off != 0 {
+                    out.push((
+                        RowId {
+                            page: page_id,
+                            slot,
+                        },
+                        p.as_slice()[off..off + len].to_vec(),
+                    ));
+                }
+            }
+            let next = p.read_u64(NEXT_OFF);
+            if next == 0 {
+                return Ok(out);
+            }
+            page_id = next;
+        }
+    }
+
+    /// Number of live records.
+    pub fn len(&self, db: &mut Database) -> Result<usize> {
+        Ok(self.scan(db)?.len())
+    }
+
+    /// Whether the table has no live records.
+    pub fn is_empty(&self, db: &mut Database) -> Result<bool> {
+        Ok(self.len(db)? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut db = Database::for_tests();
+        let t = Table::create(&mut db).unwrap();
+        let r1 = t.insert(&mut db, b"hello").unwrap();
+        let r2 = t.insert(&mut db, b"world!").unwrap();
+        assert_eq!(t.get(&mut db, r1).unwrap(), b"hello");
+        assert_eq!(t.get(&mut db, r2).unwrap(), b"world!");
+    }
+
+    #[test]
+    fn records_spill_to_new_pages() {
+        let mut db = Database::for_tests();
+        let t = Table::create(&mut db).unwrap();
+        let rec = vec![7u8; 1000];
+        let mut rids = Vec::new();
+        for _ in 0..50 {
+            rids.push(t.insert(&mut db, &rec).unwrap());
+        }
+        // More than one page used.
+        let pages: std::collections::HashSet<PageId> =
+            rids.iter().map(|r| r.page).collect();
+        assert!(pages.len() > 1);
+        for r in &rids {
+            assert_eq!(t.get(&mut db, *r).unwrap(), rec);
+        }
+        assert_eq!(t.len(&mut db).unwrap(), 50);
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let mut db = Database::for_tests();
+        let t = Table::create(&mut db).unwrap();
+        let r1 = t.insert(&mut db, b"a").unwrap();
+        let r2 = t.insert(&mut db, b"b").unwrap();
+        t.delete(&mut db, r1).unwrap();
+        assert!(t.get(&mut db, r1).is_err());
+        assert!(t.delete(&mut db, r1).is_err());
+        assert_eq!(t.get(&mut db, r2).unwrap(), b"b");
+        let rows = t.scan(&mut db).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1, b"b");
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut db = Database::for_tests();
+        let t = Table::create(&mut db).unwrap();
+        assert!(matches!(
+            t.insert(&mut db, &vec![0u8; PAGE_SIZE]),
+            Err(DbError::RecordTooLarge { .. })
+        ));
+        assert!(t.insert(&mut db, &vec![0u8; Table::MAX_RECORD]).is_ok());
+    }
+
+    #[test]
+    fn bad_rowid_is_error() {
+        let mut db = Database::for_tests();
+        let t = Table::create(&mut db).unwrap();
+        assert!(t
+            .get(
+                &mut db,
+                RowId {
+                    page: t.first_page(),
+                    slot: 3
+                }
+            )
+            .is_err());
+    }
+}

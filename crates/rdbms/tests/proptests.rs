@@ -1,0 +1,97 @@
+//! Property-based tests of the RDBMS substrate: B+-tree vs a model map,
+//! BLOB store roundtrips, transaction atomicity.
+
+use heaven_rdbms::{BTree, BlobStore, Database};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..300, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0u64..300).prop_map(Op::Remove),
+        (0u64..300).prop_map(Op::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn btree_matches_model(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let mut db = Database::for_tests();
+        let mut tree = BTree::create(&mut db).unwrap();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    let prev = tree.insert(&mut db, k, v).unwrap();
+                    prop_assert_eq!(prev, model.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    let prev = tree.remove(&mut db, k).unwrap();
+                    prop_assert_eq!(prev, model.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(&mut db, k).unwrap(), model.get(&k).copied());
+                }
+            }
+        }
+        tree.check(&mut db).unwrap();
+        let all = tree.range(&mut db, 0, u64::MAX).unwrap();
+        let expect: Vec<(u64, u64)> = model.into_iter().collect();
+        prop_assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn blob_roundtrip_any_size(len in 0usize..40_000, fill in any::<u8>()) {
+        let mut db = Database::for_tests();
+        let mut bs = BlobStore::create(&mut db).unwrap();
+        let data: Vec<u8> = (0..len).map(|i| fill.wrapping_add(i as u8)).collect();
+        let id = bs.put(&mut db, &data).unwrap();
+        prop_assert_eq!(bs.len(&mut db, id).unwrap(), len as u64);
+        prop_assert_eq!(bs.get(&mut db, id).unwrap(), data);
+    }
+
+    #[test]
+    fn blob_range_reads_match_slices(
+        len in 100usize..20_000,
+        start_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let mut db = Database::for_tests();
+        let mut bs = BlobStore::create(&mut db).unwrap();
+        let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        let id = bs.put(&mut db, &data).unwrap();
+        let start = ((len as f64 * start_frac) as usize).min(len - 1);
+        let take = ((len - start) as f64 * len_frac) as usize;
+        let got = bs.get_range(&mut db, id, start as u64, take as u64).unwrap();
+        prop_assert_eq!(got, &data[start..start + take]);
+    }
+
+    #[test]
+    fn aborted_writes_never_visible(
+        committed in any::<u64>(),
+        aborted in any::<u64>(),
+    ) {
+        let mut db = Database::for_tests();
+        let page = db.alloc_page().unwrap();
+        db.begin().unwrap();
+        db.update_page(page, |p| p.write_u64(0, committed)).unwrap();
+        db.commit().unwrap();
+        db.begin().unwrap();
+        db.update_page(page, |p| p.write_u64(0, aborted)).unwrap();
+        db.abort().unwrap();
+        prop_assert_eq!(db.read_page(page).unwrap().read_u64(0), committed);
+        // and after crash + recovery the committed value survives
+        db.crash();
+        db.recover().unwrap();
+        prop_assert_eq!(db.read_page(page).unwrap().read_u64(0), committed);
+    }
+}

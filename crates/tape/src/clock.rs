@@ -1,0 +1,90 @@
+//! Simulated wall clock.
+//!
+//! All device costs in the reproduction accrue against a shared virtual
+//! clock, so experiment results are *simulated seconds* — deterministic and
+//! independent of the host machine. The clock advances only when a device
+//! model says time passed.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A shared simulated clock with microsecond resolution.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    micros: Arc<Mutex<u64>>,
+}
+
+impl SimClock {
+    /// A new clock at t = 0.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now_s(&self) -> f64 {
+        *self.micros.lock() as f64 / 1e6
+    }
+
+    /// Advance the clock by `seconds` (negative values are ignored).
+    pub fn advance_s(&self, seconds: f64) {
+        if seconds <= 0.0 {
+            return;
+        }
+        let mut m = self.micros.lock();
+        *m += (seconds * 1e6).round() as u64;
+    }
+
+    /// Move the clock forward to `t_s` if it is in the future.
+    pub fn advance_to_s(&self, t_s: f64) {
+        let mut m = self.micros.lock();
+        let target = (t_s * 1e6).round() as u64;
+        if target > *m {
+            *m = target;
+        }
+    }
+
+    /// Reset to t = 0 (used between experiment runs).
+    pub fn reset(&self) {
+        *self.micros.lock() = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now_s(), 0.0);
+        c.advance_s(1.5);
+        c.advance_s(0.25);
+        assert!((c.now_s() - 1.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_advance_is_ignored() {
+        let c = SimClock::new();
+        c.advance_s(2.0);
+        c.advance_s(-5.0);
+        assert!((c.now_s() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_to_only_moves_forward() {
+        let c = SimClock::new();
+        c.advance_to_s(10.0);
+        c.advance_to_s(5.0);
+        assert!((c.now_s() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance_s(3.0);
+        assert!((b.now_s() - 3.0).abs() < 1e-9);
+        b.reset();
+        assert_eq!(a.now_s(), 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for the tertiary-storage simulator.
+
+use std::fmt;
+
+/// Errors raised by the tape library simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // struct-variant fields are self-describing
+pub enum TapeError {
+    /// Unknown medium id.
+    NoSuchMedium(u64),
+    /// The medium has no room for the requested write.
+    MediumFull { medium: u64, need: u64, free: u64 },
+    /// A read touched bytes never written.
+    ReadUnwritten { medium: u64, offset: u64, len: u64 },
+    /// A read crossed a segment boundary.
+    ReadSpansSegments { medium: u64, offset: u64 },
+    /// The library has no drives.
+    NoDrives,
+    /// Attempt to register more media than the library has slots.
+    NoFreeSlots,
+}
+
+impl fmt::Display for TapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TapeError::NoSuchMedium(id) => write!(f, "no such medium {id}"),
+            TapeError::MediumFull { medium, need, free } => {
+                write!(f, "medium {medium} full: need {need} bytes, {free} free")
+            }
+            TapeError::ReadUnwritten { medium, offset, len } => write!(
+                f,
+                "read of unwritten bytes on medium {medium} at {offset}+{len}"
+            ),
+            TapeError::ReadSpansSegments { medium, offset } => write!(
+                f,
+                "read spans segment boundary on medium {medium} at {offset}"
+            ),
+            TapeError::NoDrives => write!(f, "library has no drives"),
+            TapeError::NoFreeSlots => write!(f, "library has no free slots"),
+        }
+    }
+}
+
+impl std::error::Error for TapeError {}
+
+/// Result alias for the simulator.
+pub type Result<T> = std::result::Result<T, TapeError>;

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! # heaven-tape — tertiary-storage simulator
+//!
+//! A discrete-cost simulator of robotic tape libraries (and magneto-optical
+//! jukeboxes) with a calibrated cost model taken from the dissertation's
+//! tertiary-storage characterization (§1.1, §2.2): media exchange 12–40 s,
+//! mean locate 27–95 s, transfer about half of disk rate. All costs accrue
+//! on a shared [`SimClock`], making every experiment deterministic.
+//!
+//! The simulator stores *real* payload bytes (for functional correctness)
+//! or *phantom* sizes (for paper-scale volume sweeps without host memory).
+
+pub mod clock;
+pub mod error;
+pub mod library;
+pub mod media;
+pub mod profile;
+pub mod stats;
+
+pub use clock::SimClock;
+pub use error::{Result, TapeError};
+pub use library::{SlotConfig, TapeLibrary, WritePayload};
+pub use media::{Medium, MediumId, Segment};
+pub use profile::{DeviceProfile, DiskProfile};
+pub use stats::TapeStats;

@@ -1,0 +1,562 @@
+//! The robotic tape library: drives + slots + robot, with cost accounting.
+//!
+//! The library executes reads and writes against media, charging every
+//! mount, locate, transfer and rewind to the shared [`SimClock`] and to its
+//! [`TapeStats`]. It also exposes *estimation* methods that compute the cost
+//! of an access without performing it — these feed HEAVEN's super-tile
+//! sizing model and the decoupled-export pipeline model.
+
+use crate::clock::SimClock;
+use crate::error::{Result, TapeError};
+use crate::media::{Medium, MediumId};
+use crate::profile::DeviceProfile;
+use crate::stats::TapeStats;
+use std::collections::BTreeMap;
+
+/// Payload of a write: real bytes or a phantom size.
+#[derive(Debug, Clone)]
+pub enum WritePayload {
+    /// Real bytes (retrievable).
+    Real(Vec<u8>),
+    /// Size-only payload; reads return zeros. Lets experiments run
+    /// paper-scale data volumes without host memory.
+    Phantom(u64),
+}
+
+impl WritePayload {
+    /// Payload length in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            WritePayload::Real(v) => v.len() as u64,
+            WritePayload::Phantom(n) => *n,
+        }
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Drive {
+    mounted: Option<MediumId>,
+    /// Head position (byte offset) on the mounted medium.
+    head_pos: u64,
+    /// Logical timestamp of last use, for LRU eviction.
+    last_used: u64,
+}
+
+/// Slot configuration: how many media the robot can hold, and how long an
+/// operator needs to fetch a shelved (offline) medium.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotConfig {
+    /// Number of robot-accessible slots.
+    pub slots: usize,
+    /// Operator time to bring a shelved medium into the library, seconds
+    /// (minutes in practice — the paper's motivation for keeping archives
+    /// inside automated silos).
+    pub shelf_fetch_s: f64,
+}
+
+/// A robotic tape library with one device class and `n` drives. By default
+/// slots are unlimited; [`TapeLibrary::set_slot_config`] enables the
+/// finite-slot + shelf model.
+#[derive(Debug)]
+pub struct TapeLibrary {
+    profile: DeviceProfile,
+    clock: SimClock,
+    drives: Vec<Drive>,
+    media: BTreeMap<MediumId, Medium>,
+    stats: TapeStats,
+    next_medium: MediumId,
+    op_counter: u64,
+    slot_config: Option<SlotConfig>,
+    /// Media currently shelved (outside the robot's reach).
+    shelved: std::collections::BTreeSet<MediumId>,
+    /// Last-use tick per in-library medium, for shelf eviction.
+    media_last_used: BTreeMap<MediumId, u64>,
+    /// Operator fetches performed.
+    shelf_fetches: u64,
+    /// Seconds spent waiting for the operator.
+    shelf_s: f64,
+}
+
+impl TapeLibrary {
+    /// Create a library with `drives` drives sharing `clock`.
+    pub fn new(profile: DeviceProfile, drives: usize, clock: SimClock) -> TapeLibrary {
+        TapeLibrary {
+            profile,
+            clock,
+            drives: vec![
+                Drive {
+                    mounted: None,
+                    head_pos: 0,
+                    last_used: 0,
+                };
+                drives.max(1)
+            ],
+            media: BTreeMap::new(),
+            stats: TapeStats::default(),
+            next_medium: 0,
+            op_counter: 0,
+            slot_config: None,
+            shelved: Default::default(),
+            media_last_used: BTreeMap::new(),
+            shelf_fetches: 0,
+            shelf_s: 0.0,
+        }
+    }
+
+    /// Enable the finite-slot model: at most `config.slots` media stay in
+    /// the library; the least recently used unmounted media are moved to
+    /// the shelf, and accessing a shelved medium costs an operator fetch.
+    pub fn set_slot_config(&mut self, config: SlotConfig) {
+        self.slot_config = Some(config);
+        self.enforce_slots();
+    }
+
+    /// Whether a medium is currently shelved.
+    pub fn is_shelved(&self, id: MediumId) -> bool {
+        self.shelved.contains(&id)
+    }
+
+    /// Operator fetches performed so far.
+    pub fn shelf_fetches(&self) -> u64 {
+        self.shelf_fetches
+    }
+
+    /// Seconds spent on operator fetches so far.
+    pub fn shelf_wait_s(&self) -> f64 {
+        self.shelf_s
+    }
+
+    fn in_library_count(&self) -> usize {
+        self.media.len() - self.shelved.len()
+    }
+
+    /// Move LRU unmounted media to the shelf until within the slot limit.
+    fn enforce_slots(&mut self) {
+        let Some(cfg) = self.slot_config else { return };
+        while self.in_library_count() > cfg.slots.max(self.drives.len()) {
+            let victim = self
+                .media
+                .keys()
+                .filter(|id| !self.shelved.contains(id))
+                .filter(|id| self.mounted_in(**id).is_none())
+                .min_by_key(|id| self.media_last_used.get(id).copied().unwrap_or(0))
+                .copied();
+            match victim {
+                Some(v) => {
+                    self.shelved.insert(v);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Bring a shelved medium back into the library (operator fetch).
+    fn unshelve(&mut self, id: MediumId) {
+        if self.shelved.remove(&id) {
+            let cfg = self.slot_config.expect("shelved implies slot config");
+            self.clock.advance_s(cfg.shelf_fetch_s);
+            self.shelf_fetches += 1;
+            self.shelf_s += cfg.shelf_fetch_s;
+            self.enforce_slots();
+        }
+    }
+
+    /// The device profile in use.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// The shared simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TapeStats {
+        self.stats
+    }
+
+    /// Number of drives.
+    pub fn drive_count(&self) -> usize {
+        self.drives.len()
+    }
+
+    /// Register a fresh medium; returns its id. Under a slot limit, older
+    /// unmounted media may move to the shelf to make room.
+    pub fn add_medium(&mut self) -> MediumId {
+        let id = self.next_medium;
+        self.next_medium += 1;
+        self.media.insert(id, Medium::new(id, self.profile.media_capacity));
+        self.op_counter += 1;
+        self.media_last_used.insert(id, self.op_counter);
+        self.enforce_slots();
+        id
+    }
+
+    /// All registered media ids.
+    pub fn media_ids(&self) -> Vec<MediumId> {
+        self.media.keys().copied().collect()
+    }
+
+    /// Bytes used on a medium.
+    pub fn medium_used(&self, id: MediumId) -> Result<u64> {
+        Ok(self.medium(id)?.used())
+    }
+
+    /// Bytes free on a medium.
+    pub fn medium_free(&self, id: MediumId) -> Result<u64> {
+        Ok(self.medium(id)?.free())
+    }
+
+    /// The drive a medium is currently mounted in, if any.
+    pub fn mounted_in(&self, id: MediumId) -> Option<usize> {
+        self.drives.iter().position(|d| d.mounted == Some(id))
+    }
+
+    /// Media currently mounted, most recently used first.
+    pub fn mounted_media(&self) -> Vec<MediumId> {
+        let mut v: Vec<(u64, MediumId)> = self
+            .drives
+            .iter()
+            .filter_map(|d| d.mounted.map(|m| (d.last_used, m)))
+            .collect();
+        v.sort_by_key(|&(t, _)| std::cmp::Reverse(t));
+        v.into_iter().map(|(_, m)| m).collect()
+    }
+
+    fn medium(&self, id: MediumId) -> Result<&Medium> {
+        self.media.get(&id).ok_or(TapeError::NoSuchMedium(id))
+    }
+
+    fn medium_mut(&mut self, id: MediumId) -> Result<&mut Medium> {
+        self.media.get_mut(&id).ok_or(TapeError::NoSuchMedium(id))
+    }
+
+    /// Ensure `id` is mounted; returns the drive index. Charges exchange,
+    /// load and (for evictions) rewind costs.
+    pub fn ensure_mounted(&mut self, id: MediumId) -> Result<usize> {
+        self.medium(id)?; // existence check
+        self.op_counter += 1;
+        let op = self.op_counter;
+        self.media_last_used.insert(id, op);
+        if let Some(di) = self.mounted_in(id) {
+            self.drives[di].last_used = op;
+            return Ok(di);
+        }
+        self.unshelve(id);
+        // Pick a drive: empty first, else least recently used.
+        let di = self
+            .drives
+            .iter()
+            .position(|d| d.mounted.is_none())
+            .unwrap_or_else(|| {
+                self.drives
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, d)| d.last_used)
+                    .map(|(i, _)| i)
+                    .expect("at least one drive")
+            });
+        // Evict the current occupant.
+        if self.drives[di].mounted.is_some() {
+            let rewind = self.profile.rewind_time_s(self.drives[di].head_pos);
+            self.clock.advance_s(rewind);
+            self.stats.rewind_s += rewind;
+            self.stats.unmounts += 1;
+        }
+        // Robot exchange + drive load.
+        let mount = self.profile.mount_time_s();
+        self.clock.advance_s(mount);
+        self.stats.exchange_s += mount;
+        self.stats.mounts += 1;
+        self.drives[di] = Drive {
+            mounted: Some(id),
+            head_pos: 0,
+            last_used: op,
+        };
+        Ok(di)
+    }
+
+    /// Append a payload to a medium; returns the start offset.
+    pub fn write(&mut self, id: MediumId, payload: WritePayload) -> Result<u64> {
+        let len = payload.len();
+        let di = self.ensure_mounted(id)?;
+        let write_pos = self.medium(id)?.used();
+        // Locate to append position.
+        let head = self.drives[di].head_pos;
+        let locate = self.profile.locate_time_s(head, write_pos);
+        if locate > 0.0 {
+            self.stats.locates += 1;
+        }
+        let transfer = self.profile.transfer_time_s(len) + self.profile.write_sync_s;
+        self.clock.advance_s(locate + transfer);
+        self.stats.locate_s += locate;
+        self.stats.transfer_s += transfer;
+        self.stats.bytes_written += len;
+        let off = match payload {
+            WritePayload::Real(data) => self.medium_mut(id)?.append(data)?,
+            WritePayload::Phantom(n) => self.medium_mut(id)?.append_phantom(n)?,
+        };
+        self.drives[di].head_pos = off + len;
+        Ok(off)
+    }
+
+    /// Read `len` bytes at `offset` from a medium.
+    pub fn read(&mut self, id: MediumId, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let di = self.ensure_mounted(id)?;
+        let head = self.drives[di].head_pos;
+        let locate = self.profile.locate_time_s(head, offset);
+        if locate > 0.0 {
+            self.stats.locates += 1;
+        }
+        let transfer = self.profile.transfer_time_s(len);
+        self.clock.advance_s(locate + transfer);
+        self.stats.locate_s += locate;
+        self.stats.transfer_s += transfer;
+        self.stats.bytes_read += len;
+        let data = self.medium(id)?.read(offset, len)?;
+        self.drives[di].head_pos = offset + len;
+        Ok(data)
+    }
+
+    /// Segment boundaries of a medium, in tape order (offset, len).
+    pub fn medium_segments(&self, id: MediumId) -> Result<Vec<(u64, u64)>> {
+        Ok(self.medium(id)?.segments())
+    }
+
+    /// Whether a byte range on a medium holds stored data.
+    pub fn covers(&self, id: MediumId, offset: u64, len: u64) -> Result<bool> {
+        Ok(self.medium(id)?.covers(offset, len))
+    }
+
+    /// Erase a medium (recycle). The medium must exist; if mounted, the
+    /// head returns to position 0.
+    pub fn erase_medium(&mut self, id: MediumId) -> Result<()> {
+        self.medium_mut(id)?.erase();
+        if let Some(di) = self.mounted_in(id) {
+            self.drives[di].head_pos = 0;
+        }
+        Ok(())
+    }
+
+    // -- estimation (no side effects) --------------------------------------
+
+    /// Estimated cost of reading `(offset, len)` from `id` given the current
+    /// drive state: mount cost if unmounted, locate from the drive head (or
+    /// 0 after mount), plus transfer.
+    pub fn estimate_read_s(&self, id: MediumId, offset: u64, len: u64) -> f64 {
+        let (mount, head) = match self.mounted_in(id) {
+            Some(di) => (0.0, self.drives[di].head_pos),
+            None => {
+                // May also need to evict: approximate with full mount cost.
+                (self.profile.mount_time_s(), 0)
+            }
+        };
+        mount + self.profile.locate_time_s(head, offset) + self.profile.transfer_time_s(len)
+    }
+
+    /// Estimated cost of appending `len` bytes to `id`.
+    pub fn estimate_write_s(&self, id: MediumId, len: u64) -> f64 {
+        let write_pos = self.media.get(&id).map(|m| m.used()).unwrap_or(0);
+        self.estimate_read_s(id, write_pos, 0)
+            + self.profile.transfer_time_s(len)
+            + self.profile.write_sync_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib(drives: usize) -> TapeLibrary {
+        TapeLibrary::new(DeviceProfile::ibm3590(), drives, SimClock::new())
+    }
+
+    #[test]
+    fn write_read_roundtrip_with_costs() {
+        let mut l = lib(1);
+        let m = l.add_medium();
+        let off = l.write(m, WritePayload::Real(vec![7u8; 1024])).unwrap();
+        assert_eq!(off, 0);
+        let t_after_write = l.clock().now_s();
+        assert!(t_after_write > 0.0, "mount+transfer must cost time");
+        let data = l.read(m, 0, 1024).unwrap();
+        assert_eq!(data, vec![7u8; 1024]);
+        // read required a locate back to 0
+        assert!(l.stats().locate_s > 0.0);
+        assert_eq!(l.stats().bytes_read, 1024);
+        assert_eq!(l.stats().mounts, 1);
+    }
+
+    #[test]
+    fn sequential_reads_avoid_locates() {
+        let mut l = lib(1);
+        let m = l.add_medium();
+        l.write(m, WritePayload::Phantom(1 << 20)).unwrap();
+        l.write(m, WritePayload::Phantom(1 << 20)).unwrap();
+        // Position head at 0 by reading the first byte range.
+        l.read(m, 0, 1 << 20).unwrap();
+        let locates_before = l.stats().locates;
+        // Next segment starts exactly at the head: no locate.
+        l.read(m, 1 << 20, 1 << 20).unwrap();
+        assert_eq!(l.stats().locates, locates_before);
+    }
+
+    #[test]
+    fn media_exchange_on_single_drive() {
+        let mut l = lib(1);
+        let m1 = l.add_medium();
+        let m2 = l.add_medium();
+        l.write(m1, WritePayload::Phantom(100)).unwrap();
+        l.write(m2, WritePayload::Phantom(100)).unwrap();
+        assert_eq!(l.stats().mounts, 2);
+        assert_eq!(l.stats().unmounts, 1);
+        // Alternating access thrashes the single drive.
+        l.read(m1, 0, 100).unwrap();
+        l.read(m2, 0, 100).unwrap();
+        assert_eq!(l.stats().mounts, 4);
+    }
+
+    #[test]
+    fn two_drives_avoid_thrashing() {
+        let mut l = lib(2);
+        let m1 = l.add_medium();
+        let m2 = l.add_medium();
+        l.write(m1, WritePayload::Phantom(100)).unwrap();
+        l.write(m2, WritePayload::Phantom(100)).unwrap();
+        l.read(m1, 0, 100).unwrap();
+        l.read(m2, 0, 100).unwrap();
+        l.read(m1, 0, 100).unwrap();
+        assert_eq!(l.stats().mounts, 2, "both media stay mounted");
+    }
+
+    #[test]
+    fn lru_eviction_picks_least_recent() {
+        let mut l = lib(2);
+        let m1 = l.add_medium();
+        let m2 = l.add_medium();
+        let m3 = l.add_medium();
+        l.write(m1, WritePayload::Phantom(10)).unwrap();
+        l.write(m2, WritePayload::Phantom(10)).unwrap();
+        l.read(m1, 0, 10).unwrap(); // m1 most recent
+        l.write(m3, WritePayload::Phantom(10)).unwrap(); // evicts m2
+        assert!(l.mounted_in(m1).is_some());
+        assert!(l.mounted_in(m2).is_none());
+        assert!(l.mounted_in(m3).is_some());
+    }
+
+    #[test]
+    fn unknown_medium_is_error() {
+        let mut l = lib(1);
+        assert!(matches!(
+            l.read(99, 0, 1),
+            Err(TapeError::NoSuchMedium(99))
+        ));
+        assert!(l.write(99, WritePayload::Phantom(1)).is_err());
+    }
+
+    #[test]
+    fn capacity_error_propagates() {
+        let mut l = TapeLibrary::new(
+            DeviceProfile {
+                media_capacity: 1000,
+                ..DeviceProfile::ibm3590()
+            },
+            1,
+            SimClock::new(),
+        );
+        let m = l.add_medium();
+        assert!(l.write(m, WritePayload::Phantom(900)).is_ok());
+        assert!(matches!(
+            l.write(m, WritePayload::Phantom(200)),
+            Err(TapeError::MediumFull { .. })
+        ));
+    }
+
+    #[test]
+    fn estimates_match_actuals_for_cold_read() {
+        let mut l = lib(1);
+        let m = l.add_medium();
+        l.write(m, WritePayload::Phantom(10 << 20)).unwrap();
+        // Force unmount by mounting another medium.
+        let m2 = l.add_medium();
+        l.write(m2, WritePayload::Phantom(10)).unwrap();
+        let est = l.estimate_read_s(m, 0, 10 << 20);
+        let before = l.clock().now_s();
+        l.read(m, 0, 10 << 20).unwrap();
+        let actual = l.clock().now_s() - before;
+        // actual includes the rewind of the evicted medium; estimate is a
+        // lower bound within one rewind.
+        assert!(actual >= est - 1e-4, "actual {actual} < est {est}");
+        assert!(actual - est < l.profile().rewind_s + 1e-4);
+    }
+
+    #[test]
+    fn slot_limit_shelves_lru_media() {
+        let mut l = lib(1);
+        let m1 = l.add_medium();
+        let m2 = l.add_medium();
+        let m3 = l.add_medium();
+        l.write(m1, WritePayload::Phantom(10)).unwrap();
+        l.write(m2, WritePayload::Phantom(10)).unwrap();
+        l.write(m3, WritePayload::Phantom(10)).unwrap();
+        l.set_slot_config(SlotConfig {
+            slots: 2,
+            shelf_fetch_s: 300.0,
+        });
+        // m3 is mounted; one of m1/m2 is shelved (m1 is LRU)
+        assert!(l.is_shelved(m1));
+        assert!(!l.is_shelved(m3));
+        // accessing the shelved medium costs the operator fetch
+        let t0 = l.clock().now_s();
+        l.read(m1, 0, 10).unwrap();
+        assert!(l.clock().now_s() - t0 >= 300.0);
+        assert_eq!(l.shelf_fetches(), 1);
+        assert!(!l.is_shelved(m1));
+        // bringing m1 in pushed another medium out
+        assert_eq!(l.media_ids().len(), 3);
+        assert!(l.is_shelved(m2) || l.is_shelved(m3));
+    }
+
+    #[test]
+    fn unlimited_slots_never_shelve() {
+        let mut l = lib(1);
+        for _ in 0..10 {
+            let m = l.add_medium();
+            l.write(m, WritePayload::Phantom(1)).unwrap();
+        }
+        assert_eq!(l.shelf_fetches(), 0);
+        assert!(l.media_ids().iter().all(|&m| !l.is_shelved(m)));
+    }
+
+    #[test]
+    fn mounted_media_are_never_shelved() {
+        let mut l = lib(2);
+        let m1 = l.add_medium();
+        let m2 = l.add_medium();
+        let _ = l.add_medium();
+        l.write(m1, WritePayload::Phantom(1)).unwrap();
+        l.write(m2, WritePayload::Phantom(1)).unwrap();
+        l.set_slot_config(SlotConfig {
+            slots: 1, // fewer slots than drives: drives win
+            shelf_fetch_s: 60.0,
+        });
+        assert!(!l.is_shelved(m1));
+        assert!(!l.is_shelved(m2));
+    }
+
+    #[test]
+    fn erase_resets_medium() {
+        let mut l = lib(1);
+        let m = l.add_medium();
+        l.write(m, WritePayload::Real(vec![1; 10])).unwrap();
+        l.erase_medium(m).unwrap();
+        assert_eq!(l.medium_used(m).unwrap(), 0);
+        assert!(l.read(m, 0, 1).is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! Media: the removable units (tapes, MO disks) held in library slots.
+//!
+//! A medium stores append-only *segments*. Each segment may carry its real
+//! payload bytes, or be a *phantom* segment that records only its size —
+//! phantom segments let the experiments run paper-scale volumes (hundreds of
+//! gigabytes of simulated data) without allocating host memory; reads of a
+//! phantom segment return zeroed buffers.
+
+use crate::error::{Result, TapeError};
+use std::collections::BTreeMap;
+
+/// Identifier of a medium within its library.
+pub type MediumId = u64;
+
+/// One stored segment.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Length in bytes.
+    pub len: u64,
+    /// Payload; `None` for phantom segments.
+    pub data: Option<Vec<u8>>,
+}
+
+/// A removable medium.
+#[derive(Debug, Clone)]
+pub struct Medium {
+    /// This medium's id.
+    pub id: MediumId,
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// Append position (= bytes used).
+    write_pos: u64,
+    /// Segments keyed by start offset.
+    segments: BTreeMap<u64, Segment>,
+}
+
+impl Medium {
+    /// A fresh, empty medium.
+    pub fn new(id: MediumId, capacity: u64) -> Medium {
+        Medium {
+            id,
+            capacity,
+            write_pos: 0,
+            segments: BTreeMap::new(),
+        }
+    }
+
+    /// Bytes used so far.
+    pub fn used(&self) -> u64 {
+        self.write_pos
+    }
+
+    /// Bytes still free.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.write_pos
+    }
+
+    /// Number of stored segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Append a segment with real payload; returns its start offset.
+    pub fn append(&mut self, data: Vec<u8>) -> Result<u64> {
+        let len = data.len() as u64;
+        self.append_segment(Segment {
+            len,
+            data: Some(data),
+        })
+    }
+
+    /// Append a phantom segment of `len` bytes; returns its start offset.
+    pub fn append_phantom(&mut self, len: u64) -> Result<u64> {
+        self.append_segment(Segment { len, data: None })
+    }
+
+    fn append_segment(&mut self, seg: Segment) -> Result<u64> {
+        if seg.len > self.free() {
+            return Err(TapeError::MediumFull {
+                medium: self.id,
+                need: seg.len,
+                free: self.free(),
+            });
+        }
+        let off = self.write_pos;
+        self.write_pos += seg.len;
+        self.segments.insert(off, seg);
+        Ok(off)
+    }
+
+    /// Read `len` bytes starting at `offset`. The range must lie within a
+    /// single segment (callers address whole stored objects or parts of
+    /// them, never byte ranges crossing objects).
+    pub fn read(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
+        // Find the segment containing `offset`.
+        let (seg_off, seg) = self
+            .segments
+            .range(..=offset)
+            .next_back()
+            .ok_or(TapeError::ReadUnwritten {
+                medium: self.id,
+                offset,
+                len,
+            })?;
+        let rel = offset - seg_off;
+        if rel >= seg.len {
+            return Err(TapeError::ReadUnwritten {
+                medium: self.id,
+                offset,
+                len,
+            });
+        }
+        if rel + len > seg.len {
+            return Err(TapeError::ReadSpansSegments {
+                medium: self.id,
+                offset,
+            });
+        }
+        Ok(match &seg.data {
+            Some(bytes) => bytes[rel as usize..(rel + len) as usize].to_vec(),
+            None => vec![0u8; len as usize],
+        })
+    }
+
+    /// Whether the byte range is stored (readable without error).
+    pub fn covers(&self, offset: u64, len: u64) -> bool {
+        match self.segments.range(..=offset).next_back() {
+            Some((seg_off, seg)) => {
+                let rel = offset - seg_off;
+                rel < seg.len && rel + len <= seg.len
+            }
+            None => false,
+        }
+    }
+
+    /// Segment boundaries `(offset, len)` in tape order — what a
+    /// sequential scan over the medium's file marks would discover.
+    pub fn segments(&self) -> Vec<(u64, u64)> {
+        self.segments.iter().map(|(&o, s)| (o, s.len)).collect()
+    }
+
+    /// Logically erase all contents (re-label / recycle the medium).
+    pub fn erase(&mut self) {
+        self.segments.clear();
+        self.write_pos = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_read_back() {
+        let mut m = Medium::new(1, 1000);
+        let off1 = m.append(vec![1, 2, 3, 4]).unwrap();
+        let off2 = m.append(vec![9, 9]).unwrap();
+        assert_eq!(off1, 0);
+        assert_eq!(off2, 4);
+        assert_eq!(m.read(0, 4).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(m.read(4, 2).unwrap(), vec![9, 9]);
+        assert_eq!(m.read(1, 2).unwrap(), vec![2, 3]);
+        assert_eq!(m.used(), 6);
+    }
+
+    #[test]
+    fn phantom_segments_read_zeros() {
+        let mut m = Medium::new(1, 10_000);
+        let off = m.append_phantom(5000).unwrap();
+        assert_eq!(m.read(off + 100, 16).unwrap(), vec![0u8; 16]);
+        assert_eq!(m.used(), 5000);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut m = Medium::new(1, 10);
+        m.append(vec![0; 8]).unwrap();
+        let err = m.append(vec![0; 3]).unwrap_err();
+        assert!(matches!(err, TapeError::MediumFull { .. }));
+        // phantom too
+        assert!(m.append_phantom(3).is_err());
+        assert!(m.append_phantom(2).is_ok());
+    }
+
+    #[test]
+    fn reads_of_unwritten_or_spanning_ranges_fail() {
+        let mut m = Medium::new(1, 1000);
+        m.append(vec![1; 10]).unwrap();
+        m.append(vec![2; 10]).unwrap();
+        assert!(matches!(
+            m.read(25, 4),
+            Err(TapeError::ReadUnwritten { .. })
+        ));
+        assert!(matches!(
+            m.read(5, 10),
+            Err(TapeError::ReadSpansSegments { .. })
+        ));
+        assert!(m.covers(0, 10));
+        assert!(!m.covers(5, 10));
+        assert!(!m.covers(500, 1));
+    }
+
+    #[test]
+    fn erase_recycles() {
+        let mut m = Medium::new(1, 100);
+        m.append(vec![1; 50]).unwrap();
+        m.erase();
+        assert_eq!(m.used(), 0);
+        assert_eq!(m.segment_count(), 0);
+        assert!(m.read(0, 1).is_err());
+    }
+}

@@ -1,0 +1,273 @@
+//! Device profiles: the tertiary-storage cost model.
+//!
+//! The dissertation characterizes tertiary storage (§1.1, §2.2) by
+//!
+//! * media exchange time of **12–40 s** (robot unload/move/load),
+//! * mean access (locate to the middle of the tape) of **27–95 s**,
+//! * transfer rates only about a **factor 2** below hard disks,
+//! * disks being **10³–10⁴× faster** on mean access.
+//!
+//! Each profile below instantiates this model for one period-accurate device
+//! class; all experiment results are reported in simulated seconds computed
+//! from these parameters.
+
+/// Cost/capacity parameters of one tertiary-storage device class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceProfile {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Capacity of one medium in bytes.
+    pub media_capacity: u64,
+    /// Robot time to exchange a medium (unload + move + load), seconds.
+    pub exchange_s: f64,
+    /// Drive load/thread time after insertion, seconds.
+    pub load_s: f64,
+    /// Constant component of a locate operation, seconds.
+    pub locate_startup_s: f64,
+    /// Mean access time: locate from start to the *middle* of the medium,
+    /// seconds (the paper's "mittlere Zugriffszeit", 27–95 s for tape).
+    pub avg_locate_s: f64,
+    /// Sustained transfer rate, bytes per second.
+    pub transfer_bps: f64,
+    /// Full rewind time (end to start), seconds.
+    pub rewind_s: f64,
+    /// Per-write-request overhead: file mark + stream stop/restart,
+    /// seconds. Dominant when many small blocks are written (the naive
+    /// tile-at-a-time export); amortized by super-tile-sized blocks.
+    pub write_sync_s: f64,
+    /// True for tape (linear locate costs); false for random-access media
+    /// such as magneto-optical disks.
+    pub linear_seek: bool,
+}
+
+impl DeviceProfile {
+    /// Time to move the head from byte `from` to byte `to` on a mounted
+    /// medium.
+    ///
+    /// For tape the model is `startup + distance/capacity * sweep`, where
+    /// `sweep` is the full start-to-end locate time (twice the mean access
+    /// time, since the mean positions to the middle). Random-access media
+    /// pay only the startup cost.
+    pub fn locate_time_s(&self, from: u64, to: u64) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        if !self.linear_seek {
+            return self.locate_startup_s;
+        }
+        let dist = from.abs_diff(to) as f64;
+        let frac = dist / self.media_capacity as f64;
+        let sweep = 2.0 * (self.avg_locate_s - self.locate_startup_s);
+        self.locate_startup_s + frac * sweep
+    }
+
+    /// Time to transfer `bytes` at the sustained rate.
+    pub fn transfer_time_s(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.transfer_bps
+    }
+
+    /// Time to rewind from byte position `from` to the start.
+    pub fn rewind_time_s(&self, from: u64) -> f64 {
+        if !self.linear_seek {
+            return 0.0;
+        }
+        self.rewind_s * from as f64 / self.media_capacity as f64
+    }
+
+    /// Total robot + load cost of mounting a medium into an empty drive.
+    pub fn mount_time_s(&self) -> f64 {
+        self.exchange_s + self.load_s
+    }
+
+    /// DLT7000 tape (the drive class in FORWISS's ESTEDI test setup era):
+    /// 35 GB media, mid-range locate, 5 MB/s.
+    pub fn dlt7000() -> DeviceProfile {
+        DeviceProfile {
+            name: "DLT7000",
+            media_capacity: 35 << 30,
+            exchange_s: 25.0,
+            load_s: 40.0,
+            locate_startup_s: 3.0,
+            avg_locate_s: 60.0,
+            transfer_bps: 5.0 * MB,
+            rewind_s: 120.0,
+            write_sync_s: 3.0,
+            linear_seek: true,
+        }
+    }
+
+    /// IBM 3590 tape: 10 GB media, fast locate, 9 MB/s.
+    pub fn ibm3590() -> DeviceProfile {
+        DeviceProfile {
+            name: "IBM3590",
+            media_capacity: 10 << 30,
+            exchange_s: 12.0,
+            load_s: 17.0,
+            locate_startup_s: 2.0,
+            avg_locate_s: 27.0,
+            transfer_bps: 9.0 * MB,
+            rewind_s: 60.0,
+            write_sync_s: 2.0,
+            linear_seek: true,
+        }
+    }
+
+    /// AIT-2 tape: 50 GB media, slow locate, 6 MB/s.
+    pub fn ait2() -> DeviceProfile {
+        DeviceProfile {
+            name: "AIT-2",
+            media_capacity: 50 << 30,
+            exchange_s: 20.0,
+            load_s: 25.0,
+            locate_startup_s: 3.0,
+            avg_locate_s: 75.0,
+            transfer_bps: 6.0 * MB,
+            rewind_s: 150.0,
+            write_sync_s: 2.5,
+            linear_seek: true,
+        }
+    }
+
+    /// LTO-1 tape: 100 GB media, 15 MB/s.
+    pub fn lto1() -> DeviceProfile {
+        DeviceProfile {
+            name: "LTO-1",
+            media_capacity: 100 << 30,
+            exchange_s: 16.0,
+            load_s: 19.0,
+            locate_startup_s: 2.5,
+            avg_locate_s: 52.0,
+            transfer_bps: 15.0 * MB,
+            rewind_s: 98.0,
+            write_sync_s: 1.5,
+            linear_seek: true,
+        }
+    }
+
+    /// Magneto-optical disk: 5.2 GB, random access, 4 MB/s.
+    pub fn mo_disk() -> DeviceProfile {
+        DeviceProfile {
+            name: "MO-5.2",
+            media_capacity: 52 << 27, // 5.2 GB-ish (6.5 GiB-raw scaled)
+            exchange_s: 8.0,
+            load_s: 4.0,
+            locate_startup_s: 0.04,
+            avg_locate_s: 0.04,
+            transfer_bps: 4.0 * MB,
+            rewind_s: 0.0,
+            write_sync_s: 0.01,
+            linear_seek: false,
+        }
+    }
+
+    /// All built-in tertiary profiles (used by the media-characteristics
+    /// table experiment, E1).
+    pub fn all() -> Vec<DeviceProfile> {
+        vec![
+            DeviceProfile::ibm3590(),
+            DeviceProfile::dlt7000(),
+            DeviceProfile::ait2(),
+            DeviceProfile::lto1(),
+            DeviceProfile::mo_disk(),
+        ]
+    }
+}
+
+/// Secondary-storage (hard disk) cost parameters — the staging cache and the
+/// RDBMS both sit on this. Per the paper, disks are 10³–10⁴× faster on mean
+/// access than tape and about 2× faster on transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskProfile {
+    /// Mean positioning time, seconds (milliseconds range).
+    pub seek_s: f64,
+    /// Sustained transfer rate, bytes per second.
+    pub transfer_bps: f64,
+}
+
+impl DiskProfile {
+    /// A period-accurate SCSI disk: 8 ms seek, 30 MB/s.
+    pub fn scsi2003() -> DiskProfile {
+        DiskProfile {
+            seek_s: 0.008,
+            transfer_bps: 30.0 * MB,
+        }
+    }
+
+    /// Time to read or write `bytes` with one positioning operation.
+    pub fn access_time_s(&self, bytes: u64) -> f64 {
+        self.seek_s + bytes as f64 / self.transfer_bps
+    }
+}
+
+const MB: f64 = 1024.0 * 1024.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locate_is_linear_in_distance_for_tape() {
+        let p = DeviceProfile::dlt7000();
+        let near = p.locate_time_s(0, 1 << 20);
+        let far = p.locate_time_s(0, p.media_capacity);
+        assert!(near < far);
+        // full sweep = startup + 2 * (avg - startup)
+        let expect = p.locate_startup_s + 2.0 * (p.avg_locate_s - p.locate_startup_s);
+        assert!((far - expect).abs() < 1e-6);
+        // locate to middle == avg_locate
+        let mid = p.locate_time_s(0, p.media_capacity / 2);
+        assert!((mid - p.avg_locate_s).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_distance_locate_is_free() {
+        let p = DeviceProfile::lto1();
+        assert_eq!(p.locate_time_s(1234, 1234), 0.0);
+    }
+
+    #[test]
+    fn random_access_media_pay_only_startup() {
+        let p = DeviceProfile::mo_disk();
+        let t1 = p.locate_time_s(0, 1000);
+        let t2 = p.locate_time_s(0, p.media_capacity - 1);
+        assert_eq!(t1, t2);
+        assert_eq!(t1, p.locate_startup_s);
+    }
+
+    #[test]
+    fn paper_ranges_hold() {
+        for p in DeviceProfile::all() {
+            if p.linear_seek {
+                assert!(
+                    (12.0..=40.0).contains(&p.exchange_s),
+                    "{}: exchange out of paper range",
+                    p.name
+                );
+                assert!(
+                    (27.0..=95.0).contains(&p.avg_locate_s),
+                    "{}: avg locate out of paper range",
+                    p.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disk_is_orders_of_magnitude_faster_at_positioning() {
+        let tape = DeviceProfile::dlt7000();
+        let disk = DiskProfile::scsi2003();
+        let ratio = tape.avg_locate_s / disk.seek_s;
+        assert!((1e3..=1e4 * 10.0).contains(&ratio), "ratio {ratio}");
+        // transfer only ~2x apart
+        let tr = disk.transfer_bps / tape.transfer_bps;
+        assert!(tr > 1.0 && tr < 10.0);
+    }
+
+    #[test]
+    fn transfer_and_rewind_scale() {
+        let p = DeviceProfile::ibm3590();
+        assert!((p.transfer_time_s(9 << 20) - 1.0).abs() < 1e-9);
+        assert!((p.rewind_time_s(p.media_capacity) - p.rewind_s).abs() < 1e-9);
+        assert_eq!(p.rewind_time_s(0), 0.0);
+    }
+}

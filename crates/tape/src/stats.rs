@@ -1,0 +1,103 @@
+//! Access statistics collected by the library simulator.
+
+use std::fmt;
+
+/// Counters accumulated across all library operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TapeStats {
+    /// Media mounted into a drive (includes the implied robot exchange).
+    pub mounts: u64,
+    /// Media unmounted from a drive.
+    pub unmounts: u64,
+    /// Locate operations performed.
+    pub locates: u64,
+    /// Seconds spent exchanging/loading media.
+    pub exchange_s: f64,
+    /// Seconds spent locating.
+    pub locate_s: f64,
+    /// Seconds spent transferring data.
+    pub transfer_s: f64,
+    /// Seconds spent rewinding.
+    pub rewind_s: f64,
+    /// Bytes read from media.
+    pub bytes_read: u64,
+    /// Bytes written to media.
+    pub bytes_written: u64,
+}
+
+impl TapeStats {
+    /// Total device time accounted.
+    pub fn total_s(&self) -> f64 {
+        self.exchange_s + self.locate_s + self.transfer_s + self.rewind_s
+    }
+
+    /// Difference of two snapshots (`self` minus `earlier`).
+    pub fn since(&self, earlier: &TapeStats) -> TapeStats {
+        TapeStats {
+            mounts: self.mounts - earlier.mounts,
+            unmounts: self.unmounts - earlier.unmounts,
+            locates: self.locates - earlier.locates,
+            exchange_s: self.exchange_s - earlier.exchange_s,
+            locate_s: self.locate_s - earlier.locate_s,
+            transfer_s: self.transfer_s - earlier.transfer_s,
+            rewind_s: self.rewind_s - earlier.rewind_s,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+        }
+    }
+}
+
+impl fmt::Display for TapeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mounts={} locates={} exchange={:.1}s locate={:.1}s transfer={:.1}s rewind={:.1}s read={}MB written={}MB",
+            self.mounts,
+            self.locates,
+            self.exchange_s,
+            self.locate_s,
+            self.transfer_s,
+            self.rewind_s,
+            self.bytes_read >> 20,
+            self.bytes_written >> 20,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_diffs() {
+        let a = TapeStats {
+            mounts: 3,
+            unmounts: 2,
+            locates: 5,
+            exchange_s: 75.0,
+            locate_s: 100.0,
+            transfer_s: 20.0,
+            rewind_s: 5.0,
+            bytes_read: 1 << 20,
+            bytes_written: 2 << 20,
+        };
+        assert!((a.total_s() - 200.0).abs() < 1e-9);
+        let b = TapeStats {
+            mounts: 5,
+            unmounts: 4,
+            locates: 9,
+            exchange_s: 100.0,
+            locate_s: 120.0,
+            transfer_s: 30.0,
+            rewind_s: 6.0,
+            bytes_read: 3 << 20,
+            bytes_written: 2 << 20,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.mounts, 2);
+        assert_eq!(d.locates, 4);
+        assert!((d.exchange_s - 25.0).abs() < 1e-9);
+        assert_eq!(d.bytes_read, 2 << 20);
+        assert_eq!(d.bytes_written, 0);
+    }
+}

@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+//! # heaven-workload — test data and query workloads
+//!
+//! Reproduces the *shape* of the evaluation's inputs (paper §4.2): climate
+//! fields, satellite rasters and CFD output as data; selectivity sweeps,
+//! directional/slice access and hot-region locality as query streams. All
+//! generators are seeded and deterministic.
+
+pub mod data;
+pub mod queries;
+
+pub use data::{cfd_field, climate_field, climate_field_tile, satellite_image};
+pub use queries::{
+    directional_queries, framing_workloads, hot_region_queries, random_box,
+    selectivity_queries, slice_queries,
+};

@@ -1,0 +1,256 @@
+//! Query-workload generators for the evaluation.
+//!
+//! The retrieval experiments need reproducible query streams with
+//! controlled *selectivity* (fraction of the object a query needs — the
+//! paper stresses users need only 1–10 %, §1.1), *shape* (cubic,
+//! directional, slices) and *locality* (hot regions, for the caching
+//! experiment).
+
+use heaven_array::{Frame, Interval, Minterval};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random axis-aligned box inside `domain` covering approximately
+/// `selectivity` (0..=1] of its cells, with near-equal relative extent on
+/// every axis.
+pub fn random_box(domain: &Minterval, selectivity: f64, rng: &mut StdRng) -> Minterval {
+    let d = domain.dim();
+    let frac = selectivity.clamp(1e-9, 1.0).powf(1.0 / d as f64);
+    let axes: Vec<Interval> = (0..d)
+        .map(|i| {
+            let ext = domain.axis(i).extent();
+            let len = ((ext as f64 * frac).round() as u64).clamp(1, ext);
+            let slack = ext - len;
+            let start = if slack == 0 {
+                0
+            } else {
+                rng.gen_range(0..=slack)
+            };
+            let lo = domain.axis(i).lo + start as i64;
+            Interval::new(lo, lo + len as i64 - 1).expect("len >= 1")
+        })
+        .collect();
+    Minterval::from_intervals(axes)
+}
+
+/// `n` random boxes of the given selectivity.
+pub fn selectivity_queries(
+    domain: &Minterval,
+    selectivity: f64,
+    n: usize,
+    seed: u64,
+) -> Vec<Minterval> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| random_box(domain, selectivity, &mut rng))
+        .collect()
+}
+
+/// Directional queries: thin boxes spanning the full `axis` extent,
+/// covering `selectivity` of the object.
+pub fn directional_queries(
+    domain: &Minterval,
+    axis: usize,
+    selectivity: f64,
+    n: usize,
+    seed: u64,
+) -> Vec<Minterval> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = domain.dim();
+    // the full axis already contributes extent 1.0; split the rest evenly
+    let rest_frac = selectivity.clamp(1e-9, 1.0).powf(1.0 / (d as f64 - 1.0));
+    (0..n)
+        .map(|_| {
+            let axes: Vec<Interval> = (0..d)
+                .map(|i| {
+                    if i == axis {
+                        domain.axis(i)
+                    } else {
+                        let ext = domain.axis(i).extent();
+                        let len = ((ext as f64 * rest_frac).round() as u64).clamp(1, ext);
+                        let start = if ext == len {
+                            0
+                        } else {
+                            rng.gen_range(0..=(ext - len))
+                        };
+                        let lo = domain.axis(i).lo + start as i64;
+                        Interval::new(lo, lo + len as i64 - 1).expect("len >= 1")
+                    }
+                })
+                .collect();
+            Minterval::from_intervals(axes)
+        })
+        .collect()
+}
+
+/// Slice queries: fix `axis` to random positions, full extent elsewhere.
+pub fn slice_queries(domain: &Minterval, axis: usize, n: usize, seed: u64) -> Vec<Minterval> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let axes: Vec<Interval> = (0..domain.dim())
+                .map(|i| {
+                    if i == axis {
+                        let pos = rng.gen_range(domain.axis(i).lo..=domain.axis(i).hi);
+                        Interval::new(pos, pos).expect("point interval")
+                    } else {
+                        domain.axis(i)
+                    }
+                })
+                .collect();
+            Minterval::from_intervals(axes)
+        })
+        .collect()
+}
+
+/// A hot-region workload: `n` queries of the given selectivity, a fraction
+/// `hot_fraction` of which land inside one small hot region (temporal +
+/// spatial locality for the caching experiment); the rest are uniform.
+pub fn hot_region_queries(
+    domain: &Minterval,
+    selectivity: f64,
+    n: usize,
+    hot_fraction: f64,
+    seed: u64,
+) -> Vec<Minterval> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // hot region: a fixed box covering ~20 % of the domain
+    let hot = random_box(domain, 0.2, &mut rng);
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(hot_fraction.clamp(0.0, 1.0)) {
+                random_box(&hot, selectivity / 0.2, &mut rng)
+            } else {
+                random_box(domain, selectivity, &mut rng)
+            }
+        })
+        .collect()
+}
+
+/// The framing workloads of experiment E9: `(name, frame, selectivity of
+/// the frame itself)` triples over a domain.
+pub fn framing_workloads(domain: &Minterval) -> Vec<(&'static str, Frame)> {
+    let d = domain.dim();
+    assert!(d >= 2, "framing workloads need >= 2 dimensions");
+    let ext: Vec<i64> = domain.shape().iter().map(|&e| e as i64).collect();
+    let lo = domain.lo();
+    let hi = domain.hi();
+    let box_of = |fracs: &[(f64, f64)]| -> Minterval {
+        let axes: Vec<Interval> = (0..d)
+            .map(|i| {
+                let (a, b) = fracs.get(i).copied().unwrap_or((0.0, 1.0));
+                let l = lo.coord(i) + (a * (ext[i] - 1) as f64) as i64;
+                let h = lo.coord(i) + (b * (ext[i] - 1) as f64) as i64;
+                Interval::new(l.min(h), h.max(l)).expect("ordered")
+            })
+            .collect();
+        Minterval::from_intervals(axes)
+    };
+    let full = domain.clone();
+    let _ = hi;
+    vec![
+        (
+            "l-shape",
+            Frame::from_box(box_of(&[(0.0, 1.0), (0.0, 0.15)]))
+                .union(&Frame::from_box(box_of(&[(0.85, 1.0), (0.0, 1.0)])))
+                .expect("same dim"),
+        ),
+        (
+            "shell",
+            Frame::from_box(full.clone())
+                .difference(&Frame::from_box(box_of(&[(0.1, 0.9), (0.1, 0.9)])))
+                .expect("same dim"),
+        ),
+        (
+            "two-corners",
+            Frame::from_box(box_of(&[(0.0, 0.2), (0.0, 0.2)]))
+                .union(&Frame::from_box(box_of(&[(0.8, 1.0), (0.8, 1.0)])))
+                .expect("same dim"),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mi(b: &[(i64, i64)]) -> Minterval {
+        Minterval::new(b).unwrap()
+    }
+
+    #[test]
+    fn random_box_matches_selectivity() {
+        let dom = mi(&[(0, 999), (0, 999), (0, 99)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for &sel in &[0.001, 0.01, 0.1, 0.5] {
+            let q = random_box(&dom, sel, &mut rng);
+            assert!(dom.contains(&q));
+            let actual = q.cell_count() as f64 / dom.cell_count() as f64;
+            assert!(
+                actual > sel / 4.0 && actual < sel * 4.0,
+                "sel {sel} gave {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn queries_are_reproducible() {
+        let dom = mi(&[(0, 499), (0, 499)]);
+        let a = selectivity_queries(&dom, 0.05, 10, 7);
+        let b = selectivity_queries(&dom, 0.05, 10, 7);
+        assert_eq!(a, b);
+        let c = selectivity_queries(&dom, 0.05, 10, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn directional_queries_span_axis() {
+        let dom = mi(&[(0, 99), (0, 99), (0, 99)]);
+        for q in directional_queries(&dom, 2, 0.05, 5, 3) {
+            assert_eq!(q.axis(2), dom.axis(2));
+            assert!(dom.contains(&q));
+            assert!(q.axis(0).extent() < 100);
+        }
+    }
+
+    #[test]
+    fn slice_queries_fix_axis() {
+        let dom = mi(&[(0, 99), (0, 99)]);
+        for q in slice_queries(&dom, 0, 8, 5) {
+            assert_eq!(q.axis(0).extent(), 1);
+            assert_eq!(q.axis(1), dom.axis(1));
+        }
+    }
+
+    #[test]
+    fn hot_workload_has_locality() {
+        let dom = mi(&[(0, 999), (0, 999)]);
+        let qs = hot_region_queries(&dom, 0.01, 200, 0.8, 11);
+        assert_eq!(qs.len(), 200);
+        // most queries overlap one another far more than uniform would
+        let mut overlapping_pairs = 0;
+        for i in 0..50 {
+            for j in (i + 1)..50 {
+                if qs[i].intersects(&qs[j]) {
+                    overlapping_pairs += 1;
+                }
+            }
+        }
+        assert!(overlapping_pairs > 100, "only {overlapping_pairs} overlaps");
+    }
+
+    #[test]
+    fn framing_workloads_are_valid() {
+        let dom = mi(&[(0, 599), (0, 599)]);
+        let ws = framing_workloads(&dom);
+        assert_eq!(ws.len(), 3);
+        for (name, f) in ws {
+            assert!(f.check_disjoint(), "{name}");
+            assert!(!f.is_empty(), "{name}");
+            assert!(f.cell_count() < dom.cell_count(), "{name}");
+            for b in f.boxes() {
+                assert!(dom.contains(b), "{name}");
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! # HEAVEN — Hierarchical Storage and Archive Environment for
+//! Multidimensional Array Database Management Systems
+//!
+//! A from-scratch Rust reproduction of Bernd Reiner's HEAVEN system
+//! (TU München dissertation / EDBT 2004): a multidimensional array DBMS
+//! transparently fused with simulated tertiary storage (robotic tape
+//! libraries), optimized with super-tiles, clustering, query scheduling, a
+//! caching hierarchy, object framing and precomputed operation results.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`mod@array`] — domains, arrays, tiling, orders, frames;
+//! * [`tape`] — the tertiary-storage simulator and device profiles;
+//! * [`hsm`] — hierarchical storage management (file staging + direct);
+//! * [`rdbms`] — the base relational storage manager (pages, B-trees,
+//!   BLOBs, WAL);
+//! * [`arraydb`] — the array DBMS with the RasQL-subset query language;
+//! * [`core`] — HEAVEN itself (super-tiles, STAR/eSTAR, export, caching,
+//!   scheduling, maintenance, precomputation);
+//! * [`workload`] — synthetic data and query generators.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use heaven_array as array;
+pub use heaven_arraydb as arraydb;
+pub use heaven_core as core;
+pub use heaven_hsm as hsm;
+pub use heaven_rdbms as rdbms;
+pub use heaven_tape as tape;
+pub use heaven_workload as workload;
+
+/// Convenience constructor: a ready-to-use HEAVEN system on the given
+/// device profile, with an in-memory base RDBMS and `drives` tape drives
+/// sharing one simulated clock.
+pub fn open(
+    profile: tape::DeviceProfile,
+    drives: usize,
+    config: core::HeavenConfig,
+) -> core::Heaven {
+    let clock = tape::SimClock::new();
+    let db = rdbms::Database::new(tape::DiskProfile::scsi2003(), clock.clone(), 8192);
+    let adb = arraydb::ArrayDb::create(db).expect("fresh database");
+    let library = tape::TapeLibrary::new(profile, drives, clock);
+    core::Heaven::new(adb, library, config)
+}

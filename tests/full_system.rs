@@ -1,0 +1,374 @@
+//! Workspace integration tests: the whole stack from query text to tape
+//! and back, plus the HSM-vs-HEAVEN comparison the evaluation is built on.
+
+use heaven::array::{CellType, Condenser, MDArray, Minterval, Point, Tiling};
+use heaven::arraydb::run;
+use heaven::core::{
+    AccessPattern, ClusteringStrategy, ExportMode, HeavenConfig,
+};
+use heaven::hsm::{HsmSystem, StagingDisk, WatermarkPolicy};
+use heaven::tape::{DeviceProfile, DiskProfile, SimClock, TapeLibrary, WritePayload};
+use heaven::workload::{climate_field, selectivity_queries};
+
+fn mi(b: &[(i64, i64)]) -> Minterval {
+    Minterval::new(b).unwrap()
+}
+
+#[test]
+fn heaven_beats_hsm_on_selective_access_same_data() {
+    // The core comparison (E4 vs E5) on real data: identical object, one
+    // archived as a whole file behind an HSM, one archived as super-tiles
+    // behind HEAVEN. A selective query must cost HEAVEN far less tape
+    // traffic and simulated time.
+    let domain = mi(&[(0, 127), (0, 127)]);
+    let field = climate_field(domain.clone(), 3);
+    let object_bytes = field.size_bytes();
+
+    // -- HSM path: one file, whole-file staging.
+    let clock = SimClock::new();
+    let disk = StagingDisk::new(DiskProfile::scsi2003(), 1 << 30, clock.clone());
+    let lib = TapeLibrary::new(DeviceProfile::dlt7000(), 1, clock.clone());
+    let mut hsm = HsmSystem::new(disk, lib, WatermarkPolicy::default());
+    hsm.archive("field", WritePayload::Real(field.bytes().to_vec()))
+        .unwrap();
+    let t0 = clock.now_s();
+    // Ask for ~1.5 % of the object.
+    let row_bytes = 128 * 4;
+    hsm.read_range("field", 0, 2 * row_bytes).unwrap();
+    let hsm_time = clock.now_s() - t0;
+    let hsm_tape_bytes = hsm.tape_stats().bytes_read;
+    assert_eq!(hsm_tape_bytes, object_bytes, "HSM stages the whole file");
+
+    // -- HEAVEN path: same data as super-tiles.
+    let mut heaven = heaven::open(
+        DeviceProfile::dlt7000(),
+        1,
+        HeavenConfig {
+            supertile_bytes: Some(8 << 10),
+            ..HeavenConfig::default()
+        },
+    );
+    heaven
+        .arraydb_mut()
+        .create_collection("c", CellType::F32, 2)
+        .unwrap();
+    let oid = heaven
+        .arraydb_mut()
+        .insert_object(
+            "c",
+            &field,
+            Tiling::Regular {
+                tile_shape: vec![16, 16],
+            },
+        )
+        .unwrap();
+    heaven.export_object(oid, ExportMode::Tct).unwrap();
+    heaven.clear_caches();
+    heaven.occupy_drives().unwrap(); // force a cold mount like the HSM run
+    let clock2 = heaven.clock();
+    let t0 = clock2.now_s();
+    let sub = heaven
+        .fetch_region_hierarchical(oid, &mi(&[(0, 1), (0, 127)]))
+        .unwrap();
+    let heaven_time = clock2.now_s() - t0;
+    // At this (deliberately small) scale both paths are mount-dominated,
+    // so the meaningful comparison is tape *traffic*: the HSM staged the
+    // whole object, HEAVEN read only the super-tiles under the two rows.
+    // (Paper-scale timing is exp_retrieval's job.)
+    assert!(
+        heaven.stats().st_tape_bytes < hsm_tape_bytes / 2,
+        "HEAVEN moved {} of HSM's {} bytes",
+        heaven.stats().st_tape_bytes,
+        hsm_tape_bytes
+    );
+    assert!(heaven_time > 0.0 && hsm_time > 0.0);
+    // and the data is right
+    for p in sub.domain().iter_points() {
+        assert_eq!(sub.get_f64(&p).unwrap(), field.get_f64(&p).unwrap());
+    }
+}
+
+#[test]
+fn multi_object_queries_across_mixed_hierarchy() {
+    // Three objects: one on disk, two archived. One query sweeps all of
+    // them transparently.
+    let mut heaven = heaven::open(
+        DeviceProfile::ibm3590(),
+        2,
+        HeavenConfig {
+            supertile_bytes: Some(64 << 10),
+            ..HeavenConfig::default()
+        },
+    );
+    heaven
+        .arraydb_mut()
+        .create_collection("runs", CellType::F32, 2)
+        .unwrap();
+    let domain = mi(&[(0, 63), (0, 63)]);
+    let mut oids = Vec::new();
+    for k in 0..3u64 {
+        let arr = MDArray::generate(domain.clone(), CellType::F32, |p| {
+            (k * 1000) as f64 + (p.coord(0) + p.coord(1)) as f64
+        });
+        oids.push(
+            heaven
+                .arraydb_mut()
+                .insert_object(
+                    "runs",
+                    &arr,
+                    Tiling::Regular {
+                        tile_shape: vec![16, 16],
+                    },
+                )
+                .unwrap(),
+        );
+    }
+    heaven.export_object(oids[1], ExportMode::Tct).unwrap();
+    heaven.export_object(oids[2], ExportMode::Naive).unwrap();
+    heaven.clear_caches();
+    let rs = run(
+        &mut heaven,
+        "select avg_cells(r[10:20, 10:20]) from runs as r",
+    )
+    .unwrap();
+    assert_eq!(rs.len(), 3);
+    let base = rs[0].value.as_scalar().unwrap();
+    assert!((rs[1].value.as_scalar().unwrap() - base - 1000.0).abs() < 1e-3);
+    assert!((rs[2].value.as_scalar().unwrap() - base - 2000.0).abs() < 1e-3);
+}
+
+#[test]
+fn estar_clustering_reduces_fetches_for_declared_pattern() {
+    // Two identical archives; one clustered for slice access, one cubic.
+    // Slice queries must touch fewer super-tiles on the tuned archive.
+    let domain = mi(&[(0, 63), (0, 63)]);
+    let field = climate_field(domain.clone(), 9);
+    let mut touched = Vec::new();
+    for clustering in [
+        ClusteringStrategy::EStar(AccessPattern::Uniform),
+        ClusteringStrategy::EStar(AccessPattern::SliceDominant { axis: 1 }),
+    ] {
+        let mut heaven = heaven::open(
+            DeviceProfile::ibm3590(),
+            1,
+            HeavenConfig {
+                supertile_bytes: Some(8 << 10),
+                clustering,
+                ..HeavenConfig::default()
+            },
+        );
+        heaven
+            .arraydb_mut()
+            .create_collection("c", CellType::F32, 2)
+            .unwrap();
+        let oid = heaven
+            .arraydb_mut()
+            .insert_object(
+                "c",
+                &field,
+                Tiling::Regular {
+                    tile_shape: vec![8, 8],
+                },
+            )
+            .unwrap();
+        heaven.export_object(oid, ExportMode::Tct).unwrap();
+        heaven.clear_caches();
+        // slice queries fixing axis 1
+        for col in [5i64, 25, 45, 60] {
+            heaven
+                .fetch_region_hierarchical(oid, &mi(&[(0, 63), (col, col)]))
+                .unwrap();
+            heaven.clear_caches();
+        }
+        touched.push(heaven.stats().st_tape_fetches);
+    }
+    assert!(
+        touched[1] < touched[0],
+        "slice-tuned archive fetched {} STs, cubic fetched {}",
+        touched[1],
+        touched[0]
+    );
+}
+
+#[test]
+fn archived_data_survives_rdbms_crash_recovery() {
+    // The DBMS crashes after export; WAL recovery plus catalog rebuild
+    // restores the disk side. (HEAVEN's in-memory super-tile catalog is
+    // per-session state; tiles on disk must come back intact.)
+    let mut heaven = heaven::open(
+        DeviceProfile::ibm3590(),
+        1,
+        HeavenConfig {
+            supertile_bytes: Some(64 << 10),
+            ..HeavenConfig::default()
+        },
+    );
+    heaven
+        .arraydb_mut()
+        .create_collection("c", CellType::I32, 2)
+        .unwrap();
+    let domain = mi(&[(0, 31), (0, 31)]);
+    let arr = MDArray::generate(domain.clone(), CellType::I32, |p| {
+        (p.coord(0) * 32 + p.coord(1)) as f64
+    });
+    let oid = heaven
+        .arraydb_mut()
+        .insert_object(
+            "c",
+            &arr,
+            Tiling::Regular {
+                tile_shape: vec![16, 16],
+            },
+        )
+        .unwrap();
+    // crash the base RDBMS and recover
+    heaven.arraydb_mut().database_mut().crash();
+    heaven.arraydb_mut().database_mut().recover().unwrap();
+    heaven.arraydb_mut().rebuild_catalogs().unwrap();
+    // all tiles readable; data identical
+    let back = heaven.fetch_region_hierarchical(oid, &domain).unwrap();
+    assert_eq!(back, arr);
+}
+
+#[test]
+fn selectivity_sweep_monotonically_increases_heaven_cost() {
+    // More selective queries must never cost more tape traffic.
+    let domain = mi(&[(0, 127), (0, 127)]);
+    let field = climate_field(domain.clone(), 4);
+    let mut last_bytes = 0u64;
+    for &sel in &[0.01f64, 0.1, 0.5, 1.0] {
+        let mut heaven = heaven::open(
+            DeviceProfile::ibm3590(),
+            1,
+            HeavenConfig {
+                supertile_bytes: Some(16 << 10),
+                ..HeavenConfig::default()
+            },
+        );
+        heaven
+            .arraydb_mut()
+            .create_collection("c", CellType::F32, 2)
+            .unwrap();
+        let oid = heaven
+            .arraydb_mut()
+            .insert_object(
+                "c",
+                &field,
+                Tiling::Regular {
+                    tile_shape: vec![16, 16],
+                },
+            )
+            .unwrap();
+        heaven.export_object(oid, ExportMode::Tct).unwrap();
+        heaven.clear_caches();
+        let q = selectivity_queries(&domain, sel, 1, 5).pop().unwrap();
+        heaven.fetch_region_hierarchical(oid, &q).unwrap();
+        let bytes = heaven.stats().st_tape_bytes;
+        assert!(
+            bytes >= last_bytes,
+            "selectivity {sel} fetched {bytes} < previous {last_bytes}"
+        );
+        last_bytes = bytes;
+    }
+}
+
+#[test]
+fn condenser_precomputation_is_numerically_exact() {
+    let domain = mi(&[(0, 47), (0, 47)]);
+    let field = climate_field(domain.clone(), 11);
+    let expected_avg = Condenser::Avg.eval(&field).unwrap();
+    let expected_max = Condenser::Max.eval(&field).unwrap();
+    let mut heaven = heaven::open(
+        DeviceProfile::dlt7000(),
+        1,
+        HeavenConfig {
+            supertile_bytes: Some(16 << 10),
+            precompute: vec![Condenser::Avg, Condenser::Max],
+            ..HeavenConfig::default()
+        },
+    );
+    heaven
+        .arraydb_mut()
+        .create_collection("c", CellType::F32, 2)
+        .unwrap();
+    let oid = heaven
+        .arraydb_mut()
+        .insert_object(
+            "c",
+            &field,
+            Tiling::Regular {
+                tile_shape: vec![16, 16],
+            },
+        )
+        .unwrap();
+    heaven.export_object(oid, ExportMode::Tct).unwrap();
+    heaven.clear_caches();
+    let rs = run(&mut heaven, "select avg_cells(c[0:47,0:47]) from c as c").unwrap();
+    assert!((rs[0].value.as_scalar().unwrap() - expected_avg).abs() < 1e-6);
+    let rs = run(&mut heaven, "select max_cells(c[0:47,0:47]) from c as c").unwrap();
+    assert!((rs[0].value.as_scalar().unwrap() - expected_max).abs() < 1e-6);
+    assert!(heaven.precomp_stats().combine_hits >= 2);
+    assert_eq!(heaven.stats().st_tape_fetches, 0, "no tape needed");
+    let _ = Point::new(vec![0]);
+}
+
+#[test]
+fn archive_catalog_survives_full_restart() {
+    // Export, checkpoint, crash the RDBMS, recover, rebuild BOTH catalogs
+    // (DBMS + HEAVEN's persistent super-tile catalog): archived data on
+    // tape must be reachable again, and dead space must be recomputed.
+    let mut heaven = heaven::open(
+        DeviceProfile::dlt7000(),
+        1,
+        HeavenConfig {
+            supertile_bytes: Some(8 << 10),
+            ..HeavenConfig::default()
+        },
+    );
+    heaven
+        .arraydb_mut()
+        .create_collection("c", CellType::F32, 2)
+        .unwrap();
+    let domain = mi(&[(0, 63), (0, 63)]);
+    let field = climate_field(domain.clone(), 21);
+    let oid = heaven
+        .arraydb_mut()
+        .insert_object(
+            "c",
+            &field,
+            Tiling::Regular {
+                tile_shape: vec![16, 16],
+            },
+        )
+        .unwrap();
+    let report = heaven.export_object(oid, ExportMode::Tct).unwrap();
+    // make one super-tile dead (update rewrites it)
+    let patch = MDArray::generate(mi(&[(0, 3), (0, 3)]), CellType::F32, |_| -5.0);
+    heaven.update_region(oid, &patch).unwrap();
+    heaven.arraydb_mut().database_mut().checkpoint().unwrap();
+
+    // --- simulated server restart ---
+    heaven.arraydb_mut().database_mut().crash();
+    heaven.arraydb_mut().database_mut().recover().unwrap();
+    heaven.arraydb_mut().rebuild_catalogs().unwrap();
+    heaven.rebuild_archive_catalog().unwrap();
+
+    // catalog state restored
+    assert_eq!(
+        heaven.catalog().object_supertiles(oid).len(),
+        report.supertiles
+    );
+    // dead space recomputed from live vs used bytes
+    let medium = report.media[0];
+    assert!(heaven.dead_bytes_on(medium) > 0);
+
+    // archived data retrievable; includes the update
+    let back = heaven
+        .fetch_region_hierarchical(oid, &domain)
+        .unwrap();
+    assert_eq!(back.get_f64(&Point::new(vec![0, 0])).unwrap(), -5.0);
+    assert_eq!(
+        back.get_f64(&Point::new(vec![30, 30])).unwrap(),
+        field.get_f64(&Point::new(vec![30, 30])).unwrap()
+    );
+}
