@@ -145,10 +145,7 @@ impl Minterval {
 
     /// The d-dimensional box `[0:shape0-1, 0:shape1-1, ...]`.
     pub fn with_shape(shape: &[u64]) -> Result<Minterval> {
-        let bounds: Vec<(i64, i64)> = shape
-            .iter()
-            .map(|&s| (0, s as i64 - 1))
-            .collect();
+        let bounds: Vec<(i64, i64)> = shape.iter().map(|&s| (0, s as i64 - 1)).collect();
         Minterval::new(&bounds)
     }
 
@@ -189,12 +186,7 @@ impl Minterval {
 
     /// Whether the point lies inside.
     pub fn contains_point(&self, p: &Point) -> bool {
-        p.dim() == self.dim()
-            && self
-                .axes
-                .iter()
-                .zip(&p.0)
-                .all(|(a, &c)| a.contains(c))
+        p.dim() == self.dim() && self.axes.iter().zip(&p.0).all(|(a, &c)| a.contains(c))
     }
 
     /// Whether `other` is fully contained in `self`.
@@ -271,10 +263,7 @@ impl Minterval {
     /// Drop dimension `dim` (used by slicing). Result has dimensionality d-1.
     pub fn project_out(&self, dim: usize) -> Result<Minterval> {
         if dim >= self.dim() {
-            return Err(ArrayError::BadSlice {
-                dim,
-                pos: 0,
-            });
+            return Err(ArrayError::BadSlice { dim, pos: 0 });
         }
         let mut axes = self.axes.clone();
         axes.remove(dim);
@@ -345,9 +334,11 @@ impl Minterval {
     /// along every axis). `gap = 1` means face/edge/corner adjacency.
     pub fn adjacent_within(&self, other: &Minterval, gap: i64) -> bool {
         self.dim() == other.dim()
-            && self.axes.iter().zip(&other.axes).all(|(a, b)| {
-                a.lo - gap <= b.hi && b.lo - gap <= a.hi
-            })
+            && self
+                .axes
+                .iter()
+                .zip(&other.axes)
+                .all(|(a, b)| a.lo - gap <= b.hi && b.lo - gap <= a.hi)
     }
 }
 

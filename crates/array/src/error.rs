@@ -16,7 +16,10 @@ pub enum ArrayError {
     /// The requested sub-domain is not contained in the array's domain.
     NotContained { inner: String, outer: String },
     /// Cell types of two operands did not match and no promotion applies.
-    TypeMismatch { left: &'static str, right: &'static str },
+    TypeMismatch {
+        left: &'static str,
+        right: &'static str,
+    },
     /// A buffer had the wrong length for the (domain, cell type) pair.
     BufferSize { expected: usize, got: usize },
     /// Division by zero in an induced operation or condenser.
@@ -48,7 +51,10 @@ impl fmt::Display for ArrayError {
                 write!(f, "cell type mismatch: {left} vs {right}")
             }
             ArrayError::BufferSize { expected, got } => {
-                write!(f, "buffer size mismatch: expected {expected} bytes, got {got}")
+                write!(
+                    f,
+                    "buffer size mismatch: expected {expected} bytes, got {got}"
+                )
             }
             ArrayError::DivisionByZero => write!(f, "division by zero"),
             ArrayError::BadSlice { dim, pos } => {

@@ -332,9 +332,7 @@ fn quadratic_split(entries: &mut Vec<(Minterval, TileId)>) -> Vec<(Minterval, Ti
     distribute(entries, s1, s2)
 }
 
-fn quadratic_split_inner(
-    entries: &mut Vec<(Minterval, Box<Node>)>,
-) -> Vec<(Minterval, Box<Node>)> {
+fn quadratic_split_inner(entries: &mut Vec<(Minterval, Box<Node>)>) -> Vec<(Minterval, Box<Node>)> {
     let (s1, s2) = pick_seeds(entries.iter().map(|(b, _)| b));
     distribute(entries, s1, s2)
 }
@@ -345,9 +343,7 @@ fn pick_seeds<'a, I: Iterator<Item = &'a Minterval> + Clone>(boxes: I) -> (usize
     let mut pair = (0, 1);
     for i in 0..v.len() {
         for j in (i + 1)..v.len() {
-            let waste = volume(&v[i].hull(v[j]).expect("same dim"))
-                - volume(v[i])
-                - volume(v[j]);
+            let waste = volume(&v[i].hull(v[j]).expect("same dim")) - volume(v[i]) - volume(v[j]);
             if waste > worst {
                 worst = waste;
                 pair = (i, j);
@@ -416,10 +412,7 @@ impl TileIndex for RTreeIndex {
             let mbr_old = old_root.mbr().expect("non-empty");
             let mbr_new = new_node.mbr().expect("non-empty");
             self.root = Node::Inner {
-                entries: vec![
-                    (mbr_old, Box::new(old_root)),
-                    (mbr_new, Box::new(new_node)),
-                ],
+                entries: vec![(mbr_old, Box::new(old_root)), (mbr_new, Box::new(new_node))],
             };
         }
         self.len += 1;

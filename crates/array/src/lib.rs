@@ -28,7 +28,10 @@ pub use error::{ArrayError, Result};
 pub use frame::{subtract_box, Frame};
 pub use index::{GridIndex, RTreeIndex, TileIndex};
 pub use mdd::MDArray;
-pub use ops::{induced_binary, induced_scalar, induced_unary, scale_down, slice, trim, BinaryOp, Condenser, UnaryOp};
+pub use ops::{
+    induced_binary, induced_scalar, induced_unary, scale_down, slice, trim, BinaryOp, Condenser,
+    UnaryOp,
+};
 pub use order::LinearOrder;
 pub use tile::{ObjectId, Tile, TileId};
 pub use tiling::Tiling;

@@ -30,11 +30,7 @@ impl MDArray {
     }
 
     /// Create from an existing raw buffer (must be exactly the right size).
-    pub fn from_bytes(
-        domain: Minterval,
-        cell_type: CellType,
-        data: Vec<u8>,
-    ) -> Result<MDArray> {
+    pub fn from_bytes(domain: Minterval, cell_type: CellType, data: Vec<u8>) -> Result<MDArray> {
         let expected = domain.cell_count() as usize * cell_type.size_bytes();
         if data.len() != expected {
             return Err(ArrayError::BufferSize {
@@ -137,8 +133,8 @@ impl MDArray {
     /// Iterate over `(point, value)` pairs in row-major order.
     pub fn iter_cells(&self) -> impl Iterator<Item = (Point, CellValue)> + '_ {
         self.domain.iter_points().enumerate().map(move |(i, p)| {
-            let v = CellValue::read(self.cell_type, &self.data, i)
-                .expect("buffer sized for domain");
+            let v =
+                CellValue::read(self.cell_type, &self.data, i).expect("buffer sized for domain");
             (p, v)
         })
     }
@@ -189,9 +185,7 @@ pub fn copy_region(src: &MDArray, dst: &mut MDArray, region: &Minterval) -> Resu
     let outer = if d == 1 {
         None
     } else {
-        Some(Minterval::from_intervals(
-            region.axes()[..last].to_vec(),
-        ))
+        Some(Minterval::from_intervals(region.axes()[..last].to_vec()))
     };
     let row_starts: Box<dyn Iterator<Item = Point>> = match &outer {
         None => Box::new(std::iter::once(Point::new(vec![region.axis(0).lo]))),

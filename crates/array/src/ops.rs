@@ -128,12 +128,7 @@ impl BinaryOp {
     pub fn is_comparison(self) -> bool {
         matches!(
             self,
-            BinaryOp::Lt
-                | BinaryOp::Le
-                | BinaryOp::Gt
-                | BinaryOp::Ge
-                | BinaryOp::Eq
-                | BinaryOp::Ne
+            BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge | BinaryOp::Eq | BinaryOp::Ne
         )
     }
 
@@ -279,9 +274,7 @@ impl Condenser {
             return Err(ArrayError::Empty("condenser partials"));
         }
         Ok(match self {
-            Condenser::Sum | Condenser::CountNonZero => {
-                parts.iter().map(|&(v, _)| v).sum()
-            }
+            Condenser::Sum | Condenser::CountNonZero => parts.iter().map(|&(v, _)| v).sum(),
             Condenser::Min => parts.iter().map(|&(v, _)| v).fold(f64::INFINITY, f64::min),
             Condenser::Max => parts
                 .iter()
@@ -292,11 +285,7 @@ impl Condenser {
                 if total == 0 {
                     return Err(ArrayError::Empty("condenser partials"));
                 }
-                parts
-                    .iter()
-                    .map(|&(v, n)| v * n as f64)
-                    .sum::<f64>()
-                    / total as f64
+                parts.iter().map(|&(v, n)| v * n as f64).sum::<f64>() / total as f64
             }
         })
     }

@@ -79,12 +79,11 @@ impl LinearOrder {
     /// coordinates (shifted to non-negative) to a key. Used when tiles are
     /// not on a regular grid.
     pub fn key_for_point(&self, p: &Point, origin: &Point, shape: &[u64]) -> u128 {
-        let coords: Vec<u64> = p
-            .0
-            .iter()
-            .zip(&origin.0)
-            .map(|(&c, &o)| (c - o).max(0) as u64)
-            .collect();
+        let coords: Vec<u64> =
+            p.0.iter()
+                .zip(&origin.0)
+                .map(|(&c, &o)| (c - o).max(0) as u64)
+                .collect();
         self.key(&coords, shape)
     }
 }

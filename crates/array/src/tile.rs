@@ -114,8 +114,7 @@ impl Tile {
             bounds.push((lo, hi));
             off += 16;
         }
-        let payload_len =
-            u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) as usize;
+        let payload_len = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) as usize;
         off += 8;
         need(off + payload_len)?;
         let domain = Minterval::new(&bounds)
@@ -157,9 +156,7 @@ mod tests {
     #[test]
     fn back_to_back_tiles_decode() {
         let t1 = sample_tile();
-        let data2 = MDArray::generate(mi(&[(0, 1)]), CellType::F64, |p| {
-            p.coord(0) as f64 * 0.5
-        });
+        let data2 = MDArray::generate(mi(&[(0, 1)]), CellType::F64, |p| p.coord(0) as f64 * 0.5);
         let t2 = Tile::new(43, 7, data2);
         let mut buf = t1.encode();
         buf.extend_from_slice(&t2.encode());
@@ -185,9 +182,6 @@ mod tests {
     fn header_len_matches_encoding() {
         let t = sample_tile();
         let enc = t.encode();
-        assert_eq!(
-            enc.len(),
-            Tile::header_len(2) + t.payload_bytes() as usize
-        );
+        assert_eq!(enc.len(), Tile::header_len(2) + t.payload_bytes() as usize);
     }
 }

@@ -60,7 +60,11 @@ impl Tiling {
                 }
                 Ok(tile_shape.clone())
             }
-            Tiling::Directional { axis, base_edge, factor } => {
+            Tiling::Directional {
+                axis,
+                base_edge,
+                factor,
+            } => {
                 if *axis >= d {
                     return Err(ArrayError::BadSlice { dim: *axis, pos: 0 });
                 }
@@ -93,11 +97,7 @@ impl Tiling {
     ///
     /// Tiles are aligned to the domain's lower corner; tiles on the upper
     /// border are clipped to the domain.
-    pub fn tile_domains(
-        &self,
-        domain: &Minterval,
-        cell_type: CellType,
-    ) -> Result<Vec<Minterval>> {
+    pub fn tile_domains(&self, domain: &Minterval, cell_type: CellType) -> Result<Vec<Minterval>> {
         let shape = self.tile_shape(domain, cell_type)?;
         let d = domain.dim();
         // Number of tiles along each axis.
@@ -141,11 +141,7 @@ impl Tiling {
 
     /// Grid coordinate of the tile containing global point coordinates,
     /// given the tile shape returned by [`tile_shape`](Self::tile_shape).
-    pub fn grid_coord_of(
-        domain: &Minterval,
-        tile_shape: &[u64],
-        tile: &Minterval,
-    ) -> Vec<u64> {
+    pub fn grid_coord_of(domain: &Minterval, tile_shape: &[u64], tile: &Minterval) -> Vec<u64> {
         (0..domain.dim())
             .map(|i| ((tile.axis(i).lo - domain.axis(i).lo) as u64) / tile_shape[i])
             .collect()
@@ -182,7 +178,9 @@ mod tests {
     #[test]
     fn border_tiles_are_clipped() {
         let dom = mi(&[(0, 9)]);
-        let t = Tiling::Regular { tile_shape: vec![4] };
+        let t = Tiling::Regular {
+            tile_shape: vec![4],
+        };
         let tiles = t.tile_domains(&dom, CellType::U8).unwrap();
         assert_eq!(tiles.len(), 3);
         assert_eq!(tiles[2], mi(&[(8, 9)]));

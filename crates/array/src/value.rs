@@ -151,12 +151,8 @@ impl CellValue {
     pub fn from_f64(ty: CellType, v: f64) -> CellValue {
         match ty {
             CellType::U8 => CellValue::U8(v.clamp(0.0, u8::MAX as f64) as u8),
-            CellType::I16 => {
-                CellValue::I16(v.clamp(i16::MIN as f64, i16::MAX as f64) as i16)
-            }
-            CellType::I32 => {
-                CellValue::I32(v.clamp(i32::MIN as f64, i32::MAX as f64) as i32)
-            }
+            CellType::I16 => CellValue::I16(v.clamp(i16::MIN as f64, i16::MAX as f64) as i16),
+            CellType::I32 => CellValue::I32(v.clamp(i32::MIN as f64, i32::MAX as f64) as i32),
             CellType::F32 => CellValue::F32(v as f32),
             CellType::F64 => CellValue::F64(v),
         }
@@ -182,12 +178,8 @@ impl CellValue {
         Ok(match ty {
             CellType::U8 => CellValue::U8(b[0]),
             CellType::I16 => CellValue::I16(i16::from_le_bytes([b[0], b[1]])),
-            CellType::I32 => {
-                CellValue::I32(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-            }
-            CellType::F32 => {
-                CellValue::F32(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-            }
+            CellType::I32 => CellValue::I32(i32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+            CellType::F32 => CellValue::F32(f32::from_le_bytes([b[0], b[1], b[2], b[3]])),
             CellType::F64 => CellValue::F64(f64::from_le_bytes([
                 b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
             ])),

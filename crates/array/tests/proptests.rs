@@ -1,8 +1,7 @@
 //! Property-based tests of the array substrate's invariants.
 
 use heaven_array::{
-    subtract_box, CellType, Frame, Interval, LinearOrder, MDArray, Minterval, Point,
-    Tile, Tiling,
+    subtract_box, CellType, Frame, Interval, LinearOrder, MDArray, Minterval, Point, Tile, Tiling,
 };
 use proptest::prelude::*;
 

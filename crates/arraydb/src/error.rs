@@ -20,7 +20,11 @@ pub enum ArrayDbError {
     /// a hierarchy-aware provider must resolve it.
     TileExported(u64),
     /// Cell type of an inserted array does not match the collection.
-    WrongCellType { collection: String, expected: String, got: String },
+    WrongCellType {
+        collection: String,
+        expected: String,
+        got: String,
+    },
     /// Query text failed to lex/parse.
     Syntax { pos: usize, msg: String },
     /// Query is type-incorrect or malformed.
@@ -41,7 +45,11 @@ impl fmt::Display for ArrayDbError {
             ArrayDbError::TileExported(t) => {
                 write!(f, "tile {t} exported to tertiary storage")
             }
-            ArrayDbError::WrongCellType { collection, expected, got } => write!(
+            ArrayDbError::WrongCellType {
+                collection,
+                expected,
+                got,
+            } => write!(
                 f,
                 "collection {collection} holds {expected} cells, got {got}"
             ),

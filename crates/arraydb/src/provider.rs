@@ -41,25 +41,24 @@ pub trait TileProvider {
 
     /// Hook for the precomputed-operation catalog (paper §3.9): return a
     /// memoized condenser result for `(oid, op, region)` if one exists.
-    fn precomputed(
-        &mut self,
-        _oid: ObjectId,
-        _op: Condenser,
-        _region: &Minterval,
-    ) -> Option<f64> {
+    fn precomputed(&mut self, _oid: ObjectId, _op: Condenser, _region: &Minterval) -> Option<f64> {
         None
     }
 
     /// Notify the provider of a freshly computed condenser result, so it
     /// may be memoized. Default: discard.
-    fn note_computed(
-        &mut self,
-        _oid: ObjectId,
-        _op: Condenser,
-        _region: &Minterval,
-        _value: f64,
-    ) {
-    }
+    fn note_computed(&mut self, _oid: ObjectId, _op: Condenser, _region: &Minterval, _value: f64) {}
+
+    /// Hook called by the executor when a query starts, with a short
+    /// human-readable label. Providers with an observability layer open
+    /// their per-query bracket here (root trace span, counter snapshot).
+    /// Default: ignore.
+    fn query_begin(&mut self, _label: &str) {}
+
+    /// Hook called by the executor when the query finishes (on success
+    /// *and* on error), closing whatever [`Self::query_begin`] opened.
+    /// Default: ignore.
+    fn query_end(&mut self) {}
 }
 
 impl TileProvider for ArrayDb {
@@ -105,7 +104,9 @@ mod tests {
 
         // L-frame fetch
         let f = Frame::from_box(Minterval::new(&[(0, 19), (0, 4)]).unwrap())
-            .union(&Frame::from_box(Minterval::new(&[(15, 19), (0, 19)]).unwrap()))
+            .union(&Frame::from_box(
+                Minterval::new(&[(15, 19), (0, 19)]).unwrap(),
+            ))
             .unwrap();
         let got = adb.fetch_frame(oid, &f).unwrap();
         // inside the frame: real data

@@ -102,10 +102,9 @@ impl Expr {
         match self {
             Expr::Var(v) => v == name,
             Expr::Num(_) => false,
-            Expr::Select(e, _)
-            | Expr::Unary(_, e)
-            | Expr::Condense(_, e)
-            | Expr::Scale(e, _) => e.uses_var(name),
+            Expr::Select(e, _) | Expr::Unary(_, e) | Expr::Condense(_, e) | Expr::Scale(e, _) => {
+                e.uses_var(name)
+            }
             Expr::Binary(_, l, r) => l.uses_var(name) || r.uses_var(name),
         }
     }

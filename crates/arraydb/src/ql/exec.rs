@@ -11,8 +11,8 @@ use super::ast::{BoxSel, Expr, FrameSpec, Query, RangeSel};
 use crate::error::{ArrayDbError, Result};
 use crate::provider::TileProvider;
 use heaven_array::{
-    induced_binary, induced_scalar, induced_unary, scale_down, slice, trim, BinaryOp,
-    Condenser, Frame, Interval, MDArray, Minterval, ObjectId, UnaryOp,
+    induced_binary, induced_scalar, induced_unary, scale_down, slice, trim, BinaryOp, Condenser,
+    Frame, Interval, MDArray, Minterval, ObjectId, UnaryOp,
 };
 
 /// A query result value.
@@ -51,8 +51,17 @@ pub struct QueryResult {
     pub value: Value,
 }
 
-/// Execute a parsed query against a provider.
+/// Execute a parsed query against a provider. The provider's
+/// [`TileProvider::query_begin`]/[`TileProvider::query_end`] hooks bracket
+/// the execution, including error paths.
 pub fn execute(provider: &mut dyn TileProvider, query: &Query) -> Result<Vec<QueryResult>> {
+    provider.query_begin(&format!("select from {}", query.collection));
+    let result = execute_inner(provider, query);
+    provider.query_end();
+    result
+}
+
+fn execute_inner(provider: &mut dyn TileProvider, query: &Query) -> Result<Vec<QueryResult>> {
     let mut oids = provider.collection_objects(&query.collection)?;
     if let Some(f) = &query.filter {
         oids.retain(|&oid| f.accepts(oid));
@@ -71,12 +80,7 @@ pub fn run(provider: &mut dyn TileProvider, text: &str) -> Result<Vec<QueryResul
     execute(provider, &q)
 }
 
-fn eval(
-    provider: &mut dyn TileProvider,
-    oid: ObjectId,
-    alias: &str,
-    expr: &Expr,
-) -> Result<Value> {
+fn eval(provider: &mut dyn TileProvider, oid: ObjectId, alias: &str, expr: &Expr) -> Result<Value> {
     match expr {
         Expr::Num(n) => Ok(Value::Scalar(*n)),
         Expr::Var(name) => {
@@ -106,9 +110,9 @@ fn eval(
                     let factors = vec![*factor; a.domain().dim()];
                     Ok(Value::Array(scale_down(&a, &factors)?))
                 }
-                Value::Scalar(_) => Err(ArrayDbError::Semantic(
-                    "scale() applied to a scalar".into(),
-                )),
+                Value::Scalar(_) => {
+                    Err(ArrayDbError::Semantic("scale() applied to a scalar".into()))
+                }
             }
         }
     }
@@ -305,9 +309,9 @@ fn eval_select(
         }
         _ => {
             let frame = resolve_frame(spec, arr.domain())?.clip(arr.domain());
-            let bbox = frame.bounding_box().ok_or_else(|| {
-                ArrayDbError::Semantic("frame selects nothing".into())
-            })?;
+            let bbox = frame
+                .bounding_box()
+                .ok_or_else(|| ArrayDbError::Semantic("frame selects nothing".into()))?;
             let mut out = MDArray::zeros(bbox, arr.cell_type());
             for b in frame.boxes() {
                 out.patch(&trim(&arr, b)?)?;
@@ -352,9 +356,7 @@ fn plain_trim_region(
     expr: &Expr,
 ) -> Result<Option<Minterval>> {
     match expr {
-        Expr::Var(name) if name == alias => {
-            Ok(Some(provider.object_meta(oid)?.domain.clone()))
-        }
+        Expr::Var(name) if name == alias => Ok(Some(provider.object_meta(oid)?.domain.clone())),
         Expr::Select(inner, FrameSpec::Single(b)) => {
             if let Expr::Var(name) = &**inner {
                 if name == alias {
@@ -402,10 +404,7 @@ mod tests {
         let rs = run(&mut adb, "select t[5:6, 7:8] from temps as t").unwrap();
         assert_eq!(rs.len(), 1);
         let arr = rs[0].value.as_array().unwrap();
-        assert_eq!(
-            arr.domain(),
-            &Minterval::new(&[(5, 6), (7, 8)]).unwrap()
-        );
+        assert_eq!(arr.domain(), &Minterval::new(&[(5, 6), (7, 8)]).unwrap());
         assert_eq!(arr.get_f64(&Point::new(vec![6, 8])).unwrap(), 608.0);
     }
 
@@ -429,11 +428,7 @@ mod tests {
     #[test]
     fn arithmetic_with_scalars() {
         let (mut adb, _) = setup();
-        let rs = run(
-            &mut adb,
-            "select (t[0:0,0:1] + 10) * 2 from temps as t",
-        )
-        .unwrap();
+        let rs = run(&mut adb, "select (t[0:0,0:1] + 10) * 2 from temps as t").unwrap();
         let arr = rs[0].value.as_array().unwrap();
         assert_eq!(arr.get_f64(&Point::new(vec![0, 0])).unwrap(), 20.0);
         assert_eq!(arr.get_f64(&Point::new(vec![0, 1])).unwrap(), 22.0);
@@ -451,11 +446,7 @@ mod tests {
     #[test]
     fn comparison_mask_counts() {
         let (mut adb, _) = setup();
-        let rs = run(
-            &mut adb,
-            "select count_cells(t >= 1900) from temps as t",
-        )
-        .unwrap();
+        let rs = run(&mut adb, "select count_cells(t >= 1900) from temps as t").unwrap();
         // values 1900..=1919
         assert_eq!(rs[0].value.as_scalar().unwrap(), 20.0);
     }
@@ -463,17 +454,10 @@ mod tests {
     #[test]
     fn union_frame_query() {
         let (mut adb, _) = setup();
-        let rs = run(
-            &mut adb,
-            "select t[0:4,0:4 | 15:19,15:19] from temps as t",
-        )
-        .unwrap();
+        let rs = run(&mut adb, "select t[0:4,0:4 | 15:19,15:19] from temps as t").unwrap();
         let arr = rs[0].value.as_array().unwrap();
         // bounding box covers both corners
-        assert_eq!(
-            arr.domain(),
-            &Minterval::new(&[(0, 19), (0, 19)]).unwrap()
-        );
+        assert_eq!(arr.domain(), &Minterval::new(&[(0, 19), (0, 19)]).unwrap());
         assert_eq!(arr.get_f64(&Point::new(vec![2, 2])).unwrap(), 202.0);
         assert_eq!(arr.get_f64(&Point::new(vec![17, 17])).unwrap(), 1717.0);
         // outside the frame: zero
@@ -492,10 +476,8 @@ mod tests {
         let dom = Minterval::new(&[(0, 19), (0, 19)]).unwrap();
         let mut expect = 0.0;
         for p in dom.iter_points() {
-            let on_border = p.coord(0) == 0
-                || p.coord(0) == 19
-                || p.coord(1) == 0
-                || p.coord(1) == 19;
+            let on_border =
+                p.coord(0) == 0 || p.coord(0) == 19 || p.coord(1) == 0 || p.coord(1) == 19;
             if on_border {
                 expect += (p.coord(0) * 100 + p.coord(1)) as f64;
             }
@@ -532,9 +514,7 @@ mod tests {
         assert_eq!(arr.get_f64(&Point::new(vec![0, 0])).unwrap(), 454.5);
         // bad factor and scalar operand rejected
         assert!(run(&mut adb, "select scale(t[0:1,0:1], 0) from temps as t").is_err());
-        assert!(
-            run(&mut adb, "select scale(avg_cells(t), 2) from temps as t").is_err()
-        );
+        assert!(run(&mut adb, "select scale(avg_cells(t), 2) from temps as t").is_err());
     }
 
     #[test]

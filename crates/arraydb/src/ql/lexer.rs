@@ -72,78 +72,132 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
                 i += 1;
             }
             '(' => {
-                out.push(Spanned { tok: Token::LParen, pos });
+                out.push(Spanned {
+                    tok: Token::LParen,
+                    pos,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { tok: Token::RParen, pos });
+                out.push(Spanned {
+                    tok: Token::RParen,
+                    pos,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Spanned { tok: Token::LBracket, pos });
+                out.push(Spanned {
+                    tok: Token::LBracket,
+                    pos,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Spanned { tok: Token::RBracket, pos });
+                out.push(Spanned {
+                    tok: Token::RBracket,
+                    pos,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { tok: Token::Comma, pos });
+                out.push(Spanned {
+                    tok: Token::Comma,
+                    pos,
+                });
                 i += 1;
             }
             ':' => {
-                out.push(Spanned { tok: Token::Colon, pos });
+                out.push(Spanned {
+                    tok: Token::Colon,
+                    pos,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Spanned { tok: Token::Star, pos });
+                out.push(Spanned {
+                    tok: Token::Star,
+                    pos,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Spanned { tok: Token::Plus, pos });
+                out.push(Spanned {
+                    tok: Token::Plus,
+                    pos,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(Spanned { tok: Token::Minus, pos });
+                out.push(Spanned {
+                    tok: Token::Minus,
+                    pos,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(Spanned { tok: Token::Slash, pos });
+                out.push(Spanned {
+                    tok: Token::Slash,
+                    pos,
+                });
                 i += 1;
             }
             '\\' => {
-                out.push(Spanned { tok: Token::Backslash, pos });
+                out.push(Spanned {
+                    tok: Token::Backslash,
+                    pos,
+                });
                 i += 1;
             }
             '|' => {
-                out.push(Spanned { tok: Token::Pipe, pos });
+                out.push(Spanned {
+                    tok: Token::Pipe,
+                    pos,
+                });
                 i += 1;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { tok: Token::Le, pos });
+                    out.push(Spanned {
+                        tok: Token::Le,
+                        pos,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { tok: Token::Lt, pos });
+                    out.push(Spanned {
+                        tok: Token::Lt,
+                        pos,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { tok: Token::Ge, pos });
+                    out.push(Spanned {
+                        tok: Token::Ge,
+                        pos,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { tok: Token::Gt, pos });
+                    out.push(Spanned {
+                        tok: Token::Gt,
+                        pos,
+                    });
                     i += 1;
                 }
             }
             '=' => {
-                out.push(Spanned { tok: Token::Eq, pos });
+                out.push(Spanned {
+                    tok: Token::Eq,
+                    pos,
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { tok: Token::Ne, pos });
+                    out.push(Spanned {
+                        tok: Token::Ne,
+                        pos,
+                    });
                     i += 2;
                 } else {
                     return Err(ArrayDbError::Syntax {

@@ -412,8 +412,7 @@ mod tests {
 
     #[test]
     fn parses_condenser_and_arith() {
-        let q =
-            parse_query("select avg_cells(t[0:9,0:9]) * 2 + 1 from c as t").unwrap();
+        let q = parse_query("select avg_cells(t[0:9,0:9]) * 2 + 1 from c as t").unwrap();
         match &q.target {
             Expr::Binary(BinaryOp::Add, l, r) => {
                 assert_eq!(**r, Expr::Num(1.0));
@@ -441,10 +440,7 @@ mod tests {
     #[test]
     fn parses_difference_frame() {
         let q = parse_query(r"select t[0:99,0:99 \ 10:89,10:89] from c as t").unwrap();
-        assert!(matches!(
-            q.target,
-            Expr::Select(_, FrameSpec::Diff(_, _))
-        ));
+        assert!(matches!(q.target, Expr::Select(_, FrameSpec::Diff(_, _))));
     }
 
     #[test]
@@ -513,8 +509,7 @@ mod where_tests {
 
     #[test]
     fn parses_oid_in_list() {
-        let q =
-            parse_query("select t[0:1,0:1] from c as t where oid(t) in (1, 2, 9)").unwrap();
+        let q = parse_query("select t[0:1,0:1] from c as t where oid(t) in (1, 2, 9)").unwrap();
         assert_eq!(q.filter, Some(OidFilter::In(vec![1, 2, 9])));
     }
 

@@ -259,7 +259,9 @@ impl ArrayDb {
 
     /// Metadata of an object.
     pub fn object(&self, oid: ObjectId) -> Result<&ObjectMeta> {
-        self.objects.get(&oid).ok_or(ArrayDbError::NoSuchObject(oid))
+        self.objects
+            .get(&oid)
+            .ok_or(ArrayDbError::NoSuchObject(oid))
     }
 
     /// All object ids, ascending.
@@ -334,7 +336,11 @@ impl ArrayDb {
                     "region {region} outside object domain {}",
                     meta.domain
                 )))?;
-            (target.clone(), meta.tiles_intersecting(&target), meta.cell_type)
+            (
+                target.clone(),
+                meta.tiles_intersecting(&target),
+                meta.cell_type,
+            )
         };
         let mut out = MDArray::zeros(target, cell_type);
         for tid in tile_ids {
@@ -477,7 +483,11 @@ fn encode_object_row(meta: &ObjectMeta, first_tile: TileId) -> Vec<u8> {
                 row.extend_from_slice(&e.to_le_bytes());
             }
         }
-        Tiling::Directional { axis, base_edge, factor } => {
+        Tiling::Directional {
+            axis,
+            base_edge,
+            factor,
+        } => {
             row.push(1);
             row.extend_from_slice(&(*axis as u64).to_le_bytes());
             row.extend_from_slice(&base_edge.to_le_bytes());
@@ -527,7 +537,11 @@ fn decode_object_row(row: &[u8]) -> Result<(ObjectMeta, TileId)> {
             let axis = u64::from_le_bytes(take(8)?.try_into().unwrap()) as usize;
             let base_edge = u64::from_le_bytes(take(8)?.try_into().unwrap());
             let factor = u64::from_le_bytes(take(8)?.try_into().unwrap());
-            Tiling::Directional { axis, base_edge, factor }
+            Tiling::Directional {
+                axis,
+                base_edge,
+                factor,
+            }
         }
         2 => {
             let max_bytes = u64::from_le_bytes(take(8)?.try_into().unwrap());
@@ -543,10 +557,7 @@ fn decode_object_row(row: &[u8]) -> Result<(ObjectMeta, TileId)> {
     }
     let domain = Minterval::new(&bounds)?;
     let tile_domains = tiling.tile_domains(&domain, cell_type)?;
-    let tiles: Vec<(Minterval, TileId)> = tile_domains
-        .into_iter()
-        .zip(first_tile..)
-        .collect();
+    let tiles: Vec<(Minterval, TileId)> = tile_domains.into_iter().zip(first_tile..).collect();
     Ok((
         ObjectMeta {
             oid,
@@ -713,10 +724,7 @@ mod tests {
         adb.mark_exported(tid).unwrap();
         adb.rebuild_catalogs().unwrap();
         assert_eq!(adb.tile_location(tid).unwrap(), TileLocation::Exported);
-        assert_eq!(
-            adb.tile_location(tid + 1).unwrap(),
-            TileLocation::Disk
-        );
+        assert_eq!(adb.tile_location(tid + 1).unwrap(), TileLocation::Disk);
     }
 
     #[test]

@@ -3,8 +3,7 @@
 //! regardless of tiling.
 
 use heaven_array::{
-    induced_scalar, slice, trim, BinaryOp, CellType, Condenser, MDArray, Minterval,
-    Point, Tiling,
+    induced_scalar, slice, trim, BinaryOp, CellType, Condenser, MDArray, Minterval, Point, Tiling,
 };
 use heaven_arraydb::{run, ArrayDb};
 use proptest::prelude::*;

@@ -3,9 +3,7 @@
 //! retrieval (the device costs are simulated and excluded here).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use heaven_array::{
-    trim, CellType, Condenser, LinearOrder, MDArray, Minterval, Tiling,
-};
+use heaven_array::{trim, CellType, Condenser, LinearOrder, MDArray, Minterval, Tiling};
 
 fn mi(b: &[(i64, i64)]) -> Minterval {
     Minterval::new(b).unwrap()
@@ -18,9 +16,7 @@ fn bench_tiling(c: &mut Criterion) {
     };
     c.bench_function("tiling/tile_domains 4096 tiles", |b| {
         b.iter(|| {
-            let d = tiling
-                .tile_domains(black_box(&dom), CellType::F32)
-                .unwrap();
+            let d = tiling.tile_domains(black_box(&dom), CellType::F32).unwrap();
             black_box(d.len())
         })
     });

@@ -38,9 +38,7 @@ fn bench_execute(c: &mut Criterion) {
     )
     .unwrap();
     c.bench_function("ql/execute trim 64x64", |b| {
-        b.iter(|| {
-            black_box(run(&mut adb, "select t[64:127, 64:127] from temps as t").unwrap())
-        })
+        b.iter(|| black_box(run(&mut adb, "select t[64:127, 64:127] from temps as t").unwrap()))
     });
     c.bench_function("ql/execute condenser over trim", |b| {
         b.iter(|| {

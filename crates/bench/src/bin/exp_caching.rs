@@ -73,7 +73,7 @@ fn main() {
             ]);
         }
     }
-    t.print();
+    t.emit();
     println!(
         "\nShape check (paper §3.7): caching pays off dramatically under\n\
          locality; LRU/LFU beat FIFO; the cost-aware policy wins on mean\n\

@@ -18,8 +18,8 @@ use heaven_core::ClusteringStrategy;
 use heaven_hsm::{HsmSystem, StagingDisk, WatermarkPolicy};
 use heaven_tape::{DeviceProfile, DiskProfile, SimClock, TapeLibrary, WritePayload};
 use heaven_workload::selectivity_queries;
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 const SELECTIVITY: f64 = 0.02;
@@ -123,7 +123,12 @@ fn run_heaven_direct() -> (f64, u64) {
 fn main() {
     let mut t = Table::new(
         "E12 (ablation): TS attachment modes, 8 GB object, 2% queries (DLT7000)",
-        &["coupling", "mean tape traffic", "mean time", "vs whole-file"],
+        &[
+            "coupling",
+            "mean tape traffic",
+            "mean time",
+            "vs whole-file",
+        ],
     );
     let (t_whole, b_whole) = run_wholefile();
     let (t_hsm, b_hsm) = run_heaven_over_hsm();
@@ -140,7 +145,7 @@ fn main() {
             format!("{:.1}x", t_whole / time),
         ]);
     }
-    t.print();
+    t.emit();
     println!(
         "\nShape check (paper §3.1): super-tiles already buy the big win even\n\
          through an HSM; the direct attachment adds another chunk by\n\

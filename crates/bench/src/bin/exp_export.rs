@@ -6,13 +6,11 @@
 //! clustering, DBMS reads overlapping tape writes) over a sweep of object
 //! sizes. Real cell data end-to-end; device: DLT7000.
 
+use heaven_array::{CellType, Minterval, Tiling};
 use heaven_arraydb::ArrayDb;
 use heaven_bench::table::{fmt_bytes, fmt_s};
 use heaven_bench::Table;
-use heaven_core::{
-    AccessPattern, ClusteringStrategy, ExportMode, Heaven, HeavenConfig,
-};
-use heaven_array::{CellType, Minterval, Tiling};
+use heaven_core::{AccessPattern, ClusteringStrategy, ExportMode, Heaven, HeavenConfig};
 use heaven_rdbms::Database;
 use heaven_tape::{DeviceProfile, DiskProfile, SimClock, TapeLibrary};
 use heaven_workload::climate_field;
@@ -25,7 +23,8 @@ fn heaven_with_object(edge: i64, tile_edge: u64, st_bytes: u64) -> (Heaven, u64)
     // export pays real secondary-storage reads like a production system
     let db = Database::new(DiskProfile::scsi2003(), clock.clone(), 512);
     let mut adb = ArrayDb::create(db).expect("db");
-    adb.create_collection("climate", CellType::F32, 3).expect("collection");
+    adb.create_collection("climate", CellType::F32, 3)
+        .expect("collection");
     let dom = Minterval::new(&[(0, edge - 1), (0, edge - 1), (0, edge - 1)]).unwrap();
     let arr = climate_field(dom, 42);
     let oid = adb
@@ -66,7 +65,9 @@ fn main() {
         let st_bytes = 1 << 20;
         // Naive run.
         let (mut h1, oid1) = heaven_with_object(edge, 32, st_bytes);
-        let naive = h1.export_object(oid1, ExportMode::Naive).expect("naive export");
+        let naive = h1
+            .export_object(oid1, ExportMode::Naive)
+            .expect("naive export");
         // TCT run (fresh system; identical data).
         let (mut h2, oid2) = heaven_with_object(edge, 32, st_bytes);
         let tct = h2.export_object(oid2, ExportMode::Tct).expect("tct export");
@@ -79,7 +80,7 @@ fn main() {
             format!("{:.1}x", naive.elapsed_s / tct.pipelined_s),
         ]);
     }
-    t.print();
+    t.emit();
     println!(
         "\nShape check (paper §4.3): the decoupled, clustered TCT export is a\n\
          multiple faster than tile-at-a-time export; the gap grows with the\n\

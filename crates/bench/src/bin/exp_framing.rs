@@ -93,7 +93,7 @@ fn main() {
             ]);
         }
     }
-    t.print();
+    t.emit();
     println!(
         "\nShape check (paper §3.8): complex frames (L-shapes, shells,\n\
          scattered boxes) whose bounding boxes cover most of the object are\n\

@@ -44,7 +44,7 @@ fn main() {
         fmt_s(disk.access_time_s(1 << 30)),
         "1x".into(),
     ]);
-    t.print();
+    t.emit();
     println!(
         "\nPaper claim check: tape exchange 12-40 s, mean locate 27-95 s, tape\n\
          transfer ~= disk/2, disk positioning 10^3-10^4 x faster.\n"

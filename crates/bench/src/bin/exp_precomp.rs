@@ -6,11 +6,11 @@
 //! export time answer whole-tile-aligned regions without touching tape).
 //! Real data end-to-end.
 
+use heaven_array::{CellType, Condenser, Minterval, Tiling};
 use heaven_arraydb::{run, ArrayDb};
 use heaven_bench::table::fmt_s;
 use heaven_bench::Table;
 use heaven_core::{ExportMode, Heaven, HeavenConfig};
-use heaven_array::{CellType, Condenser, Minterval, Tiling};
 use heaven_rdbms::Database;
 use heaven_tape::{DeviceProfile, DiskProfile, SimClock, TapeLibrary};
 use heaven_workload::climate_field;
@@ -19,7 +19,8 @@ fn setup(precompute: bool) -> Heaven {
     let clock = SimClock::new();
     let db = Database::new(DiskProfile::scsi2003(), clock.clone(), 8192);
     let mut adb = ArrayDb::create(db).expect("db");
-    adb.create_collection("climate", CellType::F32, 3).expect("collection");
+    adb.create_collection("climate", CellType::F32, 3)
+        .expect("collection");
     let dom = Minterval::new(&[(0, 95), (0, 95), (0, 95)]).unwrap();
     let arr = climate_field(dom, 5);
     let oid = adb
@@ -60,13 +61,28 @@ fn timed_query(heaven: &mut Heaven, q: &str) -> (f64, f64) {
 
 fn main() {
     let queries = [
-        ("avg, whole object", "select avg_cells(c[0:95,0:95,0:95]) from climate as c"),
-        ("max, tile-aligned half", "select max_cells(c[0:95,0:95,0:31]) from climate as c"),
-        ("sum, tile-aligned block", "select add_cells(c[0:31,0:63,0:63]) from climate as c"),
+        (
+            "avg, whole object",
+            "select avg_cells(c[0:95,0:95,0:95]) from climate as c",
+        ),
+        (
+            "max, tile-aligned half",
+            "select max_cells(c[0:95,0:95,0:31]) from climate as c",
+        ),
+        (
+            "sum, tile-aligned block",
+            "select add_cells(c[0:31,0:63,0:63]) from climate as c",
+        ),
     ];
     let mut t = Table::new(
         "E10: condenser queries over an archived object (real data, DLT7000)",
-        &["query", "cold (no catalog)", "catalog (partials)", "repeat (exact)", "gain"],
+        &[
+            "query",
+            "cold (no catalog)",
+            "catalog (partials)",
+            "repeat (exact)",
+            "gain",
+        ],
     );
     for (name, q) in &queries {
         // Cold system without precompute: every query stages from tape.
@@ -94,7 +110,7 @@ fn main() {
             },
         ]);
     }
-    t.print();
+    t.emit();
     println!(
         "\nShape check (paper §3.9): tile-aligned condensers served from the\n\
          precomputed catalog avoid tape entirely — queries that pay a full\n\

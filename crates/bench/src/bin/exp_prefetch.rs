@@ -7,13 +7,13 @@
 //! Reported: mean **foreground** response per query (total minus
 //! overlapped prefetch time) and the tape traffic split.
 
+use heaven_array::{CellType, Minterval, Tiling};
 use heaven_arraydb::ArrayDb;
 use heaven_bench::table::{fmt_bytes, fmt_s};
 use heaven_bench::Table;
 use heaven_core::{
     AccessPattern, ClusteringStrategy, ExportMode, Heaven, HeavenConfig, PrefetchPolicy,
 };
-use heaven_array::{CellType, Minterval, Tiling};
 use heaven_rdbms::Database;
 use heaven_tape::{DeviceProfile, DiskProfile, SimClock, TapeLibrary};
 use heaven_workload::climate_field;
@@ -22,7 +22,8 @@ fn build(policy: PrefetchPolicy) -> (Heaven, u64) {
     let clock = SimClock::new();
     let db = Database::new(DiskProfile::scsi2003(), clock.clone(), 2048);
     let mut adb = ArrayDb::create(db).expect("db");
-    adb.create_collection("era", CellType::F32, 3).expect("collection");
+    adb.create_collection("era", CellType::F32, 3)
+        .expect("collection");
     // 96 months x 48 x 48
     let dom = Minterval::new(&[(0, 95), (0, 47), (0, 47)]).unwrap();
     let arr = climate_field(dom, 17);
@@ -105,7 +106,7 @@ fn main() {
             format!("{:.1}x", base / mean_fg),
         ]);
     }
-    t.print();
+    t.emit();
     println!(
         "\nShape check (paper §3.6): with sequential access and cluster-order\n\
          prefetching, successor super-tiles are already in the disk cache when\n\

@@ -63,7 +63,10 @@ fn run_hsm(selectivity: f64, seed: u64) -> (f64, u64) {
             hsm.purge_staged(&format!("obj{i}"));
         }
     }
-    (total_s / QUERIES_PER_POINT as f64, total_bytes / QUERIES_PER_POINT as u64)
+    (
+        total_s / QUERIES_PER_POINT as f64,
+        total_bytes / QUERIES_PER_POINT as u64,
+    )
 }
 
 fn run_heaven(selectivity: f64, seed: u64) -> (f64, u64, usize) {
@@ -82,12 +85,7 @@ fn run_heaven(selectivity: f64, seed: u64) -> (f64, u64, usize) {
     let mut total_sts = 0;
     let mut qi = 0u64;
     'outer: for (i, dom) in domains.iter().enumerate() {
-        for q in selectivity_queries(
-            dom,
-            selectivity,
-            QUERIES_PER_POINT / OBJECTS + 1,
-            seed + qi,
-        ) {
+        for q in selectivity_queries(dom, selectivity, QUERIES_PER_POINT / OBJECTS + 1, seed + qi) {
             qi += 1;
             if qi as usize > QUERIES_PER_POINT {
                 break 'outer;
@@ -135,7 +133,7 @@ fn main() {
             format!("{:.1}x", hsm_s / heaven_s),
         ]);
     }
-    t.print();
+    t.emit();
     println!(
         "\nShape check (paper §4.4): at the 1-10% selectivities scientists\n\
          actually use, HEAVEN is an order of magnitude faster because the HSM\n\

@@ -77,7 +77,7 @@ fn main() {
             ]);
         }
     }
-    t.print();
+    t.emit();
     println!(
         "\nShape check (paper §3.5.3): scheduling collapses the media\n\
          exchanges of an interleaved batch to ~one mount per medium and\n\

@@ -10,8 +10,7 @@ use heaven_array::{CellType, LinearOrder, Minterval, Tile, Tiling};
 use heaven_bench::table::fmt_bytes;
 use heaven_bench::Table;
 use heaven_core::{
-    bytes_touched, estar_partition, groups_touched, star_partition, AccessPattern,
-    TileInfo,
+    bytes_touched, estar_partition, groups_touched, star_partition, AccessPattern, TileInfo,
 };
 use heaven_workload::{directional_queries, selectivity_queries, slice_queries};
 
@@ -94,7 +93,7 @@ fn main() {
             ]);
         }
     }
-    t.print();
+    t.emit();
     println!(
         "\nShape check (paper §3.3): Hilbert STAR beats row-major on cubic\n\
          queries; pattern-aware eSTAR wins its own workload class (often by a\n\

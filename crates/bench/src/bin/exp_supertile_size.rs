@@ -12,8 +12,8 @@ use heaven_bench::{PhantomArchive, Table};
 use heaven_core::{optimal_supertile_size, ClusteringStrategy};
 use heaven_tape::DeviceProfile;
 use heaven_workload::selectivity_queries;
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 fn main() {
@@ -77,7 +77,7 @@ fn main() {
             fmt_s(mean_general),
         ]);
     }
-    t.print();
+    t.emit();
     let predicted = optimal_supertile_size(&profile, query_bytes);
     println!(
         "\nMeasured optimum (general access): {} (mean {}).\nSizing-model prediction for {} useful bytes/query: {}.",

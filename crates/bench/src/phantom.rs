@@ -9,8 +9,8 @@
 
 use heaven_array::{CellType, Minterval, Tile, TileId, Tiling};
 use heaven_core::{
-    count_exchanges, estar_partition, schedule, star_partition,
-    ClusteringStrategy, FetchRequest, TileInfo,
+    count_exchanges, estar_partition, schedule, star_partition, ClusteringStrategy, FetchRequest,
+    TileInfo,
 };
 use heaven_hsm::{BlockAddress, DirectStore};
 use heaven_tape::{DeviceProfile, SimClock, TapeLibrary, TapeStats, WritePayload};
@@ -159,7 +159,12 @@ impl PhantomArchive {
     /// Execute one query against one object: fetch all touching
     /// super-tiles (scheduled), returning `(elapsed simulated seconds,
     /// bytes fetched, super-tiles fetched)`.
-    pub fn fetch_query(&mut self, obj: usize, query: &Minterval, scheduled: bool) -> (f64, u64, usize) {
+    pub fn fetch_query(
+        &mut self,
+        obj: usize,
+        query: &Minterval,
+        scheduled: bool,
+    ) -> (f64, u64, usize) {
         let reqs: Vec<FetchRequest> = {
             let o = &self.objects[obj];
             o.groups_touching(query)
@@ -282,11 +287,7 @@ mod tests {
             .map(|i| {
                 (
                     i % 2,
-                    mi(&[
-                        (i as i64 * 50, i as i64 * 50 + 120),
-                        (0, 200),
-                        (0, 200),
-                    ]),
+                    mi(&[(i as i64 * 50, i as i64 * 50 + 120), (0, 200), (0, 200)]),
                 )
             })
             .collect();

@@ -1,4 +1,11 @@
 //! Paper-style table printing for the experiment binaries.
+//!
+//! Every experiment binary accepts a `--json <path>` flag; when present,
+//! [`Table::emit`] additionally writes the machine-readable form
+//! (`{"title", "headers", "rows"}`) to that path.
+
+use heaven_obs::json::write_str;
+use std::path::{Path, PathBuf};
 
 /// A simple aligned text table.
 pub struct Table {
@@ -56,6 +63,66 @@ impl Table {
     pub fn print(&self) {
         print!("{}", self.render());
     }
+
+    /// Serialize as one JSON object: `{"title", "headers", "rows"}` with
+    /// rows as arrays of strings (the rendered cells).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"title\":");
+        write_str(&mut out, &self.title);
+        out.push_str(",\"headers\":[");
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, h);
+        }
+        out.push_str("],\"rows\":[");
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, c) in r.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                write_str(&mut out, c);
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Write the JSON form to `path` (with a trailing newline).
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json() + "\n")
+    }
+
+    /// Print to stdout and honor the `--json <path>` command-line flag.
+    pub fn emit(&self) {
+        self.print();
+        if let Some(path) = json_arg() {
+            match self.write_json(&path) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+/// The path given with `--json <path>` on the command line, if any.
+pub fn json_arg() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--json=") {
+            return Some(PathBuf::from(p));
+        }
+    }
+    None
 }
 
 /// Format seconds human-readably.
@@ -102,6 +169,17 @@ mod tests {
     fn rejects_wrong_width() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn json_form_is_well_formed() {
+        let mut t = Table::new("E\"x\"", &["col a", "col b"]);
+        t.row(&["1".into(), "two\nlines".into()]);
+        let j = t.to_json();
+        assert!(j.starts_with("{\"title\":\"E\\\"x\\\"\""));
+        assert!(j.contains("\"headers\":[\"col a\",\"col b\"]"));
+        assert!(j.contains("\"rows\":[[\"1\",\"two\\nlines\"]]"));
+        assert!(j.ends_with("]}"));
     }
 
     #[test]

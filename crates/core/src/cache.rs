@@ -9,8 +9,10 @@
 
 use crate::supertile::SuperTileId;
 use heaven_array::{Tile, TileId};
+use heaven_obs::{Counter, FloatCounter, MetricsRegistry, TraceBus};
 use heaven_tape::{DiskProfile, SimClock};
 use std::collections::HashMap;
+use std::fmt;
 
 /// Eviction strategy of the super-tile cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +60,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Bytes served from the cache.
     pub bytes_served: u64,
+    /// Simulated seconds of I/O charged by the cache (0 for the free
+    /// main-memory tile cache).
+    pub io_s: f64,
 }
 
 impl CacheStats {
@@ -68,6 +73,104 @@ impl CacheStats {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Difference of two snapshots (`self` minus `earlier`), underflow-safe
+    /// like [`heaven_tape::TapeStats::since`].
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            bytes_served: self.bytes_served.saturating_sub(earlier.bytes_served),
+            io_s: (self.io_s - earlier.io_s).max(0.0),
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} ratio={:.2} evictions={} served={}MB io={:.1}s",
+            self.hits,
+            self.misses,
+            self.hit_ratio(),
+            self.evictions,
+            self.bytes_served >> 20,
+            self.io_s,
+        )
+    }
+}
+
+/// Registry names of one cache instance's metrics.
+#[derive(Debug, Clone, Copy)]
+struct CacheMetricNames {
+    hits: &'static str,
+    misses: &'static str,
+    evictions: &'static str,
+    bytes_served: &'static str,
+    io_s: &'static str,
+}
+
+const ST_CACHE_NAMES: CacheMetricNames = CacheMetricNames {
+    hits: "cache.st.hits",
+    misses: "cache.st.misses",
+    evictions: "cache.st.evictions",
+    bytes_served: "cache.st.bytes_served",
+    io_s: "cache.st.io_s",
+};
+
+const MEM_CACHE_NAMES: CacheMetricNames = CacheMetricNames {
+    hits: "cache.mem.hits",
+    misses: "cache.mem.misses",
+    evictions: "cache.mem.evictions",
+    bytes_served: "cache.mem.bytes_served",
+    io_s: "cache.mem.io_s",
+};
+
+/// Metric handles backing [`CacheStats`]; the registry is the source of
+/// truth and the struct is reconstructed on demand.
+#[derive(Debug, Clone)]
+struct CacheMetrics {
+    names: CacheMetricNames,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    bytes_served: Counter,
+    io_s: FloatCounter,
+}
+
+impl CacheMetrics {
+    fn new(registry: &MetricsRegistry, names: CacheMetricNames) -> CacheMetrics {
+        CacheMetrics {
+            names,
+            hits: registry.counter(names.hits),
+            misses: registry.counter(names.misses),
+            evictions: registry.counter(names.evictions),
+            bytes_served: registry.counter(names.bytes_served),
+            io_s: registry.fcounter(names.io_s),
+        }
+    }
+
+    fn rebind(&mut self, registry: &MetricsRegistry) {
+        let next = CacheMetrics::new(registry, self.names);
+        next.hits.add(self.hits.get());
+        next.misses.add(self.misses.get());
+        next.evictions.add(self.evictions.get());
+        next.bytes_served.add(self.bytes_served.get());
+        next.io_s.add(self.io_s.get());
+        *self = next;
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            bytes_served: self.bytes_served.get(),
+            io_s: self.io_s.get(),
         }
     }
 }
@@ -93,7 +196,8 @@ pub struct SuperTileCache {
     policy: EvictionPolicy,
     entries: HashMap<SuperTileId, StEntry>,
     counter: u64,
-    stats: CacheStats,
+    metrics: CacheMetrics,
+    bus: TraceBus,
     disk: Option<(DiskProfile, SimClock)>,
 }
 
@@ -112,14 +216,23 @@ impl SuperTileCache {
             policy,
             entries: HashMap::new(),
             counter: 0,
-            stats: CacheStats::default(),
+            metrics: CacheMetrics::new(&MetricsRegistry::new(), ST_CACHE_NAMES),
+            bus: TraceBus::noop(),
             disk,
         }
     }
 
-    /// Cache statistics.
+    /// Attach the cache's counters to a shared metrics registry and its
+    /// admit/evict events to a trace bus; values accumulated so far carry
+    /// over.
+    pub fn attach_obs(&mut self, registry: &MetricsRegistry, bus: TraceBus) {
+        self.metrics.rebind(registry);
+        self.bus = bus;
+    }
+
+    /// Cache statistics (a view over the metrics registry).
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.metrics.stats()
     }
 
     /// Bytes currently cached.
@@ -142,10 +255,21 @@ impl SuperTileCache {
         self.entries.contains_key(&st)
     }
 
-    fn charge(&self, bytes: u64) {
+    /// Advance the clock by the disk access cost and return the seconds
+    /// charged (0 for a memory-resident cache).
+    fn charge(&self, bytes: u64) -> f64 {
         if let Some((profile, clock)) = &self.disk {
-            clock.advance_s(profile.access_time_s(bytes));
+            let s = profile.access_time_s(bytes);
+            clock.advance_s(s);
+            s
+        } else {
+            0.0
         }
+    }
+
+    /// The current simulated time (0 for a memory-resident cache).
+    fn now_s(&self) -> f64 {
+        self.disk.as_ref().map(|(_, c)| c.now_s()).unwrap_or(0.0)
     }
 
     /// Look up a super-tile payload.
@@ -156,15 +280,15 @@ impl SuperTileCache {
             Some(e) => {
                 e.last_access = counter;
                 e.access_count += 1;
-                self.stats.hits += 1;
-                self.stats.bytes_served += e.size;
+                self.metrics.hits.inc();
+                self.metrics.bytes_served.add(e.size);
                 let size = e.size;
                 let payload = e.payload.clone();
-                self.charge(size);
+                self.metrics.io_s.add(self.charge(size));
                 Some(payload)
             }
             None => {
-                self.stats.misses += 1;
+                self.metrics.misses.inc();
                 None
             }
         }
@@ -196,13 +320,31 @@ impl SuperTileCache {
                 Some(victim) => {
                     let e = self.entries.remove(&victim).expect("victim exists");
                     self.used -= e.size;
-                    self.stats.evictions += 1;
+                    self.metrics.evictions.inc();
+                    self.bus.event(
+                        "cache.st.evict",
+                        self.now_s(),
+                        &[
+                            ("st", victim.into()),
+                            ("bytes", e.size.into()),
+                            ("policy", self.policy.name().into()),
+                        ],
+                    );
                 }
                 None => return,
             }
         }
         self.counter += 1;
-        self.charge(size);
+        self.metrics.io_s.add(self.charge(size));
+        self.bus.event(
+            "cache.st.admit",
+            self.now_s(),
+            &[
+                ("st", st.into()),
+                ("bytes", size.into()),
+                ("refetch_s", refetch_cost_s.into()),
+            ],
+        );
         self.entries.insert(
             st,
             StEntry {
@@ -221,9 +363,7 @@ impl SuperTileCache {
         let score = |e: &StEntry| -> f64 {
             match self.policy {
                 EvictionPolicy::Lru => e.last_access as f64,
-                EvictionPolicy::Lfu => {
-                    e.access_count as f64 * 1e12 + e.last_access as f64
-                }
+                EvictionPolicy::Lfu => e.access_count as f64 * 1e12 + e.last_access as f64,
                 EvictionPolicy::Fifo => e.insert_seq as f64,
                 EvictionPolicy::CostAware => {
                     // keep entries whose refetch is expensive per byte and
@@ -259,7 +399,7 @@ pub struct TileCache {
     used: u64,
     entries: HashMap<TileId, (Tile, u64)>,
     counter: u64,
-    stats: CacheStats,
+    metrics: CacheMetrics,
 }
 
 impl TileCache {
@@ -270,13 +410,19 @@ impl TileCache {
             used: 0,
             entries: HashMap::new(),
             counter: 0,
-            stats: CacheStats::default(),
+            metrics: CacheMetrics::new(&MetricsRegistry::new(), MEM_CACHE_NAMES),
         }
     }
 
-    /// Cache statistics.
+    /// Attach the cache's counters to a shared metrics registry; values
+    /// accumulated so far carry over.
+    pub fn attach_obs(&mut self, registry: &MetricsRegistry) {
+        self.metrics.rebind(registry);
+    }
+
+    /// Cache statistics (a view over the metrics registry).
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.metrics.stats()
     }
 
     /// Look up a tile.
@@ -286,12 +432,12 @@ impl TileCache {
         match self.entries.get_mut(&id) {
             Some((t, last)) => {
                 *last = c;
-                self.stats.hits += 1;
-                self.stats.bytes_served += t.payload_bytes();
+                self.metrics.hits.inc();
+                self.metrics.bytes_served.add(t.payload_bytes());
                 Some(t.clone())
             }
             None => {
-                self.stats.misses += 1;
+                self.metrics.misses.inc();
                 None
             }
         }
@@ -316,7 +462,7 @@ impl TileCache {
                 Some(v) => {
                     let (t, _) = self.entries.remove(&v).expect("victim exists");
                     self.used -= t.payload_bytes();
-                    self.stats.evictions += 1;
+                    self.metrics.evictions.inc();
                 }
                 None => return,
             }
@@ -451,9 +597,7 @@ mod tests {
     #[test]
     fn tile_cache_lru() {
         let dom = Minterval::new(&[(0, 9)]).unwrap();
-        let mk = |id: TileId| {
-            Tile::new(id, 1, MDArray::zeros(dom.clone(), CellType::F64))
-        };
+        let mk = |id: TileId| Tile::new(id, 1, MDArray::zeros(dom.clone(), CellType::F64));
         let mut c = TileCache::new(200); // each tile 80 bytes
         c.put(mk(1));
         c.put(mk(2));
@@ -463,6 +607,64 @@ mod tests {
         assert!(c.get(1).is_some());
         assert!(c.get(3).is_some());
         assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn attach_obs_carries_counters_and_emits_cache_events() {
+        let clock = SimClock::new();
+        let mut c = SuperTileCache::new(
+            250,
+            EvictionPolicy::Lru,
+            Some((DiskProfile::scsi2003(), clock.clone())),
+        );
+        c.put(1, payload(100, 1), 5.0);
+        c.get(1);
+        let registry = MetricsRegistry::new();
+        let bus = TraceBus::ring(64);
+        c.attach_obs(&registry, bus.clone());
+        assert_eq!(registry.counter("cache.st.hits").get(), 1);
+        assert!(registry.fcounter("cache.st.io_s").get() > 0.0);
+        c.put(2, payload(100, 2), 5.0);
+        c.put(3, payload(100, 3), 5.0); // evicts one entry
+        assert_eq!(registry.counter("cache.st.evictions").get(), 1);
+        let recs = bus.records();
+        let evict = recs
+            .iter()
+            .find(|r| r.name == "cache.st.evict")
+            .expect("evict event recorded");
+        assert!(evict
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "policy" && format!("{v:?}").contains("LRU")));
+        assert!(recs.iter().any(|r| r.name == "cache.st.admit"));
+        assert_eq!(c.stats().evictions, 1, "stats view reads the registry");
+    }
+
+    #[test]
+    fn cache_stats_since_and_display() {
+        let a = CacheStats {
+            hits: 5,
+            misses: 2,
+            evictions: 1,
+            bytes_served: 100,
+            io_s: 2.5,
+        };
+        let b = CacheStats {
+            hits: 8,
+            misses: 2,
+            evictions: 1,
+            bytes_served: 300,
+            io_s: 4.0,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.hits, 3);
+        assert!((d.io_s - 1.5).abs() < 1e-12);
+        let wrong = a.since(&b); // clamps instead of underflowing
+        assert_eq!(wrong.hits, 0);
+        assert_eq!(wrong.io_s, 0.0);
+        let shown = format!("{a}");
+        assert!(shown.contains("hits=5"));
+        assert!(shown.contains("io=2.5s"));
     }
 
     #[test]

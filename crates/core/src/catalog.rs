@@ -270,7 +270,10 @@ mod tests {
         c.register(meta(b, 2, &[(2, mi(&[(0, 9)]))]), addr(0, 100));
         c.register(meta(x, 3, &[(3, mi(&[(0, 9)]))]), addr(1, 0));
         let on0 = c.on_medium(0);
-        assert_eq!(on0.iter().map(|&(id, _)| id).collect::<Vec<_>>(), vec![b, a]);
+        assert_eq!(
+            on0.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+            vec![b, a]
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::cache::EvictionPolicy;
 use crate::estar::AccessPattern;
 use heaven_array::{Condenser, LinearOrder};
+use heaven_obs::TraceConfig;
 
 /// How super-tiles are formed at export time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +54,10 @@ pub struct HeavenConfig {
     /// Trades CPU for tertiary transfer volume; disables partial
     /// super-tile reads on random-access media.
     pub compress: bool,
+    /// Tracing sink for the observability bus (spans and events keyed to
+    /// simulated time). [`TraceConfig::Off`] costs one atomic load per
+    /// instrumentation site.
+    pub trace: TraceConfig,
 }
 
 impl Default for HeavenConfig {
@@ -69,6 +74,7 @@ impl Default for HeavenConfig {
             medium_per_object: false,
             precompute: Vec::new(),
             compress: false,
+            trace: TraceConfig::Off,
         }
     }
 }
@@ -87,5 +93,6 @@ mod tests {
             ClusteringStrategy::EStar(AccessPattern::Uniform)
         ));
         assert_eq!(c.prefetch, PrefetchPolicy::None);
+        assert_eq!(c.trace, TraceConfig::Off);
     }
 }

@@ -47,9 +47,7 @@ const MERGE_TOLERANCE: f64 = 1.25;
 fn pattern_key(pattern: AccessPattern, grid: &[u64], shape: &[u64]) -> u128 {
     match pattern {
         AccessPattern::Uniform => LinearOrder::Hilbert.key(grid, shape),
-        AccessPattern::Directional { axis } => {
-            LinearOrder::Directional { axis }.key(grid, shape)
-        }
+        AccessPattern::Directional { axis } => LinearOrder::Directional { axis }.key(grid, shape),
         AccessPattern::SliceDominant { axis } => {
             let axis = axis.min(grid.len() - 1);
             // slab index is the most significant part; inside a slab use
@@ -165,21 +163,12 @@ mod tests {
         // 8^3 grid; queries are long thin runs along axis 2.
         let (tiles, shape) = tile_set_3d(8, 10, 100);
         let star = star_partition(&tiles, &shape, 800, LinearOrder::Hilbert);
-        let estar = estar_partition(
-            &tiles,
-            &shape,
-            800,
-            AccessPattern::Directional { axis: 2 },
-        );
+        let estar = estar_partition(&tiles, &shape, 800, AccessPattern::Directional { axis: 2 });
         let mut star_total = 0;
         let mut estar_total = 0;
         for x in 0..8i64 {
             for y in 0..8i64 {
-                let q = mi(&[
-                    (x * 10, x * 10 + 9),
-                    (y * 10, y * 10 + 9),
-                    (0, 79),
-                ]);
+                let q = mi(&[(x * 10, x * 10 + 9), (y * 10, y * 10 + 9), (0, 79)]);
                 star_total += groups_touched(&tiles, &star, &q);
                 estar_total += groups_touched(&tiles, &estar, &q);
             }

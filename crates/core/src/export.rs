@@ -72,6 +72,11 @@ impl Heaven {
     fn export_naive(&mut self, oid: ObjectId) -> Result<ExportReport> {
         let meta = self.adb.object(oid)?.clone();
         let clock = self.clock();
+        let span = self.bus.span(
+            "export.naive",
+            clock.now_s(),
+            &[("oid", oid.into()), ("tiles", meta.tiles.len().into())],
+        );
         let start = clock.now_s();
         let mut dbms_read_s = 0.0;
         let mut tape_write_s = 0.0;
@@ -97,10 +102,20 @@ impl Heaven {
                 media.push(addr.medium);
             }
             self.record_precomp(&st_meta, &[tile]);
+            self.bus.event(
+                "export.stage",
+                t2,
+                &[
+                    ("st", st_meta.id.into()),
+                    ("read_s", (t1 - t0).into()),
+                    ("write_s", (t2 - t1).into()),
+                ],
+            );
             self.register_supertile(st_meta, addr)?;
             self.adb.mark_exported(*tid)?;
         }
         let elapsed = clock.now_s() - start;
+        span.end(clock.now_s());
         Ok(ExportReport {
             oid,
             mode: ExportMode::Naive,
@@ -118,9 +133,7 @@ impl Heaven {
     fn export_tct(&mut self, oid: ObjectId) -> Result<ExportReport> {
         let meta = self.adb.object(oid)?.clone();
         // Build tile infos with encoded sizes and grid coordinates.
-        let (grid, grid_shape) = meta
-            .tiling
-            .tile_grid(&meta.domain, meta.cell_type)?;
+        let (grid, grid_shape) = meta.tiling.tile_grid(&meta.domain, meta.cell_type)?;
         let infos: Vec<TileInfo> = meta
             .tiles
             .iter()
@@ -136,9 +149,7 @@ impl Heaven {
             .collect();
         let target = self.supertile_target();
         let partition = match self.config.clustering {
-            ClusteringStrategy::Star(order) => {
-                star_partition(&infos, &grid_shape, target, order)
-            }
+            ClusteringStrategy::Star(order) => star_partition(&infos, &grid_shape, target, order),
             ClusteringStrategy::EStar(pattern) => {
                 estar_partition(&infos, &grid_shape, target, pattern)
             }
@@ -148,6 +159,11 @@ impl Heaven {
         }
 
         let clock = self.clock();
+        let span = self.bus.span(
+            "export.tct",
+            clock.now_s(),
+            &[("oid", oid.into()), ("supertiles", partition.len().into())],
+        );
         let start = clock.now_s();
         let mut dbms_read_s = 0.0;
         let mut tape_write_s = 0.0;
@@ -160,10 +176,8 @@ impl Heaven {
         // main (DBMS) thread reads tiles and ships them over; the TCT
         // serializes super-tiles and ships payloads back for the tape
         // writer.
-        let (tx_tiles, rx_tiles) =
-            crossbeam::channel::bounded::<(u64, ObjectId, Vec<Tile>)>(2);
-        let (tx_enc, rx_enc) =
-            crossbeam::channel::bounded::<(Vec<u8>, SuperTileMeta)>(2);
+        let (tx_tiles, rx_tiles) = crossbeam::channel::bounded::<(u64, ObjectId, Vec<Tile>)>(2);
+        let (tx_enc, rx_enc) = crossbeam::channel::bounded::<(Vec<u8>, SuperTileMeta)>(2);
         let result: Result<()> = std::thread::scope(|s| {
             s.spawn(move || {
                 while let Ok((st_id, object, tiles)) = rx_tiles.recv() {
@@ -199,6 +213,16 @@ impl Heaven {
                 if !media.contains(&addr.medium) {
                     media.push(addr.medium);
                 }
+                self.bus.event(
+                    "export.stage",
+                    t2,
+                    &[
+                        ("st", st_id.into()),
+                        ("tiles", group.len().into()),
+                        ("read_s", (t1 - t0).into()),
+                        ("write_s", (t2 - t1).into()),
+                    ],
+                );
                 for m in &st_meta.members {
                     self.adb.mark_exported(m.tile)?;
                 }
@@ -209,6 +233,7 @@ impl Heaven {
         });
         result?;
         let elapsed = clock.now_s() - start;
+        span.end(clock.now_s());
         Ok(ExportReport {
             oid,
             mode: ExportMode::Tct,
@@ -238,13 +263,8 @@ impl Heaven {
         for t in tiles {
             for &op in &ops {
                 if let Ok(v) = op.eval(&t.data) {
-                    self.precomp.record_tile_partial(
-                        oid,
-                        op,
-                        t.id,
-                        v,
-                        t.domain().cell_count(),
-                    );
+                    self.precomp
+                        .record_tile_partial(oid, op, t.id, v, t.domain().cell_count());
                 }
             }
         }

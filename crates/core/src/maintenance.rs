@@ -20,11 +20,7 @@ impl Heaven {
 
     /// Dead fraction of a medium (`0.0` for an unused medium).
     pub fn dead_fraction(&self, medium: MediumId) -> f64 {
-        let used = self
-            .store
-            .library()
-            .medium_used(medium)
-            .unwrap_or(0);
+        let used = self.store.library().medium_used(medium).unwrap_or(0);
         if used == 0 {
             0.0
         } else {
@@ -122,8 +118,7 @@ impl Heaven {
             }
             // Write the new version under a fresh id.
             let new_id = self.catalog.next_id();
-            let (new_payload, new_meta) =
-                crate::supertile::encode_supertile(new_id, oid, &tiles);
+            let (new_payload, new_meta) = crate::supertile::encode_supertile(new_id, oid, &tiles);
             let wire = self.maybe_compress(new_payload);
             let addr = self.store.append(WritePayload::Real(wire))?;
             let old_addr = self.unregister_supertile(st)?;
@@ -228,9 +223,7 @@ impl Heaven {
         }
         self.store.library_mut().erase_medium(medium)?;
         for (st, payload) in payloads {
-            let addr = self
-                .store
-                .write_to(medium, WritePayload::Real(payload))?;
+            let addr = self.store.write_to(medium, WritePayload::Real(payload))?;
             self.relocate_supertile(st, addr)?;
         }
         self.dead_bytes.insert(medium, 0);
@@ -240,9 +233,7 @@ impl Heaven {
 
 /// Parse a buffer as a run of tile records; returns the member directory
 /// and owning object, or `None` when the buffer is not a super-tile.
-fn parse_supertile_payload(
-    payload: &[u8],
-) -> Option<(Vec<MemberEntry>, heaven_array::ObjectId)> {
+fn parse_supertile_payload(payload: &[u8]) -> Option<(Vec<MemberEntry>, heaven_array::ObjectId)> {
     let mut members = Vec::new();
     let mut object = None;
     let mut off = 0usize;

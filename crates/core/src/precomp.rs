@@ -185,16 +185,10 @@ mod tests {
         let mut c = catalog_with_partials(Condenser::Avg);
         // left column = tiles 1 and 3 → avg of (1, 3) weighted equally = 2
         let region = mi(&[(0, 19), (0, 9)]);
-        assert_eq!(
-            c.lookup(7, Condenser::Avg, &region, &layout()),
-            Some(2.0)
-        );
+        assert_eq!(c.lookup(7, Condenser::Avg, &region, &layout()), Some(2.0));
         assert_eq!(c.stats().combine_hits, 1);
         // promoted to exact
-        assert_eq!(
-            c.lookup(7, Condenser::Avg, &region, &layout()),
-            Some(2.0)
-        );
+        assert_eq!(c.lookup(7, Condenser::Avg, &region, &layout()), Some(2.0));
         assert_eq!(c.stats().exact_hits, 1);
     }
 

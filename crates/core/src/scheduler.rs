@@ -131,10 +131,7 @@ mod tests {
         ];
         let s = schedule(&reqs, &[]);
         // medium 1 first (lower id), offsets ascending
-        assert_eq!(
-            s.iter().map(|r| r.st).collect::<Vec<_>>(),
-            vec![4, 2, 3, 1]
-        );
+        assert_eq!(s.iter().map(|r| r.st).collect::<Vec<_>>(), vec![4, 2, 3, 1]);
     }
 
     #[test]

@@ -84,8 +84,8 @@ mod tests {
         let p = DeviceProfile::lto1();
         for q in [64u64 << 20, 512 << 20, 4 << 30] {
             let found = optimal_supertile_size(&p, q) as f64;
-            let analytic = analytic_optimum(&p, q)
-                .clamp(MIN_SUPERTILE as f64, p.media_capacity as f64 * 0.25);
+            let analytic =
+                analytic_optimum(&p, q).clamp(MIN_SUPERTILE as f64, p.media_capacity as f64 * 0.25);
             let ratio = found / analytic;
             assert!(
                 (0.3..=3.0).contains(&ratio),

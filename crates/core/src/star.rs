@@ -179,10 +179,7 @@ mod tests {
         for qx in 0..6 {
             for qy in 0..6 {
                 // 3x3-tile square query
-                let q = mi(&[
-                    (qx * 25, qx * 25 + 29),
-                    (qy * 25, qy * 25 + 29),
-                ]);
+                let q = mi(&[(qx * 25, qx * 25 + 29), (qy * 25, qy * 25 + 29)]);
                 h_total += groups_touched(&tiles, &hilbert, &q);
                 r_total += groups_touched(&tiles, &rowmajor, &q);
             }

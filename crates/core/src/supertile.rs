@@ -91,9 +91,7 @@ pub fn encode_supertile(
 
 /// Decode one member tile out of a full super-tile payload.
 pub fn decode_member(meta: &SuperTileMeta, payload: &[u8], tile: TileId) -> Result<Tile> {
-    let entry = meta
-        .member(tile)
-        .ok_or(HeavenError::TileUnlocated(tile))?;
+    let entry = meta.member(tile).ok_or(HeavenError::TileUnlocated(tile))?;
     let start = entry.offset as usize;
     let end = start + entry.len as usize;
     if end > payload.len() {
@@ -199,9 +197,6 @@ mod tests {
         let tiles = make_tiles();
         let (payload, meta) = encode_supertile(1, 7, &tiles);
         let t = decode_member(&meta, &payload, 102).unwrap();
-        assert_eq!(
-            t.data.get_f64(&Point::new(vec![25, 3])).unwrap(),
-            25003.0
-        );
+        assert_eq!(t.data.get_f64(&Point::new(vec![25, 3])).unwrap(), 25003.0);
     }
 }

@@ -13,14 +13,16 @@ use crate::config::{HeavenConfig, PrefetchPolicy};
 use crate::error::{HeavenError, Result};
 use crate::persist::CatalogStore;
 use crate::precomp::PrecompCatalog;
-use crate::scheduler::{schedule, FetchRequest};
+use crate::scheduler::{count_exchanges, schedule, FetchRequest};
 use crate::sizing::optimal_supertile_size;
 use crate::supertile::{decode_member, SuperTileId};
 use heaven_array::{Condenser, MDArray, Minterval, ObjectId, TileId};
 use heaven_arraydb::{ArrayDb, ObjectMeta, TileLocation, TileProvider};
 use heaven_hsm::DirectStore;
+use heaven_obs::{Counter, FloatCounter, MetricsRegistry, QueryBreakdown, SpanId, TraceBus};
 use heaven_tape::{DiskProfile, MediumId, SimClock, TapeLibrary, TapeStats};
 use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 
 /// Counters of HEAVEN-level activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -39,6 +41,79 @@ pub struct HeavenStats {
     pub region_fetches: u64,
 }
 
+impl fmt::Display for HeavenStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "region_fetches={} st_tape_fetches={} tape_read={}MB prefetches={} prefetch={:.1}s prefetch_read={}MB",
+            self.region_fetches,
+            self.st_tape_fetches,
+            self.st_tape_bytes >> 20,
+            self.prefetches,
+            self.prefetch_s,
+            self.prefetch_bytes >> 20,
+        )
+    }
+}
+
+/// Metric handles backing [`HeavenStats`]; the registry is the source of
+/// truth and the struct is reconstructed on demand.
+#[derive(Debug, Clone)]
+struct HeavenMetrics {
+    st_tape_fetches: Counter,
+    st_tape_bytes: Counter,
+    prefetches: Counter,
+    prefetch_s: FloatCounter,
+    prefetch_bytes: Counter,
+    region_fetches: Counter,
+}
+
+impl HeavenMetrics {
+    fn new(registry: &MetricsRegistry) -> HeavenMetrics {
+        HeavenMetrics {
+            st_tape_fetches: registry.counter("heaven.st_tape_fetches"),
+            st_tape_bytes: registry.counter("heaven.st_tape_bytes"),
+            prefetches: registry.counter("heaven.prefetches"),
+            prefetch_s: registry.fcounter("heaven.prefetch_s"),
+            prefetch_bytes: registry.counter("heaven.prefetch_bytes"),
+            region_fetches: registry.counter("heaven.region_fetches"),
+        }
+    }
+
+    fn stats(&self) -> HeavenStats {
+        HeavenStats {
+            st_tape_fetches: self.st_tape_fetches.get(),
+            st_tape_bytes: self.st_tape_bytes.get(),
+            prefetches: self.prefetches.get(),
+            prefetch_s: self.prefetch_s.get(),
+            prefetch_bytes: self.prefetch_bytes.get(),
+            region_fetches: self.region_fetches.get(),
+        }
+    }
+}
+
+/// Cross-level counter snapshot taken at query start; [`Heaven::end_query`]
+/// diffs a fresh snapshot against it to attribute the elapsed simulated
+/// time to hierarchy levels.
+#[derive(Debug, Clone, Copy)]
+struct LevelSnapshot {
+    tape: TapeStats,
+    shelf_s: f64,
+    io_s: f64,
+    st: CacheStats,
+    mem: CacheStats,
+    heaven: HeavenStats,
+}
+
+/// An open query bracket (root span + starting snapshot).
+#[derive(Debug)]
+struct ActiveQuery {
+    label: String,
+    span: SpanId,
+    start_s: f64,
+    snap: LevelSnapshot,
+}
+
 /// The assembled HEAVEN system.
 #[derive(Debug)]
 pub struct Heaven {
@@ -50,32 +125,51 @@ pub struct Heaven {
     pub(crate) precomp: PrecompCatalog,
     pub(crate) catalog_store: CatalogStore,
     pub(crate) config: HeavenConfig,
-    pub(crate) stats: HeavenStats,
+    metrics: HeavenMetrics,
+    registry: MetricsRegistry,
+    pub(crate) bus: TraceBus,
+    active_query: Option<ActiveQuery>,
+    last_breakdown: Option<QueryBreakdown>,
     /// Dead (unreferenced) bytes per medium, from deletes/updates.
     pub(crate) dead_bytes: HashMap<MediumId, u64>,
 }
 
 impl Heaven {
     /// Assemble HEAVEN from an array DBMS and a tape library.
+    ///
+    /// All subsystem counters are bound into one shared
+    /// [`MetricsRegistry`], and the trace bus selected by
+    /// [`HeavenConfig::trace`] is attached across the hierarchy.
     pub fn new(mut adb: ArrayDb, library: TapeLibrary, config: HeavenConfig) -> Heaven {
+        let registry = MetricsRegistry::new();
+        let bus = TraceBus::from_config(&config.trace);
         let clock = library.clock().clone();
-        let st_cache = SuperTileCache::new(
+        let mut st_cache = SuperTileCache::new(
             config.disk_cache_bytes,
             config.eviction,
             Some((DiskProfile::scsi2003(), clock)),
         );
-        let catalog_store =
-            CatalogStore::create(adb.database_mut()).expect("fresh catalog store");
+        st_cache.attach_obs(&registry, bus.clone());
+        let mut tile_cache = TileCache::new(config.mem_cache_bytes);
+        tile_cache.attach_obs(&registry);
+        adb.database_mut().attach_obs(&registry);
+        let mut store = DirectStore::new(library);
+        store.library_mut().attach_obs(&registry, bus.clone());
+        let catalog_store = CatalogStore::create(adb.database_mut()).expect("fresh catalog store");
         Heaven {
-            tile_cache: TileCache::new(config.mem_cache_bytes),
+            tile_cache,
             st_cache,
             adb,
-            store: DirectStore::new(library),
+            store,
             catalog: SuperTileCatalog::new(),
             precomp: PrecompCatalog::new(),
             catalog_store,
             config,
-            stats: HeavenStats::default(),
+            metrics: HeavenMetrics::new(&registry),
+            registry,
+            bus,
+            active_query: None,
+            last_breakdown: None,
             dead_bytes: HashMap::new(),
         }
     }
@@ -105,9 +199,97 @@ impl Heaven {
         self.store.stats()
     }
 
-    /// HEAVEN-level statistics.
+    /// HEAVEN-level statistics (a view over the metrics registry).
     pub fn stats(&self) -> HeavenStats {
-        self.stats
+        self.metrics.stats()
+    }
+
+    /// The shared metrics registry holding every subsystem's counters
+    /// (tape, HSM, buffer pool, caches, HEAVEN itself).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The trace bus (span/event stream keyed to simulated time).
+    pub fn trace(&self) -> &TraceBus {
+        &self.bus
+    }
+
+    /// The per-level breakdown of the most recently completed query.
+    pub fn last_query_breakdown(&self) -> Option<&QueryBreakdown> {
+        self.last_breakdown.as_ref()
+    }
+
+    fn snapshot(&self) -> LevelSnapshot {
+        LevelSnapshot {
+            tape: self.store.stats(),
+            shelf_s: self.store.library().shelf_wait_s(),
+            io_s: self.adb.database().io_stats().io_s,
+            st: self.st_cache.stats(),
+            mem: self.tile_cache.stats(),
+            heaven: self.stats(),
+        }
+    }
+
+    /// Open a query bracket: a root `query` trace span plus a counter
+    /// snapshot from which [`Self::end_query`] attributes the elapsed
+    /// simulated time to hierarchy levels. Nested calls are ignored — the
+    /// outermost bracket wins.
+    pub fn begin_query(&mut self, label: &str) {
+        if self.active_query.is_some() {
+            return;
+        }
+        let now = self.clock().now_s();
+        let span = self
+            .bus
+            .span_start("query", now, &[("label", label.into())]);
+        self.active_query = Some(ActiveQuery {
+            label: label.to_string(),
+            span,
+            start_s: now,
+            snap: self.snapshot(),
+        });
+    }
+
+    /// Close the query bracket opened by [`Self::begin_query`] and compute
+    /// the per-level [`QueryBreakdown`] (also kept for
+    /// [`Self::last_query_breakdown`]). Returns `None` if no query was
+    /// active.
+    pub fn end_query(&mut self) -> Option<QueryBreakdown> {
+        let q = self.active_query.take()?;
+        let now = self.clock().now_s();
+        self.bus.span_end(q.span, now);
+        let cur = self.snapshot();
+        let tape = cur.tape.since(&q.snap.tape);
+        let st = cur.st.since(&q.snap.st);
+        let mem = cur.mem.since(&q.snap.mem);
+        let total_s = (now - q.start_s).max(0.0);
+        let mut b = QueryBreakdown {
+            label: q.label,
+            total_s,
+            mem_hits: mem.hits,
+            mem_bytes: mem.bytes_served,
+            disk_cache_s: st.io_s,
+            disk_cache_hits: st.hits,
+            disk_cache_bytes: st.bytes_served,
+            dbms_io_s: (cur.io_s - q.snap.io_s).max(0.0),
+            tape_exchange_s: tape.exchange_s,
+            tape_locate_s: tape.locate_s,
+            tape_transfer_s: tape.transfer_s,
+            tape_rewind_s: tape.rewind_s,
+            shelf_s: (cur.shelf_s - q.snap.shelf_s).max(0.0),
+            tape_bytes: tape.bytes_read,
+            media_exchanges: tape.mounts,
+            tape_fetches: cur
+                .heaven
+                .st_tape_fetches
+                .saturating_sub(q.snap.heaven.st_tape_fetches),
+            other_s: 0.0,
+        };
+        b.other_s = (total_s - b.levels_sum_s()).max(0.0);
+        self.bus.flush();
+        self.last_breakdown = Some(b.clone());
+        Some(b)
     }
 
     /// Disk super-tile cache statistics.
@@ -276,13 +458,27 @@ impl Heaven {
             return Ok(p);
         }
         let addr = self.catalog.address(st)?;
-        let raw = self.store.read(addr)?;
-        self.stats.st_tape_fetches += 1;
-        self.stats.st_tape_bytes += addr.len;
-        let payload = self.maybe_decompress(raw)?;
-        let refetch = self.store.estimate_read_s(addr);
-        self.st_cache.put(st, payload.clone(), refetch);
-        Ok(payload)
+        let clock = self.clock();
+        let span = self.bus.span(
+            "heaven.st_fetch",
+            clock.now_s(),
+            &[
+                ("st", st.into()),
+                ("bytes", addr.len.into()),
+                ("medium", addr.medium.into()),
+            ],
+        );
+        let result: Result<Vec<u8>> = (|| {
+            let raw = self.store.read(addr)?;
+            self.metrics.st_tape_fetches.inc();
+            self.metrics.st_tape_bytes.add(addr.len);
+            let payload = self.maybe_decompress(raw)?;
+            let refetch = self.store.estimate_read_s(addr);
+            self.st_cache.put(st, payload.clone(), refetch);
+            Ok(payload)
+        })();
+        span.end(clock.now_s());
+        result
     }
 
     /// Fetch one tile through the hierarchy (memory → disk → tape).
@@ -311,7 +507,55 @@ impl Heaven {
         oid: ObjectId,
         region: &Minterval,
     ) -> Result<MDArray> {
-        self.stats.region_fetches += 1;
+        // Direct API calls (no surrounding query) still get a breakdown:
+        // bracket this fetch as its own query.
+        let auto_bracket = self.active_query.is_none();
+        if auto_bracket {
+            self.begin_query(&format!("fetch_region oid={oid} {region}"));
+        }
+        let clock = self.clock();
+        let span = self.bus.span(
+            "heaven.fetch_region",
+            clock.now_s(),
+            &[("oid", oid.into()), ("region", region.to_string().into())],
+        );
+        let result = self.fetch_region_impl(oid, region);
+        span.end(clock.now_s());
+        if auto_bracket {
+            self.end_query();
+        }
+        result
+    }
+
+    /// Emit the scheduler-decision event: how many super-tiles go to tape,
+    /// how many are already staged, and the media-exchange estimate for
+    /// the chosen order.
+    fn note_schedule(
+        &self,
+        order: &[FetchRequest],
+        mounted: &[MediumId],
+        cached: usize,
+        policy: &'static str,
+    ) {
+        if !self.bus.is_enabled() || (order.is_empty() && cached == 0) {
+            return;
+        }
+        let drives = self.store.library().drive_count();
+        let est = count_exchanges(order, drives, mounted);
+        self.bus.event(
+            "heaven.schedule",
+            self.store.clock().now_s(),
+            &[
+                ("tape_fetches", order.len().into()),
+                ("cached", cached.into()),
+                ("policy", policy.into()),
+                ("exchanges_est", est.into()),
+            ],
+        );
+    }
+
+    fn fetch_region_impl(&mut self, oid: ObjectId, region: &Minterval) -> Result<MDArray> {
+        self.metrics.region_fetches.inc();
         let meta = self.adb.object(oid)?.clone();
         let target = meta.domain.intersection(region).ok_or_else(|| {
             HeavenError::Config(format!(
@@ -353,16 +597,19 @@ impl Heaven {
             }
         }
         // Schedule the tape fetches.
+        let cached_sts = ordered.len();
         if self.config.scheduling {
             let mounted = self.store.library().mounted_media();
             let scheduled = schedule(&to_fetch, &mounted);
+            self.note_schedule(&scheduled, &mounted, cached_sts, "scheduled");
             ordered.extend(scheduled.iter().map(|r| r.st));
         } else {
+            let mounted = self.store.library().mounted_media();
+            self.note_schedule(&to_fetch, &mounted, cached_sts, "request-order");
             ordered.extend(to_fetch.iter().map(|r| r.st));
         }
         // partial reads need uncompressed on-media layout
-        let random_access =
-            !self.store.library().profile().linear_seek && !self.config.compress;
+        let random_access = !self.store.library().profile().linear_seek && !self.config.compress;
         for st in ordered {
             let meta_st = self.catalog.meta(st)?.clone();
             let needed = pending.get(&st).cloned().unwrap_or_default();
@@ -374,24 +621,33 @@ impl Heaven {
                 .filter_map(|t| meta_st.member(*t))
                 .map(|m| m.len)
                 .sum();
-            if random_access
-                && !self.st_cache.contains(st)
-                && needed_bytes * 2 < meta_st.total_len
+            if random_access && !self.st_cache.contains(st) && needed_bytes * 2 < meta_st.total_len
             {
                 let addr = self.catalog.address(st)?;
+                let clock = self.store.clock();
+                let span = self.bus.span(
+                    "heaven.st_fetch",
+                    clock.now_s(),
+                    &[
+                        ("st", st.into()),
+                        ("bytes", needed_bytes.into()),
+                        ("medium", addr.medium.into()),
+                        ("sparse", 1u64.into()),
+                    ],
+                );
                 for tid in needed {
                     let m = meta_st
                         .member(tid)
                         .ok_or(HeavenError::TileUnlocated(tid))?
                         .clone();
                     let bytes = self.store.read_range(addr, m.offset, m.len)?;
-                    self.stats.st_tape_bytes += m.len;
-                    let (t, _) = heaven_array::Tile::decode(&bytes)
-                        .map_err(HeavenError::Array)?;
+                    self.metrics.st_tape_bytes.add(m.len);
+                    let (t, _) = heaven_array::Tile::decode(&bytes).map_err(HeavenError::Array)?;
                     out.patch(&t.data)?;
                     self.tile_cache.put(t);
                 }
-                self.stats.st_tape_fetches += 1;
+                self.metrics.st_tape_fetches.inc();
+                span.end(clock.now_s());
                 continue;
             }
             let payload = self.supertile_payload(st)?;
@@ -410,10 +666,19 @@ impl Heaven {
     /// deduplicated and ordered (one visit per medium, ascending offsets),
     /// staged through the cache hierarchy, and only then is each query's
     /// result assembled. Results are returned in request order.
-    pub fn fetch_batch(
-        &mut self,
-        requests: &[(ObjectId, Minterval)],
-    ) -> Result<Vec<MDArray>> {
+    pub fn fetch_batch(&mut self, requests: &[(ObjectId, Minterval)]) -> Result<Vec<MDArray>> {
+        let auto_bracket = self.active_query.is_none();
+        if auto_bracket {
+            self.begin_query(&format!("batch of {} regions", requests.len()));
+        }
+        let result = self.fetch_batch_impl(requests);
+        if auto_bracket {
+            self.end_query();
+        }
+        result
+    }
+
+    fn fetch_batch_impl(&mut self, requests: &[(ObjectId, Minterval)]) -> Result<Vec<MDArray>> {
         // Collect every exported super-tile any query needs.
         let mut needed: Vec<FetchRequest> = Vec::new();
         for (oid, region) in requests {
@@ -440,13 +705,15 @@ impl Heaven {
             let mut seen = std::collections::HashSet::new();
             needed.into_iter().filter(|r| seen.insert(r.st)).collect()
         };
+        let mounted = self.store.library().mounted_media();
+        self.note_schedule(&order, &mounted, 0, "batch");
         for r in order {
             if self.st_cache.contains(r.st) {
                 continue;
             }
             let payload = self.store.read(r.addr)?;
-            self.stats.st_tape_fetches += 1;
-            self.stats.st_tape_bytes += r.addr.len;
+            self.metrics.st_tape_fetches.inc();
+            self.metrics.st_tape_bytes.add(r.addr.len);
             let refetch = self.store.estimate_read_s(r.addr);
             self.st_cache.put(r.st, payload, refetch);
         }
@@ -480,14 +747,29 @@ impl Heaven {
             }
             let t0 = clock.now_s();
             let addr = self.catalog.address(st)?;
+            self.bus.event(
+                "heaven.prefetch.issue",
+                t0,
+                &[("st", st.into()), ("bytes", addr.len.into())],
+            );
             let payload = self.store.read(addr)?;
-            self.stats.st_tape_fetches += 1;
-            self.stats.st_tape_bytes += addr.len;
+            self.metrics.st_tape_fetches.inc();
+            self.metrics.st_tape_bytes.add(addr.len);
             let refetch = self.store.estimate_read_s(addr);
             self.st_cache.put(st, payload, refetch);
-            self.stats.prefetches += 1;
-            self.stats.prefetch_s += clock.now_s() - t0;
-            self.stats.prefetch_bytes += addr.len;
+            let dt = clock.now_s() - t0;
+            self.metrics.prefetches.inc();
+            self.metrics.prefetch_s.add(dt);
+            self.metrics.prefetch_bytes.add(addr.len);
+            self.bus.event(
+                "heaven.prefetch.complete",
+                clock.now_s(),
+                &[
+                    ("st", st.into()),
+                    ("bytes", addr.len.into()),
+                    ("dur_s", dt.into()),
+                ],
+            );
         }
         Ok(())
     }
@@ -511,17 +793,20 @@ impl TileProvider for Heaven {
             .map_err(Into::into)
     }
 
-    fn precomputed(
-        &mut self,
-        oid: ObjectId,
-        op: Condenser,
-        region: &Minterval,
-    ) -> Option<f64> {
+    fn precomputed(&mut self, oid: ObjectId, op: Condenser, region: &Minterval) -> Option<f64> {
         let tiles = self.adb.object(oid).ok()?.tiles.clone();
         self.precomp.lookup(oid, op, region, &tiles)
     }
 
     fn note_computed(&mut self, oid: ObjectId, op: Condenser, region: &Minterval, value: f64) {
         self.precomp.record_exact(oid, op, region.clone(), value);
+    }
+
+    fn query_begin(&mut self, label: &str) {
+        self.begin_query(label);
+    }
+
+    fn query_end(&mut self) {
+        self.end_query();
     }
 }

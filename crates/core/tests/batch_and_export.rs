@@ -2,9 +2,7 @@
 
 use heaven_array::{CellType, MDArray, Minterval, Point, Tiling};
 use heaven_arraydb::ArrayDb;
-use heaven_core::{
-    AccessPattern, ClusteringStrategy, ExportMode, Heaven, HeavenConfig,
-};
+use heaven_core::{AccessPattern, ClusteringStrategy, ExportMode, Heaven, HeavenConfig};
 use heaven_rdbms::Database;
 use heaven_tape::{DeviceProfile, DiskProfile, SimClock, TapeLibrary};
 
@@ -24,9 +22,7 @@ fn setup(n: u64, scheduling: bool) -> (Heaven, Vec<u64>) {
     adb.create_collection("c", CellType::F64, 2).unwrap();
     let mut oids = Vec::new();
     for k in 0..n {
-        let arr = MDArray::generate(mi(&[(0, 39), (0, 39)]), CellType::F64, |p| {
-            value_at(k, p)
-        });
+        let arr = MDArray::generate(mi(&[(0, 39), (0, 39)]), CellType::F64, |p| value_at(k, p));
         oids.push(
             adb.insert_object(
                 "c",
@@ -78,9 +74,8 @@ fn batch_returns_correct_results_in_request_order() {
 fn batch_scheduling_reduces_mounts_on_interleaved_objects() {
     // Same batch, scheduling on vs off; objects on different media with a
     // single drive, so interleaved access thrashes.
-    let batch_spec: Vec<(usize, Minterval)> = (0..8)
-        .map(|i| (i % 4, mi(&[(0, 39), (0, 39)])))
-        .collect();
+    let batch_spec: Vec<(usize, Minterval)> =
+        (0..8).map(|i| (i % 4, mi(&[(0, 39), (0, 39)]))).collect();
     let mut mounts = Vec::new();
     for scheduling in [false, true] {
         let (mut heaven, oids) = setup(4, scheduling);
@@ -132,9 +127,7 @@ fn export_report_accounts_bytes_and_media() {
     let db = Database::new(DiskProfile::scsi2003(), clock.clone(), 8);
     let mut adb = ArrayDb::create(db).unwrap();
     adb.create_collection("c", CellType::F64, 2).unwrap();
-    let arr = MDArray::generate(mi(&[(0, 39), (0, 39)]), CellType::F64, |p| {
-        value_at(0, p)
-    });
+    let arr = MDArray::generate(mi(&[(0, 39), (0, 39)]), CellType::F64, |p| value_at(0, p));
     let oid = adb
         .insert_object(
             "c",
@@ -160,9 +153,7 @@ fn export_report_accounts_bytes_and_media() {
     let expect: u64 = meta
         .tiles
         .iter()
-        .map(|(d, _)| {
-            heaven_array::Tile::header_len(2) as u64 + d.cell_count() * 8
-        })
+        .map(|(d, _)| heaven_array::Tile::header_len(2) as u64 + d.cell_count() * 8)
         .sum();
     assert_eq!(rep.bytes, expect);
     assert!(!rep.media.is_empty());
@@ -215,9 +206,7 @@ fn naive_and_tct_exports_produce_identical_query_results() {
 fn export_collection_archives_everything_once() {
     let (mut heaven, oids) = setup(3, true);
     // pre-export one object: export_collection must skip it
-    heaven
-        .export_object(oids[0], ExportMode::Tct)
-        .unwrap();
+    heaven.export_object(oids[0], ExportMode::Tct).unwrap();
     let reports = heaven.export_collection("c", ExportMode::Tct).unwrap();
     assert_eq!(reports.len(), 2);
     for &oid in &oids {
@@ -253,9 +242,7 @@ fn mo_media_serve_sparse_queries_with_partial_supertile_reads() {
         let db = Database::new(DiskProfile::scsi2003(), clock.clone(), 4096);
         let mut adb = ArrayDb::create(db).unwrap();
         adb.create_collection("c", CellType::F64, 2).unwrap();
-        let arr = MDArray::generate(mi(&[(0, 39), (0, 39)]), CellType::F64, |p| {
-            value_at(0, p)
-        });
+        let arr = MDArray::generate(mi(&[(0, 39), (0, 39)]), CellType::F64, |p| value_at(0, p));
         let oid = adb
             .insert_object(
                 "c",
@@ -326,7 +313,11 @@ fn compressed_export_roundtrips_and_shrinks_tape_traffic() {
         adb.create_collection("mask", CellType::U8, 2).unwrap();
         // a step mask: big constant regions
         let arr = MDArray::generate(mi(&[(0, 63), (0, 63)]), CellType::U8, |p| {
-            if p.coord(0) < 32 { 0.0 } else { 200.0 }
+            if p.coord(0) < 32 {
+                0.0
+            } else {
+                200.0
+            }
         });
         let oid = adb
             .insert_object(

@@ -50,7 +50,9 @@ fn small_st_config() -> HeavenConfig {
 #[test]
 fn export_then_query_returns_identical_data() {
     let (mut heaven, oid) = setup(small_st_config());
-    let before = heaven.fetch_region_hierarchical(oid, &mi(&[(0, 59), (0, 59)])).unwrap();
+    let before = heaven
+        .fetch_region_hierarchical(oid, &mi(&[(0, 59), (0, 59)]))
+        .unwrap();
     let report = heaven.export_object(oid, ExportMode::Tct).unwrap();
     assert!(report.supertiles > 1);
     assert!(report.bytes > 0);
@@ -274,11 +276,11 @@ fn delete_object_leaves_dead_space_and_reclaim_compacts() {
         .unwrap();
     heaven.export_object(oid, ExportMode::Tct).unwrap();
     heaven.export_object(oid2, ExportMode::Tct).unwrap();
-    let medium = heaven.catalog().address(
-        heaven.catalog().object_supertiles(oid)[0],
-    )
-    .unwrap()
-    .medium;
+    let medium = heaven
+        .catalog()
+        .address(heaven.catalog().object_supertiles(oid)[0])
+        .unwrap()
+        .medium;
 
     heaven.delete_object(oid).unwrap();
     assert!(heaven.dead_fraction(medium) > 0.0);
@@ -304,8 +306,12 @@ fn prefetched_supertile_serves_next_query_from_cache() {
     heaven.export_object(oid, ExportMode::Tct).unwrap();
     heaven.clear_caches();
     let sts = heaven.catalog().object_supertiles(oid);
-    let r0 = heaven.catalog().meta(sts[0]).unwrap().members[0].domain.clone();
-    let r1 = heaven.catalog().meta(sts[1]).unwrap().members[0].domain.clone();
+    let r0 = heaven.catalog().meta(sts[0]).unwrap().members[0]
+        .domain
+        .clone();
+    let r1 = heaven.catalog().meta(sts[1]).unwrap().members[0]
+        .domain
+        .clone();
     heaven.fetch_region_hierarchical(oid, &r0).unwrap();
     let foreground = |h: &Heaven| h.tape_stats().bytes_read - h.stats().prefetch_bytes;
     let fg_after_first = foreground(&heaven);

@@ -3,9 +3,8 @@
 
 use heaven_array::{CellType, LinearOrder, MDArray, Minterval, Tile, Tiling};
 use heaven_core::{
-    count_exchanges, decode_all, encode_supertile, estar_partition, schedule,
-    star_partition, AccessPattern, EvictionPolicy, FetchRequest, SuperTileCache,
-    TileInfo,
+    count_exchanges, decode_all, encode_supertile, estar_partition, schedule, star_partition,
+    AccessPattern, EvictionPolicy, FetchRequest, SuperTileCache, TileInfo,
 };
 use heaven_hsm::BlockAddress;
 use proptest::prelude::*;

@@ -98,8 +98,16 @@ mod tests {
     #[test]
     fn reinsert_returns_previous() {
         let mut c = FileCatalog::new();
-        let e1 = FileEntry { medium: 1, offset: 0, len: 10 };
-        let e2 = FileEntry { medium: 2, offset: 5, len: 10 };
+        let e1 = FileEntry {
+            medium: 1,
+            offset: 0,
+            len: 10,
+        };
+        let e2 = FileEntry {
+            medium: 2,
+            offset: 5,
+            len: 10,
+        };
         c.insert("f", e1);
         assert_eq!(c.insert("f", e2), Some(e1));
         assert_eq!(c.get("f"), Some(e2));
@@ -108,9 +116,30 @@ mod tests {
     #[test]
     fn files_on_medium_sorted_by_offset() {
         let mut c = FileCatalog::new();
-        c.insert("b", FileEntry { medium: 1, offset: 500, len: 10 });
-        c.insert("a", FileEntry { medium: 1, offset: 100, len: 10 });
-        c.insert("x", FileEntry { medium: 2, offset: 0, len: 10 });
+        c.insert(
+            "b",
+            FileEntry {
+                medium: 1,
+                offset: 500,
+                len: 10,
+            },
+        );
+        c.insert(
+            "a",
+            FileEntry {
+                medium: 1,
+                offset: 100,
+                len: 10,
+            },
+        );
+        c.insert(
+            "x",
+            FileEntry {
+                medium: 2,
+                offset: 0,
+                len: 10,
+            },
+        );
         let on1 = c.files_on_medium(1);
         assert_eq!(
             on1.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),

@@ -86,7 +86,14 @@ impl DirectStore {
                 m
             }
         };
-        self.write_to(medium, if len == 0 { WritePayload::Phantom(0) } else { payload })
+        self.write_to(
+            medium,
+            if len == 0 {
+                WritePayload::Phantom(0)
+            } else {
+                payload
+            },
+        )
     }
 
     /// Open a fresh medium and make it the fill target; returns its id.
@@ -113,7 +120,8 @@ impl DirectStore {
 
     /// Estimated cost (seconds) of reading `addr` given current drive state.
     pub fn estimate_read_s(&self, addr: BlockAddress) -> f64 {
-        self.library.estimate_read_s(addr.medium, addr.offset, addr.len)
+        self.library
+            .estimate_read_s(addr.medium, addr.offset, addr.len)
     }
 }
 

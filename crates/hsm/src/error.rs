@@ -14,7 +14,12 @@ pub enum HsmError {
     /// The staging disk cannot hold the file even after purging everything.
     StagingTooSmall { need: u64, capacity: u64 },
     /// Read range exceeds the file.
-    BadRange { file: String, offset: u64, len: u64, file_len: u64 },
+    BadRange {
+        file: String,
+        offset: u64,
+        len: u64,
+        file_len: u64,
+    },
     /// Underlying tertiary-storage failure.
     Tape(TapeError),
 }
@@ -25,9 +30,17 @@ impl fmt::Display for HsmError {
             HsmError::NoSuchFile(n) => write!(f, "no such file: {n}"),
             HsmError::FileExists(n) => write!(f, "file exists: {n}"),
             HsmError::StagingTooSmall { need, capacity } => {
-                write!(f, "staging disk too small: need {need}, capacity {capacity}")
+                write!(
+                    f,
+                    "staging disk too small: need {need}, capacity {capacity}"
+                )
             }
-            HsmError::BadRange { file, offset, len, file_len } => write!(
+            HsmError::BadRange {
+                file,
+                offset,
+                len,
+                file_len,
+            } => write!(
                 f,
                 "range {offset}+{len} exceeds file {file} of {file_len} bytes"
             ),

@@ -11,6 +11,7 @@ use crate::catalog::{FileCatalog, FileEntry};
 use crate::disk::{DiskStats, StagingDisk};
 use crate::error::{HsmError, Result};
 use crate::policy::WatermarkPolicy;
+use heaven_obs::{Field, MetricsRegistry, TraceBus};
 use heaven_tape::{MediumId, SimClock, TapeLibrary, TapeStats, WritePayload};
 
 /// A hierarchical storage management system: staging disk + tape library +
@@ -25,15 +26,12 @@ pub struct HsmSystem {
     fill_medium: Option<MediumId>,
     /// Count of whole-file stage operations (tape → disk).
     stage_ops: u64,
+    bus: TraceBus,
 }
 
 impl HsmSystem {
     /// Assemble an HSM from its parts.
-    pub fn new(
-        disk: StagingDisk,
-        library: TapeLibrary,
-        policy: WatermarkPolicy,
-    ) -> HsmSystem {
+    pub fn new(disk: StagingDisk, library: TapeLibrary, policy: WatermarkPolicy) -> HsmSystem {
         HsmSystem {
             disk,
             library,
@@ -41,7 +39,15 @@ impl HsmSystem {
             policy,
             fill_medium: None,
             stage_ops: 0,
+            bus: TraceBus::noop(),
         }
+    }
+
+    /// Attach the HSM (and its tape library) to a shared metrics registry
+    /// and trace bus.
+    pub fn attach_obs(&mut self, registry: &MetricsRegistry, bus: TraceBus) {
+        self.library.attach_obs(registry, bus.clone());
+        self.bus = bus;
     }
 
     /// The shared simulated clock.
@@ -84,7 +90,17 @@ impl HsmSystem {
         }
         let len = payload.len();
         let medium = self.pick_fill_medium(len)?;
+        let span = self.bus.span(
+            "hsm.archive",
+            self.clock().now_s(),
+            &[
+                ("file", Field::Str(name.to_string())),
+                ("bytes", Field::U64(len)),
+                ("medium", Field::U64(medium)),
+            ],
+        );
         let offset = self.library.write(medium, payload)?;
+        span.end(self.clock().now_s());
         self.catalog.insert(
             name,
             FileEntry {
@@ -162,6 +178,15 @@ impl HsmSystem {
                 capacity: self.disk.capacity(),
             });
         }
+        let span = self.bus.span(
+            "hsm.stage",
+            self.clock().now_s(),
+            &[
+                ("file", Field::Str(name.to_string())),
+                ("bytes", Field::U64(entry.len)),
+                ("medium", Field::U64(entry.medium)),
+            ],
+        );
         // Purge down to the low watermark if the incoming file pushes us
         // past the high watermark.
         if self
@@ -171,10 +196,15 @@ impl HsmSystem {
             let target = self
                 .policy
                 .purge_target(self.disk.capacity())
-                .saturating_sub(entry.len.min(self.policy.purge_target(self.disk.capacity())));
+                .saturating_sub(
+                    entry
+                        .len
+                        .min(self.policy.purge_target(self.disk.capacity())),
+                );
             while self.disk.used() > target {
                 match self.disk.lru_candidate() {
                     Some((victim, _)) => {
+                        self.note_purge(&victim, "watermark");
                         self.disk.remove(&victim);
                     }
                     None => break,
@@ -185,13 +215,15 @@ impl HsmSystem {
         while self.disk.used() + entry.len > self.disk.capacity() {
             match self.disk.lru_candidate() {
                 Some((victim, _)) => {
+                    self.note_purge(&victim, "fit");
                     self.disk.remove(&victim);
                 }
                 None => {
+                    span.end(self.clock().now_s());
                     return Err(HsmError::StagingTooSmall {
                         need: entry.len,
                         capacity: self.disk.capacity(),
-                    })
+                    });
                 }
             }
         }
@@ -201,12 +233,25 @@ impl HsmSystem {
         // preserved either way).
         self.disk.store(name, entry.len, Some(data));
         self.stage_ops += 1;
+        span.end(self.clock().now_s());
         Ok(())
+    }
+
+    fn note_purge(&self, victim: &str, reason: &'static str) {
+        self.bus.event(
+            "hsm.purge",
+            self.clock().now_s(),
+            &[
+                ("file", Field::Str(victim.to_string())),
+                ("reason", Field::Str(reason.into())),
+            ],
+        );
     }
 
     /// Drop a file's staged disk copy (the tape copy remains). Used to
     /// force cold reads in experiments.
     pub fn purge_staged(&mut self, name: &str) {
+        self.note_purge(name, "explicit");
         self.disk.remove(name);
     }
 
@@ -217,6 +262,11 @@ impl HsmSystem {
             .remove(name)
             .ok_or_else(|| HsmError::NoSuchFile(name.to_string()))?;
         self.disk.remove(name);
+        self.bus.event(
+            "hsm.delete",
+            self.clock().now_s(),
+            &[("file", Field::Str(name.to_string()))],
+        );
         Ok(())
     }
 }
@@ -236,7 +286,8 @@ mod tests {
     #[test]
     fn archive_and_read_back() {
         let mut h = hsm(1 << 30);
-        h.archive("f1", WritePayload::Real(vec![5u8; 4096])).unwrap();
+        h.archive("f1", WritePayload::Real(vec![5u8; 4096]))
+            .unwrap();
         assert!(!h.is_staged("f1"));
         let data = h.read("f1").unwrap();
         assert_eq!(data, vec![5u8; 4096]);
@@ -329,6 +380,29 @@ mod tests {
         let ea = h.catalog().get("a").unwrap();
         let eb = h.catalog().get("b").unwrap();
         assert_ne!(ea.medium, eb.medium);
+    }
+
+    #[test]
+    fn stage_span_contains_tape_events() {
+        use heaven_obs::RecordKind;
+        let mut h = hsm(1 << 30);
+        let registry = MetricsRegistry::new();
+        let bus = TraceBus::ring(256);
+        h.attach_obs(&registry, bus.clone());
+        h.archive("f", WritePayload::Phantom(1 << 20)).unwrap();
+        h.read_range("f", 0, 16).unwrap(); // cold: stages the whole file
+        let recs = bus.records();
+        let stage = recs
+            .iter()
+            .find(|r| r.name == "hsm.stage" && r.kind == RecordKind::SpanStart)
+            .expect("stage span");
+        assert!(
+            recs.iter()
+                .any(|r| r.name == "tape.transfer" && r.parent == Some(stage.span)),
+            "tape transfer must nest inside the stage span"
+        );
+        heaven_obs::trace::check_well_nested(&recs).unwrap();
+        assert!(registry.counter("tape.bytes_read").get() >= 1 << 20);
     }
 
     #[test]

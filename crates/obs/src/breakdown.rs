@@ -1,0 +1,225 @@
+//! Per-query latency attribution across the storage hierarchy.
+//!
+//! A [`QueryBreakdown`] splits one query's simulated elapsed time into
+//! the hierarchy levels the paper's evaluation reasons about — memory
+//! tile cache, disk super-tile cache, base-DBMS disk I/O, and the
+//! tertiary tape components (media exchange, locate, transfer, rewind,
+//! shelf) — together with the bytes served per level and the number of
+//! media exchanges. `other_s` absorbs any simulated time the known
+//! levels do not account for, so the levels always sum to the observed
+//! `SimClock` delta.
+
+use std::fmt;
+
+use crate::json;
+
+/// Where one query's simulated time and bytes went.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryBreakdown {
+    /// Free-form description (normally the query text or region).
+    pub label: String,
+    /// Simulated seconds from query start to completion.
+    pub total_s: f64,
+
+    /// Memory tile-cache hits (no simulated cost by construction).
+    pub mem_hits: u64,
+    /// Bytes served from the memory tile cache.
+    pub mem_bytes: u64,
+
+    /// Simulated seconds charged by the disk super-tile cache.
+    pub disk_cache_s: f64,
+    /// Disk super-tile cache hits.
+    pub disk_cache_hits: u64,
+    /// Bytes served from the disk super-tile cache.
+    pub disk_cache_bytes: u64,
+
+    /// Simulated seconds of base-DBMS page I/O.
+    pub dbms_io_s: f64,
+
+    /// Simulated seconds exchanging media (robot arm / drive swaps).
+    pub tape_exchange_s: f64,
+    /// Simulated seconds locating (seeking) on tape.
+    pub tape_locate_s: f64,
+    /// Simulated seconds transferring from tape.
+    pub tape_transfer_s: f64,
+    /// Simulated seconds rewinding before an unmount.
+    pub tape_rewind_s: f64,
+    /// Simulated seconds fetching shelved media back into the robot.
+    pub shelf_s: f64,
+
+    /// Bytes read from tertiary media.
+    pub tape_bytes: u64,
+    /// Media exchanges performed (mounts).
+    pub media_exchanges: u64,
+    /// Super-tiles fetched from tape.
+    pub tape_fetches: u64,
+
+    /// Simulated time not attributed to any known level.
+    pub other_s: f64,
+}
+
+impl QueryBreakdown {
+    /// Total tape time across all tertiary components.
+    pub fn tape_s(&self) -> f64 {
+        self.tape_exchange_s
+            + self.tape_locate_s
+            + self.tape_transfer_s
+            + self.tape_rewind_s
+            + self.shelf_s
+    }
+
+    /// Sum of all per-level times; equals `total_s` up to float rounding.
+    pub fn levels_sum_s(&self) -> f64 {
+        self.disk_cache_s + self.dbms_io_s + self.tape_s() + self.other_s
+    }
+
+    /// Serialize as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"label\":");
+        json::write_str(&mut out, &self.label);
+        let pairs_f = [
+            ("total_s", self.total_s),
+            ("disk_cache_s", self.disk_cache_s),
+            ("dbms_io_s", self.dbms_io_s),
+            ("tape_exchange_s", self.tape_exchange_s),
+            ("tape_locate_s", self.tape_locate_s),
+            ("tape_transfer_s", self.tape_transfer_s),
+            ("tape_rewind_s", self.tape_rewind_s),
+            ("shelf_s", self.shelf_s),
+            ("other_s", self.other_s),
+        ];
+        for (k, v) in pairs_f {
+            out.push(',');
+            json::write_str(&mut out, k);
+            out.push(':');
+            json::write_f64(&mut out, v);
+        }
+        let pairs_u = [
+            ("mem_hits", self.mem_hits),
+            ("mem_bytes", self.mem_bytes),
+            ("disk_cache_hits", self.disk_cache_hits),
+            ("disk_cache_bytes", self.disk_cache_bytes),
+            ("tape_bytes", self.tape_bytes),
+            ("media_exchanges", self.media_exchanges),
+            ("tape_fetches", self.tape_fetches),
+        ];
+        for (k, v) in pairs_u {
+            out.push(',');
+            json::write_str(&mut out, k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn pct(part: f64, total: f64) -> f64 {
+    if total > 0.0 {
+        100.0 * part / total
+    } else {
+        0.0
+    }
+}
+
+impl fmt::Display for QueryBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "query breakdown: {}", self.label)?;
+        writeln!(f, "  total                {:>12.6} s", self.total_s)?;
+        writeln!(
+            f,
+            "  memory tile cache    {:>12.6} s  ({} hits, {} B)",
+            0.0, self.mem_hits, self.mem_bytes
+        )?;
+        writeln!(
+            f,
+            "  disk st cache        {:>12.6} s  ({:5.1}%, {} hits, {} B)",
+            self.disk_cache_s,
+            pct(self.disk_cache_s, self.total_s),
+            self.disk_cache_hits,
+            self.disk_cache_bytes
+        )?;
+        writeln!(
+            f,
+            "  dbms page I/O        {:>12.6} s  ({:5.1}%)",
+            self.dbms_io_s,
+            pct(self.dbms_io_s, self.total_s)
+        )?;
+        writeln!(
+            f,
+            "  tape exchange        {:>12.6} s  ({:5.1}%, {} exchanges)",
+            self.tape_exchange_s,
+            pct(self.tape_exchange_s, self.total_s),
+            self.media_exchanges
+        )?;
+        writeln!(
+            f,
+            "  tape locate          {:>12.6} s  ({:5.1}%)",
+            self.tape_locate_s,
+            pct(self.tape_locate_s, self.total_s)
+        )?;
+        writeln!(
+            f,
+            "  tape transfer        {:>12.6} s  ({:5.1}%, {} B, {} super-tiles)",
+            self.tape_transfer_s,
+            pct(self.tape_transfer_s, self.total_s),
+            self.tape_bytes,
+            self.tape_fetches
+        )?;
+        writeln!(
+            f,
+            "  tape rewind          {:>12.6} s  ({:5.1}%)",
+            self.tape_rewind_s,
+            pct(self.tape_rewind_s, self.total_s)
+        )?;
+        writeln!(
+            f,
+            "  shelf fetch          {:>12.6} s  ({:5.1}%)",
+            self.shelf_s,
+            pct(self.shelf_s, self.total_s)
+        )?;
+        write!(
+            f,
+            "  other                {:>12.6} s  ({:5.1}%)",
+            self.other_s,
+            pct(self.other_s, self.total_s)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_sum_matches_total() {
+        let b = QueryBreakdown {
+            label: "q".into(),
+            total_s: 10.0,
+            disk_cache_s: 1.0,
+            dbms_io_s: 2.0,
+            tape_exchange_s: 3.0,
+            tape_locate_s: 1.5,
+            tape_transfer_s: 1.25,
+            tape_rewind_s: 0.75,
+            shelf_s: 0.25,
+            other_s: 0.25,
+            ..QueryBreakdown::default()
+        };
+        assert!((b.levels_sum_s() - b.total_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_and_display_contain_levels() {
+        let b = QueryBreakdown {
+            label: "select".into(),
+            total_s: 1.0,
+            tape_transfer_s: 1.0,
+            ..QueryBreakdown::default()
+        };
+        assert!(b.to_json().contains("\"tape_transfer_s\":1"));
+        let shown = format!("{b}");
+        assert!(shown.contains("tape transfer"));
+        assert!(shown.contains("100.0%"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Minimal JSON serialization helpers.
+//!
+//! The workspace has no serde; trace records, metric snapshots and bench
+//! tables all emit JSON through these few functions. Only what the
+//! emitters need is implemented: string escaping and a small value
+//! writer. Numbers are written with enough precision to round-trip.
+
+use std::fmt::Write as _;
+
+/// Append `s` to `out` as a JSON string literal (with quotes).
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `s` as a standalone JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    write_str(&mut out, s);
+    out
+}
+
+/// Append an `f64` as a JSON number. Non-finite values (which JSON cannot
+/// represent) degrade to `null`.
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // {:?} gives shortest round-trip formatting for f64.
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append a `key: value` pair where value is already-serialized JSON.
+pub fn write_kv_raw(out: &mut String, key: &str, raw: &str) {
+    write_str(out, key);
+    out.push(':');
+    out.push_str(raw);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+        assert_eq!(escape("plain"), r#""plain""#);
+    }
+
+    #[test]
+    fn f64_round_trip_and_nonfinite() {
+        let mut s = String::new();
+        write_f64(&mut s, 0.1);
+        assert_eq!(s, "0.1");
+        s.clear();
+        write_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+    }
+}

@@ -1,0 +1,36 @@
+//! # heaven-obs — simulated-time tracing and unified metrics
+//!
+//! HEAVEN's evaluation (paper Ch. 4) is an exercise in attributing query
+//! latency to hierarchy levels: media exchange vs. locate vs. transfer
+//! vs. disk cache vs. memory cache. This crate provides the shared
+//! observability spine for that attribution:
+//!
+//! * [`TraceBus`] — a span/event bus whose primary timestamps are
+//!   **simulated seconds** from the `SimClock` (wall-clock is carried as
+//!   a secondary field), so traces are deterministic and replayable.
+//!   Sinks implement [`Recorder`]: a bounded in-memory ring
+//!   ([`RingSink`]), a JSONL file sink ([`JsonlSink`]), and a no-op.
+//! * [`MetricsRegistry`] — named monotonic counters, float counters
+//!   (simulated seconds), gauges, and histograms. Component stat structs
+//!   (`TapeStats`, `CacheStats`, …) remain public views reconstructed
+//!   from these metrics.
+//! * [`QueryBreakdown`] — a per-query report of time and bytes per
+//!   hierarchy level plus media exchanges, surfaced by
+//!   `Heaven::last_query_breakdown()` and the `rasql_shell` `\timing`
+//!   toggle.
+//!
+//! The crate is deliberately **zero-dependency** (it sits below
+//! `heaven-tape` in the crate graph); callers pass `sim_now` timestamps
+//! explicitly.
+
+pub mod breakdown;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use breakdown::QueryBreakdown;
+pub use metrics::{Counter, FloatCounter, Gauge, Histogram, MetricValue, MetricsRegistry};
+pub use trace::{
+    check_well_nested, Field, JsonlSink, NoopSink, RecordKind, Recorder, RingSink, SpanGuard,
+    SpanId, TraceBus, TraceConfig, TraceRecord,
+};

@@ -1,0 +1,330 @@
+//! The unified metrics registry.
+//!
+//! Components register named metrics once and keep cheap handles:
+//! [`Counter`] (monotonic `u64`), [`FloatCounter`] (monotonic `f64`,
+//! used for simulated seconds), [`Gauge`] (settable `f64`) and
+//! [`Histogram`] (count/sum/min/max of observations). The registry
+//! snapshot renders as a text table or JSON; the pre-existing stat
+//! structs (`TapeStats`, `CacheStats`, `BufferStats`, …) are
+//! reconstructed from these handles, making the registry the single
+//! source of truth for counter state.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json;
+
+/// Monotonic integer counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Monotonic float counter (simulated seconds accumulate here).
+/// Stored as `f64` bits in an atomic; add is a CAS loop.
+#[derive(Debug, Clone, Default)]
+pub struct FloatCounter(Arc<AtomicU64>);
+
+impl FloatCounter {
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Last-write-wins float gauge.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistSummary {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl HistSummary {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Histogram of `f64` observations (summary statistics, no buckets).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<Mutex<HistSummary>>);
+
+impl Histogram {
+    pub fn observe(&self, value: f64) {
+        let mut h = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        if h.count == 0 {
+            h.min = value;
+            h.max = value;
+        } else {
+            h.min = h.min.min(value);
+            h.max = h.max.max(value);
+        }
+        h.count += 1;
+        h.sum += value;
+    }
+
+    pub fn summary(&self) -> HistSummary {
+        *self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    FloatCounter(FloatCounter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Snapshot value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    FloatCounter(f64),
+    Gauge(f64),
+    Histogram(HistSummary),
+}
+
+impl fmt::Display for MetricValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricValue::Counter(v) => write!(f, "{v}"),
+            MetricValue::FloatCounter(v) | MetricValue::Gauge(v) => write!(f, "{v:.6}"),
+            MetricValue::Histogram(h) => write!(
+                f,
+                "count={} mean={:.6} min={:.6} max={:.6}",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            ),
+        }
+    }
+}
+
+/// Registry of named metrics; clones share state.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: Arc<Mutex<BTreeMap<&'static str, Metric>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn entry(&self, name: &'static str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut map = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name).or_insert_with(make).clone()
+    }
+
+    /// Get or create the named monotonic counter.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        match self.entry(name, || Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or create the named monotonic float counter.
+    pub fn fcounter(&self, name: &'static str) -> FloatCounter {
+        match self.entry(name, || Metric::FloatCounter(FloatCounter::default())) {
+            Metric::FloatCounter(c) => c,
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or create the named gauge.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        match self.entry(name, || Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or create the named histogram.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        match self.entry(name, || Metric::Histogram(Histogram::default())) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Ordered snapshot of all metrics.
+    pub fn snapshot(&self) -> Vec<(&'static str, MetricValue)> {
+        let map = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        map.iter()
+            .map(|(&name, m)| {
+                let v = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::FloatCounter(c) => MetricValue::FloatCounter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.summary()),
+                };
+                (name, v)
+            })
+            .collect()
+    }
+
+    /// Render the snapshot as an aligned two-column text table.
+    pub fn render_text(&self) -> String {
+        let snap = self.snapshot();
+        let width = snap.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in &snap {
+            let rendered = match value {
+                MetricValue::Counter(v) => format!("{v}"),
+                MetricValue::FloatCounter(v) | MetricValue::Gauge(v) => format!("{v:.6}"),
+                MetricValue::Histogram(h) => format!(
+                    "count={} mean={:.6} min={:.6} max={:.6}",
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                ),
+            };
+            out.push_str(&format!("{name:<width$}  {rendered}\n"));
+        }
+        out
+    }
+
+    /// Render the snapshot as one JSON object.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, name);
+            out.push(':');
+            match value {
+                MetricValue::Counter(v) => out.push_str(&v.to_string()),
+                MetricValue::FloatCounter(v) | MetricValue::Gauge(v) => {
+                    json::write_f64(&mut out, *v)
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str("{\"count\":");
+                    out.push_str(&h.count.to_string());
+                    out.push_str(",\"sum\":");
+                    json::write_f64(&mut out, h.sum);
+                    out.push_str(",\"min\":");
+                    json::write_f64(&mut out, h.min);
+                    out.push_str(",\"max\":");
+                    json::write_f64(&mut out, h.max);
+                    out.push('}');
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("tape.mounts");
+        let b = reg.counter("tape.mounts");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("tape.mounts").get(), 3);
+    }
+
+    #[test]
+    fn float_counter_accumulates() {
+        let reg = MetricsRegistry::new();
+        let t = reg.fcounter("tape.transfer_s");
+        t.add(1.5);
+        t.add(0.25);
+        assert!((t.get() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_summary() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("query.latency_s");
+        h.observe(2.0);
+        h.observe(4.0);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean(), 3.0);
+    }
+
+    #[test]
+    fn renders_text_and_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.count").add(7);
+        reg.fcounter("a.seconds").add(0.5);
+        reg.gauge("c.fill").set(0.75);
+        reg.histogram("d.lat").observe(1.0);
+        let text = reg.render_text();
+        // BTreeMap ordering: alphabetical
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("a.seconds"));
+        assert!(lines[1].starts_with("b.count"));
+        let jsonv = reg.render_json();
+        assert!(jsonv.contains("\"b.count\":7"));
+        assert!(jsonv.contains("\"c.fill\":0.75"));
+        assert!(jsonv.contains("\"d.lat\":{\"count\":1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_conflicts_panic() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+}

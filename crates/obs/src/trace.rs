@@ -1,0 +1,649 @@
+//! The simulated-time trace bus.
+//!
+//! Spans and events are recorded with a **simulated** timestamp as the
+//! primary time axis (the `SimClock` seconds the storage simulation
+//! advances) and the wall-clock Unix time as a secondary field. Because
+//! the simulation is deterministic, two runs of the same workload
+//! produce byte-identical span trees modulo the wall-clock field.
+//!
+//! The bus keeps an explicit span stack, so instrumentation sites never
+//! thread parent ids around: `span_start` pushes, `span_end` pops, and
+//! events attach to the innermost open span. This makes well-nestedness
+//! a structural property of every trace the bus emits.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json;
+
+/// Identifier of a span, unique within one `TraceBus`.
+pub type SpanId = u64;
+
+/// A typed field value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+}
+
+impl Field {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Field::U64(v) => {
+                out.push_str(&v.to_string());
+            }
+            Field::I64(v) => {
+                out.push_str(&v.to_string());
+            }
+            Field::F64(v) => json::write_f64(out, *v),
+            Field::Str(s) => json::write_str(out, s),
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Field::U64(v) => write!(f, "{v}"),
+            Field::I64(v) => write!(f, "{v}"),
+            Field::F64(v) => write!(f, "{v:.6}"),
+            Field::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<u64> for Field {
+    fn from(v: u64) -> Field {
+        Field::U64(v)
+    }
+}
+
+impl From<usize> for Field {
+    fn from(v: usize) -> Field {
+        Field::U64(v as u64)
+    }
+}
+
+impl From<i64> for Field {
+    fn from(v: i64) -> Field {
+        Field::I64(v)
+    }
+}
+
+impl From<f64> for Field {
+    fn from(v: f64) -> Field {
+        Field::F64(v)
+    }
+}
+
+impl From<&str> for Field {
+    fn from(v: &str) -> Field {
+        Field::Str(v.to_string())
+    }
+}
+
+impl From<String> for Field {
+    fn from(v: String) -> Field {
+        Field::Str(v)
+    }
+}
+
+/// What a [`TraceRecord`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A span opened; `span` is its id, `parent` the enclosing span.
+    SpanStart,
+    /// A span closed; `span` is its id.
+    SpanEnd,
+    /// An instantaneous event inside `parent` (the innermost open span).
+    Event,
+}
+
+impl RecordKind {
+    fn as_str(&self) -> &'static str {
+        match self {
+            RecordKind::SpanStart => "span_start",
+            RecordKind::SpanEnd => "span_end",
+            RecordKind::Event => "event",
+        }
+    }
+}
+
+/// One record on the bus. Records are totally ordered by `seq`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Monotone sequence number, assigned by the bus.
+    pub seq: u64,
+    pub kind: RecordKind,
+    /// Static name, e.g. `"tape.mount"` or `"query"`.
+    pub name: &'static str,
+    /// Primary timestamp: simulated seconds.
+    pub sim_s: f64,
+    /// Secondary timestamp: wall-clock Unix seconds (non-deterministic).
+    pub wall_unix_s: f64,
+    /// The span this record belongs to (`SpanStart`/`SpanEnd`: the span
+    /// itself; `Event`: 0, events hang off `parent`).
+    pub span: SpanId,
+    /// Enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Structured payload.
+    pub fields: Vec<(&'static str, Field)>,
+}
+
+impl TraceRecord {
+    /// Serialize as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"seq\":");
+        out.push_str(&self.seq.to_string());
+        out.push_str(",\"kind\":\"");
+        out.push_str(self.kind.as_str());
+        out.push_str("\",\"name\":");
+        json::write_str(&mut out, self.name);
+        out.push_str(",\"sim_s\":");
+        json::write_f64(&mut out, self.sim_s);
+        out.push_str(",\"wall_unix_s\":");
+        json::write_f64(&mut out, self.wall_unix_s);
+        out.push_str(",\"span\":");
+        out.push_str(&self.span.to_string());
+        match self.parent {
+            Some(p) => {
+                out.push_str(",\"parent\":");
+                out.push_str(&p.to_string());
+            }
+            None => out.push_str(",\"parent\":null"),
+        }
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_str(&mut out, k);
+                out.push(':');
+                v.write_json(&mut out);
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A sink for trace records. Implementations must tolerate being called
+/// from any thread (the bus serializes calls behind its lock).
+pub trait Recorder: Send {
+    fn record(&mut self, rec: &TraceRecord);
+
+    /// A snapshot of retained records, if this sink retains any.
+    fn records(&self) -> Option<Vec<TraceRecord>> {
+        None
+    }
+
+    fn flush(&mut self) {}
+}
+
+/// Discards everything.
+#[derive(Debug, Default)]
+pub struct NoopSink;
+
+impl Recorder for NoopSink {
+    fn record(&mut self, _rec: &TraceRecord) {}
+}
+
+/// Keeps the most recent `capacity` records in memory.
+#[derive(Debug)]
+pub struct RingSink {
+    buf: VecDeque<TraceRecord>,
+    capacity: usize,
+    /// Total records ever offered (including ones the ring dropped).
+    pub total: u64,
+}
+
+impl RingSink {
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            total: 0,
+        }
+    }
+}
+
+impl Recorder for RingSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(rec.clone());
+        self.total += 1;
+    }
+
+    fn records(&self) -> Option<Vec<TraceRecord>> {
+        Some(self.buf.iter().cloned().collect())
+    }
+}
+
+/// Appends one JSON object per record to a file.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: BufWriter<File>,
+}
+
+impl JsonlSink {
+    pub fn create(path: &Path) -> io::Result<JsonlSink> {
+        Ok(JsonlSink {
+            out: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl Recorder for JsonlSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        // Trace I/O is best-effort; a full disk must not fail a query.
+        let _ = writeln!(self.out, "{}", rec.to_json());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Sink selection, carried inside `HeavenConfig`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TraceConfig {
+    /// No tracing (the default); record calls are near-free.
+    #[default]
+    Off,
+    /// Ring buffer of the most recent `capacity` records.
+    Memory { capacity: usize },
+    /// JSONL file at `path` (plus a small ring for introspection).
+    Jsonl { path: PathBuf },
+}
+
+struct BusState {
+    sink: Box<dyn Recorder>,
+    /// Secondary ring kept alongside a JSONL sink so `records()` works
+    /// regardless of sink choice. `None` when the primary sink retains.
+    mirror: Option<RingSink>,
+    stack: Vec<(SpanId, &'static str, f64)>,
+    next_span: SpanId,
+    seq: u64,
+}
+
+struct BusInner {
+    enabled: AtomicBool,
+    state: Mutex<BusState>,
+}
+
+/// Cloneable handle to the trace bus. All clones share one record stream
+/// and one span stack.
+#[derive(Clone)]
+pub struct TraceBus {
+    inner: Arc<BusInner>,
+}
+
+impl fmt::Debug for TraceBus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceBus")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+fn wall_now_s() -> f64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0)
+}
+
+impl TraceBus {
+    fn with_sink(sink: Box<dyn Recorder>, mirror: Option<RingSink>, enabled: bool) -> TraceBus {
+        TraceBus {
+            inner: Arc::new(BusInner {
+                enabled: AtomicBool::new(enabled),
+                state: Mutex::new(BusState {
+                    sink,
+                    mirror,
+                    stack: Vec::new(),
+                    next_span: 1,
+                    seq: 0,
+                }),
+            }),
+        }
+    }
+
+    /// A disabled bus; every call is a cheap atomic load.
+    pub fn noop() -> TraceBus {
+        TraceBus::with_sink(Box::new(NoopSink), None, false)
+    }
+
+    /// Retain the most recent `capacity` records in memory.
+    pub fn ring(capacity: usize) -> TraceBus {
+        TraceBus::with_sink(Box::new(RingSink::new(capacity)), None, true)
+    }
+
+    /// Stream records to a JSONL file; also mirrors the last 4096 records
+    /// in memory so `records()` keeps working.
+    pub fn jsonl(path: &Path) -> io::Result<TraceBus> {
+        Ok(TraceBus::with_sink(
+            Box::new(JsonlSink::create(path)?),
+            Some(RingSink::new(4096)),
+            true,
+        ))
+    }
+
+    /// Build from configuration. A JSONL path that cannot be created
+    /// degrades to a no-op bus rather than failing system construction.
+    pub fn from_config(cfg: &TraceConfig) -> TraceBus {
+        match cfg {
+            TraceConfig::Off => TraceBus::noop(),
+            TraceConfig::Memory { capacity } => TraceBus::ring(*capacity),
+            TraceConfig::Jsonl { path } => {
+                TraceBus::jsonl(path).unwrap_or_else(|_| TraceBus::noop())
+            }
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    fn emit(&self, state: &mut BusState, mut rec: TraceRecord) {
+        rec.seq = state.seq;
+        state.seq += 1;
+        state.sink.record(&rec);
+        if let Some(mirror) = state.mirror.as_mut() {
+            mirror.record(&rec);
+        }
+    }
+
+    /// Open a span. Returns its id; pass it to [`TraceBus::span_end`].
+    pub fn span_start(
+        &self,
+        name: &'static str,
+        sim_s: f64,
+        fields: &[(&'static str, Field)],
+    ) -> SpanId {
+        if !self.is_enabled() {
+            return 0;
+        }
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let id = state.next_span;
+        state.next_span += 1;
+        let parent = state.stack.last().map(|&(p, _, _)| p);
+        state.stack.push((id, name, sim_s));
+        let rec = TraceRecord {
+            seq: 0,
+            kind: RecordKind::SpanStart,
+            name,
+            sim_s,
+            wall_unix_s: wall_now_s(),
+            span: id,
+            parent,
+            fields: fields.to_vec(),
+        };
+        self.emit(&mut state, rec);
+        id
+    }
+
+    /// Close a span. Any spans left open above it on the stack are closed
+    /// first (with the same timestamp), so traces stay well-nested even
+    /// if an instrumented function returns early.
+    pub fn span_end(&self, id: SpanId, sim_s: f64) {
+        if !self.is_enabled() || id == 0 {
+            return;
+        }
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !state.stack.iter().any(|&(s, _, _)| s == id) {
+            return; // unknown/already closed: ignore
+        }
+        while let Some((top, name, start_s)) = state.stack.pop() {
+            let parent = state.stack.last().map(|&(p, _, _)| p);
+            let rec = TraceRecord {
+                seq: 0,
+                kind: RecordKind::SpanEnd,
+                name,
+                sim_s,
+                wall_unix_s: wall_now_s(),
+                span: top,
+                parent,
+                fields: vec![("dur_s", Field::F64((sim_s - start_s).max(0.0)))],
+            };
+            self.emit(&mut state, rec);
+            if top == id {
+                break;
+            }
+        }
+    }
+
+    /// Record an instantaneous event inside the innermost open span.
+    pub fn event(&self, name: &'static str, sim_s: f64, fields: &[(&'static str, Field)]) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let parent = state.stack.last().map(|&(p, _, _)| p);
+        let rec = TraceRecord {
+            seq: 0,
+            kind: RecordKind::Event,
+            name,
+            sim_s,
+            wall_unix_s: wall_now_s(),
+            span: 0,
+            parent,
+            fields: fields.to_vec(),
+        };
+        self.emit(&mut state, rec);
+    }
+
+    /// RAII span helper: the span closes (at `end_sim_s` supplied then)
+    /// when [`SpanGuard::end`] is called.
+    pub fn span(
+        &self,
+        name: &'static str,
+        sim_s: f64,
+        fields: &[(&'static str, Field)],
+    ) -> SpanGuard {
+        SpanGuard {
+            bus: self.clone(),
+            id: self.span_start(name, sim_s, fields),
+        }
+    }
+
+    /// Snapshot of retained records (ring sinks and the JSONL mirror).
+    pub fn records(&self) -> Vec<TraceRecord> {
+        let state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(recs) = state.sink.records() {
+            return recs;
+        }
+        state
+            .mirror
+            .as_ref()
+            .and_then(|m| m.records())
+            .unwrap_or_default()
+    }
+
+    /// Flush buffered output (JSONL).
+    pub fn flush(&self) {
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.sink.flush();
+    }
+
+    /// Depth of the open-span stack (for tests and diagnostics).
+    pub fn open_spans(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .stack
+            .len()
+    }
+}
+
+/// Handle returned by [`TraceBus::span`]; call [`SpanGuard::end`] with the
+/// closing simulated timestamp.
+#[must_use = "call .end(sim_now) to close the span"]
+pub struct SpanGuard {
+    bus: TraceBus,
+    id: SpanId,
+}
+
+impl SpanGuard {
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    pub fn end(self, sim_s: f64) {
+        self.bus.span_end(self.id, sim_s);
+    }
+
+    /// Record an event inside this span.
+    pub fn event(&self, name: &'static str, sim_s: f64, fields: &[(&'static str, Field)]) {
+        self.bus.event(name, sim_s, fields);
+    }
+}
+
+/// Check that `records` form a well-nested forest: every `SpanEnd` matches
+/// the most recently opened unclosed span, and events reference an open
+/// (or no) span. Returns the maximum depth seen.
+pub fn check_well_nested(records: &[TraceRecord]) -> Result<usize, String> {
+    let mut stack: Vec<SpanId> = Vec::new();
+    let mut max_depth = 0;
+    for rec in records {
+        match rec.kind {
+            RecordKind::SpanStart => {
+                if rec.parent != stack.last().copied() {
+                    return Err(format!(
+                        "span {} ({}) has parent {:?}, expected {:?}",
+                        rec.span,
+                        rec.name,
+                        rec.parent,
+                        stack.last()
+                    ));
+                }
+                stack.push(rec.span);
+                max_depth = max_depth.max(stack.len());
+            }
+            RecordKind::SpanEnd => match stack.pop() {
+                Some(top) if top == rec.span => {}
+                other => {
+                    return Err(format!(
+                        "span_end {} ({}) does not match innermost open span {:?}",
+                        rec.span, rec.name, other
+                    ));
+                }
+            },
+            RecordKind::Event => {
+                if rec.parent != stack.last().copied() {
+                    return Err(format!(
+                        "event {} has parent {:?}, expected {:?}",
+                        rec.name,
+                        rec.parent,
+                        stack.last()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(max_depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_bus_is_inert() {
+        let bus = TraceBus::noop();
+        let id = bus.span_start("x", 0.0, &[]);
+        assert_eq!(id, 0);
+        bus.event("e", 0.0, &[]);
+        bus.span_end(id, 1.0);
+        assert!(bus.records().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_events_attach() {
+        let bus = TraceBus::ring(64);
+        let q = bus.span_start("query", 0.0, &[]);
+        let f = bus.span_start("st_fetch", 1.0, &[("st", Field::U64(7))]);
+        bus.event("tape.mount", 2.0, &[("medium", Field::U64(3))]);
+        bus.span_end(f, 3.0);
+        bus.span_end(q, 4.0);
+        let recs = bus.records();
+        assert_eq!(recs.len(), 5);
+        assert_eq!(recs[1].parent, Some(q));
+        assert_eq!(recs[2].parent, Some(f));
+        check_well_nested(&recs).unwrap();
+        assert_eq!(bus.open_spans(), 0);
+    }
+
+    #[test]
+    fn early_return_spans_are_autoclosed() {
+        let bus = TraceBus::ring(64);
+        let outer = bus.span_start("outer", 0.0, &[]);
+        let _leaked = bus.span_start("leaked", 1.0, &[]);
+        // Closing the outer span force-closes the leaked inner one first.
+        bus.span_end(outer, 5.0);
+        let recs = bus.records();
+        check_well_nested(&recs).unwrap();
+        assert_eq!(bus.open_spans(), 0);
+    }
+
+    #[test]
+    fn ring_capacity_is_bounded() {
+        let bus = TraceBus::ring(4);
+        for i in 0..10 {
+            bus.event("e", i as f64, &[]);
+        }
+        let recs = bus.records();
+        assert_eq!(recs.len(), 4);
+        assert_eq!(recs[0].seq, 6);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path =
+            std::env::temp_dir().join(format!("heaven_obs_test_{}.jsonl", std::process::id()));
+        let bus = TraceBus::jsonl(&path).unwrap();
+        let s = bus.span_start("query", 0.5, &[("oid", Field::U64(1))]);
+        bus.event("tape.locate", 1.25, &[("cost_s", Field::F64(0.75))]);
+        bus.span_end(s, 2.0);
+        bus.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"kind\":\"span_start\""));
+        assert!(lines[0].contains("\"sim_s\":0.5"));
+        assert!(lines[1].contains("\"cost_s\":0.75"));
+        assert!(lines[2].contains("\"dur_s\":1.5"));
+        // the in-memory mirror still answers records()
+        assert_eq!(bus.records().len(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn record_json_escapes_fields() {
+        let rec = TraceRecord {
+            seq: 1,
+            kind: RecordKind::Event,
+            name: "e",
+            sim_s: 0.0,
+            wall_unix_s: 0.0,
+            span: 0,
+            parent: None,
+            fields: vec![("msg", Field::Str("a\"b".into()))],
+        };
+        assert!(rec.to_json().contains(r#""msg":"a\"b""#));
+    }
+}

@@ -46,9 +46,10 @@ impl BlobStore {
     }
 
     fn alloc_id(&mut self, db: &mut Database) -> Result<BlobId> {
-        let id = self.dir.get(db, 0)?.ok_or(DbError::Corrupt(
-            "blob store missing id counter".into(),
-        ))?;
+        let id = self
+            .dir
+            .get(db, 0)?
+            .ok_or(DbError::Corrupt("blob store missing id counter".into()))?;
         self.dir.insert(db, 0, id + 1)?;
         Ok(id)
     }
@@ -96,9 +97,7 @@ impl BlobStore {
         if id == 0 {
             return Err(DbError::NoSuchBlob(0));
         }
-        self.dir
-            .get(db, id)?
-            .ok_or(DbError::NoSuchBlob(id))
+        self.dir.get(db, id)?.ok_or(DbError::NoSuchBlob(id))
     }
 
     /// Read a whole BLOB.
@@ -153,8 +152,7 @@ impl BlobStore {
             if skip < cap {
                 let take = (cap - skip).min(remaining);
                 out.extend_from_slice(
-                    &p.as_slice()
-                        [CONT_HDR + skip as usize..CONT_HDR + (skip + take) as usize],
+                    &p.as_slice()[CONT_HDR + skip as usize..CONT_HDR + (skip + take) as usize],
                 );
                 remaining -= take;
                 skip = 0;

@@ -151,12 +151,7 @@ impl BTree {
 
     /// Recursive insert; returns (previous value, optional split as
     /// (separator key, new right sibling page)).
-    fn insert_rec(
-        db: &mut Database,
-        page_id: PageId,
-        key: u64,
-        val: u64,
-    ) -> Result<InsertOutcome> {
+    fn insert_rec(db: &mut Database, page_id: PageId, key: u64, val: u64) -> Result<InsertOutcome> {
         let p = db.read_page(page_id)?;
         if Self::is_leaf(&p) {
             return Self::leaf_insert(db, page_id, key, val);
@@ -273,8 +268,7 @@ impl BTree {
                         let val = Self::leaf_val(&p, i);
                         let mut p = p;
                         for j in i..n - 1 {
-                            let (k, v) =
-                                (Self::leaf_key(&p, j + 1), Self::leaf_val(&p, j + 1));
+                            let (k, v) = (Self::leaf_key(&p, j + 1), Self::leaf_val(&p, j + 1));
                             Self::set_leaf_entry(&mut p, j, k, v);
                         }
                         p.write_u16(COUNT_OFF, (n - 1) as u16);
@@ -346,9 +340,8 @@ impl BTree {
     ) -> Result<()> {
         let p = db.read_page(page_id)?;
         let n = Self::count(&p);
-        let in_bounds = |k: u64| {
-            lo.map(|l| k >= l).unwrap_or(true) && hi.map(|h| k < h).unwrap_or(true)
-        };
+        let in_bounds =
+            |k: u64| lo.map(|l| k >= l).unwrap_or(true) && hi.map(|h| k < h).unwrap_or(true);
         if Self::is_leaf(&p) {
             if n > LEAF_CAP {
                 return Err(DbError::Corrupt(format!("leaf overfull: {n}")));
@@ -377,8 +370,16 @@ impl BTree {
             }
         }
         for i in 0..=n {
-            let child_lo = if i == 0 { lo } else { Some(Self::inner_key(&p, i - 1)) };
-            let child_hi = if i == n { hi } else { Some(Self::inner_key(&p, i)) };
+            let child_lo = if i == 0 {
+                lo
+            } else {
+                Some(Self::inner_key(&p, i - 1))
+            };
+            let child_hi = if i == n {
+                hi
+            } else {
+                Some(Self::inner_key(&p, i))
+            };
             Self::check_rec(db, Self::inner_child(&p, i), child_lo, child_hi)?;
         }
         Ok(())

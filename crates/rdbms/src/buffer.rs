@@ -3,6 +3,7 @@
 use crate::disk::DiskManager;
 use crate::error::Result;
 use crate::page::{Page, PageId};
+use heaven_obs::{Counter, MetricsRegistry};
 use std::collections::HashMap;
 
 /// Buffer pool statistics.
@@ -14,6 +15,47 @@ pub struct BufferStats {
     pub misses: u64,
     /// Dirty-page evictions (write-backs).
     pub evictions: u64,
+    /// Dirty pages written back by explicit flushes.
+    pub flushes: u64,
+}
+
+/// Metric handles backing [`BufferStats`]; the registry is the source of
+/// truth and the struct is reconstructed on demand.
+#[derive(Debug, Clone)]
+struct BufferMetrics {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    flushes: Counter,
+}
+
+impl BufferMetrics {
+    fn new(registry: &MetricsRegistry) -> BufferMetrics {
+        BufferMetrics {
+            hits: registry.counter("rdbms.page_hits"),
+            misses: registry.counter("rdbms.page_misses"),
+            evictions: registry.counter("rdbms.page_evictions"),
+            flushes: registry.counter("rdbms.page_flushes"),
+        }
+    }
+
+    fn rebind(&mut self, registry: &MetricsRegistry) {
+        let next = BufferMetrics::new(registry);
+        next.hits.add(self.hits.get());
+        next.misses.add(self.misses.get());
+        next.evictions.add(self.evictions.get());
+        next.flushes.add(self.flushes.get());
+        *self = next;
+    }
+
+    fn stats(&self) -> BufferStats {
+        BufferStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            flushes: self.flushes.get(),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -30,7 +72,7 @@ pub struct BufferPool {
     capacity: usize,
     frames: HashMap<PageId, Frame>,
     counter: u64,
-    stats: BufferStats,
+    metrics: BufferMetrics,
 }
 
 impl BufferPool {
@@ -41,13 +83,19 @@ impl BufferPool {
             capacity: capacity.max(1),
             frames: HashMap::new(),
             counter: 0,
-            stats: BufferStats::default(),
+            metrics: BufferMetrics::new(&MetricsRegistry::new()),
         }
     }
 
-    /// Pool statistics.
+    /// Attach the pool's counters to a shared metrics registry; values
+    /// accumulated so far carry over.
+    pub fn attach_obs(&mut self, registry: &MetricsRegistry) {
+        self.metrics.rebind(registry);
+    }
+
+    /// Pool statistics (a view over the metrics registry).
     pub fn stats(&self) -> BufferStats {
-        self.stats
+        self.metrics.stats()
     }
 
     /// The underlying disk manager.
@@ -67,10 +115,10 @@ impl BufferPool {
 
     fn ensure_resident(&mut self, id: PageId) -> Result<()> {
         if self.frames.contains_key(&id) {
-            self.stats.hits += 1;
+            self.metrics.hits.inc();
             return Ok(());
         }
-        self.stats.misses += 1;
+        self.metrics.misses.inc();
         let page = self.disk.read_page(id)?;
         self.admit(id, page, false)?;
         Ok(())
@@ -88,7 +136,7 @@ impl BufferPool {
             let frame = self.frames.remove(&victim).expect("present");
             if frame.dirty {
                 self.disk.write_page(victim, &frame.page)?;
-                self.stats.evictions += 1;
+                self.metrics.evictions.inc();
             }
         }
         let last_used = self.touch();
@@ -119,14 +167,14 @@ impl BufferPool {
             return Err(crate::error::DbError::BadPage(id));
         }
         if let Some(f) = self.frames.get_mut(&id) {
-            self.stats.hits += 1;
+            self.metrics.hits.inc();
             f.page = page;
             f.dirty = true;
             let t = self.touch();
             self.frames.get_mut(&id).unwrap().last_used = t;
             return Ok(());
         }
-        self.stats.misses += 1;
+        self.metrics.misses.inc();
         self.admit(id, page, true)
     }
 
@@ -153,6 +201,7 @@ impl BufferPool {
             let page = self.frames.get(&id).expect("present").page.clone();
             self.disk.write_page(id, &page)?;
             self.frames.get_mut(&id).expect("present").dirty = false;
+            self.metrics.flushes.inc();
         }
         Ok(())
     }
@@ -234,5 +283,20 @@ mod tests {
     fn write_to_unallocated_page_fails() {
         let mut b = pool(2);
         assert!(b.write(999, Page::new()).is_err());
+    }
+
+    #[test]
+    fn attach_obs_shares_counters_with_registry() {
+        let mut b = pool(4);
+        b.read(1).unwrap();
+        b.read(1).unwrap();
+        let registry = MetricsRegistry::new();
+        b.attach_obs(&registry);
+        assert_eq!(registry.counter("rdbms.page_hits").get(), 1);
+        assert_eq!(registry.counter("rdbms.page_misses").get(), 1);
+        b.update(2, |p| p.write_u64(0, 5)).unwrap();
+        b.flush_all().unwrap();
+        assert_eq!(registry.counter("rdbms.page_flushes").get(), 1);
+        assert_eq!(b.stats().flushes, 1, "stats view reads the registry");
     }
 }

@@ -50,6 +50,11 @@ impl Database {
         Database::new(DiskProfile::scsi2003(), SimClock::new(), 1024)
     }
 
+    /// Attach the database's counters to a shared metrics registry.
+    pub fn attach_obs(&mut self, registry: &heaven_obs::MetricsRegistry) {
+        self.buffer.attach_obs(registry);
+    }
+
     /// Buffer-pool statistics.
     pub fn buffer_stats(&self) -> BufferStats {
         self.buffer.stats()

@@ -9,7 +9,11 @@ pub enum DbError {
     /// Page id outside the allocated file.
     BadPage(u64),
     /// Page-internal offset/length out of bounds.
-    BadOffset { page: u64, offset: usize, len: usize },
+    BadOffset {
+        page: u64,
+        offset: usize,
+        len: usize,
+    },
     /// Unknown BLOB id.
     NoSuchBlob(u64),
     /// Unknown transaction id.

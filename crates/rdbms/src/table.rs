@@ -69,8 +69,7 @@ impl Table {
             if data_end + record.len() <= dir_start {
                 let slot = count as u16;
                 db.update_page(page_id, |p| {
-                    p.as_mut_slice()[data_end..data_end + record.len()]
-                        .copy_from_slice(record);
+                    p.as_mut_slice()[data_end..data_end + record.len()].copy_from_slice(record);
                     let entry_off = PAGE_SIZE - (count + 1) * SLOT_SIZE;
                     p.write_u16(entry_off, data_end as u16);
                     p.write_u16(entry_off + 2, record.len() as u16);
@@ -214,8 +213,7 @@ mod tests {
             rids.push(t.insert(&mut db, &rec).unwrap());
         }
         // More than one page used.
-        let pages: std::collections::HashSet<PageId> =
-            rids.iter().map(|r| r.page).collect();
+        let pages: std::collections::HashSet<PageId> = rids.iter().map(|r| r.page).collect();
         assert!(pages.len() > 1);
         for r in &rids {
             assert_eq!(t.get(&mut db, *r).unwrap(), rec);

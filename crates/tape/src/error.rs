@@ -27,7 +27,11 @@ impl fmt::Display for TapeError {
             TapeError::MediumFull { medium, need, free } => {
                 write!(f, "medium {medium} full: need {need} bytes, {free} free")
             }
-            TapeError::ReadUnwritten { medium, offset, len } => write!(
+            TapeError::ReadUnwritten {
+                medium,
+                offset,
+                len,
+            } => write!(
                 f,
                 "read of unwritten bytes on medium {medium} at {offset}+{len}"
             ),

@@ -11,7 +11,77 @@ use crate::error::{Result, TapeError};
 use crate::media::{Medium, MediumId};
 use crate::profile::DeviceProfile;
 use crate::stats::TapeStats;
+use heaven_obs::{Counter, Field, FloatCounter, MetricsRegistry, TraceBus};
 use std::collections::BTreeMap;
+
+/// Metric handles backing [`TapeStats`]. The registry is the source of
+/// truth; `TapeLibrary::stats()` reconstructs the public struct from these
+/// handles, so the same counters appear in `MetricsRegistry` renderings
+/// and in the legacy stats view.
+#[derive(Debug, Clone)]
+struct TapeMetrics {
+    mounts: Counter,
+    unmounts: Counter,
+    locates: Counter,
+    exchange_s: FloatCounter,
+    locate_s: FloatCounter,
+    transfer_s: FloatCounter,
+    rewind_s: FloatCounter,
+    bytes_read: Counter,
+    bytes_written: Counter,
+    shelf_fetches: Counter,
+    shelf_s: FloatCounter,
+}
+
+impl TapeMetrics {
+    fn new(registry: &MetricsRegistry) -> TapeMetrics {
+        TapeMetrics {
+            mounts: registry.counter("tape.mounts"),
+            unmounts: registry.counter("tape.unmounts"),
+            locates: registry.counter("tape.locates"),
+            exchange_s: registry.fcounter("tape.exchange_s"),
+            locate_s: registry.fcounter("tape.locate_s"),
+            transfer_s: registry.fcounter("tape.transfer_s"),
+            rewind_s: registry.fcounter("tape.rewind_s"),
+            bytes_read: registry.counter("tape.bytes_read"),
+            bytes_written: registry.counter("tape.bytes_written"),
+            shelf_fetches: registry.counter("tape.shelf_fetches"),
+            shelf_s: registry.fcounter("tape.shelf_s"),
+        }
+    }
+
+    /// Move accumulated values into handles from `registry` (used when a
+    /// library built with a private registry is attached to a shared one).
+    fn rebind(&mut self, registry: &MetricsRegistry) {
+        let next = TapeMetrics::new(registry);
+        next.mounts.add(self.mounts.get());
+        next.unmounts.add(self.unmounts.get());
+        next.locates.add(self.locates.get());
+        next.exchange_s.add(self.exchange_s.get());
+        next.locate_s.add(self.locate_s.get());
+        next.transfer_s.add(self.transfer_s.get());
+        next.rewind_s.add(self.rewind_s.get());
+        next.bytes_read.add(self.bytes_read.get());
+        next.bytes_written.add(self.bytes_written.get());
+        next.shelf_fetches.add(self.shelf_fetches.get());
+        next.shelf_s.add(self.shelf_s.get());
+        *self = next;
+    }
+
+    fn stats(&self) -> TapeStats {
+        TapeStats {
+            mounts: self.mounts.get(),
+            unmounts: self.unmounts.get(),
+            locates: self.locates.get(),
+            exchange_s: self.exchange_s.get(),
+            locate_s: self.locate_s.get(),
+            transfer_s: self.transfer_s.get(),
+            rewind_s: self.rewind_s.get(),
+            bytes_read: self.bytes_read.get(),
+            bytes_written: self.bytes_written.get(),
+        }
+    }
+}
 
 /// Payload of a write: real bytes or a phantom size.
 #[derive(Debug, Clone)]
@@ -68,7 +138,8 @@ pub struct TapeLibrary {
     clock: SimClock,
     drives: Vec<Drive>,
     media: BTreeMap<MediumId, Medium>,
-    stats: TapeStats,
+    metrics: TapeMetrics,
+    bus: TraceBus,
     next_medium: MediumId,
     op_counter: u64,
     slot_config: Option<SlotConfig>,
@@ -76,10 +147,6 @@ pub struct TapeLibrary {
     shelved: std::collections::BTreeSet<MediumId>,
     /// Last-use tick per in-library medium, for shelf eviction.
     media_last_used: BTreeMap<MediumId, u64>,
-    /// Operator fetches performed.
-    shelf_fetches: u64,
-    /// Seconds spent waiting for the operator.
-    shelf_s: f64,
 }
 
 impl TapeLibrary {
@@ -97,15 +164,21 @@ impl TapeLibrary {
                 drives.max(1)
             ],
             media: BTreeMap::new(),
-            stats: TapeStats::default(),
+            metrics: TapeMetrics::new(&MetricsRegistry::new()),
+            bus: TraceBus::noop(),
             next_medium: 0,
             op_counter: 0,
             slot_config: None,
             shelved: Default::default(),
             media_last_used: BTreeMap::new(),
-            shelf_fetches: 0,
-            shelf_s: 0.0,
         }
+    }
+
+    /// Attach the library to a shared metrics registry and trace bus.
+    /// Counter values accumulated so far carry over into the registry.
+    pub fn attach_obs(&mut self, registry: &MetricsRegistry, bus: TraceBus) {
+        self.metrics.rebind(registry);
+        self.bus = bus;
     }
 
     /// Enable the finite-slot model: at most `config.slots` media stay in
@@ -123,12 +196,12 @@ impl TapeLibrary {
 
     /// Operator fetches performed so far.
     pub fn shelf_fetches(&self) -> u64 {
-        self.shelf_fetches
+        self.metrics.shelf_fetches.get()
     }
 
     /// Seconds spent on operator fetches so far.
     pub fn shelf_wait_s(&self) -> f64 {
-        self.shelf_s
+        self.metrics.shelf_s.get()
     }
 
     fn in_library_count(&self) -> usize {
@@ -160,8 +233,16 @@ impl TapeLibrary {
         if self.shelved.remove(&id) {
             let cfg = self.slot_config.expect("shelved implies slot config");
             self.clock.advance_s(cfg.shelf_fetch_s);
-            self.shelf_fetches += 1;
-            self.shelf_s += cfg.shelf_fetch_s;
+            self.metrics.shelf_fetches.inc();
+            self.metrics.shelf_s.add(cfg.shelf_fetch_s);
+            self.bus.event(
+                "tape.shelf_fetch",
+                self.clock.now_s(),
+                &[
+                    ("medium", Field::U64(id)),
+                    ("cost_s", Field::F64(cfg.shelf_fetch_s)),
+                ],
+            );
             self.enforce_slots();
         }
     }
@@ -176,9 +257,9 @@ impl TapeLibrary {
         &self.clock
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics (a view over the metrics registry).
     pub fn stats(&self) -> TapeStats {
-        self.stats
+        self.metrics.stats()
     }
 
     /// Number of drives.
@@ -191,7 +272,8 @@ impl TapeLibrary {
     pub fn add_medium(&mut self) -> MediumId {
         let id = self.next_medium;
         self.next_medium += 1;
-        self.media.insert(id, Medium::new(id, self.profile.media_capacity));
+        self.media
+            .insert(id, Medium::new(id, self.profile.media_capacity));
         self.op_counter += 1;
         self.media_last_used.insert(id, self.op_counter);
         self.enforce_slots();
@@ -263,17 +345,35 @@ impl TapeLibrary {
                     .expect("at least one drive")
             });
         // Evict the current occupant.
-        if self.drives[di].mounted.is_some() {
+        if let Some(evicted) = self.drives[di].mounted {
             let rewind = self.profile.rewind_time_s(self.drives[di].head_pos);
             self.clock.advance_s(rewind);
-            self.stats.rewind_s += rewind;
-            self.stats.unmounts += 1;
+            self.metrics.rewind_s.add(rewind);
+            self.metrics.unmounts.inc();
+            self.bus.event(
+                "tape.unmount",
+                self.clock.now_s(),
+                &[
+                    ("medium", Field::U64(evicted)),
+                    ("drive", Field::U64(di as u64)),
+                    ("rewind_s", Field::F64(rewind)),
+                ],
+            );
         }
         // Robot exchange + drive load.
         let mount = self.profile.mount_time_s();
         self.clock.advance_s(mount);
-        self.stats.exchange_s += mount;
-        self.stats.mounts += 1;
+        self.metrics.exchange_s.add(mount);
+        self.metrics.mounts.inc();
+        self.bus.event(
+            "tape.mount",
+            self.clock.now_s(),
+            &[
+                ("medium", Field::U64(id)),
+                ("drive", Field::U64(di as u64)),
+                ("cost_s", Field::F64(mount)),
+            ],
+        );
         self.drives[di] = Drive {
             mounted: Some(id),
             head_pos: 0,
@@ -291,13 +391,36 @@ impl TapeLibrary {
         let head = self.drives[di].head_pos;
         let locate = self.profile.locate_time_s(head, write_pos);
         if locate > 0.0 {
-            self.stats.locates += 1;
+            self.metrics.locates.inc();
         }
         let transfer = self.profile.transfer_time_s(len) + self.profile.write_sync_s;
         self.clock.advance_s(locate + transfer);
-        self.stats.locate_s += locate;
-        self.stats.transfer_s += transfer;
-        self.stats.bytes_written += len;
+        self.metrics.locate_s.add(locate);
+        self.metrics.transfer_s.add(transfer);
+        self.metrics.bytes_written.add(len);
+        if locate > 0.0 {
+            self.bus.event(
+                "tape.locate",
+                self.clock.now_s() - transfer,
+                &[
+                    ("medium", Field::U64(id)),
+                    ("from", Field::U64(head)),
+                    ("to", Field::U64(write_pos)),
+                    ("cost_s", Field::F64(locate)),
+                ],
+            );
+        }
+        self.bus.event(
+            "tape.transfer",
+            self.clock.now_s(),
+            &[
+                ("medium", Field::U64(id)),
+                ("offset", Field::U64(write_pos)),
+                ("bytes", Field::U64(len)),
+                ("dir", Field::Str("write".into())),
+                ("cost_s", Field::F64(transfer)),
+            ],
+        );
         let off = match payload {
             WritePayload::Real(data) => self.medium_mut(id)?.append(data)?,
             WritePayload::Phantom(n) => self.medium_mut(id)?.append_phantom(n)?,
@@ -312,13 +435,36 @@ impl TapeLibrary {
         let head = self.drives[di].head_pos;
         let locate = self.profile.locate_time_s(head, offset);
         if locate > 0.0 {
-            self.stats.locates += 1;
+            self.metrics.locates.inc();
         }
         let transfer = self.profile.transfer_time_s(len);
         self.clock.advance_s(locate + transfer);
-        self.stats.locate_s += locate;
-        self.stats.transfer_s += transfer;
-        self.stats.bytes_read += len;
+        self.metrics.locate_s.add(locate);
+        self.metrics.transfer_s.add(transfer);
+        self.metrics.bytes_read.add(len);
+        if locate > 0.0 {
+            self.bus.event(
+                "tape.locate",
+                self.clock.now_s() - transfer,
+                &[
+                    ("medium", Field::U64(id)),
+                    ("from", Field::U64(head)),
+                    ("to", Field::U64(offset)),
+                    ("cost_s", Field::F64(locate)),
+                ],
+            );
+        }
+        self.bus.event(
+            "tape.transfer",
+            self.clock.now_s(),
+            &[
+                ("medium", Field::U64(id)),
+                ("offset", Field::U64(offset)),
+                ("bytes", Field::U64(len)),
+                ("dir", Field::Str("read".into())),
+                ("cost_s", Field::F64(transfer)),
+            ],
+        );
         let data = self.medium(id)?.read(offset, len)?;
         self.drives[di].head_pos = offset + len;
         Ok(data)
@@ -453,10 +599,7 @@ mod tests {
     #[test]
     fn unknown_medium_is_error() {
         let mut l = lib(1);
-        assert!(matches!(
-            l.read(99, 0, 1),
-            Err(TapeError::NoSuchMedium(99))
-        ));
+        assert!(matches!(l.read(99, 0, 1), Err(TapeError::NoSuchMedium(99))));
         assert!(l.write(99, WritePayload::Phantom(1)).is_err());
     }
 
@@ -548,6 +691,33 @@ mod tests {
         });
         assert!(!l.is_shelved(m1));
         assert!(!l.is_shelved(m2));
+    }
+
+    #[test]
+    fn attach_obs_carries_counters_and_emits_events() {
+        let mut l = lib(1);
+        let m1 = l.add_medium();
+        l.write(m1, WritePayload::Phantom(100)).unwrap();
+        let mounts_before = l.stats().mounts;
+        assert_eq!(mounts_before, 1);
+
+        let registry = MetricsRegistry::new();
+        let bus = TraceBus::ring(64);
+        l.attach_obs(&registry, bus.clone());
+        // prior counts carried into the shared registry
+        assert_eq!(registry.counter("tape.mounts").get(), mounts_before);
+
+        let m2 = l.add_medium();
+        l.write(m2, WritePayload::Phantom(100)).unwrap(); // unmount m1, mount m2
+        l.read(m2, 0, 100).unwrap(); // locate back + transfer
+        assert_eq!(registry.counter("tape.mounts").get(), 2);
+        assert_eq!(l.stats().mounts, 2, "stats view reads the registry");
+
+        let names: Vec<&str> = bus.records().iter().map(|r| r.name).collect();
+        assert!(names.contains(&"tape.unmount"));
+        assert!(names.contains(&"tape.mount"));
+        assert!(names.contains(&"tape.locate"));
+        assert!(names.contains(&"tape.transfer"));
     }
 
     #[test]

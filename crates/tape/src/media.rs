@@ -93,15 +93,15 @@ impl Medium {
     /// them, never byte ranges crossing objects).
     pub fn read(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
         // Find the segment containing `offset`.
-        let (seg_off, seg) = self
-            .segments
-            .range(..=offset)
-            .next_back()
-            .ok_or(TapeError::ReadUnwritten {
-                medium: self.id,
-                offset,
-                len,
-            })?;
+        let (seg_off, seg) =
+            self.segments
+                .range(..=offset)
+                .next_back()
+                .ok_or(TapeError::ReadUnwritten {
+                    medium: self.id,
+                    offset,
+                    len,
+                })?;
         let rel = offset - seg_off;
         if rel >= seg.len {
             return Err(TapeError::ReadUnwritten {

@@ -31,18 +31,21 @@ impl TapeStats {
         self.exchange_s + self.locate_s + self.transfer_s + self.rewind_s
     }
 
-    /// Difference of two snapshots (`self` minus `earlier`).
+    /// Difference of two snapshots (`self` minus `earlier`). Underflow-safe:
+    /// counters saturate at zero and second counters clamp to `>= 0.0`, so
+    /// comparing snapshots taken around a reset (or passed in the wrong
+    /// order) yields zeros instead of wrapping.
     pub fn since(&self, earlier: &TapeStats) -> TapeStats {
         TapeStats {
-            mounts: self.mounts - earlier.mounts,
-            unmounts: self.unmounts - earlier.unmounts,
-            locates: self.locates - earlier.locates,
-            exchange_s: self.exchange_s - earlier.exchange_s,
-            locate_s: self.locate_s - earlier.locate_s,
-            transfer_s: self.transfer_s - earlier.transfer_s,
-            rewind_s: self.rewind_s - earlier.rewind_s,
-            bytes_read: self.bytes_read - earlier.bytes_read,
-            bytes_written: self.bytes_written - earlier.bytes_written,
+            mounts: self.mounts.saturating_sub(earlier.mounts),
+            unmounts: self.unmounts.saturating_sub(earlier.unmounts),
+            locates: self.locates.saturating_sub(earlier.locates),
+            exchange_s: (self.exchange_s - earlier.exchange_s).max(0.0),
+            locate_s: (self.locate_s - earlier.locate_s).max(0.0),
+            transfer_s: (self.transfer_s - earlier.transfer_s).max(0.0),
+            rewind_s: (self.rewind_s - earlier.rewind_s).max(0.0),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
         }
     }
 }
@@ -51,8 +54,9 @@ impl fmt::Display for TapeStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "mounts={} locates={} exchange={:.1}s locate={:.1}s transfer={:.1}s rewind={:.1}s read={}MB written={}MB",
+            "mounts={} unmounts={} locates={} exchange={:.1}s locate={:.1}s transfer={:.1}s rewind={:.1}s read={}MB written={}MB",
             self.mounts,
+            self.unmounts,
             self.locates,
             self.exchange_s,
             self.locate_s,
@@ -95,9 +99,39 @@ mod tests {
         };
         let d = b.since(&a);
         assert_eq!(d.mounts, 2);
+        assert_eq!(d.unmounts, 2);
         assert_eq!(d.locates, 4);
         assert!((d.exchange_s - 25.0).abs() < 1e-9);
         assert_eq!(d.bytes_read, 2 << 20);
         assert_eq!(d.bytes_written, 0);
+    }
+
+    #[test]
+    fn since_saturates_instead_of_underflowing() {
+        let small = TapeStats {
+            mounts: 1,
+            exchange_s: 10.0,
+            ..TapeStats::default()
+        };
+        let big = TapeStats {
+            mounts: 5,
+            exchange_s: 50.0,
+            ..TapeStats::default()
+        };
+        let d = small.since(&big); // wrong order: clamps, no panic/wrap
+        assert_eq!(d.mounts, 0);
+        assert_eq!(d.exchange_s, 0.0);
+    }
+
+    #[test]
+    fn display_includes_unmounts() {
+        let s = TapeStats {
+            mounts: 3,
+            unmounts: 2,
+            ..TapeStats::default()
+        };
+        let shown = format!("{s}");
+        assert!(shown.contains("mounts=3"));
+        assert!(shown.contains("unmounts=2"));
     }
 }

@@ -30,8 +30,7 @@ fn climate_value(global: &Minterval, p: &Point, seed: u64) -> f64 {
         _ => (p.coord(0) as f64, 1, Some(p.coord(3) as f64)),
     };
     let lat_extent = global.axis(lat_axis).extent() as f64;
-    let lat_frac =
-        (p.coord(lat_axis) - global.axis(lat_axis).lo) as f64 / lat_extent.max(1.0);
+    let lat_frac = (p.coord(lat_axis) - global.axis(lat_axis).lo) as f64 / lat_extent.max(1.0);
     // 303 K at the "equator" (middle), colder toward both poles
     let equator_dist = (lat_frac - 0.5).abs() * 2.0;
     let base = 303.0 - 45.0 * equator_dist;
@@ -101,12 +100,7 @@ pub fn cfd_field(domain: Minterval, seed: u64) -> MDArray {
         modes
             .iter()
             .map(|(amp, freqs)| {
-                let phase: f64 = p
-                    .0
-                    .iter()
-                    .zip(freqs)
-                    .map(|(&c, f)| c as f64 * f)
-                    .sum();
+                let phase: f64 = p.0.iter().zip(freqs).map(|(&c, f)| c as f64 * f).sum();
                 amp * phase.sin()
             })
             .sum()

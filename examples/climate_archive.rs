@@ -10,8 +10,8 @@
 //! cargo run --release --example climate_archive
 //! ```
 
-use heaven::arraydb::run;
 use heaven::array::{CellType, Minterval, Tiling};
+use heaven::arraydb::run;
 use heaven::core::{AccessPattern, ClusteringStrategy, ExportMode, HeavenConfig};
 use heaven::tape::DeviceProfile;
 use heaven::workload::climate_field_tile;
@@ -66,11 +66,8 @@ fn main() {
 
     // Analysis 1: seasonal cycle at one location, across all 24 months —
     // the paper's "Schnitt durch mehrere Dateien" example.
-    let rs = run(
-        &mut heaven,
-        "select t[*:*, 30, 60] from era_monthly as t",
-    )
-    .expect("time series query");
+    let rs =
+        run(&mut heaven, "select t[*:*, 30, 60] from era_monthly as t").expect("time series query");
     for (i, r) in rs.iter().enumerate() {
         let series = r.value.as_array().expect("1-D series");
         let jan = series.get_f64(&heaven::array::Point::new(vec![0])).unwrap();
@@ -90,7 +87,10 @@ fn main() {
     )
     .expect("band average");
     for (i, r) in rs.iter().enumerate() {
-        println!("run {i}: tropical-band mean {:.2} K", r.value.as_scalar().unwrap());
+        println!(
+            "run {i}: tropical-band mean {:.2} K",
+            r.value.as_scalar().unwrap()
+        );
     }
 
     let stats = heaven.stats();

@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use heaven::arraydb::run;
 use heaven::array::{CellType, MDArray, Minterval, Tiling};
+use heaven::arraydb::run;
 use heaven::core::{ExportMode, HeavenConfig};
 use heaven::tape::DeviceProfile;
 
@@ -40,13 +40,22 @@ fn main() {
             },
         )
         .expect("insert");
-    println!("inserted object {oid}: domain {}, {} tiles", field.domain(),
-        heaven.arraydb().object(oid).unwrap().tiles.len());
+    println!(
+        "inserted object {oid}: domain {}, {} tiles",
+        field.domain(),
+        heaven.arraydb().object(oid).unwrap().tiles.len()
+    );
 
     // 3. Query while the data is on disk.
-    let rs = run(&mut heaven, "select avg_cells(t[0:49, 0:49]) from temps as t")
-        .expect("query");
-    println!("avg over [0:49,0:49] (disk):   {:.3} K", rs[0].value.as_scalar().unwrap());
+    let rs = run(
+        &mut heaven,
+        "select avg_cells(t[0:49, 0:49]) from temps as t",
+    )
+    .expect("query");
+    println!(
+        "avg over [0:49,0:49] (disk):   {:.3} K",
+        rs[0].value.as_scalar().unwrap()
+    );
 
     // 4. Archive the object to tape with the decoupled TCT export.
     let report = heaven.export_object(oid, ExportMode::Tct).expect("export");
@@ -57,9 +66,15 @@ fn main() {
     heaven.clear_caches();
 
     // 5. The *same* query now runs transparently against tape.
-    let rs = run(&mut heaven, "select avg_cells(t[0:49, 0:49]) from temps as t")
-        .expect("query");
-    println!("avg over [0:49,0:49] (tape):   {:.3} K", rs[0].value.as_scalar().unwrap());
+    let rs = run(
+        &mut heaven,
+        "select avg_cells(t[0:49, 0:49]) from temps as t",
+    )
+    .expect("query");
+    println!(
+        "avg over [0:49,0:49] (tape):   {:.3} K",
+        rs[0].value.as_scalar().unwrap()
+    );
 
     // 6. An Object-Framing query: two regions of interest in one request.
     let rs = run(
@@ -67,7 +82,10 @@ fn main() {
         "select count_cells(t[0:19,0:19 | 180:199,180:199] > 289) from temps as t",
     )
     .expect("framing query");
-    println!("warm cells in two corners:     {}", rs[0].value.as_scalar().unwrap());
+    println!(
+        "warm cells in two corners:     {}",
+        rs[0].value.as_scalar().unwrap()
+    );
 
     println!(
         "\ntape activity: {}\nsimulated time: {:.1} s",

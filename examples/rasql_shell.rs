@@ -9,12 +9,17 @@
 //! heaven> select sat[0:99,0:99 | 400:511,400:511] from sat
 //! heaven> select scale(sat[0:255,0:255], 8) from sat
 //! heaven> select avg_cells(era[*:*,*:*,*:*]) from era as e where oid(e) = 1
+//! heaven> \timing
 //! heaven> \stats
 //! heaven> \quit
 //! ```
+//!
+//! `\timing` toggles the per-query breakdown: after each query the shell
+//! prints where the simulated time went (disk cache, DBMS I/O, tape
+//! exchange/locate/transfer/rewind, shelf).
 
-use heaven::arraydb::{run, Value};
 use heaven::array::{CellType, Minterval, Tiling};
+use heaven::arraydb::{run, Value};
 use heaven::core::{ExportMode, HeavenConfig};
 use heaven::tape::DeviceProfile;
 use heaven::workload::{cfd_field, climate_field, satellite_image};
@@ -39,7 +44,13 @@ fn main() {
     let era = climate_field(Minterval::new(&[(0, 11), (0, 29), (0, 59)]).unwrap(), 1);
     let era_oid = heaven
         .arraydb_mut()
-        .insert_object("era", &era, Tiling::Regular { tile_shape: vec![4, 15, 15] })
+        .insert_object(
+            "era",
+            &era,
+            Tiling::Regular {
+                tile_shape: vec![4, 15, 15],
+            },
+        )
         .unwrap();
 
     // sat: one 512x512 vegetation-index scene
@@ -50,7 +61,13 @@ fn main() {
     let sat = satellite_image(Minterval::new(&[(0, 511), (0, 511)]).unwrap(), 2);
     let sat_oid = heaven
         .arraydb_mut()
-        .insert_object("sat", &sat, Tiling::Regular { tile_shape: vec![128, 128] })
+        .insert_object(
+            "sat",
+            &sat,
+            Tiling::Regular {
+                tile_shape: vec![128, 128],
+            },
+        )
         .unwrap();
 
     // cfd: a 64^3 turbulence field (kept on disk — mixed hierarchy)
@@ -61,7 +78,13 @@ fn main() {
     let cfd = cfd_field(Minterval::new(&[(0, 63), (0, 63), (0, 63)]).unwrap(), 3);
     heaven
         .arraydb_mut()
-        .insert_object("cfd", &cfd, Tiling::Regular { tile_shape: vec![32, 32, 32] })
+        .insert_object(
+            "cfd",
+            &cfd,
+            Tiling::Regular {
+                tile_shape: vec![32, 32, 32],
+            },
+        )
         .unwrap();
 
     // archive era + sat to tape; cfd stays on disk
@@ -71,11 +94,12 @@ fn main() {
     heaven.clear_caches();
     println!(
         "collections: era (3-D, archived), sat (2-D, archived), cfd (3-D, on disk)\n\
-         commands: \\stats, \\collections, \\quit\n"
+         commands: \\timing, \\stats, \\collections, \\quit\n"
     );
 
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
+    let mut timing = false;
     loop {
         print!("heaven> ");
         out.flush().ok();
@@ -87,6 +111,11 @@ fn main() {
         match line {
             "" => continue,
             "\\quit" | "\\q" | "exit" => break,
+            "\\timing" => {
+                timing = !timing;
+                println!("per-query breakdown {}", if timing { "on" } else { "off" });
+                continue;
+            }
             "\\stats" => {
                 println!(
                     "tape: {}\nst-cache hit ratio: {:.2}  tile-cache hit ratio: {:.2}\nsimulated time: {:.1} s",
@@ -128,6 +157,11 @@ fn main() {
                     }
                 }
                 println!("({} result(s), {dt:.1} simulated s)", results.len());
+                if timing {
+                    if let Some(b) = heaven.last_query_breakdown() {
+                        println!("{b}");
+                    }
+                }
             }
             Err(e) => println!("error: {e}"),
         }

@@ -9,8 +9,8 @@
 //! cargo run --release --example satellite_eoweb
 //! ```
 
-use heaven::arraydb::run;
 use heaven::array::{CellType, Condenser, Minterval, Tiling};
+use heaven::arraydb::run;
 use heaven::core::{ExportMode, HeavenConfig};
 use heaven::tape::DeviceProfile;
 use heaven::workload::satellite_image;
@@ -50,7 +50,10 @@ fn main() {
     let oids = heaven.arraydb().object_ids();
     for &oid in &oids {
         let rep = heaven.export_object(oid, ExportMode::Tct).expect("export");
-        println!("archived scene {oid}: {} super-tiles on media {:?}", rep.supertiles, rep.media);
+        println!(
+            "archived scene {oid}: {} super-tiles on media {:?}",
+            rep.supertiles, rep.media
+        );
     }
     heaven.clear_caches();
 
@@ -63,7 +66,10 @@ fn main() {
     )
     .expect("catalog stats");
     for (i, r) in rs.iter().enumerate() {
-        println!("scene {i}: mean NDVI {:.1} (0-255 scale)", r.value.as_scalar().unwrap());
+        println!(
+            "scene {i}: mean NDVI {:.1} (0-255 scale)",
+            r.value.as_scalar().unwrap()
+        );
     }
     assert_eq!(
         heaven.tape_stats().bytes_read,

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The local CI gate: formatting, lints, the tier-1 release build, and the
+# full workspace test suite. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings denied)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "CI gate passed."

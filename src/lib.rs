@@ -18,6 +18,8 @@
 //! * [`arraydb`] — the array DBMS with the RasQL-subset query language;
 //! * [`core`] — HEAVEN itself (super-tiles, STAR/eSTAR, export, caching,
 //!   scheduling, maintenance, precomputation);
+//! * [`obs`] — simulated-time tracing, the unified metrics registry and
+//!   per-query breakdowns;
 //! * [`workload`] — synthetic data and query generators.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
@@ -26,6 +28,7 @@ pub use heaven_array as array;
 pub use heaven_arraydb as arraydb;
 pub use heaven_core as core;
 pub use heaven_hsm as hsm;
+pub use heaven_obs as obs;
 pub use heaven_rdbms as rdbms;
 pub use heaven_tape as tape;
 pub use heaven_workload as workload;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/array_ops-a6692cadd5643a05.d: crates/bench/benches/array_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarray_ops-a6692cadd5643a05.rmeta: crates/bench/benches/array_ops.rs Cargo.toml
+
+crates/bench/benches/array_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batch_and_export-066ad9f92335fe07.d: crates/core/tests/batch_and_export.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatch_and_export-066ad9f92335fe07.rmeta: crates/core/tests/batch_and_export.rs Cargo.toml
+
+crates/core/tests/batch_and_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_and_export-9aacc7df06de260f.d: crates/core/tests/batch_and_export.rs
+
+/root/repo/target/debug/deps/batch_and_export-9aacc7df06de260f: crates/core/tests/batch_and_export.rs
+
+crates/core/tests/batch_and_export.rs:

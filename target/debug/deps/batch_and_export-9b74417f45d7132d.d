@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_and_export-9b74417f45d7132d.d: crates/core/tests/batch_and_export.rs
+
+/root/repo/target/debug/deps/batch_and_export-9b74417f45d7132d: crates/core/tests/batch_and_export.rs
+
+crates/core/tests/batch_and_export.rs:

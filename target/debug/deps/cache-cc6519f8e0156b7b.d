@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache-cc6519f8e0156b7b.d: crates/bench/benches/cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache-cc6519f8e0156b7b.rmeta: crates/bench/benches/cache.rs Cargo.toml
+
+crates/bench/benches/cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

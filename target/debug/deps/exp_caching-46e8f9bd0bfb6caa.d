@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_caching-46e8f9bd0bfb6caa.d: crates/bench/src/bin/exp_caching.rs
+
+/root/repo/target/debug/deps/exp_caching-46e8f9bd0bfb6caa: crates/bench/src/bin/exp_caching.rs
+
+crates/bench/src/bin/exp_caching.rs:

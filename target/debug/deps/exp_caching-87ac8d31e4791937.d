@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_caching-87ac8d31e4791937.d: crates/bench/src/bin/exp_caching.rs
+
+/root/repo/target/debug/deps/exp_caching-87ac8d31e4791937: crates/bench/src/bin/exp_caching.rs
+
+crates/bench/src/bin/exp_caching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_caching-ae5f24cae42dcac3.d: crates/bench/src/bin/exp_caching.rs
+
+/root/repo/target/debug/deps/exp_caching-ae5f24cae42dcac3: crates/bench/src/bin/exp_caching.rs
+
+crates/bench/src/bin/exp_caching.rs:

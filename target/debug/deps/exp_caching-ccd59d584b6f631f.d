@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_caching-ccd59d584b6f631f.d: crates/bench/src/bin/exp_caching.rs
+
+/root/repo/target/debug/deps/exp_caching-ccd59d584b6f631f: crates/bench/src/bin/exp_caching.rs
+
+crates/bench/src/bin/exp_caching.rs:

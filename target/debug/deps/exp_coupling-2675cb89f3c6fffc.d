@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_coupling-2675cb89f3c6fffc.d: crates/bench/src/bin/exp_coupling.rs
+
+/root/repo/target/debug/deps/exp_coupling-2675cb89f3c6fffc: crates/bench/src/bin/exp_coupling.rs
+
+crates/bench/src/bin/exp_coupling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_coupling-3cf2e2de193ee416.d: crates/bench/src/bin/exp_coupling.rs
+
+/root/repo/target/debug/deps/exp_coupling-3cf2e2de193ee416: crates/bench/src/bin/exp_coupling.rs
+
+crates/bench/src/bin/exp_coupling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_coupling-e79302fdae0f4af5.d: crates/bench/src/bin/exp_coupling.rs
+
+/root/repo/target/debug/deps/exp_coupling-e79302fdae0f4af5: crates/bench/src/bin/exp_coupling.rs
+
+crates/bench/src/bin/exp_coupling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_coupling-e8ece4cf5868d854.d: crates/bench/src/bin/exp_coupling.rs
+
+/root/repo/target/debug/deps/exp_coupling-e8ece4cf5868d854: crates/bench/src/bin/exp_coupling.rs
+
+crates/bench/src/bin/exp_coupling.rs:

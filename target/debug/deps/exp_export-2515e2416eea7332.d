@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_export-2515e2416eea7332.d: crates/bench/src/bin/exp_export.rs
+
+/root/repo/target/debug/deps/exp_export-2515e2416eea7332: crates/bench/src/bin/exp_export.rs
+
+crates/bench/src/bin/exp_export.rs:

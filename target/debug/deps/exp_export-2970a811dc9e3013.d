@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_export-2970a811dc9e3013.d: crates/bench/src/bin/exp_export.rs
+
+/root/repo/target/debug/deps/exp_export-2970a811dc9e3013: crates/bench/src/bin/exp_export.rs
+
+crates/bench/src/bin/exp_export.rs:

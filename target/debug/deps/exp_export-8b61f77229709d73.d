@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_export-8b61f77229709d73.d: crates/bench/src/bin/exp_export.rs
+
+/root/repo/target/debug/deps/exp_export-8b61f77229709d73: crates/bench/src/bin/exp_export.rs
+
+crates/bench/src/bin/exp_export.rs:

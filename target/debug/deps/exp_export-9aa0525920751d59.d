@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_export-9aa0525920751d59.d: crates/bench/src/bin/exp_export.rs
+
+/root/repo/target/debug/deps/exp_export-9aa0525920751d59: crates/bench/src/bin/exp_export.rs
+
+crates/bench/src/bin/exp_export.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_framing-2fb1813dbaa1a5e9.d: crates/bench/src/bin/exp_framing.rs
+
+/root/repo/target/debug/deps/exp_framing-2fb1813dbaa1a5e9: crates/bench/src/bin/exp_framing.rs
+
+crates/bench/src/bin/exp_framing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_framing-38b092cb7c0c588a.d: crates/bench/src/bin/exp_framing.rs
+
+/root/repo/target/debug/deps/exp_framing-38b092cb7c0c588a: crates/bench/src/bin/exp_framing.rs
+
+crates/bench/src/bin/exp_framing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_framing-d1eedc49d71f839c.d: crates/bench/src/bin/exp_framing.rs
+
+/root/repo/target/debug/deps/exp_framing-d1eedc49d71f839c: crates/bench/src/bin/exp_framing.rs
+
+crates/bench/src/bin/exp_framing.rs:

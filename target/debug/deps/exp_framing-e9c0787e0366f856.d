@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_framing-e9c0787e0366f856.d: crates/bench/src/bin/exp_framing.rs
+
+/root/repo/target/debug/deps/exp_framing-e9c0787e0366f856: crates/bench/src/bin/exp_framing.rs
+
+crates/bench/src/bin/exp_framing.rs:

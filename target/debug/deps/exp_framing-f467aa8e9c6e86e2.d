@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_framing-f467aa8e9c6e86e2.d: crates/bench/src/bin/exp_framing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_framing-f467aa8e9c6e86e2.rmeta: crates/bench/src/bin/exp_framing.rs Cargo.toml
+
+crates/bench/src/bin/exp_framing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

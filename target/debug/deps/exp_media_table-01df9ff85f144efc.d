@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_media_table-01df9ff85f144efc.d: crates/bench/src/bin/exp_media_table.rs
+
+/root/repo/target/debug/deps/exp_media_table-01df9ff85f144efc: crates/bench/src/bin/exp_media_table.rs
+
+crates/bench/src/bin/exp_media_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_media_table-220e7e63d22492d7.d: crates/bench/src/bin/exp_media_table.rs
+
+/root/repo/target/debug/deps/exp_media_table-220e7e63d22492d7: crates/bench/src/bin/exp_media_table.rs
+
+crates/bench/src/bin/exp_media_table.rs:

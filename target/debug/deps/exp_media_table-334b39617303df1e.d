@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_media_table-334b39617303df1e.d: crates/bench/src/bin/exp_media_table.rs
+
+/root/repo/target/debug/deps/exp_media_table-334b39617303df1e: crates/bench/src/bin/exp_media_table.rs
+
+crates/bench/src/bin/exp_media_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_media_table-e41ef618e944c941.d: crates/bench/src/bin/exp_media_table.rs
+
+/root/repo/target/debug/deps/exp_media_table-e41ef618e944c941: crates/bench/src/bin/exp_media_table.rs
+
+crates/bench/src/bin/exp_media_table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_media_table-fd3028bab9fd9f4c.d: crates/bench/src/bin/exp_media_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_media_table-fd3028bab9fd9f4c.rmeta: crates/bench/src/bin/exp_media_table.rs Cargo.toml
+
+crates/bench/src/bin/exp_media_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_precomp-24ab9fa642170f96.d: crates/bench/src/bin/exp_precomp.rs
+
+/root/repo/target/debug/deps/exp_precomp-24ab9fa642170f96: crates/bench/src/bin/exp_precomp.rs
+
+crates/bench/src/bin/exp_precomp.rs:

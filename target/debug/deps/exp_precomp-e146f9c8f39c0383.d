@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_precomp-e146f9c8f39c0383.d: crates/bench/src/bin/exp_precomp.rs
+
+/root/repo/target/debug/deps/exp_precomp-e146f9c8f39c0383: crates/bench/src/bin/exp_precomp.rs
+
+crates/bench/src/bin/exp_precomp.rs:

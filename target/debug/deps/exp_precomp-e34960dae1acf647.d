@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_precomp-e34960dae1acf647.d: crates/bench/src/bin/exp_precomp.rs
+
+/root/repo/target/debug/deps/exp_precomp-e34960dae1acf647: crates/bench/src/bin/exp_precomp.rs
+
+crates/bench/src/bin/exp_precomp.rs:

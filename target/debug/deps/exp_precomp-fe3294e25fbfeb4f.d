@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_precomp-fe3294e25fbfeb4f.d: crates/bench/src/bin/exp_precomp.rs
+
+/root/repo/target/debug/deps/exp_precomp-fe3294e25fbfeb4f: crates/bench/src/bin/exp_precomp.rs
+
+crates/bench/src/bin/exp_precomp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_prefetch-00390668b7815784.d: crates/bench/src/bin/exp_prefetch.rs
+
+/root/repo/target/debug/deps/exp_prefetch-00390668b7815784: crates/bench/src/bin/exp_prefetch.rs
+
+crates/bench/src/bin/exp_prefetch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_prefetch-0170312cadef5a64.d: crates/bench/src/bin/exp_prefetch.rs
+
+/root/repo/target/debug/deps/exp_prefetch-0170312cadef5a64: crates/bench/src/bin/exp_prefetch.rs
+
+crates/bench/src/bin/exp_prefetch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_prefetch-1177cfa174cde8ec.d: crates/bench/src/bin/exp_prefetch.rs
+
+/root/repo/target/debug/deps/exp_prefetch-1177cfa174cde8ec: crates/bench/src/bin/exp_prefetch.rs
+
+crates/bench/src/bin/exp_prefetch.rs:

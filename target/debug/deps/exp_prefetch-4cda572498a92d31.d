@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_prefetch-4cda572498a92d31.d: crates/bench/src/bin/exp_prefetch.rs
+
+/root/repo/target/debug/deps/exp_prefetch-4cda572498a92d31: crates/bench/src/bin/exp_prefetch.rs
+
+crates/bench/src/bin/exp_prefetch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_prefetch-edb7dafeca66f041.d: crates/bench/src/bin/exp_prefetch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_prefetch-edb7dafeca66f041.rmeta: crates/bench/src/bin/exp_prefetch.rs Cargo.toml
+
+crates/bench/src/bin/exp_prefetch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

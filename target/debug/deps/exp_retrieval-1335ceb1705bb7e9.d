@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_retrieval-1335ceb1705bb7e9.d: crates/bench/src/bin/exp_retrieval.rs
+
+/root/repo/target/debug/deps/exp_retrieval-1335ceb1705bb7e9: crates/bench/src/bin/exp_retrieval.rs
+
+crates/bench/src/bin/exp_retrieval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_retrieval-7740922c7c93a17a.d: crates/bench/src/bin/exp_retrieval.rs
+
+/root/repo/target/debug/deps/exp_retrieval-7740922c7c93a17a: crates/bench/src/bin/exp_retrieval.rs
+
+crates/bench/src/bin/exp_retrieval.rs:

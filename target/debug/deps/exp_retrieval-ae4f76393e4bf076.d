@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_retrieval-ae4f76393e4bf076.d: crates/bench/src/bin/exp_retrieval.rs
+
+/root/repo/target/debug/deps/exp_retrieval-ae4f76393e4bf076: crates/bench/src/bin/exp_retrieval.rs
+
+crates/bench/src/bin/exp_retrieval.rs:

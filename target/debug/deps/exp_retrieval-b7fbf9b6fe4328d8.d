@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_retrieval-b7fbf9b6fe4328d8.d: crates/bench/src/bin/exp_retrieval.rs
+
+/root/repo/target/debug/deps/exp_retrieval-b7fbf9b6fe4328d8: crates/bench/src/bin/exp_retrieval.rs
+
+crates/bench/src/bin/exp_retrieval.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_scheduling-7c447f538cf375a1.d: crates/bench/src/bin/exp_scheduling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_scheduling-7c447f538cf375a1.rmeta: crates/bench/src/bin/exp_scheduling.rs Cargo.toml
+
+crates/bench/src/bin/exp_scheduling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_scheduling-7dabcfff0eccd98d.d: crates/bench/src/bin/exp_scheduling.rs
+
+/root/repo/target/debug/deps/exp_scheduling-7dabcfff0eccd98d: crates/bench/src/bin/exp_scheduling.rs
+
+crates/bench/src/bin/exp_scheduling.rs:

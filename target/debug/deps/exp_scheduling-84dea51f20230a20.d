@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_scheduling-84dea51f20230a20.d: crates/bench/src/bin/exp_scheduling.rs
+
+/root/repo/target/debug/deps/exp_scheduling-84dea51f20230a20: crates/bench/src/bin/exp_scheduling.rs
+
+crates/bench/src/bin/exp_scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_scheduling-a7f45830f3c71c48.d: crates/bench/src/bin/exp_scheduling.rs
+
+/root/repo/target/debug/deps/exp_scheduling-a7f45830f3c71c48: crates/bench/src/bin/exp_scheduling.rs
+
+crates/bench/src/bin/exp_scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_scheduling-fa7ebeceb5f8923b.d: crates/bench/src/bin/exp_scheduling.rs
+
+/root/repo/target/debug/deps/exp_scheduling-fa7ebeceb5f8923b: crates/bench/src/bin/exp_scheduling.rs
+
+crates/bench/src/bin/exp_scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_star_vs_estar-247ed24c57d3d045.d: crates/bench/src/bin/exp_star_vs_estar.rs
+
+/root/repo/target/debug/deps/exp_star_vs_estar-247ed24c57d3d045: crates/bench/src/bin/exp_star_vs_estar.rs
+
+crates/bench/src/bin/exp_star_vs_estar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_star_vs_estar-33562dd93d78b082.d: crates/bench/src/bin/exp_star_vs_estar.rs
+
+/root/repo/target/debug/deps/exp_star_vs_estar-33562dd93d78b082: crates/bench/src/bin/exp_star_vs_estar.rs
+
+crates/bench/src/bin/exp_star_vs_estar.rs:

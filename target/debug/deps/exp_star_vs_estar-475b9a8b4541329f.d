@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_star_vs_estar-475b9a8b4541329f.d: crates/bench/src/bin/exp_star_vs_estar.rs
+
+/root/repo/target/debug/deps/exp_star_vs_estar-475b9a8b4541329f: crates/bench/src/bin/exp_star_vs_estar.rs
+
+crates/bench/src/bin/exp_star_vs_estar.rs:

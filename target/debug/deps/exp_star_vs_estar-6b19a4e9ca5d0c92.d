@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_star_vs_estar-6b19a4e9ca5d0c92.d: crates/bench/src/bin/exp_star_vs_estar.rs
+
+/root/repo/target/debug/deps/exp_star_vs_estar-6b19a4e9ca5d0c92: crates/bench/src/bin/exp_star_vs_estar.rs
+
+crates/bench/src/bin/exp_star_vs_estar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_supertile_size-17b6377dfe2d9cb9.d: crates/bench/src/bin/exp_supertile_size.rs
+
+/root/repo/target/debug/deps/exp_supertile_size-17b6377dfe2d9cb9: crates/bench/src/bin/exp_supertile_size.rs
+
+crates/bench/src/bin/exp_supertile_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_supertile_size-769def9a54e4b69a.d: crates/bench/src/bin/exp_supertile_size.rs
+
+/root/repo/target/debug/deps/exp_supertile_size-769def9a54e4b69a: crates/bench/src/bin/exp_supertile_size.rs
+
+crates/bench/src/bin/exp_supertile_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_supertile_size-9d42e1a1ec6a6557.d: crates/bench/src/bin/exp_supertile_size.rs
+
+/root/repo/target/debug/deps/exp_supertile_size-9d42e1a1ec6a6557: crates/bench/src/bin/exp_supertile_size.rs
+
+crates/bench/src/bin/exp_supertile_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_supertile_size-c5f90bcd748c5fe8.d: crates/bench/src/bin/exp_supertile_size.rs
+
+/root/repo/target/debug/deps/exp_supertile_size-c5f90bcd748c5fe8: crates/bench/src/bin/exp_supertile_size.rs
+
+crates/bench/src/bin/exp_supertile_size.rs:

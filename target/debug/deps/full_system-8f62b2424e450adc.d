@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_system-8f62b2424e450adc.d: tests/full_system.rs
+
+/root/repo/target/debug/deps/full_system-8f62b2424e450adc: tests/full_system.rs
+
+tests/full_system.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_system-a5e5d88f97812595.d: tests/full_system.rs
+
+/root/repo/target/debug/deps/full_system-a5e5d88f97812595: tests/full_system.rs
+
+tests/full_system.rs:

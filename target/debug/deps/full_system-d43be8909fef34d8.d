@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_system-d43be8909fef34d8.d: tests/full_system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_system-d43be8909fef34d8.rmeta: tests/full_system.rs Cargo.toml
+
+tests/full_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

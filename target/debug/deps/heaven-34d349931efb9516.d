@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heaven-34d349931efb9516.d: src/lib.rs
+
+/root/repo/target/debug/deps/heaven-34d349931efb9516: src/lib.rs
+
+src/lib.rs:

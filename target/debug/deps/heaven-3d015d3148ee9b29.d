@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/heaven-3d015d3148ee9b29.d: src/lib.rs
+
+/root/repo/target/debug/deps/libheaven-3d015d3148ee9b29.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libheaven-3d015d3148ee9b29.rmeta: src/lib.rs
+
+src/lib.rs:

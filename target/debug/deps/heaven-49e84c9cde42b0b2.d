@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/heaven-49e84c9cde42b0b2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libheaven-49e84c9cde42b0b2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libheaven-49e84c9cde42b0b2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heaven-97a5845f0c15c4ed.d: src/lib.rs
+
+/root/repo/target/debug/deps/heaven-97a5845f0c15c4ed: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/heaven-d4b07206fae753a1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libheaven-d4b07206fae753a1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libheaven-d4b07206fae753a1.rmeta: src/lib.rs
+
+src/lib.rs:

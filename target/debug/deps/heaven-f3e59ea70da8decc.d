@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heaven-f3e59ea70da8decc.d: src/lib.rs
+
+/root/repo/target/debug/deps/heaven-f3e59ea70da8decc: src/lib.rs
+
+src/lib.rs:

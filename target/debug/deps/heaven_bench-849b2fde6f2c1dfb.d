@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/heaven_bench-849b2fde6f2c1dfb.d: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/heaven_bench-849b2fde6f2c1dfb: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/phantom.rs:
+crates/bench/src/table.rs:

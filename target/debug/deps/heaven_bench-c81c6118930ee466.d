@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heaven_bench-c81c6118930ee466.d: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libheaven_bench-c81c6118930ee466.rlib: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libheaven_bench-c81c6118930ee466.rmeta: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/phantom.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heaven_bench-f02c94a4a309ae82.d: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libheaven_bench-f02c94a4a309ae82.rlib: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libheaven_bench-f02c94a4a309ae82.rmeta: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/phantom.rs:
+crates/bench/src/table.rs:

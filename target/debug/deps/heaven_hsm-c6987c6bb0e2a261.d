@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/heaven_hsm-c6987c6bb0e2a261.d: crates/hsm/src/lib.rs crates/hsm/src/catalog.rs crates/hsm/src/direct.rs crates/hsm/src/disk.rs crates/hsm/src/error.rs crates/hsm/src/hsm.rs crates/hsm/src/policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheaven_hsm-c6987c6bb0e2a261.rmeta: crates/hsm/src/lib.rs crates/hsm/src/catalog.rs crates/hsm/src/direct.rs crates/hsm/src/disk.rs crates/hsm/src/error.rs crates/hsm/src/hsm.rs crates/hsm/src/policy.rs Cargo.toml
+
+crates/hsm/src/lib.rs:
+crates/hsm/src/catalog.rs:
+crates/hsm/src/direct.rs:
+crates/hsm/src/disk.rs:
+crates/hsm/src/error.rs:
+crates/hsm/src/hsm.rs:
+crates/hsm/src/policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heaven_roundtrip-6af71d640373e979.d: crates/core/tests/heaven_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheaven_roundtrip-6af71d640373e979.rmeta: crates/core/tests/heaven_roundtrip.rs Cargo.toml
+
+crates/core/tests/heaven_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

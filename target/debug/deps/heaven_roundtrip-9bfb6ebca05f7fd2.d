@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heaven_roundtrip-9bfb6ebca05f7fd2.d: crates/core/tests/heaven_roundtrip.rs
+
+/root/repo/target/debug/deps/heaven_roundtrip-9bfb6ebca05f7fd2: crates/core/tests/heaven_roundtrip.rs
+
+crates/core/tests/heaven_roundtrip.rs:

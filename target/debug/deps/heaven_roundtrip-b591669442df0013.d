@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heaven_roundtrip-b591669442df0013.d: crates/core/tests/heaven_roundtrip.rs
+
+/root/repo/target/debug/deps/heaven_roundtrip-b591669442df0013: crates/core/tests/heaven_roundtrip.rs
+
+crates/core/tests/heaven_roundtrip.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/heaven_workload-2f7485493b57c8b2.d: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs
+
+/root/repo/target/debug/deps/heaven_workload-2f7485493b57c8b2: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/data.rs:
+crates/workload/src/queries.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heaven_workload-5da6a706438de6c8.d: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs
+
+/root/repo/target/debug/deps/libheaven_workload-5da6a706438de6c8.rlib: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs
+
+/root/repo/target/debug/deps/libheaven_workload-5da6a706438de6c8.rmeta: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/data.rs:
+crates/workload/src/queries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_trace-ac6c680b747d1e44.d: tests/obs_trace.rs
+
+/root/repo/target/debug/deps/obs_trace-ac6c680b747d1e44: tests/obs_trace.rs
+
+tests/obs_trace.rs:

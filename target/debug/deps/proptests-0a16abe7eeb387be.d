@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-0a16abe7eeb387be.d: crates/rdbms/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-0a16abe7eeb387be.rmeta: crates/rdbms/tests/proptests.rs Cargo.toml
+
+crates/rdbms/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

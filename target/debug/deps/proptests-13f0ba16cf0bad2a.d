@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-13f0ba16cf0bad2a.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-13f0ba16cf0bad2a: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-2a3c14c5b72c6805.d: crates/array/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-2a3c14c5b72c6805: crates/array/tests/proptests.rs
+
+crates/array/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-51f09a271cf8b599.d: crates/hsm/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-51f09a271cf8b599.rmeta: crates/hsm/tests/proptests.rs Cargo.toml
+
+crates/hsm/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

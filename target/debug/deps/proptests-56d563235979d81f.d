@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-56d563235979d81f.d: crates/hsm/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-56d563235979d81f: crates/hsm/tests/proptests.rs
+
+crates/hsm/tests/proptests.rs:

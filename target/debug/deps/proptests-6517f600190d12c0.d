@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6517f600190d12c0.d: crates/rdbms/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6517f600190d12c0: crates/rdbms/tests/proptests.rs
+
+crates/rdbms/tests/proptests.rs:

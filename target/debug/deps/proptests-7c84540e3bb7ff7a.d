@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-7c84540e3bb7ff7a.d: crates/array/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-7c84540e3bb7ff7a.rmeta: crates/array/tests/proptests.rs Cargo.toml
+
+crates/array/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9fc42eeb23d11fc6.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9fc42eeb23d11fc6: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c53367fb1636c43e.d: crates/rdbms/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c53367fb1636c43e: crates/rdbms/tests/proptests.rs
+
+crates/rdbms/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f9a5b313ee8357ba.d: crates/hsm/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f9a5b313ee8357ba: crates/hsm/tests/proptests.rs
+
+crates/hsm/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ql_differential-9e4d0e4d82a2086e.d: crates/arraydb/tests/ql_differential.rs
+
+/root/repo/target/debug/deps/ql_differential-9e4d0e4d82a2086e: crates/arraydb/tests/ql_differential.rs
+
+crates/arraydb/tests/ql_differential.rs:

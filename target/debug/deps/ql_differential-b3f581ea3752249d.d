@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ql_differential-b3f581ea3752249d.d: crates/arraydb/tests/ql_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libql_differential-b3f581ea3752249d.rmeta: crates/arraydb/tests/ql_differential.rs Cargo.toml
+
+crates/arraydb/tests/ql_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

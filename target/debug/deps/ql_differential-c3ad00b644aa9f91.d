@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ql_differential-c3ad00b644aa9f91.d: crates/arraydb/tests/ql_differential.rs
+
+/root/repo/target/debug/deps/ql_differential-c3ad00b644aa9f91: crates/arraydb/tests/ql_differential.rs
+
+crates/arraydb/tests/ql_differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduler-4a8c971acd87d971.d: crates/bench/benches/scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler-4a8c971acd87d971.rmeta: crates/bench/benches/scheduler.rs Cargo.toml
+
+crates/bench/benches/scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/archive_maintenance-3cdae80163a48738.d: examples/archive_maintenance.rs
+
+/root/repo/target/debug/examples/archive_maintenance-3cdae80163a48738: examples/archive_maintenance.rs
+
+examples/archive_maintenance.rs:

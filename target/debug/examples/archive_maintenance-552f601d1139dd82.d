@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/archive_maintenance-552f601d1139dd82.d: examples/archive_maintenance.rs
+
+/root/repo/target/debug/examples/archive_maintenance-552f601d1139dd82: examples/archive_maintenance.rs
+
+examples/archive_maintenance.rs:

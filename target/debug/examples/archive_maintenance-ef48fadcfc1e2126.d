@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/archive_maintenance-ef48fadcfc1e2126.d: examples/archive_maintenance.rs
+
+/root/repo/target/debug/examples/archive_maintenance-ef48fadcfc1e2126: examples/archive_maintenance.rs
+
+examples/archive_maintenance.rs:

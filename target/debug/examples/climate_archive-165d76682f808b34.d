@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/climate_archive-165d76682f808b34.d: examples/climate_archive.rs
+
+/root/repo/target/debug/examples/climate_archive-165d76682f808b34: examples/climate_archive.rs
+
+examples/climate_archive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/climate_archive-4e5118433937b25e.d: examples/climate_archive.rs
+
+/root/repo/target/debug/examples/climate_archive-4e5118433937b25e: examples/climate_archive.rs
+
+examples/climate_archive.rs:

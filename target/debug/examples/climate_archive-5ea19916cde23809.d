@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/climate_archive-5ea19916cde23809.d: examples/climate_archive.rs Cargo.toml
+
+/root/repo/target/debug/examples/libclimate_archive-5ea19916cde23809.rmeta: examples/climate_archive.rs Cargo.toml
+
+examples/climate_archive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/climate_archive-c8d850b66ec39a3b.d: examples/climate_archive.rs
+
+/root/repo/target/debug/examples/climate_archive-c8d850b66ec39a3b: examples/climate_archive.rs
+
+examples/climate_archive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-22ad80f276c7ba3b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-22ad80f276c7ba3b: examples/quickstart.rs
+
+examples/quickstart.rs:

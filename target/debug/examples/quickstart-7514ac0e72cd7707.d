@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7514ac0e72cd7707.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7514ac0e72cd7707: examples/quickstart.rs
+
+examples/quickstart.rs:

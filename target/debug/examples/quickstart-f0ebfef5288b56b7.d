@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f0ebfef5288b56b7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f0ebfef5288b56b7: examples/quickstart.rs
+
+examples/quickstart.rs:

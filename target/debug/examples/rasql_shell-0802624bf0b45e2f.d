@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rasql_shell-0802624bf0b45e2f.d: examples/rasql_shell.rs
+
+/root/repo/target/debug/examples/rasql_shell-0802624bf0b45e2f: examples/rasql_shell.rs
+
+examples/rasql_shell.rs:

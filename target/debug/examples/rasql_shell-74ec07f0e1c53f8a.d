@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rasql_shell-74ec07f0e1c53f8a.d: examples/rasql_shell.rs
+
+/root/repo/target/debug/examples/rasql_shell-74ec07f0e1c53f8a: examples/rasql_shell.rs
+
+examples/rasql_shell.rs:

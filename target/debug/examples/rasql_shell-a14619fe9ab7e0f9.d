@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rasql_shell-a14619fe9ab7e0f9.d: examples/rasql_shell.rs Cargo.toml
+
+/root/repo/target/debug/examples/librasql_shell-a14619fe9ab7e0f9.rmeta: examples/rasql_shell.rs Cargo.toml
+
+examples/rasql_shell.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rasql_shell-a7f52e1fcf6ad8e9.d: examples/rasql_shell.rs
+
+/root/repo/target/debug/examples/rasql_shell-a7f52e1fcf6ad8e9: examples/rasql_shell.rs
+
+examples/rasql_shell.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/satellite_eoweb-0d0fd060046853cb.d: examples/satellite_eoweb.rs
+
+/root/repo/target/debug/examples/satellite_eoweb-0d0fd060046853cb: examples/satellite_eoweb.rs
+
+examples/satellite_eoweb.rs:

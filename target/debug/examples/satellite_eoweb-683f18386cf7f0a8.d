@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/satellite_eoweb-683f18386cf7f0a8.d: examples/satellite_eoweb.rs
+
+/root/repo/target/debug/examples/satellite_eoweb-683f18386cf7f0a8: examples/satellite_eoweb.rs
+
+examples/satellite_eoweb.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/satellite_eoweb-d156270d3ca02445.d: examples/satellite_eoweb.rs
+
+/root/repo/target/debug/examples/satellite_eoweb-d156270d3ca02445: examples/satellite_eoweb.rs
+
+examples/satellite_eoweb.rs:

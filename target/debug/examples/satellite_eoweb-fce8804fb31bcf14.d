@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/satellite_eoweb-fce8804fb31bcf14.d: examples/satellite_eoweb.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsatellite_eoweb-fce8804fb31bcf14.rmeta: examples/satellite_eoweb.rs Cargo.toml
+
+examples/satellite_eoweb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_media_table-81e841f1cab31aba.d: crates/bench/src/bin/exp_media_table.rs
+
+/root/repo/target/release/deps/exp_media_table-81e841f1cab31aba: crates/bench/src/bin/exp_media_table.rs
+
+crates/bench/src/bin/exp_media_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_scheduling-4e28944cd9b32f4f.d: crates/bench/src/bin/exp_scheduling.rs
+
+/root/repo/target/release/deps/exp_scheduling-4e28944cd9b32f4f: crates/bench/src/bin/exp_scheduling.rs
+
+crates/bench/src/bin/exp_scheduling.rs:

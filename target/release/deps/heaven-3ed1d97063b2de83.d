@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/heaven-3ed1d97063b2de83.d: src/lib.rs
+
+/root/repo/target/release/deps/libheaven-3ed1d97063b2de83.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libheaven-3ed1d97063b2de83.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/heaven-d9e12a0c49968d87.d: src/lib.rs
+
+/root/repo/target/release/deps/libheaven-d9e12a0c49968d87.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libheaven-d9e12a0c49968d87.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/heaven_array-a7d8af60a05fa1e5.d: crates/array/src/lib.rs crates/array/src/codec.rs crates/array/src/domain.rs crates/array/src/error.rs crates/array/src/frame.rs crates/array/src/index.rs crates/array/src/mdd.rs crates/array/src/ops.rs crates/array/src/order.rs crates/array/src/tile.rs crates/array/src/tiling.rs crates/array/src/value.rs
+
+/root/repo/target/release/deps/libheaven_array-a7d8af60a05fa1e5.rlib: crates/array/src/lib.rs crates/array/src/codec.rs crates/array/src/domain.rs crates/array/src/error.rs crates/array/src/frame.rs crates/array/src/index.rs crates/array/src/mdd.rs crates/array/src/ops.rs crates/array/src/order.rs crates/array/src/tile.rs crates/array/src/tiling.rs crates/array/src/value.rs
+
+/root/repo/target/release/deps/libheaven_array-a7d8af60a05fa1e5.rmeta: crates/array/src/lib.rs crates/array/src/codec.rs crates/array/src/domain.rs crates/array/src/error.rs crates/array/src/frame.rs crates/array/src/index.rs crates/array/src/mdd.rs crates/array/src/ops.rs crates/array/src/order.rs crates/array/src/tile.rs crates/array/src/tiling.rs crates/array/src/value.rs
+
+crates/array/src/lib.rs:
+crates/array/src/codec.rs:
+crates/array/src/domain.rs:
+crates/array/src/error.rs:
+crates/array/src/frame.rs:
+crates/array/src/index.rs:
+crates/array/src/mdd.rs:
+crates/array/src/ops.rs:
+crates/array/src/order.rs:
+crates/array/src/tile.rs:
+crates/array/src/tiling.rs:
+crates/array/src/value.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/heaven_bench-c59058cf68961821.d: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libheaven_bench-c59058cf68961821.rlib: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libheaven_bench-c59058cf68961821.rmeta: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/phantom.rs:
+crates/bench/src/table.rs:

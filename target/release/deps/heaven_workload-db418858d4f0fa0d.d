@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/heaven_workload-db418858d4f0fa0d.d: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs
+
+/root/repo/target/release/deps/libheaven_workload-db418858d4f0fa0d.rlib: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs
+
+/root/repo/target/release/deps/libheaven_workload-db418858d4f0fa0d.rmeta: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/data.rs:
+crates/workload/src/queries.rs:

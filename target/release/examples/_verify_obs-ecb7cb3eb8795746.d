@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_obs-ecb7cb3eb8795746.d: examples/_verify_obs.rs
+
+/root/repo/target/release/examples/_verify_obs-ecb7cb3eb8795746: examples/_verify_obs.rs
+
+examples/_verify_obs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rasql_shell-cba297d1c0d3fc8d.d: examples/rasql_shell.rs
+
+/root/repo/target/release/examples/rasql_shell-cba297d1c0d3fc8d: examples/rasql_shell.rs
+
+examples/rasql_shell.rs:

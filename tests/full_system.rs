@@ -3,9 +3,7 @@
 
 use heaven::array::{CellType, Condenser, MDArray, Minterval, Point, Tiling};
 use heaven::arraydb::run;
-use heaven::core::{
-    AccessPattern, ClusteringStrategy, ExportMode, HeavenConfig,
-};
+use heaven::core::{AccessPattern, ClusteringStrategy, ExportMode, HeavenConfig};
 use heaven::hsm::{HsmSystem, StagingDisk, WatermarkPolicy};
 use heaven::tape::{DeviceProfile, DiskProfile, SimClock, TapeLibrary, WritePayload};
 use heaven::workload::{climate_field, selectivity_queries};
@@ -273,6 +271,145 @@ fn selectivity_sweep_monotonically_increases_heaven_cost() {
 }
 
 #[test]
+fn query_breakdown_levels_sum_to_simclock_delta_cold_then_warm() {
+    // Cold fetch over an archived object: the breakdown must attribute
+    // the whole SimClock delta to the hierarchy levels, tape-dominated.
+    // A warm re-fetch of the same region must show no tape traffic.
+    let mut heaven = heaven::open(
+        DeviceProfile::ibm3590(),
+        1,
+        HeavenConfig {
+            supertile_bytes: Some(8 << 10),
+            ..HeavenConfig::default()
+        },
+    );
+    heaven
+        .arraydb_mut()
+        .create_collection("c", CellType::F32, 2)
+        .unwrap();
+    let domain = mi(&[(0, 63), (0, 63)]);
+    let field = climate_field(domain.clone(), 13);
+    let oid = heaven
+        .arraydb_mut()
+        .insert_object(
+            "c",
+            &field,
+            Tiling::Regular {
+                tile_shape: vec![16, 16],
+            },
+        )
+        .unwrap();
+    heaven.export_object(oid, ExportMode::Tct).unwrap();
+    heaven.clear_caches();
+    heaven.occupy_drives().unwrap(); // cold: force a media exchange
+
+    // The region sits in a super-tile past the start of the tape, so the
+    // cold path pays exchange AND locate AND transfer time.
+    let region = mi(&[(32, 63), (32, 63)]);
+    let clock = heaven.clock();
+    let t0 = clock.now_s();
+    heaven.fetch_region_hierarchical(oid, &region).unwrap();
+    let cold_dt = clock.now_s() - t0;
+    let cold = heaven.last_query_breakdown().unwrap().clone();
+    assert!(
+        (cold.total_s - cold_dt).abs() < 1e-9,
+        "total != clock delta"
+    );
+    assert!(
+        (cold.levels_sum_s() - cold.total_s).abs() < 1e-6,
+        "levels sum {} != total {}",
+        cold.levels_sum_s(),
+        cold.total_s
+    );
+    // Per-level times are nonzero where the cold path must have spent
+    // simulated time: exchange, locate, transfer — and unattributed time
+    // is negligible.
+    assert!(cold.total_s > 0.0);
+    assert!(cold.tape_exchange_s > 0.0, "no exchange time: {cold}");
+    assert!(cold.tape_locate_s > 0.0, "no locate time: {cold}");
+    assert!(cold.tape_transfer_s > 0.0, "no transfer time: {cold}");
+    assert!(cold.media_exchanges >= 1);
+    assert!(cold.tape_fetches >= 1);
+    assert!(cold.tape_bytes > 0);
+    assert!(
+        cold.other_s < 0.01 * cold.total_s + 1e-9,
+        "unattributed time {} of {}",
+        cold.other_s,
+        cold.total_s
+    );
+
+    // Warm: same region again, no tape involvement.
+    let t1 = clock.now_s();
+    heaven.fetch_region_hierarchical(oid, &region).unwrap();
+    let warm_dt = clock.now_s() - t1;
+    let warm = heaven.last_query_breakdown().unwrap().clone();
+    assert!((warm.total_s - warm_dt).abs() < 1e-9);
+    assert!((warm.levels_sum_s() - warm.total_s).abs() < 1e-6);
+    assert_eq!(warm.tape_fetches, 0, "warm fetch went to tape: {warm}");
+    assert_eq!(warm.tape_bytes, 0);
+    assert_eq!(warm.media_exchanges, 0);
+    assert!(warm.tape_s() < 1e-12);
+    assert!(warm.total_s < cold.total_s, "warm not cheaper than cold");
+    assert!(
+        warm.mem_hits + warm.disk_cache_hits > 0,
+        "warm fetch hit no cache: {warm}"
+    );
+}
+
+#[test]
+fn rasql_select_over_archive_produces_breakdown_and_trace() {
+    // The acceptance scenario: a cold RasQL SELECT over an archived
+    // object, with tracing on, yields a per-query breakdown whose levels
+    // sum to the SimClock delta and a span tree covering the tape events.
+    let mut heaven = heaven::open(
+        DeviceProfile::dlt7000(),
+        1,
+        HeavenConfig {
+            supertile_bytes: Some(8 << 10),
+            trace: heaven::obs::TraceConfig::Memory { capacity: 1 << 16 },
+            ..HeavenConfig::default()
+        },
+    );
+    heaven
+        .arraydb_mut()
+        .create_collection("c", CellType::F32, 2)
+        .unwrap();
+    let domain = mi(&[(0, 63), (0, 63)]);
+    let field = climate_field(domain.clone(), 29);
+    let oid = heaven
+        .arraydb_mut()
+        .insert_object(
+            "c",
+            &field,
+            Tiling::Regular {
+                tile_shape: vec![16, 16],
+            },
+        )
+        .unwrap();
+    heaven.export_object(oid, ExportMode::Tct).unwrap();
+    heaven.clear_caches();
+    let _ = oid;
+
+    let clock = heaven.clock();
+    let t0 = clock.now_s();
+    let rs = run(&mut heaven, "select avg_cells(c[0:31, 0:31]) from c as c").unwrap();
+    let dt = clock.now_s() - t0;
+    assert_eq!(rs.len(), 1);
+
+    let b = heaven.last_query_breakdown().unwrap();
+    assert!(b.label.contains("select"), "label: {}", b.label);
+    assert!(b.total_s > 0.0 && (b.total_s - dt).abs() < 1e-9);
+    assert!((b.levels_sum_s() - b.total_s).abs() < 1e-6);
+    assert!(b.tape_transfer_s > 0.0, "cold select read no tape: {b}");
+
+    let recs = heaven.trace().records();
+    heaven::obs::check_well_nested(&recs).expect("well-nested query trace");
+    for name in ["query", "heaven.st_fetch", "tape.locate", "tape.transfer"] {
+        assert!(recs.iter().any(|r| r.name == name), "trace missing {name}");
+    }
+}
+
+#[test]
 fn condenser_precomputation_is_numerically_exact() {
     let domain = mi(&[(0, 47), (0, 47)]);
     let field = climate_field(domain.clone(), 11);
@@ -363,9 +500,7 @@ fn archive_catalog_survives_full_restart() {
     assert!(heaven.dead_bytes_on(medium) > 0);
 
     // archived data retrievable; includes the update
-    let back = heaven
-        .fetch_region_hierarchical(oid, &domain)
-        .unwrap();
+    let back = heaven.fetch_region_hierarchical(oid, &domain).unwrap();
     assert_eq!(back.get_f64(&Point::new(vec![0, 0])).unwrap(), -5.0);
     assert_eq!(
         back.get_f64(&Point::new(vec![30, 30])).unwrap(),

@@ -1,0 +1,84 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Benchmarks keep their `criterion_group!`/`criterion_main!` structure,
+//! but this harness runs each benchmark as a short smoke pass (a warm-up
+//! call plus a small timed loop) and prints a rough ns/iter figure. The
+//! goal is that `cargo test`/`cargo bench` finish quickly offline while
+//! still executing every benchmark body for correctness.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Number of timed iterations per benchmark in the smoke harness.
+const SMOKE_ITERS: u32 = 20;
+
+/// The benchmark driver handed to each registered function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            elapsed_ns: 0,
+            iters: 0,
+        };
+        f(&mut b);
+        let per_iter = if b.iters > 0 {
+            b.elapsed_ns / b.iters as u128
+        } else {
+            0
+        };
+        println!(
+            "bench {name:<40} ~{per_iter} ns/iter (smoke run, {} iters)",
+            b.iters
+        );
+        self
+    }
+}
+
+/// Runs the measured closure; timing is best-effort wall clock.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, also catches panics early
+        let start = Instant::now();
+        for _ in 0..SMOKE_ITERS {
+            black_box(f());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.iters += SMOKE_ITERS as u64;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident; $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($name, $($target),+);
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,66 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module is provided, wrapping `std::sync::mpsc`
+//! with the crossbeam calling convention. `bounded(0)` (a rendezvous
+//! channel) and `bounded(n)` map directly onto `sync_channel`.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Create a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    /// Create an unbounded channel (capacity limited only by memory).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        // mpsc's plain channel is unbounded but has a different sender
+        // type; a very large sync_channel keeps one Sender type here.
+        bounded(1 << 20)
+    }
+}
