@@ -4,18 +4,73 @@
 //! row-major cell order. Tiles are themselves small `MDArray`s; full objects
 //! in the DBMS are materialized into `MDArray`s only when needed (query
 //! results, generated test data).
+//!
+//! The cell buffer is copy-on-write: an array can *own* its bytes
+//! (`Vec<u8>`) or *share* a refcounted slice of a larger buffer
+//! ([`Bytes`]), e.g. a staged super-tile payload. Reads work identically on
+//! both; the first mutation of a shared buffer detaches a private copy, so
+//! sibling tiles cut from the same super-tile never observe each other's
+//! writes.
 
 use crate::domain::{Minterval, Point};
 use crate::error::{ArrayError, Result};
 use crate::value::{CellType, CellValue};
+use bytes::Bytes;
+
+/// The copy-on-write cell buffer.
+#[derive(Debug, Clone)]
+enum Buf {
+    /// Privately owned bytes (mutable in place).
+    Owned(Vec<u8>),
+    /// Refcounted view into a shared buffer (e.g. a super-tile payload).
+    Shared(Bytes),
+}
+
+impl Buf {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Buf::Owned(v) => v,
+            Buf::Shared(b) => b,
+        }
+    }
+
+    /// Mutable access; detaches a private copy first when shared.
+    /// Returns the bytes that had to be copied to unshare (0 when the
+    /// buffer was already owned).
+    fn make_mut(&mut self) -> (&mut [u8], u64) {
+        let copied = match self {
+            Buf::Owned(_) => 0,
+            Buf::Shared(b) => {
+                let v = b.to_vec();
+                let n = v.len() as u64;
+                *self = Buf::Owned(v);
+                n
+            }
+        };
+        match self {
+            Buf::Owned(v) => (v, copied),
+            Buf::Shared(_) => unreachable!("unshared above"),
+        }
+    }
+}
 
 /// A dense multidimensional array with inclusive-bounds domain.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct MDArray {
     domain: Minterval,
     cell_type: CellType,
     /// Row-major (last axis fastest) little-endian cell buffer.
-    data: Vec<u8>,
+    data: Buf,
+}
+
+/// Equality is by domain, type and cell contents — ownership of the
+/// buffer (owned vs. shared) is invisible.
+impl PartialEq for MDArray {
+    fn eq(&self, other: &MDArray) -> bool {
+        self.domain == other.domain
+            && self.cell_type == other.cell_type
+            && self.bytes() == other.bytes()
+    }
 }
 
 impl MDArray {
@@ -25,24 +80,38 @@ impl MDArray {
         MDArray {
             domain,
             cell_type,
-            data: vec![0u8; len],
+            data: Buf::Owned(vec![0u8; len]),
         }
     }
 
     /// Create from an existing raw buffer (must be exactly the right size).
     pub fn from_bytes(domain: Minterval, cell_type: CellType, data: Vec<u8>) -> Result<MDArray> {
-        let expected = domain.cell_count() as usize * cell_type.size_bytes();
-        if data.len() != expected {
-            return Err(ArrayError::BufferSize {
-                expected,
-                got: data.len(),
-            });
-        }
+        Self::check_len(&domain, cell_type, data.len())?;
         Ok(MDArray {
             domain,
             cell_type,
-            data,
+            data: Buf::Owned(data),
         })
+    }
+
+    /// Create over a shared, refcounted buffer slice **without copying**.
+    /// The array is read-only until the first mutation, which detaches a
+    /// private copy (copy-on-write).
+    pub fn from_shared(domain: Minterval, cell_type: CellType, data: Bytes) -> Result<MDArray> {
+        Self::check_len(&domain, cell_type, data.len())?;
+        Ok(MDArray {
+            domain,
+            cell_type,
+            data: Buf::Shared(data),
+        })
+    }
+
+    fn check_len(domain: &Minterval, cell_type: CellType, got: usize) -> Result<()> {
+        let expected = domain.cell_count() as usize * cell_type.size_bytes();
+        if got != expected {
+            return Err(ArrayError::BufferSize { expected, got });
+        }
+        Ok(())
     }
 
     /// Create by evaluating `f` at every point of the domain.
@@ -51,9 +120,10 @@ impl MDArray {
         F: FnMut(&Point) -> f64,
     {
         let mut arr = MDArray::zeros(domain.clone(), cell_type);
+        let (buf, _) = arr.data.make_mut();
         for (i, p) in domain.iter_points().enumerate() {
             CellValue::from_f64(cell_type, f(&p))
-                .write(&mut arr.data, i)
+                .write(buf, i)
                 .expect("buffer sized for domain");
         }
         arr
@@ -71,23 +141,49 @@ impl MDArray {
 
     /// Raw cell buffer.
     pub fn bytes(&self) -> &[u8] {
-        &self.data
+        self.data.as_slice()
     }
 
-    /// Consume into the raw cell buffer.
+    /// Consume into the raw cell buffer (copies only if shared).
     pub fn into_bytes(self) -> Vec<u8> {
-        self.data
+        match self.data {
+            Buf::Owned(v) => v,
+            Buf::Shared(b) => b.to_vec(),
+        }
+    }
+
+    /// Whether the buffer is a shared (copy-on-write) view.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.data, Buf::Shared(_))
+    }
+
+    /// Convert an owned buffer into a shared one in O(1) (no copy), so
+    /// subsequent `clone`s are refcount bumps instead of deep copies.
+    /// No-op when already shared.
+    pub fn freeze_payload(&mut self) {
+        if let Buf::Owned(v) = &mut self.data {
+            let v = std::mem::take(v);
+            self.data = Buf::Shared(Bytes::from(v));
+        }
+    }
+
+    /// The shared handle when the buffer is shared (refcount bump, no copy).
+    pub fn shared_bytes(&self) -> Option<Bytes> {
+        match &self.data {
+            Buf::Shared(b) => Some(b.clone()),
+            Buf::Owned(_) => None,
+        }
     }
 
     /// Size of the cell buffer in bytes.
     pub fn size_bytes(&self) -> u64 {
-        self.data.len() as u64
+        self.data.as_slice().len() as u64
     }
 
     /// Read the cell at `p`.
     pub fn get(&self, p: &Point) -> Result<CellValue> {
         let off = self.domain.offset_of(p)?;
-        CellValue::read(self.cell_type, &self.data, off)
+        CellValue::read(self.cell_type, self.bytes(), off)
     }
 
     /// Read the cell at `p` as f64.
@@ -96,9 +192,11 @@ impl MDArray {
     }
 
     /// Write the cell at `p` (value is converted to the array's type).
+    /// Detaches a private copy first when the buffer is shared.
     pub fn set(&mut self, p: &Point, v: f64) -> Result<()> {
         let off = self.domain.offset_of(p)?;
-        CellValue::from_f64(self.cell_type, v).write(&mut self.data, off)
+        let (buf, _) = self.data.make_mut();
+        CellValue::from_f64(self.cell_type, v).write(buf, off)
     }
 
     /// Extract the sub-array covering `sub` (must be contained in the domain).
@@ -134,7 +232,7 @@ impl MDArray {
     pub fn iter_cells(&self) -> impl Iterator<Item = (Point, CellValue)> + '_ {
         self.domain.iter_points().enumerate().map(move |(i, p)| {
             let v =
-                CellValue::read(self.cell_type, &self.data, i).expect("buffer sized for domain");
+                CellValue::read(self.cell_type, self.bytes(), i).expect("buffer sized for domain");
             (p, v)
         })
     }
@@ -144,7 +242,7 @@ impl MDArray {
         let n = self.domain.cell_count() as usize;
         let mut acc = 0.0;
         for i in 0..n {
-            acc += CellValue::read(self.cell_type, &self.data, i)
+            acc += CellValue::read(self.cell_type, self.bytes(), i)
                 .expect("in range")
                 .as_f64();
         }
@@ -196,11 +294,12 @@ pub fn copy_region(src: &MDArray, dst: &mut MDArray, region: &Minterval) -> Resu
     };
     let src_dom = src.domain().clone();
     let dst_dom = dst.domain().clone();
+    let src_bytes = src.bytes();
+    let (dst_bytes, _) = dst.data.make_mut();
     for start in row_starts {
         let so = src_dom.offset_of(&start)? * cell_sz;
         let doff = dst_dom.offset_of(&start)? * cell_sz;
-        let src_bytes = &src.data[so..so + run_len];
-        dst.data[doff..doff + run_len].copy_from_slice(src_bytes);
+        dst_bytes[doff..doff + run_len].copy_from_slice(&src_bytes[so..so + run_len]);
     }
     Ok(())
 }
@@ -289,5 +388,53 @@ mod tests {
         rebuilt.patch(&left).unwrap();
         rebuilt.patch(&right).unwrap();
         assert_eq!(rebuilt, orig);
+    }
+
+    #[test]
+    fn shared_buffer_reads_like_owned() {
+        let owned = MDArray::generate(mi(&[(0, 3), (0, 3)]), CellType::I32, |p| {
+            (p.coord(0) * 10 + p.coord(1)) as f64
+        });
+        let shared = MDArray::from_shared(
+            owned.domain().clone(),
+            owned.cell_type(),
+            Bytes::from(owned.bytes().to_vec()),
+        )
+        .unwrap();
+        assert!(shared.is_shared());
+        assert_eq!(shared, owned);
+        assert_eq!(shared.sum(), owned.sum());
+    }
+
+    #[test]
+    fn cow_mutation_detaches_from_siblings() {
+        let backing = Bytes::from(vec![7u8; 32]);
+        let dom = mi(&[(0, 15)]);
+        let mut a = MDArray::from_shared(dom.clone(), CellType::U8, backing.slice(0..16)).unwrap();
+        let b = MDArray::from_shared(dom, CellType::U8, backing.slice(0..16)).unwrap();
+        a.set(&Point::new(vec![3]), 99.0).unwrap();
+        assert!(!a.is_shared(), "mutation must detach a private copy");
+        assert_eq!(a.get_f64(&Point::new(vec![3])).unwrap(), 99.0);
+        assert_eq!(b.get_f64(&Point::new(vec![3])).unwrap(), 7.0);
+        assert_eq!(backing[3], 7, "backing buffer untouched");
+    }
+
+    #[test]
+    fn freeze_payload_makes_clone_cheap() {
+        let mut a = MDArray::generate(mi(&[(0, 63)]), CellType::F64, |p| p.coord(0) as f64);
+        assert!(!a.is_shared());
+        a.freeze_payload();
+        assert!(a.is_shared());
+        let b = a.clone();
+        let ha = a.shared_bytes().unwrap();
+        let hb = b.shared_bytes().unwrap();
+        assert_eq!(ha.as_slice().as_ptr(), hb.as_slice().as_ptr());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_shared_rejects_wrong_size() {
+        let res = MDArray::from_shared(mi(&[(0, 9)]), CellType::F64, Bytes::from(vec![0u8; 3]));
+        assert!(res.is_err());
     }
 }

@@ -5,11 +5,17 @@
 //! binary blobs (the format written into RDBMS BLOBs and into super-tiles on
 //! tape); the codec is deliberately fixed-layout so that offsets within
 //! super-tiles can be computed without parsing cell data.
+//!
+//! Two decode paths exist: [`Tile::decode`] copies the payload into an
+//! owned buffer, while [`Tile::decode_shared`] borrows a refcounted
+//! sub-range of the encoded buffer — the zero-copy path used when cutting
+//! member tiles out of a staged super-tile.
 
 use crate::domain::Minterval;
 use crate::error::{ArrayError, Result};
 use crate::mdd::MDArray;
 use crate::value::CellType;
+use bytes::{Bytes, BytesMut};
 
 /// Identifier of an MDD object within the DBMS.
 pub type ObjectId = u64;
@@ -26,6 +32,68 @@ pub struct Tile {
     pub object: ObjectId,
     /// Cell payload covering the tile's domain.
     pub data: MDArray,
+}
+
+/// Parsed fixed header of an encoded tile.
+struct TileHeader {
+    id: TileId,
+    object: ObjectId,
+    cell_type: CellType,
+    domain: Minterval,
+    /// Offset of the payload within the encoded buffer.
+    payload_off: usize,
+    payload_len: usize,
+}
+
+impl TileHeader {
+    /// Total encoded length (header + payload).
+    fn encoded_len(&self) -> usize {
+        self.payload_off + self.payload_len
+    }
+
+    fn parse(buf: &[u8]) -> Result<TileHeader> {
+        let need = |n: usize| -> Result<()> {
+            if buf.len() < n {
+                Err(ArrayError::Codec(format!(
+                    "tile truncated: need {n} bytes, have {}",
+                    buf.len()
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        need(4 + 8 + 8 + 2)?;
+        if &buf[0..4] != MAGIC {
+            return Err(ArrayError::Codec("bad tile magic".into()));
+        }
+        let id = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+        let object = u64::from_le_bytes(buf[12..20].try_into().unwrap());
+        let cell_type = CellType::from_tag(buf[20])
+            .ok_or_else(|| ArrayError::Codec(format!("bad cell type tag {}", buf[20])))?;
+        let d = buf[21] as usize;
+        need(Tile::header_len(d))?;
+        let mut bounds = Vec::with_capacity(d);
+        let mut off = 22;
+        for _ in 0..d {
+            let lo = i64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+            let hi = i64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap());
+            bounds.push((lo, hi));
+            off += 16;
+        }
+        let payload_len = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) as usize;
+        off += 8;
+        need(off + payload_len)?;
+        let domain = Minterval::new(&bounds)
+            .map_err(|e| ArrayError::Codec(format!("bad tile domain: {e}")))?;
+        Ok(TileHeader {
+            id,
+            object,
+            cell_type,
+            domain,
+            payload_off: off,
+            payload_len,
+        })
+    }
 }
 
 impl Tile {
@@ -65,63 +133,69 @@ impl Tile {
         4 + 8 + 8 + 1 + 1 + 16 * d + 8
     }
 
-    /// Serialize into a fresh buffer.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.encoded_len());
+    /// Serialize by appending to an existing buffer — lets a super-tile
+    /// pack N tiles into one allocation with no intermediate buffers.
+    pub fn encode_into(&self, out: &mut BytesMut) {
+        out.reserve(self.encoded_len());
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&self.id.to_le_bytes());
         out.extend_from_slice(&self.object.to_le_bytes());
-        out.push(self.data.cell_type().tag());
-        out.push(self.domain().dim() as u8);
+        out.put_u8(self.data.cell_type().tag());
+        out.put_u8(self.domain().dim() as u8);
         for ax in self.domain().axes() {
             out.extend_from_slice(&ax.lo.to_le_bytes());
             out.extend_from_slice(&ax.hi.to_le_bytes());
         }
         out.extend_from_slice(&(self.data.bytes().len() as u64).to_le_bytes());
         out.extend_from_slice(self.data.bytes());
-        out
     }
 
-    /// Deserialize from a buffer; returns the tile and the number of bytes
-    /// consumed (so multiple tiles can be read back-to-back).
+    /// Serialize into a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out.freeze()
+    }
+
+    /// Deserialize from a buffer into an *owned* tile (the payload is
+    /// copied out); returns the tile and the number of bytes consumed (so
+    /// multiple tiles can be read back-to-back).
     pub fn decode(buf: &[u8]) -> Result<(Tile, usize)> {
-        let need = |n: usize| -> Result<()> {
-            if buf.len() < n {
-                Err(ArrayError::Codec(format!(
-                    "tile truncated: need {n} bytes, have {}",
-                    buf.len()
-                )))
-            } else {
-                Ok(())
-            }
-        };
-        need(4 + 8 + 8 + 2)?;
-        if &buf[0..4] != MAGIC {
-            return Err(ArrayError::Codec("bad tile magic".into()));
-        }
-        let id = u64::from_le_bytes(buf[4..12].try_into().unwrap());
-        let object = u64::from_le_bytes(buf[12..20].try_into().unwrap());
-        let ty = CellType::from_tag(buf[20])
-            .ok_or_else(|| ArrayError::Codec(format!("bad cell type tag {}", buf[20])))?;
-        let d = buf[21] as usize;
-        let hdr = Self::header_len(d);
-        need(hdr)?;
-        let mut bounds = Vec::with_capacity(d);
-        let mut off = 22;
-        for _ in 0..d {
-            let lo = i64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
-            let hi = i64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap());
-            bounds.push((lo, hi));
-            off += 16;
-        }
-        let payload_len = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) as usize;
-        off += 8;
-        need(off + payload_len)?;
-        let domain = Minterval::new(&bounds)
-            .map_err(|e| ArrayError::Codec(format!("bad tile domain: {e}")))?;
-        let data = MDArray::from_bytes(domain, ty, buf[off..off + payload_len].to_vec())
+        let h = TileHeader::parse(buf)?;
+        let data = MDArray::from_bytes(
+            h.domain,
+            h.cell_type,
+            buf[h.payload_off..h.payload_off + h.payload_len].to_vec(),
+        )
+        .map_err(|e| ArrayError::Codec(format!("bad tile payload: {e}")))?;
+        Ok((
+            Tile {
+                id: h.id,
+                object: h.object,
+                data,
+            },
+            h.payload_off + h.payload_len,
+        ))
+    }
+
+    /// Deserialize the tile starting at `at` in a shared buffer **without
+    /// copying the payload**: the tile's `MDArray` borrows a refcounted
+    /// sub-range of `buf` (copy-on-write on mutation). Returns the tile
+    /// and the number of bytes consumed.
+    pub fn decode_shared(buf: &Bytes, at: usize) -> Result<(Tile, usize)> {
+        let h = TileHeader::parse(&buf[at..])?;
+        let used = h.encoded_len();
+        let payload = buf.slice(at + h.payload_off..at + h.payload_off + h.payload_len);
+        let data = MDArray::from_shared(h.domain, h.cell_type, payload)
             .map_err(|e| ArrayError::Codec(format!("bad tile payload: {e}")))?;
-        Ok((Tile { id, object, data }, off + payload_len))
+        Ok((
+            Tile {
+                id: h.id,
+                object: h.object,
+                data,
+            },
+            used,
+        ))
     }
 }
 
@@ -158,8 +232,10 @@ mod tests {
         let t1 = sample_tile();
         let data2 = MDArray::generate(mi(&[(0, 1)]), CellType::F64, |p| p.coord(0) as f64 * 0.5);
         let t2 = Tile::new(43, 7, data2);
-        let mut buf = t1.encode();
-        buf.extend_from_slice(&t2.encode());
+        let mut buf = BytesMut::new();
+        t1.encode_into(&mut buf);
+        t2.encode_into(&mut buf);
+        let buf = buf.freeze();
         let (d1, n1) = Tile::decode(&buf).unwrap();
         let (d2, n2) = Tile::decode(&buf[n1..]).unwrap();
         assert_eq!(d1, t1);
@@ -168,14 +244,38 @@ mod tests {
     }
 
     #[test]
+    fn decode_shared_matches_owned_and_borrows() {
+        let t1 = sample_tile();
+        let t2 = {
+            let data = MDArray::generate(mi(&[(0, 1)]), CellType::F64, |p| p.coord(0) as f64);
+            Tile::new(43, 7, data)
+        };
+        let mut buf = BytesMut::new();
+        t1.encode_into(&mut buf);
+        t2.encode_into(&mut buf);
+        let buf = buf.freeze();
+        let (s1, n1) = Tile::decode_shared(&buf, 0).unwrap();
+        let (s2, n2) = Tile::decode_shared(&buf, n1).unwrap();
+        assert_eq!(s1, t1);
+        assert_eq!(s2, t2);
+        assert_eq!(n1 + n2, buf.len());
+        assert!(s1.data.is_shared() && s2.data.is_shared());
+        // The shared payload aliases the encoded buffer, no copy was made.
+        let h = s1.data.shared_bytes().unwrap();
+        let expect = &buf[n1 - t1.payload_bytes() as usize..n1];
+        assert_eq!(h.as_slice().as_ptr(), expect.as_ptr());
+    }
+
+    #[test]
     fn decode_rejects_garbage() {
         assert!(Tile::decode(b"nope").is_err());
-        let mut enc = sample_tile().encode();
+        let mut enc = sample_tile().encode().to_vec();
         enc[0] = b'X';
         assert!(Tile::decode(&enc).is_err());
         // truncated payload
         let enc = sample_tile().encode();
         assert!(Tile::decode(&enc[..enc.len() - 1]).is_err());
+        assert!(Tile::decode_shared(&enc.slice(0..enc.len() - 1), 0).is_err());
     }
 
     #[test]

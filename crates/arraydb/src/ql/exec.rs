@@ -85,8 +85,7 @@ fn eval(provider: &mut dyn TileProvider, oid: ObjectId, alias: &str, expr: &Expr
         Expr::Num(n) => Ok(Value::Scalar(*n)),
         Expr::Var(name) => {
             check_var(name, alias)?;
-            let meta = provider.object_meta(oid)?;
-            let whole = meta.domain.clone();
+            let whole = provider.object_meta(oid)?.domain;
             Ok(Value::Array(provider.fetch_region(oid, &whole)?))
         }
         Expr::Select(inner, spec) => eval_select(provider, oid, alias, inner, spec),
@@ -356,7 +355,7 @@ fn plain_trim_region(
     expr: &Expr,
 ) -> Result<Option<Minterval>> {
     match expr {
-        Expr::Var(name) if name == alias => Ok(Some(provider.object_meta(oid)?.domain.clone())),
+        Expr::Var(name) if name == alias => Ok(Some(provider.object_meta(oid)?.domain)),
         Expr::Select(inner, FrameSpec::Single(b)) => {
             if let Expr::Var(name) = &**inner {
                 if name == alias {

@@ -84,7 +84,7 @@ mod tests {
         let meta = ObjectMeta {
             oid: 7,
             collection: 1,
-            domain: domain.clone(),
+            domain,
             cell_type: CellType::F32,
             tiling,
             tiles,

@@ -292,8 +292,8 @@ impl ArrayDb {
             .tile_dir
             .get(&mut self.db, tile)?
             .ok_or(ArrayDbError::NoSuchTile(tile))?;
-        let bytes = self.blobs.get(&mut self.db, blob)?;
-        let (t, _) = Tile::decode(&bytes)?;
+        let bytes = bytes::Bytes::from(self.blobs.get(&mut self.db, blob)?);
+        let (t, _) = Tile::decode_shared(&bytes, 0)?;
         Ok(t)
     }
 

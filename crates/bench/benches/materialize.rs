@@ -1,0 +1,220 @@
+//! Materialization throughput: how fast a region is assembled from a
+//! staged super-tile, cold vs warm, for 1/4/16-tile super-tiles.
+//!
+//! Two materialization modes are measured over identical payloads:
+//!
+//! * **owned** — the pre-zero-copy path: the cache hands out a full
+//!   payload copy (`to_vec`), every member tile is decoded into its own
+//!   allocation, then patched into the result array (three passes over
+//!   the data).
+//! * **zerocopy** — the current path: the cache hit is a refcount bump,
+//!   member decode borrows sub-ranges of the staged buffer, and the only
+//!   copy left is the patch into the result array (one pass).
+//!
+//! On top of the micro pair, the end-to-end `fetch_region_hierarchical`
+//! is timed cold (caches cleared each iteration) and warm. Pass
+//! `--json <path>` to write machine-readable results.
+
+use std::time::Instant;
+
+use heaven_array::{CellType, MDArray, Minterval, Point, Tile, Tiling};
+use heaven_arraydb::ArrayDb;
+use heaven_core::{
+    decode_member, encode_supertile, AccessPattern, ClusteringStrategy, ExportMode, Heaven,
+    HeavenConfig,
+};
+use heaven_rdbms::Database;
+use heaven_tape::{DeviceProfile, DiskProfile, SimClock, TapeLibrary};
+
+/// Edge of one square tile in cells (256x256 f32 = 256 KiB payload).
+const TILE_EDGE: i64 = 256;
+
+fn mi(b: &[(i64, i64)]) -> Minterval {
+    Minterval::new(b).unwrap()
+}
+
+fn cell_value(p: &Point) -> f64 {
+    ((p.coord(0) ^ p.coord(1)) & 0xFFFF) as f64
+}
+
+/// A `grid x grid` arrangement of TILE_EDGE-square f32 tiles.
+fn make_tiles(grid: i64) -> Vec<Tile> {
+    let mut tiles = Vec::new();
+    for gy in 0..grid {
+        for gx in 0..grid {
+            let dom = mi(&[
+                (gx * TILE_EDGE, (gx + 1) * TILE_EDGE - 1),
+                (gy * TILE_EDGE, (gy + 1) * TILE_EDGE - 1),
+            ]);
+            tiles.push(Tile::new(
+                (gy * grid + gx) as u64 + 1,
+                1,
+                MDArray::generate(dom, CellType::F32, cell_value),
+            ));
+        }
+    }
+    tiles
+}
+
+/// Average wall nanoseconds per call (one warm-up, then a timed loop).
+fn time_ns<F: FnMut()>(mut f: F) -> u64 {
+    f();
+    let iters: u32 = 20;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    (start.elapsed().as_nanos() / iters as u128) as u64
+}
+
+struct ConfigResult {
+    tiles: usize,
+    payload_bytes: usize,
+    owned_ns: u64,
+    zerocopy_ns: u64,
+    cold_fetch_ns: u64,
+    warm_fetch_ns: u64,
+}
+
+fn bench_config(grid: i64) -> ConfigResult {
+    let tiles = make_tiles(grid);
+    let n_tiles = tiles.len();
+    let region = mi(&[(0, grid * TILE_EDGE - 1), (0, grid * TILE_EDGE - 1)]);
+    let (payload, meta) = encode_supertile(1, 1, &tiles);
+    let payload_bytes = payload.len();
+
+    // Pre-change materialization: payload copy out of the cache, owned
+    // decode per member, patch into the result.
+    let owned_ns = time_ns(|| {
+        let staged = payload.to_vec();
+        let mut out = MDArray::zeros(region.clone(), CellType::F32);
+        for m in &meta.members {
+            let start = m.offset as usize;
+            let (t, _) = Tile::decode(&staged[start..start + m.len as usize]).unwrap();
+            out.patch(&t.data).unwrap();
+        }
+        std::hint::black_box(out);
+    });
+
+    // Current materialization: refcounted cache hit, shared member decode,
+    // one patch.
+    let zerocopy_ns = time_ns(|| {
+        let staged = payload.clone();
+        let mut out = MDArray::zeros(region.clone(), CellType::F32);
+        for m in &meta.members {
+            let t = decode_member(&meta, &staged, m.tile).unwrap();
+            out.patch(&t.data).unwrap();
+        }
+        std::hint::black_box(out);
+    });
+
+    // End-to-end fetch through the full hierarchy (simulated devices: the
+    // wall clock sees only the real CPU work of the retrieval path).
+    let clock = SimClock::new();
+    let db = Database::new(DiskProfile::scsi2003(), clock.clone(), 4096);
+    let mut adb = ArrayDb::create(db).unwrap();
+    adb.create_collection("bench", CellType::F32, 2).unwrap();
+    let arr = MDArray::generate(region.clone(), CellType::F32, cell_value);
+    let oid = adb
+        .insert_object(
+            "bench",
+            &arr,
+            Tiling::Regular {
+                tile_shape: vec![TILE_EDGE as u64, TILE_EDGE as u64],
+            },
+        )
+        .unwrap();
+    let lib = TapeLibrary::new(DeviceProfile::ibm3590(), 2, clock);
+    let tile_encoded = (Tile::header_len(2) + (TILE_EDGE * TILE_EDGE) as usize * 4) as u64;
+    let config = HeavenConfig {
+        supertile_bytes: Some(n_tiles as u64 * tile_encoded),
+        clustering: ClusteringStrategy::EStar(AccessPattern::Uniform),
+        mem_cache_bytes: 0, // warm fetches exercise the super-tile decode
+        ..HeavenConfig::default()
+    };
+    let mut heaven = Heaven::new(adb, lib, config);
+    let report = heaven.export_object(oid, ExportMode::Tct).unwrap();
+    assert_eq!(report.supertiles, 1, "expected a single super-tile");
+
+    let cold_fetch_ns = time_ns(|| {
+        heaven.clear_caches();
+        std::hint::black_box(heaven.fetch_region_hierarchical(oid, &region).unwrap());
+    });
+    heaven.fetch_region_hierarchical(oid, &region).unwrap();
+    let warm_fetch_ns = time_ns(|| {
+        std::hint::black_box(heaven.fetch_region_hierarchical(oid, &region).unwrap());
+    });
+
+    ConfigResult {
+        tiles: n_tiles,
+        payload_bytes,
+        owned_ns,
+        zerocopy_ns,
+        cold_fetch_ns,
+        warm_fetch_ns,
+    }
+}
+
+fn mbps(bytes: usize, ns: u64) -> f64 {
+    if ns == 0 {
+        return 0.0;
+    }
+    bytes as f64 * 1e9 / ns as f64 / (1 << 20) as f64
+}
+
+fn main() {
+    let mut json_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            json_path = args.next();
+        }
+    }
+
+    let mut results = Vec::new();
+    for grid in [1i64, 2, 4] {
+        let r = bench_config(grid);
+        println!(
+            "materialize/{:>2} tiles ({:>8} B): owned {:>9} ns  zerocopy {:>9} ns  ({:.2}x)  \
+             cold fetch {:>9} ns  warm fetch {:>9} ns ({:.1} MiB/s warm)",
+            r.tiles,
+            r.payload_bytes,
+            r.owned_ns,
+            r.zerocopy_ns,
+            r.owned_ns as f64 / r.zerocopy_ns.max(1) as f64,
+            r.cold_fetch_ns,
+            r.warm_fetch_ns,
+            mbps(r.payload_bytes, r.warm_fetch_ns),
+        );
+        results.push(r);
+    }
+
+    if let Some(path) = json_path {
+        let mut out = String::from("{\n  \"bench\": \"materialize\",\n");
+        out.push_str(
+            "  \"baseline\": \"owned: pre-zero-copy deep-copy path (cache clone + owned decode), emulated in-binary\",\n",
+        );
+        out.push_str("  \"configs\": [\n");
+        for (i, r) in results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"tiles_per_supertile\": {}, \"payload_bytes\": {}, \
+                 \"owned_materialize_ns\": {}, \"zerocopy_materialize_ns\": {}, \
+                 \"materialize_speedup\": {:.3}, \"cold_fetch_ns\": {}, \"warm_fetch_ns\": {}, \
+                 \"warm_fetch_mib_per_s\": {:.1}, \"warm_fetch_speedup_vs_owned\": {:.3}}}{}\n",
+                r.tiles,
+                r.payload_bytes,
+                r.owned_ns,
+                r.zerocopy_ns,
+                r.owned_ns as f64 / r.zerocopy_ns.max(1) as f64,
+                r.cold_fetch_ns,
+                r.warm_fetch_ns,
+                mbps(r.payload_bytes, r.warm_fetch_ns),
+                r.owned_ns as f64 / r.warm_fetch_ns.max(1) as f64,
+                if i + 1 < results.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&path, out).unwrap();
+        println!("wrote {path}");
+    }
+}

@@ -8,6 +8,7 @@
 //! re-fetch (deep on a rarely mounted medium) is kept longer.
 
 use crate::supertile::SuperTileId;
+use bytes::Bytes;
 use heaven_array::{Tile, TileId};
 use heaven_obs::{Counter, FloatCounter, MetricsRegistry, TraceBus};
 use heaven_tape::{DiskProfile, SimClock};
@@ -177,7 +178,7 @@ impl CacheMetrics {
 
 #[derive(Debug)]
 struct StEntry {
-    payload: Vec<u8>,
+    payload: Bytes,
     /// Accounted size in bytes (equals `payload.len()` for real entries;
     /// may exceed it for phantom entries used by paper-scale experiments).
     size: u64,
@@ -272,8 +273,10 @@ impl SuperTileCache {
         self.disk.as_ref().map(|(_, c)| c.now_s()).unwrap_or(0.0)
     }
 
-    /// Look up a super-tile payload.
-    pub fn get(&mut self, st: SuperTileId) -> Option<Vec<u8>> {
+    /// Look up a super-tile payload. The returned `Bytes` aliases the
+    /// cached buffer — a hit bumps a refcount, it does not copy the
+    /// payload (the simulated disk read is still charged).
+    pub fn get(&mut self, st: SuperTileId) -> Option<Bytes> {
         self.counter += 1;
         let counter = self.counter;
         match self.entries.get_mut(&st) {
@@ -296,8 +299,10 @@ impl SuperTileCache {
 
     /// Insert a payload with its estimated tertiary refetch cost; evicts
     /// per policy until it fits. Payloads larger than the whole cache are
-    /// not admitted.
-    pub fn put(&mut self, st: SuperTileId, payload: Vec<u8>, refetch_cost_s: f64) {
+    /// not admitted. Accepts anything convertible to [`Bytes`]
+    /// (`Vec<u8>` converts in O(1)).
+    pub fn put(&mut self, st: SuperTileId, payload: impl Into<Bytes>, refetch_cost_s: f64) {
+        let payload = payload.into();
         let size = payload.len() as u64;
         self.put_sized(st, payload, size, refetch_cost_s);
     }
@@ -305,10 +310,10 @@ impl SuperTileCache {
     /// Insert a phantom entry: accounted as `size` bytes without holding
     /// them (paper-scale experiments). Lookups return an empty payload.
     pub fn put_phantom(&mut self, st: SuperTileId, size: u64, refetch_cost_s: f64) {
-        self.put_sized(st, Vec::new(), size, refetch_cost_s);
+        self.put_sized(st, Bytes::new(), size, refetch_cost_s);
     }
 
-    fn put_sized(&mut self, st: SuperTileId, payload: Vec<u8>, size: u64, refetch_cost_s: f64) {
+    fn put_sized(&mut self, st: SuperTileId, payload: Bytes, size: u64, refetch_cost_s: f64) {
         if size > self.capacity {
             return;
         }
@@ -425,7 +430,9 @@ impl TileCache {
         self.metrics.stats()
     }
 
-    /// Look up a tile.
+    /// Look up a tile. The returned tile shares the cached payload (the
+    /// clone is a refcount bump); a caller that mutates it detaches via
+    /// copy-on-write without disturbing the cached copy.
     pub fn get(&mut self, id: TileId) -> Option<Tile> {
         self.counter += 1;
         let c = self.counter;
@@ -443,8 +450,10 @@ impl TileCache {
         }
     }
 
-    /// Insert a tile, evicting LRU entries as needed.
-    pub fn put(&mut self, tile: Tile) {
+    /// Insert a tile, evicting LRU entries as needed. The payload is
+    /// frozen into shared form (O(1)) so subsequent `get`s are zero-copy.
+    pub fn put(&mut self, mut tile: Tile) {
+        tile.data.freeze_payload();
         let len = tile.payload_bytes();
         if len > self.capacity {
             return;
@@ -503,10 +512,37 @@ mod tests {
     fn put_get_roundtrip() {
         let mut c = cache(1000, EvictionPolicy::Lru);
         c.put(1, payload(100, 0xAA), 30.0);
-        assert_eq!(c.get(1), Some(payload(100, 0xAA)));
-        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1).unwrap(), payload(100, 0xAA));
+        assert!(c.get(2).is_none());
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn hits_alias_the_cached_buffer() {
+        let mut c = cache(1000, EvictionPolicy::Lru);
+        c.put(1, payload(100, 7), 1.0);
+        let a = c.get(1).unwrap();
+        let b = c.get(1).unwrap();
+        assert_eq!(
+            a.as_slice().as_ptr(),
+            b.as_slice().as_ptr(),
+            "st-cache hits must not copy the payload"
+        );
+        assert!(a.ref_count() >= 3); // cache entry + both handles
+    }
+
+    #[test]
+    fn tile_cache_hits_share_payload() {
+        let dom = Minterval::new(&[(0, 9)]).unwrap();
+        let mut c = TileCache::new(1 << 20);
+        c.put(Tile::new(1, 1, MDArray::zeros(dom, CellType::F64)));
+        let a = c.get(1).unwrap();
+        let b = c.get(1).unwrap();
+        assert!(a.data.is_shared() && b.data.is_shared());
+        let pa = a.data.shared_bytes().unwrap();
+        let pb = b.data.shared_bytes().unwrap();
+        assert_eq!(pa.as_slice().as_ptr(), pb.as_slice().as_ptr());
     }
 
     #[test]
@@ -615,7 +651,7 @@ mod tests {
         let mut c = SuperTileCache::new(
             250,
             EvictionPolicy::Lru,
-            Some((DiskProfile::scsi2003(), clock.clone())),
+            Some((DiskProfile::scsi2003(), clock)),
         );
         c.put(1, payload(100, 1), 5.0);
         c.get(1);

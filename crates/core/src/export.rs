@@ -177,7 +177,7 @@ impl Heaven {
         // serializes super-tiles and ships payloads back for the tape
         // writer.
         let (tx_tiles, rx_tiles) = crossbeam::channel::bounded::<(u64, ObjectId, Vec<Tile>)>(2);
-        let (tx_enc, rx_enc) = crossbeam::channel::bounded::<(Vec<u8>, SuperTileMeta)>(2);
+        let (tx_enc, rx_enc) = crossbeam::channel::bounded::<(bytes::Bytes, SuperTileMeta)>(2);
         let result: Result<()> = std::thread::scope(|s| {
             s.spawn(move || {
                 while let Ok((st_id, object, tiles)) = rx_tiles.recv() {

@@ -8,6 +8,7 @@
 //! member tile can be cut out of the raw bytes without decoding the rest.
 
 use crate::error::{HeavenError, Result};
+use bytes::{Bytes, BytesMut};
 use heaven_array::{Minterval, ObjectId, Tile, TileId};
 
 /// Identifier of a super-tile.
@@ -60,25 +61,25 @@ impl SuperTileMeta {
 }
 
 /// Serialize a run of tiles into a super-tile payload; returns the bytes
-/// and the member directory (offsets into those bytes).
+/// and the member directory (offsets into those bytes). All member tiles
+/// are packed into one allocation via [`Tile::encode_into`].
 pub fn encode_supertile(
     id: SuperTileId,
     object: ObjectId,
     tiles: &[Tile],
-) -> (Vec<u8>, SuperTileMeta) {
+) -> (Bytes, SuperTileMeta) {
     let total: usize = tiles.iter().map(|t| t.encoded_len()).sum();
-    let mut payload = Vec::with_capacity(total);
+    let mut payload = BytesMut::with_capacity(total);
     let mut members = Vec::with_capacity(tiles.len());
     for t in tiles {
         let offset = payload.len() as u64;
-        let enc = t.encode();
+        t.encode_into(&mut payload);
         members.push(MemberEntry {
             tile: t.id,
             domain: t.domain().clone(),
             offset,
-            len: enc.len() as u64,
+            len: payload.len() as u64 - offset,
         });
-        payload.extend_from_slice(&enc);
     }
     let meta = SuperTileMeta {
         id,
@@ -86,11 +87,13 @@ pub fn encode_supertile(
         total_len: payload.len() as u64,
         members,
     };
-    (payload, meta)
+    (payload.freeze(), meta)
 }
 
-/// Decode one member tile out of a full super-tile payload.
-pub fn decode_member(meta: &SuperTileMeta, payload: &[u8], tile: TileId) -> Result<Tile> {
+/// Cut one member tile out of a full super-tile payload — zero-copy: the
+/// returned tile's `MDArray` borrows a refcounted sub-range of `payload`
+/// (copy-on-write on mutation).
+pub fn decode_member(meta: &SuperTileMeta, payload: &Bytes, tile: TileId) -> Result<Tile> {
     let entry = meta.member(tile).ok_or(HeavenError::TileUnlocated(tile))?;
     let start = entry.offset as usize;
     let end = start + entry.len as usize;
@@ -101,7 +104,7 @@ pub fn decode_member(meta: &SuperTileMeta, payload: &[u8], tile: TileId) -> Resu
             payload.len()
         )));
     }
-    let (t, used) = Tile::decode(&payload[start..end])?;
+    let (t, used) = Tile::decode_shared(payload, start)?;
     if used != entry.len as usize || t.id != tile {
         return Err(HeavenError::Codec(format!(
             "member {tile} decoded inconsistently"
@@ -110,8 +113,8 @@ pub fn decode_member(meta: &SuperTileMeta, payload: &[u8], tile: TileId) -> Resu
     Ok(t)
 }
 
-/// Decode all member tiles of a payload.
-pub fn decode_all(meta: &SuperTileMeta, payload: &[u8]) -> Result<Vec<Tile>> {
+/// Decode all member tiles of a payload (each shares the payload buffer).
+pub fn decode_all(meta: &SuperTileMeta, payload: &Bytes) -> Result<Vec<Tile>> {
     meta.members
         .iter()
         .map(|m| decode_member(meta, payload, m.tile))
@@ -189,7 +192,20 @@ mod tests {
         let tiles = make_tiles();
         let (payload, meta) = encode_supertile(1, 7, &tiles);
         let last = meta.members.last().unwrap().tile;
-        assert!(decode_member(&meta, &payload[..payload.len() - 1], last).is_err());
+        let truncated = payload.slice(0..payload.len() - 1);
+        assert!(decode_member(&meta, &truncated, last).is_err());
+    }
+
+    #[test]
+    fn decoded_members_share_the_payload_buffer() {
+        let tiles = make_tiles();
+        let (payload, meta) = encode_supertile(1, 7, &tiles);
+        let all = decode_all(&meta, &payload).unwrap();
+        for t in &all {
+            assert!(t.data.is_shared(), "member payload must alias the buffer");
+        }
+        // one Bytes handle per member + the payload itself
+        assert_eq!(payload.ref_count(), 1 + all.len());
     }
 
     #[test]

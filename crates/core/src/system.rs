@@ -16,6 +16,7 @@ use crate::precomp::PrecompCatalog;
 use crate::scheduler::{count_exchanges, schedule, FetchRequest};
 use crate::sizing::optimal_supertile_size;
 use crate::supertile::{decode_member, SuperTileId};
+use bytes::Bytes;
 use heaven_array::{Condenser, MDArray, Minterval, ObjectId, TileId};
 use heaven_arraydb::{ArrayDb, ObjectMeta, TileLocation, TileProvider};
 use heaven_hsm::DirectStore;
@@ -39,19 +40,25 @@ pub struct HeavenStats {
     pub prefetch_bytes: u64,
     /// Regions served by `fetch_region`.
     pub region_fetches: u64,
+    /// Payload bytes memcpy'd while materializing query results. With the
+    /// zero-copy read path this is ~one payload-sized copy per query (the
+    /// patch into the result array); every other hierarchy hop is a
+    /// refcounted slice.
+    pub bytes_copied: u64,
 }
 
 impl fmt::Display for HeavenStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "region_fetches={} st_tape_fetches={} tape_read={}MB prefetches={} prefetch={:.1}s prefetch_read={}MB",
+            "region_fetches={} st_tape_fetches={} tape_read={}MB prefetches={} prefetch={:.1}s prefetch_read={}MB copied={}KB",
             self.region_fetches,
             self.st_tape_fetches,
             self.st_tape_bytes >> 20,
             self.prefetches,
             self.prefetch_s,
             self.prefetch_bytes >> 20,
+            self.bytes_copied >> 10,
         )
     }
 }
@@ -66,6 +73,7 @@ struct HeavenMetrics {
     prefetch_s: FloatCounter,
     prefetch_bytes: Counter,
     region_fetches: Counter,
+    bytes_copied: Counter,
 }
 
 impl HeavenMetrics {
@@ -77,6 +85,7 @@ impl HeavenMetrics {
             prefetch_s: registry.fcounter("heaven.prefetch_s"),
             prefetch_bytes: registry.counter("heaven.prefetch_bytes"),
             region_fetches: registry.counter("heaven.region_fetches"),
+            bytes_copied: registry.counter("heaven.bytes_copied"),
         }
     }
 
@@ -88,6 +97,7 @@ impl HeavenMetrics {
             prefetch_s: self.prefetch_s.get(),
             prefetch_bytes: self.prefetch_bytes.get(),
             region_fetches: self.region_fetches.get(),
+            bytes_copied: self.bytes_copied.get(),
         }
     }
 }
@@ -284,6 +294,10 @@ impl Heaven {
                 .heaven
                 .st_tape_fetches
                 .saturating_sub(q.snap.heaven.st_tape_fetches),
+            bytes_copied: cur
+                .heaven
+                .bytes_copied
+                .saturating_sub(q.snap.heaven.bytes_copied),
             other_s: 0.0,
         };
         b.other_s = (total_s - b.levels_sum_s()).max(0.0);
@@ -432,28 +446,46 @@ impl Heaven {
 
     // -- the retrieval path (paper §3.5.2) -----------------------------------
 
-    /// Compress an outgoing super-tile payload if configured.
-    pub(crate) fn maybe_compress(&self, payload: Vec<u8>) -> Vec<u8> {
+    /// Record the memcpy performed by patching `src` into `out` (the
+    /// overlap region); feeds the `heaven.bytes_copied` metric.
+    fn note_patch_copy(&self, out: &MDArray, src: &MDArray) {
+        if let Some(ov) = out.domain().intersection(src.domain()) {
+            self.metrics
+                .bytes_copied
+                .add(ov.cell_count() * out.cell_type().size_bytes() as u64);
+        }
+    }
+
+    /// Compress an outgoing super-tile payload if configured. With
+    /// compression off this is a zero-copy pass-through.
+    pub(crate) fn maybe_compress(&self, payload: Bytes) -> Bytes {
         if self.config.compress {
-            heaven_array::rle_compress(&payload)
+            let out = heaven_array::rle_compress(&payload);
+            self.metrics.bytes_copied.add(out.len() as u64);
+            Bytes::from(out)
         } else {
             payload
         }
     }
 
-    /// Undo [`Self::maybe_compress`] on bytes read from tape.
-    pub(crate) fn maybe_decompress(&self, bytes: Vec<u8>) -> Result<Vec<u8>> {
+    /// Undo [`Self::maybe_compress`] on bytes read from tape. Zero-copy
+    /// when compression is off.
+    pub(crate) fn maybe_decompress(&self, bytes: Bytes) -> Result<Bytes> {
         if self.config.compress {
-            heaven_array::rle_decompress(&bytes)
-                .ok_or_else(|| HeavenError::Codec("corrupt compressed super-tile".into()))
+            let out = heaven_array::rle_decompress(&bytes)
+                .ok_or_else(|| HeavenError::Codec("corrupt compressed super-tile".into()))?;
+            self.metrics.bytes_copied.add(out.len() as u64);
+            Ok(Bytes::from(out))
         } else {
             Ok(bytes)
         }
     }
 
     /// Ensure a super-tile's payload is available *uncompressed*; returns
-    /// it. Charges either a disk-cache hit or a tape fetch.
-    pub(crate) fn supertile_payload(&mut self, st: SuperTileId) -> Result<Vec<u8>> {
+    /// it. Charges either a disk-cache hit or a tape fetch. The returned
+    /// handle aliases the cache entry (and, on a cold fetch without
+    /// compression, the tape segment itself) — no payload copies.
+    pub(crate) fn supertile_payload(&mut self, st: SuperTileId) -> Result<Bytes> {
         if let Some(p) = self.st_cache.get(st) {
             return Ok(p);
         }
@@ -468,7 +500,7 @@ impl Heaven {
                 ("medium", addr.medium.into()),
             ],
         );
-        let result: Result<Vec<u8>> = (|| {
+        let result: Result<Bytes> = (|| {
             let raw = self.store.read(addr)?;
             self.metrics.st_tape_fetches.inc();
             self.metrics.st_tape_bytes.add(addr.len);
@@ -568,12 +600,14 @@ impl Heaven {
         let mut pending: BTreeMap<SuperTileId, Vec<TileId>> = BTreeMap::new();
         for tid in meta.tiles_intersecting(&target) {
             if let Some(t) = self.tile_cache.get(tid) {
+                self.note_patch_copy(&out, &t.data);
                 out.patch(&t.data)?;
                 continue;
             }
             match self.adb.tile_location(tid)? {
                 TileLocation::Disk => {
                     let t = self.adb.read_tile(tid)?;
+                    self.note_patch_copy(&out, &t.data);
                     out.patch(&t.data)?;
                     self.tile_cache.put(t);
                 }
@@ -642,7 +676,9 @@ impl Heaven {
                         .clone();
                     let bytes = self.store.read_range(addr, m.offset, m.len)?;
                     self.metrics.st_tape_bytes.add(m.len);
-                    let (t, _) = heaven_array::Tile::decode(&bytes).map_err(HeavenError::Array)?;
+                    let (t, _) =
+                        heaven_array::Tile::decode_shared(&bytes, 0).map_err(HeavenError::Array)?;
+                    self.note_patch_copy(&out, &t.data);
                     out.patch(&t.data)?;
                     self.tile_cache.put(t);
                 }
@@ -653,6 +689,7 @@ impl Heaven {
             let payload = self.supertile_payload(st)?;
             for tid in needed {
                 let t = decode_member(&meta_st, &payload, tid)?;
+                self.note_patch_copy(&out, &t.data);
                 out.patch(&t.data)?;
                 self.tile_cache.put(t);
             }

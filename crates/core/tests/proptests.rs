@@ -1,7 +1,7 @@
 //! Property-based tests of HEAVEN's core invariants: STAR/eSTAR
 //! partitioning, the scheduler, the cache, and the super-tile codec.
 
-use heaven_array::{CellType, LinearOrder, MDArray, Minterval, Tile, Tiling};
+use heaven_array::{CellType, LinearOrder, MDArray, Minterval, Point, Tile, Tiling};
 use heaven_core::{
     count_exchanges, decode_all, encode_supertile, estar_partition, schedule, star_partition,
     AccessPattern, EvictionPolicy, FetchRequest, SuperTileCache, TileInfo,
@@ -178,4 +178,71 @@ proptest! {
         let decoded = decode_all(&meta, &payload).unwrap();
         prop_assert_eq!(decoded, tiles);
     }
+
+    /// Zero-copy decode of a sliced member equals the owned decode path,
+    /// byte for byte.
+    #[test]
+    fn shared_decode_matches_owned_decode(
+        n in 1usize..8,
+        seed in 0i64..1000,
+    ) {
+        let tiles = seeded_tiles(n, seed);
+        let (payload, meta) = encode_supertile(42, 9, &tiles);
+        for m in &meta.members {
+            let start = m.offset as usize;
+            let end = start + m.len as usize;
+            // old path: owned decode from a plain byte slice
+            let (owned, used_o) = Tile::decode(&payload[start..end]).unwrap();
+            // new path: zero-copy decode of a Bytes slice
+            let slice = payload.slice(start..end);
+            let (shared, used_s) = Tile::decode_shared(&slice, 0).unwrap();
+            prop_assert_eq!(used_o, used_s);
+            prop_assert_eq!(&owned, &shared);
+            prop_assert_eq!(owned.data.bytes(), shared.data.bytes());
+            prop_assert!(shared.data.is_shared(), "slice decode must borrow");
+        }
+    }
+
+    /// Mutating one decoded member detaches it (copy-on-write) without
+    /// disturbing its siblings or the shared payload.
+    #[test]
+    fn cow_mutation_leaves_siblings_untouched(
+        n in 2usize..8,
+        seed in 0i64..1000,
+        victim_idx in 0usize..8,
+    ) {
+        let tiles = seeded_tiles(n, seed);
+        let (payload, meta) = encode_supertile(42, 9, &tiles);
+        let mut decoded = decode_all(&meta, &payload).unwrap();
+        let victim = victim_idx % decoded.len();
+        let p = Point::new(vec![victim as i64 * 10, 0]);
+        decoded[victim].data.set(&p, 77.0).unwrap();
+        prop_assert!(!decoded[victim].data.is_shared(), "write must detach");
+        prop_assert_eq!(decoded[victim].data.get_f64(&p).unwrap(), 77.0);
+        // a fresh decode of the same payload still matches the originals
+        let fresh = decode_all(&meta, &payload).unwrap();
+        prop_assert_eq!(&fresh, &tiles);
+        for (i, (d, f)) in decoded.iter().zip(&fresh).enumerate() {
+            if i != victim {
+                prop_assert_eq!(d, f, "sibling {} changed", i);
+            }
+        }
+    }
+}
+
+/// Deterministic run of `n` tiles along the first axis (10x5 i16 each).
+fn seeded_tiles(n: usize, seed: i64) -> Vec<Tile> {
+    (0..n)
+        .map(|i| {
+            let lo = i as i64 * 10;
+            let dom = Minterval::new(&[(lo, lo + 9), (0, 4)]).unwrap();
+            Tile::new(
+                i as u64 + 1,
+                9,
+                MDArray::generate(dom, CellType::I16, |p| {
+                    ((seed + p.coord(0) * 5 + p.coord(1)) % 32_000) as f64
+                }),
+            )
+        })
+        .collect()
 }

@@ -7,6 +7,7 @@
 //! intra-/inter-super-tile clustering and query scheduling possible.
 
 use crate::error::Result;
+use bytes::Bytes;
 use heaven_tape::{MediumId, SimClock, TapeLibrary, TapeStats, WritePayload};
 
 /// Location of a stored block (super-tile) on tertiary storage.
@@ -105,14 +106,14 @@ impl DirectStore {
         m
     }
 
-    /// Read a block.
-    pub fn read(&mut self, addr: BlockAddress) -> Result<Vec<u8>> {
+    /// Read a block. The returned `Bytes` aliases the stored segment.
+    pub fn read(&mut self, addr: BlockAddress) -> Result<Bytes> {
         Ok(self.library.read(addr.medium, addr.offset, addr.len)?)
     }
 
     /// Read a sub-range of a block (partial super-tile reads are possible
     /// on random-access media; on tape they still pay the locate).
-    pub fn read_range(&mut self, addr: BlockAddress, rel_offset: u64, len: u64) -> Result<Vec<u8>> {
+    pub fn read_range(&mut self, addr: BlockAddress, rel_offset: u64, len: u64) -> Result<Bytes> {
         Ok(self
             .library
             .read(addr.medium, addr.offset + rel_offset, len)?)
@@ -141,7 +142,7 @@ mod tests {
     #[test]
     fn append_and_read_block() {
         let mut s = store();
-        let addr = s.append(WritePayload::Real(vec![3u8; 512])).unwrap();
+        let addr = s.append(WritePayload::real(vec![3u8; 512])).unwrap();
         assert_eq!(s.read(addr).unwrap(), vec![3u8; 512]);
         assert_eq!(s.fill_media().len(), 1);
     }
@@ -153,7 +154,7 @@ mod tests {
         for (i, b) in payload.iter_mut().enumerate() {
             *b = i as u8;
         }
-        let addr = s.append(WritePayload::Real(payload)).unwrap();
+        let addr = s.append(WritePayload::real(payload)).unwrap();
         assert_eq!(s.read_range(addr, 10, 3).unwrap(), vec![10, 11, 12]);
     }
 

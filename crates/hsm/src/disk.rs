@@ -5,6 +5,7 @@
 //! costs to the shared simulated clock. Purging decisions are made by the
 //! HSM (see [`crate::policy`]); the disk itself only tracks recency.
 
+use bytes::Bytes;
 use heaven_tape::{DiskProfile, SimClock};
 use std::collections::HashMap;
 
@@ -27,7 +28,7 @@ pub struct DiskStats {
 struct StagedFile {
     len: u64,
     /// `None` for phantom payloads.
-    data: Option<Vec<u8>>,
+    data: Option<Bytes>,
     last_access: u64,
     /// Pinned files are never purge candidates (in active use).
     pinned: bool,
@@ -86,7 +87,9 @@ impl StagingDisk {
 
     /// Store a file (replacing any previous copy). Charges one write.
     /// Returns `false` if the file exceeds the disk capacity outright.
-    pub fn store(&mut self, name: &str, len: u64, data: Option<Vec<u8>>) -> bool {
+    /// The payload handle is kept as-is — staging a tape segment here is
+    /// a refcount bump, not a copy.
+    pub fn store(&mut self, name: &str, len: u64, data: Option<Bytes>) -> bool {
         if len > self.capacity {
             return false;
         }
@@ -112,8 +115,9 @@ impl StagingDisk {
 
     /// Read `len` bytes at `offset` of a staged file. Returns `None` when
     /// the file is absent or the range is out of bounds; phantom files read
-    /// as zeros. Charges one read of `len` bytes.
-    pub fn read(&mut self, name: &str, offset: u64, len: u64) -> Option<Vec<u8>> {
+    /// as zeros. Charges one read of `len` bytes. Real payloads are served
+    /// as zero-copy slices of the staged buffer.
+    pub fn read(&mut self, name: &str, offset: u64, len: u64) -> Option<Bytes> {
         self.counter += 1;
         let counter = self.counter;
         let f = self.files.get_mut(name)?;
@@ -127,8 +131,8 @@ impl StagingDisk {
         self.stats.bytes_read += len;
         self.stats.io_s += t;
         Some(match &f.data {
-            Some(bytes) => bytes[offset as usize..(offset + len) as usize].to_vec(),
-            None => vec![0u8; len as usize],
+            Some(bytes) => bytes.slice(offset as usize..(offset + len) as usize),
+            None => Bytes::from(vec![0u8; len as usize]),
         })
     }
 
@@ -172,12 +176,12 @@ mod tests {
     #[test]
     fn store_read_remove() {
         let mut d = disk(1000);
-        assert!(d.store("a", 4, Some(vec![1, 2, 3, 4])));
-        assert_eq!(d.read("a", 1, 2), Some(vec![2, 3]));
+        assert!(d.store("a", 4, Some(vec![1, 2, 3, 4].into())));
+        assert_eq!(d.read("a", 1, 2).unwrap(), vec![2, 3]);
         assert_eq!(d.used(), 4);
         assert_eq!(d.remove("a"), Some(4));
         assert_eq!(d.used(), 0);
-        assert_eq!(d.read("a", 0, 1), None);
+        assert!(d.read("a", 0, 1).is_none());
     }
 
     #[test]
@@ -192,7 +196,7 @@ mod tests {
         let mut d = disk(100);
         d.store("a", 10, None);
         assert!(d.read("a", 5, 10).is_none());
-        assert_eq!(d.read("a", 5, 5), Some(vec![0u8; 5]));
+        assert_eq!(d.read("a", 5, 5).unwrap(), vec![0u8; 5]);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::catalog::{FileCatalog, FileEntry};
 use crate::disk::{DiskStats, StagingDisk};
 use crate::error::{HsmError, Result};
 use crate::policy::WatermarkPolicy;
+use bytes::Bytes;
 use heaven_obs::{Field, MetricsRegistry, TraceBus};
 use heaven_tape::{MediumId, SimClock, TapeLibrary, TapeStats, WritePayload};
 
@@ -134,8 +135,9 @@ impl HsmSystem {
     ///
     /// If the file is not staged, the **entire file** is first copied from
     /// tape to the staging disk (the HSM granularity limitation), purging
-    /// LRU files per the watermark policy to make room.
-    pub fn read_range(&mut self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+    /// LRU files per the watermark policy to make room. The returned
+    /// `Bytes` aliases the staged copy — repeat reads never re-copy.
+    pub fn read_range(&mut self, name: &str, offset: u64, len: u64) -> Result<Bytes> {
         let entry = self
             .catalog
             .get(name)
@@ -157,7 +159,7 @@ impl HsmSystem {
     }
 
     /// Read a whole archived file.
-    pub fn read(&mut self, name: &str) -> Result<Vec<u8>> {
+    pub fn read(&mut self, name: &str) -> Result<Bytes> {
         let entry = self
             .catalog
             .get(name)
@@ -286,7 +288,7 @@ mod tests {
     #[test]
     fn archive_and_read_back() {
         let mut h = hsm(1 << 30);
-        h.archive("f1", WritePayload::Real(vec![5u8; 4096]))
+        h.archive("f1", WritePayload::real(vec![5u8; 4096]))
             .unwrap();
         assert!(!h.is_staged("f1"));
         let data = h.read("f1").unwrap();

@@ -28,7 +28,7 @@ proptest! {
         // archive files with recognizable contents
         for (i, &len) in sizes.iter().enumerate() {
             let data: Vec<u8> = (0..len).map(|b| ((b + i as u64 * 37) % 251) as u8).collect();
-            h.archive(&format!("f{i}"), WritePayload::Real(data)).unwrap();
+            h.archive(&format!("f{i}"), WritePayload::real(data)).unwrap();
         }
         for &(fi, off_frac, len_frac) in &reads {
             let fi = fi % sizes.len();

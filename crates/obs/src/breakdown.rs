@@ -53,6 +53,9 @@ pub struct QueryBreakdown {
     pub media_exchanges: u64,
     /// Super-tiles fetched from tape.
     pub tape_fetches: u64,
+    /// Payload bytes memcpy'd materializing the result (the
+    /// `heaven.bytes_copied` delta over this query).
+    pub bytes_copied: u64,
 
     /// Simulated time not attributed to any known level.
     pub other_s: f64,
@@ -102,6 +105,7 @@ impl QueryBreakdown {
             ("tape_bytes", self.tape_bytes),
             ("media_exchanges", self.media_exchanges),
             ("tape_fetches", self.tape_fetches),
+            ("bytes_copied", self.bytes_copied),
         ];
         for (k, v) in pairs_u {
             out.push(',');
@@ -178,12 +182,13 @@ impl fmt::Display for QueryBreakdown {
             self.shelf_s,
             pct(self.shelf_s, self.total_s)
         )?;
-        write!(
+        writeln!(
             f,
             "  other                {:>12.6} s  ({:5.1}%)",
             self.other_s,
             pct(self.other_s, self.total_s)
-        )
+        )?;
+        write!(f, "  bytes copied         {:>12} B", self.bytes_copied)
     }
 }
 

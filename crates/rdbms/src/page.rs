@@ -1,5 +1,7 @@
 //! Pages: the unit of disk I/O and buffering.
 
+use std::sync::Arc;
+
 /// Size of one page in bytes (8 KiB, the classical RDBMS default).
 pub const PAGE_SIZE: usize = 8192;
 
@@ -10,15 +12,20 @@ pub type PageId = u64;
 pub const META_PAGE: PageId = 0;
 
 /// An in-memory page image.
+///
+/// The image is refcounted: `clone` is a pointer bump, so the buffer pool
+/// can hand out page copies without duplicating 8 KiB per access. Mutation
+/// goes through [`Page::as_mut_slice`] / the `write_*` accessors, which
+/// detach a private copy first if the image is shared (copy-on-write).
 #[derive(Clone)]
 pub struct Page {
-    bytes: Box<[u8; PAGE_SIZE]>,
+    bytes: Arc<[u8; PAGE_SIZE]>,
 }
 
 impl Default for Page {
     fn default() -> Self {
         Page {
-            bytes: Box::new([0u8; PAGE_SIZE]),
+            bytes: Arc::new([0u8; PAGE_SIZE]),
         }
     }
 }
@@ -40,9 +47,15 @@ impl Page {
         &self.bytes[..]
     }
 
-    /// Mutable view of the page bytes.
+    /// Mutable view of the page bytes (copy-on-write: detaches a private
+    /// image if this one is shared with other handles).
     pub fn as_mut_slice(&mut self) -> &mut [u8] {
-        &mut self.bytes[..]
+        &mut Arc::make_mut(&mut self.bytes)[..]
+    }
+
+    /// Whether other handles share this image (diagnostics).
+    pub fn is_shared(&self) -> bool {
+        Arc::strong_count(&self.bytes) > 1
     }
 
     /// Read a little-endian u64 at `off`.
@@ -52,7 +65,7 @@ impl Page {
 
     /// Write a little-endian u64 at `off`.
     pub fn write_u64(&mut self, off: usize, v: u64) {
-        self.bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        Arc::make_mut(&mut self.bytes)[off..off + 8].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Read a little-endian u32 at `off`.
@@ -62,7 +75,7 @@ impl Page {
 
     /// Write a little-endian u32 at `off`.
     pub fn write_u32(&mut self, off: usize, v: u32) {
-        self.bytes[off..off + 4].copy_from_slice(&v.to_le_bytes());
+        Arc::make_mut(&mut self.bytes)[off..off + 4].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Read a little-endian u16 at `off`.
@@ -72,7 +85,7 @@ impl Page {
 
     /// Write a little-endian u16 at `off`.
     pub fn write_u16(&mut self, off: usize, v: u16) {
-        self.bytes[off..off + 2].copy_from_slice(&v.to_le_bytes());
+        Arc::make_mut(&mut self.bytes)[off..off + 2].copy_from_slice(&v.to_le_bytes());
     }
 }
 
@@ -89,6 +102,19 @@ mod tests {
         assert_eq!(p.read_u64(0), 0xDEAD_BEEF_CAFE_BABE);
         assert_eq!(p.read_u32(100), 42);
         assert_eq!(p.read_u16(200), 7);
+    }
+
+    #[test]
+    fn clone_shares_until_write() {
+        let mut a = Page::new();
+        a.write_u64(0, 11);
+        let mut b = a.clone();
+        assert!(a.is_shared() && b.is_shared());
+        assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+        b.write_u64(0, 22);
+        assert!(!a.is_shared() && !b.is_shared());
+        assert_eq!(a.read_u64(0), 11, "CoW must not affect the sibling");
+        assert_eq!(b.read_u64(0), 22);
     }
 
     #[test]

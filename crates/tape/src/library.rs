@@ -11,6 +11,7 @@ use crate::error::{Result, TapeError};
 use crate::media::{Medium, MediumId};
 use crate::profile::DeviceProfile;
 use crate::stats::TapeStats;
+use bytes::Bytes;
 use heaven_obs::{Counter, Field, FloatCounter, MetricsRegistry, TraceBus};
 use std::collections::BTreeMap;
 
@@ -86,14 +87,21 @@ impl TapeMetrics {
 /// Payload of a write: real bytes or a phantom size.
 #[derive(Debug, Clone)]
 pub enum WritePayload {
-    /// Real bytes (retrievable).
-    Real(Vec<u8>),
+    /// Real bytes (retrievable). Cloning is a refcount bump, so staging a
+    /// payload for write never duplicates it.
+    Real(Bytes),
     /// Size-only payload; reads return zeros. Lets experiments run
     /// paper-scale data volumes without host memory.
     Phantom(u64),
 }
 
 impl WritePayload {
+    /// A real payload from anything convertible to [`Bytes`] (`Vec<u8>` is
+    /// O(1), slices copy once).
+    pub fn real(data: impl Into<Bytes>) -> WritePayload {
+        WritePayload::Real(data.into())
+    }
+
     /// Payload length in bytes.
     pub fn len(&self) -> u64 {
         match self {
@@ -429,8 +437,10 @@ impl TapeLibrary {
         Ok(off)
     }
 
-    /// Read `len` bytes at `offset` from a medium.
-    pub fn read(&mut self, id: MediumId, offset: u64, len: u64) -> Result<Vec<u8>> {
+    /// Read `len` bytes at `offset` from a medium. The returned `Bytes`
+    /// aliases the stored segment — the simulated transfer is charged to
+    /// the clock, but no host-memory copy happens.
+    pub fn read(&mut self, id: MediumId, offset: u64, len: u64) -> Result<Bytes> {
         let di = self.ensure_mounted(id)?;
         let head = self.drives[di].head_pos;
         let locate = self.profile.locate_time_s(head, offset);
@@ -527,7 +537,7 @@ mod tests {
     fn write_read_roundtrip_with_costs() {
         let mut l = lib(1);
         let m = l.add_medium();
-        let off = l.write(m, WritePayload::Real(vec![7u8; 1024])).unwrap();
+        let off = l.write(m, WritePayload::real(vec![7u8; 1024])).unwrap();
         assert_eq!(off, 0);
         let t_after_write = l.clock().now_s();
         assert!(t_after_write > 0.0, "mount+transfer must cost time");
@@ -724,7 +734,7 @@ mod tests {
     fn erase_resets_medium() {
         let mut l = lib(1);
         let m = l.add_medium();
-        l.write(m, WritePayload::Real(vec![1; 10])).unwrap();
+        l.write(m, WritePayload::real(vec![1; 10])).unwrap();
         l.erase_medium(m).unwrap();
         assert_eq!(l.medium_used(m).unwrap(), 0);
         assert!(l.read(m, 0, 1).is_err());

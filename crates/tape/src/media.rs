@@ -7,6 +7,7 @@
 //! phantom segment return zeroed buffers.
 
 use crate::error::{Result, TapeError};
+use bytes::Bytes;
 use std::collections::BTreeMap;
 
 /// Identifier of a medium within its library.
@@ -18,7 +19,7 @@ pub struct Segment {
     /// Length in bytes.
     pub len: u64,
     /// Payload; `None` for phantom segments.
-    pub data: Option<Vec<u8>>,
+    pub data: Option<Bytes>,
 }
 
 /// A removable medium.
@@ -61,7 +62,8 @@ impl Medium {
     }
 
     /// Append a segment with real payload; returns its start offset.
-    pub fn append(&mut self, data: Vec<u8>) -> Result<u64> {
+    pub fn append(&mut self, data: impl Into<Bytes>) -> Result<u64> {
+        let data = data.into();
         let len = data.len() as u64;
         self.append_segment(Segment {
             len,
@@ -90,8 +92,10 @@ impl Medium {
 
     /// Read `len` bytes starting at `offset`. The range must lie within a
     /// single segment (callers address whole stored objects or parts of
-    /// them, never byte ranges crossing objects).
-    pub fn read(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
+    /// them, never byte ranges crossing objects). For real segments the
+    /// returned `Bytes` is a zero-copy slice of the stored payload; only
+    /// phantom reads allocate (a zeroed buffer).
+    pub fn read(&self, offset: u64, len: u64) -> Result<Bytes> {
         // Find the segment containing `offset`.
         let (seg_off, seg) =
             self.segments
@@ -117,8 +121,8 @@ impl Medium {
             });
         }
         Ok(match &seg.data {
-            Some(bytes) => bytes[rel as usize..(rel + len) as usize].to_vec(),
-            None => vec![0u8; len as usize],
+            Some(bytes) => bytes.slice(rel as usize..(rel + len) as usize),
+            None => Bytes::from(vec![0u8; len as usize]),
         })
     }
 

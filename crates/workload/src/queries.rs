@@ -146,7 +146,6 @@ pub fn framing_workloads(domain: &Minterval) -> Vec<(&'static str, Frame)> {
             .collect();
         Minterval::from_intervals(axes)
     };
-    let full = domain.clone();
     let _ = hi;
     vec![
         (
@@ -157,7 +156,7 @@ pub fn framing_workloads(domain: &Minterval) -> Vec<(&'static str, Frame)> {
         ),
         (
             "shell",
-            Frame::from_box(full.clone())
+            Frame::from_box(domain.clone())
                 .difference(&Frame::from_box(box_of(&[(0.1, 0.9), (0.1, 0.9)])))
                 .expect("same dim"),
         ),

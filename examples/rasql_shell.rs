@@ -118,8 +118,9 @@ fn main() {
             }
             "\\stats" => {
                 println!(
-                    "tape: {}\nst-cache hit ratio: {:.2}  tile-cache hit ratio: {:.2}\nsimulated time: {:.1} s",
+                    "tape: {}\nheaven: {}\nst-cache hit ratio: {:.2}  tile-cache hit ratio: {:.2}\nsimulated time: {:.1} s",
                     heaven.tape_stats(),
+                    heaven.stats(),
                     heaven.st_cache_stats().hit_ratio(),
                     heaven.tile_cache_stats().hit_ratio(),
                     heaven.clock().now_s()

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Run the materialization benchmark (owned vs zero-copy, cold vs warm,
+# 1/4/16-tile super-tiles) and record machine-readable results.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# cargo runs bench binaries from the package dir: make the path absolute
+out="$(pwd)/${1:-BENCH_materialize.json}"
+cargo bench -p heaven-bench --bench materialize -- --json "$out"

@@ -8,10 +8,13 @@ echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy (warnings denied)"
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings -D clippy::redundant_clone
 
 echo "==> cargo build --release"
 cargo build --release
+
+echo "==> cargo bench --no-run"
+cargo bench --workspace --no-run
 
 echo "==> cargo test --workspace"
 cargo test -q --workspace

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/array_ops-3ea7ca3b0829641b.d: crates/bench/benches/array_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarray_ops-3ea7ca3b0829641b.rmeta: crates/bench/benches/array_ops.rs Cargo.toml
+
+crates/bench/benches/array_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

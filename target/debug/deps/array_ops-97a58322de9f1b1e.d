@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/array_ops-97a58322de9f1b1e.d: crates/bench/benches/array_ops.rs
+
+/root/repo/target/debug/deps/array_ops-97a58322de9f1b1e: crates/bench/benches/array_ops.rs
+
+crates/bench/benches/array_ops.rs:

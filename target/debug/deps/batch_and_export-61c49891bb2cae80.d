@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_and_export-61c49891bb2cae80.d: crates/core/tests/batch_and_export.rs
+
+/root/repo/target/debug/deps/batch_and_export-61c49891bb2cae80: crates/core/tests/batch_and_export.rs
+
+crates/core/tests/batch_and_export.rs:

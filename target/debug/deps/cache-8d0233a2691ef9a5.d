@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache-8d0233a2691ef9a5.d: crates/bench/benches/cache.rs
+
+/root/repo/target/debug/deps/cache-8d0233a2691ef9a5: crates/bench/benches/cache.rs
+
+crates/bench/benches/cache.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache-a5a275d9166ba7d1.d: crates/bench/benches/cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache-a5a275d9166ba7d1.rmeta: crates/bench/benches/cache.rs Cargo.toml
+
+crates/bench/benches/cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clustering-b2424e7f9a8490cc.d: crates/bench/benches/clustering.rs
+
+/root/repo/target/debug/deps/clustering-b2424e7f9a8490cc: crates/bench/benches/clustering.rs
+
+crates/bench/benches/clustering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec-a5fc2ecded8603db.d: crates/bench/benches/codec.rs
+
+/root/repo/target/debug/deps/codec-a5fc2ecded8603db: crates/bench/benches/codec.rs
+
+crates/bench/benches/codec.rs:

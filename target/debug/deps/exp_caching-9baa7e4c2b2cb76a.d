@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_caching-9baa7e4c2b2cb76a.d: crates/bench/src/bin/exp_caching.rs
+
+/root/repo/target/debug/deps/exp_caching-9baa7e4c2b2cb76a: crates/bench/src/bin/exp_caching.rs
+
+crates/bench/src/bin/exp_caching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_caching-dbfcb686179d6961.d: crates/bench/src/bin/exp_caching.rs
+
+/root/repo/target/debug/deps/exp_caching-dbfcb686179d6961: crates/bench/src/bin/exp_caching.rs
+
+crates/bench/src/bin/exp_caching.rs:

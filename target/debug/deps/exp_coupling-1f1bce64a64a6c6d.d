@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_coupling-1f1bce64a64a6c6d.d: crates/bench/src/bin/exp_coupling.rs
+
+/root/repo/target/debug/deps/exp_coupling-1f1bce64a64a6c6d: crates/bench/src/bin/exp_coupling.rs
+
+crates/bench/src/bin/exp_coupling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_coupling-b349bdff1dbd1b7b.d: crates/bench/src/bin/exp_coupling.rs
+
+/root/repo/target/debug/deps/exp_coupling-b349bdff1dbd1b7b: crates/bench/src/bin/exp_coupling.rs
+
+crates/bench/src/bin/exp_coupling.rs:

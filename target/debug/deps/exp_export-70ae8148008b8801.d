@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_export-70ae8148008b8801.d: crates/bench/src/bin/exp_export.rs
+
+/root/repo/target/debug/deps/exp_export-70ae8148008b8801: crates/bench/src/bin/exp_export.rs
+
+crates/bench/src/bin/exp_export.rs:

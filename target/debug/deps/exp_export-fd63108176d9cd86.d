@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_export-fd63108176d9cd86.d: crates/bench/src/bin/exp_export.rs
+
+/root/repo/target/debug/deps/exp_export-fd63108176d9cd86: crates/bench/src/bin/exp_export.rs
+
+crates/bench/src/bin/exp_export.rs:

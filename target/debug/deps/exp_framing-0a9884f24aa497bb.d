@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_framing-0a9884f24aa497bb.d: crates/bench/src/bin/exp_framing.rs
+
+/root/repo/target/debug/deps/exp_framing-0a9884f24aa497bb: crates/bench/src/bin/exp_framing.rs
+
+crates/bench/src/bin/exp_framing.rs:

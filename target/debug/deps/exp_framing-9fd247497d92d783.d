@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_framing-9fd247497d92d783.d: crates/bench/src/bin/exp_framing.rs
+
+/root/repo/target/debug/deps/exp_framing-9fd247497d92d783: crates/bench/src/bin/exp_framing.rs
+
+crates/bench/src/bin/exp_framing.rs:

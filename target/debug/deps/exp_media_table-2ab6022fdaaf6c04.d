@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_media_table-2ab6022fdaaf6c04.d: crates/bench/src/bin/exp_media_table.rs
+
+/root/repo/target/debug/deps/exp_media_table-2ab6022fdaaf6c04: crates/bench/src/bin/exp_media_table.rs
+
+crates/bench/src/bin/exp_media_table.rs:

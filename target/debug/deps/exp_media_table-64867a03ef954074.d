@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_media_table-64867a03ef954074.d: crates/bench/src/bin/exp_media_table.rs
+
+/root/repo/target/debug/deps/exp_media_table-64867a03ef954074: crates/bench/src/bin/exp_media_table.rs
+
+crates/bench/src/bin/exp_media_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_precomp-678b803b168ef83b.d: crates/bench/src/bin/exp_precomp.rs
+
+/root/repo/target/debug/deps/exp_precomp-678b803b168ef83b: crates/bench/src/bin/exp_precomp.rs
+
+crates/bench/src/bin/exp_precomp.rs:

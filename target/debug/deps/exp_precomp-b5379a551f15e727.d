@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_precomp-b5379a551f15e727.d: crates/bench/src/bin/exp_precomp.rs
+
+/root/repo/target/debug/deps/exp_precomp-b5379a551f15e727: crates/bench/src/bin/exp_precomp.rs
+
+crates/bench/src/bin/exp_precomp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_prefetch-60e3eacf1ecadf5b.d: crates/bench/src/bin/exp_prefetch.rs
+
+/root/repo/target/debug/deps/exp_prefetch-60e3eacf1ecadf5b: crates/bench/src/bin/exp_prefetch.rs
+
+crates/bench/src/bin/exp_prefetch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_prefetch-b8fcf10d27ec8ab5.d: crates/bench/src/bin/exp_prefetch.rs
+
+/root/repo/target/debug/deps/exp_prefetch-b8fcf10d27ec8ab5: crates/bench/src/bin/exp_prefetch.rs
+
+crates/bench/src/bin/exp_prefetch.rs:

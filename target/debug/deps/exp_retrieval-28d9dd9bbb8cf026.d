@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_retrieval-28d9dd9bbb8cf026.d: crates/bench/src/bin/exp_retrieval.rs
+
+/root/repo/target/debug/deps/exp_retrieval-28d9dd9bbb8cf026: crates/bench/src/bin/exp_retrieval.rs
+
+crates/bench/src/bin/exp_retrieval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_retrieval-a1786e38702d0378.d: crates/bench/src/bin/exp_retrieval.rs
+
+/root/repo/target/debug/deps/exp_retrieval-a1786e38702d0378: crates/bench/src/bin/exp_retrieval.rs
+
+crates/bench/src/bin/exp_retrieval.rs:

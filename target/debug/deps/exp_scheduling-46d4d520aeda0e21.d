@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_scheduling-46d4d520aeda0e21.d: crates/bench/src/bin/exp_scheduling.rs
+
+/root/repo/target/debug/deps/exp_scheduling-46d4d520aeda0e21: crates/bench/src/bin/exp_scheduling.rs
+
+crates/bench/src/bin/exp_scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_scheduling-b7bfc3304252d0db.d: crates/bench/src/bin/exp_scheduling.rs
+
+/root/repo/target/debug/deps/exp_scheduling-b7bfc3304252d0db: crates/bench/src/bin/exp_scheduling.rs
+
+crates/bench/src/bin/exp_scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_star_vs_estar-d2dd5ed341cf57c5.d: crates/bench/src/bin/exp_star_vs_estar.rs
+
+/root/repo/target/debug/deps/exp_star_vs_estar-d2dd5ed341cf57c5: crates/bench/src/bin/exp_star_vs_estar.rs
+
+crates/bench/src/bin/exp_star_vs_estar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_star_vs_estar-d8bac6a38f0776dd.d: crates/bench/src/bin/exp_star_vs_estar.rs
+
+/root/repo/target/debug/deps/exp_star_vs_estar-d8bac6a38f0776dd: crates/bench/src/bin/exp_star_vs_estar.rs
+
+crates/bench/src/bin/exp_star_vs_estar.rs:

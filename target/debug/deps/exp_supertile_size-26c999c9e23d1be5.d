@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_supertile_size-26c999c9e23d1be5.d: crates/bench/src/bin/exp_supertile_size.rs
+
+/root/repo/target/debug/deps/exp_supertile_size-26c999c9e23d1be5: crates/bench/src/bin/exp_supertile_size.rs
+
+crates/bench/src/bin/exp_supertile_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_supertile_size-62f5b200d329c594.d: crates/bench/src/bin/exp_supertile_size.rs
+
+/root/repo/target/debug/deps/exp_supertile_size-62f5b200d329c594: crates/bench/src/bin/exp_supertile_size.rs
+
+crates/bench/src/bin/exp_supertile_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_system-6ab3cc7d26952893.d: tests/full_system.rs
+
+/root/repo/target/debug/deps/full_system-6ab3cc7d26952893: tests/full_system.rs
+
+tests/full_system.rs:

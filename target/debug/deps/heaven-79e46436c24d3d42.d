@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/heaven-79e46436c24d3d42.d: src/lib.rs
+
+/root/repo/target/debug/deps/libheaven-79e46436c24d3d42.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libheaven-79e46436c24d3d42.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heaven-b8a5253cc032005f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheaven-b8a5253cc032005f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

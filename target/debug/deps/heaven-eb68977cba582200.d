@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heaven-eb68977cba582200.d: src/lib.rs
+
+/root/repo/target/debug/deps/heaven-eb68977cba582200: src/lib.rs
+
+src/lib.rs:

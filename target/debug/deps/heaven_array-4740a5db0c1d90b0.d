@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/heaven_array-4740a5db0c1d90b0.d: crates/array/src/lib.rs crates/array/src/codec.rs crates/array/src/domain.rs crates/array/src/error.rs crates/array/src/frame.rs crates/array/src/index.rs crates/array/src/mdd.rs crates/array/src/ops.rs crates/array/src/order.rs crates/array/src/tile.rs crates/array/src/tiling.rs crates/array/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheaven_array-4740a5db0c1d90b0.rmeta: crates/array/src/lib.rs crates/array/src/codec.rs crates/array/src/domain.rs crates/array/src/error.rs crates/array/src/frame.rs crates/array/src/index.rs crates/array/src/mdd.rs crates/array/src/ops.rs crates/array/src/order.rs crates/array/src/tile.rs crates/array/src/tiling.rs crates/array/src/value.rs Cargo.toml
+
+crates/array/src/lib.rs:
+crates/array/src/codec.rs:
+crates/array/src/domain.rs:
+crates/array/src/error.rs:
+crates/array/src/frame.rs:
+crates/array/src/index.rs:
+crates/array/src/mdd.rs:
+crates/array/src/ops.rs:
+crates/array/src/order.rs:
+crates/array/src/tile.rs:
+crates/array/src/tiling.rs:
+crates/array/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

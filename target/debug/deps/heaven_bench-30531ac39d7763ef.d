@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heaven_bench-30531ac39d7763ef.d: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libheaven_bench-30531ac39d7763ef.rlib: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libheaven_bench-30531ac39d7763ef.rmeta: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/phantom.rs:
+crates/bench/src/table.rs:

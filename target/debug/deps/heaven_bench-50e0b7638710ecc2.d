@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/heaven_bench-50e0b7638710ecc2.d: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/heaven_bench-50e0b7638710ecc2: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/phantom.rs:
+crates/bench/src/table.rs:

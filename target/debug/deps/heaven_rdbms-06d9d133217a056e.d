@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/heaven_rdbms-06d9d133217a056e.d: crates/rdbms/src/lib.rs crates/rdbms/src/blob.rs crates/rdbms/src/btree.rs crates/rdbms/src/buffer.rs crates/rdbms/src/db.rs crates/rdbms/src/disk.rs crates/rdbms/src/error.rs crates/rdbms/src/page.rs crates/rdbms/src/table.rs crates/rdbms/src/wal.rs
+
+/root/repo/target/debug/deps/heaven_rdbms-06d9d133217a056e: crates/rdbms/src/lib.rs crates/rdbms/src/blob.rs crates/rdbms/src/btree.rs crates/rdbms/src/buffer.rs crates/rdbms/src/db.rs crates/rdbms/src/disk.rs crates/rdbms/src/error.rs crates/rdbms/src/page.rs crates/rdbms/src/table.rs crates/rdbms/src/wal.rs
+
+crates/rdbms/src/lib.rs:
+crates/rdbms/src/blob.rs:
+crates/rdbms/src/btree.rs:
+crates/rdbms/src/buffer.rs:
+crates/rdbms/src/db.rs:
+crates/rdbms/src/disk.rs:
+crates/rdbms/src/error.rs:
+crates/rdbms/src/page.rs:
+crates/rdbms/src/table.rs:
+crates/rdbms/src/wal.rs:

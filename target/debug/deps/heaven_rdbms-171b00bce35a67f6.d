@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/heaven_rdbms-171b00bce35a67f6.d: crates/rdbms/src/lib.rs crates/rdbms/src/blob.rs crates/rdbms/src/btree.rs crates/rdbms/src/buffer.rs crates/rdbms/src/db.rs crates/rdbms/src/disk.rs crates/rdbms/src/error.rs crates/rdbms/src/page.rs crates/rdbms/src/table.rs crates/rdbms/src/wal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheaven_rdbms-171b00bce35a67f6.rmeta: crates/rdbms/src/lib.rs crates/rdbms/src/blob.rs crates/rdbms/src/btree.rs crates/rdbms/src/buffer.rs crates/rdbms/src/db.rs crates/rdbms/src/disk.rs crates/rdbms/src/error.rs crates/rdbms/src/page.rs crates/rdbms/src/table.rs crates/rdbms/src/wal.rs Cargo.toml
+
+crates/rdbms/src/lib.rs:
+crates/rdbms/src/blob.rs:
+crates/rdbms/src/btree.rs:
+crates/rdbms/src/buffer.rs:
+crates/rdbms/src/db.rs:
+crates/rdbms/src/disk.rs:
+crates/rdbms/src/error.rs:
+crates/rdbms/src/page.rs:
+crates/rdbms/src/table.rs:
+crates/rdbms/src/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

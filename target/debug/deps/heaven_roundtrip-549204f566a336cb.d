@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heaven_roundtrip-549204f566a336cb.d: crates/core/tests/heaven_roundtrip.rs
+
+/root/repo/target/debug/deps/heaven_roundtrip-549204f566a336cb: crates/core/tests/heaven_roundtrip.rs
+
+crates/core/tests/heaven_roundtrip.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/heaven_tape-14d8b505686dd29a.d: crates/tape/src/lib.rs crates/tape/src/clock.rs crates/tape/src/error.rs crates/tape/src/library.rs crates/tape/src/media.rs crates/tape/src/profile.rs crates/tape/src/stats.rs
+
+/root/repo/target/debug/deps/libheaven_tape-14d8b505686dd29a.rlib: crates/tape/src/lib.rs crates/tape/src/clock.rs crates/tape/src/error.rs crates/tape/src/library.rs crates/tape/src/media.rs crates/tape/src/profile.rs crates/tape/src/stats.rs
+
+/root/repo/target/debug/deps/libheaven_tape-14d8b505686dd29a.rmeta: crates/tape/src/lib.rs crates/tape/src/clock.rs crates/tape/src/error.rs crates/tape/src/library.rs crates/tape/src/media.rs crates/tape/src/profile.rs crates/tape/src/stats.rs
+
+crates/tape/src/lib.rs:
+crates/tape/src/clock.rs:
+crates/tape/src/error.rs:
+crates/tape/src/library.rs:
+crates/tape/src/media.rs:
+crates/tape/src/profile.rs:
+crates/tape/src/stats.rs:

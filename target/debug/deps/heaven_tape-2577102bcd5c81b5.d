@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/heaven_tape-2577102bcd5c81b5.d: crates/tape/src/lib.rs crates/tape/src/clock.rs crates/tape/src/error.rs crates/tape/src/library.rs crates/tape/src/media.rs crates/tape/src/profile.rs crates/tape/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheaven_tape-2577102bcd5c81b5.rmeta: crates/tape/src/lib.rs crates/tape/src/clock.rs crates/tape/src/error.rs crates/tape/src/library.rs crates/tape/src/media.rs crates/tape/src/profile.rs crates/tape/src/stats.rs Cargo.toml
+
+crates/tape/src/lib.rs:
+crates/tape/src/clock.rs:
+crates/tape/src/error.rs:
+crates/tape/src/library.rs:
+crates/tape/src/media.rs:
+crates/tape/src/profile.rs:
+crates/tape/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heaven_workload-7b1f47cb43ffac94.d: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs
+
+/root/repo/target/debug/deps/libheaven_workload-7b1f47cb43ffac94.rlib: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs
+
+/root/repo/target/debug/deps/libheaven_workload-7b1f47cb43ffac94.rmeta: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/data.rs:
+crates/workload/src/queries.rs:

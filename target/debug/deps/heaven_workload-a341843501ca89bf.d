@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/heaven_workload-a341843501ca89bf.d: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs
+
+/root/repo/target/debug/deps/heaven_workload-a341843501ca89bf: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/data.rs:
+crates/workload/src/queries.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/heaven_workload-f2535d38f91bed7c.d: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheaven_workload-f2535d38f91bed7c.rmeta: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/data.rs:
+crates/workload/src/queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

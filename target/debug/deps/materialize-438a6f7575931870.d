@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/materialize-438a6f7575931870.d: crates/bench/benches/materialize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaterialize-438a6f7575931870.rmeta: crates/bench/benches/materialize.rs Cargo.toml
+
+crates/bench/benches/materialize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_trace-1d9c5c0e962cc51e.d: tests/obs_trace.rs
+
+/root/repo/target/debug/deps/obs_trace-1d9c5c0e962cc51e: tests/obs_trace.rs
+
+tests/obs_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-03e1456ef8a3dd5b.d: crates/array/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-03e1456ef8a3dd5b: crates/array/tests/proptests.rs
+
+crates/array/tests/proptests.rs:

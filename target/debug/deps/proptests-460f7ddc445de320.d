@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-460f7ddc445de320.d: crates/hsm/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-460f7ddc445de320.rmeta: crates/hsm/tests/proptests.rs Cargo.toml
+
+crates/hsm/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

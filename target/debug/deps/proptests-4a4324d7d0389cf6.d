@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-4a4324d7d0389cf6.d: crates/rdbms/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-4a4324d7d0389cf6.rmeta: crates/rdbms/tests/proptests.rs Cargo.toml
+
+crates/rdbms/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-8778c132f7362b9c.d: crates/array/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-8778c132f7362b9c.rmeta: crates/array/tests/proptests.rs Cargo.toml
+
+crates/array/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9c4721ec94929b6e.d: crates/rdbms/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9c4721ec94929b6e: crates/rdbms/tests/proptests.rs
+
+crates/rdbms/tests/proptests.rs:

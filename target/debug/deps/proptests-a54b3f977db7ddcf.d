@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-a54b3f977db7ddcf.d: crates/core/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-a54b3f977db7ddcf.rmeta: crates/core/tests/proptests.rs Cargo.toml
+
+crates/core/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c809034fc6569e08.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c809034fc6569e08: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

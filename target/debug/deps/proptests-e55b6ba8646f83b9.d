@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e55b6ba8646f83b9.d: crates/hsm/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e55b6ba8646f83b9: crates/hsm/tests/proptests.rs
+
+crates/hsm/tests/proptests.rs:

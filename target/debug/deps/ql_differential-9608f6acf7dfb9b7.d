@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ql_differential-9608f6acf7dfb9b7.d: crates/arraydb/tests/ql_differential.rs
+
+/root/repo/target/debug/deps/ql_differential-9608f6acf7dfb9b7: crates/arraydb/tests/ql_differential.rs
+
+crates/arraydb/tests/ql_differential.rs:

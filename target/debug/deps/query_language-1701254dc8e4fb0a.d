@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/query_language-1701254dc8e4fb0a.d: crates/bench/benches/query_language.rs
+
+/root/repo/target/debug/deps/query_language-1701254dc8e4fb0a: crates/bench/benches/query_language.rs
+
+crates/bench/benches/query_language.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/query_language-5aa811c2a909748d.d: crates/bench/benches/query_language.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquery_language-5aa811c2a909748d.rmeta: crates/bench/benches/query_language.rs Cargo.toml
+
+crates/bench/benches/query_language.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduler-ed45d9ca29d10ec2.d: crates/bench/benches/scheduler.rs
+
+/root/repo/target/debug/deps/scheduler-ed45d9ca29d10ec2: crates/bench/benches/scheduler.rs
+
+crates/bench/benches/scheduler.rs:

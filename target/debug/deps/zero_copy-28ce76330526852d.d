@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_copy-28ce76330526852d.d: crates/core/tests/zero_copy.rs
+
+/root/repo/target/debug/deps/zero_copy-28ce76330526852d: crates/core/tests/zero_copy.rs
+
+crates/core/tests/zero_copy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/archive_maintenance-fa0160b1302df2fa.d: examples/archive_maintenance.rs
+
+/root/repo/target/debug/examples/archive_maintenance-fa0160b1302df2fa: examples/archive_maintenance.rs
+
+examples/archive_maintenance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/climate_archive-9fd54d8aee1f89f2.d: examples/climate_archive.rs
+
+/root/repo/target/debug/examples/climate_archive-9fd54d8aee1f89f2: examples/climate_archive.rs
+
+examples/climate_archive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e35070039d605597.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e35070039d605597: examples/quickstart.rs
+
+examples/quickstart.rs:

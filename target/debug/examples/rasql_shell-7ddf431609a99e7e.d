@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rasql_shell-7ddf431609a99e7e.d: examples/rasql_shell.rs Cargo.toml
+
+/root/repo/target/debug/examples/librasql_shell-7ddf431609a99e7e.rmeta: examples/rasql_shell.rs Cargo.toml
+
+examples/rasql_shell.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rasql_shell-9ced38b18aaccb97.d: examples/rasql_shell.rs
+
+/root/repo/target/debug/examples/rasql_shell-9ced38b18aaccb97: examples/rasql_shell.rs
+
+examples/rasql_shell.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/satellite_eoweb-a5b455953397de3e.d: examples/satellite_eoweb.rs
+
+/root/repo/target/debug/examples/satellite_eoweb-a5b455953397de3e: examples/satellite_eoweb.rs
+
+examples/satellite_eoweb.rs:

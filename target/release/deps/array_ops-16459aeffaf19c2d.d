@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/array_ops-16459aeffaf19c2d.d: crates/bench/benches/array_ops.rs
+
+/root/repo/target/release/deps/array_ops-16459aeffaf19c2d: crates/bench/benches/array_ops.rs
+
+crates/bench/benches/array_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cache-5358bd89abe854b6.d: crates/bench/benches/cache.rs
+
+/root/repo/target/release/deps/cache-5358bd89abe854b6: crates/bench/benches/cache.rs
+
+crates/bench/benches/cache.rs:

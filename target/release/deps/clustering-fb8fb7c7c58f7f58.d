@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/clustering-fb8fb7c7c58f7f58.d: crates/bench/benches/clustering.rs
+
+/root/repo/target/release/deps/clustering-fb8fb7c7c58f7f58: crates/bench/benches/clustering.rs
+
+crates/bench/benches/clustering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codec-b4000c41fcfd298c.d: crates/bench/benches/codec.rs
+
+/root/repo/target/release/deps/codec-b4000c41fcfd298c: crates/bench/benches/codec.rs
+
+crates/bench/benches/codec.rs:

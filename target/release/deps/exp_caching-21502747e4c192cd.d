@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_caching-21502747e4c192cd.d: crates/bench/src/bin/exp_caching.rs
+
+/root/repo/target/release/deps/exp_caching-21502747e4c192cd: crates/bench/src/bin/exp_caching.rs
+
+crates/bench/src/bin/exp_caching.rs:

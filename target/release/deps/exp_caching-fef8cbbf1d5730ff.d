@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_caching-fef8cbbf1d5730ff.d: crates/bench/src/bin/exp_caching.rs
+
+/root/repo/target/release/deps/exp_caching-fef8cbbf1d5730ff: crates/bench/src/bin/exp_caching.rs
+
+crates/bench/src/bin/exp_caching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_coupling-800acd852ad998db.d: crates/bench/src/bin/exp_coupling.rs
+
+/root/repo/target/release/deps/exp_coupling-800acd852ad998db: crates/bench/src/bin/exp_coupling.rs
+
+crates/bench/src/bin/exp_coupling.rs:

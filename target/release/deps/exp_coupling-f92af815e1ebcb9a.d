@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_coupling-f92af815e1ebcb9a.d: crates/bench/src/bin/exp_coupling.rs
+
+/root/repo/target/release/deps/exp_coupling-f92af815e1ebcb9a: crates/bench/src/bin/exp_coupling.rs
+
+crates/bench/src/bin/exp_coupling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_export-3192f2743a9d8c16.d: crates/bench/src/bin/exp_export.rs
+
+/root/repo/target/release/deps/exp_export-3192f2743a9d8c16: crates/bench/src/bin/exp_export.rs
+
+crates/bench/src/bin/exp_export.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_export-7d91b61d8a03b9e6.d: crates/bench/src/bin/exp_export.rs
+
+/root/repo/target/release/deps/exp_export-7d91b61d8a03b9e6: crates/bench/src/bin/exp_export.rs
+
+crates/bench/src/bin/exp_export.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_framing-287152837399deb8.d: crates/bench/src/bin/exp_framing.rs
+
+/root/repo/target/release/deps/exp_framing-287152837399deb8: crates/bench/src/bin/exp_framing.rs
+
+crates/bench/src/bin/exp_framing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_framing-c869e67f23bc0cc9.d: crates/bench/src/bin/exp_framing.rs
+
+/root/repo/target/release/deps/exp_framing-c869e67f23bc0cc9: crates/bench/src/bin/exp_framing.rs
+
+crates/bench/src/bin/exp_framing.rs:

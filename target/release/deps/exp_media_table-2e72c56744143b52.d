@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_media_table-2e72c56744143b52.d: crates/bench/src/bin/exp_media_table.rs
+
+/root/repo/target/release/deps/exp_media_table-2e72c56744143b52: crates/bench/src/bin/exp_media_table.rs
+
+crates/bench/src/bin/exp_media_table.rs:

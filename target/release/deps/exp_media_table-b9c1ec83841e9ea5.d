@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_media_table-b9c1ec83841e9ea5.d: crates/bench/src/bin/exp_media_table.rs
+
+/root/repo/target/release/deps/exp_media_table-b9c1ec83841e9ea5: crates/bench/src/bin/exp_media_table.rs
+
+crates/bench/src/bin/exp_media_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_precomp-73486220ebf524f3.d: crates/bench/src/bin/exp_precomp.rs
+
+/root/repo/target/release/deps/exp_precomp-73486220ebf524f3: crates/bench/src/bin/exp_precomp.rs
+
+crates/bench/src/bin/exp_precomp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_precomp-f409510ddd5e7a7e.d: crates/bench/src/bin/exp_precomp.rs
+
+/root/repo/target/release/deps/exp_precomp-f409510ddd5e7a7e: crates/bench/src/bin/exp_precomp.rs
+
+crates/bench/src/bin/exp_precomp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_prefetch-2ce1674df3d03744.d: crates/bench/src/bin/exp_prefetch.rs
+
+/root/repo/target/release/deps/exp_prefetch-2ce1674df3d03744: crates/bench/src/bin/exp_prefetch.rs
+
+crates/bench/src/bin/exp_prefetch.rs:

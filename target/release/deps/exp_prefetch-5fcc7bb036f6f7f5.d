@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_prefetch-5fcc7bb036f6f7f5.d: crates/bench/src/bin/exp_prefetch.rs
+
+/root/repo/target/release/deps/exp_prefetch-5fcc7bb036f6f7f5: crates/bench/src/bin/exp_prefetch.rs
+
+crates/bench/src/bin/exp_prefetch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_retrieval-4ba6f83f021c3fe5.d: crates/bench/src/bin/exp_retrieval.rs
+
+/root/repo/target/release/deps/exp_retrieval-4ba6f83f021c3fe5: crates/bench/src/bin/exp_retrieval.rs
+
+crates/bench/src/bin/exp_retrieval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_retrieval-c842f3fa3c98e557.d: crates/bench/src/bin/exp_retrieval.rs
+
+/root/repo/target/release/deps/exp_retrieval-c842f3fa3c98e557: crates/bench/src/bin/exp_retrieval.rs
+
+crates/bench/src/bin/exp_retrieval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_scheduling-5a4d3c9297d579ef.d: crates/bench/src/bin/exp_scheduling.rs
+
+/root/repo/target/release/deps/exp_scheduling-5a4d3c9297d579ef: crates/bench/src/bin/exp_scheduling.rs
+
+crates/bench/src/bin/exp_scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_scheduling-ec938655df0aa8ac.d: crates/bench/src/bin/exp_scheduling.rs
+
+/root/repo/target/release/deps/exp_scheduling-ec938655df0aa8ac: crates/bench/src/bin/exp_scheduling.rs
+
+crates/bench/src/bin/exp_scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_star_vs_estar-391202c5524d4eec.d: crates/bench/src/bin/exp_star_vs_estar.rs
+
+/root/repo/target/release/deps/exp_star_vs_estar-391202c5524d4eec: crates/bench/src/bin/exp_star_vs_estar.rs
+
+crates/bench/src/bin/exp_star_vs_estar.rs:

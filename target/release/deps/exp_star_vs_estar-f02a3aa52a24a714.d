@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_star_vs_estar-f02a3aa52a24a714.d: crates/bench/src/bin/exp_star_vs_estar.rs
+
+/root/repo/target/release/deps/exp_star_vs_estar-f02a3aa52a24a714: crates/bench/src/bin/exp_star_vs_estar.rs
+
+crates/bench/src/bin/exp_star_vs_estar.rs:

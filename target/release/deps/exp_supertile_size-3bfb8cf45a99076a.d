@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_supertile_size-3bfb8cf45a99076a.d: crates/bench/src/bin/exp_supertile_size.rs
+
+/root/repo/target/release/deps/exp_supertile_size-3bfb8cf45a99076a: crates/bench/src/bin/exp_supertile_size.rs
+
+crates/bench/src/bin/exp_supertile_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_supertile_size-4b8d9ba256668af5.d: crates/bench/src/bin/exp_supertile_size.rs
+
+/root/repo/target/release/deps/exp_supertile_size-4b8d9ba256668af5: crates/bench/src/bin/exp_supertile_size.rs
+
+crates/bench/src/bin/exp_supertile_size.rs:

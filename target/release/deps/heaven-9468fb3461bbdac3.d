@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/heaven-9468fb3461bbdac3.d: src/lib.rs
+
+/root/repo/target/release/deps/libheaven-9468fb3461bbdac3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libheaven-9468fb3461bbdac3.rmeta: src/lib.rs
+
+src/lib.rs:

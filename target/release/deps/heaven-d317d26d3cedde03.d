@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/heaven-d317d26d3cedde03.d: src/lib.rs
+
+/root/repo/target/release/deps/heaven-d317d26d3cedde03: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/heaven_array-5aa792c69d139aeb.d: crates/array/src/lib.rs crates/array/src/codec.rs crates/array/src/domain.rs crates/array/src/error.rs crates/array/src/frame.rs crates/array/src/index.rs crates/array/src/mdd.rs crates/array/src/ops.rs crates/array/src/order.rs crates/array/src/tile.rs crates/array/src/tiling.rs crates/array/src/value.rs
+
+/root/repo/target/release/deps/libheaven_array-5aa792c69d139aeb.rlib: crates/array/src/lib.rs crates/array/src/codec.rs crates/array/src/domain.rs crates/array/src/error.rs crates/array/src/frame.rs crates/array/src/index.rs crates/array/src/mdd.rs crates/array/src/ops.rs crates/array/src/order.rs crates/array/src/tile.rs crates/array/src/tiling.rs crates/array/src/value.rs
+
+/root/repo/target/release/deps/libheaven_array-5aa792c69d139aeb.rmeta: crates/array/src/lib.rs crates/array/src/codec.rs crates/array/src/domain.rs crates/array/src/error.rs crates/array/src/frame.rs crates/array/src/index.rs crates/array/src/mdd.rs crates/array/src/ops.rs crates/array/src/order.rs crates/array/src/tile.rs crates/array/src/tiling.rs crates/array/src/value.rs
+
+crates/array/src/lib.rs:
+crates/array/src/codec.rs:
+crates/array/src/domain.rs:
+crates/array/src/error.rs:
+crates/array/src/frame.rs:
+crates/array/src/index.rs:
+crates/array/src/mdd.rs:
+crates/array/src/ops.rs:
+crates/array/src/order.rs:
+crates/array/src/tile.rs:
+crates/array/src/tiling.rs:
+crates/array/src/value.rs:

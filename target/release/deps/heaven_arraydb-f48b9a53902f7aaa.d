@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/heaven_arraydb-f48b9a53902f7aaa.d: crates/arraydb/src/lib.rs crates/arraydb/src/error.rs crates/arraydb/src/provider.rs crates/arraydb/src/ql/mod.rs crates/arraydb/src/ql/ast.rs crates/arraydb/src/ql/exec.rs crates/arraydb/src/ql/lexer.rs crates/arraydb/src/ql/parser.rs crates/arraydb/src/schema.rs crates/arraydb/src/storage.rs
+
+/root/repo/target/release/deps/libheaven_arraydb-f48b9a53902f7aaa.rlib: crates/arraydb/src/lib.rs crates/arraydb/src/error.rs crates/arraydb/src/provider.rs crates/arraydb/src/ql/mod.rs crates/arraydb/src/ql/ast.rs crates/arraydb/src/ql/exec.rs crates/arraydb/src/ql/lexer.rs crates/arraydb/src/ql/parser.rs crates/arraydb/src/schema.rs crates/arraydb/src/storage.rs
+
+/root/repo/target/release/deps/libheaven_arraydb-f48b9a53902f7aaa.rmeta: crates/arraydb/src/lib.rs crates/arraydb/src/error.rs crates/arraydb/src/provider.rs crates/arraydb/src/ql/mod.rs crates/arraydb/src/ql/ast.rs crates/arraydb/src/ql/exec.rs crates/arraydb/src/ql/lexer.rs crates/arraydb/src/ql/parser.rs crates/arraydb/src/schema.rs crates/arraydb/src/storage.rs
+
+crates/arraydb/src/lib.rs:
+crates/arraydb/src/error.rs:
+crates/arraydb/src/provider.rs:
+crates/arraydb/src/ql/mod.rs:
+crates/arraydb/src/ql/ast.rs:
+crates/arraydb/src/ql/exec.rs:
+crates/arraydb/src/ql/lexer.rs:
+crates/arraydb/src/ql/parser.rs:
+crates/arraydb/src/schema.rs:
+crates/arraydb/src/storage.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/heaven_bench-3bfcbb05af6f72f1.d: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libheaven_bench-3bfcbb05af6f72f1.rlib: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libheaven_bench-3bfcbb05af6f72f1.rmeta: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/phantom.rs:
+crates/bench/src/table.rs:

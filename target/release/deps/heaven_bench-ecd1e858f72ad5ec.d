@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/heaven_bench-ecd1e858f72ad5ec.d: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/heaven_bench-ecd1e858f72ad5ec: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/phantom.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/heaven_hsm-e11d2bbd274b8ce7.d: crates/hsm/src/lib.rs crates/hsm/src/catalog.rs crates/hsm/src/direct.rs crates/hsm/src/disk.rs crates/hsm/src/error.rs crates/hsm/src/hsm.rs crates/hsm/src/policy.rs
+
+/root/repo/target/release/deps/libheaven_hsm-e11d2bbd274b8ce7.rlib: crates/hsm/src/lib.rs crates/hsm/src/catalog.rs crates/hsm/src/direct.rs crates/hsm/src/disk.rs crates/hsm/src/error.rs crates/hsm/src/hsm.rs crates/hsm/src/policy.rs
+
+/root/repo/target/release/deps/libheaven_hsm-e11d2bbd274b8ce7.rmeta: crates/hsm/src/lib.rs crates/hsm/src/catalog.rs crates/hsm/src/direct.rs crates/hsm/src/disk.rs crates/hsm/src/error.rs crates/hsm/src/hsm.rs crates/hsm/src/policy.rs
+
+crates/hsm/src/lib.rs:
+crates/hsm/src/catalog.rs:
+crates/hsm/src/direct.rs:
+crates/hsm/src/disk.rs:
+crates/hsm/src/error.rs:
+crates/hsm/src/hsm.rs:
+crates/hsm/src/policy.rs:

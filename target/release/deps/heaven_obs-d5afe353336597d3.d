@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/heaven_obs-d5afe353336597d3.d: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/heaven_obs-d5afe353336597d3: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/breakdown.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/heaven_rdbms-e0c930d4ab88368f.d: crates/rdbms/src/lib.rs crates/rdbms/src/blob.rs crates/rdbms/src/btree.rs crates/rdbms/src/buffer.rs crates/rdbms/src/db.rs crates/rdbms/src/disk.rs crates/rdbms/src/error.rs crates/rdbms/src/page.rs crates/rdbms/src/table.rs crates/rdbms/src/wal.rs
+
+/root/repo/target/release/deps/libheaven_rdbms-e0c930d4ab88368f.rlib: crates/rdbms/src/lib.rs crates/rdbms/src/blob.rs crates/rdbms/src/btree.rs crates/rdbms/src/buffer.rs crates/rdbms/src/db.rs crates/rdbms/src/disk.rs crates/rdbms/src/error.rs crates/rdbms/src/page.rs crates/rdbms/src/table.rs crates/rdbms/src/wal.rs
+
+/root/repo/target/release/deps/libheaven_rdbms-e0c930d4ab88368f.rmeta: crates/rdbms/src/lib.rs crates/rdbms/src/blob.rs crates/rdbms/src/btree.rs crates/rdbms/src/buffer.rs crates/rdbms/src/db.rs crates/rdbms/src/disk.rs crates/rdbms/src/error.rs crates/rdbms/src/page.rs crates/rdbms/src/table.rs crates/rdbms/src/wal.rs
+
+crates/rdbms/src/lib.rs:
+crates/rdbms/src/blob.rs:
+crates/rdbms/src/btree.rs:
+crates/rdbms/src/buffer.rs:
+crates/rdbms/src/db.rs:
+crates/rdbms/src/disk.rs:
+crates/rdbms/src/error.rs:
+crates/rdbms/src/page.rs:
+crates/rdbms/src/table.rs:
+crates/rdbms/src/wal.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/heaven_tape-29fbf12019512253.d: crates/tape/src/lib.rs crates/tape/src/clock.rs crates/tape/src/error.rs crates/tape/src/library.rs crates/tape/src/media.rs crates/tape/src/profile.rs crates/tape/src/stats.rs
+
+/root/repo/target/release/deps/heaven_tape-29fbf12019512253: crates/tape/src/lib.rs crates/tape/src/clock.rs crates/tape/src/error.rs crates/tape/src/library.rs crates/tape/src/media.rs crates/tape/src/profile.rs crates/tape/src/stats.rs
+
+crates/tape/src/lib.rs:
+crates/tape/src/clock.rs:
+crates/tape/src/error.rs:
+crates/tape/src/library.rs:
+crates/tape/src/media.rs:
+crates/tape/src/profile.rs:
+crates/tape/src/stats.rs:

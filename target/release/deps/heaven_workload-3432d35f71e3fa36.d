@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/heaven_workload-3432d35f71e3fa36.d: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs
+
+/root/repo/target/release/deps/libheaven_workload-3432d35f71e3fa36.rlib: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs
+
+/root/repo/target/release/deps/libheaven_workload-3432d35f71e3fa36.rmeta: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/data.rs:
+crates/workload/src/queries.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/heaven_workload-7e3f2f6082732c02.d: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs
+
+/root/repo/target/release/deps/heaven_workload-7e3f2f6082732c02: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/data.rs:
+crates/workload/src/queries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/materialize-ea88627824f0008e.d: crates/bench/benches/materialize.rs
+
+/root/repo/target/release/deps/materialize-ea88627824f0008e: crates/bench/benches/materialize.rs
+
+crates/bench/benches/materialize.rs:

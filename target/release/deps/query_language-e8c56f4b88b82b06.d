@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/query_language-e8c56f4b88b82b06.d: crates/bench/benches/query_language.rs
+
+/root/repo/target/release/deps/query_language-e8c56f4b88b82b06: crates/bench/benches/query_language.rs
+
+crates/bench/benches/query_language.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheduler-195beb0868b1f82f.d: crates/bench/benches/scheduler.rs
+
+/root/repo/target/release/deps/scheduler-195beb0868b1f82f: crates/bench/benches/scheduler.rs
+
+crates/bench/benches/scheduler.rs:

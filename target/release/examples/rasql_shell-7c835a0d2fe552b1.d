@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rasql_shell-7c835a0d2fe552b1.d: examples/rasql_shell.rs
+
+/root/repo/target/release/examples/rasql_shell-7c835a0d2fe552b1: examples/rasql_shell.rs
+
+examples/rasql_shell.rs:

@@ -19,7 +19,7 @@ fn heaven_beats_hsm_on_selective_access_same_data() {
     // behind HEAVEN. A selective query must cost HEAVEN far less tape
     // traffic and simulated time.
     let domain = mi(&[(0, 127), (0, 127)]);
-    let field = climate_field(domain.clone(), 3);
+    let field = climate_field(domain, 3);
     let object_bytes = field.size_bytes();
 
     // -- HSM path: one file, whole-file staging.
@@ -27,7 +27,7 @@ fn heaven_beats_hsm_on_selective_access_same_data() {
     let disk = StagingDisk::new(DiskProfile::scsi2003(), 1 << 30, clock.clone());
     let lib = TapeLibrary::new(DeviceProfile::dlt7000(), 1, clock.clone());
     let mut hsm = HsmSystem::new(disk, lib, WatermarkPolicy::default());
-    hsm.archive("field", WritePayload::Real(field.bytes().to_vec()))
+    hsm.archive("field", WritePayload::real(field.bytes().to_vec()))
         .unwrap();
     let t0 = clock.now_s();
     // Ask for ~1.5 % of the object.
@@ -140,7 +140,7 @@ fn estar_clustering_reduces_fetches_for_declared_pattern() {
     // Two identical archives; one clustered for slice access, one cubic.
     // Slice queries must touch fewer super-tiles on the tuned archive.
     let domain = mi(&[(0, 63), (0, 63)]);
-    let field = climate_field(domain.clone(), 9);
+    let field = climate_field(domain, 9);
     let mut touched = Vec::new();
     for clustering in [
         ClusteringStrategy::EStar(AccessPattern::Uniform),
@@ -288,7 +288,7 @@ fn query_breakdown_levels_sum_to_simclock_delta_cold_then_warm() {
         .create_collection("c", CellType::F32, 2)
         .unwrap();
     let domain = mi(&[(0, 63), (0, 63)]);
-    let field = climate_field(domain.clone(), 13);
+    let field = climate_field(domain, 13);
     let oid = heaven
         .arraydb_mut()
         .insert_object(
@@ -375,7 +375,7 @@ fn rasql_select_over_archive_produces_breakdown_and_trace() {
         .create_collection("c", CellType::F32, 2)
         .unwrap();
     let domain = mi(&[(0, 63), (0, 63)]);
-    let field = climate_field(domain.clone(), 29);
+    let field = climate_field(domain, 29);
     let oid = heaven
         .arraydb_mut()
         .insert_object(
@@ -412,7 +412,7 @@ fn rasql_select_over_archive_produces_breakdown_and_trace() {
 #[test]
 fn condenser_precomputation_is_numerically_exact() {
     let domain = mi(&[(0, 47), (0, 47)]);
-    let field = climate_field(domain.clone(), 11);
+    let field = climate_field(domain, 11);
     let expected_avg = Condenser::Avg.eval(&field).unwrap();
     let expected_max = Condenser::Max.eval(&field).unwrap();
     let mut heaven = heaven::open(

@@ -1,58 +1,146 @@
 //! Offline stand-in for the `bytes` crate.
 //!
-//! The workspace declares `bytes` but only needs a cheap, owned byte
-//! container; this shim provides `Bytes`/`BytesMut` over `Arc<Vec<u8>>` /
-//! `Vec<u8>` with the small slice-like API surface the codebase may use.
+//! Unlike the original cheap shim, this is a real refcounted slice type:
+//! [`Bytes`] is a view `(start, end)` into an `Arc<Vec<u8>>`, so `clone`,
+//! [`Bytes::slice`], [`Bytes::split_to`] and [`Bytes::split_off`] are all
+//! O(1) and never touch the payload. [`BytesMut::freeze`] moves the
+//! accumulated `Vec` behind an `Arc` without reallocating or copying. This
+//! is the backbone of HEAVEN's zero-copy tile materialization: a staged
+//! super-tile buffer is allocated once and every member tile, cache entry
+//! and query result borrows sub-ranges of it.
 
-use std::ops::Deref;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// An immutable, cheaply clonable byte buffer.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
-pub struct Bytes(Arc<Vec<u8>>);
+/// An immutable, cheaply clonable byte buffer slice.
+///
+/// Equality and hashing are content-based (two `Bytes` over different
+/// allocations with the same contents compare equal).
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
 
 impl Bytes {
+    /// An empty buffer (no allocation).
     pub fn new() -> Bytes {
         Bytes::default()
     }
 
+    /// Copy a static slice into a buffer.
+    ///
+    /// The real crate borrows static data without copying; this shim copies
+    /// once, which is equivalent for everything downstream.
     pub fn from_static(data: &'static [u8]) -> Bytes {
-        Bytes(Arc::new(data.to_vec()))
+        Bytes::copy_from_slice(data)
     }
 
+    /// Copy an arbitrary slice into a fresh buffer.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes(Arc::new(data.to_vec()))
+        Bytes::from(data.to_vec())
     }
 
+    /// Length of this view in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.end - self.start
     }
 
+    /// Whether the view is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.start == self.end
     }
 
+    /// Copy the viewed bytes into an owned `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.0.as_ref().clone()
+        self.as_slice().to_vec()
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// O(1) sub-slice sharing the same allocation.
+    ///
+    /// `range` is relative to this view. Panics when out of bounds, like
+    /// slice indexing.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "Bytes::slice out of range: {lo}..{hi} of {}",
+            self.len()
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Split off and return the first `at` bytes; `self` keeps the rest.
+    /// O(1); both halves share the allocation.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        let head = self.slice(..at);
+        self.start += at;
+        head
+    }
+
+    /// Split off and return the bytes from `at` on; `self` keeps the
+    /// prefix. O(1); both halves share the allocation.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        let tail = self.slice(at..);
+        self.end = self.start + at;
+        tail
+    }
+
+    /// Shorten the view to `len` bytes (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len() {
+            self.end = self.start + len;
+        }
+    }
+
+    /// Number of `Bytes` handles sharing this allocation (diagnostics).
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.data)
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// O(1): moves the `Vec` behind an `Arc` without copying the payload.
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes(Arc::new(v))
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -62,7 +150,52 @@ impl From<&[u8]> for Bytes {
     }
 }
 
-/// A mutable, growable byte buffer.
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes(len={})", self.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+/// A mutable, growable byte buffer that freezes into [`Bytes`] without
+/// copying.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct BytesMut(Vec<u8>);
 
@@ -83,12 +216,36 @@ impl BytesMut {
         self.0.is_empty()
     }
 
+    pub fn capacity(&self) -> usize {
+        self.0.capacity()
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.0.reserve(additional);
+    }
+
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+
     pub fn extend_from_slice(&mut self, data: &[u8]) {
         self.0.extend_from_slice(data);
     }
 
+    /// Alias of [`Self::extend_from_slice`] matching the real crate's
+    /// `BufMut` vocabulary.
+    pub fn put_slice(&mut self, data: &[u8]) {
+        self.extend_from_slice(data);
+    }
+
+    pub fn put_u8(&mut self, b: u8) {
+        self.0.push(b);
+    }
+
+    /// Freeze into an immutable shared buffer. O(1): the heap allocation
+    /// is moved behind an `Arc`, not reallocated.
     pub fn freeze(self) -> Bytes {
-        Bytes(Arc::new(self.0))
+        Bytes::from(self.0)
     }
 }
 
@@ -102,5 +259,72 @@ impl Deref for BytesMut {
 impl AsRef<[u8]> for BytesMut {
     fn as_ref(&self) -> &[u8] {
         &self.0
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> BytesMut {
+        BytesMut(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_and_split_share_allocation() {
+        let b = Bytes::from((0u8..100).collect::<Vec<u8>>());
+        let s = b.slice(10..20);
+        assert_eq!(s.as_slice(), &(10u8..20).collect::<Vec<u8>>()[..]);
+        assert_eq!(s.ref_count(), 2);
+        let mut rest = b;
+        let head = rest.split_to(50);
+        assert_eq!(head.len(), 50);
+        assert_eq!(rest.len(), 50);
+        assert_eq!(rest[0], 50);
+        let tail = rest.clone().split_off(25);
+        assert_eq!(tail[0], 75);
+    }
+
+    #[test]
+    fn freeze_is_zero_copy() {
+        let mut m = BytesMut::with_capacity(64);
+        m.extend_from_slice(b"hello");
+        let ptr = m.as_ref().as_ptr();
+        let b = m.freeze();
+        assert_eq!(b.as_slice(), b"hello");
+        assert_eq!(b.as_slice().as_ptr(), ptr, "freeze must not reallocate");
+    }
+
+    #[test]
+    fn equality_is_content_based() {
+        let a = Bytes::from(vec![1, 2, 3, 4]);
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]).slice(1..5);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![1, 2, 3, 4]);
+        assert_eq!(vec![1, 2, 3, 4], a);
+        assert_eq!(a, &[1u8, 2, 3, 4][..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_slice_panics() {
+        Bytes::from(vec![1, 2, 3]).slice(1..5);
+    }
+
+    #[test]
+    fn truncate_shortens_view() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4]);
+        b.truncate(2);
+        assert_eq!(b, vec![1, 2]);
+        b.truncate(10); // no-op
+        assert_eq!(b.len(), 2);
     }
 }
