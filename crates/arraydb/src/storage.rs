@@ -10,6 +10,7 @@
 use crate::error::{ArrayDbError, Result};
 use crate::schema::{Collection, CollectionId, ObjectMeta};
 use heaven_array::{CellType, MDArray, Minterval, ObjectId, Tile, TileId, Tiling};
+use heaven_obs::{Histogram, MetricsRegistry};
 use heaven_rdbms::{BTree, BlobStore, Database, Table};
 use std::collections::HashMap;
 
@@ -37,6 +38,8 @@ pub struct ArrayDb {
     next_collection: CollectionId,
     next_oid: ObjectId,
     next_tile: TileId,
+    /// Per-tile disk-read duration distribution (simulated seconds).
+    tile_read_hist: Histogram,
 }
 
 impl ArrayDb {
@@ -58,7 +61,17 @@ impl ArrayDb {
             next_collection: 1,
             next_oid: 1,
             next_tile: 1,
+            tile_read_hist: MetricsRegistry::new().histogram("arraydb.tile_read_hist_s"),
         })
+    }
+
+    /// Attach the array DBMS (and its base RDBMS) to a shared metrics
+    /// registry; observations accumulated so far carry over.
+    pub fn attach_obs(&mut self, registry: &MetricsRegistry) {
+        self.db.attach_obs(registry);
+        let next = registry.histogram("arraydb.tile_read_hist_s");
+        next.merge_from(&self.tile_read_hist);
+        self.tile_read_hist = next;
     }
 
     /// Create on a default in-memory test database.
@@ -288,12 +301,14 @@ impl ArrayDb {
             TileLocation::Disk => {}
             TileLocation::Exported => return Err(ArrayDbError::TileExported(tile)),
         }
+        let t0 = self.db.clock().now_s();
         let blob = self
             .tile_dir
             .get(&mut self.db, tile)?
             .ok_or(ArrayDbError::NoSuchTile(tile))?;
         let bytes = bytes::Bytes::from(self.blobs.get(&mut self.db, blob)?);
         let (t, _) = Tile::decode_shared(&bytes, 0)?;
+        self.tile_read_hist.observe(self.db.clock().now_s() - t0);
         Ok(t)
     }
 

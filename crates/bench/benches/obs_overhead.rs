@@ -1,0 +1,157 @@
+//! Observability overhead: wall-clock cost per query of the trace sinks.
+//!
+//! The same warm query loop (bracketed `begin_query`/`end_query`, so every
+//! query records histograms, breakdowns, and trace spans) runs against the
+//! three sink configurations:
+//!
+//! * **off** — `TraceConfig::Off`: spans are no-ops, only metrics update,
+//! * **ring** — `TraceConfig::Memory`: records are pushed into a bounded
+//!   in-memory ring,
+//! * **jsonl** — `TraceConfig::Jsonl`: records are serialized to a
+//!   buffered file as they happen.
+//!
+//! Pass `--json <path>` to write machine-readable results
+//! (`BENCH_obs_overhead.json` via `scripts/bench_obs.sh`).
+
+use std::time::Instant;
+
+use heaven_array::{CellType, MDArray, Minterval, Point, Tiling};
+use heaven_arraydb::ArrayDb;
+use heaven_core::{AccessPattern, ClusteringStrategy, ExportMode, Heaven, HeavenConfig};
+use heaven_obs::TraceConfig;
+use heaven_rdbms::Database;
+use heaven_tape::{DeviceProfile, DiskProfile, SimClock, TapeLibrary};
+
+const QUERIES: u32 = 400;
+
+fn mi(b: &[(i64, i64)]) -> Minterval {
+    Minterval::new(b).unwrap()
+}
+
+fn cell_value(p: &Point) -> f64 {
+    ((p.coord(0) * 31) ^ p.coord(1)) as f64
+}
+
+/// A small archived object whose warm queries still cross the whole
+/// retrieval path (super-tile decode + patch).
+fn build(trace: TraceConfig) -> (Heaven, u64) {
+    let clock = SimClock::new();
+    let db = Database::new(DiskProfile::scsi2003(), clock.clone(), 4096);
+    let mut adb = ArrayDb::create(db).unwrap();
+    adb.create_collection("bench", CellType::I32, 2).unwrap();
+    let region = mi(&[(0, 119), (0, 119)]);
+    let arr = MDArray::generate(region, CellType::I32, cell_value);
+    let oid = adb
+        .insert_object(
+            "bench",
+            &arr,
+            Tiling::Regular {
+                tile_shape: vec![30, 30],
+            },
+        )
+        .unwrap();
+    let lib = TapeLibrary::new(DeviceProfile::ibm3590(), 2, clock);
+    let config = HeavenConfig {
+        supertile_bytes: Some(4 * 30 * 30 * 4),
+        clustering: ClusteringStrategy::EStar(AccessPattern::Uniform),
+        mem_cache_bytes: 0, // keep the super-tile decode in the loop
+        trace,
+        ..HeavenConfig::default()
+    };
+    let mut heaven = Heaven::new(adb, lib, config);
+    heaven.export_object(oid, ExportMode::Tct).unwrap();
+    heaven.clear_caches();
+    (heaven, oid)
+}
+
+struct SinkResult {
+    sink: &'static str,
+    ns_per_query: u64,
+    queries_per_s: f64,
+}
+
+/// Time `QUERIES` warm bracketed queries; the first pass (untimed) stages
+/// the super-tiles onto the disk cache.
+fn bench_sink(sink: &'static str, trace: TraceConfig) -> SinkResult {
+    let (mut heaven, oid) = build(trace);
+    let regions = [
+        mi(&[(0, 59), (0, 59)]),
+        mi(&[(60, 119), (0, 59)]),
+        mi(&[(0, 59), (60, 119)]),
+        mi(&[(60, 119), (60, 119)]),
+    ];
+    for r in &regions {
+        heaven.fetch_region_hierarchical(oid, r).unwrap();
+    }
+    let start = Instant::now();
+    for i in 0..QUERIES {
+        let r = &regions[i as usize % regions.len()];
+        heaven.begin_query("bench");
+        std::hint::black_box(heaven.fetch_region_hierarchical(oid, r).unwrap());
+        heaven.end_query().unwrap();
+    }
+    let elapsed = start.elapsed();
+    heaven.trace().flush();
+    let ns_per_query = (elapsed.as_nanos() / QUERIES as u128) as u64;
+    SinkResult {
+        sink,
+        ns_per_query,
+        queries_per_s: QUERIES as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+fn main() {
+    let mut json_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            json_path = args.next();
+        }
+    }
+
+    let jsonl_path = std::env::temp_dir().join("heaven_obs_overhead_trace.jsonl");
+    let results = [
+        bench_sink("off", TraceConfig::Off),
+        bench_sink("ring", TraceConfig::Memory { capacity: 1 << 16 }),
+        bench_sink(
+            "jsonl",
+            TraceConfig::Jsonl {
+                path: jsonl_path.clone(),
+            },
+        ),
+    ];
+    let baseline_ns = results[0].ns_per_query.max(1);
+    for r in &results {
+        println!(
+            "obs_overhead/{:<5} {:>9} ns/query  {:>10.0} queries/s  ({:+.1}% vs off)",
+            r.sink,
+            r.ns_per_query,
+            r.queries_per_s,
+            (r.ns_per_query as f64 / baseline_ns as f64 - 1.0) * 100.0,
+        );
+    }
+    let _ = std::fs::remove_file(&jsonl_path);
+
+    if let Some(path) = json_path {
+        let mut out = String::from("{\n  \"bench\": \"obs_overhead\",\n");
+        out.push_str(&format!("  \"queries\": {QUERIES},\n"));
+        out.push_str(
+            "  \"workload\": \"warm bracketed fetch_region_hierarchical over 4 regions\",\n",
+        );
+        out.push_str("  \"sinks\": [\n");
+        for (i, r) in results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"sink\": \"{}\", \"ns_per_query\": {}, \"queries_per_s\": {:.1}, \
+                 \"overhead_vs_off\": {:.4}}}{}\n",
+                r.sink,
+                r.ns_per_query,
+                r.queries_per_s,
+                r.ns_per_query as f64 / baseline_ns as f64 - 1.0,
+                if i + 1 < results.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&path, out).unwrap();
+        println!("wrote {path}");
+    }
+}

@@ -7,8 +7,9 @@
 
 use heaven_array::{CellType, LinearOrder, Minterval};
 use heaven_bench::table::{fmt_bytes, fmt_s};
-use heaven_bench::{PhantomArchive, Table};
+use heaven_bench::{emit_prometheus, PhantomArchive, Table};
 use heaven_core::{ClusteringStrategy, EvictionPolicy, SuperTileCache};
+use heaven_obs::MetricsRegistry;
 use heaven_tape::DeviceProfile;
 use heaven_workload::hot_region_queries;
 
@@ -18,6 +19,7 @@ fn main() {
     // One 16 GB object, 8 MB tiles, 128 MB super-tiles.
     let domain = Minterval::new(&[(0, 2047), (0, 2047), (0, 1023)]).unwrap();
     let queries = hot_region_queries(&domain, 0.005, QUERIES, 0.8, 99);
+    let registry = MetricsRegistry::new();
 
     let mut t = Table::new(
         "E8: eviction strategies under a hot-region workload (16 GB object, 128 MB STs)",
@@ -34,7 +36,7 @@ fn main() {
         let cache_bytes = (object_bytes as f64 * cache_frac) as u64;
         for policy in EvictionPolicy::all() {
             // fresh archive per run: identical layout, cold drives
-            let mut archive = PhantomArchive::build(
+            let mut archive = PhantomArchive::build_with_registry(
                 DeviceProfile::dlt7000(),
                 1,
                 std::slice::from_ref(&domain),
@@ -42,6 +44,7 @@ fn main() {
                 &[128, 128, 128],
                 128 << 20,
                 ClusteringStrategy::Star(LinearOrder::Hilbert),
+                &registry,
             );
             // Phantom cache entries: sizes accounted, no bytes held.
             let mut cache = SuperTileCache::new(cache_bytes, policy, None);
@@ -74,6 +77,7 @@ fn main() {
         }
     }
     t.emit();
+    emit_prometheus(&registry);
     println!(
         "\nShape check (paper §3.7): caching pays off dramatically under\n\
          locality; LRU/LFU beat FIFO; the cost-aware policy wins on mean\n\

@@ -13,9 +13,10 @@
 
 use heaven_array::{CellType, LinearOrder, Minterval};
 use heaven_bench::table::{fmt_bytes, fmt_s};
-use heaven_bench::{PhantomArchive, Table};
+use heaven_bench::{emit_prometheus, PhantomArchive, Table};
 use heaven_core::ClusteringStrategy;
 use heaven_hsm::{HsmSystem, StagingDisk, WatermarkPolicy};
+use heaven_obs::{MetricsRegistry, TraceBus};
 use heaven_tape::{DeviceProfile, DiskProfile, SimClock, TapeLibrary, WritePayload};
 use heaven_workload::selectivity_queries;
 use rand::rngs::StdRng;
@@ -31,11 +32,12 @@ fn domain() -> Minterval {
 }
 
 /// Classic baseline: the whole object is one HSM file.
-fn run_wholefile() -> (f64, u64) {
+fn run_wholefile(registry: &MetricsRegistry) -> (f64, u64) {
     let clock = SimClock::new();
     let disk = StagingDisk::new(DiskProfile::scsi2003(), 32 << 30, clock.clone());
     let lib = TapeLibrary::new(DeviceProfile::dlt7000(), 1, clock.clone());
     let mut hsm = HsmSystem::new(disk, lib, WatermarkPolicy::default());
+    hsm.attach_obs(registry, TraceBus::noop());
     let bytes = domain().cell_count() * 4;
     hsm.archive("obj", WritePayload::Phantom(bytes)).unwrap();
     let mut total = 0.0;
@@ -56,11 +58,12 @@ fn run_wholefile() -> (f64, u64) {
 
 /// HEAVEN over an HSM: one file per super-tile, staged through the cache,
 /// fetch order decided without placement knowledge (file-name order).
-fn run_heaven_over_hsm() -> (f64, u64) {
+fn run_heaven_over_hsm(registry: &MetricsRegistry) -> (f64, u64) {
     let clock = SimClock::new();
     let disk = StagingDisk::new(DiskProfile::scsi2003(), 32 << 30, clock.clone());
     let lib = TapeLibrary::new(DeviceProfile::dlt7000(), 1, clock.clone());
     let mut hsm = HsmSystem::new(disk, lib, WatermarkPolicy::default());
+    hsm.attach_obs(registry, TraceBus::noop());
     // Layout identical to the direct archive: reuse the geometry.
     let geometry = PhantomArchive::build(
         DeviceProfile::dlt7000(),
@@ -100,8 +103,8 @@ fn run_heaven_over_hsm() -> (f64, u64) {
 }
 
 /// HEAVEN with direct attachment: scheduled block reads.
-fn run_heaven_direct() -> (f64, u64) {
-    let mut archive = PhantomArchive::build(
+fn run_heaven_direct(registry: &MetricsRegistry) -> (f64, u64) {
+    let mut archive = PhantomArchive::build_with_registry(
         DeviceProfile::dlt7000(),
         1,
         std::slice::from_ref(&domain()),
@@ -109,6 +112,7 @@ fn run_heaven_direct() -> (f64, u64) {
         &[128, 128, 128],
         256 << 20,
         ClusteringStrategy::Star(LinearOrder::Hilbert),
+        registry,
     );
     let mut total = 0.0;
     let mut moved = 0u64;
@@ -130,9 +134,10 @@ fn main() {
             "vs whole-file",
         ],
     );
-    let (t_whole, b_whole) = run_wholefile();
-    let (t_hsm, b_hsm) = run_heaven_over_hsm();
-    let (t_direct, b_direct) = run_heaven_direct();
+    let registry = MetricsRegistry::new();
+    let (t_whole, b_whole) = run_wholefile(&registry);
+    let (t_hsm, b_hsm) = run_heaven_over_hsm(&registry);
+    let (t_direct, b_direct) = run_heaven_direct(&registry);
     for (name, time, bytes) in [
         ("whole-object HSM file", t_whole, b_whole),
         ("HEAVEN over HSM (ST files)", t_hsm, b_hsm),
@@ -146,6 +151,7 @@ fn main() {
         ]);
     }
     t.emit();
+    emit_prometheus(&registry);
     println!(
         "\nShape check (paper §3.1): super-tiles already buy the big win even\n\
          through an HSM; the direct attachment adds another chunk by\n\

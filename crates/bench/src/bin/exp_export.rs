@@ -9,7 +9,7 @@
 use heaven_array::{CellType, Minterval, Tiling};
 use heaven_arraydb::ArrayDb;
 use heaven_bench::table::{fmt_bytes, fmt_s};
-use heaven_bench::Table;
+use heaven_bench::{emit_prometheus, Table};
 use heaven_core::{AccessPattern, ClusteringStrategy, ExportMode, Heaven, HeavenConfig};
 use heaven_rdbms::Database;
 use heaven_tape::{DeviceProfile, DiskProfile, SimClock, TapeLibrary};
@@ -61,6 +61,7 @@ fn main() {
             "speedup",
         ],
     );
+    let mut last_registry = None;
     for &edge in &[64i64, 96, 128, 160, 192] {
         let st_bytes = 1 << 20;
         // Naive run.
@@ -71,6 +72,7 @@ fn main() {
         // TCT run (fresh system; identical data).
         let (mut h2, oid2) = heaven_with_object(edge, 32, st_bytes);
         let tct = h2.export_object(oid2, ExportMode::Tct).expect("tct export");
+        last_registry = Some(h2.metrics().clone());
         t.row(&[
             fmt_bytes(naive.bytes),
             format!("{}", naive.supertiles),
@@ -81,6 +83,9 @@ fn main() {
         ]);
     }
     t.emit();
+    if let Some(registry) = &last_registry {
+        emit_prometheus(registry);
+    }
     println!(
         "\nShape check (paper §4.3): the decoupled, clustered TCT export is a\n\
          multiple faster than tile-at-a-time export; the gap grows with the\n\

@@ -7,8 +7,9 @@
 
 use heaven_array::{CellType, LinearOrder, Minterval};
 use heaven_bench::table::{fmt_bytes, fmt_s};
-use heaven_bench::{PhantomArchive, Table};
+use heaven_bench::{emit_prometheus, PhantomArchive, Table};
 use heaven_core::{ClusteringStrategy, FetchRequest};
+use heaven_obs::MetricsRegistry;
 use heaven_tape::DeviceProfile;
 use heaven_workload::framing_workloads;
 
@@ -16,6 +17,7 @@ fn main() {
     // 16 GB 2-D mosaic (64k x 64k octet cells), 16 MB tiles, 256 MB STs.
     let domain = Minterval::new(&[(0, 65_535), (0, 65_535)]).unwrap();
     let workloads = framing_workloads(&domain);
+    let registry = MetricsRegistry::new();
 
     let mut t = Table::new(
         "E9: Object Framing vs bounding-box fetch (16 GB satellite mosaic, DLT7000)",
@@ -33,7 +35,7 @@ fn main() {
         let bbox = frame.bounding_box().expect("non-empty frame");
         let mut results = Vec::new();
         for (mode, use_frame) in [("frame", true), ("bbox", false)] {
-            let mut archive = PhantomArchive::build(
+            let mut archive = PhantomArchive::build_with_registry(
                 DeviceProfile::dlt7000(),
                 1,
                 std::slice::from_ref(&domain),
@@ -41,6 +43,7 @@ fn main() {
                 &[4096, 4096], // 16 MB octet tiles
                 256 << 20,
                 ClusteringStrategy::Star(LinearOrder::Hilbert),
+                &registry,
             );
             let obj = &archive.objects[0];
             let touched: Vec<usize> = obj
@@ -94,6 +97,7 @@ fn main() {
         }
     }
     t.emit();
+    emit_prometheus(&registry);
     println!(
         "\nShape check (paper §3.8): complex frames (L-shapes, shells,\n\
          scattered boxes) whose bounding boxes cover most of the object are\n\

@@ -9,7 +9,7 @@
 use heaven_array::{CellType, Condenser, Minterval, Tiling};
 use heaven_arraydb::{run, ArrayDb};
 use heaven_bench::table::fmt_s;
-use heaven_bench::Table;
+use heaven_bench::{emit_prometheus, Table};
 use heaven_core::{ExportMode, Heaven, HeavenConfig};
 use heaven_rdbms::Database;
 use heaven_tape::{DeviceProfile, DiskProfile, SimClock, TapeLibrary};
@@ -84,10 +84,12 @@ fn main() {
             "gain",
         ],
     );
+    let mut last_registry = None;
     for (name, q) in &queries {
         // Cold system without precompute: every query stages from tape.
         let mut cold = setup(false);
         let (t_cold, v_cold) = timed_query(&mut cold, q);
+        last_registry = Some(cold.metrics().clone());
         // System with per-tile partials recorded at export.
         let mut warm = setup(true);
         let (t_cat, v_cat) = timed_query(&mut warm, q);
@@ -111,6 +113,9 @@ fn main() {
         ]);
     }
     t.emit();
+    if let Some(registry) = &last_registry {
+        emit_prometheus(registry);
+    }
     println!(
         "\nShape check (paper §3.9): tile-aligned condensers served from the\n\
          precomputed catalog avoid tape entirely — queries that pay a full\n\

@@ -10,7 +10,7 @@
 use heaven_array::{CellType, Minterval, Tiling};
 use heaven_arraydb::ArrayDb;
 use heaven_bench::table::{fmt_bytes, fmt_s};
-use heaven_bench::Table;
+use heaven_bench::{emit_prometheus, Table};
 use heaven_core::{
     AccessPattern, ClusteringStrategy, ExportMode, Heaven, HeavenConfig, PrefetchPolicy,
 };
@@ -66,6 +66,7 @@ fn main() {
         ],
     );
     let mut base = 0.0;
+    let mut last_registry = None;
     for (name, policy) in [
         ("none", PrefetchPolicy::None),
         ("next-1", PrefetchPolicy::NextInOrder(1)),
@@ -105,8 +106,12 @@ fn main() {
             fmt_bytes(heaven.tape_stats().bytes_read),
             format!("{:.1}x", base / mean_fg),
         ]);
+        last_registry = Some(heaven.metrics().clone());
     }
     t.emit();
+    if let Some(registry) = &last_registry {
+        emit_prometheus(registry);
+    }
     println!(
         "\nShape check (paper §3.6): with sequential access and cluster-order\n\
          prefetching, successor super-tiles are already in the disk cache when\n\

@@ -12,9 +12,10 @@
 
 use heaven_array::{CellType, LinearOrder, Minterval};
 use heaven_bench::table::{fmt_bytes, fmt_s};
-use heaven_bench::{PhantomArchive, Table};
+use heaven_bench::{emit_prometheus, PhantomArchive, Table};
 use heaven_core::ClusteringStrategy;
 use heaven_hsm::{HsmSystem, StagingDisk, WatermarkPolicy};
+use heaven_obs::{MetricsRegistry, TraceBus};
 use heaven_tape::{DeviceProfile, DiskProfile, SimClock, TapeLibrary, WritePayload};
 use heaven_workload::selectivity_queries;
 
@@ -28,12 +29,13 @@ fn object_domains(n: usize) -> Vec<Minterval> {
 const OBJECTS: usize = 4;
 const QUERIES_PER_POINT: usize = 6;
 
-fn run_hsm(selectivity: f64, seed: u64) -> (f64, u64) {
+fn run_hsm(selectivity: f64, seed: u64, registry: &MetricsRegistry) -> (f64, u64) {
     // Whole-object files in a classic HSM with a 16 GB staging disk.
     let clock = SimClock::new();
     let disk = StagingDisk::new(DiskProfile::scsi2003(), 16 << 30, clock.clone());
     let lib = TapeLibrary::new(DeviceProfile::dlt7000(), 1, clock.clone());
     let mut hsm = HsmSystem::new(disk, lib, WatermarkPolicy::default());
+    hsm.attach_obs(registry, TraceBus::noop());
     let domains = object_domains(OBJECTS);
     for (i, d) in domains.iter().enumerate() {
         let bytes = d.cell_count() * CellType::F32.size_bytes() as u64;
@@ -69,9 +71,9 @@ fn run_hsm(selectivity: f64, seed: u64) -> (f64, u64) {
     )
 }
 
-fn run_heaven(selectivity: f64, seed: u64) -> (f64, u64, usize) {
+fn run_heaven(selectivity: f64, seed: u64, registry: &MetricsRegistry) -> (f64, u64, usize) {
     let domains = object_domains(OBJECTS);
-    let mut archive = PhantomArchive::build(
+    let mut archive = PhantomArchive::build_with_registry(
         DeviceProfile::dlt7000(),
         1,
         &domains,
@@ -79,6 +81,7 @@ fn run_heaven(selectivity: f64, seed: u64) -> (f64, u64, usize) {
         &[128, 128, 128], // 128^3 f32 = 8 MB tiles
         256 << 20,
         ClusteringStrategy::Star(LinearOrder::Hilbert),
+        registry,
     );
     let mut total_s = 0.0;
     let mut total_bytes = 0;
@@ -119,9 +122,10 @@ fn main() {
         ],
     );
     let object_bytes: u64 = 8 << 30;
+    let registry = MetricsRegistry::new();
     for &sel in &[0.001f64, 0.01, 0.05, 0.10, 0.25, 1.0] {
-        let (hsm_s, hsm_bytes) = run_hsm(sel, 7);
-        let (heaven_s, heaven_bytes, sts) = run_heaven(sel, 7);
+        let (hsm_s, hsm_bytes) = run_hsm(sel, 7, &registry);
+        let (heaven_s, heaven_bytes, sts) = run_heaven(sel, 7, &registry);
         t.row(&[
             format!("{:.1}%", sel * 100.0),
             fmt_bytes((object_bytes as f64 * sel) as u64),
@@ -134,6 +138,7 @@ fn main() {
         ]);
     }
     t.emit();
+    emit_prometheus(&registry);
     println!(
         "\nShape check (paper §4.4): at the 1-10% selectivities scientists\n\
          actually use, HEAVEN is an order of magnitude faster because the HSM\n\

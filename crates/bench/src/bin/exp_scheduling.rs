@@ -7,8 +7,9 @@
 
 use heaven_array::{CellType, LinearOrder, Minterval};
 use heaven_bench::table::fmt_s;
-use heaven_bench::{PhantomArchive, Table};
+use heaven_bench::{emit_prometheus, PhantomArchive, Table};
 use heaven_core::ClusteringStrategy;
+use heaven_obs::MetricsRegistry;
 use heaven_tape::DeviceProfile;
 use heaven_workload::selectivity_queries;
 use rand::rngs::StdRng;
@@ -17,13 +18,13 @@ use rand::{Rng, SeedableRng};
 const OBJECTS: usize = 16;
 const BATCH: usize = 32;
 
-fn build(drives: usize) -> PhantomArchive {
+fn build(drives: usize, registry: &MetricsRegistry) -> PhantomArchive {
     // 16 x 4 GB objects on IBM3590 (10 GB media): ~2 objects per medium,
     // 8 media. Tiles 8 MB, super-tiles 256 MB.
     let domains: Vec<Minterval> = (0..OBJECTS)
         .map(|_| Minterval::new(&[(0, 1023), (0, 1023), (0, 1023)]).unwrap())
         .collect();
-    PhantomArchive::build(
+    PhantomArchive::build_with_registry(
         DeviceProfile::ibm3590(),
         drives,
         &domains,
@@ -31,6 +32,7 @@ fn build(drives: usize) -> PhantomArchive {
         &[128, 128, 128],
         256 << 20,
         ClusteringStrategy::Star(LinearOrder::Hilbert),
+        registry,
     )
 }
 
@@ -53,11 +55,12 @@ fn main() {
         "E7: batch of 32 queries over 16 objects / 8 media (IBM3590)",
         &["drives", "order", "exchanges", "total time", "vs naive"],
     );
+    let registry = MetricsRegistry::new();
     for &drives in &[1usize, 2] {
         let batch = make_batch(5);
         let mut naive_time = 0.0;
         for (scheduled, label) in [(false, "arrival"), (true, "scheduled")] {
-            let mut archive = build(drives);
+            let mut archive = build(drives, &registry);
             let mounts_before = archive.stats().mounts;
             let (time, _bytes, _sts) = archive.fetch_batch(&batch, scheduled);
             let exchanges = archive.stats().mounts - mounts_before;
@@ -78,6 +81,7 @@ fn main() {
         }
     }
     t.emit();
+    emit_prometheus(&registry);
     println!(
         "\nShape check (paper §3.5.3): scheduling collapses the media\n\
          exchanges of an interleaved batch to ~one mount per medium and\n\

@@ -8,8 +8,9 @@
 
 use heaven_array::{CellType, LinearOrder, Minterval};
 use heaven_bench::table::{fmt_bytes, fmt_s};
-use heaven_bench::{PhantomArchive, Table};
+use heaven_bench::{emit_prometheus, PhantomArchive, Table};
 use heaven_core::{optimal_supertile_size, ClusteringStrategy};
+use heaven_obs::MetricsRegistry;
 use heaven_tape::DeviceProfile;
 use heaven_workload::selectivity_queries;
 use rand::rngs::StdRng;
@@ -34,10 +35,11 @@ fn main() {
             "general access",
         ],
     );
+    let registry = MetricsRegistry::new();
     let mut best = (0u64, f64::INFINITY);
     for &st_mb in &[16u64, 32, 64, 128, 256, 512, 1024, 2048, 4096] {
         let st_bytes = st_mb << 20;
-        let mut archive = PhantomArchive::build(
+        let mut archive = PhantomArchive::build_with_registry(
             profile,
             1,
             std::slice::from_ref(&domain),
@@ -45,6 +47,7 @@ fn main() {
             &[128, 128, 128], // 8 MB tiles
             st_bytes,
             ClusteringStrategy::Star(LinearOrder::Hilbert),
+            &registry,
         );
         let n_sts = archive.objects[0].groups.len();
         // (a) best case: one perfectly scheduled sweep per query
@@ -78,6 +81,7 @@ fn main() {
         ]);
     }
     t.emit();
+    emit_prometheus(&registry);
     let predicted = optimal_supertile_size(&profile, query_bytes);
     println!(
         "\nMeasured optimum (general access): {} (mean {}).\nSizing-model prediction for {} useful bytes/query: {}.",

@@ -18,4 +18,4 @@ pub mod phantom;
 pub mod table;
 
 pub use phantom::{PhantomArchive, PhantomObject};
-pub use table::Table;
+pub use table::{emit_prometheus, json_arg, prom_arg, Table};

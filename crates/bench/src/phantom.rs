@@ -13,6 +13,7 @@ use heaven_core::{
     TileInfo,
 };
 use heaven_hsm::{BlockAddress, DirectStore};
+use heaven_obs::{MetricsRegistry, TraceBus};
 use heaven_tape::{DeviceProfile, SimClock, TapeLibrary, TapeStats, WritePayload};
 
 /// One phantom object: geometry plus super-tile placement.
@@ -52,6 +53,8 @@ pub struct PhantomArchive {
     pub store: DirectStore,
     /// The archived objects.
     pub objects: Vec<PhantomObject>,
+    /// Shared metrics registry the tape library reports into.
+    registry: MetricsRegistry,
 }
 
 impl PhantomArchive {
@@ -67,8 +70,36 @@ impl PhantomArchive {
         st_target: u64,
         strategy: ClusteringStrategy,
     ) -> PhantomArchive {
+        Self::build_with_registry(
+            profile,
+            drives,
+            domains,
+            cell,
+            tile_shape,
+            st_target,
+            strategy,
+            &MetricsRegistry::new(),
+        )
+    }
+
+    /// Like [`PhantomArchive::build`], but report into an existing shared
+    /// registry, so experiments that build a fresh archive per
+    /// configuration accumulate one set of metrics for the whole run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_registry(
+        profile: DeviceProfile,
+        drives: usize,
+        domains: &[Minterval],
+        cell: CellType,
+        tile_shape: &[u64],
+        st_target: u64,
+        strategy: ClusteringStrategy,
+        registry: &MetricsRegistry,
+    ) -> PhantomArchive {
+        let registry = registry.clone();
         let clock = SimClock::new();
-        let lib = TapeLibrary::new(profile, drives, clock);
+        let mut lib = TapeLibrary::new(profile, drives, clock);
+        lib.attach_obs(&registry, TraceBus::noop());
         let mut store = DirectStore::new(lib);
         let mut objects = Vec::with_capacity(domains.len());
         let mut next_tile: TileId = 1;
@@ -118,12 +149,22 @@ impl PhantomArchive {
                 addrs,
             });
         }
-        PhantomArchive { store, objects }
+        PhantomArchive {
+            store,
+            objects,
+            registry,
+        }
     }
 
     /// The shared clock.
     pub fn clock(&self) -> SimClock {
         self.store.clock()
+    }
+
+    /// The metrics registry the tape library reports into (histograms
+    /// and counters for every simulated device operation).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
     }
 
     /// Tape statistics.

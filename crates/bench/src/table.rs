@@ -2,9 +2,13 @@
 //!
 //! Every experiment binary accepts a `--json <path>` flag; when present,
 //! [`Table::emit`] additionally writes the machine-readable form
-//! (`{"title", "headers", "rows"}`) to that path.
+//! (`{"title", "headers", "rows"}`) to that path. Binaries with a live
+//! [`MetricsRegistry`] also accept `--prom <path>`, which dumps the
+//! registry in Prometheus text exposition format via
+//! [`emit_prometheus`].
 
 use heaven_obs::json::write_str;
+use heaven_obs::MetricsRegistry;
 use std::path::{Path, PathBuf};
 
 /// A simple aligned text table.
@@ -113,16 +117,36 @@ impl Table {
 
 /// The path given with `--json <path>` on the command line, if any.
 pub fn json_arg() -> Option<PathBuf> {
+    flag_arg("--json")
+}
+
+/// The path given with `--prom <path>` on the command line, if any.
+pub fn prom_arg() -> Option<PathBuf> {
+    flag_arg("--prom")
+}
+
+fn flag_arg(flag: &str) -> Option<PathBuf> {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--json" {
+        if a == flag {
             return args.next().map(PathBuf::from);
         }
-        if let Some(p) = a.strip_prefix("--json=") {
+        if let Some(p) = a.strip_prefix(flag).and_then(|rest| rest.strip_prefix('=')) {
             return Some(PathBuf::from(p));
         }
     }
     None
+}
+
+/// Honor the `--prom <path>` flag: write `registry` in Prometheus text
+/// exposition format to the given path, if the flag is present.
+pub fn emit_prometheus(registry: &MetricsRegistry) {
+    if let Some(path) = prom_arg() {
+        match std::fs::write(&path, registry.render_prometheus()) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
 }
 
 /// Format seconds human-readably.

@@ -10,7 +10,7 @@
 use crate::supertile::SuperTileId;
 use bytes::Bytes;
 use heaven_array::{Tile, TileId};
-use heaven_obs::{Counter, FloatCounter, MetricsRegistry, TraceBus};
+use heaven_obs::{Counter, FloatCounter, Histogram, MetricsRegistry, TraceBus};
 use heaven_tape::{DiskProfile, SimClock};
 use std::collections::HashMap;
 use std::fmt;
@@ -113,6 +113,7 @@ struct CacheMetricNames {
     evictions: &'static str,
     bytes_served: &'static str,
     io_s: &'static str,
+    io_hist: &'static str,
 }
 
 const ST_CACHE_NAMES: CacheMetricNames = CacheMetricNames {
@@ -121,6 +122,7 @@ const ST_CACHE_NAMES: CacheMetricNames = CacheMetricNames {
     evictions: "cache.st.evictions",
     bytes_served: "cache.st.bytes_served",
     io_s: "cache.st.io_s",
+    io_hist: "cache.st.io_hist_s",
 };
 
 const MEM_CACHE_NAMES: CacheMetricNames = CacheMetricNames {
@@ -129,6 +131,7 @@ const MEM_CACHE_NAMES: CacheMetricNames = CacheMetricNames {
     evictions: "cache.mem.evictions",
     bytes_served: "cache.mem.bytes_served",
     io_s: "cache.mem.io_s",
+    io_hist: "cache.mem.io_hist_s",
 };
 
 /// Metric handles backing [`CacheStats`]; the registry is the source of
@@ -141,6 +144,8 @@ struct CacheMetrics {
     evictions: Counter,
     bytes_served: Counter,
     io_s: FloatCounter,
+    /// Per-access disk-I/O duration distribution (simulated seconds).
+    io_hist: Histogram,
 }
 
 impl CacheMetrics {
@@ -152,6 +157,7 @@ impl CacheMetrics {
             evictions: registry.counter(names.evictions),
             bytes_served: registry.counter(names.bytes_served),
             io_s: registry.fcounter(names.io_s),
+            io_hist: registry.histogram(names.io_hist),
         }
     }
 
@@ -162,6 +168,7 @@ impl CacheMetrics {
         next.evictions.add(self.evictions.get());
         next.bytes_served.add(self.bytes_served.get());
         next.io_s.add(self.io_s.get());
+        next.io_hist.merge_from(&self.io_hist);
         *self = next;
     }
 
@@ -287,11 +294,22 @@ impl SuperTileCache {
                 self.metrics.bytes_served.add(e.size);
                 let size = e.size;
                 let payload = e.payload.clone();
-                self.metrics.io_s.add(self.charge(size));
+                let io = self.charge(size);
+                self.metrics.io_s.add(io);
+                if self.disk.is_some() {
+                    self.metrics.io_hist.observe(io);
+                }
+                self.bus.event(
+                    "cache.st.hit",
+                    self.now_s(),
+                    &[("st", st.into()), ("bytes", size.into())],
+                );
                 Some(payload)
             }
             None => {
                 self.metrics.misses.inc();
+                self.bus
+                    .event("cache.st.miss", self.now_s(), &[("st", st.into())]);
                 None
             }
         }
@@ -340,7 +358,11 @@ impl SuperTileCache {
             }
         }
         self.counter += 1;
-        self.metrics.io_s.add(self.charge(size));
+        let io = self.charge(size);
+        self.metrics.io_s.add(io);
+        if self.disk.is_some() {
+            self.metrics.io_hist.observe(io);
+        }
         self.bus.event(
             "cache.st.admit",
             self.now_s(),

@@ -20,7 +20,9 @@ use bytes::Bytes;
 use heaven_array::{Condenser, MDArray, Minterval, ObjectId, TileId};
 use heaven_arraydb::{ArrayDb, ObjectMeta, TileLocation, TileProvider};
 use heaven_hsm::DirectStore;
-use heaven_obs::{Counter, FloatCounter, MetricsRegistry, QueryBreakdown, SpanId, TraceBus};
+use heaven_obs::{
+    Counter, FloatCounter, Histogram, MetricsRegistry, QueryBreakdown, SpanId, TraceBus,
+};
 use heaven_tape::{DiskProfile, MediumId, SimClock, TapeLibrary, TapeStats};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -74,6 +76,15 @@ struct HeavenMetrics {
     prefetch_bytes: Counter,
     region_fetches: Counter,
     bytes_copied: Counter,
+    /// Queries whose per-level attribution exceeded the observed clock
+    /// delta (overlapping spans); their `other_s` was clamped to zero.
+    breakdown_overattributed: Counter,
+    /// End-to-end query latency distribution (simulated seconds).
+    query_latency: Histogram,
+    /// Tertiary super-tile fetch duration distribution (simulated s).
+    st_fetch_hist: Histogram,
+    /// Tertiary super-tile fetch size distribution (bytes).
+    st_fetch_bytes_hist: Histogram,
 }
 
 impl HeavenMetrics {
@@ -86,6 +97,10 @@ impl HeavenMetrics {
             prefetch_bytes: registry.counter("heaven.prefetch_bytes"),
             region_fetches: registry.counter("heaven.region_fetches"),
             bytes_copied: registry.counter("heaven.bytes_copied"),
+            breakdown_overattributed: registry.counter("heaven.breakdown_overattributed"),
+            query_latency: registry.histogram("heaven.query_latency_s"),
+            st_fetch_hist: registry.histogram("heaven.st_fetch_hist_s"),
+            st_fetch_bytes_hist: registry.histogram("heaven.st_fetch_bytes"),
         }
     }
 
@@ -162,7 +177,7 @@ impl Heaven {
         st_cache.attach_obs(&registry, bus.clone());
         let mut tile_cache = TileCache::new(config.mem_cache_bytes);
         tile_cache.attach_obs(&registry);
-        adb.database_mut().attach_obs(&registry);
+        adb.attach_obs(&registry);
         let mut store = DirectStore::new(library);
         store.library_mut().attach_obs(&registry, bus.clone());
         let catalog_store = CatalogStore::create(adb.database_mut()).expect("fresh catalog store");
@@ -300,7 +315,16 @@ impl Heaven {
                 .saturating_sub(q.snap.heaven.bytes_copied),
             other_s: 0.0,
         };
-        b.other_s = (total_s - b.levels_sum_s()).max(0.0);
+        // Attributed span time can exceed the observed clock delta when
+        // spans overlap (e.g. prefetch I/O charged inside the bracket);
+        // clamp to zero and count the occurrence rather than reporting a
+        // negative residual.
+        let residual = total_s - b.levels_sum_s();
+        if residual < -1e-9 {
+            self.metrics.breakdown_overattributed.inc();
+        }
+        b.other_s = residual.max(0.0);
+        self.metrics.query_latency.observe(total_s);
         self.bus.flush();
         self.last_breakdown = Some(b.clone());
         Some(b)
@@ -500,16 +524,20 @@ impl Heaven {
                 ("medium", addr.medium.into()),
             ],
         );
+        let t0 = clock.now_s();
         let result: Result<Bytes> = (|| {
             let raw = self.store.read(addr)?;
             self.metrics.st_tape_fetches.inc();
             self.metrics.st_tape_bytes.add(addr.len);
+            self.metrics.st_fetch_bytes_hist.observe(addr.len as f64);
             let payload = self.maybe_decompress(raw)?;
             let refetch = self.store.estimate_read_s(addr);
             self.st_cache.put(st, payload.clone(), refetch);
             Ok(payload)
         })();
-        span.end(clock.now_s());
+        let t1 = clock.now_s();
+        self.metrics.st_fetch_hist.observe(t1 - t0);
+        span.end(t1);
         result
     }
 
@@ -659,9 +687,10 @@ impl Heaven {
             {
                 let addr = self.catalog.address(st)?;
                 let clock = self.store.clock();
+                let sparse_t0 = clock.now_s();
                 let span = self.bus.span(
                     "heaven.st_fetch",
-                    clock.now_s(),
+                    sparse_t0,
                     &[
                         ("st", st.into()),
                         ("bytes", needed_bytes.into()),
@@ -683,7 +712,12 @@ impl Heaven {
                     self.tile_cache.put(t);
                 }
                 self.metrics.st_tape_fetches.inc();
-                span.end(clock.now_s());
+                self.metrics
+                    .st_fetch_bytes_hist
+                    .observe(needed_bytes as f64);
+                let sparse_t1 = clock.now_s();
+                self.metrics.st_fetch_hist.observe(sparse_t1 - sparse_t0);
+                span.end(sparse_t1);
                 continue;
             }
             let payload = self.supertile_payload(st)?;
@@ -748,9 +782,14 @@ impl Heaven {
             if self.st_cache.contains(r.st) {
                 continue;
             }
+            let t0 = self.store.clock().now_s();
             let payload = self.store.read(r.addr)?;
             self.metrics.st_tape_fetches.inc();
             self.metrics.st_tape_bytes.add(r.addr.len);
+            self.metrics.st_fetch_bytes_hist.observe(r.addr.len as f64);
+            self.metrics
+                .st_fetch_hist
+                .observe(self.store.clock().now_s() - t0);
             let refetch = self.store.estimate_read_s(r.addr);
             self.st_cache.put(r.st, payload, refetch);
         }
@@ -798,6 +837,8 @@ impl Heaven {
             self.metrics.prefetches.inc();
             self.metrics.prefetch_s.add(dt);
             self.metrics.prefetch_bytes.add(addr.len);
+            self.metrics.st_fetch_bytes_hist.observe(addr.len as f64);
+            self.metrics.st_fetch_hist.observe(dt);
             self.bus.event(
                 "heaven.prefetch.complete",
                 clock.now_s(),

@@ -12,7 +12,7 @@ use crate::disk::{DiskStats, StagingDisk};
 use crate::error::{HsmError, Result};
 use crate::policy::WatermarkPolicy;
 use bytes::Bytes;
-use heaven_obs::{Field, MetricsRegistry, TraceBus};
+use heaven_obs::{Field, Histogram, MetricsRegistry, TraceBus};
 use heaven_tape::{MediumId, SimClock, TapeLibrary, TapeStats, WritePayload};
 
 /// A hierarchical storage management system: staging disk + tape library +
@@ -28,11 +28,15 @@ pub struct HsmSystem {
     /// Count of whole-file stage operations (tape → disk).
     stage_ops: u64,
     bus: TraceBus,
+    /// Duration distributions for whole-file operations (simulated s).
+    stage_hist: Histogram,
+    archive_hist: Histogram,
 }
 
 impl HsmSystem {
     /// Assemble an HSM from its parts.
     pub fn new(disk: StagingDisk, library: TapeLibrary, policy: WatermarkPolicy) -> HsmSystem {
+        let private = MetricsRegistry::new();
         HsmSystem {
             disk,
             library,
@@ -41,14 +45,22 @@ impl HsmSystem {
             fill_medium: None,
             stage_ops: 0,
             bus: TraceBus::noop(),
+            stage_hist: private.histogram("hsm.stage_hist_s"),
+            archive_hist: private.histogram("hsm.archive_hist_s"),
         }
     }
 
     /// Attach the HSM (and its tape library) to a shared metrics registry
-    /// and trace bus.
+    /// and trace bus. Observations accumulated so far carry over.
     pub fn attach_obs(&mut self, registry: &MetricsRegistry, bus: TraceBus) {
         self.library.attach_obs(registry, bus.clone());
         self.bus = bus;
+        let stage = registry.histogram("hsm.stage_hist_s");
+        stage.merge_from(&self.stage_hist);
+        self.stage_hist = stage;
+        let archive = registry.histogram("hsm.archive_hist_s");
+        archive.merge_from(&self.archive_hist);
+        self.archive_hist = archive;
     }
 
     /// The shared simulated clock.
@@ -100,8 +112,11 @@ impl HsmSystem {
                 ("medium", Field::U64(medium)),
             ],
         );
+        let t0 = self.clock().now_s();
         let offset = self.library.write(medium, payload)?;
-        span.end(self.clock().now_s());
+        let t1 = self.clock().now_s();
+        self.archive_hist.observe(t1 - t0);
+        span.end(t1);
         self.catalog.insert(
             name,
             FileEntry {
@@ -180,9 +195,10 @@ impl HsmSystem {
                 capacity: self.disk.capacity(),
             });
         }
+        let t0 = self.clock().now_s();
         let span = self.bus.span(
             "hsm.stage",
-            self.clock().now_s(),
+            t0,
             &[
                 ("file", Field::Str(name.to_string())),
                 ("bytes", Field::U64(entry.len)),
@@ -235,7 +251,9 @@ impl HsmSystem {
         // preserved either way).
         self.disk.store(name, entry.len, Some(data));
         self.stage_ops += 1;
-        span.end(self.clock().now_s());
+        let t1 = self.clock().now_s();
+        self.stage_hist.observe(t1 - t0);
+        span.end(t1);
         Ok(())
     }
 

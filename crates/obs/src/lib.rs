@@ -29,7 +29,10 @@ pub mod metrics;
 pub mod trace;
 
 pub use breakdown::QueryBreakdown;
-pub use metrics::{Counter, FloatCounter, Gauge, Histogram, MetricValue, MetricsRegistry};
+pub use metrics::{
+    bucket_index, bucket_upper_bound, Counter, FloatCounter, Gauge, HistSnapshot, HistSummary,
+    Histogram, MetricValue, MetricsRegistry, NUM_BUCKETS,
+};
 pub use trace::{
     check_well_nested, Field, JsonlSink, NoopSink, RecordKind, Recorder, RingSink, SpanGuard,
     SpanId, TraceBus, TraceConfig, TraceRecord,

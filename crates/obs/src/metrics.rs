@@ -3,11 +3,12 @@
 //! Components register named metrics once and keep cheap handles:
 //! [`Counter`] (monotonic `u64`), [`FloatCounter`] (monotonic `f64`,
 //! used for simulated seconds), [`Gauge`] (settable `f64`) and
-//! [`Histogram`] (count/sum/min/max of observations). The registry
-//! snapshot renders as a text table or JSON; the pre-existing stat
-//! structs (`TapeStats`, `CacheStats`, `BufferStats`, …) are
-//! reconstructed from these handles, making the registry the single
-//! source of truth for counter state.
+//! [`Histogram`] (log-bucketed distribution of observations with
+//! quantile estimation and lossless merge). The registry snapshot
+//! renders as a text table, JSON, or the Prometheus text exposition
+//! format; the pre-existing stat structs (`TapeStats`, `CacheStats`,
+//! `BufferStats`, …) are reconstructed from these handles, making the
+//! registry the single source of truth for counter state.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -91,26 +92,234 @@ impl HistSummary {
     }
 }
 
-/// Histogram of `f64` observations (summary statistics, no buckets).
+// -- log-bucketed histogram ------------------------------------------------
+//
+// Fixed bucket layout shared by every histogram, so `merge` is an
+// element-wise add (lossless: merging two histograms is exactly the
+// histogram of the concatenated samples). Buckets are log2-spaced with
+// `SUB` sub-buckets per octave: bucket `k` covers
+// `(2^((k-1+MIN)/SUB), 2^((k+MIN)/SUB)]` — ~19% relative width, so
+// quantile estimates carry at most ~19% relative error. Values at or
+// below zero land in a dedicated underflow bucket; values above the top
+// boundary land in the overflow bucket.
+
+/// Sub-buckets per power of two.
+const SUB: i32 = 4;
+/// Smallest bucketed exponent: 2^-30 ≈ 0.93 ns (simulated seconds).
+const MIN_EXP: i32 = -30;
+/// Largest bucketed exponent: 2^40 ≈ 1.1e12 (covers byte-sized values).
+const MAX_EXP: i32 = 40;
+/// Number of log buckets (between the underflow and overflow buckets).
+const LOG_BUCKETS: usize = ((MAX_EXP - MIN_EXP) * SUB) as usize;
+/// Total buckets: underflow + log buckets + overflow.
+pub const NUM_BUCKETS: usize = LOG_BUCKETS + 2;
+
+/// Inclusive upper bound of bucket `i` (`f64::INFINITY` for the last).
+pub fn bucket_upper_bound(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else if i >= NUM_BUCKETS - 1 {
+        f64::INFINITY
+    } else {
+        exp2_sub(i as i32 - 1 + MIN_EXP * SUB)
+    }
+}
+
+/// Lower bound of bucket `i` (values in `i` are `> lower, <= upper`).
+fn bucket_lower_bound(i: usize) -> f64 {
+    if i <= 1 {
+        0.0
+    } else {
+        exp2_sub(i as i32 - 2 + MIN_EXP * SUB)
+    }
+}
+
+/// `2^(k/SUB)` for integer `k`.
+fn exp2_sub(k: i32) -> f64 {
+    (k as f64 / SUB as f64).exp2()
+}
+
+/// The bucket index a value falls into.
+pub fn bucket_index(v: f64) -> usize {
+    // NaN, zero and negatives all land in the underflow bucket.
+    if v.is_nan() || v <= 0.0 {
+        return 0;
+    }
+    // Bucket k covers (2^((k-1)/SUB + MIN_EXP), 2^(k/SUB + MIN_EXP)]:
+    // take ceil(log2(v) * SUB) and shift into the table.
+    let k = (v.log2() * SUB as f64).ceil() as i64 - (MIN_EXP * SUB) as i64 + 1;
+    k.clamp(1, (NUM_BUCKETS - 1) as i64) as usize
+}
+
+/// Full snapshot of a [`Histogram`]: summary statistics plus per-bucket
+/// counts. Supports quantile estimation and lossless merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSnapshot {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    /// Per-bucket observation counts (see [`bucket_upper_bound`]).
+    pub counts: Vec<u64>,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> HistSnapshot {
+        HistSnapshot {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            counts: vec![0; NUM_BUCKETS],
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// The scalar summary view (count/sum/min/max).
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.summary().mean()
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        self.counts[bucket_index(value)] += 1;
+    }
+
+    /// Merge another snapshot into this one. Because every histogram
+    /// shares one fixed bucket layout, this is lossless: the result's
+    /// buckets equal the buckets of the concatenated sample streams.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`). Walks the cumulative
+    /// bucket counts to the bucket holding rank `q·count`, interpolates
+    /// linearly inside it, and clamps to the observed `[min, max]`, so
+    /// every estimate lies in the observed range and estimates are
+    /// monotone in `q`. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= rank {
+                // Interpolate within this bucket by the fraction of its
+                // occupants below the target rank.
+                let frac = if c == 0 {
+                    0.0
+                } else {
+                    ((rank - cum as f64) / c as f64).clamp(0.0, 1.0)
+                };
+                let lo = bucket_lower_bound(i).max(self.min);
+                let hi = if bucket_upper_bound(i).is_finite() {
+                    bucket_upper_bound(i).min(self.max)
+                } else {
+                    self.max
+                };
+                let hi = hi.max(lo);
+                return (lo + (hi - lo) * frac).clamp(self.min, self.max);
+            }
+            cum = next;
+        }
+        self.max
+    }
+
+    /// Cumulative `(upper_bound, count ≤ bound)` pairs for every bucket
+    /// that closes out at least one observation, in increasing bound
+    /// order. The final `(+Inf, total)` entry is always present.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            let ub = bucket_upper_bound(i);
+            if ub.is_finite() {
+                out.push((ub, cum));
+            }
+        }
+        out.push((f64::INFINITY, self.count));
+        out
+    }
+}
+
+/// Histogram of `f64` observations: log-spaced buckets plus
+/// count/sum/min/max, shareable across threads.
 #[derive(Debug, Clone, Default)]
-pub struct Histogram(Arc<Mutex<HistSummary>>);
+pub struct Histogram(Arc<Mutex<HistSnapshot>>);
 
 impl Histogram {
     pub fn observe(&self, value: f64) {
-        let mut h = self.0.lock().unwrap_or_else(|e| e.into_inner());
-        if h.count == 0 {
-            h.min = value;
-            h.max = value;
-        } else {
-            h.min = h.min.min(value);
-            h.max = h.max.max(value);
-        }
-        h.count += 1;
-        h.sum += value;
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .observe(value);
     }
 
+    /// Scalar summary (count/sum/min/max).
     pub fn summary(&self) -> HistSummary {
-        *self.0.lock().unwrap_or_else(|e| e.into_inner())
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).summary()
+    }
+
+    /// Full bucketed snapshot.
+    pub fn snapshot(&self) -> HistSnapshot {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Estimate a quantile of everything observed so far.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).quantile(q)
+    }
+
+    /// Merge another histogram's observations into this one (lossless).
+    pub fn merge_from(&self, other: &Histogram) {
+        let theirs = other.snapshot();
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .merge(&theirs);
     }
 }
 
@@ -128,7 +337,7 @@ pub enum MetricValue {
     Counter(u64),
     FloatCounter(f64),
     Gauge(f64),
-    Histogram(HistSummary),
+    Histogram(HistSnapshot),
 }
 
 impl fmt::Display for MetricValue {
@@ -138,13 +347,45 @@ impl fmt::Display for MetricValue {
             MetricValue::FloatCounter(v) | MetricValue::Gauge(v) => write!(f, "{v:.6}"),
             MetricValue::Histogram(h) => write!(
                 f,
-                "count={} mean={:.6} min={:.6} max={:.6}",
+                "count={} mean={:.6} min={:.6} p50={:.6} p99={:.6} max={:.6}",
                 h.count,
                 h.mean(),
                 h.min,
+                h.quantile(0.50),
+                h.quantile(0.99),
                 h.max
             ),
         }
+    }
+}
+
+/// Turn a dotted metric name into a Prometheus-legal one
+/// (`tape.transfer_s` → `tape_transfer_s`).
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Format an `f64` for the Prometheus text format (`+Inf` for infinity).
+fn prom_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v:?}")
     }
 }
 
@@ -205,7 +446,7 @@ impl MetricsRegistry {
                     Metric::Counter(c) => MetricValue::Counter(c.get()),
                     Metric::FloatCounter(c) => MetricValue::FloatCounter(c.get()),
                     Metric::Gauge(g) => MetricValue::Gauge(g.get()),
-                    Metric::Histogram(h) => MetricValue::Histogram(h.summary()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
                 };
                 (name, v)
             })
@@ -218,23 +459,13 @@ impl MetricsRegistry {
         let width = snap.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
         let mut out = String::new();
         for (name, value) in &snap {
-            let rendered = match value {
-                MetricValue::Counter(v) => format!("{v}"),
-                MetricValue::FloatCounter(v) | MetricValue::Gauge(v) => format!("{v:.6}"),
-                MetricValue::Histogram(h) => format!(
-                    "count={} mean={:.6} min={:.6} max={:.6}",
-                    h.count,
-                    h.mean(),
-                    h.min,
-                    h.max
-                ),
-            };
-            out.push_str(&format!("{name:<width$}  {rendered}\n"));
+            out.push_str(&format!("{name:<width$}  {value}\n"));
         }
         out
     }
 
-    /// Render the snapshot as one JSON object.
+    /// Render the snapshot as one JSON object. Histograms appear as
+    /// `{"count", "sum", "min", "max", "p50", "p90", "p99", "p999"}`.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{");
         for (i, (name, value)) in self.snapshot().iter().enumerate() {
@@ -251,17 +482,64 @@ impl MetricsRegistry {
                 MetricValue::Histogram(h) => {
                     out.push_str("{\"count\":");
                     out.push_str(&h.count.to_string());
-                    out.push_str(",\"sum\":");
-                    json::write_f64(&mut out, h.sum);
-                    out.push_str(",\"min\":");
-                    json::write_f64(&mut out, h.min);
-                    out.push_str(",\"max\":");
-                    json::write_f64(&mut out, h.max);
+                    for (k, v) in [
+                        ("sum", h.sum),
+                        ("min", h.min),
+                        ("max", h.max),
+                        ("p50", h.quantile(0.50)),
+                        ("p90", h.quantile(0.90)),
+                        ("p99", h.quantile(0.99)),
+                        ("p999", h.quantile(0.999)),
+                    ] {
+                        out.push(',');
+                        json::write_str(&mut out, k);
+                        out.push(':');
+                        json::write_f64(&mut out, v);
+                    }
                     out.push('}');
                 }
             }
         }
         out.push('}');
+        out
+    }
+
+    /// Render the snapshot in the Prometheus text exposition format:
+    /// `# TYPE` lines plus one sample per counter/gauge, and
+    /// `_bucket{le="…"}` (cumulative), `_sum` and `_count` series per
+    /// histogram. Only buckets that close out at least one observation
+    /// are emitted (plus the mandatory `+Inf` bucket); cumulative counts
+    /// are non-decreasing and the `+Inf` bucket equals `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.snapshot() {
+            let pname = prom_name(name);
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {pname} counter\n{pname} {v}\n"));
+                }
+                MetricValue::FloatCounter(v) => {
+                    out.push_str(&format!(
+                        "# TYPE {pname} counter\n{pname} {}\n",
+                        prom_f64(v)
+                    ));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {pname} gauge\n{pname} {}\n", prom_f64(v)));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {pname} histogram\n"));
+                    for (ub, cum) in h.cumulative_buckets() {
+                        out.push_str(&format!(
+                            "{pname}_bucket{{le=\"{}\"}} {cum}\n",
+                            prom_f64(ub)
+                        ));
+                    }
+                    out.push_str(&format!("{pname}_sum {}\n", prom_f64(h.sum)));
+                    out.push_str(&format!("{pname}_count {}\n", h.count));
+                }
+            }
+        }
         out
     }
 }
@@ -303,6 +581,62 @@ mod tests {
     }
 
     #[test]
+    fn bucket_index_respects_boundaries() {
+        // Exact powers of two sit at a bucket's inclusive upper bound.
+        let i = bucket_index(1.0);
+        assert_eq!(bucket_upper_bound(i), 1.0);
+        let j = bucket_index(1.0001);
+        assert_eq!(j, i + 1, "just above a boundary goes to the next bucket");
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-5.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(1e300), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(1e-300), 1);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let h = Histogram::default();
+        for i in 1..=1000 {
+            h.observe(i as f64 / 100.0); // 0.01 .. 10.0
+        }
+        let snap = h.snapshot();
+        let p50 = snap.quantile(0.50);
+        let p90 = snap.quantile(0.90);
+        let p99 = snap.quantile(0.99);
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(p50 >= snap.min && p99 <= snap.max);
+        // Log buckets are ~19% wide: p50 of uniform(0.01,10) is ~5.
+        assert!((p50 - 5.0).abs() < 1.5, "p50 estimate {p50} too far from 5");
+        assert_eq!(snap.quantile(0.0), snap.min);
+        assert_eq!(snap.quantile(1.0), snap.max);
+    }
+
+    #[test]
+    fn merge_is_lossless() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        let all = Histogram::default();
+        for i in 0..100 {
+            let v = 0.001 * (i as f64 + 1.0) * if i % 2 == 0 { 1.0 } else { 37.5 };
+            if i < 60 {
+                a.observe(v);
+            } else {
+                b.observe(v);
+            }
+            all.observe(v);
+        }
+        a.merge_from(&b);
+        let merged = a.snapshot();
+        let direct = all.snapshot();
+        assert_eq!(merged.counts, direct.counts);
+        assert_eq!(merged.count, direct.count);
+        assert_eq!(merged.min, direct.min);
+        assert_eq!(merged.max, direct.max);
+        assert!((merged.sum - direct.sum).abs() < 1e-9);
+    }
+
+    #[test]
     fn renders_text_and_json() {
         let reg = MetricsRegistry::new();
         reg.counter("b.count").add(7);
@@ -318,6 +652,36 @@ mod tests {
         assert!(jsonv.contains("\"b.count\":7"));
         assert!(jsonv.contains("\"c.fill\":0.75"));
         assert!(jsonv.contains("\"d.lat\":{\"count\":1"));
+        assert!(jsonv.contains("\"p99\":"));
+    }
+
+    #[test]
+    fn renders_prometheus_exposition() {
+        let reg = MetricsRegistry::new();
+        reg.counter("tape.mounts").add(3);
+        reg.fcounter("tape.transfer_s").add(12.5);
+        reg.gauge("cache.fill").set(0.5);
+        let h = reg.histogram("heaven.query_latency_s");
+        h.observe(0.5);
+        h.observe(2.0);
+        h.observe(300.0);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE tape_mounts counter\ntape_mounts 3\n"));
+        assert!(text.contains("# TYPE cache_fill gauge\ncache_fill 0.5\n"));
+        assert!(text.contains("# TYPE heaven_query_latency_s histogram\n"));
+        assert!(text.contains("heaven_query_latency_s_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("heaven_query_latency_s_sum 302.5\n"));
+        assert!(text.contains("heaven_query_latency_s_count 3\n"));
+        // cumulative bucket counts are non-decreasing and end at _count
+        let mut last = 0u64;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("heaven_query_latency_s_bucket") {
+                let v: u64 = rest.split_whitespace().last().unwrap().parse().unwrap();
+                assert!(v >= last, "bucket counts must be cumulative");
+                last = v;
+            }
+        }
+        assert_eq!(last, 3);
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Property-based tests of the log-bucketed histogram: quantile bounds,
+//! quantile monotonicity, and lossless merging.
+
+use heaven_obs::{bucket_index, bucket_upper_bound, HistSnapshot, NUM_BUCKETS};
+use proptest::prelude::*;
+
+fn observations() -> impl Strategy<Value = Vec<f64>> {
+    // Durations spanning the interesting range: microseconds to days.
+    prop::collection::vec(
+        prop_oneof![1e-6..1.0f64, 1.0..100.0f64, 100.0..1e5f64, Just(0.0),],
+        1..64,
+    )
+}
+
+proptest! {
+    #[test]
+    fn quantiles_lie_within_min_max(values in observations(), q in 0.0..=1.0f64) {
+        let mut h = HistSnapshot::default();
+        for &v in &values {
+            h.observe(v);
+        }
+        let est = h.quantile(q);
+        prop_assert!(est >= h.min, "q{q}: {est} < min {}", h.min);
+        prop_assert!(est <= h.max, "q{q}: {est} > max {}", h.max);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(values in observations(), qa in 0.0..=1.0f64, qb in 0.0..=1.0f64) {
+        let mut h = HistSnapshot::default();
+        for &v in &values {
+            h.observe(v);
+        }
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(h.quantile(lo) <= h.quantile(hi));
+    }
+
+    #[test]
+    fn merge_equals_concatenated_observation(a in observations(), b in observations()) {
+        let mut ha = HistSnapshot::default();
+        for &v in &a {
+            ha.observe(v);
+        }
+        let mut hb = HistSnapshot::default();
+        for &v in &b {
+            hb.observe(v);
+        }
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        let mut concat = HistSnapshot::default();
+        for &v in a.iter().chain(&b) {
+            concat.observe(v);
+        }
+        prop_assert_eq!(merged.count, concat.count);
+        prop_assert_eq!(merged.min, concat.min);
+        prop_assert_eq!(merged.max, concat.max);
+        prop_assert!((merged.sum - concat.sum).abs() <= 1e-9 * concat.sum.abs().max(1.0));
+        prop_assert_eq!(&merged.counts, &concat.counts, "bucket-wise merge must be lossless");
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), concat.quantile(q));
+        }
+    }
+
+    #[test]
+    fn bucket_index_respects_bounds(v in 1e-10..1e13f64) {
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        prop_assert!(v <= bucket_upper_bound(i), "{v} above bucket {i} upper bound");
+        if i > 0 {
+            prop_assert!(
+                v > bucket_upper_bound(i - 1),
+                "{v} not above bucket {}'s upper bound {}",
+                i - 1,
+                bucket_upper_bound(i - 1)
+            );
+        }
+    }
+}

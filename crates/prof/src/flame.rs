@@ -1,0 +1,170 @@
+//! Collapsed-stack profiles from span nesting.
+//!
+//! Output is the `flamegraph.pl` / speedscope "folded" format: one line
+//! per unique stack, frames joined by `;`, followed by a space and an
+//! integer weight. Weights are **microseconds of simulated time**; each
+//! line carries a span's *self* time (its duration minus its children's),
+//! so the sum of all lines equals the total simulated time covered by
+//! root spans. A synthetic `(idle)` root accounts for simulated time not
+//! covered by any root span, making the file total equal the trace's end
+//! timestamp exactly.
+
+use crate::trace::{total_sim_s, ProfKind, ProfRecord};
+use std::collections::BTreeMap;
+
+#[derive(Debug)]
+struct SpanNode {
+    name: String,
+    start_s: f64,
+    end_s: Option<f64>,
+    parent: Option<u64>,
+    children_dur_s: f64,
+}
+
+/// Build the folded flamegraph text from a parsed trace.
+pub fn collapsed_stacks(records: &[ProfRecord]) -> String {
+    let end_of_trace = total_sim_s(records);
+    let mut spans: BTreeMap<u64, SpanNode> = BTreeMap::new();
+    for rec in records {
+        match rec.kind {
+            ProfKind::SpanStart => {
+                spans.insert(
+                    rec.span,
+                    SpanNode {
+                        name: rec.name.clone(),
+                        start_s: rec.sim_s,
+                        end_s: None,
+                        parent: rec.parent,
+                        children_dur_s: 0.0,
+                    },
+                );
+            }
+            ProfKind::SpanEnd => {
+                if let Some(node) = spans.get_mut(&rec.span) {
+                    node.end_s = Some(rec.sim_s);
+                }
+            }
+            ProfKind::Event => {}
+        }
+    }
+    // A span the trace never closed (truncated file) ends with the trace.
+    let dur = |node: &SpanNode| (node.end_s.unwrap_or(end_of_trace) - node.start_s).max(0.0);
+    // Charge each span's duration to its parent's children time.
+    let charges: Vec<(u64, f64)> = spans
+        .values()
+        .filter_map(|node| node.parent.map(|p| (p, dur(node))))
+        .collect();
+    for (parent, d) in charges {
+        if let Some(p) = spans.get_mut(&parent) {
+            p.children_dur_s += d;
+        }
+    }
+    // Emit one folded line per span with positive self time, aggregating
+    // identical stacks.
+    let stack_of = |id: u64| -> String {
+        let mut frames = Vec::new();
+        let mut cur = Some(id);
+        while let Some(s) = cur {
+            let Some(node) = spans.get(&s) else { break };
+            frames.push(node.name.as_str());
+            cur = node.parent;
+        }
+        frames.reverse();
+        frames.join(";")
+    };
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    let mut roots_dur_s = 0.0;
+    for (&id, node) in &spans {
+        if node.parent.is_none() {
+            roots_dur_s += dur(node);
+        }
+        let self_s = (dur(node) - node.children_dur_s).max(0.0);
+        let self_us = (self_s * 1e6).round() as u64;
+        if self_us > 0 {
+            *folded.entry(stack_of(id)).or_insert(0) += self_us;
+        }
+    }
+    let idle_us = ((end_of_trace - roots_dur_s).max(0.0) * 1e6).round() as u64;
+    if idle_us > 0 {
+        *folded.entry("(idle)".to_string()).or_insert(0) += idle_us;
+    }
+    let mut out = String::new();
+    for (stack, us) in folded {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&us.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Sum of all weights in a folded file, in simulated seconds — for
+/// validation against the trace's end timestamp.
+pub fn folded_total_s(folded: &str) -> f64 {
+    folded
+        .lines()
+        .filter_map(|l| l.rsplit(' ').next())
+        .filter_map(|w| w.parse::<u64>().ok())
+        .sum::<u64>() as f64
+        / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::load_trace;
+    use heaven_obs::{Field, TraceBus};
+
+    fn trace_text(bus: &TraceBus) -> String {
+        bus.records().iter().map(|r| r.to_json() + "\n").collect()
+    }
+
+    #[test]
+    fn self_time_partitions_root_duration() {
+        let bus = TraceBus::ring(64);
+        let q = bus.span_start("query", 0.0, &[]);
+        let f = bus.span_start("heaven.st_fetch", 2.0, &[("st", Field::U64(1))]);
+        bus.span_end(f, 7.0);
+        bus.span_end(q, 10.0);
+        let recs = load_trace(&trace_text(&bus)).unwrap();
+        let folded = collapsed_stacks(&recs);
+        // query self = 10 - 5 = 5 s; st_fetch self = 5 s; no idle.
+        assert!(folded.contains("query 5000000\n"), "{folded}");
+        assert!(
+            folded.contains("query;heaven.st_fetch 5000000\n"),
+            "{folded}"
+        );
+        assert!(!folded.contains("(idle)"));
+        assert!((folded_total_s(&folded) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn idle_root_covers_gaps() {
+        let bus = TraceBus::ring(64);
+        let a = bus.span_start("query", 1.0, &[]);
+        bus.span_end(a, 3.0);
+        let b = bus.span_start("query", 5.0, &[]);
+        bus.span_end(b, 6.0);
+        bus.event("tape.mount", 8.0, &[]); // pushes trace end to 8 s
+        let recs = load_trace(&trace_text(&bus)).unwrap();
+        let folded = collapsed_stacks(&recs);
+        // roots cover 3 s of the 8 s trace: 5 s idle.
+        assert!(folded.contains("(idle) 5000000\n"), "{folded}");
+        assert!(
+            folded.contains("query 3000000\n"),
+            "two roots aggregate: {folded}"
+        );
+        assert!((folded_total_s(&folded) - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unclosed_span_ends_with_trace() {
+        let bus = TraceBus::ring(64);
+        let _leaked = bus.span_start("query", 0.0, &[]);
+        bus.event("tape.mount", 4.0, &[]);
+        let recs = load_trace(&trace_text(&bus)).unwrap();
+        let folded = collapsed_stacks(&recs);
+        assert!(folded.contains("query 4000000\n"), "{folded}");
+        assert!((folded_total_s(&folded) - 4.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,21 @@
+//! `heaven-prof`: offline analysis of HEAVEN JSONL traces.
+//!
+//! The trace bus ([`heaven_obs::TraceBus::jsonl`]) streams one JSON object
+//! per span/event, timestamped in **simulated** seconds. This crate parses
+//! such a trace back (the workspace has no serde; [`json`] is a small
+//! hand-written parser) and derives three artifacts:
+//!
+//! - [`flame`]: a collapsed-stack profile from span nesting, compatible
+//!   with `flamegraph.pl` and speedscope,
+//! - [`timeline`]: a windowed utilization report (per-drive busy %,
+//!   robot-arm busy %, super-tile cache hit rate) as JSON,
+//! - [`tail`]: a tail-latency table per span name, built on the
+//!   log-bucketed [`heaven_obs::HistSnapshot`] quantile estimator.
+
+pub mod flame;
+pub mod json;
+pub mod tail;
+pub mod timeline;
+pub mod trace;
+
+pub use trace::{load_trace, ProfKind, ProfRecord};

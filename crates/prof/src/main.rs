@@ -1,0 +1,139 @@
+//! `heaven-prof` — offline profiler for HEAVEN JSONL traces.
+//!
+//! Usage:
+//!
+//! ```text
+//! heaven-prof <trace.jsonl> [--out-dir DIR] [--window SECONDS]
+//! ```
+//!
+//! Reads a trace written by `TraceConfig::Jsonl` and emits three
+//! artifacts into the output directory (default: alongside the trace):
+//!
+//! * `flame.folded` — collapsed stacks (simulated-microsecond weights)
+//!   for `flamegraph.pl` or speedscope,
+//! * `timeline.json` — windowed drive/robot utilization and cache hit
+//!   rate over simulated time,
+//! * `tail.txt` — per-span-name tail-latency table (also printed to
+//!   stdout).
+
+use heaven_prof::flame::{collapsed_stacks, folded_total_s};
+use heaven_prof::tail::{render_table, tail_report};
+use heaven_prof::timeline::utilization_timeline;
+use heaven_prof::trace::{load_trace, total_sim_s};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: heaven-prof <trace.jsonl> [--out-dir DIR] [--window SECONDS]";
+
+struct Args {
+    trace: PathBuf,
+    out_dir: Option<PathBuf>,
+    window_s: f64,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut trace = None;
+    let mut out_dir = None;
+    let mut window_s = 60.0;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out-dir" => {
+                let v = it.next().ok_or("--out-dir requires a path")?;
+                out_dir = Some(PathBuf::from(v));
+            }
+            "--window" => {
+                let v = it.next().ok_or("--window requires seconds")?;
+                let w: f64 = v.parse().map_err(|_| format!("bad --window {v:?}"))?;
+                if w.is_nan() || w <= 0.0 {
+                    return Err(format!("--window must be positive, got {v}"));
+                }
+                window_s = w;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => {
+                if trace.replace(PathBuf::from(other)).is_some() {
+                    return Err("more than one trace file given".to_string());
+                }
+            }
+        }
+    }
+    Ok(Args {
+        trace: trace.ok_or(USAGE)?,
+        out_dir,
+        window_s,
+    })
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let text = std::fs::read_to_string(&args.trace)
+        .map_err(|e| format!("cannot read {}: {e}", args.trace.display()))?;
+    let records = load_trace(&text).map_err(|e| format!("{}: {e}", args.trace.display()))?;
+    let out_dir = args
+        .out_dir
+        .clone()
+        .unwrap_or_else(|| args.trace.parent().unwrap_or(Path::new(".")).to_path_buf());
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    let write = |name: &str, content: &str| -> Result<PathBuf, String> {
+        let path = out_dir.join(name);
+        std::fs::write(&path, content)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        Ok(path)
+    };
+
+    let total = total_sim_s(&records);
+    println!(
+        "trace: {} records, {:.3} simulated seconds",
+        records.len(),
+        total
+    );
+
+    let folded = collapsed_stacks(&records);
+    let flame_path = write("flame.folded", &folded)?;
+    println!(
+        "wrote {} ({} stacks, {:.3} s accounted)",
+        flame_path.display(),
+        folded.lines().count(),
+        folded_total_s(&folded)
+    );
+
+    let timeline = utilization_timeline(&records, args.window_s);
+    let tl_path = write("timeline.json", &(timeline.to_json() + "\n"))?;
+    println!(
+        "wrote {} ({} windows of {:.3} s)",
+        tl_path.display(),
+        timeline.windows.len(),
+        timeline.window_s
+    );
+
+    let rows = tail_report(&records);
+    let table = render_table(&rows);
+    let tail_path = write("tail.txt", &table)?;
+    println!(
+        "wrote {} ({} span names)\n",
+        tail_path.display(),
+        rows.len()
+    );
+    print!("{table}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("heaven-prof: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Tail-latency report: per-span-name duration quantiles.
+//!
+//! Every `span_end` record carries a `dur_s` field; durations are fed
+//! into the same log-bucketed [`HistSnapshot`] the live metrics use, so
+//! the profiler's offline quantiles agree with the online ones.
+
+use crate::trace::{ProfKind, ProfRecord};
+use heaven_obs::HistSnapshot;
+use std::collections::BTreeMap;
+
+/// One row of the tail-latency table.
+#[derive(Debug, Clone)]
+pub struct TailRow {
+    pub name: String,
+    pub count: u64,
+    pub total_s: f64,
+    pub p50_s: f64,
+    pub p90_s: f64,
+    pub p99_s: f64,
+    pub p999_s: f64,
+    pub max_s: f64,
+}
+
+/// Aggregate span durations by span name, sorted by descending total time.
+pub fn tail_report(records: &[ProfRecord]) -> Vec<TailRow> {
+    let mut hists: BTreeMap<&str, HistSnapshot> = BTreeMap::new();
+    for rec in records {
+        if rec.kind != ProfKind::SpanEnd {
+            continue;
+        }
+        let Some(dur) = rec.field_f64("dur_s") else {
+            continue;
+        };
+        hists.entry(&rec.name).or_default().observe(dur);
+    }
+    let mut rows: Vec<TailRow> = hists
+        .into_iter()
+        .map(|(name, h)| TailRow {
+            name: name.to_string(),
+            count: h.count,
+            total_s: h.sum,
+            p50_s: h.quantile(0.50),
+            p90_s: h.quantile(0.90),
+            p99_s: h.quantile(0.99),
+            p999_s: h.quantile(0.999),
+            max_s: h.max,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.total_s.partial_cmp(&a.total_s).expect("finite"));
+    rows
+}
+
+/// Render the report as an aligned text table (simulated seconds).
+pub fn render_table(rows: &[TailRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "span", "count", "total_s", "p50_s", "p90_s", "p99_s", "p99.9_s", "max_s"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>12.6} {:>10.6} {:>10.6} {:>10.6} {:>10.6} {:>10.6}\n",
+            r.name, r.count, r.total_s, r.p50_s, r.p90_s, r.p99_s, r.p999_s, r.max_s
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::load_trace;
+    use heaven_obs::TraceBus;
+
+    #[test]
+    fn aggregates_by_name_and_sorts_by_total() {
+        let bus = TraceBus::ring(64);
+        let mut t = 0.0;
+        for dur in [1.0, 2.0, 3.0] {
+            let s = bus.span_start("query", t, &[]);
+            t += dur;
+            bus.span_end(s, t);
+        }
+        let s = bus.span_start("hsm.stage", t, &[]);
+        bus.span_end(s, t + 0.5);
+        let text: String = bus.records().iter().map(|r| r.to_json() + "\n").collect();
+        let rows = tail_report(&load_trace(&text).unwrap());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "query");
+        assert_eq!(rows[0].count, 3);
+        assert!((rows[0].total_s - 6.0).abs() < 1e-12);
+        assert!((rows[0].max_s - 3.0).abs() < 1e-12);
+        // quantiles land within the observed range
+        assert!(rows[0].p50_s >= 1.0 && rows[0].p50_s <= 3.0);
+        assert!(rows[0].p999_s <= rows[0].max_s + 1e-12);
+        assert_eq!(rows[1].name, "hsm.stage");
+        let table = render_table(&rows);
+        assert!(table.lines().count() == 3, "{table}");
+        assert!(table.contains("query"), "{table}");
+    }
+}

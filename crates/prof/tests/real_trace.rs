@@ -1,0 +1,122 @@
+//! End-to-end: profile a trace produced by a real HEAVEN workload.
+//!
+//! Exercises the acceptance properties of the profiler against actual
+//! span nesting and tape events (not hand-built records): the collapsed
+//! stacks partition the trace's simulated time, and windowed device busy
+//! time never exceeds the window length.
+
+use heaven_array::{CellType, MDArray, Minterval, Point, Tiling};
+use heaven_arraydb::ArrayDb;
+use heaven_core::{AccessPattern, ClusteringStrategy, ExportMode, Heaven, HeavenConfig};
+use heaven_obs::TraceConfig;
+use heaven_prof::flame::{collapsed_stacks, folded_total_s};
+use heaven_prof::tail::tail_report;
+use heaven_prof::timeline::utilization_timeline;
+use heaven_prof::trace::{load_trace, total_sim_s};
+use heaven_rdbms::Database;
+use heaven_tape::{DeviceProfile, SimClock, TapeLibrary};
+
+fn mi(b: &[(i64, i64)]) -> Minterval {
+    Minterval::new(b).unwrap()
+}
+
+/// Run a small insert → export → cold query → warm query workload with an
+/// in-memory trace, and return the trace as JSONL text.
+fn workload_trace() -> String {
+    let clock = SimClock::new();
+    let db = Database::new(heaven_tape::DiskProfile::scsi2003(), clock.clone(), 4096);
+    let mut adb = ArrayDb::create(db).unwrap();
+    adb.create_collection("c", CellType::I32, 2).unwrap();
+    let arr = MDArray::generate(mi(&[(0, 59), (0, 59)]), CellType::I32, |p: &Point| {
+        (p.coord(0) * 1000 + p.coord(1)) as f64
+    });
+    let oid = adb
+        .insert_object(
+            "c",
+            &arr,
+            Tiling::Regular {
+                tile_shape: vec![10, 10],
+            },
+        )
+        .unwrap();
+    let lib = TapeLibrary::new(DeviceProfile::ibm3590(), 2, clock);
+    let config = HeavenConfig {
+        supertile_bytes: Some(4 * 500),
+        clustering: ClusteringStrategy::EStar(AccessPattern::Uniform),
+        trace: TraceConfig::Memory { capacity: 1 << 16 },
+        ..HeavenConfig::default()
+    };
+    let mut heaven = Heaven::new(adb, lib, config);
+    heaven.export_object(oid, ExportMode::Tct).unwrap();
+    heaven.clear_caches();
+    for q in [mi(&[(0, 29), (0, 29)]), mi(&[(30, 59), (0, 29)])] {
+        heaven.fetch_region_hierarchical(oid, &q).unwrap(); // cold
+        heaven.fetch_region_hierarchical(oid, &q).unwrap(); // warm
+    }
+    heaven
+        .trace()
+        .records()
+        .iter()
+        .map(|r| r.to_json() + "\n")
+        .collect()
+}
+
+#[test]
+fn profiles_a_real_workload() {
+    let text = workload_trace();
+    let records = load_trace(&text).expect("real trace parses");
+    assert!(records.len() > 20, "expected a substantial trace");
+    let total = total_sim_s(&records);
+    assert!(total > 0.0);
+
+    // Acceptance: root spans (plus synthetic idle) sum to the trace's
+    // total simulated time within 1%.
+    let folded = collapsed_stacks(&records);
+    assert!(!folded.is_empty());
+    let accounted = folded_total_s(&folded);
+    assert!(
+        (accounted - total).abs() <= 0.01 * total,
+        "folded weights sum to {accounted}, trace covers {total}"
+    );
+    // The cold fetches reach tape, so tape frames appear in some stack.
+    assert!(folded.contains("query"), "{folded}");
+
+    // Per-drive and robot busy time within each window never exceed the
+    // window's wall (simulated) time.
+    for window_s in [1.0, 10.0, total] {
+        let tl = utilization_timeline(&records, window_s);
+        assert!(!tl.windows.is_empty());
+        for w in &tl.windows {
+            let width = w.width_s() + 1e-9;
+            assert!(
+                w.robot_busy_s <= width,
+                "robot busy {} in a {}-s window",
+                w.robot_busy_s,
+                w.width_s()
+            );
+            for (&d, &busy) in &w.drive_busy_s {
+                assert!(
+                    busy <= width,
+                    "drive {d} busy {busy} in a {}-s window",
+                    w.width_s()
+                );
+            }
+        }
+        // The workload did real tape work: some window shows drive busy.
+        let any_busy = tl
+            .windows
+            .iter()
+            .any(|w| w.drive_busy_s.values().any(|&b| b > 0.0));
+        assert!(any_busy, "no drive activity recorded in the timeline");
+    }
+
+    // The tail report sees the query spans with sane quantiles.
+    let rows = tail_report(&records);
+    let query = rows
+        .iter()
+        .find(|r| r.name == "query")
+        .expect("query spans in tail report");
+    assert_eq!(query.count, 4);
+    assert!(query.p50_s <= query.p999_s + 1e-12);
+    assert!(query.p999_s <= query.max_s + 1e-12);
+}

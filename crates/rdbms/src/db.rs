@@ -53,6 +53,7 @@ impl Database {
     /// Attach the database's counters to a shared metrics registry.
     pub fn attach_obs(&mut self, registry: &heaven_obs::MetricsRegistry) {
         self.buffer.attach_obs(registry);
+        self.buffer.disk_mut().attach_obs(registry);
     }
 
     /// Buffer-pool statistics.

@@ -7,6 +7,7 @@
 
 use crate::error::{DbError, Result};
 use crate::page::{Page, PageId, PAGE_SIZE};
+use heaven_obs::{Histogram, MetricsRegistry};
 use heaven_tape::{DiskProfile, SimClock};
 
 /// I/O statistics of the database disk.
@@ -29,6 +30,8 @@ pub struct DiskManager {
     stats: IoStats,
     /// Sequential-access optimization: last accessed page id.
     last_page: Option<PageId>,
+    /// Per-page-I/O duration distribution (simulated seconds).
+    io_hist: Histogram,
 }
 
 impl DiskManager {
@@ -40,7 +43,16 @@ impl DiskManager {
             pages: vec![Page::new()],
             stats: IoStats::default(),
             last_page: None,
+            io_hist: MetricsRegistry::new().histogram("rdbms.page_io_hist_s"),
         }
+    }
+
+    /// Attach the disk's I/O histogram to a shared metrics registry;
+    /// observations accumulated so far carry over.
+    pub fn attach_obs(&mut self, registry: &MetricsRegistry) {
+        let next = registry.histogram("rdbms.page_io_hist_s");
+        next.merge_from(&self.io_hist);
+        self.io_hist = next;
     }
 
     /// Number of pages in the file.
@@ -73,6 +85,7 @@ impl DiskManager {
         let t = seek + PAGE_SIZE as f64 / self.profile.transfer_bps;
         self.clock.advance_s(t);
         self.stats.io_s += t;
+        self.io_hist.observe(t);
         self.last_page = Some(page);
     }
 

@@ -12,7 +12,7 @@ use crate::media::{Medium, MediumId};
 use crate::profile::DeviceProfile;
 use crate::stats::TapeStats;
 use bytes::Bytes;
-use heaven_obs::{Counter, Field, FloatCounter, MetricsRegistry, TraceBus};
+use heaven_obs::{Counter, Field, FloatCounter, Histogram, MetricsRegistry, TraceBus};
 use std::collections::BTreeMap;
 
 /// Metric handles backing [`TapeStats`]. The registry is the source of
@@ -32,6 +32,12 @@ struct TapeMetrics {
     bytes_written: Counter,
     shelf_fetches: Counter,
     shelf_s: FloatCounter,
+    /// Per-operation duration distributions (simulated seconds).
+    exchange_hist: Histogram,
+    locate_hist: Histogram,
+    transfer_hist: Histogram,
+    rewind_hist: Histogram,
+    shelf_hist: Histogram,
 }
 
 impl TapeMetrics {
@@ -48,6 +54,11 @@ impl TapeMetrics {
             bytes_written: registry.counter("tape.bytes_written"),
             shelf_fetches: registry.counter("tape.shelf_fetches"),
             shelf_s: registry.fcounter("tape.shelf_s"),
+            exchange_hist: registry.histogram("tape.exchange_hist_s"),
+            locate_hist: registry.histogram("tape.locate_hist_s"),
+            transfer_hist: registry.histogram("tape.transfer_hist_s"),
+            rewind_hist: registry.histogram("tape.rewind_hist_s"),
+            shelf_hist: registry.histogram("tape.shelf_hist_s"),
         }
     }
 
@@ -66,6 +77,11 @@ impl TapeMetrics {
         next.bytes_written.add(self.bytes_written.get());
         next.shelf_fetches.add(self.shelf_fetches.get());
         next.shelf_s.add(self.shelf_s.get());
+        next.exchange_hist.merge_from(&self.exchange_hist);
+        next.locate_hist.merge_from(&self.locate_hist);
+        next.transfer_hist.merge_from(&self.transfer_hist);
+        next.rewind_hist.merge_from(&self.rewind_hist);
+        next.shelf_hist.merge_from(&self.shelf_hist);
         *self = next;
     }
 
@@ -243,6 +259,7 @@ impl TapeLibrary {
             self.clock.advance_s(cfg.shelf_fetch_s);
             self.metrics.shelf_fetches.inc();
             self.metrics.shelf_s.add(cfg.shelf_fetch_s);
+            self.metrics.shelf_hist.observe(cfg.shelf_fetch_s);
             self.bus.event(
                 "tape.shelf_fetch",
                 self.clock.now_s(),
@@ -357,6 +374,7 @@ impl TapeLibrary {
             let rewind = self.profile.rewind_time_s(self.drives[di].head_pos);
             self.clock.advance_s(rewind);
             self.metrics.rewind_s.add(rewind);
+            self.metrics.rewind_hist.observe(rewind);
             self.metrics.unmounts.inc();
             self.bus.event(
                 "tape.unmount",
@@ -372,6 +390,7 @@ impl TapeLibrary {
         let mount = self.profile.mount_time_s();
         self.clock.advance_s(mount);
         self.metrics.exchange_s.add(mount);
+        self.metrics.exchange_hist.observe(mount);
         self.metrics.mounts.inc();
         self.bus.event(
             "tape.mount",
@@ -405,13 +424,16 @@ impl TapeLibrary {
         self.clock.advance_s(locate + transfer);
         self.metrics.locate_s.add(locate);
         self.metrics.transfer_s.add(transfer);
+        self.metrics.transfer_hist.observe(transfer);
         self.metrics.bytes_written.add(len);
         if locate > 0.0 {
+            self.metrics.locate_hist.observe(locate);
             self.bus.event(
                 "tape.locate",
                 self.clock.now_s() - transfer,
                 &[
                     ("medium", Field::U64(id)),
+                    ("drive", Field::U64(di as u64)),
                     ("from", Field::U64(head)),
                     ("to", Field::U64(write_pos)),
                     ("cost_s", Field::F64(locate)),
@@ -423,6 +445,7 @@ impl TapeLibrary {
             self.clock.now_s(),
             &[
                 ("medium", Field::U64(id)),
+                ("drive", Field::U64(di as u64)),
                 ("offset", Field::U64(write_pos)),
                 ("bytes", Field::U64(len)),
                 ("dir", Field::Str("write".into())),
@@ -451,13 +474,16 @@ impl TapeLibrary {
         self.clock.advance_s(locate + transfer);
         self.metrics.locate_s.add(locate);
         self.metrics.transfer_s.add(transfer);
+        self.metrics.transfer_hist.observe(transfer);
         self.metrics.bytes_read.add(len);
         if locate > 0.0 {
+            self.metrics.locate_hist.observe(locate);
             self.bus.event(
                 "tape.locate",
                 self.clock.now_s() - transfer,
                 &[
                     ("medium", Field::U64(id)),
+                    ("drive", Field::U64(di as u64)),
                     ("from", Field::U64(head)),
                     ("to", Field::U64(offset)),
                     ("cost_s", Field::F64(locate)),
@@ -469,6 +495,7 @@ impl TapeLibrary {
             self.clock.now_s(),
             &[
                 ("medium", Field::U64(id)),
+                ("drive", Field::U64(di as u64)),
                 ("offset", Field::U64(offset)),
                 ("bytes", Field::U64(len)),
                 ("dir", Field::Str("read".into())),

@@ -8,13 +8,29 @@
 //!
 //! ```sh
 //! cargo run --release --example climate_archive
+//! # with a JSONL trace for heaven-prof:
+//! cargo run --release --example climate_archive -- --trace /tmp/climate.jsonl
 //! ```
 
 use heaven::array::{CellType, Minterval, Tiling};
 use heaven::arraydb::run;
 use heaven::core::{AccessPattern, ClusteringStrategy, ExportMode, HeavenConfig};
+use heaven::obs::TraceConfig;
 use heaven::tape::DeviceProfile;
 use heaven::workload::climate_field_tile;
+
+/// `--trace <path>`: write a JSONL trace for offline profiling.
+fn trace_config() -> TraceConfig {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            if let Some(path) = args.next() {
+                return TraceConfig::Jsonl { path: path.into() };
+            }
+        }
+    }
+    TraceConfig::Off
+}
 
 fn main() {
     // Time-series-friendly configuration: eSTAR groups runs along the
@@ -25,6 +41,7 @@ fn main() {
         HeavenConfig {
             supertile_bytes: Some(2 << 20),
             clustering: ClusteringStrategy::EStar(AccessPattern::Directional { axis: 0 }),
+            trace: trace_config(),
             ..HeavenConfig::default()
         },
     );
@@ -101,4 +118,5 @@ fn main() {
         heaven.tile_cache_stats().hits
     );
     println!("total simulated time: {:.1} s", heaven.clock().now_s());
+    heaven.trace().flush();
 }

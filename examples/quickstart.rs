@@ -3,12 +3,28 @@
 //!
 //! ```sh
 //! cargo run --release --example quickstart
+//! # with a JSONL trace for heaven-prof:
+//! cargo run --release --example quickstart -- --trace /tmp/quickstart.jsonl
 //! ```
 
 use heaven::array::{CellType, MDArray, Minterval, Tiling};
 use heaven::arraydb::run;
 use heaven::core::{ExportMode, HeavenConfig};
+use heaven::obs::TraceConfig;
 use heaven::tape::DeviceProfile;
+
+/// `--trace <path>`: write a JSONL trace for offline profiling.
+fn trace_config() -> TraceConfig {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            if let Some(path) = args.next() {
+                return TraceConfig::Jsonl { path: path.into() };
+            }
+        }
+    }
+    TraceConfig::Off
+}
 
 fn main() {
     // 1. Open a HEAVEN system: array DBMS + one DLT7000 tape library.
@@ -17,6 +33,7 @@ fn main() {
         1,
         HeavenConfig {
             supertile_bytes: Some(128 << 10), // 128 KB super-tiles for the demo
+            trace: trace_config(),
             ..HeavenConfig::default()
         },
     );
@@ -92,4 +109,5 @@ fn main() {
         heaven.tape_stats(),
         heaven.clock().now_s()
     );
+    heaven.trace().flush();
 }

@@ -16,7 +16,9 @@
 //!
 //! `\timing` toggles the per-query breakdown: after each query the shell
 //! prints where the simulated time went (disk cache, DBMS I/O, tape
-//! exchange/locate/transfer/rewind, shelf).
+//! exchange/locate/transfer/rewind, shelf). `\metrics` dumps the metrics
+//! registry (counters, gauges, histogram quantiles); `\prom <file>`
+//! writes it in Prometheus text exposition format.
 
 use heaven::array::{CellType, Minterval, Tiling};
 use heaven::arraydb::{run, Value};
@@ -94,7 +96,7 @@ fn main() {
     heaven.clear_caches();
     println!(
         "collections: era (3-D, archived), sat (2-D, archived), cfd (3-D, on disk)\n\
-         commands: \\timing, \\stats, \\collections, \\quit\n"
+         commands: \\timing, \\stats, \\metrics, \\prom <file>, \\collections, \\quit\n"
     );
 
     let stdin = std::io::stdin();
@@ -125,6 +127,22 @@ fn main() {
                     heaven.tile_cache_stats().hit_ratio(),
                     heaven.clock().now_s()
                 );
+                continue;
+            }
+            "\\metrics" => {
+                print!("{}", heaven.metrics().render_text());
+                continue;
+            }
+            _ if line.starts_with("\\prom") => {
+                match line.split_whitespace().nth(1) {
+                    Some(path) => {
+                        match std::fs::write(path, heaven.metrics().render_prometheus()) {
+                            Ok(()) => println!("wrote {path}"),
+                            Err(e) => println!("cannot write {path}: {e}"),
+                        }
+                    }
+                    None => println!("usage: \\prom <file>"),
+                }
                 continue;
             }
             "\\collections" => {

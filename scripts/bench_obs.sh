@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Measure the observability overhead (trace sink off vs in-memory ring vs
+# JSONL file) on a warm query loop and record machine-readable results.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# cargo runs bench binaries from the package dir: make the path absolute
+out="$(pwd)/${1:-BENCH_obs_overhead.json}"
+cargo bench -p heaven-bench --bench obs_overhead -- --json "$out"

@@ -19,4 +19,22 @@ cargo bench --workspace --no-run
 echo "==> cargo test --workspace"
 cargo test -q --workspace
 
+echo "==> heaven-prof smoke test"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run --release --example quickstart -- --trace "$tmpdir/quickstart.jsonl" > /dev/null
+cargo run --release -p heaven-prof -- "$tmpdir/quickstart.jsonl" --out-dir "$tmpdir/prof" > /dev/null
+for f in flame.folded timeline.json tail.txt; do
+  [ -s "$tmpdir/prof/$f" ] || { echo "heaven-prof artifact $f missing or empty"; exit 1; }
+done
+# flame.folded: every line is "stack<space>integer-weight"
+awk '!/ [0-9]+$/ { exit 1 }' "$tmpdir/prof/flame.folded" \
+  || { echo "flame.folded has malformed lines"; exit 1; }
+# timeline.json: a JSON object with a windows array
+grep -q '"windows":\[' "$tmpdir/prof/timeline.json" \
+  || { echo "timeline.json missing windows array"; exit 1; }
+# tail.txt: header plus at least one span row
+[ "$(wc -l < "$tmpdir/prof/tail.txt")" -ge 2 ] \
+  || { echo "tail.txt has no span rows"; exit 1; }
+
 echo "CI gate passed."

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/array_ops-bc375ab846690f1e.d: crates/bench/benches/array_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarray_ops-bc375ab846690f1e.rmeta: crates/bench/benches/array_ops.rs Cargo.toml
+
+crates/bench/benches/array_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_and_export-53ffabe4feb20a32.d: crates/core/tests/batch_and_export.rs
+
+/root/repo/target/debug/deps/batch_and_export-53ffabe4feb20a32: crates/core/tests/batch_and_export.rs
+
+crates/core/tests/batch_and_export.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batch_and_export-fd58de64f2d3222a.d: crates/core/tests/batch_and_export.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatch_and_export-fd58de64f2d3222a.rmeta: crates/core/tests/batch_and_export.rs Cargo.toml
+
+crates/core/tests/batch_and_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

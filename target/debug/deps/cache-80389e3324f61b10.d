@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache-80389e3324f61b10.d: crates/bench/benches/cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache-80389e3324f61b10.rmeta: crates/bench/benches/cache.rs Cargo.toml
+
+crates/bench/benches/cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

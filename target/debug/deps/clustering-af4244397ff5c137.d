@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clustering-af4244397ff5c137.d: crates/bench/benches/clustering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclustering-af4244397ff5c137.rmeta: crates/bench/benches/clustering.rs Cargo.toml
+
+crates/bench/benches/clustering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codec-cd02130396404fba.d: crates/bench/benches/codec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodec-cd02130396404fba.rmeta: crates/bench/benches/codec.rs Cargo.toml
+
+crates/bench/benches/codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_caching-82c88fd8cd8feae3.d: crates/bench/src/bin/exp_caching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_caching-82c88fd8cd8feae3.rmeta: crates/bench/src/bin/exp_caching.rs Cargo.toml
+
+crates/bench/src/bin/exp_caching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

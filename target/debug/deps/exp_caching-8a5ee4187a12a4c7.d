@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_caching-8a5ee4187a12a4c7.d: crates/bench/src/bin/exp_caching.rs
+
+/root/repo/target/debug/deps/exp_caching-8a5ee4187a12a4c7: crates/bench/src/bin/exp_caching.rs
+
+crates/bench/src/bin/exp_caching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_caching-9f36969c88ad843f.d: crates/bench/src/bin/exp_caching.rs
+
+/root/repo/target/debug/deps/exp_caching-9f36969c88ad843f: crates/bench/src/bin/exp_caching.rs
+
+crates/bench/src/bin/exp_caching.rs:

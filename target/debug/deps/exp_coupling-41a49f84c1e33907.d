@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_coupling-41a49f84c1e33907.d: crates/bench/src/bin/exp_coupling.rs
+
+/root/repo/target/debug/deps/exp_coupling-41a49f84c1e33907: crates/bench/src/bin/exp_coupling.rs
+
+crates/bench/src/bin/exp_coupling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_coupling-afaa23a5e6aa5596.d: crates/bench/src/bin/exp_coupling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_coupling-afaa23a5e6aa5596.rmeta: crates/bench/src/bin/exp_coupling.rs Cargo.toml
+
+crates/bench/src/bin/exp_coupling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_coupling-deecf4ce38035e0c.d: crates/bench/src/bin/exp_coupling.rs
+
+/root/repo/target/debug/deps/exp_coupling-deecf4ce38035e0c: crates/bench/src/bin/exp_coupling.rs
+
+crates/bench/src/bin/exp_coupling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_export-5eaf614078c8159e.d: crates/bench/src/bin/exp_export.rs
+
+/root/repo/target/debug/deps/exp_export-5eaf614078c8159e: crates/bench/src/bin/exp_export.rs
+
+crates/bench/src/bin/exp_export.rs:

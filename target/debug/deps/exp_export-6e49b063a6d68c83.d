@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_export-6e49b063a6d68c83.d: crates/bench/src/bin/exp_export.rs
+
+/root/repo/target/debug/deps/exp_export-6e49b063a6d68c83: crates/bench/src/bin/exp_export.rs
+
+crates/bench/src/bin/exp_export.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_framing-14655c8d2af9a403.d: crates/bench/src/bin/exp_framing.rs
+
+/root/repo/target/debug/deps/exp_framing-14655c8d2af9a403: crates/bench/src/bin/exp_framing.rs
+
+crates/bench/src/bin/exp_framing.rs:

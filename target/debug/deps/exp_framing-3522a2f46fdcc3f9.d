@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_framing-3522a2f46fdcc3f9.d: crates/bench/src/bin/exp_framing.rs
+
+/root/repo/target/debug/deps/exp_framing-3522a2f46fdcc3f9: crates/bench/src/bin/exp_framing.rs
+
+crates/bench/src/bin/exp_framing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_framing-c29de37a8443f569.d: crates/bench/src/bin/exp_framing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_framing-c29de37a8443f569.rmeta: crates/bench/src/bin/exp_framing.rs Cargo.toml
+
+crates/bench/src/bin/exp_framing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

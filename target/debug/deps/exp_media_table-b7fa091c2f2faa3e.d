@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_media_table-b7fa091c2f2faa3e.d: crates/bench/src/bin/exp_media_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_media_table-b7fa091c2f2faa3e.rmeta: crates/bench/src/bin/exp_media_table.rs Cargo.toml
+
+crates/bench/src/bin/exp_media_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

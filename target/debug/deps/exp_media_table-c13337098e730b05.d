@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_media_table-c13337098e730b05.d: crates/bench/src/bin/exp_media_table.rs
+
+/root/repo/target/debug/deps/exp_media_table-c13337098e730b05: crates/bench/src/bin/exp_media_table.rs
+
+crates/bench/src/bin/exp_media_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_media_table-f897d0ed5b3bf7de.d: crates/bench/src/bin/exp_media_table.rs
+
+/root/repo/target/debug/deps/exp_media_table-f897d0ed5b3bf7de: crates/bench/src/bin/exp_media_table.rs
+
+crates/bench/src/bin/exp_media_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_precomp-c6feb3de960aff25.d: crates/bench/src/bin/exp_precomp.rs
+
+/root/repo/target/debug/deps/exp_precomp-c6feb3de960aff25: crates/bench/src/bin/exp_precomp.rs
+
+crates/bench/src/bin/exp_precomp.rs:

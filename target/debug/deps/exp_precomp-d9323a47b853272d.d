@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_precomp-d9323a47b853272d.d: crates/bench/src/bin/exp_precomp.rs
+
+/root/repo/target/debug/deps/exp_precomp-d9323a47b853272d: crates/bench/src/bin/exp_precomp.rs
+
+crates/bench/src/bin/exp_precomp.rs:

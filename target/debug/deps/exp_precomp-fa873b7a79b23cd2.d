@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_precomp-fa873b7a79b23cd2.d: crates/bench/src/bin/exp_precomp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_precomp-fa873b7a79b23cd2.rmeta: crates/bench/src/bin/exp_precomp.rs Cargo.toml
+
+crates/bench/src/bin/exp_precomp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_prefetch-64d569f8bd1ad7eb.d: crates/bench/src/bin/exp_prefetch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_prefetch-64d569f8bd1ad7eb.rmeta: crates/bench/src/bin/exp_prefetch.rs Cargo.toml
+
+crates/bench/src/bin/exp_prefetch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

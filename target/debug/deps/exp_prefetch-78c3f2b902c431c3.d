@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_prefetch-78c3f2b902c431c3.d: crates/bench/src/bin/exp_prefetch.rs
+
+/root/repo/target/debug/deps/exp_prefetch-78c3f2b902c431c3: crates/bench/src/bin/exp_prefetch.rs
+
+crates/bench/src/bin/exp_prefetch.rs:

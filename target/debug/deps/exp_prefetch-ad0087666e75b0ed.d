@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_prefetch-ad0087666e75b0ed.d: crates/bench/src/bin/exp_prefetch.rs
+
+/root/repo/target/debug/deps/exp_prefetch-ad0087666e75b0ed: crates/bench/src/bin/exp_prefetch.rs
+
+crates/bench/src/bin/exp_prefetch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_retrieval-328a71f1cfd92acb.d: crates/bench/src/bin/exp_retrieval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_retrieval-328a71f1cfd92acb.rmeta: crates/bench/src/bin/exp_retrieval.rs Cargo.toml
+
+crates/bench/src/bin/exp_retrieval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

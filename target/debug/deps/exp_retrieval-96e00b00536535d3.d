@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_retrieval-96e00b00536535d3.d: crates/bench/src/bin/exp_retrieval.rs
+
+/root/repo/target/debug/deps/exp_retrieval-96e00b00536535d3: crates/bench/src/bin/exp_retrieval.rs
+
+crates/bench/src/bin/exp_retrieval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_retrieval-c937f668696e0157.d: crates/bench/src/bin/exp_retrieval.rs
+
+/root/repo/target/debug/deps/exp_retrieval-c937f668696e0157: crates/bench/src/bin/exp_retrieval.rs
+
+crates/bench/src/bin/exp_retrieval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_scheduling-858f9d615812e778.d: crates/bench/src/bin/exp_scheduling.rs
+
+/root/repo/target/debug/deps/exp_scheduling-858f9d615812e778: crates/bench/src/bin/exp_scheduling.rs
+
+crates/bench/src/bin/exp_scheduling.rs:

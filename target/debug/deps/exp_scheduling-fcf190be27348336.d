@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_scheduling-fcf190be27348336.d: crates/bench/src/bin/exp_scheduling.rs
+
+/root/repo/target/debug/deps/exp_scheduling-fcf190be27348336: crates/bench/src/bin/exp_scheduling.rs
+
+crates/bench/src/bin/exp_scheduling.rs:

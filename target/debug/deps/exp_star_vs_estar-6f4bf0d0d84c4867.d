@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_star_vs_estar-6f4bf0d0d84c4867.d: crates/bench/src/bin/exp_star_vs_estar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_star_vs_estar-6f4bf0d0d84c4867.rmeta: crates/bench/src/bin/exp_star_vs_estar.rs Cargo.toml
+
+crates/bench/src/bin/exp_star_vs_estar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

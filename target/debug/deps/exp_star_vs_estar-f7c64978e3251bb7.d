@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_star_vs_estar-f7c64978e3251bb7.d: crates/bench/src/bin/exp_star_vs_estar.rs
+
+/root/repo/target/debug/deps/exp_star_vs_estar-f7c64978e3251bb7: crates/bench/src/bin/exp_star_vs_estar.rs
+
+crates/bench/src/bin/exp_star_vs_estar.rs:

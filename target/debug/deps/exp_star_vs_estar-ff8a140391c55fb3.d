@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_star_vs_estar-ff8a140391c55fb3.d: crates/bench/src/bin/exp_star_vs_estar.rs
+
+/root/repo/target/debug/deps/exp_star_vs_estar-ff8a140391c55fb3: crates/bench/src/bin/exp_star_vs_estar.rs
+
+crates/bench/src/bin/exp_star_vs_estar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_supertile_size-bbbdcfa11ea3f79b.d: crates/bench/src/bin/exp_supertile_size.rs
+
+/root/repo/target/debug/deps/exp_supertile_size-bbbdcfa11ea3f79b: crates/bench/src/bin/exp_supertile_size.rs
+
+crates/bench/src/bin/exp_supertile_size.rs:

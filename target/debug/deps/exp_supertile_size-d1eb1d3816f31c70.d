@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_supertile_size-d1eb1d3816f31c70.d: crates/bench/src/bin/exp_supertile_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_supertile_size-d1eb1d3816f31c70.rmeta: crates/bench/src/bin/exp_supertile_size.rs Cargo.toml
+
+crates/bench/src/bin/exp_supertile_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

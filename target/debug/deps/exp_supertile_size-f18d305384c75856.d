@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_supertile_size-f18d305384c75856.d: crates/bench/src/bin/exp_supertile_size.rs
+
+/root/repo/target/debug/deps/exp_supertile_size-f18d305384c75856: crates/bench/src/bin/exp_supertile_size.rs
+
+crates/bench/src/bin/exp_supertile_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_system-3abbbed127abec82.d: tests/full_system.rs
+
+/root/repo/target/debug/deps/full_system-3abbbed127abec82: tests/full_system.rs
+
+tests/full_system.rs:

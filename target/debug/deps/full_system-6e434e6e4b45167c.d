@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_system-6e434e6e4b45167c.d: tests/full_system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_system-6e434e6e4b45167c.rmeta: tests/full_system.rs Cargo.toml
+
+tests/full_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

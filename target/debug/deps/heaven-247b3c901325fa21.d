@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heaven-247b3c901325fa21.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheaven-247b3c901325fa21.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/heaven-62ba11b908026fd0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libheaven-62ba11b908026fd0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libheaven-62ba11b908026fd0.rmeta: src/lib.rs
+
+src/lib.rs:

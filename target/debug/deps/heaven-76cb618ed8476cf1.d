@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heaven-76cb618ed8476cf1.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheaven-76cb618ed8476cf1.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

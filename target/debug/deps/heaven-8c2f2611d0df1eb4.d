@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heaven-8c2f2611d0df1eb4.d: src/lib.rs
+
+/root/repo/target/debug/deps/heaven-8c2f2611d0df1eb4: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/heaven_arraydb-ae32d8583d9928ce.d: crates/arraydb/src/lib.rs crates/arraydb/src/error.rs crates/arraydb/src/provider.rs crates/arraydb/src/ql/mod.rs crates/arraydb/src/ql/ast.rs crates/arraydb/src/ql/exec.rs crates/arraydb/src/ql/lexer.rs crates/arraydb/src/ql/parser.rs crates/arraydb/src/schema.rs crates/arraydb/src/storage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheaven_arraydb-ae32d8583d9928ce.rmeta: crates/arraydb/src/lib.rs crates/arraydb/src/error.rs crates/arraydb/src/provider.rs crates/arraydb/src/ql/mod.rs crates/arraydb/src/ql/ast.rs crates/arraydb/src/ql/exec.rs crates/arraydb/src/ql/lexer.rs crates/arraydb/src/ql/parser.rs crates/arraydb/src/schema.rs crates/arraydb/src/storage.rs Cargo.toml
+
+crates/arraydb/src/lib.rs:
+crates/arraydb/src/error.rs:
+crates/arraydb/src/provider.rs:
+crates/arraydb/src/ql/mod.rs:
+crates/arraydb/src/ql/ast.rs:
+crates/arraydb/src/ql/exec.rs:
+crates/arraydb/src/ql/lexer.rs:
+crates/arraydb/src/ql/parser.rs:
+crates/arraydb/src/schema.rs:
+crates/arraydb/src/storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

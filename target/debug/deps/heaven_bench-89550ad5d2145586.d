@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/heaven_bench-89550ad5d2145586.d: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheaven_bench-89550ad5d2145586.rmeta: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/phantom.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/heaven_bench-fed9e48856c1f940.d: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/heaven_bench-fed9e48856c1f940: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/phantom.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/heaven_core-03c8c231554b51db.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/catalog.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/estar.rs crates/core/src/export.rs crates/core/src/maintenance.rs crates/core/src/persist.rs crates/core/src/precomp.rs crates/core/src/report.rs crates/core/src/scheduler.rs crates/core/src/sizing.rs crates/core/src/star.rs crates/core/src/supertile.rs crates/core/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheaven_core-03c8c231554b51db.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/catalog.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/estar.rs crates/core/src/export.rs crates/core/src/maintenance.rs crates/core/src/persist.rs crates/core/src/precomp.rs crates/core/src/report.rs crates/core/src/scheduler.rs crates/core/src/sizing.rs crates/core/src/star.rs crates/core/src/supertile.rs crates/core/src/system.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/catalog.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/estar.rs:
+crates/core/src/export.rs:
+crates/core/src/maintenance.rs:
+crates/core/src/persist.rs:
+crates/core/src/precomp.rs:
+crates/core/src/report.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/sizing.rs:
+crates/core/src/star.rs:
+crates/core/src/supertile.rs:
+crates/core/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

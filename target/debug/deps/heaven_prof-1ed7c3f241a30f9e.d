@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heaven_prof-1ed7c3f241a30f9e.d: crates/prof/src/main.rs
+
+/root/repo/target/debug/deps/heaven_prof-1ed7c3f241a30f9e: crates/prof/src/main.rs
+
+crates/prof/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heaven_prof-63b27f001ea8014b.d: crates/prof/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheaven_prof-63b27f001ea8014b.rmeta: crates/prof/src/main.rs Cargo.toml
+
+crates/prof/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

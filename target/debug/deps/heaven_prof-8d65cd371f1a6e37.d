@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heaven_prof-8d65cd371f1a6e37.d: crates/prof/src/main.rs
+
+/root/repo/target/debug/deps/heaven_prof-8d65cd371f1a6e37: crates/prof/src/main.rs
+
+crates/prof/src/main.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/heaven_prof-ab1e2f7bbefdcdfe.d: crates/prof/src/lib.rs crates/prof/src/flame.rs crates/prof/src/json.rs crates/prof/src/tail.rs crates/prof/src/timeline.rs crates/prof/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheaven_prof-ab1e2f7bbefdcdfe.rmeta: crates/prof/src/lib.rs crates/prof/src/flame.rs crates/prof/src/json.rs crates/prof/src/tail.rs crates/prof/src/timeline.rs crates/prof/src/trace.rs Cargo.toml
+
+crates/prof/src/lib.rs:
+crates/prof/src/flame.rs:
+crates/prof/src/json.rs:
+crates/prof/src/tail.rs:
+crates/prof/src/timeline.rs:
+crates/prof/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

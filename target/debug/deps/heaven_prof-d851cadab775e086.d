@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heaven_prof-d851cadab775e086.d: crates/prof/src/main.rs
+
+/root/repo/target/debug/deps/heaven_prof-d851cadab775e086: crates/prof/src/main.rs
+
+crates/prof/src/main.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/heaven_prof-fc679cf9b6228387.d: crates/prof/src/lib.rs crates/prof/src/flame.rs crates/prof/src/json.rs crates/prof/src/tail.rs crates/prof/src/timeline.rs crates/prof/src/trace.rs
+
+/root/repo/target/debug/deps/libheaven_prof-fc679cf9b6228387.rlib: crates/prof/src/lib.rs crates/prof/src/flame.rs crates/prof/src/json.rs crates/prof/src/tail.rs crates/prof/src/timeline.rs crates/prof/src/trace.rs
+
+/root/repo/target/debug/deps/libheaven_prof-fc679cf9b6228387.rmeta: crates/prof/src/lib.rs crates/prof/src/flame.rs crates/prof/src/json.rs crates/prof/src/tail.rs crates/prof/src/timeline.rs crates/prof/src/trace.rs
+
+crates/prof/src/lib.rs:
+crates/prof/src/flame.rs:
+crates/prof/src/json.rs:
+crates/prof/src/tail.rs:
+crates/prof/src/timeline.rs:
+crates/prof/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heaven_roundtrip-2f93d4a21bf447cb.d: crates/core/tests/heaven_roundtrip.rs
+
+/root/repo/target/debug/deps/heaven_roundtrip-2f93d4a21bf447cb: crates/core/tests/heaven_roundtrip.rs
+
+crates/core/tests/heaven_roundtrip.rs:

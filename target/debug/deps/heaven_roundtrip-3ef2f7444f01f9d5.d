@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heaven_roundtrip-3ef2f7444f01f9d5.d: crates/core/tests/heaven_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheaven_roundtrip-3ef2f7444f01f9d5.rmeta: crates/core/tests/heaven_roundtrip.rs Cargo.toml
+
+crates/core/tests/heaven_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

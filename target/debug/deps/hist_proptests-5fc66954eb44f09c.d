@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hist_proptests-5fc66954eb44f09c.d: crates/obs/tests/hist_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhist_proptests-5fc66954eb44f09c.rmeta: crates/obs/tests/hist_proptests.rs Cargo.toml
+
+crates/obs/tests/hist_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

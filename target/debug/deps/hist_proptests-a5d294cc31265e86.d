@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hist_proptests-a5d294cc31265e86.d: crates/obs/tests/hist_proptests.rs
+
+/root/repo/target/debug/deps/hist_proptests-a5d294cc31265e86: crates/obs/tests/hist_proptests.rs
+
+crates/obs/tests/hist_proptests.rs:

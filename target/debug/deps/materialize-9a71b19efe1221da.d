@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/materialize-9a71b19efe1221da.d: crates/bench/benches/materialize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaterialize-9a71b19efe1221da.rmeta: crates/bench/benches/materialize.rs Cargo.toml
+
+crates/bench/benches/materialize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_trace-69048a37c663af5d.d: tests/obs_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_trace-69048a37c663af5d.rmeta: tests/obs_trace.rs Cargo.toml
+
+tests/obs_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_trace-fa6edc9740b9ac2e.d: tests/obs_trace.rs
+
+/root/repo/target/debug/deps/obs_trace-fa6edc9740b9ac2e: tests/obs_trace.rs
+
+tests/obs_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-2573fad6066a5d62.d: crates/core/tests/observability.rs
+
+/root/repo/target/debug/deps/observability-2573fad6066a5d62: crates/core/tests/observability.rs
+
+crates/core/tests/observability.rs:

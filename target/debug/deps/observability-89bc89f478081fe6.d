@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/observability-89bc89f478081fe6.d: crates/core/tests/observability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobservability-89bc89f478081fe6.rmeta: crates/core/tests/observability.rs Cargo.toml
+
+crates/core/tests/observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7ace1eedf541525f.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7ace1eedf541525f: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

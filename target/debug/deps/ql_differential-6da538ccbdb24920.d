@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ql_differential-6da538ccbdb24920.d: crates/arraydb/tests/ql_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libql_differential-6da538ccbdb24920.rmeta: crates/arraydb/tests/ql_differential.rs Cargo.toml
+
+crates/arraydb/tests/ql_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

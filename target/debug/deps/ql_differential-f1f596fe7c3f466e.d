@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ql_differential-f1f596fe7c3f466e.d: crates/arraydb/tests/ql_differential.rs
+
+/root/repo/target/debug/deps/ql_differential-f1f596fe7c3f466e: crates/arraydb/tests/ql_differential.rs
+
+crates/arraydb/tests/ql_differential.rs:

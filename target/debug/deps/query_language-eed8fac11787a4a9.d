@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/query_language-eed8fac11787a4a9.d: crates/bench/benches/query_language.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquery_language-eed8fac11787a4a9.rmeta: crates/bench/benches/query_language.rs Cargo.toml
+
+crates/bench/benches/query_language.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/real_trace-7cf5771c95b767e7.d: crates/prof/tests/real_trace.rs
+
+/root/repo/target/debug/deps/real_trace-7cf5771c95b767e7: crates/prof/tests/real_trace.rs
+
+crates/prof/tests/real_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/real_trace-f434ed728474dae5.d: crates/prof/tests/real_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreal_trace-f434ed728474dae5.rmeta: crates/prof/tests/real_trace.rs Cargo.toml
+
+crates/prof/tests/real_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_copy-406741a9db14770e.d: crates/core/tests/zero_copy.rs
+
+/root/repo/target/debug/deps/zero_copy-406741a9db14770e: crates/core/tests/zero_copy.rs
+
+crates/core/tests/zero_copy.rs:

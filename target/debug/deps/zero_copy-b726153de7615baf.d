@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zero_copy-b726153de7615baf.d: crates/core/tests/zero_copy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzero_copy-b726153de7615baf.rmeta: crates/core/tests/zero_copy.rs Cargo.toml
+
+crates/core/tests/zero_copy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

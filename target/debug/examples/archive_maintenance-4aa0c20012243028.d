@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/archive_maintenance-4aa0c20012243028.d: examples/archive_maintenance.rs Cargo.toml
+
+/root/repo/target/debug/examples/libarchive_maintenance-4aa0c20012243028.rmeta: examples/archive_maintenance.rs Cargo.toml
+
+examples/archive_maintenance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

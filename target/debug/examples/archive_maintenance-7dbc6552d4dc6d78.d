@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/archive_maintenance-7dbc6552d4dc6d78.d: examples/archive_maintenance.rs
+
+/root/repo/target/debug/examples/archive_maintenance-7dbc6552d4dc6d78: examples/archive_maintenance.rs
+
+examples/archive_maintenance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/climate_archive-1c7cf35a91c44207.d: examples/climate_archive.rs Cargo.toml
+
+/root/repo/target/debug/examples/libclimate_archive-1c7cf35a91c44207.rmeta: examples/climate_archive.rs Cargo.toml
+
+examples/climate_archive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

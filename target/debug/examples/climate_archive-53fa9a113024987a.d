@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/climate_archive-53fa9a113024987a.d: examples/climate_archive.rs
+
+/root/repo/target/debug/examples/climate_archive-53fa9a113024987a: examples/climate_archive.rs
+
+examples/climate_archive.rs:

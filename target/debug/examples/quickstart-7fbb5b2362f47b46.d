@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7fbb5b2362f47b46.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7fbb5b2362f47b46: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rasql_shell-97f22da550488488.d: examples/rasql_shell.rs
+
+/root/repo/target/debug/examples/rasql_shell-97f22da550488488: examples/rasql_shell.rs
+
+examples/rasql_shell.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rasql_shell-aabb0723323468d8.d: examples/rasql_shell.rs Cargo.toml
+
+/root/repo/target/debug/examples/librasql_shell-aabb0723323468d8.rmeta: examples/rasql_shell.rs Cargo.toml
+
+examples/rasql_shell.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

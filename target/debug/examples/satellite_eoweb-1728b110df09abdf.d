@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/satellite_eoweb-1728b110df09abdf.d: examples/satellite_eoweb.rs
+
+/root/repo/target/debug/examples/satellite_eoweb-1728b110df09abdf: examples/satellite_eoweb.rs
+
+examples/satellite_eoweb.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/satellite_eoweb-882d1b92cc417bd2.d: examples/satellite_eoweb.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsatellite_eoweb-882d1b92cc417bd2.rmeta: examples/satellite_eoweb.rs Cargo.toml
+
+examples/satellite_eoweb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

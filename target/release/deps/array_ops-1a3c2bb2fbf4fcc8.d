@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/array_ops-1a3c2bb2fbf4fcc8.d: crates/bench/benches/array_ops.rs
+
+/root/repo/target/release/deps/array_ops-1a3c2bb2fbf4fcc8: crates/bench/benches/array_ops.rs
+
+crates/bench/benches/array_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cache-d35aa46f9386b769.d: crates/bench/benches/cache.rs
+
+/root/repo/target/release/deps/cache-d35aa46f9386b769: crates/bench/benches/cache.rs
+
+crates/bench/benches/cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/clustering-5e7a1b3f444decc8.d: crates/bench/benches/clustering.rs
+
+/root/repo/target/release/deps/clustering-5e7a1b3f444decc8: crates/bench/benches/clustering.rs
+
+crates/bench/benches/clustering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codec-2d2459a65e9fd97c.d: crates/bench/benches/codec.rs
+
+/root/repo/target/release/deps/codec-2d2459a65e9fd97c: crates/bench/benches/codec.rs
+
+crates/bench/benches/codec.rs:

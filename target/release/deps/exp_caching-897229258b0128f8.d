@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_caching-897229258b0128f8.d: crates/bench/src/bin/exp_caching.rs
+
+/root/repo/target/release/deps/exp_caching-897229258b0128f8: crates/bench/src/bin/exp_caching.rs
+
+crates/bench/src/bin/exp_caching.rs:

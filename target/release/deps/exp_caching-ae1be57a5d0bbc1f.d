@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_caching-ae1be57a5d0bbc1f.d: crates/bench/src/bin/exp_caching.rs
+
+/root/repo/target/release/deps/exp_caching-ae1be57a5d0bbc1f: crates/bench/src/bin/exp_caching.rs
+
+crates/bench/src/bin/exp_caching.rs:

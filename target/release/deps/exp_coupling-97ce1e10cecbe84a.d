@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_coupling-97ce1e10cecbe84a.d: crates/bench/src/bin/exp_coupling.rs
+
+/root/repo/target/release/deps/exp_coupling-97ce1e10cecbe84a: crates/bench/src/bin/exp_coupling.rs
+
+crates/bench/src/bin/exp_coupling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_coupling-d7a2723047f8d3d3.d: crates/bench/src/bin/exp_coupling.rs
+
+/root/repo/target/release/deps/exp_coupling-d7a2723047f8d3d3: crates/bench/src/bin/exp_coupling.rs
+
+crates/bench/src/bin/exp_coupling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_export-195c0eae55f9054d.d: crates/bench/src/bin/exp_export.rs
+
+/root/repo/target/release/deps/exp_export-195c0eae55f9054d: crates/bench/src/bin/exp_export.rs
+
+crates/bench/src/bin/exp_export.rs:

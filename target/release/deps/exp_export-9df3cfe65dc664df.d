@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_export-9df3cfe65dc664df.d: crates/bench/src/bin/exp_export.rs
+
+/root/repo/target/release/deps/exp_export-9df3cfe65dc664df: crates/bench/src/bin/exp_export.rs
+
+crates/bench/src/bin/exp_export.rs:

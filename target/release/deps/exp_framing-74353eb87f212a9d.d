@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_framing-74353eb87f212a9d.d: crates/bench/src/bin/exp_framing.rs
+
+/root/repo/target/release/deps/exp_framing-74353eb87f212a9d: crates/bench/src/bin/exp_framing.rs
+
+crates/bench/src/bin/exp_framing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_framing-dd55e719bd0c41ef.d: crates/bench/src/bin/exp_framing.rs
+
+/root/repo/target/release/deps/exp_framing-dd55e719bd0c41ef: crates/bench/src/bin/exp_framing.rs
+
+crates/bench/src/bin/exp_framing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_media_table-d02951f40038cebc.d: crates/bench/src/bin/exp_media_table.rs
+
+/root/repo/target/release/deps/exp_media_table-d02951f40038cebc: crates/bench/src/bin/exp_media_table.rs
+
+crates/bench/src/bin/exp_media_table.rs:

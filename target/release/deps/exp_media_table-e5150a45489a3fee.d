@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_media_table-e5150a45489a3fee.d: crates/bench/src/bin/exp_media_table.rs
+
+/root/repo/target/release/deps/exp_media_table-e5150a45489a3fee: crates/bench/src/bin/exp_media_table.rs
+
+crates/bench/src/bin/exp_media_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_precomp-0b5214f194d4d865.d: crates/bench/src/bin/exp_precomp.rs
+
+/root/repo/target/release/deps/exp_precomp-0b5214f194d4d865: crates/bench/src/bin/exp_precomp.rs
+
+crates/bench/src/bin/exp_precomp.rs:

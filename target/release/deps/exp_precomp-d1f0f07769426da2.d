@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_precomp-d1f0f07769426da2.d: crates/bench/src/bin/exp_precomp.rs
+
+/root/repo/target/release/deps/exp_precomp-d1f0f07769426da2: crates/bench/src/bin/exp_precomp.rs
+
+crates/bench/src/bin/exp_precomp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_prefetch-07d3dbc867939e8a.d: crates/bench/src/bin/exp_prefetch.rs
+
+/root/repo/target/release/deps/exp_prefetch-07d3dbc867939e8a: crates/bench/src/bin/exp_prefetch.rs
+
+crates/bench/src/bin/exp_prefetch.rs:

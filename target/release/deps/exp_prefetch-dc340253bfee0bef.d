@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_prefetch-dc340253bfee0bef.d: crates/bench/src/bin/exp_prefetch.rs
+
+/root/repo/target/release/deps/exp_prefetch-dc340253bfee0bef: crates/bench/src/bin/exp_prefetch.rs
+
+crates/bench/src/bin/exp_prefetch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_retrieval-09bf58a4b5b1f39b.d: crates/bench/src/bin/exp_retrieval.rs
+
+/root/repo/target/release/deps/exp_retrieval-09bf58a4b5b1f39b: crates/bench/src/bin/exp_retrieval.rs
+
+crates/bench/src/bin/exp_retrieval.rs:

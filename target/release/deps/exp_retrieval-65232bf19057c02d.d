@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_retrieval-65232bf19057c02d.d: crates/bench/src/bin/exp_retrieval.rs
+
+/root/repo/target/release/deps/exp_retrieval-65232bf19057c02d: crates/bench/src/bin/exp_retrieval.rs
+
+crates/bench/src/bin/exp_retrieval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_scheduling-1e082e8d1f745a07.d: crates/bench/src/bin/exp_scheduling.rs
+
+/root/repo/target/release/deps/exp_scheduling-1e082e8d1f745a07: crates/bench/src/bin/exp_scheduling.rs
+
+crates/bench/src/bin/exp_scheduling.rs:

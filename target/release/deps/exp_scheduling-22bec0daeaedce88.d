@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_scheduling-22bec0daeaedce88.d: crates/bench/src/bin/exp_scheduling.rs
+
+/root/repo/target/release/deps/exp_scheduling-22bec0daeaedce88: crates/bench/src/bin/exp_scheduling.rs
+
+crates/bench/src/bin/exp_scheduling.rs:

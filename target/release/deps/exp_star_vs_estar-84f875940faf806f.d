@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_star_vs_estar-84f875940faf806f.d: crates/bench/src/bin/exp_star_vs_estar.rs
+
+/root/repo/target/release/deps/exp_star_vs_estar-84f875940faf806f: crates/bench/src/bin/exp_star_vs_estar.rs
+
+crates/bench/src/bin/exp_star_vs_estar.rs:

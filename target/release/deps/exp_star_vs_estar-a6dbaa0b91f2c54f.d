@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_star_vs_estar-a6dbaa0b91f2c54f.d: crates/bench/src/bin/exp_star_vs_estar.rs
+
+/root/repo/target/release/deps/exp_star_vs_estar-a6dbaa0b91f2c54f: crates/bench/src/bin/exp_star_vs_estar.rs
+
+crates/bench/src/bin/exp_star_vs_estar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_supertile_size-e4da9ba4795c9752.d: crates/bench/src/bin/exp_supertile_size.rs
+
+/root/repo/target/release/deps/exp_supertile_size-e4da9ba4795c9752: crates/bench/src/bin/exp_supertile_size.rs
+
+crates/bench/src/bin/exp_supertile_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_supertile_size-fe98bb90d4cc6e95.d: crates/bench/src/bin/exp_supertile_size.rs
+
+/root/repo/target/release/deps/exp_supertile_size-fe98bb90d4cc6e95: crates/bench/src/bin/exp_supertile_size.rs
+
+crates/bench/src/bin/exp_supertile_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/heaven-3f53e820e5ed1d30.d: src/lib.rs
+
+/root/repo/target/release/deps/heaven-3f53e820e5ed1d30: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/heaven-5eb51bd3da711ec2.d: src/lib.rs
+
+/root/repo/target/release/deps/libheaven-5eb51bd3da711ec2.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libheaven-5eb51bd3da711ec2.rmeta: src/lib.rs
+
+src/lib.rs:

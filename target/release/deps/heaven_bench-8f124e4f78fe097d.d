@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/heaven_bench-8f124e4f78fe097d.d: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libheaven_bench-8f124e4f78fe097d.rlib: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libheaven_bench-8f124e4f78fe097d.rmeta: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/phantom.rs:
+crates/bench/src/table.rs:

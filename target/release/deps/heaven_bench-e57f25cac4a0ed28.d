@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/heaven_bench-e57f25cac4a0ed28.d: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/heaven_bench-e57f25cac4a0ed28: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/phantom.rs:
+crates/bench/src/table.rs:

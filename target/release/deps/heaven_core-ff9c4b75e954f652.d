@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/heaven_core-ff9c4b75e954f652.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/catalog.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/estar.rs crates/core/src/export.rs crates/core/src/maintenance.rs crates/core/src/persist.rs crates/core/src/precomp.rs crates/core/src/report.rs crates/core/src/scheduler.rs crates/core/src/sizing.rs crates/core/src/star.rs crates/core/src/supertile.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/heaven_core-ff9c4b75e954f652: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/catalog.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/estar.rs crates/core/src/export.rs crates/core/src/maintenance.rs crates/core/src/persist.rs crates/core/src/precomp.rs crates/core/src/report.rs crates/core/src/scheduler.rs crates/core/src/sizing.rs crates/core/src/star.rs crates/core/src/supertile.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/catalog.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/estar.rs:
+crates/core/src/export.rs:
+crates/core/src/maintenance.rs:
+crates/core/src/persist.rs:
+crates/core/src/precomp.rs:
+crates/core/src/report.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/sizing.rs:
+crates/core/src/star.rs:
+crates/core/src/supertile.rs:
+crates/core/src/system.rs:

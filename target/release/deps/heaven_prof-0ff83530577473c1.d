@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/heaven_prof-0ff83530577473c1.d: crates/prof/src/lib.rs crates/prof/src/flame.rs crates/prof/src/json.rs crates/prof/src/tail.rs crates/prof/src/timeline.rs crates/prof/src/trace.rs
+
+/root/repo/target/release/deps/heaven_prof-0ff83530577473c1: crates/prof/src/lib.rs crates/prof/src/flame.rs crates/prof/src/json.rs crates/prof/src/tail.rs crates/prof/src/timeline.rs crates/prof/src/trace.rs
+
+crates/prof/src/lib.rs:
+crates/prof/src/flame.rs:
+crates/prof/src/json.rs:
+crates/prof/src/tail.rs:
+crates/prof/src/timeline.rs:
+crates/prof/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/heaven_prof-4d605549b1cd7726.d: crates/prof/src/main.rs
+
+/root/repo/target/release/deps/heaven_prof-4d605549b1cd7726: crates/prof/src/main.rs
+
+crates/prof/src/main.rs:

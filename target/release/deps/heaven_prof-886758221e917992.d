@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/heaven_prof-886758221e917992.d: crates/prof/src/lib.rs crates/prof/src/flame.rs crates/prof/src/json.rs crates/prof/src/tail.rs crates/prof/src/timeline.rs crates/prof/src/trace.rs
+
+/root/repo/target/release/deps/libheaven_prof-886758221e917992.rlib: crates/prof/src/lib.rs crates/prof/src/flame.rs crates/prof/src/json.rs crates/prof/src/tail.rs crates/prof/src/timeline.rs crates/prof/src/trace.rs
+
+/root/repo/target/release/deps/libheaven_prof-886758221e917992.rmeta: crates/prof/src/lib.rs crates/prof/src/flame.rs crates/prof/src/json.rs crates/prof/src/tail.rs crates/prof/src/timeline.rs crates/prof/src/trace.rs
+
+crates/prof/src/lib.rs:
+crates/prof/src/flame.rs:
+crates/prof/src/json.rs:
+crates/prof/src/tail.rs:
+crates/prof/src/timeline.rs:
+crates/prof/src/trace.rs:

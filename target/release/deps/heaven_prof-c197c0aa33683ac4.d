@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/heaven_prof-c197c0aa33683ac4.d: crates/prof/src/main.rs
+
+/root/repo/target/release/deps/heaven_prof-c197c0aa33683ac4: crates/prof/src/main.rs
+
+crates/prof/src/main.rs:

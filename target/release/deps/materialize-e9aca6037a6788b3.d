@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/materialize-e9aca6037a6788b3.d: crates/bench/benches/materialize.rs
+
+/root/repo/target/release/deps/materialize-e9aca6037a6788b3: crates/bench/benches/materialize.rs
+
+crates/bench/benches/materialize.rs:

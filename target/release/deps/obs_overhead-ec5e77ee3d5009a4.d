@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs_overhead-ec5e77ee3d5009a4.d: crates/bench/benches/obs_overhead.rs
+
+/root/repo/target/release/deps/obs_overhead-ec5e77ee3d5009a4: crates/bench/benches/obs_overhead.rs
+
+crates/bench/benches/obs_overhead.rs:

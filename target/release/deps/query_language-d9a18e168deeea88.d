@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/query_language-d9a18e168deeea88.d: crates/bench/benches/query_language.rs
+
+/root/repo/target/release/deps/query_language-d9a18e168deeea88: crates/bench/benches/query_language.rs
+
+crates/bench/benches/query_language.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheduler-f18c4a5e79448f3b.d: crates/bench/benches/scheduler.rs
+
+/root/repo/target/release/deps/scheduler-f18c4a5e79448f3b: crates/bench/benches/scheduler.rs
+
+crates/bench/benches/scheduler.rs:

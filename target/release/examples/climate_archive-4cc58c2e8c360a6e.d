@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/climate_archive-4cc58c2e8c360a6e.d: examples/climate_archive.rs
+
+/root/repo/target/release/examples/climate_archive-4cc58c2e8c360a6e: examples/climate_archive.rs
+
+examples/climate_archive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-568af35b4d522b87.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-568af35b4d522b87: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rasql_shell-272e97d502fb5fd7.d: examples/rasql_shell.rs
+
+/root/repo/target/release/examples/rasql_shell-272e97d502fb5fd7: examples/rasql_shell.rs
+
+examples/rasql_shell.rs:
