@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/array_ops-883f32aadc49759d.d: crates/bench/benches/array_ops.rs
+
+/root/repo/target/debug/deps/libarray_ops-883f32aadc49759d.rmeta: crates/bench/benches/array_ops.rs
+
+crates/bench/benches/array_ops.rs:

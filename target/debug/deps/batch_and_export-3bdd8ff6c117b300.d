@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_and_export-3bdd8ff6c117b300.d: crates/core/tests/batch_and_export.rs
+
+/root/repo/target/debug/deps/libbatch_and_export-3bdd8ff6c117b300.rmeta: crates/core/tests/batch_and_export.rs
+
+crates/core/tests/batch_and_export.rs:

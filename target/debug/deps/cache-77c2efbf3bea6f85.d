@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache-77c2efbf3bea6f85.d: crates/bench/benches/cache.rs
+
+/root/repo/target/debug/deps/libcache-77c2efbf3bea6f85.rmeta: crates/bench/benches/cache.rs
+
+crates/bench/benches/cache.rs:

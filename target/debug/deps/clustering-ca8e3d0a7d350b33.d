@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clustering-ca8e3d0a7d350b33.d: crates/bench/benches/clustering.rs
+
+/root/repo/target/debug/deps/libclustering-ca8e3d0a7d350b33.rmeta: crates/bench/benches/clustering.rs
+
+crates/bench/benches/clustering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec-f4dd58e2805aac34.d: crates/bench/benches/codec.rs
+
+/root/repo/target/debug/deps/libcodec-f4dd58e2805aac34.rmeta: crates/bench/benches/codec.rs
+
+crates/bench/benches/codec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_caching-08a29deacd890ae2.d: crates/bench/src/bin/exp_caching.rs
+
+/root/repo/target/debug/deps/libexp_caching-08a29deacd890ae2.rmeta: crates/bench/src/bin/exp_caching.rs
+
+crates/bench/src/bin/exp_caching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_caching-363f3d6aebd9fc91.d: crates/bench/src/bin/exp_caching.rs
+
+/root/repo/target/debug/deps/libexp_caching-363f3d6aebd9fc91.rmeta: crates/bench/src/bin/exp_caching.rs
+
+crates/bench/src/bin/exp_caching.rs:

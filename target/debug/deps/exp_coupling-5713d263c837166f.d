@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_coupling-5713d263c837166f.d: crates/bench/src/bin/exp_coupling.rs
+
+/root/repo/target/debug/deps/libexp_coupling-5713d263c837166f.rmeta: crates/bench/src/bin/exp_coupling.rs
+
+crates/bench/src/bin/exp_coupling.rs:

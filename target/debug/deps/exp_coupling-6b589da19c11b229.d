@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_coupling-6b589da19c11b229.d: crates/bench/src/bin/exp_coupling.rs
+
+/root/repo/target/debug/deps/libexp_coupling-6b589da19c11b229.rmeta: crates/bench/src/bin/exp_coupling.rs
+
+crates/bench/src/bin/exp_coupling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_export-082d69fb24d11abf.d: crates/bench/src/bin/exp_export.rs
+
+/root/repo/target/debug/deps/libexp_export-082d69fb24d11abf.rmeta: crates/bench/src/bin/exp_export.rs
+
+crates/bench/src/bin/exp_export.rs:

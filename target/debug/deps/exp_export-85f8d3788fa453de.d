@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_export-85f8d3788fa453de.d: crates/bench/src/bin/exp_export.rs
+
+/root/repo/target/debug/deps/libexp_export-85f8d3788fa453de.rmeta: crates/bench/src/bin/exp_export.rs
+
+crates/bench/src/bin/exp_export.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_framing-263de6372f99a4e8.d: crates/bench/src/bin/exp_framing.rs
+
+/root/repo/target/debug/deps/libexp_framing-263de6372f99a4e8.rmeta: crates/bench/src/bin/exp_framing.rs
+
+crates/bench/src/bin/exp_framing.rs:

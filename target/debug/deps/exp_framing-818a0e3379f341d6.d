@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_framing-818a0e3379f341d6.d: crates/bench/src/bin/exp_framing.rs
+
+/root/repo/target/debug/deps/libexp_framing-818a0e3379f341d6.rmeta: crates/bench/src/bin/exp_framing.rs
+
+crates/bench/src/bin/exp_framing.rs:

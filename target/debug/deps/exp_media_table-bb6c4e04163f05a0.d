@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_media_table-bb6c4e04163f05a0.d: crates/bench/src/bin/exp_media_table.rs
+
+/root/repo/target/debug/deps/libexp_media_table-bb6c4e04163f05a0.rmeta: crates/bench/src/bin/exp_media_table.rs
+
+crates/bench/src/bin/exp_media_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_media_table-dc8a6d15ce0e8e4e.d: crates/bench/src/bin/exp_media_table.rs
+
+/root/repo/target/debug/deps/libexp_media_table-dc8a6d15ce0e8e4e.rmeta: crates/bench/src/bin/exp_media_table.rs
+
+crates/bench/src/bin/exp_media_table.rs:

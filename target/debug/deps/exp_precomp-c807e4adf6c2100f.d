@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_precomp-c807e4adf6c2100f.d: crates/bench/src/bin/exp_precomp.rs
+
+/root/repo/target/debug/deps/libexp_precomp-c807e4adf6c2100f.rmeta: crates/bench/src/bin/exp_precomp.rs
+
+crates/bench/src/bin/exp_precomp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_precomp-d209a51c8b04948f.d: crates/bench/src/bin/exp_precomp.rs
+
+/root/repo/target/debug/deps/libexp_precomp-d209a51c8b04948f.rmeta: crates/bench/src/bin/exp_precomp.rs
+
+crates/bench/src/bin/exp_precomp.rs:

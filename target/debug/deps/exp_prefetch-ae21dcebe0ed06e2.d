@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_prefetch-ae21dcebe0ed06e2.d: crates/bench/src/bin/exp_prefetch.rs
+
+/root/repo/target/debug/deps/libexp_prefetch-ae21dcebe0ed06e2.rmeta: crates/bench/src/bin/exp_prefetch.rs
+
+crates/bench/src/bin/exp_prefetch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_prefetch-cfdc4a859afc5062.d: crates/bench/src/bin/exp_prefetch.rs
+
+/root/repo/target/debug/deps/libexp_prefetch-cfdc4a859afc5062.rmeta: crates/bench/src/bin/exp_prefetch.rs
+
+crates/bench/src/bin/exp_prefetch.rs:

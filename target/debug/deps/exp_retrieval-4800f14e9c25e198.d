@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_retrieval-4800f14e9c25e198.d: crates/bench/src/bin/exp_retrieval.rs
+
+/root/repo/target/debug/deps/libexp_retrieval-4800f14e9c25e198.rmeta: crates/bench/src/bin/exp_retrieval.rs
+
+crates/bench/src/bin/exp_retrieval.rs:

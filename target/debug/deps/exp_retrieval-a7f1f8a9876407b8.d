@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_retrieval-a7f1f8a9876407b8.d: crates/bench/src/bin/exp_retrieval.rs
+
+/root/repo/target/debug/deps/libexp_retrieval-a7f1f8a9876407b8.rmeta: crates/bench/src/bin/exp_retrieval.rs
+
+crates/bench/src/bin/exp_retrieval.rs:

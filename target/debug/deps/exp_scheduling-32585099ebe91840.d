@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_scheduling-32585099ebe91840.d: crates/bench/src/bin/exp_scheduling.rs
+
+/root/repo/target/debug/deps/libexp_scheduling-32585099ebe91840.rmeta: crates/bench/src/bin/exp_scheduling.rs
+
+crates/bench/src/bin/exp_scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_scheduling-5d4532392dcfcd75.d: crates/bench/src/bin/exp_scheduling.rs
+
+/root/repo/target/debug/deps/libexp_scheduling-5d4532392dcfcd75.rmeta: crates/bench/src/bin/exp_scheduling.rs
+
+crates/bench/src/bin/exp_scheduling.rs:

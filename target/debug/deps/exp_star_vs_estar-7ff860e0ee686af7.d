@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_star_vs_estar-7ff860e0ee686af7.d: crates/bench/src/bin/exp_star_vs_estar.rs
+
+/root/repo/target/debug/deps/libexp_star_vs_estar-7ff860e0ee686af7.rmeta: crates/bench/src/bin/exp_star_vs_estar.rs
+
+crates/bench/src/bin/exp_star_vs_estar.rs:

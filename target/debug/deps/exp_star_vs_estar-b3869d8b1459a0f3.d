@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_star_vs_estar-b3869d8b1459a0f3.d: crates/bench/src/bin/exp_star_vs_estar.rs
+
+/root/repo/target/debug/deps/libexp_star_vs_estar-b3869d8b1459a0f3.rmeta: crates/bench/src/bin/exp_star_vs_estar.rs
+
+crates/bench/src/bin/exp_star_vs_estar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_supertile_size-5352118857f7d77f.d: crates/bench/src/bin/exp_supertile_size.rs
+
+/root/repo/target/debug/deps/libexp_supertile_size-5352118857f7d77f.rmeta: crates/bench/src/bin/exp_supertile_size.rs
+
+crates/bench/src/bin/exp_supertile_size.rs:

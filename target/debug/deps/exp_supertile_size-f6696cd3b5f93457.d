@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_supertile_size-f6696cd3b5f93457.d: crates/bench/src/bin/exp_supertile_size.rs
+
+/root/repo/target/debug/deps/libexp_supertile_size-f6696cd3b5f93457.rmeta: crates/bench/src/bin/exp_supertile_size.rs
+
+crates/bench/src/bin/exp_supertile_size.rs:

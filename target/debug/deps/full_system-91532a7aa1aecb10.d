@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_system-91532a7aa1aecb10.d: tests/full_system.rs
+
+/root/repo/target/debug/deps/libfull_system-91532a7aa1aecb10.rmeta: tests/full_system.rs
+
+tests/full_system.rs:

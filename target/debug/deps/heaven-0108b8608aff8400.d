@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heaven-0108b8608aff8400.d: src/lib.rs
+
+/root/repo/target/debug/deps/libheaven-0108b8608aff8400.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heaven-01ec65cad1b22637.d: src/lib.rs
+
+/root/repo/target/debug/deps/libheaven-01ec65cad1b22637.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/heaven_array-0a5910b41d9945c4.d: crates/array/src/lib.rs crates/array/src/codec.rs crates/array/src/domain.rs crates/array/src/error.rs crates/array/src/frame.rs crates/array/src/index.rs crates/array/src/mdd.rs crates/array/src/ops.rs crates/array/src/order.rs crates/array/src/tile.rs crates/array/src/tiling.rs crates/array/src/value.rs
+
+/root/repo/target/debug/deps/libheaven_array-0a5910b41d9945c4.rmeta: crates/array/src/lib.rs crates/array/src/codec.rs crates/array/src/domain.rs crates/array/src/error.rs crates/array/src/frame.rs crates/array/src/index.rs crates/array/src/mdd.rs crates/array/src/ops.rs crates/array/src/order.rs crates/array/src/tile.rs crates/array/src/tiling.rs crates/array/src/value.rs
+
+crates/array/src/lib.rs:
+crates/array/src/codec.rs:
+crates/array/src/domain.rs:
+crates/array/src/error.rs:
+crates/array/src/frame.rs:
+crates/array/src/index.rs:
+crates/array/src/mdd.rs:
+crates/array/src/ops.rs:
+crates/array/src/order.rs:
+crates/array/src/tile.rs:
+crates/array/src/tiling.rs:
+crates/array/src/value.rs:

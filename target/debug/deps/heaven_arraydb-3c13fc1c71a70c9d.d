@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/heaven_arraydb-3c13fc1c71a70c9d.d: crates/arraydb/src/lib.rs crates/arraydb/src/error.rs crates/arraydb/src/provider.rs crates/arraydb/src/ql/mod.rs crates/arraydb/src/ql/ast.rs crates/arraydb/src/ql/exec.rs crates/arraydb/src/ql/lexer.rs crates/arraydb/src/ql/parser.rs crates/arraydb/src/schema.rs crates/arraydb/src/storage.rs
+
+/root/repo/target/debug/deps/libheaven_arraydb-3c13fc1c71a70c9d.rmeta: crates/arraydb/src/lib.rs crates/arraydb/src/error.rs crates/arraydb/src/provider.rs crates/arraydb/src/ql/mod.rs crates/arraydb/src/ql/ast.rs crates/arraydb/src/ql/exec.rs crates/arraydb/src/ql/lexer.rs crates/arraydb/src/ql/parser.rs crates/arraydb/src/schema.rs crates/arraydb/src/storage.rs
+
+crates/arraydb/src/lib.rs:
+crates/arraydb/src/error.rs:
+crates/arraydb/src/provider.rs:
+crates/arraydb/src/ql/mod.rs:
+crates/arraydb/src/ql/ast.rs:
+crates/arraydb/src/ql/exec.rs:
+crates/arraydb/src/ql/lexer.rs:
+crates/arraydb/src/ql/parser.rs:
+crates/arraydb/src/schema.rs:
+crates/arraydb/src/storage.rs:

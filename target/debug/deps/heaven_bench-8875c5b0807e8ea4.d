@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/heaven_bench-8875c5b0807e8ea4.d: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libheaven_bench-8875c5b0807e8ea4.rmeta: crates/bench/src/lib.rs crates/bench/src/phantom.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/phantom.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/heaven_core-4d6d9f0228458e32.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/catalog.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/estar.rs crates/core/src/export.rs crates/core/src/maintenance.rs crates/core/src/persist.rs crates/core/src/precomp.rs crates/core/src/report.rs crates/core/src/scheduler.rs crates/core/src/sizing.rs crates/core/src/star.rs crates/core/src/supertile.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libheaven_core-4d6d9f0228458e32.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/catalog.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/estar.rs crates/core/src/export.rs crates/core/src/maintenance.rs crates/core/src/persist.rs crates/core/src/precomp.rs crates/core/src/report.rs crates/core/src/scheduler.rs crates/core/src/sizing.rs crates/core/src/star.rs crates/core/src/supertile.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/catalog.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/estar.rs:
+crates/core/src/export.rs:
+crates/core/src/maintenance.rs:
+crates/core/src/persist.rs:
+crates/core/src/precomp.rs:
+crates/core/src/report.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/sizing.rs:
+crates/core/src/star.rs:
+crates/core/src/supertile.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/heaven_hsm-c8b92473ffaac6b8.d: crates/hsm/src/lib.rs crates/hsm/src/catalog.rs crates/hsm/src/direct.rs crates/hsm/src/disk.rs crates/hsm/src/error.rs crates/hsm/src/hsm.rs crates/hsm/src/policy.rs
+
+/root/repo/target/debug/deps/libheaven_hsm-c8b92473ffaac6b8.rmeta: crates/hsm/src/lib.rs crates/hsm/src/catalog.rs crates/hsm/src/direct.rs crates/hsm/src/disk.rs crates/hsm/src/error.rs crates/hsm/src/hsm.rs crates/hsm/src/policy.rs
+
+crates/hsm/src/lib.rs:
+crates/hsm/src/catalog.rs:
+crates/hsm/src/direct.rs:
+crates/hsm/src/disk.rs:
+crates/hsm/src/error.rs:
+crates/hsm/src/hsm.rs:
+crates/hsm/src/policy.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/heaven_hsm-cfd656d7cfbdb3d0.d: crates/hsm/src/lib.rs crates/hsm/src/catalog.rs crates/hsm/src/direct.rs crates/hsm/src/disk.rs crates/hsm/src/error.rs crates/hsm/src/hsm.rs crates/hsm/src/policy.rs
+
+/root/repo/target/debug/deps/libheaven_hsm-cfd656d7cfbdb3d0.rmeta: crates/hsm/src/lib.rs crates/hsm/src/catalog.rs crates/hsm/src/direct.rs crates/hsm/src/disk.rs crates/hsm/src/error.rs crates/hsm/src/hsm.rs crates/hsm/src/policy.rs
+
+crates/hsm/src/lib.rs:
+crates/hsm/src/catalog.rs:
+crates/hsm/src/direct.rs:
+crates/hsm/src/disk.rs:
+crates/hsm/src/error.rs:
+crates/hsm/src/hsm.rs:
+crates/hsm/src/policy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heaven_obs-a66cfe484d975aac.d: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libheaven_obs-a66cfe484d975aac.rmeta: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/breakdown.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/trace.rs:

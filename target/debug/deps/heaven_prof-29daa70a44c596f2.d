@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heaven_prof-29daa70a44c596f2.d: crates/prof/src/main.rs
+
+/root/repo/target/debug/deps/libheaven_prof-29daa70a44c596f2.rmeta: crates/prof/src/main.rs
+
+crates/prof/src/main.rs:

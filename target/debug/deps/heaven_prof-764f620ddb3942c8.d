@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heaven_prof-764f620ddb3942c8.d: crates/prof/src/main.rs
+
+/root/repo/target/debug/deps/libheaven_prof-764f620ddb3942c8.rmeta: crates/prof/src/main.rs
+
+crates/prof/src/main.rs:

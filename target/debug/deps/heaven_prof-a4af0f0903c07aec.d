@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/heaven_prof-a4af0f0903c07aec.d: crates/prof/src/lib.rs crates/prof/src/flame.rs crates/prof/src/json.rs crates/prof/src/tail.rs crates/prof/src/timeline.rs crates/prof/src/trace.rs
+
+/root/repo/target/debug/deps/libheaven_prof-a4af0f0903c07aec.rmeta: crates/prof/src/lib.rs crates/prof/src/flame.rs crates/prof/src/json.rs crates/prof/src/tail.rs crates/prof/src/timeline.rs crates/prof/src/trace.rs
+
+crates/prof/src/lib.rs:
+crates/prof/src/flame.rs:
+crates/prof/src/json.rs:
+crates/prof/src/tail.rs:
+crates/prof/src/timeline.rs:
+crates/prof/src/trace.rs:

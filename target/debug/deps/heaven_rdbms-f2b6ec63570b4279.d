@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/heaven_rdbms-f2b6ec63570b4279.d: crates/rdbms/src/lib.rs crates/rdbms/src/blob.rs crates/rdbms/src/btree.rs crates/rdbms/src/buffer.rs crates/rdbms/src/db.rs crates/rdbms/src/disk.rs crates/rdbms/src/error.rs crates/rdbms/src/page.rs crates/rdbms/src/table.rs crates/rdbms/src/wal.rs
+
+/root/repo/target/debug/deps/libheaven_rdbms-f2b6ec63570b4279.rmeta: crates/rdbms/src/lib.rs crates/rdbms/src/blob.rs crates/rdbms/src/btree.rs crates/rdbms/src/buffer.rs crates/rdbms/src/db.rs crates/rdbms/src/disk.rs crates/rdbms/src/error.rs crates/rdbms/src/page.rs crates/rdbms/src/table.rs crates/rdbms/src/wal.rs
+
+crates/rdbms/src/lib.rs:
+crates/rdbms/src/blob.rs:
+crates/rdbms/src/btree.rs:
+crates/rdbms/src/buffer.rs:
+crates/rdbms/src/db.rs:
+crates/rdbms/src/disk.rs:
+crates/rdbms/src/error.rs:
+crates/rdbms/src/page.rs:
+crates/rdbms/src/table.rs:
+crates/rdbms/src/wal.rs:

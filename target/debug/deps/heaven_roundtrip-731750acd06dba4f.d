@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heaven_roundtrip-731750acd06dba4f.d: crates/core/tests/heaven_roundtrip.rs
+
+/root/repo/target/debug/deps/libheaven_roundtrip-731750acd06dba4f.rmeta: crates/core/tests/heaven_roundtrip.rs
+
+crates/core/tests/heaven_roundtrip.rs:

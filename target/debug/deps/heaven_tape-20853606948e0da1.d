@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/heaven_tape-20853606948e0da1.d: crates/tape/src/lib.rs crates/tape/src/clock.rs crates/tape/src/error.rs crates/tape/src/library.rs crates/tape/src/media.rs crates/tape/src/profile.rs crates/tape/src/stats.rs
+
+/root/repo/target/debug/deps/libheaven_tape-20853606948e0da1.rmeta: crates/tape/src/lib.rs crates/tape/src/clock.rs crates/tape/src/error.rs crates/tape/src/library.rs crates/tape/src/media.rs crates/tape/src/profile.rs crates/tape/src/stats.rs
+
+crates/tape/src/lib.rs:
+crates/tape/src/clock.rs:
+crates/tape/src/error.rs:
+crates/tape/src/library.rs:
+crates/tape/src/media.rs:
+crates/tape/src/profile.rs:
+crates/tape/src/stats.rs:

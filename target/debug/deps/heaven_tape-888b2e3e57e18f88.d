@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/heaven_tape-888b2e3e57e18f88.d: crates/tape/src/lib.rs crates/tape/src/clock.rs crates/tape/src/error.rs crates/tape/src/library.rs crates/tape/src/media.rs crates/tape/src/profile.rs crates/tape/src/stats.rs
+
+/root/repo/target/debug/deps/libheaven_tape-888b2e3e57e18f88.rmeta: crates/tape/src/lib.rs crates/tape/src/clock.rs crates/tape/src/error.rs crates/tape/src/library.rs crates/tape/src/media.rs crates/tape/src/profile.rs crates/tape/src/stats.rs
+
+crates/tape/src/lib.rs:
+crates/tape/src/clock.rs:
+crates/tape/src/error.rs:
+crates/tape/src/library.rs:
+crates/tape/src/media.rs:
+crates/tape/src/profile.rs:
+crates/tape/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/heaven_workload-4165885d1da410bb.d: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs
+
+/root/repo/target/debug/deps/libheaven_workload-4165885d1da410bb.rmeta: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/data.rs:
+crates/workload/src/queries.rs:

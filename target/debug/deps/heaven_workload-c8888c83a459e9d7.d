@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/heaven_workload-c8888c83a459e9d7.d: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs
+
+/root/repo/target/debug/deps/libheaven_workload-c8888c83a459e9d7.rmeta: crates/workload/src/lib.rs crates/workload/src/data.rs crates/workload/src/queries.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/data.rs:
+crates/workload/src/queries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hist_proptests-4c5f2f6d88e8c860.d: crates/obs/tests/hist_proptests.rs
+
+/root/repo/target/debug/deps/libhist_proptests-4c5f2f6d88e8c860.rmeta: crates/obs/tests/hist_proptests.rs
+
+crates/obs/tests/hist_proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/materialize-6024404ee4ab8f6c.d: crates/bench/benches/materialize.rs
+
+/root/repo/target/debug/deps/libmaterialize-6024404ee4ab8f6c.rmeta: crates/bench/benches/materialize.rs
+
+crates/bench/benches/materialize.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_overhead-2d65048a90faab1d.d: crates/bench/benches/obs_overhead.rs
+
+/root/repo/target/debug/deps/libobs_overhead-2d65048a90faab1d.rmeta: crates/bench/benches/obs_overhead.rs
+
+crates/bench/benches/obs_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_trace-8d0515079bd385d2.d: tests/obs_trace.rs
+
+/root/repo/target/debug/deps/libobs_trace-8d0515079bd385d2.rmeta: tests/obs_trace.rs
+
+tests/obs_trace.rs:

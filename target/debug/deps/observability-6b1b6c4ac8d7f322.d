@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-6b1b6c4ac8d7f322.d: crates/core/tests/observability.rs
+
+/root/repo/target/debug/deps/libobservability-6b1b6c4ac8d7f322.rmeta: crates/core/tests/observability.rs
+
+crates/core/tests/observability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-10a2601d0f8d7d40.d: crates/rdbms/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-10a2601d0f8d7d40.rmeta: crates/rdbms/tests/proptests.rs
+
+crates/rdbms/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-4a409a9b9e046ffe.d: crates/array/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-4a409a9b9e046ffe.rmeta: crates/array/tests/proptests.rs
+
+crates/array/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6faa737be1906b47.d: crates/hsm/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-6faa737be1906b47.rmeta: crates/hsm/tests/proptests.rs
+
+crates/hsm/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cebcb000a04114d4.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-cebcb000a04114d4.rmeta: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ql_differential-6b5636e43abb3711.d: crates/arraydb/tests/ql_differential.rs
+
+/root/repo/target/debug/deps/libql_differential-6b5636e43abb3711.rmeta: crates/arraydb/tests/ql_differential.rs
+
+crates/arraydb/tests/ql_differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/query_language-9acfa5d4311b9cdd.d: crates/bench/benches/query_language.rs
+
+/root/repo/target/debug/deps/libquery_language-9acfa5d4311b9cdd.rmeta: crates/bench/benches/query_language.rs
+
+crates/bench/benches/query_language.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/real_trace-fbee5b797be66c6c.d: crates/prof/tests/real_trace.rs
+
+/root/repo/target/debug/deps/libreal_trace-fbee5b797be66c6c.rmeta: crates/prof/tests/real_trace.rs
+
+crates/prof/tests/real_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduler-918333667c7afd73.d: crates/bench/benches/scheduler.rs
+
+/root/repo/target/debug/deps/libscheduler-918333667c7afd73.rmeta: crates/bench/benches/scheduler.rs
+
+crates/bench/benches/scheduler.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_copy-3946e8d29e335a45.d: crates/core/tests/zero_copy.rs
+
+/root/repo/target/debug/deps/libzero_copy-3946e8d29e335a45.rmeta: crates/core/tests/zero_copy.rs
+
+crates/core/tests/zero_copy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/archive_maintenance-16c3d31bd21b682a.d: examples/archive_maintenance.rs
+
+/root/repo/target/debug/examples/libarchive_maintenance-16c3d31bd21b682a.rmeta: examples/archive_maintenance.rs
+
+examples/archive_maintenance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/climate_archive-f99ddc398a7c459f.d: examples/climate_archive.rs
+
+/root/repo/target/debug/examples/libclimate_archive-f99ddc398a7c459f.rmeta: examples/climate_archive.rs
+
+examples/climate_archive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d261dc604ae88e4c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-d261dc604ae88e4c.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rasql_shell-bce28f350dcddcff.d: examples/rasql_shell.rs
+
+/root/repo/target/debug/examples/librasql_shell-bce28f350dcddcff.rmeta: examples/rasql_shell.rs
+
+examples/rasql_shell.rs:

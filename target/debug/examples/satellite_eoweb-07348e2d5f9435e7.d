@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/satellite_eoweb-07348e2d5f9435e7.d: examples/satellite_eoweb.rs
+
+/root/repo/target/debug/examples/libsatellite_eoweb-07348e2d5f9435e7.rmeta: examples/satellite_eoweb.rs
+
+examples/satellite_eoweb.rs:
