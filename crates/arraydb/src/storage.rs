@@ -10,7 +10,7 @@
 use crate::error::{ArrayDbError, Result};
 use crate::schema::{Collection, CollectionId, ObjectMeta};
 use heaven_array::{CellType, MDArray, Minterval, ObjectId, Tile, TileId, Tiling};
-use heaven_obs::{Histogram, MetricsRegistry};
+use heaven_obs::{Field, Histogram, MetricsRegistry, TraceBus};
 use heaven_rdbms::{BTree, BlobStore, Database, Table};
 use std::collections::HashMap;
 
@@ -72,6 +72,12 @@ impl ArrayDb {
         let next = registry.histogram("arraydb.tile_read_hist_s");
         next.merge_from(&self.tile_read_hist);
         self.tile_read_hist = next;
+    }
+
+    /// Attach the shared trace bus (tile-read events here, transaction
+    /// events in the base RDBMS).
+    pub fn attach_trace(&mut self, bus: TraceBus) {
+        self.db.attach_trace(bus);
     }
 
     /// Create on a default in-memory test database.
@@ -308,7 +314,17 @@ impl ArrayDb {
             .ok_or(ArrayDbError::NoSuchTile(tile))?;
         let bytes = bytes::Bytes::from(self.blobs.get(&mut self.db, blob)?);
         let (t, _) = Tile::decode_shared(&bytes, 0)?;
-        self.tile_read_hist.observe(self.db.clock().now_s() - t0);
+        let dt = self.db.clock().now_s() - t0;
+        self.tile_read_hist.observe(dt);
+        self.db.trace().event(
+            "arraydb.tile_read",
+            self.db.clock().now_s(),
+            &[
+                ("tile", Field::U64(tile)),
+                ("bytes", Field::U64(bytes.len() as u64)),
+                ("cost_s", Field::F64(dt)),
+            ],
+        );
         Ok(t)
     }
 

@@ -4,11 +4,13 @@
 //! query records histograms, breakdowns, and trace spans) runs against the
 //! three sink configurations:
 //!
-//! * **off** — `TraceConfig::Off`: spans are no-ops, only metrics update,
-//! * **ring** — `TraceConfig::Memory`: records are pushed into a bounded
-//!   in-memory ring,
-//! * **jsonl** — `TraceConfig::Jsonl`: records are serialized to a
-//!   buffered file as they happen.
+//! * **off** — `TraceConfig::off()`: spans are no-ops, only metrics
+//!   update,
+//! * **ring** — `TraceConfig::ring(..)`: POD records go into the
+//!   preallocated seqlock ring,
+//! * **ring-sample8** — ring with `sample_1_in_n = 8` head sampling,
+//! * **jsonl** — `TraceConfig::jsonl(..)`: records queue in the pending
+//!   ring and are serialized to a buffered file in drained batches.
 //!
 //! Pass `--json <path>` to write machine-readable results
 //! (`BENCH_obs_overhead.json` via `scripts/bench_obs.sh`).
@@ -23,6 +25,10 @@ use heaven_rdbms::Database;
 use heaven_tape::{DeviceProfile, DiskProfile, SimClock, TapeLibrary};
 
 const QUERIES: u32 = 400;
+/// Interleaved repetitions per sink; the fastest is reported. A single
+/// 400-query pass lasts ~10 ms, so one sample is at the mercy of CPU
+/// frequency scaling — best-of-N over interleaved rounds is stable.
+const REPS: u32 = 7;
 
 fn mi(b: &[(i64, i64)]) -> Minterval {
     Minterval::new(b).unwrap()
@@ -70,9 +76,9 @@ struct SinkResult {
     queries_per_s: f64,
 }
 
-/// Time `QUERIES` warm bracketed queries; the first pass (untimed) stages
-/// the super-tiles onto the disk cache.
-fn bench_sink(sink: &'static str, trace: TraceConfig) -> SinkResult {
+/// Time `QUERIES` warm bracketed queries once; the first pass (untimed)
+/// stages the super-tiles onto the disk cache.
+fn one_pass(trace: TraceConfig) -> std::time::Duration {
     let (mut heaven, oid) = build(trace);
     let regions = [
         mi(&[(0, 59), (0, 59)]),
@@ -92,11 +98,16 @@ fn bench_sink(sink: &'static str, trace: TraceConfig) -> SinkResult {
     }
     let elapsed = start.elapsed();
     heaven.trace().flush();
-    let ns_per_query = (elapsed.as_nanos() / QUERIES as u128) as u64;
+    elapsed
+}
+
+/// Best-of-`REPS` for one sink (the repetitions are interleaved across
+/// sinks by the caller, so slow machine phases hit every sink equally).
+fn finish(sink: &'static str, best: std::time::Duration) -> SinkResult {
     SinkResult {
         sink,
-        ns_per_query,
-        queries_per_s: QUERIES as f64 / elapsed.as_secs_f64(),
+        ns_per_query: (best.as_nanos() / QUERIES as u128) as u64,
+        queries_per_s: QUERIES as f64 / best.as_secs_f64(),
     }
 }
 
@@ -110,20 +121,29 @@ fn main() {
     }
 
     let jsonl_path = std::env::temp_dir().join("heaven_obs_overhead_trace.jsonl");
-    let results = [
-        bench_sink("off", TraceConfig::Off),
-        bench_sink("ring", TraceConfig::Memory { capacity: 1 << 16 }),
-        bench_sink(
-            "jsonl",
-            TraceConfig::Jsonl {
-                path: jsonl_path.clone(),
-            },
-        ),
+    let sinks: [(&'static str, &dyn Fn() -> TraceConfig); 4] = [
+        ("off", &TraceConfig::off),
+        ("ring", &|| TraceConfig::ring(1 << 16)),
+        ("ring-sample8", &|| {
+            TraceConfig::ring(1 << 16).with_sample(8)
+        }),
+        ("jsonl", &|| TraceConfig::jsonl(jsonl_path.clone())),
     ];
+    let mut best = [std::time::Duration::MAX; 4];
+    for _ in 0..REPS {
+        for (i, (_, mk)) in sinks.iter().enumerate() {
+            best[i] = best[i].min(one_pass(mk()));
+        }
+    }
+    let results: Vec<SinkResult> = sinks
+        .iter()
+        .zip(best)
+        .map(|(&(name, _), b)| finish(name, b))
+        .collect();
     let baseline_ns = results[0].ns_per_query.max(1);
     for r in &results {
         println!(
-            "obs_overhead/{:<5} {:>9} ns/query  {:>10.0} queries/s  ({:+.1}% vs off)",
+            "obs_overhead/{:<12} {:>9} ns/query  {:>10.0} queries/s  ({:+.1}% vs off)",
             r.sink,
             r.ns_per_query,
             r.queries_per_s,

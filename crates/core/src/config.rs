@@ -55,7 +55,8 @@ pub struct HeavenConfig {
     /// super-tile reads on random-access media.
     pub compress: bool,
     /// Tracing sink for the observability bus (spans and events keyed to
-    /// simulated time). [`TraceConfig::Off`] costs one atomic load per
+    /// simulated time), plus sampling and per-subsystem level knobs. The
+    /// default ([`TraceConfig::off`]) costs one atomic load per
     /// instrumentation site.
     pub trace: TraceConfig,
 }
@@ -74,7 +75,7 @@ impl Default for HeavenConfig {
             medium_per_object: false,
             precompute: Vec::new(),
             compress: false,
-            trace: TraceConfig::Off,
+            trace: TraceConfig::off(),
         }
     }
 }
@@ -93,6 +94,6 @@ mod tests {
             ClusteringStrategy::EStar(AccessPattern::Uniform)
         ));
         assert_eq!(c.prefetch, PrefetchPolicy::None);
-        assert_eq!(c.trace, TraceConfig::Off);
+        assert_eq!(c.trace, TraceConfig::off());
     }
 }

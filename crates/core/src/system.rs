@@ -21,7 +21,7 @@ use heaven_array::{Condenser, MDArray, Minterval, ObjectId, TileId};
 use heaven_arraydb::{ArrayDb, ObjectMeta, TileLocation, TileProvider};
 use heaven_hsm::DirectStore;
 use heaven_obs::{
-    Counter, FloatCounter, Histogram, MetricsRegistry, QueryBreakdown, SpanId, TraceBus,
+    Counter, Field, FloatCounter, Histogram, MetricsRegistry, QueryBreakdown, SpanId, TraceBus,
 };
 use heaven_tape::{DiskProfile, MediumId, SimClock, TapeLibrary, TapeStats};
 use std::collections::{BTreeMap, HashMap};
@@ -178,6 +178,7 @@ impl Heaven {
         let mut tile_cache = TileCache::new(config.mem_cache_bytes);
         tile_cache.attach_obs(&registry);
         adb.attach_obs(&registry);
+        adb.attach_trace(bus.clone());
         let mut store = DirectStore::new(library);
         store.library_mut().attach_obs(&registry, bus.clone());
         let catalog_store = CatalogStore::create(adb.database_mut()).expect("fresh catalog store");
@@ -267,7 +268,7 @@ impl Heaven {
         let now = self.clock().now_s();
         let span = self
             .bus
-            .span_start("query", now, &[("label", label.into())]);
+            .query_span_start("query", now, &[("label", Field::dyn_str(label))]);
         self.active_query = Some(ActiveQuery {
             label: label.to_string(),
             span,
@@ -283,7 +284,7 @@ impl Heaven {
     pub fn end_query(&mut self) -> Option<QueryBreakdown> {
         let q = self.active_query.take()?;
         let now = self.clock().now_s();
-        self.bus.span_end(q.span, now);
+        self.bus.query_span_end(q.span, now);
         let cur = self.snapshot();
         let tape = cur.tape.since(&q.snap.tape);
         let st = cur.st.since(&q.snap.st);
@@ -325,7 +326,8 @@ impl Heaven {
         }
         b.other_s = residual.max(0.0);
         self.metrics.query_latency.observe(total_s);
-        self.bus.flush();
+        // No per-query flush: the JSONL sink drains in batches off the
+        // hot path and flushes on drop (see `heaven-obs`).
         self.last_breakdown = Some(b.clone());
         Some(b)
     }
@@ -577,7 +579,10 @@ impl Heaven {
         let span = self.bus.span(
             "heaven.fetch_region",
             clock.now_s(),
-            &[("oid", oid.into()), ("region", region.to_string().into())],
+            &[
+                ("oid", oid.into()),
+                ("region", Field::dyn_str(&region.to_string())),
+            ],
         );
         let result = self.fetch_region_impl(oid, region);
         span.end(clock.now_s());

@@ -107,7 +107,7 @@ impl HsmSystem {
             "hsm.archive",
             self.clock().now_s(),
             &[
-                ("file", Field::Str(name.to_string())),
+                ("file", Field::dyn_str(name)),
                 ("bytes", Field::U64(len)),
                 ("medium", Field::U64(medium)),
             ],
@@ -200,7 +200,7 @@ impl HsmSystem {
             "hsm.stage",
             t0,
             &[
-                ("file", Field::Str(name.to_string())),
+                ("file", Field::dyn_str(name)),
                 ("bytes", Field::U64(entry.len)),
                 ("medium", Field::U64(entry.medium)),
             ],
@@ -262,8 +262,8 @@ impl HsmSystem {
             "hsm.purge",
             self.clock().now_s(),
             &[
-                ("file", Field::Str(victim.to_string())),
-                ("reason", Field::Str(reason.into())),
+                ("file", Field::dyn_str(victim)),
+                ("reason", Field::StaticStr(reason)),
             ],
         );
     }
@@ -285,7 +285,7 @@ impl HsmSystem {
         self.bus.event(
             "hsm.delete",
             self.clock().now_s(),
-            &[("file", Field::Str(name.to_string()))],
+            &[("file", Field::dyn_str(name))],
         );
         Ok(())
     }

@@ -10,17 +10,23 @@ use std::fmt::Write as _;
 /// Append `s` to `out` as a JSON string literal (with quotes).
 pub fn write_str(out: &mut String, s: &str) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+    // Fast path: nothing to escape (the overwhelmingly common case for
+    // trace names and keys) appends in one copy.
+    if s.bytes().all(|b| b != b'"' && b != b'\\' && b >= 0x20) {
+        out.push_str(s);
+    } else {
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
             }
-            c => out.push(c),
         }
     }
     out.push('"');
@@ -44,6 +50,33 @@ pub fn write_f64(out: &mut String, v: f64) {
     }
 }
 
+/// Append a `u64` as a JSON number without going through `fmt` machinery
+/// (identical output to `{}`; the trace serializer calls this per record).
+pub fn write_u64(out: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    // SAFETY-free: the buffer holds only ASCII digits.
+    out.push_str(std::str::from_utf8(&buf[i..]).unwrap());
+}
+
+/// Append an `i64` as a JSON number (identical output to `{}`).
+pub fn write_i64(out: &mut String, v: i64) {
+    if v < 0 {
+        out.push('-');
+        write_u64(out, v.unsigned_abs());
+    } else {
+        write_u64(out, v as u64);
+    }
+}
+
 /// Append a `key: value` pair where value is already-serialized JSON.
 pub fn write_kv_raw(out: &mut String, key: &str, raw: &str) {
     write_str(out, key);
@@ -60,6 +93,20 @@ mod tests {
         assert_eq!(escape("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
         assert_eq!(escape("\u{1}"), "\"\\u0001\"");
         assert_eq!(escape("plain"), r#""plain""#);
+    }
+
+    #[test]
+    fn integers_match_display_formatting() {
+        for v in [0u64, 7, 10, 409_515, u64::MAX] {
+            let mut s = String::new();
+            write_u64(&mut s, v);
+            assert_eq!(s, v.to_string());
+        }
+        for v in [0i64, -1, 42, i64::MIN, i64::MAX] {
+            let mut s = String::new();
+            write_i64(&mut s, v);
+            assert_eq!(s, v.to_string());
+        }
     }
 
     #[test]

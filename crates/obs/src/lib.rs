@@ -8,8 +8,11 @@
 //! * [`TraceBus`] — a span/event bus whose primary timestamps are
 //!   **simulated seconds** from the `SimClock` (wall-clock is carried as
 //!   a secondary field), so traces are deterministic and replayable.
-//!   Sinks implement [`Recorder`]: a bounded in-memory ring
-//!   ([`RingSink`]), a JSONL file sink ([`JsonlSink`]), and a no-op.
+//!   The record→sink fast path is allocation-free and lock-free: names
+//!   intern to [`Sym`] ids, records are fixed-size POD values in a
+//!   seqlock ring, and the JSONL sink serializes drained batches off the
+//!   hot path. [`TraceConfig`] adds per-[`Subsystem`] levels, head
+//!   sampling of query spans, and always-keep-slow tail capture.
 //! * [`MetricsRegistry`] — named monotonic counters, float counters
 //!   (simulated seconds), gauges, and histograms. Component stat structs
 //!   (`TapeStats`, `CacheStats`, …) remain public views reconstructed
@@ -26,6 +29,7 @@
 pub mod breakdown;
 pub mod json;
 pub mod metrics;
+pub mod sym;
 pub mod trace;
 
 pub use breakdown::QueryBreakdown;
@@ -33,7 +37,8 @@ pub use metrics::{
     bucket_index, bucket_upper_bound, Counter, FloatCounter, Gauge, HistSnapshot, HistSummary,
     Histogram, MetricValue, MetricsRegistry, NUM_BUCKETS,
 };
+pub use sym::{Subsystem, Sym};
 pub use trace::{
-    check_well_nested, Field, JsonlSink, NoopSink, RecordKind, Recorder, RingSink, SpanGuard,
-    SpanId, TraceBus, TraceConfig, TraceRecord,
+    check_well_nested, Field, RecordKind, SpanGuard, SpanId, TraceBus, TraceConfig, TraceLevel,
+    TraceRecord, TraceSink,
 };

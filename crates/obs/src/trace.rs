@@ -10,31 +10,154 @@
 //! thread parent ids around: `span_start` pushes, `span_end` pops, and
 //! events attach to the innermost open span. This makes well-nestedness
 //! a structural property of every trace the bus emits.
+//!
+//! # The allocation-free fast path
+//!
+//! `span_start` / `event` / `span_end` must be cheap enough to leave on
+//! in production (<5% on a warm query), so the record→sink path performs
+//! **zero heap allocations and takes no global lock**:
+//!
+//! * Names and string field values are interned to `u32` [`Sym`] ids
+//!   (warm lookups are lock-free); short dynamic strings are copied
+//!   inline into the record instead.
+//! * Records are POD [`CompactRecord`]s with a fixed-capacity inline
+//!   field array (capacity [`MAX_FIELDS`]; excess fields are dropped).
+//! * The ring sink is a preallocated array of slots written through a
+//!   seqlock scheme (per-slot version word + one atomic claim cursor),
+//!   mirroring crossbeam's `SeqLock`: a torn read is detected by the
+//!   version word and skipped.
+//! * The JSONL sink serializes **drained batches** off the hot path:
+//!   records land in the pending ring and a dedicated writer thread is
+//!   unparked every [`JSONL_BATCH`] records to serialize them to the
+//!   `BufWriter` (it also wakes periodically for stragglers). The
+//!   buffered tail is drained and flushed on `Drop` (including panic
+//!   unwind), so aborted runs keep a parseable JSONL prefix.
+//! * The span stack is thread-local (keyed by bus id), so pushes and
+//!   pops never contend.
+//! * The secondary wall-clock timestamp is sampled once per **root**
+//!   span, not per record (`wall_unix_s` exists to correlate with
+//!   external logs; sub-span granularity would buy nothing and cost a
+//!   clock read on every record).
+//!
+//! # Sampling
+//!
+//! Production tracing wants less than everything: [`TraceConfig`] carries
+//! per-[`Subsystem`] levels (`Off`/`Spans`/`All`), head sampling of
+//! bracketed queries (`sample_1_in_n`: keep every n-th query trace), and
+//! always-keep-slow tail capture (`keep_slow_s`: a sampled-out query
+//! whose simulated duration reaches the threshold is retained anyway).
+//! Sampled-out queries divert their records to a side ring and discard
+//! them at `query_span_end` unless slow — so the main stream stays
+//! well-nested with whole query subtrees present or absent.
 
-use std::collections::VecDeque;
+use std::cell::{RefCell, UnsafeCell};
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use crate::json;
+use crate::sym::{Subsystem, Sym};
 
 /// Identifier of a span, unique within one `TraceBus`.
 pub type SpanId = u64;
 
+/// Inline fields per record; excess fields are dropped (the widest
+/// instrumentation site today uses 6).
+pub const MAX_FIELDS: usize = 8;
+
+/// Inline string-byte budget per record (see [`Field::dyn_str`]).
+const SBUF: usize = 64;
+
+/// Longest dynamic string stored inline by [`Field::dyn_str`]; longer
+/// ones fall back to interning.
+const SMALL_CAP: usize = 46;
+
+/// Pending-ring capacity in front of the JSONL writer.
+const JSONL_PENDING: usize = 8192;
+
+/// Unpark the JSONL writer thread every this many pending records.
+const JSONL_BATCH: u64 = 512;
+
+/// How long the JSONL writer thread sleeps between unparks; bounds how
+/// stale the file can be while the pending backlog sits under a batch.
+const JSONL_WRITER_NAP: Duration = Duration::from_millis(100);
+
+/// Side-ring capacity for sampled-out queries awaiting the slow/fast
+/// verdict. A sampled-out query emitting more than this is dropped
+/// entirely (with a `trace.slow_query_dropped` marker if it was slow).
+const SIDE_CAP: usize = 4096;
+
+// -- fields -------------------------------------------------------------------
+
+/// A short string stored inline (no heap), built by [`Field::dyn_str`].
+#[derive(Debug, Clone, Copy)]
+pub struct SmallStr {
+    len: u8,
+    buf: [u8; SMALL_CAP],
+}
+
+impl SmallStr {
+    fn new(s: &str) -> Option<SmallStr> {
+        if s.len() > SMALL_CAP {
+            return None;
+        }
+        let mut buf = [0u8; SMALL_CAP];
+        buf[..s.len()].copy_from_slice(s.as_bytes());
+        Some(SmallStr {
+            len: s.len() as u8,
+            buf,
+        })
+    }
+
+    pub fn as_str(&self) -> &str {
+        // SAFETY: built from a str's bytes in `new`.
+        unsafe { std::str::from_utf8_unchecked(&self.buf[..self.len as usize]) }
+    }
+}
+
 /// A typed field value attached to a span or event.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// String payloads come in four flavors so the hot path never allocates:
+/// `StaticStr` for literals, `Sym` for pre-interned ids, `Small` (via
+/// [`Field::dyn_str`]) for short dynamic strings copied inline, and
+/// `Str` as the compatibility spill for owned strings. All four compare
+/// equal by content and serialize identically.
+#[derive(Debug, Clone)]
 pub enum Field {
     U64(u64),
     I64(i64),
     F64(f64),
     Str(String),
+    StaticStr(&'static str),
+    Small(SmallStr),
+    Sym(Sym),
 }
 
 impl Field {
+    /// Wrap a dynamic string without allocating: inline if it fits
+    /// ([`SmallStr`]), interned otherwise.
+    pub fn dyn_str(s: &str) -> Field {
+        match SmallStr::new(s) {
+            Some(small) => Field::Small(small),
+            None => Field::Sym(Sym::intern(s)),
+        }
+    }
+
+    /// The string payload, if this is a string-flavored field.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Field::Str(s) => Some(s),
+            Field::StaticStr(s) => Some(s),
+            Field::Small(s) => Some(s.as_str()),
+            Field::Sym(s) => Some(s.resolve()),
+            _ => None,
+        }
+    }
+
     fn write_json(&self, out: &mut String) {
         match self {
             Field::U64(v) => {
@@ -44,7 +167,22 @@ impl Field {
                 out.push_str(&v.to_string());
             }
             Field::F64(v) => json::write_f64(out, *v),
-            Field::Str(s) => json::write_str(out, s),
+            _ => json::write_str(out, self.as_str().unwrap_or_default()),
+        }
+    }
+}
+
+impl PartialEq for Field {
+    fn eq(&self, other: &Field) -> bool {
+        match (self, other) {
+            (Field::U64(a), Field::U64(b)) => a == b,
+            (Field::I64(a), Field::I64(b)) => a == b,
+            (Field::F64(a), Field::F64(b)) => a == b,
+            // String flavors compare by content.
+            _ => match (self.as_str(), other.as_str()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
         }
     }
 }
@@ -55,7 +193,7 @@ impl fmt::Display for Field {
             Field::U64(v) => write!(f, "{v}"),
             Field::I64(v) => write!(f, "{v}"),
             Field::F64(v) => write!(f, "{v:.6}"),
-            Field::Str(s) => write!(f, "{s}"),
+            _ => write!(f, "{}", self.as_str().unwrap_or_default()),
         }
     }
 }
@@ -84,15 +222,21 @@ impl From<f64> for Field {
     }
 }
 
-impl From<&str> for Field {
-    fn from(v: &str) -> Field {
-        Field::Str(v.to_string())
+impl From<&'static str> for Field {
+    fn from(v: &'static str) -> Field {
+        Field::StaticStr(v)
     }
 }
 
 impl From<String> for Field {
     fn from(v: String) -> Field {
         Field::Str(v)
+    }
+}
+
+impl From<Sym> for Field {
+    fn from(v: Sym) -> Field {
+        Field::Sym(v)
     }
 }
 
@@ -115,9 +259,20 @@ impl RecordKind {
             RecordKind::Event => "event",
         }
     }
+
+    fn from_u8(v: u8) -> RecordKind {
+        match v {
+            0 => RecordKind::SpanStart,
+            1 => RecordKind::SpanEnd,
+            _ => RecordKind::Event,
+        }
+    }
 }
 
 /// One record on the bus. Records are totally ordered by `seq`.
+///
+/// This is the *reconstructed* view handed out by [`TraceBus::records`];
+/// internally the bus stores POD [`CompactRecord`]s.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceRecord {
     /// Monotone sequence number, assigned by the bus.
@@ -178,110 +333,590 @@ impl TraceRecord {
     }
 }
 
-/// A sink for trace records. Implementations must tolerate being called
-/// from any thread (the bus serializes calls behind its lock).
-pub trait Recorder: Send {
-    fn record(&mut self, rec: &TraceRecord);
+// -- compact records ----------------------------------------------------------
 
-    /// A snapshot of retained records, if this sink retains any.
-    fn records(&self) -> Option<Vec<TraceRecord>> {
-        None
+const TAG_U64: u8 = 0;
+const TAG_I64: u8 = 1;
+const TAG_F64: u8 = 2;
+const TAG_SYM: u8 = 3;
+/// Inline string in the record's `sbuf`; bits = `offset << 32 | len`.
+const TAG_STR: u8 = 4;
+
+#[derive(Clone, Copy)]
+struct CompactField {
+    key: Sym,
+    tag: u8,
+    bits: u64,
+}
+
+const NIL_FIELD: CompactField = CompactField {
+    key: Sym(0),
+    tag: TAG_U64,
+    bits: 0,
+};
+
+/// The POD record stored in ring slots: fixed-size, `Copy`, no heap.
+#[derive(Clone, Copy)]
+struct CompactRecord {
+    seq: u64,
+    sim_s: f64,
+    wall_s: f64,
+    span: u64,
+    /// 0 = no parent (span ids start at 1).
+    parent: u64,
+    name: Sym,
+    kind: u8,
+    nf: u8,
+    sused: u8,
+    fields: [CompactField; MAX_FIELDS],
+    sbuf: [u8; SBUF],
+}
+
+impl CompactRecord {
+    const EMPTY: CompactRecord = CompactRecord {
+        seq: 0,
+        sim_s: 0.0,
+        wall_s: 0.0,
+        span: 0,
+        parent: 0,
+        name: Sym(0),
+        kind: 0,
+        nf: 0,
+        sused: 0,
+        fields: [NIL_FIELD; MAX_FIELDS],
+        sbuf: [0; SBUF],
+    };
+
+    /// Copy a dynamic string into `sbuf` if it fits, else intern it.
+    fn encode_str(&mut self, key: Sym, s: &str) -> CompactField {
+        let off = self.sused as usize;
+        if off + s.len() <= SBUF {
+            self.sbuf[off..off + s.len()].copy_from_slice(s.as_bytes());
+            self.sused = (off + s.len()) as u8;
+            CompactField {
+                key,
+                tag: TAG_STR,
+                bits: ((off as u64) << 32) | s.len() as u64,
+            }
+        } else {
+            CompactField {
+                key,
+                tag: TAG_SYM,
+                bits: Sym::intern(s).0 as u64,
+            }
+        }
     }
 
-    fn flush(&mut self) {}
+    fn encode_fields(&mut self, fields: &[(&'static str, Field)]) {
+        let mut nf = 0;
+        for (k, v) in fields.iter().take(MAX_FIELDS) {
+            let key = Sym::intern_static(k);
+            self.fields[nf] = match v {
+                Field::U64(x) => CompactField {
+                    key,
+                    tag: TAG_U64,
+                    bits: *x,
+                },
+                Field::I64(x) => CompactField {
+                    key,
+                    tag: TAG_I64,
+                    bits: *x as u64,
+                },
+                Field::F64(x) => CompactField {
+                    key,
+                    tag: TAG_F64,
+                    bits: x.to_bits(),
+                },
+                Field::Sym(s) => CompactField {
+                    key,
+                    tag: TAG_SYM,
+                    bits: s.0 as u64,
+                },
+                Field::StaticStr(s) => CompactField {
+                    key,
+                    tag: TAG_SYM,
+                    bits: Sym::intern_static(s).0 as u64,
+                },
+                Field::Small(s) => self.encode_str(key, s.as_str()),
+                Field::Str(s) => self.encode_str(key, s),
+            };
+            nf += 1;
+        }
+        self.nf = nf as u8;
+    }
+
+    fn inline_str(&self, bits: u64) -> &str {
+        let off = (bits >> 32) as usize;
+        let len = (bits & 0xffff_ffff) as usize;
+        // SAFETY: encode_str stored valid UTF-8 at this range.
+        unsafe { std::str::from_utf8_unchecked(&self.sbuf[off..off + len]) }
+    }
+
+    fn decode_field(&self, i: usize) -> (&'static str, Field) {
+        let f = &self.fields[i];
+        let v = match f.tag {
+            TAG_U64 => Field::U64(f.bits),
+            TAG_I64 => Field::I64(f.bits as i64),
+            TAG_F64 => Field::F64(f64::from_bits(f.bits)),
+            TAG_SYM => Field::StaticStr(Sym(f.bits as u32).resolve()),
+            _ => Field::Str(self.inline_str(f.bits).to_string()),
+        };
+        (f.key.resolve(), v)
+    }
+
+    fn to_record(self) -> TraceRecord {
+        TraceRecord {
+            seq: self.seq,
+            kind: RecordKind::from_u8(self.kind),
+            name: self.name.resolve(),
+            sim_s: self.sim_s,
+            wall_unix_s: self.wall_s,
+            span: self.span,
+            parent: (self.parent != 0).then_some(self.parent),
+            fields: (0..self.nf as usize)
+                .map(|i| self.decode_field(i))
+                .collect(),
+        }
+    }
+
+    /// Serialize directly (byte-identical to `to_record().to_json()`),
+    /// appending to `out` without intermediate allocations beyond `out`.
+    ///
+    /// `memo` caches formatted floats across records: `wall_unix_s` is a
+    /// full-precision Unix timestamp — the worst case for shortest
+    /// round-trip formatting — and is constant across a root span, while
+    /// adjacent records frequently share `sim_s`.
+    fn write_json(&self, out: &mut String, memo: &mut JsonMemo) {
+        out.push_str("{\"seq\":");
+        json::write_u64(out, self.seq);
+        out.push_str(",\"kind\":\"");
+        out.push_str(RecordKind::from_u8(self.kind).as_str());
+        out.push_str("\",\"name\":");
+        json::write_str(out, self.name.resolve());
+        out.push_str(",\"sim_s\":");
+        memo.sim.write(out, self.sim_s);
+        out.push_str(",\"wall_unix_s\":");
+        memo.wall.write(out, self.wall_s);
+        out.push_str(",\"span\":");
+        json::write_u64(out, self.span);
+        if self.parent != 0 {
+            out.push_str(",\"parent\":");
+            json::write_u64(out, self.parent);
+        } else {
+            out.push_str(",\"parent\":null");
+        }
+        if self.nf > 0 {
+            out.push_str(",\"fields\":{");
+            for i in 0..self.nf as usize {
+                if i > 0 {
+                    out.push(',');
+                }
+                let f = &self.fields[i];
+                json::write_str(out, f.key.resolve());
+                out.push(':');
+                match f.tag {
+                    TAG_U64 => json::write_u64(out, f.bits),
+                    TAG_I64 => json::write_i64(out, f.bits as i64),
+                    TAG_F64 => memo.field.write(out, f64::from_bits(f.bits)),
+                    TAG_SYM => json::write_str(out, Sym(f.bits as u32).resolve()),
+                    _ => json::write_str(out, self.inline_str(f.bits)),
+                }
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
 }
 
-/// Discards everything.
-#[derive(Debug, Default)]
-pub struct NoopSink;
-
-impl Recorder for NoopSink {
-    fn record(&mut self, _rec: &TraceRecord) {}
+/// One memoized formatted `f64`: re-renders only when the bit pattern
+/// changes. Seeded with `u64::MAX` (a NaN), whose rendering is `"null"`,
+/// so the seed is self-consistent.
+struct F64Memo {
+    bits: u64,
+    text: String,
 }
 
-/// Keeps the most recent `capacity` records in memory.
-#[derive(Debug)]
-pub struct RingSink {
-    buf: VecDeque<TraceRecord>,
-    capacity: usize,
-    /// Total records ever offered (including ones the ring dropped).
-    pub total: u64,
-}
-
-impl RingSink {
-    pub fn new(capacity: usize) -> RingSink {
-        RingSink {
-            buf: VecDeque::with_capacity(capacity.min(4096)),
-            capacity: capacity.max(1),
-            total: 0,
+impl Default for F64Memo {
+    fn default() -> F64Memo {
+        F64Memo {
+            bits: u64::MAX,
+            text: "null".to_string(),
         }
     }
 }
 
-impl Recorder for RingSink {
-    fn record(&mut self, rec: &TraceRecord) {
-        if self.buf.len() == self.capacity {
-            self.buf.pop_front();
+impl F64Memo {
+    fn write(&mut self, out: &mut String, v: f64) {
+        if v.to_bits() != self.bits {
+            self.bits = v.to_bits();
+            self.text.clear();
+            json::write_f64(&mut self.text, v);
         }
-        self.buf.push_back(rec.clone());
-        self.total += 1;
-    }
-
-    fn records(&self) -> Option<Vec<TraceRecord>> {
-        Some(self.buf.iter().cloned().collect())
+        out.push_str(&self.text);
     }
 }
 
-/// Appends one JSON object per record to a file.
-#[derive(Debug)]
-pub struct JsonlSink {
+/// Float-formatting caches threaded through [`CompactRecord::write_json`].
+#[derive(Default)]
+struct JsonMemo {
+    wall: F64Memo,
+    sim: F64Memo,
+    /// Float *field* values (e.g. a warm query's constant `cost_s`).
+    field: F64Memo,
+}
+
+// -- seqlock ring -------------------------------------------------------------
+
+/// One ring slot: a version word and the record payload. The version is
+/// `2*claim + 1` while the claiming writer copies in, `2*claim + 2` once
+/// the record for `claim` is fully published.
+struct Slot {
+    ver: AtomicU64,
+    rec: UnsafeCell<CompactRecord>,
+}
+
+/// Preallocated lock-free ring of POD records (seqlock per slot, one
+/// atomic claim cursor). Writers never block; readers detect and skip
+/// torn slots. Capacity is rounded up to a power of two.
+struct SlotRing {
+    mask: u64,
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+// SAFETY: slot payloads are only read through the seqlock protocol,
+// which detects concurrent writers via the version word.
+unsafe impl Sync for SlotRing {}
+
+impl SlotRing {
+    fn new(capacity: usize) -> SlotRing {
+        let cap = capacity.max(2).next_power_of_two();
+        SlotRing {
+            mask: cap as u64 - 1,
+            head: AtomicU64::new(0),
+            slots: (0..cap)
+                .map(|_| Slot {
+                    // Version 0 never matches any claim's "published"
+                    // value (2*claim + 2 >= 2), so unwritten slots read
+                    // as absent.
+                    ver: AtomicU64::new(0),
+                    rec: UnsafeCell::new(CompactRecord::EMPTY),
+                })
+                .collect(),
+        }
+    }
+
+    fn capacity(&self) -> u64 {
+        self.mask + 1
+    }
+
+    fn head(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    fn push(&self, rec: &CompactRecord) -> u64 {
+        let claim = self.head.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.slots[(claim & self.mask) as usize];
+        // Acquire on the RMW keeps the payload write from being
+        // reordered before the version bump (crossbeam SeqLock's write
+        // protocol); readers seeing the payload also see the odd version.
+        slot.ver.swap(claim * 2 + 1, Ordering::AcqRel);
+        // SAFETY: the claim cursor hands each claim to exactly one
+        // writer; a lapped writer for the same slot bumped the version
+        // first, so readers discard whatever they copied.
+        unsafe { std::ptr::write(slot.rec.get(), *rec) };
+        slot.ver.store(claim * 2 + 2, Ordering::Release);
+        claim
+    }
+
+    /// Read the record for `claim`, if still present and fully written.
+    fn read(&self, claim: u64) -> Option<CompactRecord> {
+        let slot = &self.slots[(claim & self.mask) as usize];
+        let want = claim * 2 + 2;
+        if slot.ver.load(Ordering::Acquire) != want {
+            return None;
+        }
+        // SAFETY: the slot may be concurrently overwritten; the version
+        // re-check below (after an Acquire fence) detects that and
+        // discards the copy.
+        let rec = unsafe { std::ptr::read(slot.rec.get()) };
+        fence(Ordering::Acquire);
+        if slot.ver.load(Ordering::Relaxed) != want {
+            return None;
+        }
+        Some(rec)
+    }
+}
+
+// -- jsonl output -------------------------------------------------------------
+
+struct JsonlFile {
     out: BufWriter<File>,
+    scratch: String,
+    memo: JsonMemo,
+    /// Next claim to drain from the pending ring.
+    tail: u64,
+    /// Records the pending ring overwrote before we drained them.
+    lost: u64,
 }
 
-impl JsonlSink {
-    pub fn create(path: &Path) -> io::Result<JsonlSink> {
-        Ok(JsonlSink {
-            out: BufWriter::new(File::create(path)?),
+struct JsonlOut {
+    state: Mutex<JsonlFile>,
+    /// Mirror of `JsonlFile::tail`, readable without the lock so the hot
+    /// path can check the batch threshold cheaply.
+    tail: AtomicU64,
+    /// The writer thread to unpark when a batch is pending. Unset only if
+    /// the thread could not be spawned (the hot path then drains inline).
+    writer: OnceLock<std::thread::Thread>,
+}
+
+impl JsonlOut {
+    fn create(path: &Path) -> io::Result<JsonlOut> {
+        Ok(JsonlOut {
+            state: Mutex::new(JsonlFile {
+                // A wide buffer: trace records are ~200 bytes and the
+                // stock 8 KB buffer would hit write(2) every few queries.
+                out: BufWriter::with_capacity(1 << 20, File::create(path)?),
+                scratch: String::with_capacity(64 * 1024),
+                memo: JsonMemo::default(),
+                tail: 0,
+                lost: 0,
+            }),
+            tail: AtomicU64::new(0),
+            writer: OnceLock::new(),
         })
     }
 }
 
-impl Recorder for JsonlSink {
-    fn record(&mut self, rec: &TraceRecord) {
-        // Trace I/O is best-effort; a full disk must not fail a query.
-        let _ = writeln!(self.out, "{}", rec.to_json());
-    }
-
-    fn flush(&mut self) {
-        let _ = self.out.flush();
+/// Body of the JSONL writer thread: drain whenever unparked (a batch is
+/// pending) or after a nap (stragglers). Holds only a `Weak` to the bus,
+/// so dropping the last `TraceBus` clone ends the thread.
+fn jsonl_writer_loop(weak: Weak<BusInner>) {
+    loop {
+        std::thread::park_timeout(JSONL_WRITER_NAP);
+        let Some(inner) = weak.upgrade() else { return };
+        drain_jsonl(&inner, false);
     }
 }
 
-/// Sink selection, carried inside `HeavenConfig`.
+// -- configuration ------------------------------------------------------------
+
+/// How much of a subsystem's instrumentation to record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum TraceLevel {
+    /// Nothing from this subsystem.
+    Off,
+    /// Spans only (events dropped).
+    Spans,
+    /// Spans and events (the default).
+    #[default]
+    All,
+}
+
+impl TraceLevel {
+    /// Parse `"off"` / `"spans"` / `"all"`.
+    pub fn parse(s: &str) -> Option<TraceLevel> {
+        match s {
+            "off" => Some(TraceLevel::Off),
+            "spans" => Some(TraceLevel::Spans),
+            "all" => Some(TraceLevel::All),
+            _ => None,
+        }
+    }
+}
+
+/// Sink selection, carried inside [`TraceConfig`].
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub enum TraceConfig {
+pub enum TraceSink {
     /// No tracing (the default); record calls are near-free.
     #[default]
     Off,
-    /// Ring buffer of the most recent `capacity` records.
+    /// Ring buffer of the most recent `capacity` records (rounded up to
+    /// a power of two).
     Memory { capacity: usize },
-    /// JSONL file at `path` (plus a small ring for introspection).
+    /// JSONL file at `path` (plus a pending ring that doubles as the
+    /// in-memory mirror for `records()`).
     Jsonl { path: PathBuf },
 }
 
-struct BusState {
-    sink: Box<dyn Recorder>,
-    /// Secondary ring kept alongside a JSONL sink so `records()` works
-    /// regardless of sink choice. `None` when the primary sink retains.
-    mirror: Option<RingSink>,
-    stack: Vec<(SpanId, &'static str, f64)>,
-    next_span: SpanId,
-    seq: u64,
+/// Trace configuration, carried inside `HeavenConfig`: sink choice plus
+/// the production-tracing knobs (head sampling, slow-tail capture,
+/// per-subsystem levels).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    pub sink: TraceSink,
+    /// Keep every n-th bracketed query trace (0 or 1 = keep all).
+    pub sample_1_in_n: u64,
+    /// A sampled-out query whose simulated duration reaches this many
+    /// seconds is kept anyway (`INFINITY` = never).
+    pub keep_slow_s: f64,
+    /// Per-subsystem record levels, indexed by `Subsystem as usize`.
+    pub levels: [TraceLevel; Subsystem::COUNT],
 }
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            sink: TraceSink::Off,
+            sample_1_in_n: 1,
+            keep_slow_s: f64::INFINITY,
+            levels: [TraceLevel::All; Subsystem::COUNT],
+        }
+    }
+}
+
+impl TraceConfig {
+    /// No tracing (the default).
+    pub fn off() -> TraceConfig {
+        TraceConfig::default()
+    }
+
+    /// Ring buffer of the most recent `capacity` records.
+    pub fn ring(capacity: usize) -> TraceConfig {
+        TraceConfig {
+            sink: TraceSink::Memory { capacity },
+            ..TraceConfig::default()
+        }
+    }
+
+    /// Stream records to a JSONL file.
+    pub fn jsonl(path: impl Into<PathBuf>) -> TraceConfig {
+        TraceConfig {
+            sink: TraceSink::Jsonl { path: path.into() },
+            ..TraceConfig::default()
+        }
+    }
+
+    /// Keep every n-th bracketed query trace (head sampling).
+    pub fn with_sample(mut self, n: u64) -> TraceConfig {
+        self.sample_1_in_n = n;
+        self
+    }
+
+    /// Keep sampled-out queries at least this slow (simulated seconds).
+    pub fn with_keep_slow(mut self, s: f64) -> TraceConfig {
+        self.keep_slow_s = s;
+        self
+    }
+
+    /// Set one subsystem's record level.
+    pub fn with_level(mut self, sub: Subsystem, level: TraceLevel) -> TraceConfig {
+        self.levels[sub as usize] = level;
+        self
+    }
+}
+
+// -- thread-local span stacks -------------------------------------------------
+
+#[derive(Clone, Copy)]
+struct Frame {
+    id: SpanId,
+    name: Sym,
+    start_s: f64,
+}
+
+struct SpanStack {
+    bus_id: u64,
+    frames: Vec<Frame>,
+}
+
+thread_local! {
+    static STACKS: RefCell<Vec<SpanStack>> = const { RefCell::new(Vec::new()) };
+}
+
+fn with_stack<R>(bus_id: u64, f: impl FnOnce(&mut SpanStack) -> R) -> R {
+    STACKS.with(|s| {
+        let mut v = s.borrow_mut();
+        let idx = match v.iter().position(|st| st.bus_id == bus_id) {
+            Some(i) => i,
+            None => {
+                if v.len() >= 16 {
+                    // Drop stacks of (likely dead) buses with no open spans.
+                    v.retain(|st| !st.frames.is_empty());
+                }
+                v.push(SpanStack {
+                    bus_id,
+                    frames: Vec::with_capacity(32),
+                });
+                v.len() - 1
+            }
+        };
+        f(&mut v[idx])
+    })
+}
+
+// -- the bus ------------------------------------------------------------------
 
 struct BusInner {
     enabled: AtomicBool,
-    state: Mutex<BusState>,
+    /// Keys this bus's thread-local span stacks.
+    bus_id: u64,
+    levels: [TraceLevel; Subsystem::COUNT],
+    seq: AtomicU64,
+    next_span: AtomicU64,
+    /// Wall-clock Unix seconds (`f64` bits), refreshed once per root
+    /// span: per-record clock reads would dominate the fast path and the
+    /// field only exists to correlate traces with external logs.
+    wall_cache: AtomicU64,
+    /// The retained ring (`Memory` sink) or the JSONL pending ring.
+    ring: Option<SlotRing>,
+    jsonl: Option<JsonlOut>,
+    // Sampling state.
+    sample_n: u64,
+    keep_slow_s: f64,
+    sample_counter: AtomicU64,
+    /// While set, records divert to `side` awaiting the slow/fast verdict.
+    diverted: AtomicBool,
+    side: Option<SlotRing>,
+    /// Side-ring claim at which the current diverted query began.
+    side_start: AtomicU64,
+    /// Slow sampled-out queries whose side buffer overflowed.
+    dropped_slow: AtomicU64,
+}
+
+impl Drop for BusInner {
+    fn drop(&mut self) {
+        // Durability: drain + flush the JSONL tail even on panic unwind,
+        // so an aborted run leaves a parseable trace prefix.
+        drain_jsonl(self, true);
+    }
+}
+
+fn drain_jsonl(inner: &BusInner, force_flush: bool) {
+    let (Some(j), Some(ring)) = (&inner.jsonl, &inner.ring) else {
+        return;
+    };
+    let mut f = j.state.lock().unwrap_or_else(|e| e.into_inner());
+    let head = ring.head();
+    let oldest = head.saturating_sub(ring.capacity());
+    if f.tail < oldest {
+        f.lost += oldest - f.tail;
+        f.tail = oldest;
+    }
+    let JsonlFile {
+        out,
+        scratch,
+        memo,
+        tail,
+        lost: _,
+    } = &mut *f;
+    scratch.clear();
+    while *tail < head {
+        match ring.read(*tail) {
+            Some(rec) => {
+                rec.write_json(scratch, memo);
+                scratch.push('\n');
+                *tail += 1;
+            }
+            None => break, // writer still in this slot; next drain gets it
+        }
+    }
+    // Trace I/O is best-effort; a full disk must not fail a query.
+    let _ = out.write_all(scratch.as_bytes());
+    j.tail.store(*tail, Ordering::Relaxed);
+    if force_flush {
+        let _ = out.flush();
+    }
 }
 
 /// Cloneable handle to the trace bus. All clones share one record stream
@@ -306,65 +941,150 @@ fn wall_now_s() -> f64 {
         .unwrap_or(0.0)
 }
 
+static NEXT_BUS_ID: AtomicU64 = AtomicU64::new(1);
+
 impl TraceBus {
-    fn with_sink(sink: Box<dyn Recorder>, mirror: Option<RingSink>, enabled: bool) -> TraceBus {
-        TraceBus {
+    fn build(cfg: &TraceConfig) -> io::Result<TraceBus> {
+        let (enabled, ring, jsonl) = match &cfg.sink {
+            TraceSink::Off => (false, None, None),
+            TraceSink::Memory { capacity } => (true, Some(SlotRing::new(*capacity)), None),
+            TraceSink::Jsonl { path } => (
+                true,
+                Some(SlotRing::new(JSONL_PENDING)),
+                Some(JsonlOut::create(path)?),
+            ),
+        };
+        let sample_n = cfg.sample_1_in_n.max(1);
+        let bus = TraceBus {
             inner: Arc::new(BusInner {
                 enabled: AtomicBool::new(enabled),
-                state: Mutex::new(BusState {
-                    sink,
-                    mirror,
-                    stack: Vec::new(),
-                    next_span: 1,
-                    seq: 0,
-                }),
+                bus_id: NEXT_BUS_ID.fetch_add(1, Ordering::Relaxed),
+                levels: cfg.levels,
+                seq: AtomicU64::new(0),
+                next_span: AtomicU64::new(1),
+                wall_cache: AtomicU64::new(wall_now_s().to_bits()),
+                ring,
+                jsonl,
+                sample_n,
+                keep_slow_s: cfg.keep_slow_s,
+                sample_counter: AtomicU64::new(0),
+                diverted: AtomicBool::new(false),
+                side: (sample_n > 1).then(|| SlotRing::new(SIDE_CAP)),
+                side_start: AtomicU64::new(0),
+                dropped_slow: AtomicU64::new(0),
             }),
+        };
+        if let Some(j) = &bus.inner.jsonl {
+            // Serialization runs on a dedicated thread; the hot path only
+            // pushes into the pending ring and unparks it per batch. If
+            // the spawn fails, `sink_main` falls back to inline drains.
+            let weak = Arc::downgrade(&bus.inner);
+            if let Ok(handle) = std::thread::Builder::new()
+                .name("heaven-trace-jsonl".into())
+                .spawn(move || jsonl_writer_loop(weak))
+            {
+                let _ = j.writer.set(handle.thread().clone());
+            }
         }
+        if enabled && sample_n > 1 {
+            // Announce the sampling rate in-band so consumers
+            // (heaven-prof) can rescale totals. Only emitted when
+            // sampling is on, so unsampled traces are unchanged.
+            let mut fields: Vec<(&'static str, Field)> =
+                vec![("sample_1_in_n", Field::U64(sample_n))];
+            if cfg.keep_slow_s.is_finite() {
+                fields.push(("keep_slow_s", Field::F64(cfg.keep_slow_s)));
+            }
+            bus.event("trace.config", 0.0, &fields);
+        }
+        Ok(bus)
     }
 
     /// A disabled bus; every call is a cheap atomic load.
     pub fn noop() -> TraceBus {
-        TraceBus::with_sink(Box::new(NoopSink), None, false)
+        TraceBus::build(&TraceConfig::off()).expect("noop bus cannot fail")
     }
 
     /// Retain the most recent `capacity` records in memory.
     pub fn ring(capacity: usize) -> TraceBus {
-        TraceBus::with_sink(Box::new(RingSink::new(capacity)), None, true)
+        TraceBus::build(&TraceConfig::ring(capacity)).expect("ring bus cannot fail")
     }
 
-    /// Stream records to a JSONL file; also mirrors the last 4096 records
-    /// in memory so `records()` keeps working.
+    /// Stream records to a JSONL file; the pending ring doubles as an
+    /// in-memory mirror so `records()` keeps working.
     pub fn jsonl(path: &Path) -> io::Result<TraceBus> {
-        Ok(TraceBus::with_sink(
-            Box::new(JsonlSink::create(path)?),
-            Some(RingSink::new(4096)),
-            true,
-        ))
+        TraceBus::build(&TraceConfig::jsonl(path))
     }
 
     /// Build from configuration. A JSONL path that cannot be created
     /// degrades to a no-op bus rather than failing system construction.
     pub fn from_config(cfg: &TraceConfig) -> TraceBus {
-        match cfg {
-            TraceConfig::Off => TraceBus::noop(),
-            TraceConfig::Memory { capacity } => TraceBus::ring(*capacity),
-            TraceConfig::Jsonl { path } => {
-                TraceBus::jsonl(path).unwrap_or_else(|_| TraceBus::noop())
-            }
-        }
+        TraceBus::build(cfg).unwrap_or_else(|_| TraceBus::noop())
     }
 
     pub fn is_enabled(&self) -> bool {
         self.inner.enabled.load(Ordering::Relaxed)
     }
 
-    fn emit(&self, state: &mut BusState, mut rec: TraceRecord) {
-        rec.seq = state.seq;
-        state.seq += 1;
-        state.sink.record(&rec);
-        if let Some(mirror) = state.mirror.as_mut() {
-            mirror.record(&rec);
+    /// Effective head-sampling rate (1 = keep everything).
+    pub fn sample_1_in_n(&self) -> u64 {
+        self.inner.sample_n
+    }
+
+    /// Slow sampled-out queries dropped because their trace outgrew the
+    /// side buffer.
+    pub fn dropped_slow(&self) -> u64 {
+        self.inner.dropped_slow.load(Ordering::Relaxed)
+    }
+
+    /// Route a finished record to the active sink (the allocation-free
+    /// tail of the fast path).
+    fn sink(&self, rec: &CompactRecord) {
+        let inner = &*self.inner;
+        if inner.diverted.load(Ordering::Relaxed) {
+            if let Some(side) = &inner.side {
+                side.push(rec);
+            }
+            return;
         }
+        self.sink_main(rec);
+    }
+
+    fn sink_main(&self, rec: &CompactRecord) {
+        let inner = &*self.inner;
+        let Some(ring) = &inner.ring else { return };
+        ring.push(rec);
+        if let Some(j) = &inner.jsonl {
+            if ring.head().wrapping_sub(j.tail.load(Ordering::Relaxed)) >= JSONL_BATCH {
+                match j.writer.get() {
+                    Some(t) => t.unpark(),
+                    None => drain_jsonl(inner, false),
+                }
+            }
+        }
+    }
+
+    fn emit(
+        &self,
+        kind: RecordKind,
+        name: Sym,
+        sim_s: f64,
+        span: u64,
+        parent: u64,
+        fields: &[(&'static str, Field)],
+    ) {
+        let mut rec = CompactRecord {
+            seq: self.inner.seq.fetch_add(1, Ordering::Relaxed),
+            sim_s,
+            wall_s: f64::from_bits(self.inner.wall_cache.load(Ordering::Relaxed)),
+            span,
+            parent,
+            name,
+            kind: kind as u8,
+            ..CompactRecord::EMPTY
+        };
+        rec.encode_fields(fields);
+        self.sink(&rec);
     }
 
     /// Open a span. Returns its id; pass it to [`TraceBus::span_end`].
@@ -377,22 +1097,28 @@ impl TraceBus {
         if !self.is_enabled() {
             return 0;
         }
-        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
-        let id = state.next_span;
-        state.next_span += 1;
-        let parent = state.stack.last().map(|&(p, _, _)| p);
-        state.stack.push((id, name, sim_s));
-        let rec = TraceRecord {
-            seq: 0,
-            kind: RecordKind::SpanStart,
-            name,
-            sim_s,
-            wall_unix_s: wall_now_s(),
-            span: id,
-            parent,
-            fields: fields.to_vec(),
-        };
-        self.emit(&mut state, rec);
+        let sym = Sym::intern_static(name);
+        if self.inner.levels[sym.subsystem() as usize] < TraceLevel::Spans {
+            return 0; // children attach to the grandparent: still nested
+        }
+        let id = self.inner.next_span.fetch_add(1, Ordering::Relaxed);
+        let parent = with_stack(self.inner.bus_id, |st| {
+            let parent = st.frames.last().map_or(0, |f| f.id);
+            st.frames.push(Frame {
+                id,
+                name: sym,
+                start_s: sim_s,
+            });
+            parent
+        });
+        if parent == 0 {
+            // Root span: refresh the coarse wall-clock stamp shared by
+            // every record in this subtree.
+            self.inner
+                .wall_cache
+                .store(wall_now_s().to_bits(), Ordering::Relaxed);
+        }
+        self.emit(RecordKind::SpanStart, sym, sim_s, id, parent, fields);
         id
     }
 
@@ -403,27 +1129,26 @@ impl TraceBus {
         if !self.is_enabled() || id == 0 {
             return;
         }
-        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
-        if !state.stack.iter().any(|&(s, _, _)| s == id) {
-            return; // unknown/already closed: ignore
-        }
-        while let Some((top, name, start_s)) = state.stack.pop() {
-            let parent = state.stack.last().map(|&(p, _, _)| p);
-            let rec = TraceRecord {
-                seq: 0,
-                kind: RecordKind::SpanEnd,
-                name,
-                sim_s,
-                wall_unix_s: wall_now_s(),
-                span: top,
-                parent,
-                fields: vec![("dur_s", Field::F64((sim_s - start_s).max(0.0)))],
-            };
-            self.emit(&mut state, rec);
-            if top == id {
-                break;
+        with_stack(self.inner.bus_id, |st| {
+            if !st.frames.iter().any(|f| f.id == id) {
+                return; // unknown/already closed: ignore
             }
-        }
+            while let Some(frame) = st.frames.pop() {
+                let parent = st.frames.last().map_or(0, |f| f.id);
+                let dur = (sim_s - frame.start_s).max(0.0);
+                self.emit(
+                    RecordKind::SpanEnd,
+                    frame.name,
+                    sim_s,
+                    frame.id,
+                    parent,
+                    &[("dur_s", Field::F64(dur))],
+                );
+                if frame.id == id {
+                    break;
+                }
+            }
+        });
     }
 
     /// Record an instantaneous event inside the innermost open span.
@@ -431,19 +1156,12 @@ impl TraceBus {
         if !self.is_enabled() {
             return;
         }
-        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
-        let parent = state.stack.last().map(|&(p, _, _)| p);
-        let rec = TraceRecord {
-            seq: 0,
-            kind: RecordKind::Event,
-            name,
-            sim_s,
-            wall_unix_s: wall_now_s(),
-            span: 0,
-            parent,
-            fields: fields.to_vec(),
-        };
-        self.emit(&mut state, rec);
+        let sym = Sym::intern_static(name);
+        if self.inner.levels[sym.subsystem() as usize] < TraceLevel::All {
+            return;
+        }
+        let parent = with_stack(self.inner.bus_id, |st| st.frames.last().map_or(0, |f| f.id));
+        self.emit(RecordKind::Event, sym, sim_s, 0, parent, fields);
     }
 
     /// RAII span helper: the span closes (at `end_sim_s` supplied then)
@@ -460,33 +1178,94 @@ impl TraceBus {
         }
     }
 
-    /// Snapshot of retained records (ring sinks and the JSONL mirror).
-    pub fn records(&self) -> Vec<TraceRecord> {
-        let state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(recs) = state.sink.records() {
-            return recs;
+    /// Open a **bracketed query** span, applying head sampling: every
+    /// n-th query records normally; the rest divert to a side buffer and
+    /// are discarded at [`TraceBus::query_span_end`] unless slower than
+    /// `keep_slow_s`.
+    pub fn query_span_start(
+        &self,
+        name: &'static str,
+        sim_s: f64,
+        fields: &[(&'static str, Field)],
+    ) -> SpanId {
+        if !self.is_enabled() {
+            return 0;
         }
-        state
-            .mirror
-            .as_ref()
-            .and_then(|m| m.records())
-            .unwrap_or_default()
+        let inner = &*self.inner;
+        if let Some(side) = &inner.side {
+            let c = inner.sample_counter.fetch_add(1, Ordering::Relaxed);
+            if !c.is_multiple_of(inner.sample_n) && !inner.diverted.load(Ordering::Relaxed) {
+                inner.side_start.store(side.head(), Ordering::Relaxed);
+                inner.diverted.store(true, Ordering::Relaxed);
+            }
+        }
+        self.span_start(name, sim_s, fields)
+    }
+
+    /// Close a bracketed query span and resolve its sampling verdict.
+    pub fn query_span_end(&self, id: SpanId, sim_s: f64) {
+        let start_s = with_stack(self.inner.bus_id, |st| {
+            st.frames.iter().find(|f| f.id == id).map(|f| f.start_s)
+        });
+        self.span_end(id, sim_s);
+        let inner = &*self.inner;
+        if !inner.diverted.load(Ordering::Relaxed) {
+            return;
+        }
+        inner.diverted.store(false, Ordering::Relaxed);
+        let Some(side) = &inner.side else { return };
+        let dur = start_s.map_or(0.0, |s| (sim_s - s).max(0.0));
+        if dur < inner.keep_slow_s {
+            return; // fast sampled-out query: records are discarded
+        }
+        // Slow: promote the diverted records into the main stream.
+        let from = inner.side_start.load(Ordering::Relaxed);
+        let to = side.head();
+        if to.saturating_sub(from) > side.capacity() {
+            // The side ring lapped: a partial promotion would break
+            // well-nestedness, so drop the whole query and say so.
+            inner.dropped_slow.fetch_add(1, Ordering::Relaxed);
+            self.emit(
+                RecordKind::Event,
+                Sym::intern_static("trace.slow_query_dropped"),
+                sim_s,
+                0,
+                0,
+                &[("dur_s", Field::F64(dur))],
+            );
+            return;
+        }
+        for claim in from..to {
+            if let Some(rec) = side.read(claim) {
+                self.sink_main(&rec);
+            }
+        }
+    }
+
+    /// Snapshot of retained records (ring sinks and the JSONL mirror),
+    /// ordered by `seq`.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        let Some(ring) = &self.inner.ring else {
+            return Vec::new();
+        };
+        let head = ring.head();
+        let oldest = head.saturating_sub(ring.capacity());
+        let mut out: Vec<TraceRecord> = (oldest..head)
+            .filter_map(|c| ring.read(c))
+            .map(|r| r.to_record())
+            .collect();
+        out.sort_by_key(|r| r.seq);
+        out
     }
 
     /// Flush buffered output (JSONL).
     pub fn flush(&self) {
-        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
-        state.sink.flush();
+        drain_jsonl(&self.inner, true);
     }
 
-    /// Depth of the open-span stack (for tests and diagnostics).
+    /// Depth of the open-span stack on this thread (tests, diagnostics).
     pub fn open_spans(&self) -> usize {
-        self.inner
-            .state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .stack
-            .len()
+        with_stack(self.inner.bus_id, |st| st.frames.len())
     }
 }
 
@@ -633,6 +1412,135 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        let path =
+            std::env::temp_dir().join(format!("heaven_obs_drop_{}.jsonl", std::process::id()));
+        let bus = TraceBus::jsonl(&path).unwrap();
+        let s = bus.span_start("query", 0.0, &[]);
+        bus.event("tape.mount", 1.0, &[("medium", Field::U64(1))]);
+        bus.span_end(s, 2.0);
+        drop(bus); // no explicit flush
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3, "drop drains the pending ring");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_serialization_matches_reconstructed_records() {
+        let bus = TraceBus::ring(64);
+        let s = bus.span_start(
+            "heaven.st_fetch",
+            0.25,
+            &[
+                ("st", Field::U64(7)),
+                ("neg", Field::I64(-3)),
+                ("label", Field::dyn_str("warm fetch")),
+                ("policy", Field::StaticStr("estar")),
+            ],
+        );
+        bus.span_end(s, 1.0);
+        for rec in bus.records() {
+            // Round-trip through the compact form preserves the JSON the
+            // old Vec-based records produced.
+            let mut direct = String::new();
+            // records() reconstructs; re-serialize and compare shape.
+            direct.push_str(&rec.to_json());
+            assert!(
+                direct.contains("\"label\":\"warm fetch\"") || rec.kind != RecordKind::SpanStart
+            );
+            assert!(direct.starts_with('{') && direct.ends_with('}'));
+        }
+        let recs = bus.records();
+        assert_eq!(recs[0].fields.len(), 4);
+        assert_eq!(
+            recs[0].fields[2],
+            ("label", Field::Str("warm fetch".into()))
+        );
+    }
+
+    #[test]
+    fn head_sampling_keeps_every_nth_query() {
+        let bus = TraceBus::from_config(&TraceConfig::ring(1 << 12).with_sample(3));
+        for i in 0..9 {
+            let q = bus.query_span_start("query", i as f64, &[]);
+            bus.event("tape.mount", i as f64 + 0.1, &[]);
+            bus.query_span_end(q, i as f64 + 0.5);
+        }
+        let recs = bus.records();
+        check_well_nested(&recs).unwrap();
+        let queries = recs
+            .iter()
+            .filter(|r| r.kind == RecordKind::SpanStart && r.name == "query")
+            .count();
+        assert_eq!(queries, 3, "1-in-3 sampling keeps 3 of 9 queries");
+        // The sampling rate is announced in-band.
+        assert!(recs
+            .iter()
+            .any(|r| r.name == "trace.config"
+                && r.fields.contains(&("sample_1_in_n", Field::U64(3)))));
+    }
+
+    #[test]
+    fn slow_sampled_out_queries_are_kept() {
+        let cfg = TraceConfig::ring(1 << 12)
+            .with_sample(1000)
+            .with_keep_slow(5.0);
+        let bus = TraceBus::from_config(&cfg);
+        // Query 0 is head-sampled in; 1 is fast (dropped); 2 is slow (kept).
+        let q = bus.query_span_start("query", 0.0, &[]);
+        bus.query_span_end(q, 0.1);
+        let q = bus.query_span_start("query", 1.0, &[]);
+        bus.query_span_end(q, 1.1);
+        let q = bus.query_span_start("query", 2.0, &[("slow", Field::U64(1))]);
+        bus.event("tape.mount", 4.0, &[]);
+        bus.query_span_end(q, 9.0);
+        let recs = bus.records();
+        check_well_nested(&recs).unwrap();
+        let queries: Vec<_> = recs
+            .iter()
+            .filter(|r| r.kind == RecordKind::SpanStart && r.name == "query")
+            .collect();
+        assert_eq!(queries.len(), 2, "head-kept + slow-kept");
+        assert!(queries
+            .iter()
+            .any(|r| r.fields.contains(&("slow", Field::U64(1)))));
+        assert!(
+            recs.iter()
+                .any(|r| r.name == "tape.mount" && r.parent.is_some()),
+            "promoted slow query keeps its events"
+        );
+    }
+
+    #[test]
+    fn subsystem_levels_filter_records() {
+        let cfg = TraceConfig::ring(256)
+            .with_level(Subsystem::Tape, TraceLevel::Off)
+            .with_level(Subsystem::Hsm, TraceLevel::Spans);
+        let bus = TraceBus::from_config(&cfg);
+        let q = bus.span_start("query", 0.0, &[]);
+        let t = bus.span_start("tape.transfer", 0.1, &[]); // dropped (Off)
+        bus.event("tape.mount", 0.2, &[]); // dropped (Off)
+        bus.span_end(t, 0.3);
+        let h = bus.span_start("hsm.stage", 0.4, &[]); // kept (Spans)
+        bus.event("hsm.purge", 0.5, &[]); // dropped (Spans < All)
+        bus.span_end(h, 0.6);
+        bus.span_end(q, 1.0);
+        let recs = bus.records();
+        check_well_nested(&recs).unwrap();
+        let names: Vec<&str> = recs.iter().map(|r| r.name).collect();
+        assert!(!names.contains(&"tape.transfer"));
+        assert!(!names.contains(&"tape.mount"));
+        assert!(!names.contains(&"hsm.purge"));
+        assert!(names.contains(&"hsm.stage"));
+        // The hsm span still nests under the query.
+        let hsm = recs
+            .iter()
+            .find(|r| r.name == "hsm.stage" && r.kind == RecordKind::SpanStart)
+            .unwrap();
+        assert_eq!(hsm.parent, Some(q));
+    }
+
+    #[test]
     fn record_json_escapes_fields() {
         let rec = TraceRecord {
             seq: 1,
@@ -645,5 +1553,14 @@ mod tests {
             fields: vec![("msg", Field::Str("a\"b".into()))],
         };
         assert!(rec.to_json().contains(r#""msg":"a\"b""#));
+    }
+
+    #[test]
+    fn inline_and_escaped_strings_survive_the_compact_form() {
+        let bus = TraceBus::ring(16);
+        bus.event("e", 0.0, &[("msg", Field::dyn_str("a\"b\\c"))]);
+        let recs = bus.records();
+        assert_eq!(recs[0].fields[0].1, Field::Str("a\"b\\c".into()));
+        assert!(recs[0].to_json().contains(r#""msg":"a\"b\\c""#));
     }
 }

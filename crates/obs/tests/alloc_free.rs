@@ -1,0 +1,94 @@
+//! The allocation guarantee (ISSUE 6): once names are interned and the
+//! thread-local span stack exists, `span_start` / `event` / `span_end`
+//! on the ring path perform **zero heap allocations**.
+//!
+//! This file holds exactly one test: the counting global allocator sees
+//! every allocation in the process, so parallel tests in the same binary
+//! would pollute the measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use heaven_obs::{Field, TraceBus};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// One representative warm-query record mix: a query span with a dynamic
+/// label, a nested fetch span, and a six-field tape event (the widest
+/// instrumentation site in the tree).
+fn run_queries(bus: &TraceBus, rounds: u64) {
+    for i in 0..rounds {
+        let t = i as f64;
+        let q = bus.span_start("query", t, &[("label", Field::dyn_str("bench warm query"))]);
+        let f = bus.span_start(
+            "heaven.st_fetch",
+            t + 0.1,
+            &[("st", Field::U64(i)), ("bytes", Field::U64(1 << 16))],
+        );
+        bus.event(
+            "tape.transfer",
+            t + 0.2,
+            &[
+                ("medium", Field::U64(1)),
+                ("drive", Field::U64(0)),
+                ("offset", Field::U64(i * 4096)),
+                ("bytes", Field::U64(4096)),
+                ("dir", Field::StaticStr("read")),
+                ("cost_s", Field::F64(0.01)),
+            ],
+        );
+        bus.span_end(f, t + 0.5);
+        bus.span_end(q, t + 0.6);
+    }
+}
+
+#[test]
+fn ring_fast_path_is_allocation_free() {
+    let bus = TraceBus::ring(1 << 12);
+    // Warm-up: intern the names, build this thread's span stack, lap the
+    // ring once so no first-touch effects remain.
+    run_queries(&bus, 1024);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    run_queries(&bus, 256);
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "ring-path span_start/event/span_end must not allocate \
+         ({} allocations across 256 warm queries)",
+        after - before
+    );
+
+    // The records really landed (ring keeps the most recent 4096).
+    let recs = bus.records();
+    assert_eq!(recs.len(), 4096);
+    assert!(recs.iter().any(|r| r.name == "tape.transfer"));
+}

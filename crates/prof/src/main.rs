@@ -19,7 +19,7 @@
 use heaven_prof::flame::{collapsed_stacks, folded_total_s};
 use heaven_prof::tail::{render_table, tail_report};
 use heaven_prof::timeline::utilization_timeline;
-use heaven_prof::trace::{load_trace, total_sim_s};
+use heaven_prof::trace::{load_trace, sample_rate, total_sim_s};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -89,6 +89,13 @@ fn run(args: &Args) -> Result<(), String> {
         records.len(),
         total
     );
+    let rate = sample_rate(&records);
+    if rate > 1 {
+        println!(
+            "head-sampled 1-in-{rate} (--trace-sample): recorded query spans \
+             represent ~1/{rate} of the queries that ran"
+        );
+    }
 
     let folded = collapsed_stacks(&records);
     let flame_path = write("flame.folded", &folded)?;

@@ -86,7 +86,21 @@ pub fn load_trace(text: &str) -> Result<Vec<ProfRecord>, String> {
         }
         out.push(parse_record(line).map_err(|e| format!("line {}: {e}", i + 1))?);
     }
+    // Slow sampled-out queries are promoted to the sink after later
+    // records; restore the bus's total order.
+    out.sort_by_key(|r| r.seq);
     Ok(out)
+}
+
+/// The head-sampling rate announced in-band by the bus's `trace.config`
+/// event (1 when the trace is unsampled). Span totals over a sampled
+/// trace represent roughly `1/rate` of the queries that actually ran.
+pub fn sample_rate(records: &[ProfRecord]) -> u64 {
+    records
+        .iter()
+        .find(|r| r.kind == ProfKind::Event && r.name == "trace.config")
+        .and_then(|r| r.field_u64("sample_1_in_n"))
+        .unwrap_or(1)
 }
 
 /// The trace's end timestamp: the largest `sim_s` of any record (0 for an

@@ -43,7 +43,7 @@ fn workload_trace() -> String {
     let config = HeavenConfig {
         supertile_bytes: Some(4 * 500),
         clustering: ClusteringStrategy::EStar(AccessPattern::Uniform),
-        trace: TraceConfig::Memory { capacity: 1 << 16 },
+        trace: TraceConfig::ring(1 << 16),
         ..HeavenConfig::default()
     };
     let mut heaven = Heaven::new(adb, lib, config);

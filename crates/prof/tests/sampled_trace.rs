@@ -1,0 +1,101 @@
+//! Profiling a head-sampled trace (ISSUE 6): `heaven-prof` totals over a
+//! 1-in-n sampled trace, scaled back up by the in-band `trace.config`
+//! sampling rate, must land within tolerance of the unsampled totals for
+//! the same workload.
+
+use heaven_array::{CellType, MDArray, Minterval, Point, Tiling};
+use heaven_arraydb::ArrayDb;
+use heaven_core::{ExportMode, Heaven, HeavenConfig};
+use heaven_obs::TraceConfig;
+use heaven_prof::tail::tail_report;
+use heaven_prof::trace::{load_trace, sample_rate, ProfKind};
+use heaven_rdbms::Database;
+use heaven_tape::{DeviceProfile, SimClock, TapeLibrary};
+
+fn mi(b: &[(i64, i64)]) -> Minterval {
+    Minterval::new(b).unwrap()
+}
+
+/// Run the same bracketed-query workload under `trace` and return the
+/// trace as JSONL text. 24 identical cold queries (caches cleared before
+/// each), so per-query cost is roughly uniform and sampling every n-th
+/// query keeps a representative subset.
+fn workload_trace(trace: TraceConfig) -> String {
+    let clock = SimClock::new();
+    let db = Database::new(heaven_tape::DiskProfile::scsi2003(), clock.clone(), 4096);
+    let mut adb = ArrayDb::create(db).unwrap();
+    adb.create_collection("c", CellType::I32, 2).unwrap();
+    let arr = MDArray::generate(mi(&[(0, 59), (0, 59)]), CellType::I32, |p: &Point| {
+        (p.coord(0) * 1000 + p.coord(1)) as f64
+    });
+    let oid = adb
+        .insert_object(
+            "c",
+            &arr,
+            Tiling::Regular {
+                tile_shape: vec![10, 10],
+            },
+        )
+        .unwrap();
+    let lib = TapeLibrary::new(DeviceProfile::ibm3590(), 2, clock);
+    let config = HeavenConfig {
+        supertile_bytes: Some(4 * 500),
+        trace,
+        ..HeavenConfig::default()
+    };
+    let mut heaven = Heaven::new(adb, lib, config);
+    heaven.export_object(oid, ExportMode::Tct).unwrap();
+    heaven.clear_caches();
+    let region = mi(&[(10, 39), (10, 39)]);
+    for _ in 0..24 {
+        // Clear caches so every query pays the same staging cost.
+        heaven.clear_caches();
+        heaven.begin_query("cold scan");
+        heaven.fetch_region_hierarchical(oid, &region).unwrap();
+        heaven.end_query().unwrap();
+    }
+    heaven
+        .trace()
+        .records()
+        .iter()
+        .map(|r| r.to_json() + "\n")
+        .collect()
+}
+
+#[test]
+fn sampled_totals_scale_by_the_sampling_rate() {
+    const N: u64 = 4;
+    let full = load_trace(&workload_trace(TraceConfig::ring(1 << 16))).unwrap();
+    let sampled = load_trace(&workload_trace(TraceConfig::ring(1 << 16).with_sample(N))).unwrap();
+
+    assert_eq!(sample_rate(&full), 1);
+    assert_eq!(sample_rate(&sampled), N, "trace.config announces the rate");
+
+    let query_spans = |recs: &[heaven_prof::trace::ProfRecord]| {
+        recs.iter()
+            .filter(|r| r.kind == ProfKind::SpanStart && r.name == "query")
+            .count() as u64
+    };
+    let full_queries = query_spans(&full);
+    assert_eq!(full_queries, 24);
+    let kept = query_spans(&sampled);
+    assert_eq!(kept, full_queries.div_ceil(N));
+
+    // heaven-prof's tail report over the sampled trace, scaled back up by
+    // the sampling rate, recovers the unsampled query total. The queries
+    // are near-identical cold scans, so the tolerance is tight (25%).
+    let total = |recs: &[heaven_prof::trace::ProfRecord]| {
+        tail_report(recs)
+            .iter()
+            .find(|r| r.name == "query")
+            .map(|r| r.total_s)
+            .expect("query row in tail report")
+    };
+    let full_total = total(&full);
+    let scaled = total(&sampled) * N as f64;
+    assert!(full_total > 0.0, "cold queries advance simulated time");
+    assert!(
+        (scaled - full_total).abs() <= 0.25 * full_total,
+        "scaled sampled total {scaled} vs unsampled {full_total}"
+    );
+}

@@ -11,6 +11,7 @@ use crate::disk::{DiskManager, IoStats};
 use crate::error::{DbError, Result};
 use crate::page::{Page, PageId, META_PAGE};
 use crate::wal::{TxnId, Wal, WalRecord};
+use heaven_obs::{Field, TraceBus};
 use heaven_tape::{DiskProfile, SimClock};
 use std::collections::HashMap;
 
@@ -31,6 +32,7 @@ pub struct Database {
     wal: Wal,
     active: Option<ActiveTxn>,
     next_txn: TxnId,
+    bus: TraceBus,
 }
 
 impl Database {
@@ -42,6 +44,7 @@ impl Database {
             wal: Wal::new(profile, clock),
             active: None,
             next_txn: 1,
+            bus: TraceBus::noop(),
         }
     }
 
@@ -54,6 +57,16 @@ impl Database {
     pub fn attach_obs(&mut self, registry: &heaven_obs::MetricsRegistry) {
         self.buffer.attach_obs(registry);
         self.buffer.disk_mut().attach_obs(registry);
+    }
+
+    /// Attach the shared trace bus (commit / checkpoint / recovery events).
+    pub fn attach_trace(&mut self, bus: TraceBus) {
+        self.bus = bus;
+    }
+
+    /// The attached trace bus (no-op unless [`Database::attach_trace`]d).
+    pub fn trace(&self) -> &TraceBus {
+        &self.bus
     }
 
     /// Buffer-pool statistics.
@@ -168,6 +181,7 @@ impl Database {
         let txn = self.active.take().ok_or(DbError::NoActiveTxn)?;
         let mut touched: Vec<PageId> = txn.before.keys().copied().collect();
         touched.sort_unstable();
+        let pages = touched.len() as u64;
         for id in touched {
             let image = self.buffer.read(id)?;
             self.wal.append(WalRecord::PageImage {
@@ -177,6 +191,11 @@ impl Database {
             });
         }
         self.wal.append(WalRecord::Commit(txn.id));
+        self.bus.event(
+            "rdbms.commit",
+            self.clock().now_s(),
+            &[("txn", Field::U64(txn.id)), ("pages", Field::U64(pages))],
+        );
         Ok(())
     }
 
@@ -194,8 +213,18 @@ impl Database {
 
     /// Checkpoint: flush all dirty pages and truncate the log.
     pub fn checkpoint(&mut self) -> Result<()> {
+        let wal_records = self.wal.len() as u64;
+        let t0 = self.clock().now_s();
         self.buffer.flush_all()?;
         self.wal.truncate();
+        self.bus.event(
+            "rdbms.checkpoint",
+            self.clock().now_s(),
+            &[
+                ("wal_records", Field::U64(wal_records)),
+                ("cost_s", Field::F64(self.clock().now_s() - t0)),
+            ],
+        );
         Ok(())
     }
 
@@ -208,6 +237,7 @@ impl Database {
 
     /// Recover after a crash: redo all committed page images from the WAL.
     pub fn recover(&mut self) -> Result<()> {
+        let mut pages = 0u64;
         for (id, image) in self.wal.redo_images() {
             // Write through to disk directly; the page may post-date the
             // current file end if the crash lost the grow as well.
@@ -215,8 +245,14 @@ impl Database {
                 self.buffer.disk_mut().grow();
             }
             self.buffer.disk_mut().write_page(id, &image)?;
+            pages += 1;
         }
         self.buffer.drop_all_unflushed();
+        self.bus.event(
+            "rdbms.recover",
+            self.clock().now_s(),
+            &[("pages", Field::U64(pages))],
+        );
         Ok(())
     }
 

@@ -448,7 +448,7 @@ impl TapeLibrary {
                 ("drive", Field::U64(di as u64)),
                 ("offset", Field::U64(write_pos)),
                 ("bytes", Field::U64(len)),
-                ("dir", Field::Str("write".into())),
+                ("dir", Field::StaticStr("write")),
                 ("cost_s", Field::F64(transfer)),
             ],
         );
@@ -498,7 +498,7 @@ impl TapeLibrary {
                 ("drive", Field::U64(di as u64)),
                 ("offset", Field::U64(offset)),
                 ("bytes", Field::U64(len)),
-                ("dir", Field::Str("read".into())),
+                ("dir", Field::StaticStr("read")),
                 ("cost_s", Field::F64(transfer)),
             ],
         );

@@ -14,16 +14,32 @@ use heaven::obs::TraceConfig;
 use heaven::tape::DeviceProfile;
 
 /// `--trace <path>`: write a JSONL trace for offline profiling.
+/// `--trace-sample <n>`: keep every n-th query trace (head sampling);
+/// `--trace-slow <secs>`: keep sampled-out queries at least this slow.
 fn trace_config() -> TraceConfig {
+    let mut cfg = TraceConfig::off();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--trace" {
-            if let Some(path) = args.next() {
-                return TraceConfig::Jsonl { path: path.into() };
+        match a.as_str() {
+            "--trace" => {
+                if let Some(path) = args.next() {
+                    cfg.sink = TraceConfig::jsonl(path).sink;
+                }
             }
+            "--trace-sample" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    cfg.sample_1_in_n = n;
+                }
+            }
+            "--trace-slow" => {
+                if let Some(s) = args.next().and_then(|v| v.parse().ok()) {
+                    cfg.keep_slow_s = s;
+                }
+            }
+            _ => {}
         }
     }
-    TraceConfig::Off
+    cfg
 }
 
 fn main() {

@@ -5,6 +5,8 @@
 //!
 //! ```sh
 //! cargo run --release --example rasql_shell
+//! # with a head-sampled JSONL trace for heaven-prof:
+//! cargo run --release --example rasql_shell -- --trace /tmp/shell.jsonl --trace-sample 10
 //! heaven> select avg_cells(era[0:11, 0:29, 0:59]) from era
 //! heaven> select sat[0:99,0:99 | 400:511,400:511] from sat
 //! heaven> select scale(sat[0:255,0:255], 8) from sat
@@ -23,9 +25,39 @@
 use heaven::array::{CellType, Minterval, Tiling};
 use heaven::arraydb::{run, Value};
 use heaven::core::{ExportMode, HeavenConfig};
+use heaven::obs::TraceConfig;
 use heaven::tape::DeviceProfile;
 use heaven::workload::{cfd_field, climate_field, satellite_image};
 use std::io::{BufRead, Write};
+
+/// `--trace <path>`: write a JSONL trace for offline profiling.
+/// `--trace-sample <n>`: keep every n-th query trace (head sampling);
+/// `--trace-slow <secs>`: keep sampled-out queries at least this slow.
+fn trace_config() -> TraceConfig {
+    let mut cfg = TraceConfig::off();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace" => {
+                if let Some(path) = args.next() {
+                    cfg.sink = TraceConfig::jsonl(path).sink;
+                }
+            }
+            "--trace-sample" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    cfg.sample_1_in_n = n;
+                }
+            }
+            "--trace-slow" => {
+                if let Some(s) = args.next().and_then(|v| v.parse().ok()) {
+                    cfg.keep_slow_s = s;
+                }
+            }
+            _ => {}
+        }
+    }
+    cfg
+}
 
 fn main() {
     println!("HEAVEN RasQL shell — loading demo archive...");
@@ -34,6 +66,7 @@ fn main() {
         2,
         HeavenConfig {
             supertile_bytes: Some(1 << 20),
+            trace: trace_config(),
             ..HeavenConfig::default()
         },
     );

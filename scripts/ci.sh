@@ -10,6 +10,16 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (warnings denied)"
 cargo clippy --workspace --all-targets -- -D warnings -D clippy::redundant_clone
 
+echo "==> no allocating Field::Str at instrumentation sites"
+# Instrumentation call sites must use Field::StaticStr / Field::dyn_str /
+# numeric fields: Field::Str(..) heap-allocates on the trace fast path.
+if grep -rn 'Field::Str(' \
+    crates/tape/src crates/hsm/src crates/core/src \
+    crates/rdbms/src crates/arraydb/src; then
+  echo "Field::Str at an instrumentation site: use Field::StaticStr or Field::dyn_str"
+  exit 1
+fi
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -18,6 +28,12 @@ cargo bench --workspace --no-run
 
 echo "==> cargo test --workspace"
 cargo test -q --workspace
+
+echo "==> ring-path allocation guarantee"
+# Named explicitly so a regression in the zero-allocation fast path fails
+# CI even if someone filters these files out of the workspace run.
+cargo test -q -p heaven-obs --test alloc_free
+cargo test -q --test trace_alloc
 
 echo "==> heaven-prof smoke test"
 tmpdir="$(mktemp -d)"
@@ -36,5 +52,15 @@ grep -q '"windows":\[' "$tmpdir/prof/timeline.json" \
 # tail.txt: header plus at least one span row
 [ "$(wc -l < "$tmpdir/prof/tail.txt")" -ge 2 ] \
   || { echo "tail.txt has no span rows"; exit 1; }
+
+echo "==> heaven-prof smoke test (head-sampled trace)"
+cargo run --release --example quickstart -- \
+  --trace "$tmpdir/sampled.jsonl" --trace-sample 2 > /dev/null
+cargo run --release -p heaven-prof -- "$tmpdir/sampled.jsonl" \
+  --out-dir "$tmpdir/prof-sampled" > "$tmpdir/prof-sampled.out"
+grep -q 'head-sampled 1-in-2' "$tmpdir/prof-sampled.out" \
+  || { echo "heaven-prof did not report the sampling rate"; exit 1; }
+[ -s "$tmpdir/prof-sampled/flame.folded" ] \
+  || { echo "sampled-trace flame.folded missing or empty"; exit 1; }
 
 echo "CI gate passed."

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alloc_free-74b7e0d309d71b73.d: crates/obs/tests/alloc_free.rs
+
+/root/repo/target/debug/deps/alloc_free-74b7e0d309d71b73: crates/obs/tests/alloc_free.rs
+
+crates/obs/tests/alloc_free.rs:

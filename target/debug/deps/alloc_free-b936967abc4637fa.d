@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alloc_free-b936967abc4637fa.d: crates/obs/tests/alloc_free.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballoc_free-b936967abc4637fa.rmeta: crates/obs/tests/alloc_free.rs Cargo.toml
+
+crates/obs/tests/alloc_free.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

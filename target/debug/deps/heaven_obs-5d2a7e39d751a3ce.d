@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/heaven_obs-5d2a7e39d751a3ce.d: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+/root/repo/target/debug/deps/heaven_obs-5d2a7e39d751a3ce.d: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sym.rs crates/obs/src/trace.rs
 
-/root/repo/target/debug/deps/libheaven_obs-5d2a7e39d751a3ce.rlib: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+/root/repo/target/debug/deps/libheaven_obs-5d2a7e39d751a3ce.rlib: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sym.rs crates/obs/src/trace.rs
 
-/root/repo/target/debug/deps/libheaven_obs-5d2a7e39d751a3ce.rmeta: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+/root/repo/target/debug/deps/libheaven_obs-5d2a7e39d751a3ce.rmeta: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sym.rs crates/obs/src/trace.rs
 
 crates/obs/src/lib.rs:
 crates/obs/src/breakdown.rs:
 crates/obs/src/json.rs:
 crates/obs/src/metrics.rs:
+crates/obs/src/sym.rs:
 crates/obs/src/trace.rs:

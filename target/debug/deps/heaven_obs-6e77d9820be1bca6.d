@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/heaven_obs-6e77d9820be1bca6.d: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+/root/repo/target/debug/deps/heaven_obs-6e77d9820be1bca6.d: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sym.rs crates/obs/src/trace.rs
 
-/root/repo/target/debug/deps/heaven_obs-6e77d9820be1bca6: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+/root/repo/target/debug/deps/heaven_obs-6e77d9820be1bca6: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sym.rs crates/obs/src/trace.rs
 
 crates/obs/src/lib.rs:
 crates/obs/src/breakdown.rs:
 crates/obs/src/json.rs:
 crates/obs/src/metrics.rs:
+crates/obs/src/sym.rs:
 crates/obs/src/trace.rs:

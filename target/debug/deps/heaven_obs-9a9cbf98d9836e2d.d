@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/heaven_obs-9a9cbf98d9836e2d.d: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/heaven_obs-9a9cbf98d9836e2d.d: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sym.rs crates/obs/src/trace.rs Cargo.toml
 
-/root/repo/target/debug/deps/libheaven_obs-9a9cbf98d9836e2d.rmeta: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/libheaven_obs-9a9cbf98d9836e2d.rmeta: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sym.rs crates/obs/src/trace.rs Cargo.toml
 
 crates/obs/src/lib.rs:
 crates/obs/src/breakdown.rs:
 crates/obs/src/json.rs:
 crates/obs/src/metrics.rs:
+crates/obs/src/sym.rs:
 crates/obs/src/trace.rs:
 Cargo.toml:
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sampled_trace-c547ca484ba4242f.d: crates/prof/tests/sampled_trace.rs
+
+/root/repo/target/debug/deps/sampled_trace-c547ca484ba4242f: crates/prof/tests/sampled_trace.rs
+
+crates/prof/tests/sampled_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sampled_trace-d0fd8b17dd36555b.d: crates/prof/tests/sampled_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsampled_trace-d0fd8b17dd36555b.rmeta: crates/prof/tests/sampled_trace.rs Cargo.toml
+
+crates/prof/tests/sampled_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_alloc-2c7d40a9569dc399.d: tests/trace_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_alloc-2c7d40a9569dc399.rmeta: tests/trace_alloc.rs Cargo.toml
+
+tests/trace_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_alloc-38482b6da106df39.d: tests/trace_alloc.rs
+
+/root/repo/target/debug/deps/trace_alloc-38482b6da106df39: tests/trace_alloc.rs
+
+tests/trace_alloc.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/release/deps/heaven_obs-06bcb3b2427ebf22.d: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+/root/repo/target/release/deps/heaven_obs-06bcb3b2427ebf22.d: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sym.rs crates/obs/src/trace.rs
 
-/root/repo/target/release/deps/heaven_obs-06bcb3b2427ebf22: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+/root/repo/target/release/deps/heaven_obs-06bcb3b2427ebf22: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sym.rs crates/obs/src/trace.rs
 
 crates/obs/src/lib.rs:
 crates/obs/src/breakdown.rs:
 crates/obs/src/json.rs:
 crates/obs/src/metrics.rs:
+crates/obs/src/sym.rs:
 crates/obs/src/trace.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/heaven_obs-6e49f02908ed1b4b.d: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+/root/repo/target/release/deps/heaven_obs-6e49f02908ed1b4b.d: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sym.rs crates/obs/src/trace.rs
 
-/root/repo/target/release/deps/libheaven_obs-6e49f02908ed1b4b.rlib: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+/root/repo/target/release/deps/libheaven_obs-6e49f02908ed1b4b.rlib: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sym.rs crates/obs/src/trace.rs
 
-/root/repo/target/release/deps/libheaven_obs-6e49f02908ed1b4b.rmeta: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+/root/repo/target/release/deps/libheaven_obs-6e49f02908ed1b4b.rmeta: crates/obs/src/lib.rs crates/obs/src/breakdown.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sym.rs crates/obs/src/trace.rs
 
 crates/obs/src/lib.rs:
 crates/obs/src/breakdown.rs:
 crates/obs/src/json.rs:
 crates/obs/src/metrics.rs:
+crates/obs/src/sym.rs:
 crates/obs/src/trace.rs:

@@ -366,7 +366,7 @@ fn rasql_select_over_archive_produces_breakdown_and_trace() {
         1,
         HeavenConfig {
             supertile_bytes: Some(8 << 10),
-            trace: heaven::obs::TraceConfig::Memory { capacity: 1 << 16 },
+            trace: heaven::obs::TraceConfig::ring(1 << 16),
             ..HeavenConfig::default()
         },
     );

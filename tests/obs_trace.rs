@@ -134,7 +134,7 @@ fn has_ancestor(spans: &HashMap<SpanId, Span>, mut span: SpanId, name: &str) -> 
 
 #[test]
 fn cold_query_trace_is_well_nested_with_tape_events_under_the_query() {
-    let (mut heaven, oid) = archived_heaven(TraceConfig::Memory { capacity: 1 << 16 });
+    let (mut heaven, oid) = archived_heaven(TraceConfig::ring(1 << 16));
     heaven.occupy_drives().unwrap(); // force a media exchange
 
     // A region past the start of the tape, so the drive must locate
@@ -179,12 +179,13 @@ fn cold_query_trace_is_well_nested_with_tape_events_under_the_query() {
 fn jsonl_sink_captures_the_full_cold_query_trace() {
     let path = std::env::temp_dir().join(format!("heaven_trace_{}.jsonl", std::process::id()));
     let _ = std::fs::remove_file(&path);
-    let (mut heaven, oid) = archived_heaven(TraceConfig::Jsonl { path: path.clone() });
+    let (mut heaven, oid) = archived_heaven(TraceConfig::jsonl(path.clone()));
     heaven.occupy_drives().unwrap();
     heaven
         .fetch_region_hierarchical(oid, &mi(&[(32, 63), (32, 63)]))
         .unwrap();
-    // end_query flushes the sink; the mirror ring answers records().
+    // The JSONL sink drains in batches: flush the tail before reading.
+    heaven.trace().flush();
     let recs = heaven.trace().records();
     check_well_nested(&recs).expect("mirrored trace well-nested");
 
@@ -213,6 +214,52 @@ fn jsonl_sink_captures_the_full_cold_query_trace() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// A run killed mid-query (panic with the query bracket still open) must
+/// leave a parseable JSONL prefix behind: the bus drains and flushes its
+/// pending records when it is dropped during unwinding.
+#[test]
+fn aborted_run_leaves_a_parseable_jsonl_prefix() {
+    let path =
+        std::env::temp_dir().join(format!("heaven_trace_abort_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    // Silence the expected panic's backtrace in test output.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let (mut heaven, oid) = archived_heaven(TraceConfig::jsonl(path.clone()));
+        heaven
+            .fetch_region_hierarchical(oid, &mi(&[(0, 31), (0, 31)]))
+            .unwrap();
+        // Die inside an open query bracket, with no flush anywhere.
+        heaven.begin_query("doomed");
+        heaven
+            .fetch_region_hierarchical(oid, &mi(&[(32, 63), (32, 63)]))
+            .unwrap();
+        panic!("simulated crash mid-query");
+    }));
+    std::panic::set_hook(prev_hook);
+    assert!(result.is_err(), "the workload must have panicked");
+
+    let text = std::fs::read_to_string(&path).expect("trace file exists after the crash");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines.len() > 10,
+        "the drop-flush preserved the trace prefix ({} lines)",
+        lines.len()
+    );
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "bad line: {line}"
+        );
+    }
+    // The completed first query made it to the file...
+    assert!(lines.iter().any(|l| l.contains("\"name\":\"query\"")));
+    // ...and so did records from the in-flight doomed query.
+    assert!(text.contains("doomed"), "records up to the crash are kept");
+    let _ = std::fs::remove_file(&path);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -226,7 +273,7 @@ proptest! {
             1..5,
         ),
     ) {
-        let (mut heaven, oid) = archived_heaven(TraceConfig::Memory { capacity: 1 << 16 });
+        let (mut heaven, oid) = archived_heaven(TraceConfig::ring(1 << 16));
         for (x0, dx, y0, dy, flush) in queries {
             if flush {
                 heaven.clear_caches();
@@ -254,5 +301,54 @@ proptest! {
         prop_assert!(depth >= 2);
         prop_assert_eq!(heaven.trace().open_spans(), 0);
         assert_children_fit(&collect_spans(&recs));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Head/tail sampling never breaks well-nestedness: a sampled-out
+    /// query disappears as a whole subtree (or is promoted as a whole
+    /// when slow), so whatever remains is still a well-nested forest
+    /// with exactly the expected number of query spans.
+    fn sampled_query_traces_stay_well_nested(
+        n in 1u64..6,
+        keep_all_slow in any::<bool>(),
+        queries in prop::collection::vec(
+            (0i64..48, 1i64..16, 0i64..48, 1i64..16, any::<bool>()),
+            1..6,
+        ),
+    ) {
+        let mut trace = TraceConfig::ring(1 << 16).with_sample(n);
+        if keep_all_slow {
+            // Every sampled-out query qualifies as "slow": the tail
+            // capture path must promote whole subtrees in order.
+            trace = trace.with_keep_slow(0.0);
+        }
+        let (mut heaven, oid) = archived_heaven(trace);
+        for &(x0, dx, y0, dy, flush) in &queries {
+            if flush {
+                heaven.clear_caches();
+            }
+            let region = mi(&[
+                (x0, (x0 + dx).min(63)),
+                (y0, (y0 + dy).min(63)),
+            ]);
+            heaven.fetch_region_hierarchical(oid, &region).unwrap();
+        }
+        let recs = heaven.trace().records();
+        check_well_nested(&recs).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(heaven.trace().open_spans(), 0);
+        assert_children_fit(&collect_spans(&recs));
+        let kept = recs
+            .iter()
+            .filter(|r| r.kind == RecordKind::SpanStart && r.name == "query")
+            .count();
+        let expected = if keep_all_slow {
+            queries.len() // head-kept + promoted slow = everything
+        } else {
+            queries.len().div_ceil(n as usize) // every n-th query
+        };
+        prop_assert_eq!(kept, expected, "n={} queries={}", n, queries.len());
     }
 }
