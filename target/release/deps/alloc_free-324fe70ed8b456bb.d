@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/alloc_free-324fe70ed8b456bb.d: crates/obs/tests/alloc_free.rs
+
+/root/repo/target/release/deps/alloc_free-324fe70ed8b456bb: crates/obs/tests/alloc_free.rs
+
+crates/obs/tests/alloc_free.rs:

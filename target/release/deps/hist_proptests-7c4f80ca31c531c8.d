@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hist_proptests-7c4f80ca31c531c8.d: crates/obs/tests/hist_proptests.rs
+
+/root/repo/target/release/deps/hist_proptests-7c4f80ca31c531c8: crates/obs/tests/hist_proptests.rs
+
+crates/obs/tests/hist_proptests.rs:
