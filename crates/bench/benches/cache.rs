@@ -11,7 +11,7 @@ fn bench_st_cache(c: &mut Criterion) {
     for policy in EvictionPolicy::all() {
         c.bench_function(&format!("st_cache/{} mixed ops", policy.name()), |b| {
             b.iter(|| {
-                let mut cache = SuperTileCache::new(100 << 20, policy, None);
+                let cache = SuperTileCache::new(100 << 20, policy, None);
                 let mut rng = StdRng::seed_from_u64(1);
                 let mut hits = 0u32;
                 for i in 0..2000u64 {
@@ -35,7 +35,7 @@ fn bench_tile_cache(c: &mut Criterion) {
         .collect();
     c.bench_function("tile_cache/lru mixed ops", |b| {
         b.iter(|| {
-            let mut cache = TileCache::new(128 * 4096);
+            let cache = TileCache::new(128 * 4096);
             let mut rng = StdRng::seed_from_u64(2);
             let mut hits = 0u32;
             for _ in 0..2000 {

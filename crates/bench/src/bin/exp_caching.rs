@@ -47,7 +47,7 @@ fn main() {
                 &registry,
             );
             // Phantom cache entries: sizes accounted, no bytes held.
-            let mut cache = SuperTileCache::new(cache_bytes, policy, None);
+            let cache = SuperTileCache::new(cache_bytes, policy, None);
             let clock = archive.clock();
             let mut total_s = 0.0;
             let mut tape_fetches = 0u64;

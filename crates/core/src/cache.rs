@@ -6,12 +6,24 @@
 //! strategies (§3.7.3): LRU, LFU, FIFO and a cost-aware policy weighting
 //! the tertiary refetch cost per byte — a super-tile that is expensive to
 //! re-fetch (deep on a rarely mounted medium) is kept longer.
+//!
+//! Both caches are **lock-striped**: entries live in N shards selected by
+//! a Fibonacci hash of the id, each shard behind its own cache-padded
+//! mutex, so concurrent sessions touching different super-tiles never
+//! serialize on one lock. All methods take `&self`; `new()` builds a
+//! single shard (byte-identical behavior to the pre-concurrency cache)
+//! and [`SuperTileCache::with_shards`] stripes for parallel load.
+//! Eviction and capacity are per shard (total capacity divided evenly),
+//! so `used() <= capacity()` holds at every instant. Time a caller spends
+//! blocked on a busy stripe is recorded in `cache.shard_lock_wait_s`.
 
 use crate::supertile::SuperTileId;
 use bytes::Bytes;
+use crossbeam::utils::CachePadded;
 use heaven_array::{Tile, TileId};
 use heaven_obs::{Counter, FloatCounter, Histogram, MetricsRegistry, TraceBus};
 use heaven_tape::{DiskProfile, SimClock};
+use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -134,6 +146,11 @@ const MEM_CACHE_NAMES: CacheMetricNames = CacheMetricNames {
     io_hist: "cache.mem.io_hist_s",
 };
 
+/// Registry name of the shared stripe-wait total. Both caches fold into
+/// the same counter: the interesting signal is "how much host time do
+/// sessions lose to cache lock pressure", not which cache lost it.
+pub const SHARD_LOCK_WAIT_NAME: &str = "cache.shard_lock_wait_s";
+
 /// Metric handles backing [`CacheStats`]; the registry is the source of
 /// truth and the struct is reconstructed on demand.
 #[derive(Debug, Clone)]
@@ -146,6 +163,8 @@ struct CacheMetrics {
     io_s: FloatCounter,
     /// Per-access disk-I/O duration distribution (simulated seconds).
     io_hist: Histogram,
+    /// Host seconds spent blocked on a busy cache stripe.
+    lock_wait_s: FloatCounter,
 }
 
 impl CacheMetrics {
@@ -158,6 +177,7 @@ impl CacheMetrics {
             bytes_served: registry.counter(names.bytes_served),
             io_s: registry.fcounter(names.io_s),
             io_hist: registry.histogram(names.io_hist),
+            lock_wait_s: registry.fcounter(SHARD_LOCK_WAIT_NAME),
         }
     }
 
@@ -169,6 +189,7 @@ impl CacheMetrics {
         next.bytes_served.add(self.bytes_served.get());
         next.io_s.add(self.io_s.get());
         next.io_hist.merge_from(&self.io_hist);
+        next.lock_wait_s.add(self.lock_wait_s.get());
         *self = next;
     }
 
@@ -181,6 +202,12 @@ impl CacheMetrics {
             io_s: self.io_s.get(),
         }
     }
+}
+
+/// Fibonacci-hash shard index for an id among `n` (power-of-two) shards.
+#[inline]
+fn shard_index(id: u64, n: usize) -> usize {
+    ((id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize) & (n - 1)
 }
 
 #[derive(Debug)]
@@ -196,34 +223,84 @@ struct StEntry {
     refetch_cost_s: f64,
 }
 
-/// The disk-resident super-tile cache.
+/// One lock stripe of the super-tile cache.
+#[derive(Debug, Default)]
+struct StShard {
+    capacity: u64,
+    used: u64,
+    entries: HashMap<SuperTileId, StEntry>,
+    counter: u64,
+}
+
+impl StShard {
+    fn pick_victim(&self, policy: EvictionPolicy) -> Option<SuperTileId> {
+        let score = |e: &StEntry| -> f64 {
+            match policy {
+                EvictionPolicy::Lru => e.last_access as f64,
+                EvictionPolicy::Lfu => e.access_count as f64 * 1e12 + e.last_access as f64,
+                EvictionPolicy::Fifo => e.insert_seq as f64,
+                EvictionPolicy::CostAware => {
+                    // keep entries whose refetch is expensive per byte and
+                    // that are used often; evict the cheapest-to-lose first
+                    e.refetch_cost_s * e.access_count as f64 / (e.size.max(1) as f64)
+                }
+            }
+        };
+        self.entries
+            .iter()
+            .min_by(|(_, a), (_, b)| score(a).partial_cmp(&score(b)).expect("no NaN"))
+            .map(|(&id, _)| id)
+    }
+}
+
+/// The disk-resident super-tile cache (lock-striped, shareable by `&self`
+/// across session threads).
 #[derive(Debug)]
 pub struct SuperTileCache {
     capacity: u64,
-    used: u64,
     policy: EvictionPolicy,
-    entries: HashMap<SuperTileId, StEntry>,
-    counter: u64,
+    shards: Box<[CachePadded<Mutex<StShard>>]>,
     metrics: CacheMetrics,
     bus: TraceBus,
     disk: Option<(DiskProfile, SimClock)>,
 }
 
 impl SuperTileCache {
-    /// Create a cache of `capacity` bytes. When `disk` is given, hits and
-    /// stores charge disk I/O costs to the clock (the cache lives on
+    /// Create a single-shard cache of `capacity` bytes — the exact
+    /// behavior of the pre-concurrency cache. When `disk` is given, hits
+    /// and stores charge disk I/O costs to the clock (the cache lives on
     /// secondary storage).
     pub fn new(
         capacity: u64,
         policy: EvictionPolicy,
         disk: Option<(DiskProfile, SimClock)>,
     ) -> SuperTileCache {
+        SuperTileCache::with_shards(capacity, policy, disk, 1)
+    }
+
+    /// Create a cache striped over `shards` locks (rounded up to a power
+    /// of two). Each stripe owns `capacity / shards` bytes, so the rolled
+    /// up `used()` can never exceed `capacity()`.
+    pub fn with_shards(
+        capacity: u64,
+        policy: EvictionPolicy,
+        disk: Option<(DiskProfile, SimClock)>,
+        shards: usize,
+    ) -> SuperTileCache {
+        let n = shards.max(1).next_power_of_two();
+        let per_shard = capacity / n as u64;
+        let shards: Box<[_]> = (0..n)
+            .map(|_| {
+                CachePadded::new(Mutex::new(StShard {
+                    capacity: per_shard,
+                    ..StShard::default()
+                }))
+            })
+            .collect();
         SuperTileCache {
-            capacity,
-            used: 0,
+            capacity: per_shard * n as u64,
             policy,
-            entries: HashMap::new(),
-            counter: 0,
+            shards,
             metrics: CacheMetrics::new(&MetricsRegistry::new(), ST_CACHE_NAMES),
             bus: TraceBus::noop(),
             disk,
@@ -243,14 +320,19 @@ impl SuperTileCache {
         self.metrics.stats()
     }
 
-    /// Bytes currently cached.
+    /// Bytes currently cached, rolled up across shards.
     pub fn used(&self) -> u64 {
-        self.used
+        self.shards.iter().map(|s| s.lock().used).sum()
     }
 
-    /// Capacity in bytes.
+    /// Capacity in bytes (sum of the per-shard capacities).
     pub fn capacity(&self) -> u64 {
         self.capacity
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// The eviction policy.
@@ -260,15 +342,26 @@ impl SuperTileCache {
 
     /// Whether a super-tile is cached (no stats/cost effect).
     pub fn contains(&self, st: SuperTileId) -> bool {
-        self.entries.contains_key(&st)
+        self.lock_shard(st).entries.contains_key(&st)
     }
 
-    /// Advance the clock by the disk access cost and return the seconds
-    /// charged (0 for a memory-resident cache).
-    fn charge(&self, bytes: u64) -> f64 {
+    /// Lock the stripe owning `st`, folding any blocked host time into
+    /// `cache.shard_lock_wait_s`.
+    fn lock_shard(&self, st: SuperTileId) -> MutexGuard<'_, StShard> {
+        let (guard, wait_s) = self.shards[shard_index(st, self.shards.len())].lock_timed();
+        if wait_s > 0.0 {
+            self.metrics.lock_wait_s.add(wait_s);
+        }
+        guard
+    }
+
+    /// Advance a clock by the disk access cost and return the seconds
+    /// charged (0 for a memory-resident cache). Costs go to `lane` when
+    /// given (a session's private time lane), else to the shared clock.
+    fn charge(&self, bytes: u64, lane: Option<&SimClock>) -> f64 {
         if let Some((profile, clock)) = &self.disk {
             let s = profile.access_time_s(bytes);
-            clock.advance_s(s);
+            lane.unwrap_or(clock).advance_s(s);
             s
         } else {
             0.0
@@ -276,17 +369,32 @@ impl SuperTileCache {
     }
 
     /// The current simulated time (0 for a memory-resident cache).
-    fn now_s(&self) -> f64 {
-        self.disk.as_ref().map(|(_, c)| c.now_s()).unwrap_or(0.0)
+    fn now_s(&self, lane: Option<&SimClock>) -> f64 {
+        match (lane, &self.disk) {
+            (Some(lane), _) => lane.now_s(),
+            (None, Some((_, c))) => c.now_s(),
+            (None, None) => 0.0,
+        }
     }
 
     /// Look up a super-tile payload. The returned `Bytes` aliases the
     /// cached buffer — a hit bumps a refcount, it does not copy the
     /// payload (the simulated disk read is still charged).
-    pub fn get(&mut self, st: SuperTileId) -> Option<Bytes> {
-        self.counter += 1;
-        let counter = self.counter;
-        match self.entries.get_mut(&st) {
+    pub fn get(&self, st: SuperTileId) -> Option<Bytes> {
+        self.get_impl(st, None)
+    }
+
+    /// [`SuperTileCache::get`] charging the disk cost to a session's
+    /// private clock lane instead of the shared clock.
+    pub fn get_clocked(&self, st: SuperTileId, lane: &SimClock) -> Option<Bytes> {
+        self.get_impl(st, Some(lane))
+    }
+
+    fn get_impl(&self, st: SuperTileId, lane: Option<&SimClock>) -> Option<Bytes> {
+        let mut shard = self.lock_shard(st);
+        shard.counter += 1;
+        let counter = shard.counter;
+        match shard.entries.get_mut(&st) {
             Some(e) => {
                 e.last_access = counter;
                 e.access_count += 1;
@@ -294,14 +402,14 @@ impl SuperTileCache {
                 self.metrics.bytes_served.add(e.size);
                 let size = e.size;
                 let payload = e.payload.clone();
-                let io = self.charge(size);
+                let io = self.charge(size, lane);
                 self.metrics.io_s.add(io);
                 if self.disk.is_some() {
                     self.metrics.io_hist.observe(io);
                 }
                 self.bus.event(
                     "cache.st.hit",
-                    self.now_s(),
+                    self.now_s(lane),
                     &[("st", st.into()), ("bytes", size.into())],
                 );
                 Some(payload)
@@ -309,44 +417,66 @@ impl SuperTileCache {
             None => {
                 self.metrics.misses.inc();
                 self.bus
-                    .event("cache.st.miss", self.now_s(), &[("st", st.into())]);
+                    .event("cache.st.miss", self.now_s(lane), &[("st", st.into())]);
                 None
             }
         }
     }
 
     /// Insert a payload with its estimated tertiary refetch cost; evicts
-    /// per policy until it fits. Payloads larger than the whole cache are
-    /// not admitted. Accepts anything convertible to [`Bytes`]
-    /// (`Vec<u8>` converts in O(1)).
-    pub fn put(&mut self, st: SuperTileId, payload: impl Into<Bytes>, refetch_cost_s: f64) {
+    /// per policy until it fits. Payloads larger than a shard are not
+    /// admitted. Accepts anything convertible to [`Bytes`] (`Vec<u8>`
+    /// converts in O(1)).
+    pub fn put(&self, st: SuperTileId, payload: impl Into<Bytes>, refetch_cost_s: f64) {
         let payload = payload.into();
         let size = payload.len() as u64;
-        self.put_sized(st, payload, size, refetch_cost_s);
+        self.put_sized(st, payload, size, refetch_cost_s, None);
+    }
+
+    /// [`SuperTileCache::put`] charging the disk cost to a session's
+    /// private clock lane instead of the shared clock.
+    pub fn put_clocked(
+        &self,
+        st: SuperTileId,
+        payload: impl Into<Bytes>,
+        refetch_cost_s: f64,
+        lane: &SimClock,
+    ) {
+        let payload = payload.into();
+        let size = payload.len() as u64;
+        self.put_sized(st, payload, size, refetch_cost_s, Some(lane));
     }
 
     /// Insert a phantom entry: accounted as `size` bytes without holding
     /// them (paper-scale experiments). Lookups return an empty payload.
-    pub fn put_phantom(&mut self, st: SuperTileId, size: u64, refetch_cost_s: f64) {
-        self.put_sized(st, Bytes::new(), size, refetch_cost_s);
+    pub fn put_phantom(&self, st: SuperTileId, size: u64, refetch_cost_s: f64) {
+        self.put_sized(st, Bytes::new(), size, refetch_cost_s, None);
     }
 
-    fn put_sized(&mut self, st: SuperTileId, payload: Bytes, size: u64, refetch_cost_s: f64) {
-        if size > self.capacity {
+    fn put_sized(
+        &self,
+        st: SuperTileId,
+        payload: Bytes,
+        size: u64,
+        refetch_cost_s: f64,
+        lane: Option<&SimClock>,
+    ) {
+        let mut shard = self.lock_shard(st);
+        if size > shard.capacity {
             return;
         }
-        if let Some(old) = self.entries.remove(&st) {
-            self.used -= old.size;
+        if let Some(old) = shard.entries.remove(&st) {
+            shard.used -= old.size;
         }
-        while self.used + size > self.capacity {
-            match self.pick_victim() {
+        while shard.used + size > shard.capacity {
+            match shard.pick_victim(self.policy) {
                 Some(victim) => {
-                    let e = self.entries.remove(&victim).expect("victim exists");
-                    self.used -= e.size;
+                    let e = shard.entries.remove(&victim).expect("victim exists");
+                    shard.used -= e.size;
                     self.metrics.evictions.inc();
                     self.bus.event(
                         "cache.st.evict",
-                        self.now_s(),
+                        self.now_s(lane),
                         &[
                             ("st", victim.into()),
                             ("bytes", e.size.into()),
@@ -357,86 +487,94 @@ impl SuperTileCache {
                 None => return,
             }
         }
-        self.counter += 1;
-        let io = self.charge(size);
+        shard.counter += 1;
+        let counter = shard.counter;
+        let io = self.charge(size, lane);
         self.metrics.io_s.add(io);
         if self.disk.is_some() {
             self.metrics.io_hist.observe(io);
         }
         self.bus.event(
             "cache.st.admit",
-            self.now_s(),
+            self.now_s(lane),
             &[
                 ("st", st.into()),
                 ("bytes", size.into()),
                 ("refetch_s", refetch_cost_s.into()),
             ],
         );
-        self.entries.insert(
+        shard.entries.insert(
             st,
             StEntry {
                 payload,
                 size,
-                last_access: self.counter,
+                last_access: counter,
                 access_count: 1,
-                insert_seq: self.counter,
+                insert_seq: counter,
                 refetch_cost_s,
             },
         );
-        self.used += size;
-    }
-
-    fn pick_victim(&self) -> Option<SuperTileId> {
-        let score = |e: &StEntry| -> f64 {
-            match self.policy {
-                EvictionPolicy::Lru => e.last_access as f64,
-                EvictionPolicy::Lfu => e.access_count as f64 * 1e12 + e.last_access as f64,
-                EvictionPolicy::Fifo => e.insert_seq as f64,
-                EvictionPolicy::CostAware => {
-                    // keep entries whose refetch is expensive per byte and
-                    // that are used often; evict the cheapest-to-lose first
-                    e.refetch_cost_s * e.access_count as f64 / (e.size.max(1) as f64)
-                }
-            }
-        };
-        self.entries
-            .iter()
-            .min_by(|(_, a), (_, b)| score(a).partial_cmp(&score(b)).expect("no NaN"))
-            .map(|(&id, _)| id)
+        shard.used += size;
     }
 
     /// Drop an entry (e.g. after the super-tile was rewritten).
-    pub fn invalidate(&mut self, st: SuperTileId) {
-        if let Some(e) = self.entries.remove(&st) {
-            self.used -= e.size;
+    pub fn invalidate(&self, st: SuperTileId) {
+        let mut shard = self.lock_shard(st);
+        if let Some(e) = shard.entries.remove(&st) {
+            shard.used -= e.size;
         }
     }
 
     /// Drop everything.
-    pub fn clear(&mut self) {
-        self.entries.clear();
-        self.used = 0;
+    pub fn clear(&self) {
+        for stripe in self.shards.iter() {
+            let mut shard = stripe.lock();
+            shard.entries.clear();
+            shard.used = 0;
+        }
     }
 }
 
-/// The main-memory tile cache: decoded tiles, LRU, no access cost.
-#[derive(Debug)]
-pub struct TileCache {
+/// One lock stripe of the tile cache.
+#[derive(Debug, Default)]
+struct MemShard {
     capacity: u64,
     used: u64,
     entries: HashMap<TileId, (Tile, u64)>,
     counter: u64,
+}
+
+/// The main-memory tile cache: decoded tiles, LRU, no access cost.
+/// Lock-striped like [`SuperTileCache`]; `new()` is single-shard.
+#[derive(Debug)]
+pub struct TileCache {
+    capacity: u64,
+    shards: Box<[CachePadded<Mutex<MemShard>>]>,
     metrics: CacheMetrics,
 }
 
 impl TileCache {
-    /// Create a tile cache of `capacity` payload bytes.
+    /// Create a single-shard tile cache of `capacity` payload bytes.
     pub fn new(capacity: u64) -> TileCache {
+        TileCache::with_shards(capacity, 1)
+    }
+
+    /// Create a tile cache striped over `shards` locks (rounded up to a
+    /// power of two), each owning `capacity / shards` bytes.
+    pub fn with_shards(capacity: u64, shards: usize) -> TileCache {
+        let n = shards.max(1).next_power_of_two();
+        let per_shard = capacity / n as u64;
+        let shards: Box<[_]> = (0..n)
+            .map(|_| {
+                CachePadded::new(Mutex::new(MemShard {
+                    capacity: per_shard,
+                    ..MemShard::default()
+                }))
+            })
+            .collect();
         TileCache {
-            capacity,
-            used: 0,
-            entries: HashMap::new(),
-            counter: 0,
+            capacity: per_shard * n as u64,
+            shards,
             metrics: CacheMetrics::new(&MetricsRegistry::new(), MEM_CACHE_NAMES),
         }
     }
@@ -452,13 +590,37 @@ impl TileCache {
         self.metrics.stats()
     }
 
+    /// Bytes currently cached, rolled up across shards.
+    pub fn used(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().used).sum()
+    }
+
+    /// Capacity in bytes (sum of the per-shard capacities).
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn lock_shard(&self, id: TileId) -> MutexGuard<'_, MemShard> {
+        let (guard, wait_s) = self.shards[shard_index(id, self.shards.len())].lock_timed();
+        if wait_s > 0.0 {
+            self.metrics.lock_wait_s.add(wait_s);
+        }
+        guard
+    }
+
     /// Look up a tile. The returned tile shares the cached payload (the
     /// clone is a refcount bump); a caller that mutates it detaches via
     /// copy-on-write without disturbing the cached copy.
-    pub fn get(&mut self, id: TileId) -> Option<Tile> {
-        self.counter += 1;
-        let c = self.counter;
-        match self.entries.get_mut(&id) {
+    pub fn get(&self, id: TileId) -> Option<Tile> {
+        let mut shard = self.lock_shard(id);
+        shard.counter += 1;
+        let c = shard.counter;
+        match shard.entries.get_mut(&id) {
             Some((t, last)) => {
                 *last = c;
                 self.metrics.hits.inc();
@@ -474,46 +636,52 @@ impl TileCache {
 
     /// Insert a tile, evicting LRU entries as needed. The payload is
     /// frozen into shared form (O(1)) so subsequent `get`s are zero-copy.
-    pub fn put(&mut self, mut tile: Tile) {
+    pub fn put(&self, mut tile: Tile) {
         tile.data.freeze_payload();
         let len = tile.payload_bytes();
-        if len > self.capacity {
+        let mut shard = self.lock_shard(tile.id);
+        if len > shard.capacity {
             return;
         }
-        if let Some((old, _)) = self.entries.remove(&tile.id) {
-            self.used -= old.payload_bytes();
+        if let Some((old, _)) = shard.entries.remove(&tile.id) {
+            shard.used -= old.payload_bytes();
         }
-        while self.used + len > self.capacity {
-            let victim = self
+        while shard.used + len > shard.capacity {
+            let victim = shard
                 .entries
                 .iter()
                 .min_by_key(|(_, (_, last))| *last)
                 .map(|(&id, _)| id);
             match victim {
                 Some(v) => {
-                    let (t, _) = self.entries.remove(&v).expect("victim exists");
-                    self.used -= t.payload_bytes();
+                    let (t, _) = shard.entries.remove(&v).expect("victim exists");
+                    shard.used -= t.payload_bytes();
                     self.metrics.evictions.inc();
                 }
                 None => return,
             }
         }
-        self.counter += 1;
-        self.used += len;
-        self.entries.insert(tile.id, (tile, self.counter));
+        shard.counter += 1;
+        let counter = shard.counter;
+        shard.used += len;
+        shard.entries.insert(tile.id, (tile, counter));
     }
 
     /// Drop an entry.
-    pub fn invalidate(&mut self, id: TileId) {
-        if let Some((t, _)) = self.entries.remove(&id) {
-            self.used -= t.payload_bytes();
+    pub fn invalidate(&self, id: TileId) {
+        let mut shard = self.lock_shard(id);
+        if let Some((t, _)) = shard.entries.remove(&id) {
+            shard.used -= t.payload_bytes();
         }
     }
 
     /// Drop everything.
-    pub fn clear(&mut self) {
-        self.entries.clear();
-        self.used = 0;
+    pub fn clear(&self) {
+        for stripe in self.shards.iter() {
+            let mut shard = stripe.lock();
+            shard.entries.clear();
+            shard.used = 0;
+        }
     }
 }
 
@@ -532,7 +700,7 @@ mod tests {
 
     #[test]
     fn put_get_roundtrip() {
-        let mut c = cache(1000, EvictionPolicy::Lru);
+        let c = cache(1000, EvictionPolicy::Lru);
         c.put(1, payload(100, 0xAA), 30.0);
         assert_eq!(c.get(1).unwrap(), payload(100, 0xAA));
         assert!(c.get(2).is_none());
@@ -542,7 +710,7 @@ mod tests {
 
     #[test]
     fn hits_alias_the_cached_buffer() {
-        let mut c = cache(1000, EvictionPolicy::Lru);
+        let c = cache(1000, EvictionPolicy::Lru);
         c.put(1, payload(100, 7), 1.0);
         let a = c.get(1).unwrap();
         let b = c.get(1).unwrap();
@@ -557,7 +725,7 @@ mod tests {
     #[test]
     fn tile_cache_hits_share_payload() {
         let dom = Minterval::new(&[(0, 9)]).unwrap();
-        let mut c = TileCache::new(1 << 20);
+        let c = TileCache::new(1 << 20);
         c.put(Tile::new(1, 1, MDArray::zeros(dom, CellType::F64)));
         let a = c.get(1).unwrap();
         let b = c.get(1).unwrap();
@@ -569,7 +737,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recent() {
-        let mut c = cache(300, EvictionPolicy::Lru);
+        let c = cache(300, EvictionPolicy::Lru);
         c.put(1, payload(100, 1), 1.0);
         c.put(2, payload(100, 2), 1.0);
         c.put(3, payload(100, 3), 1.0);
@@ -582,7 +750,7 @@ mod tests {
 
     #[test]
     fn fifo_evicts_oldest_insert() {
-        let mut c = cache(300, EvictionPolicy::Fifo);
+        let c = cache(300, EvictionPolicy::Fifo);
         c.put(1, payload(100, 1), 1.0);
         c.put(2, payload(100, 2), 1.0);
         c.put(3, payload(100, 3), 1.0);
@@ -594,7 +762,7 @@ mod tests {
 
     #[test]
     fn lfu_keeps_frequent_entries() {
-        let mut c = cache(300, EvictionPolicy::Lfu);
+        let c = cache(300, EvictionPolicy::Lfu);
         c.put(1, payload(100, 1), 1.0);
         c.put(2, payload(100, 2), 1.0);
         c.put(3, payload(100, 3), 1.0);
@@ -608,7 +776,7 @@ mod tests {
 
     #[test]
     fn cost_aware_keeps_expensive_refetches() {
-        let mut c = cache(300, EvictionPolicy::CostAware);
+        let c = cache(300, EvictionPolicy::CostAware);
         c.put(1, payload(100, 1), 120.0); // expensive to refetch
         c.put(2, payload(100, 2), 1.0); // cheap
         c.put(3, payload(100, 3), 60.0);
@@ -619,7 +787,7 @@ mod tests {
 
     #[test]
     fn oversized_entry_not_admitted() {
-        let mut c = cache(100, EvictionPolicy::Lru);
+        let c = cache(100, EvictionPolicy::Lru);
         c.put(1, payload(200, 1), 1.0);
         assert!(!c.contains(1));
         assert_eq!(c.used(), 0);
@@ -627,7 +795,7 @@ mod tests {
 
     #[test]
     fn invalidate_and_clear() {
-        let mut c = cache(1000, EvictionPolicy::Lru);
+        let c = cache(1000, EvictionPolicy::Lru);
         c.put(1, payload(100, 1), 1.0);
         c.put(2, payload(100, 2), 1.0);
         c.invalidate(1);
@@ -640,7 +808,7 @@ mod tests {
     #[test]
     fn disk_backed_cache_charges_time() {
         let clock = SimClock::new();
-        let mut c = SuperTileCache::new(
+        let c = SuperTileCache::new(
             1 << 30,
             EvictionPolicy::Lru,
             Some((DiskProfile::scsi2003(), clock.clone())),
@@ -653,10 +821,30 @@ mod tests {
     }
 
     #[test]
+    fn clocked_access_charges_the_lane_not_the_shared_clock() {
+        let shared = SimClock::new();
+        let c = SuperTileCache::new(
+            1 << 30,
+            EvictionPolicy::Lru,
+            Some((DiskProfile::scsi2003(), shared.clone())),
+        );
+        let lane = shared.fork();
+        c.put_clocked(1, payload(30 << 20, 0), 10.0, &lane);
+        c.get_clocked(1, &lane);
+        assert_eq!(
+            shared.now_s(),
+            0.0,
+            "lane I/O must not move the shared clock"
+        );
+        assert!(lane.now_s() > 2.0);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
     fn tile_cache_lru() {
         let dom = Minterval::new(&[(0, 9)]).unwrap();
         let mk = |id: TileId| Tile::new(id, 1, MDArray::zeros(dom.clone(), CellType::F64));
-        let mut c = TileCache::new(200); // each tile 80 bytes
+        let c = TileCache::new(200); // each tile 80 bytes
         c.put(mk(1));
         c.put(mk(2));
         c.get(1);
@@ -665,6 +853,27 @@ mod tests {
         assert!(c.get(1).is_some());
         assert!(c.get(3).is_some());
         assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn sharded_cache_caps_every_stripe() {
+        let c = SuperTileCache::with_shards(4000, EvictionPolicy::Lru, None, 4);
+        assert_eq!(c.shard_count(), 4);
+        assert_eq!(c.capacity(), 4000);
+        for st in 0..64u64 {
+            c.put(st, payload(250, st as u8), 1.0);
+            assert!(c.used() <= c.capacity());
+        }
+        assert!(c.stats().evictions > 0, "64 x 250B must overflow 4 x 1000B");
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let c = SuperTileCache::with_shards(700, EvictionPolicy::Lru, None, 7);
+        assert_eq!(c.shard_count(), 8);
+        assert_eq!(c.capacity(), 696); // 8 * (700 / 8)
+        let m = TileCache::with_shards(1 << 20, 3);
+        assert_eq!(m.shard_count(), 4);
     }
 
     #[test]
@@ -727,7 +936,7 @@ mod tests {
 
     #[test]
     fn hit_ratio_math() {
-        let mut c = cache(1000, EvictionPolicy::Lru);
+        let c = cache(1000, EvictionPolicy::Lru);
         assert_eq!(c.stats().hit_ratio(), 0.0);
         c.put(1, payload(10, 0), 1.0);
         c.get(1);

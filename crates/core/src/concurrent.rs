@@ -1,0 +1,467 @@
+//! Multi-session concurrent query execution over the HEAVEN hierarchy.
+//!
+//! [`ConcurrentHeaven`] is the `Send + Sync` façade over a built
+//! [`Heaven`] system: build and export single-threaded, call
+//! [`Heaven::into_concurrent`], then serve queries from any number of
+//! session threads. Three mechanisms make that safe *and* fast:
+//!
+//! * **Sharded caches** — both cache levels are lock-striped
+//!   (see [`crate::cache`]), so sessions touching different super-tiles
+//!   never serialize on a cache lock;
+//! * **Session time lanes** — each [`Session`] forks the shared
+//!   [`SimClock`] into a private lane and charges its *overlappable*
+//!   work (disk-cache reads, decode) there; dropping the session re-joins
+//!   the shared timeline with `advance_to_s`, so the simulated makespan
+//!   of N concurrent sessions is the slowest lane, not the sum — exactly
+//!   how wall-clock time behaves for parallel clients of one archive;
+//! * **Cross-session tape batching** — the tape library stays the serial
+//!   shared resource. Instead of each session mounting media on its own
+//!   ([`HeavenConfig::cross_session_batching`] = false: per-session FIFO
+//!   staging), sessions enqueue their [`FetchRequest`]s with the
+//!   [`FetchBatcher`]; one session becomes the *drainer*, waits a short
+//!   batching window for peers to pile on, then stages the merged batch
+//!   in one scheduled sweep (mounted-media first, ascending offsets,
+//!   drive-parallel rounds). Duplicate super-tile requests **coalesce**:
+//!   one tape fetch resolves every waiting session
+//!   (`sched.coalesced_fetches` counts the saved fetches).
+
+use crate::cache::{CacheStats, SuperTileCache, TileCache};
+use crate::catalog::SuperTileCatalog;
+use crate::config::HeavenConfig;
+use crate::error::{HeavenError, Result};
+use crate::scheduler::{plan_drive_rounds, schedule, FetchRequest};
+use crate::supertile::{decode_member, SuperTileId};
+use crate::system::Heaven;
+use bytes::Bytes;
+use crossbeam::queue::SegQueue;
+use heaven_array::{MDArray, Minterval, ObjectId, TileId};
+use heaven_arraydb::{ArrayDb, TileLocation};
+use heaven_hsm::{BlockAddress, DirectStore};
+use heaven_obs::{Counter, MetricsRegistry, TraceBus};
+use heaven_tape::{SimClock, TapeStats};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Concurrency-path metric handles (same registry as the rest of the
+/// hierarchy; `heaven.*` names continue the single-owner counters).
+#[derive(Debug, Clone)]
+struct ConcMetrics {
+    region_fetches: Counter,
+    st_tape_fetches: Counter,
+    st_tape_bytes: Counter,
+    bytes_copied: Counter,
+    /// Tape fetches saved because a session's request coalesced onto an
+    /// identical in-flight request of another session.
+    coalesced_fetches: Counter,
+    /// Cross-session staging batches drained.
+    batches: Counter,
+    /// Fetch requests staged through cross-session batches.
+    batched_fetches: Counter,
+}
+
+impl ConcMetrics {
+    fn new(registry: &MetricsRegistry) -> ConcMetrics {
+        ConcMetrics {
+            region_fetches: registry.counter("heaven.region_fetches"),
+            st_tape_fetches: registry.counter("heaven.st_tape_fetches"),
+            st_tape_bytes: registry.counter("heaven.st_tape_bytes"),
+            bytes_copied: registry.counter("heaven.bytes_copied"),
+            coalesced_fetches: registry.counter("sched.coalesced_fetches"),
+            batches: registry.counter("sched.batches"),
+            batched_fetches: registry.counter("sched.batched_fetches"),
+        }
+    }
+}
+
+/// One in-flight tertiary fetch; every session waiting on the same
+/// super-tile holds the same `Arc<Inflight>` and reads the same outcome.
+/// The payload `Bytes` clone is a refcount bump, and `done_s` is the
+/// shared-clock instant the staging round completed (waiters fast-forward
+/// their lanes to it).
+#[derive(Debug, Default)]
+struct Inflight {
+    slot: Mutex<Option<std::result::Result<(Bytes, f64), String>>>,
+}
+
+/// The cross-session staging coordinator (a combining lock).
+///
+/// `inflight` registers-or-coalesces under one critical section (a request
+/// is pushed to `pending` in the same section, so no request is ever both
+/// unqueued and unobserved). Whichever waiting session wins `drain`
+/// becomes the drainer: it sleeps the batching window (host time — it
+/// yields the core so peer sessions get to enqueue), then stages the
+/// merged batch in one scheduled, drive-parallel sweep.
+#[derive(Debug)]
+pub(crate) struct FetchBatcher {
+    pending: SegQueue<FetchRequest>,
+    inflight: Mutex<HashMap<SuperTileId, Arc<Inflight>>>,
+    drain: Mutex<()>,
+    window: Duration,
+}
+
+impl FetchBatcher {
+    fn new(window: Duration) -> FetchBatcher {
+        FetchBatcher {
+            pending: SegQueue::new(),
+            inflight: Mutex::new(HashMap::new()),
+            drain: Mutex::new(()),
+            window,
+        }
+    }
+
+    /// Fetch a super-tile through the shared batch: returns the
+    /// (decompressed) payload and the shared-clock completion instant.
+    fn fetch(&self, h: &ConcurrentHeaven, req: FetchRequest) -> Result<(Bytes, f64)> {
+        let entry = {
+            let mut map = self.inflight.lock();
+            match map.get(&req.st) {
+                Some(e) => {
+                    h.metrics.coalesced_fetches.inc();
+                    Arc::clone(e)
+                }
+                None => {
+                    let e = Arc::new(Inflight::default());
+                    map.insert(req.st, Arc::clone(&e));
+                    self.pending.push(req);
+                    e
+                }
+            }
+        };
+        loop {
+            if let Some(outcome) = entry.slot.lock().clone() {
+                return outcome
+                    .map_err(|m| HeavenError::Config(format!("batched fetch failed: {m}")));
+            }
+            match self.drain.try_lock() {
+                Some(_drainer) => {
+                    if !self.window.is_zero() {
+                        // Hold the drain lock through the window: peers
+                        // keep enqueueing instead of starting rival
+                        // drains, and on a single core the sleep yields
+                        // the CPU to exactly those peers.
+                        std::thread::sleep(self.window);
+                    }
+                    self.drain_all(h);
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+    }
+
+    /// Stage every pending request in one scheduled sweep and resolve the
+    /// waiters. Failures resolve the affected entries (nobody is left
+    /// spinning on a fetch that will never complete).
+    fn drain_all(&self, h: &ConcurrentHeaven) {
+        let mut reqs = Vec::new();
+        while let Some(r) = self.pending.pop() {
+            reqs.push(r);
+        }
+        if reqs.is_empty() {
+            return;
+        }
+        let mut store = h.store.lock();
+        let mounted = store.library().mounted_media();
+        let order = if h.config.scheduling {
+            schedule(&reqs, &mounted)
+        } else {
+            reqs
+        };
+        h.metrics.batches.inc();
+        h.metrics.batched_fetches.add(order.len() as u64);
+        let drives = store.library().drive_count();
+        let rounds = plan_drive_rounds(&order, drives);
+        h.bus.event(
+            "sched.batch",
+            store.clock().now_s(),
+            &[
+                ("fetches", order.len().into()),
+                ("rounds", rounds.len().into()),
+            ],
+        );
+        for round in rounds {
+            let groups: Vec<Vec<BlockAddress>> = round
+                .iter()
+                .map(|g| g.iter().map(|r| r.addr).collect())
+                .collect();
+            match store.read_parallel(&groups) {
+                Ok((payloads, _window)) => {
+                    let done_s = store.clock().now_s();
+                    for (group, raws) in round.iter().zip(payloads) {
+                        for (r, raw) in group.iter().zip(raws) {
+                            h.metrics.st_tape_fetches.inc();
+                            h.metrics.st_tape_bytes.add(r.addr.len);
+                            let refetch = store.estimate_read_s(r.addr);
+                            let outcome = match h.maybe_decompress(raw) {
+                                Ok(p) => {
+                                    h.st_cache.put(r.st, p.clone(), refetch);
+                                    Ok((p, done_s))
+                                }
+                                Err(e) => Err(e.to_string()),
+                            };
+                            self.resolve(r.st, outcome);
+                        }
+                    }
+                }
+                Err(e) => {
+                    let msg = e.to_string();
+                    for group in &round {
+                        for r in group {
+                            self.resolve(r.st, Err(msg.clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn resolve(&self, st: SuperTileId, outcome: std::result::Result<(Bytes, f64), String>) {
+        let entry = self.inflight.lock().remove(&st);
+        if let Some(e) = entry {
+            *e.slot.lock() = Some(outcome);
+        }
+    }
+}
+
+/// The `Send + Sync` multi-session HEAVEN system.
+///
+/// Built from a fully assembled [`Heaven`] via
+/// [`Heaven::into_concurrent`]. Query state that sessions share mutably
+/// sits behind interior synchronization: the array DBMS and the tape
+/// store behind mutexes (the DBMS for its buffer pool, the store because
+/// the tape library is physically serial), the catalog behind a reader/
+/// writer lock (read-mostly), and both caches lock-striped internally.
+#[derive(Debug)]
+pub struct ConcurrentHeaven {
+    adb: Mutex<ArrayDb>,
+    store: Mutex<DirectStore>,
+    catalog: RwLock<SuperTileCatalog>,
+    tile_cache: TileCache,
+    st_cache: SuperTileCache,
+    batcher: FetchBatcher,
+    config: HeavenConfig,
+    registry: MetricsRegistry,
+    bus: TraceBus,
+    clock: SimClock,
+    metrics: ConcMetrics,
+}
+
+impl ConcurrentHeaven {
+    /// Convert a built system (see [`Heaven::into_concurrent`]).
+    pub fn from_heaven(heaven: Heaven) -> ConcurrentHeaven {
+        let (adb, store, catalog, tile_cache, st_cache, config, registry, bus) =
+            heaven.into_concurrent_parts();
+        let clock = store.clock();
+        let metrics = ConcMetrics::new(&registry);
+        ConcurrentHeaven {
+            adb: Mutex::new(adb),
+            store: Mutex::new(store),
+            catalog: RwLock::new(catalog),
+            tile_cache,
+            st_cache,
+            batcher: FetchBatcher::new(Duration::from_millis(2)),
+            config,
+            registry,
+            bus,
+            clock,
+            metrics,
+        }
+    }
+
+    /// Open a query session with its own simulated-time lane (forked at
+    /// the shared clock's current instant). Dropping the session re-joins
+    /// the shared timeline.
+    pub fn session(&self) -> Session<'_> {
+        Session {
+            h: self,
+            lane: self.clock.fork(),
+        }
+    }
+
+    /// The batching window: how long (host time) a drainer waits for peer
+    /// sessions to enqueue before staging the merged batch. Zero disables
+    /// the wait (requests still coalesce when they genuinely overlap).
+    pub fn set_batch_window(&mut self, window: Duration) {
+        self.batcher.window = window;
+    }
+
+    /// The shared simulated clock (re-joined by every finished session).
+    pub fn clock(&self) -> SimClock {
+        self.clock.clone()
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HeavenConfig {
+        &self.config
+    }
+
+    /// Tertiary-storage statistics.
+    pub fn tape_stats(&self) -> TapeStats {
+        self.store.lock().stats()
+    }
+
+    /// Disk super-tile cache statistics.
+    pub fn st_cache_stats(&self) -> CacheStats {
+        self.st_cache.stats()
+    }
+
+    /// Memory tile cache statistics.
+    pub fn tile_cache_stats(&self) -> CacheStats {
+        self.tile_cache.stats()
+    }
+
+    /// Clear both cache levels (between experiment phases).
+    pub fn clear_caches(&self) {
+        self.tile_cache.clear();
+        self.st_cache.clear();
+    }
+
+    /// Undo payload compression on bytes read from tape (zero-copy when
+    /// compression is off) — the concurrent twin of
+    /// `Heaven::maybe_decompress`.
+    fn maybe_decompress(&self, bytes: Bytes) -> Result<Bytes> {
+        if self.config.compress {
+            let out = heaven_array::rle_decompress(&bytes)
+                .ok_or_else(|| HeavenError::Codec("corrupt compressed super-tile".into()))?;
+            self.metrics.bytes_copied.add(out.len() as u64);
+            Ok(Bytes::from(out))
+        } else {
+            Ok(bytes)
+        }
+    }
+
+    /// Record the memcpy performed by patching `src` into `out`.
+    fn note_patch_copy(&self, out: &MDArray, src: &MDArray) {
+        if let Some(ov) = out.domain().intersection(src.domain()) {
+            self.metrics
+                .bytes_copied
+                .add(ov.cell_count() * out.cell_type().size_bytes() as u64);
+        }
+    }
+}
+
+/// One query session: a handle on the shared system plus a private
+/// simulated-time lane. Overlappable work (disk-cache I/O, decode) is
+/// charged to the lane; the shared tape library charges the shared clock
+/// and waiters fast-forward their lanes to the staging completion.
+#[derive(Debug)]
+pub struct Session<'h> {
+    h: &'h ConcurrentHeaven,
+    lane: SimClock,
+}
+
+impl Session<'_> {
+    /// This session's current simulated time.
+    pub fn now_s(&self) -> f64 {
+        self.lane.now_s()
+    }
+
+    /// The session's private clock lane.
+    pub fn lane(&self) -> &SimClock {
+        &self.lane
+    }
+
+    /// Materialize `region` of `oid` across the hierarchy — the
+    /// multi-session twin of [`Heaven::fetch_region_hierarchical`].
+    pub fn fetch_region(&self, oid: ObjectId, region: &Minterval) -> Result<MDArray> {
+        self.h.metrics.region_fetches.inc();
+        let meta = self.h.adb.lock().object(oid)?.clone();
+        let target = meta.domain.intersection(region).ok_or_else(|| {
+            HeavenError::Config(format!(
+                "region {region} outside object domain {}",
+                meta.domain
+            ))
+        })?;
+        let mut out = MDArray::zeros(target.clone(), meta.cell_type);
+        let mut pending: BTreeMap<SuperTileId, Vec<TileId>> = BTreeMap::new();
+        for tid in meta.tiles_intersecting(&target) {
+            if let Some(t) = self.h.tile_cache.get(tid) {
+                self.h.note_patch_copy(&out, &t.data);
+                out.patch(&t.data)?;
+                continue;
+            }
+            let loc = self.h.adb.lock().tile_location(tid)?;
+            match loc {
+                TileLocation::Disk => {
+                    let t = self.h.adb.lock().read_tile(tid)?;
+                    self.h.note_patch_copy(&out, &t.data);
+                    out.patch(&t.data)?;
+                    self.h.tile_cache.put(t);
+                }
+                TileLocation::Exported => {
+                    let st = self.h.catalog.read().supertile_of(tid)?;
+                    pending.entry(st).or_default().push(tid);
+                }
+            }
+        }
+        for (st, tids) in pending {
+            let payload = self.supertile_payload(st)?;
+            let meta_st = self.h.catalog.read().meta(st)?.clone();
+            for tid in tids {
+                let t = decode_member(&meta_st, &payload, tid)?;
+                self.h.note_patch_copy(&out, &t.data);
+                out.patch(&t.data)?;
+                self.h.tile_cache.put(t);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Stage a super-tile payload: striped-cache hit (charged to this
+    /// session's lane), else a tertiary fetch — batched across sessions,
+    /// or per-session FIFO when batching is off.
+    fn supertile_payload(&self, st: SuperTileId) -> Result<Bytes> {
+        if let Some(p) = self.h.st_cache.get_clocked(st, &self.lane) {
+            return Ok(p);
+        }
+        let addr = self.h.catalog.read().address(st)?;
+        let req = FetchRequest { st, addr };
+        if self.h.config.cross_session_batching {
+            let (payload, done_s) = self.h.batcher.fetch(self.h, req)?;
+            self.lane.advance_to_s(done_s);
+            Ok(payload)
+        } else {
+            // Per-session FIFO: mount-and-read in request order, holding
+            // the store for the whole access (the baseline the batcher is
+            // measured against).
+            let mut store = self.h.store.lock();
+            let raw = store.read(addr)?;
+            self.h.metrics.st_tape_fetches.inc();
+            self.h.metrics.st_tape_bytes.add(addr.len);
+            let refetch = store.estimate_read_s(addr);
+            let done_s = store.clock().now_s();
+            drop(store);
+            let payload = self.h.maybe_decompress(raw)?;
+            self.h.st_cache.put(st, payload.clone(), refetch);
+            self.lane.advance_to_s(done_s);
+            Ok(payload)
+        }
+    }
+}
+
+impl Drop for Session<'_> {
+    fn drop(&mut self) {
+        // Re-join the shared timeline: the epoch ends when the slowest
+        // overlapped lane ends.
+        self.h.clock.advance_to_s(self.lane.now_s());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_heaven_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConcurrentHeaven>();
+        assert_send_sync::<Session<'static>>();
+        assert_send_sync::<FetchBatcher>();
+    }
+}

@@ -59,6 +59,15 @@ pub struct HeavenConfig {
     /// default ([`TraceConfig::off`]) costs one atomic load per
     /// instrumentation site.
     pub trace: TraceConfig,
+    /// Lock stripes per cache level (rounded up to a power of two). 1
+    /// reproduces the single-owner cache exactly; concurrent sessions
+    /// want one stripe per expected worker or more.
+    pub cache_shards: usize,
+    /// Merge the tertiary fetches of concurrent sessions into shared
+    /// scheduled batches (one mount serves every session needing the
+    /// medium; duplicate super-tile requests coalesce into one fetch).
+    /// When off, each session stages its own fetches FIFO.
+    pub cross_session_batching: bool,
 }
 
 impl Default for HeavenConfig {
@@ -76,6 +85,8 @@ impl Default for HeavenConfig {
             precompute: Vec::new(),
             compress: false,
             trace: TraceConfig::off(),
+            cache_shards: 1,
+            cross_session_batching: true,
         }
     }
 }

@@ -25,6 +25,7 @@
 
 pub mod cache;
 pub mod catalog;
+pub mod concurrent;
 pub mod config;
 pub mod error;
 pub mod estar;
@@ -41,13 +42,14 @@ pub mod system;
 
 pub use cache::{CacheStats, EvictionPolicy, SuperTileCache, TileCache};
 pub use catalog::SuperTileCatalog;
+pub use concurrent::{ConcurrentHeaven, Session};
 pub use config::{ClusteringStrategy, HeavenConfig, PrefetchPolicy};
 pub use error::{HeavenError, Result};
 pub use estar::{estar_partition, AccessPattern};
 pub use export::{pipeline_makespan, ExportMode, ExportReport};
 pub use precomp::{PrecompCatalog, PrecompStats};
 pub use report::ArchiveReport;
-pub use scheduler::{count_exchanges, schedule, seek_distance, FetchRequest};
+pub use scheduler::{count_exchanges, plan_drive_rounds, schedule, seek_distance, FetchRequest};
 pub use sizing::{expected_query_cost_s, optimal_supertile_size};
 pub use star::{bytes_touched, groups_touched, star_partition, TileInfo};
 pub use supertile::{

@@ -93,6 +93,34 @@ pub fn count_exchanges(order: &[FetchRequest], drives: usize, mounted: &[MediumI
     exchanges
 }
 
+/// Split a scheduled fetch order into staging **rounds** for parallel
+/// drives: each round holds at most `drives` groups, each group all the
+/// consecutive requests of one medium, so every group can execute on its
+/// own drive against a detached clock (see
+/// `heaven_hsm::DirectStore::read_parallel`) and a round costs only its
+/// slowest group. The within-round and across-round request order is the
+/// scheduled order, so exchange/seek minimization is preserved.
+pub fn plan_drive_rounds(order: &[FetchRequest], drives: usize) -> Vec<Vec<Vec<FetchRequest>>> {
+    let drives = drives.max(1);
+    let mut rounds: Vec<Vec<Vec<FetchRequest>>> = Vec::new();
+    let mut round: Vec<Vec<FetchRequest>> = Vec::new();
+    for r in order {
+        match round.last_mut() {
+            Some(group) if group[0].addr.medium == r.addr.medium => group.push(*r),
+            _ => {
+                if round.len() == drives {
+                    rounds.push(std::mem::take(&mut round));
+                }
+                round.push(vec![*r]);
+            }
+        }
+    }
+    if !round.is_empty() {
+        rounds.push(round);
+    }
+    rounds
+}
+
 /// Sum of forward/backward head travel (bytes) within each medium for a
 /// fetch order, assuming the head starts at 0 after each mount.
 pub fn seek_distance(order: &[FetchRequest]) -> u64 {
@@ -166,6 +194,41 @@ mod tests {
         let naive = vec![req(1, 0, 9000), req(2, 0, 100), req(3, 0, 5000)];
         let scheduled = schedule(&naive, &[]);
         assert!(seek_distance(&scheduled) < seek_distance(&naive));
+    }
+
+    #[test]
+    fn drive_rounds_group_by_medium_and_cap_at_drive_count() {
+        let order = vec![
+            req(1, 0, 0),
+            req(2, 0, 100),
+            req(3, 1, 0),
+            req(4, 2, 0),
+            req(5, 2, 100),
+        ];
+        let rounds = plan_drive_rounds(&order, 2);
+        assert_eq!(rounds.len(), 2, "3 media / 2 drives = 2 rounds");
+        assert_eq!(rounds[0].len(), 2);
+        assert_eq!(
+            rounds[0][0].iter().map(|r| r.st).collect::<Vec<_>>(),
+            [1, 2]
+        );
+        assert_eq!(rounds[0][1][0].st, 3);
+        assert_eq!(
+            rounds[1][0].iter().map(|r| r.st).collect::<Vec<_>>(),
+            [4, 5]
+        );
+        // Flattened rounds reproduce the scheduled order exactly.
+        let flat: Vec<_> = rounds.iter().flatten().flatten().map(|r| r.st).collect();
+        assert_eq!(flat, [1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn drive_rounds_single_drive_is_one_group_per_round() {
+        let order = vec![req(1, 0, 0), req(2, 1, 0), req(3, 0, 100)];
+        let rounds = plan_drive_rounds(&order, 1);
+        assert_eq!(rounds.len(), 3);
+        assert!(rounds.iter().all(|r| r.len() == 1));
+        assert!(plan_drive_rounds(&[], 4).is_empty());
     }
 
     #[test]

@@ -151,7 +151,7 @@ pub struct Heaven {
     pub(crate) catalog_store: CatalogStore,
     pub(crate) config: HeavenConfig,
     metrics: HeavenMetrics,
-    registry: MetricsRegistry,
+    pub(crate) registry: MetricsRegistry,
     pub(crate) bus: TraceBus,
     active_query: Option<ActiveQuery>,
     last_breakdown: Option<QueryBreakdown>,
@@ -169,13 +169,14 @@ impl Heaven {
         let registry = MetricsRegistry::new();
         let bus = TraceBus::from_config(&config.trace);
         let clock = library.clock().clone();
-        let mut st_cache = SuperTileCache::new(
+        let mut st_cache = SuperTileCache::with_shards(
             config.disk_cache_bytes,
             config.eviction,
             Some((DiskProfile::scsi2003(), clock)),
+            config.cache_shards,
         );
         st_cache.attach_obs(&registry, bus.clone());
-        let mut tile_cache = TileCache::new(config.mem_cache_bytes);
+        let mut tile_cache = TileCache::with_shards(config.mem_cache_bytes, config.cache_shards);
         tile_cache.attach_obs(&registry);
         adb.attach_obs(&registry);
         adb.attach_trace(bus.clone());
@@ -365,6 +366,42 @@ impl Heaven {
                 self.config.expected_query_bytes,
             )
         })
+    }
+
+    /// Convert this single-owner system into the multi-session concurrent
+    /// façade (see [`crate::concurrent::ConcurrentHeaven`]). Typical use:
+    /// build and export with `Heaven` (single-threaded), then convert and
+    /// serve queries from many session threads.
+    pub fn into_concurrent(self) -> crate::concurrent::ConcurrentHeaven {
+        crate::concurrent::ConcurrentHeaven::from_heaven(self)
+    }
+
+    /// Decompose into the pieces the concurrent façade wraps (the private
+    /// breakdown/bracket state is dropped — sessions track their own
+    /// timing on clock lanes).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_concurrent_parts(
+        self,
+    ) -> (
+        ArrayDb,
+        DirectStore,
+        SuperTileCatalog,
+        TileCache,
+        SuperTileCache,
+        HeavenConfig,
+        MetricsRegistry,
+        TraceBus,
+    ) {
+        (
+            self.adb,
+            self.store,
+            self.catalog,
+            self.tile_cache,
+            self.st_cache,
+            self.config,
+            self.registry,
+            self.bus,
+        )
     }
 
     /// Clear both cache levels (between experiment runs).

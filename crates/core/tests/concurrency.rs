@@ -1,0 +1,302 @@
+//! Multi-session concurrency: sharded-cache integrity under parallel
+//! load, single-session determinism against the single-owner system,
+//! cross-session request coalescing, and batched staging beating
+//! per-session FIFO on media exchanges.
+
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use heaven_array::{CellType, MDArray, Minterval, Point, Tile, Tiling};
+use heaven_arraydb::ArrayDb;
+use heaven_core::{
+    ConcurrentHeaven, EvictionPolicy, ExportMode, Heaven, HeavenConfig, Session, SuperTileCache,
+    TileCache,
+};
+use heaven_rdbms::Database;
+use heaven_tape::{DeviceProfile, DiskProfile, SimClock, TapeLibrary};
+
+/// Edge of one square tile in cells.
+const TILE_EDGE: i64 = 32;
+/// Tiles per object axis (GRID x GRID tiles per object).
+const GRID: i64 = 4;
+
+fn mi(b: &[(i64, i64)]) -> Minterval {
+    Minterval::new(b).unwrap()
+}
+
+/// The region of tile index `t` (0..GRID*GRID) of any object.
+fn tile_region(t: i64) -> Minterval {
+    let (gx, gy) = (t % GRID, t / GRID);
+    mi(&[
+        (gx * TILE_EDGE, (gx + 1) * TILE_EDGE - 1),
+        (gy * TILE_EDGE, (gy + 1) * TILE_EDGE - 1),
+    ])
+}
+
+/// Build a Heaven holding `objects` exported objects, each GRID x GRID
+/// tiles with one super-tile per tile, each object on its own medium.
+fn build_multi(objects: usize, drives: usize, batching: bool) -> (Heaven, Vec<u64>) {
+    let clock = SimClock::new();
+    let db = Database::new(DiskProfile::scsi2003(), clock.clone(), 4096);
+    let mut adb = ArrayDb::create(db).unwrap();
+    adb.create_collection("conc", CellType::F32, 2).unwrap();
+    let dom = mi(&[(0, GRID * TILE_EDGE - 1), (0, GRID * TILE_EDGE - 1)]);
+    let mut oids = Vec::new();
+    for o in 0..objects {
+        let arr = MDArray::generate(dom.clone(), CellType::F32, |p: &Point| {
+            (o as i64 * 1_000_000 + p.coord(0) * 1000 + p.coord(1)) as f64
+        });
+        oids.push(
+            adb.insert_object(
+                "conc",
+                &arr,
+                Tiling::Regular {
+                    tile_shape: vec![TILE_EDGE as u64, TILE_EDGE as u64],
+                },
+            )
+            .unwrap(),
+        );
+    }
+    let tile_encoded = (Tile::header_len(2) + (TILE_EDGE * TILE_EDGE) as usize * 4) as u64;
+    let config = HeavenConfig {
+        supertile_bytes: Some(tile_encoded), // one super-tile per tile
+        mem_cache_bytes: 0,                  // force the st-cache path
+        medium_per_object: true,
+        cache_shards: 8,
+        cross_session_batching: batching,
+        ..HeavenConfig::default()
+    };
+    let lib = TapeLibrary::new(DeviceProfile::ibm3590(), drives, clock);
+    let mut heaven = Heaven::new(adb, lib, config);
+    for &oid in &oids {
+        let report = heaven.export_object(oid, ExportMode::Tct).unwrap();
+        assert_eq!(report.supertiles as i64, GRID * GRID);
+    }
+    (heaven, oids)
+}
+
+#[test]
+fn concurrent_facade_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ConcurrentHeaven>();
+    assert_send_sync::<Session<'static>>();
+    assert_send_sync::<SuperTileCache>();
+    assert_send_sync::<TileCache>();
+}
+
+#[test]
+fn sharded_st_cache_stress_loses_no_updates() {
+    let cache = Arc::new(SuperTileCache::with_shards(
+        8_000,
+        EvictionPolicy::Lru,
+        None,
+        8,
+    ));
+    let threads = 8usize;
+    let ops = 400usize;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let cache = Arc::clone(&cache);
+            s.spawn(move || {
+                for i in 0..ops {
+                    let st = ((t * ops + i) % 97) as u64;
+                    cache.put(st, vec![t as u8; 100], 1.0);
+                    cache.get(st);
+                    cache.get((st + 31) % 97);
+                    // Capacity invariant must hold at every instant,
+                    // observed concurrently with other writers.
+                    assert!(cache.used() <= cache.capacity());
+                }
+            });
+        }
+    });
+    let stats = cache.stats();
+    // Rolled-up hit/miss totals equal the per-thread op sums: 2 lookups
+    // per iteration, none lost to racing stripes.
+    assert_eq!(stats.hits + stats.misses, (threads * ops * 2) as u64);
+    assert!(cache.used() <= cache.capacity());
+    assert!(stats.evictions > 0, "800 KB written into 8 KB must evict");
+}
+
+#[test]
+fn sharded_tile_cache_stress_loses_no_updates() {
+    let dom = mi(&[(0, 9)]);
+    let cache = Arc::new(TileCache::with_shards(16_000, 8));
+    let threads = 8usize;
+    let ops = 300usize;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let cache = Arc::clone(&cache);
+            let dom = dom.clone();
+            s.spawn(move || {
+                for i in 0..ops {
+                    let id = ((t * ops + i) % 61) as u64;
+                    cache.put(Tile::new(id, 1, MDArray::zeros(dom.clone(), CellType::F64)));
+                    cache.get(id);
+                    assert!(cache.used() <= cache.capacity());
+                }
+            });
+        }
+    });
+    let stats = cache.stats();
+    assert_eq!(stats.hits + stats.misses, (threads * ops) as u64);
+    assert!(cache.used() <= cache.capacity());
+}
+
+#[test]
+fn single_session_matches_single_owner_byte_for_byte() {
+    let (mut owner, oids_a) = build_multi(2, 2, true);
+    let (concurrent, oids_b) = build_multi(2, 2, true);
+    assert_eq!(oids_a, oids_b, "identical builds");
+    let concurrent = concurrent.into_concurrent();
+    let session = concurrent.session();
+    let queries: Vec<(u64, Minterval)> = (0..8)
+        .map(|q| (oids_a[q % 2], tile_region((q as i64 * 5) % (GRID * GRID))))
+        .chain(oids_a.iter().map(|&o| {
+            (
+                o,
+                mi(&[(0, GRID * TILE_EDGE - 1), (0, GRID * TILE_EDGE - 1)]),
+            )
+        }))
+        .collect();
+    for (oid, region) in &queries {
+        let a = owner.fetch_region_hierarchical(*oid, region).unwrap();
+        let b = session.fetch_region(*oid, region).unwrap();
+        assert_eq!(a, b, "oid {oid} region {region}");
+    }
+    // Same tertiary work, not just the same answers.
+    assert_eq!(
+        owner.tape_stats().bytes_read,
+        concurrent.tape_stats().bytes_read
+    );
+}
+
+#[test]
+fn duplicate_cross_session_requests_coalesce_into_one_fetch() {
+    let (heaven, oids) = build_multi(1, 2, true);
+    let mounts_before = heaven.tape_stats().mounts;
+    let mut heaven = heaven.into_concurrent();
+    heaven.set_batch_window(Duration::from_millis(50));
+    let heaven = heaven; // freeze: sessions only need &self
+    let oid = oids[0];
+    let workers = 4usize;
+    let barrier = Barrier::new(workers);
+    let region = tile_region(6);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let barrier = &barrier;
+                let heaven = &heaven;
+                let region = region.clone();
+                s.spawn(move || {
+                    let session = heaven.session();
+                    barrier.wait();
+                    session.fetch_region(oid, &region).unwrap()
+                })
+            })
+            .collect();
+        let results: Vec<MDArray> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results[1..] {
+            assert_eq!(results[0], *r, "coalesced waiters see the same payload");
+        }
+    });
+    let metrics = heaven.metrics();
+    assert_eq!(
+        metrics.counter("heaven.st_tape_fetches").get(),
+        1,
+        "one tape fetch serves all four sessions"
+    );
+    assert!(
+        metrics.counter("sched.coalesced_fetches").get() >= 1,
+        "concurrent duplicates must coalesce"
+    );
+    assert!(
+        heaven.tape_stats().mounts - mounts_before <= 1,
+        "a single coalesced batch needs at most one media exchange, got {}",
+        heaven.tape_stats().mounts - mounts_before
+    );
+}
+
+/// Cold mixed workload: `workers` sessions, each stepping through the
+/// objects in lockstep phase (all sessions want medium j at step j) but
+/// each touching its own super-tile. Returns media exchanges measured.
+fn run_cold_workload(batching: bool, window_ms: u64) -> u64 {
+    let objects = 4usize;
+    let (heaven, oids) = build_multi(objects, 1, batching);
+    let mounts_before = heaven.tape_stats().mounts;
+    let mut heaven = heaven.into_concurrent();
+    heaven.set_batch_window(Duration::from_millis(window_ms));
+    let heaven = heaven;
+    let workers = 4usize;
+    let steps = 8usize;
+    let barrier = Barrier::new(workers);
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let heaven = &heaven;
+            let oids = &oids;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let session = heaven.session();
+                barrier.wait();
+                for j in 0..steps {
+                    let region = tile_region((w as i64 * GRID + (j as i64 % GRID)) % (GRID * GRID));
+                    session.fetch_region(oids[j % oids.len()], &region).unwrap();
+                }
+            });
+        }
+    });
+    heaven.tape_stats().mounts - mounts_before
+}
+
+#[test]
+fn cross_session_batching_beats_per_session_fifo_on_exchanges() {
+    let fifo = run_cold_workload(false, 0);
+    let batched = run_cold_workload(true, 25);
+    assert!(
+        batched < fifo,
+        "batched staging ({batched} mounts) must beat per-session FIFO ({fifo} mounts)"
+    );
+}
+
+#[test]
+fn session_lanes_overlap_warm_queries_in_simulated_time() {
+    // Two identical warm systems; the only difference is 1 session doing
+    // all the work vs 4 sessions doing a quarter each.
+    let elapsed = |sessions: usize| -> f64 {
+        let (heaven, oids) = build_multi(1, 2, true);
+        let heaven = heaven.into_concurrent();
+        let oid = oids[0];
+        // Stage everything (cold, shared clock), then measure warm.
+        heaven
+            .session()
+            .fetch_region(
+                oid,
+                &mi(&[(0, GRID * TILE_EDGE - 1), (0, GRID * TILE_EDGE - 1)]),
+            )
+            .unwrap();
+        let t0 = heaven.clock().now_s();
+        let per_session = (GRID * GRID) as usize / sessions;
+        // Fork every lane at t0, *before* any session runs: a session
+        // created later would fork from a shared clock already advanced
+        // by an earlier session's drop, serializing the epochs.
+        let lanes: Vec<Session> = (0..sessions).map(|_| heaven.session()).collect();
+        std::thread::scope(|s| {
+            for (w, session) in lanes.into_iter().enumerate() {
+                s.spawn(move || {
+                    for t in 0..per_session {
+                        let tile = (w * per_session + t) as i64;
+                        session.fetch_region(oid, &tile_region(tile)).unwrap();
+                    }
+                });
+            }
+        });
+        heaven.clock().now_s() - t0
+    };
+    let serial_s = elapsed(1);
+    let overlapped_s = elapsed(4);
+    assert!(serial_s > 0.0);
+    assert!(
+        overlapped_s < serial_s * 0.5,
+        "4 lanes ({overlapped_s:.3}s) must overlap well under half of serial ({serial_s:.3}s)"
+    );
+}

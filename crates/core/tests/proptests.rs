@@ -144,7 +144,7 @@ proptest! {
         policy_idx in 0usize..4,
     ) {
         let policy = EvictionPolicy::all()[policy_idx];
-        let mut cache = SuperTileCache::new(capacity, policy, None);
+        let cache = SuperTileCache::new(capacity, policy, None);
         for &(st, size, cost) in &ops {
             if cache.get(st).is_none() {
                 cache.put_phantom(st, size, cost);

@@ -4,14 +4,24 @@
 //! clock, so experiment results are *simulated seconds* — deterministic and
 //! independent of the host machine. The clock advances only when a device
 //! model says time passed.
+//!
+//! The clock is a single atomic: `advance_s` is a `fetch_add` and
+//! `advance_to_s` a `fetch_max`, so any number of threads can charge
+//! costs concurrently without a lock and without ever observing the
+//! clock move backwards. Concurrent query sessions model *overlapping*
+//! work with [`SimClock::fork`]: a fork is an independent clock lane
+//! starting at the parent's current instant; a session charges its
+//! private I/O to its lane and re-joins the shared timeline with
+//! `advance_to_s(lane.now_s())`, which is exactly "the epoch ends when
+//! the slowest overlapped lane ends".
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A shared simulated clock with microsecond resolution.
 #[derive(Debug, Clone, Default)]
 pub struct SimClock {
-    micros: Arc<Mutex<u64>>,
+    micros: Arc<AtomicU64>,
 }
 
 impl SimClock {
@@ -20,9 +30,26 @@ impl SimClock {
         SimClock::default()
     }
 
+    /// A new independent clock starting at `t_s`.
+    pub fn at_s(t_s: f64) -> SimClock {
+        let c = SimClock::new();
+        c.advance_to_s(t_s);
+        c
+    }
+
+    /// An independent clock starting at this clock's current instant.
+    /// Advancing the fork does not move `self` (and vice versa); callers
+    /// re-join with [`SimClock::advance_to_s`]. This is the basis of
+    /// per-session time lanes and per-drive parallel staging windows.
+    pub fn fork(&self) -> SimClock {
+        SimClock {
+            micros: Arc::new(AtomicU64::new(self.micros.load(Ordering::Relaxed))),
+        }
+    }
+
     /// Current simulated time in seconds.
     pub fn now_s(&self) -> f64 {
-        *self.micros.lock() as f64 / 1e6
+        self.micros.load(Ordering::Relaxed) as f64 / 1e6
     }
 
     /// Advance the clock by `seconds` (negative values are ignored).
@@ -30,22 +57,19 @@ impl SimClock {
         if seconds <= 0.0 {
             return;
         }
-        let mut m = self.micros.lock();
-        *m += (seconds * 1e6).round() as u64;
+        self.micros
+            .fetch_add((seconds * 1e6).round() as u64, Ordering::Relaxed);
     }
 
     /// Move the clock forward to `t_s` if it is in the future.
     pub fn advance_to_s(&self, t_s: f64) {
-        let mut m = self.micros.lock();
         let target = (t_s * 1e6).round() as u64;
-        if target > *m {
-            *m = target;
-        }
+        self.micros.fetch_max(target, Ordering::Relaxed);
     }
 
     /// Reset to t = 0 (used between experiment runs).
     pub fn reset(&self) {
-        *self.micros.lock() = 0;
+        self.micros.store(0, Ordering::Relaxed);
     }
 }
 
@@ -86,5 +110,38 @@ mod tests {
         assert!((b.now_s() - 3.0).abs() < 1e-9);
         b.reset();
         assert_eq!(a.now_s(), 0.0);
+    }
+
+    #[test]
+    fn forks_are_independent_lanes() {
+        let shared = SimClock::new();
+        shared.advance_s(10.0);
+        let lane_a = shared.fork();
+        let lane_b = shared.fork();
+        lane_a.advance_s(5.0);
+        lane_b.advance_s(2.0);
+        assert!(
+            (shared.now_s() - 10.0).abs() < 1e-9,
+            "forks never move the parent"
+        );
+        // Rejoin: the shared timeline ends when the slowest lane ends.
+        shared.advance_to_s(lane_a.now_s());
+        shared.advance_to_s(lane_b.now_s());
+        assert!((shared.now_s() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_advances_are_lost_update_free() {
+        let c = SimClock::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.advance_s(0.001);
+                    }
+                });
+            }
+        });
+        assert!((c.now_s() - 4.0).abs() < 1e-6);
     }
 }

@@ -12,5 +12,5 @@ pub mod queries;
 pub use data::{cfd_field, climate_field, climate_field_tile, satellite_image};
 pub use queries::{
     directional_queries, framing_workloads, hot_region_queries, random_box, selectivity_queries,
-    slice_queries,
+    session_streams, slice_queries,
 };

@@ -169,12 +169,46 @@ pub fn framing_workloads(domain: &Minterval) -> Vec<(&'static str, Frame)> {
     ]
 }
 
+/// Deal a query mix into `sessions` round-robin per-session streams for
+/// multi-session execution: stream `i` gets queries `i, i+sessions, ...`,
+/// so every stream sees the mix in global order and the streams are
+/// disjoint and exhaustive. Streams for `sessions >= len` come back
+/// empty rather than panicking.
+pub fn session_streams<T: Clone>(queries: &[T], sessions: usize) -> Vec<Vec<T>> {
+    let sessions = sessions.max(1);
+    let mut streams = vec![Vec::with_capacity(queries.len().div_ceil(sessions)); sessions];
+    for (i, q) in queries.iter().enumerate() {
+        streams[i % sessions].push(q.clone());
+    }
+    streams
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn mi(b: &[(i64, i64)]) -> Minterval {
         Minterval::new(b).unwrap()
+    }
+
+    #[test]
+    fn session_streams_deal_round_robin() {
+        let qs: Vec<u32> = (0..10).collect();
+        let streams = session_streams(&qs, 4);
+        assert_eq!(streams.len(), 4);
+        assert_eq!(streams[0], [0, 4, 8]);
+        assert_eq!(streams[1], [1, 5, 9]);
+        assert_eq!(streams[2], [2, 6]);
+        assert_eq!(streams[3], [3, 7]);
+        assert_eq!(streams.iter().map(Vec::len).sum::<usize>(), 10);
+        // Degenerate shapes stay total.
+        assert_eq!(session_streams(&qs, 1).len(), 1);
+        assert_eq!(session_streams(&qs, 32).len(), 32);
+        assert_eq!(
+            session_streams(&qs, 32).iter().flatten().count(),
+            10,
+            "oversubscribed deal loses nothing"
+        );
     }
 
     #[test]

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Measure multi-session concurrency: warm-query scaling across 1/4/16
+# sessions (simulated time, deterministic on any host) and media
+# exchanges of cross-session tape batching vs per-session FIFO staging.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# cargo runs bench binaries from the package dir: make the path absolute
+out="$(pwd)/${1:-BENCH_concurrency.json}"
+cargo bench -p heaven-bench --bench concurrency -- --json "$out"

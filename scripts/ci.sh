@@ -20,6 +20,16 @@ if grep -rn 'Field::Str(' \
   exit 1
 fi
 
+echo "==> no unobservable locks in core/hsm"
+# Concurrency-critical crates must lock through the vendored parking_lot
+# (contention-counting, timed acquisition feeding cache.shard_lock_wait_s)
+# and stay Sync: raw std::sync::Mutex hides contention, RefCell breaks
+# Sync at a distance.
+if grep -rn 'std::sync::Mutex\|RefCell' crates/core/src crates/hsm/src; then
+  echo "raw std::sync::Mutex/RefCell in core/hsm: use parking_lot"
+  exit 1
+fi
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -28,6 +38,25 @@ cargo bench --workspace --no-run
 
 echo "==> cargo test --workspace"
 cargo test -q --workspace
+
+echo "==> concurrency stress + invariants (release)"
+# The sharded-cache stress and batching invariants are timing-sensitive;
+# run them optimized, as the bench does.
+cargo test -q --release -p heaven-core --test concurrency
+
+echo "==> concurrency bench smoke"
+tmpjson="$(mktemp)"
+cargo bench -p heaven-bench --bench concurrency -- --json "$tmpjson" > /dev/null
+for key in '"bench": "concurrency"' '"speedup_16_over_1"' '"fifo_mounts"' '"batched_mounts"'; do
+  grep -q "$key" "$tmpjson" || { echo "BENCH_concurrency.json missing $key"; exit 1; }
+done
+python3 - "$tmpjson" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["warm"]["speedup_16_over_1"] >= 3.0, d["warm"]
+assert d["cold"]["batched_mounts"] < d["cold"]["fifo_mounts"], d["cold"]
+EOF
+rm -f "$tmpjson"
 
 echo "==> ring-path allocation guarantee"
 # Named explicitly so a regression in the zero-allocation fast path fails

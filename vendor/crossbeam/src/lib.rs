@@ -1,8 +1,159 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only the `channel` module is provided, wrapping `std::sync::mpsc`
-//! with the crossbeam calling convention. `bounded(0)` (a rendezvous
-//! channel) and `bounded(n)` map directly onto `sync_channel`.
+//! Three modules are provided:
+//!
+//! * [`channel`] — wraps `std::sync::mpsc` with the crossbeam calling
+//!   convention (`bounded(0)` is a rendezvous channel, `bounded(n)` maps
+//!   onto `sync_channel`);
+//! * [`queue`] — an MPMC work queue ([`queue::SegQueue`]) usable from any
+//!   number of producers and consumers through `&self`;
+//! * [`utils`] — [`utils::CachePadded`], aligning hot shared state to a
+//!   cache-line boundary to stop false sharing between lock stripes.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// An unbounded MPMC queue with the `crossbeam` `SegQueue` API.
+    ///
+    /// The real crate uses a lock-free segmented ring; offline, a mutexed
+    /// deque provides the same semantics (FIFO, usable through `&self`
+    /// from any thread) at lower peak throughput — enough for the staging
+    /// coordinator's pending-request queue, which is drained in batches.
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// An empty queue.
+        pub fn new() -> SegQueue<T> {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push an element to the back of the queue.
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
+        }
+
+        /// Pop the front element, or `None` when empty.
+        pub fn pop(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+        }
+
+        /// Number of queued elements (a racy snapshot under concurrency).
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// Whether the queue is empty (a racy snapshot under concurrency).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::Arc;
+
+        #[test]
+        fn fifo_order() {
+            let q = SegQueue::new();
+            q.push(1);
+            q.push(2);
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), None);
+        }
+
+        #[test]
+        fn mpmc_loses_nothing() {
+            let q = Arc::new(SegQueue::new());
+            let producers: Vec<_> = (0..4)
+                .map(|p| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        for i in 0..100 {
+                            q.push(p * 100 + i);
+                        }
+                    })
+                })
+                .collect();
+            for t in producers {
+                t.join().unwrap();
+            }
+            let mut seen = std::collections::HashSet::new();
+            while let Some(v) = q.pop() {
+                assert!(seen.insert(v));
+            }
+            assert_eq!(seen.len(), 400);
+        }
+    }
+}
+
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to 64 bytes so adjacent values (e.g. lock
+    /// stripes in an array) never share a cache line.
+    #[derive(Debug, Default)]
+    #[repr(align(64))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wrap a value.
+        pub fn new(value: T) -> CachePadded<T> {
+            CachePadded { value }
+        }
+
+        /// Unwrap.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> CachePadded<T> {
+            CachePadded::new(value)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn aligned_to_cache_line() {
+            assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 64);
+            let v = CachePadded::new(41u64);
+            assert_eq!(*v + 1, 42);
+        }
+    }
+}
 
 pub mod channel {
     use std::sync::mpsc;

@@ -2,17 +2,52 @@
 //!
 //! The build environment has no network access to the crates.io registry,
 //! so the workspace vendors API-compatible shims for the handful of
-//! external symbols it actually uses. This one wraps `std::sync` locks and
-//! exposes the poison-free `parking_lot` calling convention (`lock()`
-//! returns the guard directly).
+//! external symbols it actually uses. This one provides real mutual
+//! exclusion (backed by `std::sync` primitives) with the poison-free
+//! `parking_lot` calling convention (`lock()` returns the guard
+//! directly), plus **contention instrumentation**: every acquisition
+//! first takes the uncontended `try_lock` fast path; only when that
+//! fails does it fall into a timed blocking acquisition, counting the
+//! contended acquire and the host nanoseconds spent waiting. The
+//! process-wide totals are exposed through [`contention_stats`] so the
+//! storage hierarchy can surface lock pressure as metrics
+//! (`cache.shard_lock_wait_s` et al.) without any per-lock bookkeeping.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{self, TryLockError};
+use std::time::Instant;
 
 pub use sync::MutexGuard;
 pub use sync::{RwLockReadGuard, RwLockWriteGuard};
 
-/// A mutex with the `parking_lot` API surface, backed by `std::sync::Mutex`.
-/// Poisoning is transparently cleared, matching `parking_lot` semantics.
+/// Process-wide count of contended lock acquisitions (mutex + rwlock).
+static CONTENDED_ACQUIRES: AtomicU64 = AtomicU64::new(0);
+/// Process-wide host nanoseconds spent blocked on contended acquisitions.
+static CONTENDED_WAIT_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide lock contention totals:
+/// `(contended_acquires, total_wait_seconds)`. Wait time is *host* time
+/// (threads really block), not simulated time.
+pub fn contention_stats() -> (u64, f64) {
+    (
+        CONTENDED_ACQUIRES.load(Ordering::Relaxed),
+        CONTENDED_WAIT_NANOS.load(Ordering::Relaxed) as f64 / 1e9,
+    )
+}
+
+/// Record one contended acquisition of `nanos` host nanoseconds and
+/// return the wait in seconds. Public so wrappers that implement their
+/// own waiting (e.g. sharded caches timing a specific stripe) can fold
+/// into the same totals.
+pub fn note_contended_wait(nanos: u64) -> f64 {
+    CONTENDED_ACQUIRES.fetch_add(1, Ordering::Relaxed);
+    CONTENDED_WAIT_NANOS.fetch_add(nanos, Ordering::Relaxed);
+    nanos as f64 / 1e9
+}
+
+/// A mutex with the `parking_lot` API surface, backed by
+/// `std::sync::Mutex`. Poisoning is transparently cleared, matching
+/// `parking_lot` semantics; contended acquisitions are counted.
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
 
@@ -27,8 +62,29 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock. Uncontended acquisitions take a `try_lock` fast
+    /// path; contended ones block and are recorded in the process-wide
+    /// contention totals.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        if let Some(g) = self.try_lock() {
+            return g;
+        }
+        let t0 = Instant::now();
+        let g = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        note_contended_wait(t0.elapsed().as_nanos() as u64);
+        g
+    }
+
+    /// Acquire the lock like [`Mutex::lock`], additionally returning the
+    /// host seconds this call spent blocked (0.0 when uncontended).
+    pub fn lock_timed(&self) -> (MutexGuard<'_, T>, f64) {
+        if let Some(g) = self.try_lock() {
+            return (g, 0.0);
+        }
+        let t0 = Instant::now();
+        let g = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        let wait = note_contended_wait(t0.elapsed().as_nanos() as u64);
+        (g, wait)
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
@@ -44,7 +100,8 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
-/// A reader-writer lock with the `parking_lot` API surface.
+/// A reader-writer lock with the `parking_lot` API surface; contended
+/// acquisitions are counted like [`Mutex`].
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
 
@@ -60,14 +117,92 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
+        if let Some(g) = self.try_read() {
+            return g;
+        }
+        let t0 = Instant::now();
+        let g = self.0.read().unwrap_or_else(|e| e.into_inner());
+        note_contended_wait(t0.elapsed().as_nanos() as u64);
+        g
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
+        if let Some(g) = self.try_write() {
+            return g;
+        }
+        let t0 = Instant::now();
+        let g = self.0.write().unwrap_or_else(|e| e.into_inner());
+        note_contended_wait(t0.elapsed().as_nanos() as u64);
+        g
+    }
+
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_readers_share() {
+        let l = RwLock::new(5);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 10);
+        drop((a, b));
+        *l.write() = 7;
+        assert_eq!(*l.read(), 7);
+    }
+
+    #[test]
+    fn contention_is_counted() {
+        let m = Arc::new(Mutex::new(0u64));
+        let (acq0, _) = contention_stats();
+        let m2 = Arc::clone(&m);
+        let g = m.lock();
+        let t = std::thread::spawn(move || {
+            *m2.lock() += 1; // blocks until the main thread releases
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(g);
+        t.join().unwrap();
+        let (acq1, wait_s) = contention_stats();
+        assert!(acq1 > acq0, "contended acquire must be counted");
+        assert!(wait_s > 0.0);
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn lock_timed_uncontended_is_zero() {
+        let m = Mutex::new(());
+        let (_g, wait) = m.lock_timed();
+        assert_eq!(wait, 0.0);
     }
 }
