@@ -1,0 +1,236 @@
+//! Fault-load tails: the adversarial mixed ingest+query workload run
+//! clean and under seeded chaos (drive failures, media errors, bit rot,
+//! robot contention), with dual-copy archival and the full recovery
+//! ladder on. Reports p50/p99/p99.9 simulated query latency for both
+//! runs, the recovery overhead, and a byte-exact verification of every
+//! query answer against the generator formula (silent corruption must
+//! be zero; typed `MediaLost` losses are counted separately).
+//!
+//! Both runs execute the *identical* operation stream
+//! ([`heaven_workload::adversarial_mix`] is seeded), so the tail
+//! difference is exactly the injected faults plus their recovery cost.
+//!
+//! Pass `--json <path>` to write machine-readable results
+//! (`BENCH_faults.json` via `scripts/bench_faults.sh`).
+
+use heaven_array::{CellType, MDArray, Minterval, Point, Tile, Tiling};
+use heaven_arraydb::ArrayDb;
+use heaven_core::{ExportMode, Heaven, HeavenConfig, HeavenError};
+use heaven_rdbms::Database;
+use heaven_tape::{DeviceProfile, DiskProfile, FaultConfig, SimClock, TapeLibrary};
+use heaven_workload::{adversarial_mix, MixedOp};
+
+/// Edge of one square tile in cells.
+const TILE_EDGE: i64 = 32;
+/// Tiles per axis of every object (GRID^2 tiles, each its own super-tile).
+const GRID: i64 = 4;
+/// Objects archived before the stream starts.
+const INITIAL_OBJECTS: usize = 4;
+/// Operations in the mixed stream.
+const OPS: usize = 240;
+/// Every n-th operation ingests a new object.
+const INGEST_EVERY: usize = 24;
+/// Query box selectivity (fraction of the domain volume).
+const SELECTIVITY: f64 = 0.02;
+/// Workload + fault-schedule seed.
+const SEED: u64 = 42;
+
+fn mi(b: &[(i64, i64)]) -> Minterval {
+    Minterval::new(b).unwrap()
+}
+
+fn domain() -> Minterval {
+    mi(&[(0, GRID * TILE_EDGE - 1), (0, GRID * TILE_EDGE - 1)])
+}
+
+/// The generator formula of object index `o` — queries verify against it.
+fn object_array(o: usize) -> MDArray {
+    MDArray::generate(domain(), CellType::F32, move |p: &Point| {
+        (o as i64 * 1_000_000 + p.coord(0) * 997 + p.coord(1)) as f64
+    })
+}
+
+struct PassResult {
+    label: &'static str,
+    p50_s: f64,
+    p99_s: f64,
+    p999_s: f64,
+    queries: u64,
+    silent_corruption: u64,
+    media_lost_queries: u64,
+    drive_failures: u64,
+    media_read_errors: u64,
+    corrupted_reads: u64,
+    checksum_failures: u64,
+    retries: u64,
+    failovers: u64,
+    media_lost: u64,
+}
+
+/// Run the mixed stream once. `fault` arms the chaos plan *after* the
+/// initial archive is written (exports are fault-free, like a healthy
+/// archive that degrades in production).
+fn run_pass(label: &'static str, fault: Option<FaultConfig>) -> PassResult {
+    let clock = SimClock::new();
+    let db = Database::new(DiskProfile::scsi2003(), clock.clone(), 4096);
+    let mut adb = ArrayDb::create(db).unwrap();
+    adb.create_collection("faults", CellType::F32, 2).unwrap();
+    let tiling = Tiling::Regular {
+        tile_shape: vec![TILE_EDGE as u64, TILE_EDGE as u64],
+    };
+    let mut oids = Vec::new();
+    for o in 0..INITIAL_OBJECTS {
+        oids.push(
+            adb.insert_object("faults", &object_array(o), tiling.clone())
+                .unwrap(),
+        );
+    }
+    let tile_encoded = (Tile::header_len(2) + (TILE_EDGE * TILE_EDGE) as usize * 4) as u64;
+    let config = HeavenConfig {
+        supertile_bytes: Some(tile_encoded),
+        mem_cache_bytes: 0,
+        medium_per_object: true,
+        dual_copy: true,
+        ..HeavenConfig::default()
+    };
+    let lib = TapeLibrary::new(DeviceProfile::ibm3590(), 2, clock);
+    let mut heaven = Heaven::new(adb, lib, config);
+    for &oid in &oids {
+        heaven.export_object(oid, ExportMode::Tct).unwrap();
+    }
+    heaven.set_fault_plan(fault);
+
+    let ops = adversarial_mix(
+        &domain(),
+        INITIAL_OBJECTS,
+        OPS,
+        INGEST_EVERY,
+        SELECTIVITY,
+        SEED,
+    );
+    let mut queries = 0u64;
+    let mut silent_corruption = 0u64;
+    let mut media_lost_queries = 0u64;
+    for op in &ops {
+        match op {
+            MixedOp::Ingest => {
+                let o = oids.len();
+                let oid = heaven
+                    .arraydb_mut()
+                    .insert_object("faults", &object_array(o), tiling.clone())
+                    .unwrap();
+                heaven.export_object(oid, ExportMode::Tct).unwrap();
+                oids.push(oid);
+            }
+            MixedOp::Query { object, region } => {
+                queries += 1;
+                match heaven.fetch_region_hierarchical(oids[*object], region) {
+                    Ok(got) => {
+                        let want = object_array(*object).extract(region).unwrap();
+                        if got != want {
+                            silent_corruption += 1;
+                        }
+                    }
+                    Err(HeavenError::MediaLost { .. }) => media_lost_queries += 1,
+                    Err(e) => panic!("untyped query failure under {label}: {e}"),
+                }
+            }
+        }
+    }
+
+    let m = heaven.metrics();
+    let hist = m.histogram("heaven.query_latency_s");
+    let c = |name: &'static str| m.counter(name).get();
+    PassResult {
+        label,
+        p50_s: hist.quantile(0.50),
+        p99_s: hist.quantile(0.99),
+        p999_s: hist.quantile(0.999),
+        queries,
+        silent_corruption,
+        media_lost_queries,
+        drive_failures: c("tape.drive_failures"),
+        media_read_errors: c("tape.media_read_errors"),
+        corrupted_reads: c("tape.corrupted_reads"),
+        checksum_failures: c("hsm.checksum_failures"),
+        retries: c("hsm.retries"),
+        failovers: c("hsm.failovers"),
+        media_lost: c("hsm.media_lost"),
+    }
+}
+
+fn print_pass(r: &PassResult) {
+    println!(
+        "faults/{:<6} {:>4} queries  p50 {:>8.3}s  p99 {:>8.3}s  p99.9 {:>8.3}s  \
+         (silent corruption {}, media lost {})",
+        r.label, r.queries, r.p50_s, r.p99_s, r.p999_s, r.silent_corruption, r.media_lost_queries
+    );
+    println!(
+        "faults/{:<6} injected: {} drive failures, {} media errors, {} corrupted reads; \
+         recovered: {} retries, {} failovers, {} checksum rejects",
+        r.label,
+        r.drive_failures,
+        r.media_read_errors,
+        r.corrupted_reads,
+        r.retries,
+        r.failovers,
+        r.checksum_failures
+    );
+}
+
+fn json_pass(r: &PassResult) -> String {
+    format!(
+        "{{\n    \"queries\": {}, \"p50_s\": {:.6}, \"p99_s\": {:.6}, \"p999_s\": {:.6},\n    \
+         \"silent_corruption\": {}, \"media_lost_queries\": {},\n    \
+         \"drive_failures\": {}, \"media_read_errors\": {}, \"corrupted_reads\": {},\n    \
+         \"checksum_failures\": {}, \"retries\": {}, \"failovers\": {}, \"media_lost\": {}\n  }}",
+        r.queries,
+        r.p50_s,
+        r.p99_s,
+        r.p999_s,
+        r.silent_corruption,
+        r.media_lost_queries,
+        r.drive_failures,
+        r.media_read_errors,
+        r.corrupted_reads,
+        r.checksum_failures,
+        r.retries,
+        r.failovers,
+        r.media_lost
+    )
+}
+
+fn main() {
+    let mut json_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            json_path = args.next();
+        }
+    }
+
+    let clean = run_pass("clean", None);
+    let faulty = run_pass("faulty", Some(FaultConfig::chaos(SEED)));
+    print_pass(&clean);
+    print_pass(&faulty);
+    let overhead_p99 = faulty.p99_s / clean.p99_s.max(1e-12);
+    let overhead_p999 = faulty.p999_s / clean.p999_s.max(1e-12);
+    println!(
+        "faults/recovery overhead: p99 {overhead_p99:.2}x, p99.9 {overhead_p999:.2}x (simulated)"
+    );
+
+    if let Some(path) = json_path {
+        let out = format!(
+            "{{\n  \"bench\": \"faults\",\n  \"model\": \"adversarial mixed ingest+query stream \
+             (seed {SEED}), dual-copy on; faulty run adds the seeded chaos plan on the same \
+             stream\",\n  \"clean\": {},\n  \"faulty\": {},\n  \
+             \"recovery_overhead_p99\": {:.4},\n  \"recovery_overhead_p999\": {:.4}\n}}\n",
+            json_pass(&clean),
+            json_pass(&faulty),
+            overhead_p99,
+            overhead_p999
+        );
+        std::fs::write(&path, out).unwrap();
+        println!("wrote {path}");
+    }
+}

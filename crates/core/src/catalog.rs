@@ -16,6 +16,10 @@ pub struct SuperTileCatalog {
     supertiles: HashMap<SuperTileId, (SuperTileMeta, BlockAddress)>,
     tile_to_st: HashMap<TileId, SuperTileId>,
     by_object: HashMap<ObjectId, Vec<SuperTileId>>,
+    /// Second archive copy per super-tile (dual-copy archival).
+    replicas: HashMap<SuperTileId, BlockAddress>,
+    /// FNV-1a checksum of the wire payload, verified on every fetch.
+    checksums: HashMap<SuperTileId, u64>,
     next_id: SuperTileId,
 }
 
@@ -75,6 +79,27 @@ impl SuperTileCatalog {
             .ok_or(HeavenError::NoSuchSuperTile(st))
     }
 
+    /// Record the second archive copy of a super-tile.
+    pub fn register_replica(&mut self, st: SuperTileId, addr: BlockAddress) {
+        self.replicas.insert(st, addr);
+    }
+
+    /// The second archive copy of a super-tile, if dual-copy archival
+    /// wrote one.
+    pub fn replica(&self, st: SuperTileId) -> Option<BlockAddress> {
+        self.replicas.get(&st).copied()
+    }
+
+    /// Record the wire-payload checksum of a super-tile.
+    pub fn set_checksum(&mut self, st: SuperTileId, sum: u64) {
+        self.checksums.insert(st, sum);
+    }
+
+    /// The wire-payload checksum of a super-tile, if recorded.
+    pub fn checksum(&self, st: SuperTileId) -> Option<u64> {
+        self.checksums.get(&st).copied()
+    }
+
     /// Replace the address of a super-tile (after rewrite/compaction).
     pub fn relocate(&mut self, st: SuperTileId, addr: BlockAddress) -> Result<()> {
         match self.supertiles.get_mut(&st) {
@@ -124,6 +149,10 @@ impl SuperTileCatalog {
                 }
                 freed.push(addr);
             }
+            if let Some(r) = self.replicas.remove(&st) {
+                freed.push(r);
+            }
+            self.checksums.remove(&st);
         }
         freed
     }
@@ -141,6 +170,8 @@ impl SuperTileCatalog {
         if let Some(v) = self.by_object.get_mut(&meta.object) {
             v.retain(|&s| s != st);
         }
+        self.replicas.remove(&st);
+        self.checksums.remove(&st);
         Ok(addr)
     }
 
@@ -274,6 +305,32 @@ mod tests {
             on0.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
             vec![b, a]
         );
+    }
+
+    #[test]
+    fn replica_and_checksum_follow_supertile_lifecycle() {
+        let mut c = SuperTileCatalog::new();
+        let a = c.next_id();
+        c.register(meta(a, 1, &[(1, mi(&[(0, 9)]))]), addr(0, 0));
+        assert_eq!(c.replica(a), None);
+        assert_eq!(c.checksum(a), None);
+        c.register_replica(a, addr(9, 777));
+        c.set_checksum(a, 0xDEAD);
+        assert_eq!(c.replica(a), Some(addr(9, 777)));
+        assert_eq!(c.checksum(a), Some(0xDEAD));
+        c.remove_supertile(a).unwrap();
+        assert_eq!(c.replica(a), None);
+        assert_eq!(c.checksum(a), None);
+    }
+
+    #[test]
+    fn remove_object_frees_replicas_too() {
+        let mut c = SuperTileCatalog::new();
+        let a = c.next_id();
+        c.register(meta(a, 7, &[(1, mi(&[(0, 9)]))]), addr(3, 500));
+        c.register_replica(a, addr(4, 0));
+        let freed = c.remove_object(7);
+        assert_eq!(freed, vec![addr(3, 500), addr(4, 0)]);
     }
 
     #[test]

@@ -19,30 +19,39 @@
 //!   ([`HeavenConfig::cross_session_batching`] = false: per-session FIFO
 //!   staging), sessions enqueue their [`FetchRequest`]s with the
 //!   [`FetchBatcher`]; one session becomes the *drainer*, waits a short
-//!   batching window for peers to pile on, then stages the merged batch
-//!   in one scheduled sweep (mounted-media first, ascending offsets,
+//!   batching window for peers to pile on (a condvar handoff — each new
+//!   arrival re-arms a quiet period, so the window closes as soon as
+//!   enqueueing goes idle), then stages the merged batch in one
+//!   scheduled sweep (mounted-media first, ascending offsets,
 //!   drive-parallel rounds). Duplicate super-tile requests **coalesce**:
 //!   one tape fetch resolves every waiting session
 //!   (`sched.coalesced_fetches` counts the saved fetches).
+//!
+//! Under fault injection the batcher is also the recovery ladder: a
+//! transiently failed fetch is *requeued* into the next drain iteration
+//! (`sched.requeued_fetches`) with its coalesced waiters intact, a copy
+//! that exhausts its retries or fails checksum verification fails over
+//! to the replica, and only when every copy is gone do the waiters get a
+//! typed [`HeavenError::MediaLost`].
 
 use crate::cache::{CacheStats, SuperTileCache, TileCache};
 use crate::catalog::SuperTileCatalog;
 use crate::config::HeavenConfig;
 use crate::error::{HeavenError, Result};
+use crate::recovery::{read_with_recovery, RecoveryMetrics};
 use crate::scheduler::{plan_drive_rounds, schedule, FetchRequest};
-use crate::supertile::{decode_member, SuperTileId};
+use crate::supertile::{checksum64, decode_member, SuperTileId};
 use crate::system::Heaven;
 use bytes::Bytes;
-use crossbeam::queue::SegQueue;
 use heaven_array::{MDArray, Minterval, ObjectId, TileId};
 use heaven_arraydb::{ArrayDb, TileLocation};
-use heaven_hsm::{BlockAddress, DirectStore};
+use heaven_hsm::{BlockAddress, DirectStore, HsmError};
 use heaven_obs::{Counter, MetricsRegistry, TraceBus};
-use heaven_tape::{SimClock, TapeStats};
-use parking_lot::{Mutex, RwLock};
+use heaven_tape::{SimClock, TapeError, TapeStats};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Concurrency-path metric handles (same registry as the rest of the
 /// hierarchy; `heaven.*` names continue the single-owner counters).
@@ -59,6 +68,9 @@ struct ConcMetrics {
     batches: Counter,
     /// Fetch requests staged through cross-session batches.
     batched_fetches: Counter,
+    /// Batched fetches put back in the queue after a transient failure
+    /// (retry) or for their replica copy (failover).
+    requeued_fetches: Counter,
 }
 
 impl ConcMetrics {
@@ -71,6 +83,38 @@ impl ConcMetrics {
             coalesced_fetches: registry.counter("sched.coalesced_fetches"),
             batches: registry.counter("sched.batches"),
             batched_fetches: registry.counter("sched.batched_fetches"),
+            requeued_fetches: registry.counter("sched.requeued_fetches"),
+        }
+    }
+}
+
+/// A queued tertiary fetch plus its recovery state: which attempt this
+/// is, whether it already failed over to the second copy, and the
+/// catalog's replica/checksum for that failover.
+#[derive(Debug, Clone, Copy)]
+struct PendingFetch {
+    req: FetchRequest,
+    attempt: u32,
+    on_replica: bool,
+    replica: Option<BlockAddress>,
+    checksum: Option<u64>,
+}
+
+/// Why a batched fetch ultimately failed (cloned to every coalesced
+/// waiter, then mapped to a [`HeavenError`]).
+#[derive(Debug, Clone)]
+enum FetchFailure {
+    /// Every archive copy was unreadable or corrupt.
+    MediaLost(SuperTileId),
+    /// A non-recoverable error (bad address, codec failure, ...).
+    Other(String),
+}
+
+impl FetchFailure {
+    fn into_error(self) -> HeavenError {
+        match self {
+            FetchFailure::MediaLost(st) => HeavenError::MediaLost { st },
+            FetchFailure::Other(m) => HeavenError::Config(format!("batched fetch failed: {m}")),
         }
     }
 }
@@ -79,23 +123,38 @@ impl ConcMetrics {
 /// super-tile holds the same `Arc<Inflight>` and reads the same outcome.
 /// The payload `Bytes` clone is a refcount bump, and `done_s` is the
 /// shared-clock instant the staging round completed (waiters fast-forward
-/// their lanes to it).
+/// their lanes to it). `done` is signalled exactly once, when the slot is
+/// filled.
 #[derive(Debug, Default)]
 struct Inflight {
-    slot: Mutex<Option<std::result::Result<(Bytes, f64), String>>>,
+    slot: Mutex<Option<std::result::Result<(Bytes, f64), FetchFailure>>>,
+    done: Condvar,
+}
+
+/// Arrival-ordered fetch queue plus a monotone arrival counter for the
+/// batching window's quiet-period detection (requeues don't count — they
+/// come from the drainer itself).
+#[derive(Debug, Default)]
+struct BatchQueue {
+    pending: Vec<PendingFetch>,
+    arrivals: u64,
 }
 
 /// The cross-session staging coordinator (a combining lock).
 ///
 /// `inflight` registers-or-coalesces under one critical section (a request
-/// is pushed to `pending` in the same section, so no request is ever both
+/// is pushed to the queue in the same section, so no request is ever both
 /// unqueued and unobserved). Whichever waiting session wins `drain`
-/// becomes the drainer: it sleeps the batching window (host time — it
-/// yields the core so peer sessions get to enqueue), then stages the
-/// merged batch in one scheduled, drive-parallel sweep.
+/// becomes the drainer: it waits out the batching window on the `arrived`
+/// condvar (each arrival re-arms a short quiet period, so the window
+/// closes early once peers stop enqueueing), then stages the merged batch
+/// in one scheduled, drive-parallel sweep — repeating until the queue is
+/// empty so that requeued retries/failovers are staged before the drainer
+/// seat is vacated. Non-drainers park on their entry's `done` condvar.
 #[derive(Debug)]
 pub(crate) struct FetchBatcher {
-    pending: SegQueue<FetchRequest>,
+    queue: Mutex<BatchQueue>,
+    arrived: Condvar,
     inflight: Mutex<HashMap<SuperTileId, Arc<Inflight>>>,
     drain: Mutex<()>,
     window: Duration,
@@ -104,7 +163,8 @@ pub(crate) struct FetchBatcher {
 impl FetchBatcher {
     fn new(window: Duration) -> FetchBatcher {
         FetchBatcher {
-            pending: SegQueue::new(),
+            queue: Mutex::new(BatchQueue::default()),
+            arrived: Condvar::new(),
             inflight: Mutex::new(HashMap::new()),
             drain: Mutex::new(()),
             window,
@@ -113,60 +173,110 @@ impl FetchBatcher {
 
     /// Fetch a super-tile through the shared batch: returns the
     /// (decompressed) payload and the shared-clock completion instant.
-    fn fetch(&self, h: &ConcurrentHeaven, req: FetchRequest) -> Result<(Bytes, f64)> {
+    fn fetch(&self, h: &ConcurrentHeaven, p: PendingFetch) -> Result<(Bytes, f64)> {
         let entry = {
             let mut map = self.inflight.lock();
-            match map.get(&req.st) {
+            match map.get(&p.req.st) {
                 Some(e) => {
                     h.metrics.coalesced_fetches.inc();
                     Arc::clone(e)
                 }
                 None => {
                     let e = Arc::new(Inflight::default());
-                    map.insert(req.st, Arc::clone(&e));
-                    self.pending.push(req);
+                    map.insert(p.req.st, Arc::clone(&e));
+                    let mut q = self.queue.lock();
+                    q.pending.push(p);
+                    q.arrivals += 1;
+                    self.arrived.notify_all();
                     e
                 }
             }
         };
         loop {
             if let Some(outcome) = entry.slot.lock().clone() {
-                return outcome
-                    .map_err(|m| HeavenError::Config(format!("batched fetch failed: {m}")));
+                return outcome.map_err(FetchFailure::into_error);
             }
             match self.drain.try_lock() {
                 Some(_drainer) => {
-                    if !self.window.is_zero() {
-                        // Hold the drain lock through the window: peers
-                        // keep enqueueing instead of starting rival
-                        // drains, and on a single core the sleep yields
-                        // the CPU to exactly those peers.
-                        std::thread::sleep(self.window);
+                    self.wait_window();
+                    // Drain until the queue is quiet: requeued retries and
+                    // replica failovers are staged before the drainer seat
+                    // is vacated, so their coalesced waiters are never
+                    // stranded behind an empty election.
+                    loop {
+                        self.drain_all(h);
+                        if self.queue.lock().pending.is_empty() {
+                            break;
+                        }
                     }
-                    self.drain_all(h);
                 }
-                None => std::thread::yield_now(),
+                None => {
+                    let slot = entry.slot.lock();
+                    if slot.is_none() {
+                        // Timed wait: if the drainer vacated between our
+                        // slot check and this park, the timeout re-runs
+                        // the drainer election above.
+                        let _ = entry.done.wait_for(slot, Duration::from_millis(1));
+                    }
+                }
             }
         }
     }
 
-    /// Stage every pending request in one scheduled sweep and resolve the
-    /// waiters. Failures resolve the affected entries (nobody is left
-    /// spinning on a fetch that will never complete).
-    fn drain_all(&self, h: &ConcurrentHeaven) {
-        let mut reqs = Vec::new();
-        while let Some(r) = self.pending.pop() {
-            reqs.push(r);
+    /// Wait out the batching window on the arrival condvar: each new
+    /// arrival re-arms a short quiet period, and the wait ends at the
+    /// first quiet period (or the full window, whichever comes first).
+    /// Peers enqueue freely while the drainer sleeps — the queue lock is
+    /// released inside `wait_for`.
+    fn wait_window(&self) {
+        if self.window.is_zero() {
+            return;
         }
+        let quiet = self.window.min(Duration::from_millis(2));
+        let deadline = Instant::now() + self.window;
+        let mut q = self.queue.lock();
+        loop {
+            let seen = q.arrivals;
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            let (g, _) = self.arrived.wait_for(q, quiet.min(deadline - now));
+            q = g;
+            if q.arrivals == seen {
+                return; // a full quiet period passed with no arrivals
+            }
+        }
+    }
+
+    /// Stage every queued request in one scheduled sweep and resolve the
+    /// waiters. Transient failures requeue (with their coalesced waiters
+    /// intact — the inflight entry survives); failures resolve the
+    /// affected entries (nobody is left parked on a fetch that will never
+    /// complete).
+    fn drain_all(&self, h: &ConcurrentHeaven) {
+        let reqs: Vec<PendingFetch> = std::mem::take(&mut self.queue.lock().pending);
         if reqs.is_empty() {
             return;
         }
         let mut store = h.store.lock();
+        // Retried requests owe their backoff before re-reading; the whole
+        // batch backs off in parallel, so one charge (the largest) covers
+        // the drain.
+        let max_attempt = reqs.iter().map(|p| p.attempt).max().unwrap_or(0);
+        if max_attempt > 0 {
+            store
+                .clock()
+                .advance_s(h.config.retry.backoff_s(max_attempt));
+        }
+        let by_st: HashMap<SuperTileId, PendingFetch> =
+            reqs.iter().map(|p| (p.req.st, *p)).collect();
+        let plain: Vec<FetchRequest> = reqs.iter().map(|p| p.req).collect();
         let mounted = store.library().mounted_media();
         let order = if h.config.scheduling {
-            schedule(&reqs, &mounted)
+            schedule(&plain, &mounted)
         } else {
-            reqs
+            plain
         };
         h.metrics.batches.inc();
         h.metrics.batched_fetches.add(order.len() as u64);
@@ -178,48 +288,152 @@ impl FetchBatcher {
             &[
                 ("fetches", order.len().into()),
                 ("rounds", rounds.len().into()),
+                ("max_attempt", (max_attempt as u64).into()),
             ],
         );
         for round in rounds {
-            let groups: Vec<Vec<BlockAddress>> = round
-                .iter()
-                .map(|g| g.iter().map(|r| r.addr).collect())
-                .collect();
-            match store.read_parallel(&groups) {
-                Ok((payloads, _window)) => {
-                    let done_s = store.clock().now_s();
-                    for (group, raws) in round.iter().zip(payloads) {
-                        for (r, raw) in group.iter().zip(raws) {
-                            h.metrics.st_tape_fetches.inc();
-                            h.metrics.st_tape_bytes.add(r.addr.len);
-                            let refetch = store.estimate_read_s(r.addr);
-                            let outcome = match h.maybe_decompress(raw) {
-                                Ok(p) => {
-                                    h.st_cache.put(r.st, p.clone(), refetch);
-                                    Ok((p, done_s))
-                                }
-                                Err(e) => Err(e.to_string()),
-                            };
-                            self.resolve(r.st, outcome);
+            // One drive per group: run each group on a detached clock lane
+            // and land the slowest lane on the shared timeline, so groups
+            // transfer in parallel but errors stay per-request.
+            let t0 = store.clock().now_s();
+            let mut window = 0.0f64;
+            let mut results: Vec<(FetchRequest, std::result::Result<Bytes, HsmError>)> =
+                Vec::with_capacity(round.iter().map(Vec::len).sum());
+            for group in &round {
+                let (res, dt) = store.library_mut().run_detached(|lib| {
+                    group
+                        .iter()
+                        .map(|r| {
+                            let read = lib
+                                .read(r.addr.medium, r.addr.offset, r.addr.len)
+                                .map_err(HsmError::from);
+                            (*r, read)
+                        })
+                        .collect::<Vec<_>>()
+                });
+                results.extend(res);
+                window = window.max(dt);
+            }
+            store.clock().advance_to_s(t0 + window);
+            let done_s = store.clock().now_s();
+            for (r, res) in results {
+                let p = by_st.get(&r.st).copied().unwrap_or(PendingFetch {
+                    req: r,
+                    attempt: 0,
+                    on_replica: false,
+                    replica: None,
+                    checksum: None,
+                });
+                match res {
+                    Ok(raw) => {
+                        if let Some(sum) = p.checksum {
+                            if checksum64(&raw) != sum {
+                                // Persistent corruption on this copy: no
+                                // same-copy retry, straight to the replica.
+                                h.recovery.checksum_failures.inc();
+                                h.bus.event(
+                                    "hsm.checksum_failure",
+                                    done_s,
+                                    &[
+                                        ("st", r.st.into()),
+                                        ("medium", r.addr.medium.into()),
+                                        ("replica", (p.on_replica as u64).into()),
+                                    ],
+                                );
+                                self.fail_over(h, p);
+                                continue;
+                            }
+                        }
+                        h.metrics.st_tape_fetches.inc();
+                        h.metrics.st_tape_bytes.add(r.addr.len);
+                        let refetch = store.estimate_read_s(r.addr);
+                        match h.maybe_decompress(raw) {
+                            Ok(payload) => {
+                                h.st_cache.put(r.st, payload.clone(), refetch);
+                                self.resolve(r.st, Ok((payload, done_s)));
+                            }
+                            Err(e) => self.resolve(r.st, Err(FetchFailure::Other(e.to_string()))),
                         }
                     }
-                }
-                Err(e) => {
-                    let msg = e.to_string();
-                    for group in &round {
-                        for r in group {
-                            self.resolve(r.st, Err(msg.clone()));
+                    Err(HsmError::Tape(te)) if te.is_transient() => {
+                        if matches!(te, TapeError::DriveFailed { .. }) {
+                            // The next drain's mount picks a healthy drive.
+                            h.recovery.failovers.inc();
+                        }
+                        if p.attempt < h.config.retry.max_retries {
+                            h.recovery.retries.inc();
+                            self.requeue(
+                                h,
+                                PendingFetch {
+                                    attempt: p.attempt + 1,
+                                    ..p
+                                },
+                            );
+                        } else {
+                            self.fail_over(h, p);
                         }
                     }
+                    Err(e) => self.resolve(r.st, Err(FetchFailure::Other(e.to_string()))),
                 }
             }
         }
     }
 
-    fn resolve(&self, st: SuperTileId, outcome: std::result::Result<(Bytes, f64), String>) {
+    /// Move a request to its second archive copy, or declare the
+    /// super-tile lost when there is none (or the replica failed too).
+    fn fail_over(&self, h: &ConcurrentHeaven, p: PendingFetch) {
+        if !p.on_replica {
+            if let Some(r) = p.replica {
+                self.requeue(
+                    h,
+                    PendingFetch {
+                        req: FetchRequest {
+                            st: p.req.st,
+                            addr: r,
+                        },
+                        attempt: 0,
+                        on_replica: true,
+                        ..p
+                    },
+                );
+                return;
+            }
+        }
+        h.recovery.media_lost.inc();
+        h.bus.event(
+            "hsm.media_lost",
+            h.clock.now_s(),
+            &[("st", p.req.st.into())],
+        );
+        self.resolve(p.req.st, Err(FetchFailure::MediaLost(p.req.st)));
+    }
+
+    /// Put a request back in the queue for the next drain iteration. The
+    /// inflight entry stays, so every coalesced waiter keeps waiting on
+    /// the same slot — nobody is dropped or double-notified.
+    fn requeue(&self, h: &ConcurrentHeaven, p: PendingFetch) {
+        h.metrics.requeued_fetches.inc();
+        h.bus.event(
+            "sched.requeue",
+            h.clock.now_s(),
+            &[
+                ("st", p.req.st.into()),
+                ("attempt", (p.attempt as u64).into()),
+                ("replica", (p.on_replica as u64).into()),
+            ],
+        );
+        // No arrivals bump: requeues come from the drainer itself and must
+        // not re-arm the batching window's quiet period.
+        self.queue.lock().pending.push(p);
+    }
+
+    fn resolve(&self, st: SuperTileId, outcome: std::result::Result<(Bytes, f64), FetchFailure>) {
         let entry = self.inflight.lock().remove(&st);
         if let Some(e) = entry {
-            *e.slot.lock() = Some(outcome);
+            let mut slot = e.slot.lock();
+            debug_assert!(slot.is_none(), "double notify on super-tile {st}");
+            *slot = Some(outcome);
+            e.done.notify_all();
         }
     }
 }
@@ -245,6 +459,7 @@ pub struct ConcurrentHeaven {
     bus: TraceBus,
     clock: SimClock,
     metrics: ConcMetrics,
+    recovery: RecoveryMetrics,
 }
 
 impl ConcurrentHeaven {
@@ -254,6 +469,7 @@ impl ConcurrentHeaven {
             heaven.into_concurrent_parts();
         let clock = store.clock();
         let metrics = ConcMetrics::new(&registry);
+        let recovery = RecoveryMetrics::new(&registry);
         ConcurrentHeaven {
             adb: Mutex::new(adb),
             store: Mutex::new(store),
@@ -266,6 +482,7 @@ impl ConcurrentHeaven {
             bus,
             clock,
             metrics,
+            recovery,
         }
     }
 
@@ -286,6 +503,12 @@ impl ConcurrentHeaven {
         self.batcher.window = window;
     }
 
+    /// Arm (or disarm, with `None`) deterministic fault injection on the
+    /// shared library — the concurrent twin of [`Heaven::set_fault_plan`].
+    pub fn set_fault_plan(&self, config: Option<heaven_tape::FaultConfig>) {
+        self.store.lock().library_mut().set_fault_plan(config);
+    }
+
     /// The shared simulated clock (re-joined by every finished session).
     pub fn clock(&self) -> SimClock {
         self.clock.clone()
@@ -304,6 +527,11 @@ impl ConcurrentHeaven {
     /// Tertiary-storage statistics.
     pub fn tape_stats(&self) -> TapeStats {
         self.store.lock().stats()
+    }
+
+    /// Fault-injection statistics of the shared library.
+    pub fn fault_stats(&self) -> heaven_tape::FaultStats {
+        self.store.lock().library().fault_stats()
     }
 
     /// Disk super-tile cache statistics.
@@ -415,15 +643,25 @@ impl Session<'_> {
 
     /// Stage a super-tile payload: striped-cache hit (charged to this
     /// session's lane), else a tertiary fetch — batched across sessions,
-    /// or per-session FIFO when batching is off.
+    /// or per-session FIFO when batching is off. Either path runs the
+    /// full recovery ladder (retry, failover, dual-copy) under faults.
     fn supertile_payload(&self, st: SuperTileId) -> Result<Bytes> {
         if let Some(p) = self.h.st_cache.get_clocked(st, &self.lane) {
             return Ok(p);
         }
-        let addr = self.h.catalog.read().address(st)?;
-        let req = FetchRequest { st, addr };
+        let (addr, replica, checksum) = {
+            let cat = self.h.catalog.read();
+            (cat.address(st)?, cat.replica(st), cat.checksum(st))
+        };
         if self.h.config.cross_session_batching {
-            let (payload, done_s) = self.h.batcher.fetch(self.h, req)?;
+            let p = PendingFetch {
+                req: FetchRequest { st, addr },
+                attempt: 0,
+                on_replica: false,
+                replica,
+                checksum,
+            };
+            let (payload, done_s) = self.h.batcher.fetch(self.h, p)?;
             self.lane.advance_to_s(done_s);
             Ok(payload)
         } else {
@@ -431,7 +669,16 @@ impl Session<'_> {
             // the store for the whole access (the baseline the batcher is
             // measured against).
             let mut store = self.h.store.lock();
-            let raw = store.read(addr)?;
+            let raw = read_with_recovery(
+                &mut store,
+                st,
+                addr,
+                replica,
+                checksum,
+                &self.h.config.retry,
+                &self.h.recovery,
+                &self.h.bus,
+            )?;
             self.h.metrics.st_tape_fetches.inc();
             self.h.metrics.st_tape_bytes.add(addr.len);
             let refetch = store.estimate_read_s(addr);

@@ -29,6 +29,13 @@ pub enum HeavenError {
     Tape(TapeError),
     /// HSM failure.
     Hsm(HsmError),
+    /// Every archive copy of a super-tile is unreadable (retries and
+    /// dual-copy failover exhausted). The data is gone; the query fails
+    /// loudly instead of returning corrupt bytes.
+    MediaLost {
+        /// The unrecoverable super-tile.
+        st: u64,
+    },
 }
 
 impl fmt::Display for HeavenError {
@@ -44,6 +51,9 @@ impl fmt::Display for HeavenError {
             HeavenError::ArrayDb(e) => write!(f, "array dbms: {e}"),
             HeavenError::Tape(e) => write!(f, "tertiary storage: {e}"),
             HeavenError::Hsm(e) => write!(f, "hsm: {e}"),
+            HeavenError::MediaLost { st } => {
+                write!(f, "super-tile {st} lost: all archive copies unreadable")
+            }
         }
     }
 }

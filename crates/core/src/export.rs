@@ -17,7 +17,7 @@ use crate::config::ClusteringStrategy;
 use crate::error::{HeavenError, Result};
 use crate::estar::estar_partition;
 use crate::star::{star_partition, TileInfo};
-use crate::supertile::{encode_supertile, SuperTileMeta};
+use crate::supertile::{checksum64, encode_supertile, SuperTileMeta};
 use crate::system::Heaven;
 use heaven_array::{ObjectId, Tile};
 use heaven_tape::{MediumId, WritePayload};
@@ -94,7 +94,16 @@ impl Heaven {
             raw_bytes += payload.len() as u64;
             let wire = self.maybe_compress(payload);
             bytes += wire.len() as u64;
-            let addr = self.store.append(WritePayload::Real(wire))?;
+            let checksum = checksum64(&wire);
+            let addr = self.store.append(WritePayload::Real(wire.clone()))?;
+            let replica = if self.config.dual_copy {
+                Some(
+                    self.store
+                        .append_replica(WritePayload::Real(wire), addr.medium)?,
+                )
+            } else {
+                None
+            };
             let t2 = clock.now_s();
             dbms_read_s += t1 - t0;
             tape_write_s += t2 - t1;
@@ -111,7 +120,7 @@ impl Heaven {
                     ("write_s", (t2 - t1).into()),
                 ],
             );
-            self.register_supertile(st_meta, addr)?;
+            self.register_supertile(st_meta, addr, replica, checksum)?;
             self.adb.mark_exported(*tid)?;
         }
         let elapsed = clock.now_s() - start;
@@ -205,7 +214,18 @@ impl Heaven {
                 raw_bytes += payload.len() as u64;
                 let wire = self.maybe_compress(payload);
                 bytes += wire.len() as u64;
-                let addr = self.store.append(WritePayload::Real(wire))?;
+                let checksum = checksum64(&wire);
+                let addr = self.store.append(WritePayload::Real(wire.clone()))?;
+                // The second copy is deliberately kept off the primary's
+                // medium so one dead tape can't take both.
+                let replica = if self.config.dual_copy {
+                    Some(
+                        self.store
+                            .append_replica(WritePayload::Real(wire), addr.medium)?,
+                    )
+                } else {
+                    None
+                };
                 let t2 = clock.now_s();
                 dbms_read_s += t1 - t0;
                 tape_write_s += t2 - t1;
@@ -226,7 +246,7 @@ impl Heaven {
                 for m in &st_meta.members {
                     self.adb.mark_exported(m.tile)?;
                 }
-                self.register_supertile(st_meta, addr)?;
+                self.register_supertile(st_meta, addr, replica, checksum)?;
             }
             drop(tx_tiles);
             Ok(())

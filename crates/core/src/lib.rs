@@ -33,6 +33,7 @@ pub mod export;
 pub mod maintenance;
 pub(crate) mod persist;
 pub mod precomp;
+pub(crate) mod recovery;
 pub mod report;
 pub mod scheduler;
 pub mod sizing;
@@ -43,7 +44,7 @@ pub mod system;
 pub use cache::{CacheStats, EvictionPolicy, SuperTileCache, TileCache};
 pub use catalog::SuperTileCatalog;
 pub use concurrent::{ConcurrentHeaven, Session};
-pub use config::{ClusteringStrategy, HeavenConfig, PrefetchPolicy};
+pub use config::{ClusteringStrategy, HeavenConfig, PrefetchPolicy, RetryPolicy};
 pub use error::{HeavenError, Result};
 pub use estar::{estar_partition, AccessPattern};
 pub use export::{pipeline_makespan, ExportMode, ExportReport};
@@ -53,6 +54,7 @@ pub use scheduler::{count_exchanges, plan_drive_rounds, schedule, seek_distance,
 pub use sizing::{expected_query_cost_s, optimal_supertile_size};
 pub use star::{bytes_touched, groups_touched, star_partition, TileInfo};
 pub use supertile::{
-    decode_all, decode_member, encode_supertile, MemberEntry, SuperTileId, SuperTileMeta,
+    checksum64, decode_all, decode_member, encode_supertile, MemberEntry, SuperTileId,
+    SuperTileMeta,
 };
 pub use system::{Heaven, HeavenStats};

@@ -120,11 +120,20 @@ impl Heaven {
             let new_id = self.catalog.next_id();
             let (new_payload, new_meta) = crate::supertile::encode_supertile(new_id, oid, &tiles);
             let wire = self.maybe_compress(new_payload);
-            let addr = self.store.append(WritePayload::Real(wire))?;
+            let checksum = crate::supertile::checksum64(&wire);
+            let addr = self.store.append(WritePayload::Real(wire.clone()))?;
+            let replica = if self.config.dual_copy {
+                Some(
+                    self.store
+                        .append_replica(WritePayload::Real(wire), addr.medium)?,
+                )
+            } else {
+                None
+            };
             let old_addr = self.unregister_supertile(st)?;
             *self.dead_bytes.entry(old_addr.medium).or_insert(0) += old_addr.len;
             self.st_cache.invalidate(st);
-            self.register_supertile(new_meta, addr)?;
+            self.register_supertile(new_meta, addr, replica, checksum)?;
         }
         self.precomp.invalidate_object(oid);
         Ok(())
@@ -152,6 +161,7 @@ impl Heaven {
             let segments = self.store.library().medium_segments(medium)?;
             for (offset, len) in segments {
                 let raw = self.store.library_mut().read(medium, offset, len)?;
+                let checksum = crate::supertile::checksum64(&raw);
                 let Ok(payload) = self.maybe_decompress(raw) else {
                     continue;
                 };
@@ -193,7 +203,11 @@ impl Heaven {
                     offset,
                     len,
                 };
-                self.register_supertile(meta, addr)?;
+                // A scavenged block has no known second copy: replica
+                // pairing lives only in the (lost) catalog. A replica
+                // segment parses like its primary and simply supersedes
+                // it in tape order, so redundancy degrades to one copy.
+                self.register_supertile(meta, addr, None, checksum)?;
                 recovered += 1;
             }
         }

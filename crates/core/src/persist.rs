@@ -22,7 +22,17 @@ pub(crate) struct CatalogStore {
     rows: HashMap<SuperTileId, (RowId, u64 /* members blob */)>,
 }
 
-const ROW_LEN: usize = 8 * 6;
+/// Fixed head row: [id, object, medium, offset, len, blob, checksum,
+/// replica_medium, replica_offset, replica_len] as LE u64s. A replica
+/// length of `u64::MAX` means "no second copy".
+const ROW_LEN: usize = 8 * 10;
+
+/// Sentinel replica length encoding "no second copy".
+const NO_REPLICA: u64 = u64::MAX;
+
+/// One reloaded catalog entry: meta, primary address, optional replica
+/// address, and wire-payload checksum.
+pub(crate) type CatalogRow = (SuperTileMeta, BlockAddress, Option<BlockAddress>, u64);
 
 impl CatalogStore {
     /// Create the persistent structures.
@@ -34,15 +44,22 @@ impl CatalogStore {
         })
     }
 
-    /// Persist a newly registered super-tile.
+    /// Persist a newly registered super-tile with its optional second
+    /// copy and wire-payload checksum.
     pub fn insert(
         &mut self,
         db: &mut Database,
         meta: &SuperTileMeta,
         addr: BlockAddress,
+        replica: Option<BlockAddress>,
+        checksum: u64,
     ) -> Result<()> {
         let members = encode_members(&meta.members);
         let blob = self.blobs.put(db, &members).map_err(wrap)?;
+        let (rm, ro, rl) = match replica {
+            Some(r) => (r.medium, r.offset, r.len),
+            None => (0, 0, NO_REPLICA),
+        };
         let mut row = Vec::with_capacity(ROW_LEN);
         row.extend_from_slice(&meta.id.to_le_bytes());
         row.extend_from_slice(&meta.object.to_le_bytes());
@@ -50,6 +67,10 @@ impl CatalogStore {
         row.extend_from_slice(&addr.offset.to_le_bytes());
         row.extend_from_slice(&addr.len.to_le_bytes());
         row.extend_from_slice(&blob.to_le_bytes());
+        row.extend_from_slice(&checksum.to_le_bytes());
+        row.extend_from_slice(&rm.to_le_bytes());
+        row.extend_from_slice(&ro.to_le_bytes());
+        row.extend_from_slice(&rl.to_le_bytes());
         let rid = self.table.insert(db, &row).map_err(wrap)?;
         self.rows.insert(meta.id, (rid, blob));
         Ok(())
@@ -64,21 +85,24 @@ impl CatalogStore {
         Ok(())
     }
 
-    /// Update a super-tile's address (after compaction).
+    /// Update a super-tile's address (after compaction), keeping its
+    /// replica address and checksum.
     pub fn update_addr(
         &mut self,
         db: &mut Database,
         st: SuperTileId,
         meta: &SuperTileMeta,
         addr: BlockAddress,
+        replica: Option<BlockAddress>,
+        checksum: u64,
     ) -> Result<()> {
         self.remove(db, st)?;
-        self.insert(db, meta, addr)
+        self.insert(db, meta, addr, replica, checksum)
     }
 
     /// Load every persisted super-tile (used after a restart/recovery).
     /// Also repopulates the row map so subsequent mutations keep working.
-    pub fn load_all(&mut self, db: &mut Database) -> Result<Vec<(SuperTileMeta, BlockAddress)>> {
+    pub fn load_all(&mut self, db: &mut Database) -> Result<Vec<CatalogRow>> {
         self.rows.clear();
         let mut out = Vec::new();
         for (rid, row) in self.table.scan(db).map_err(wrap)? {
@@ -88,6 +112,16 @@ impl CatalogStore {
             let rd = |i: usize| u64::from_le_bytes(row[i * 8..(i + 1) * 8].try_into().unwrap());
             let (id, object, medium, offset, len, blob) =
                 (rd(0), rd(1), rd(2), rd(3), rd(4), rd(5));
+            let checksum = rd(6);
+            let replica = if rd(9) == NO_REPLICA {
+                None
+            } else {
+                Some(BlockAddress {
+                    medium: rd(7),
+                    offset: rd(8),
+                    len: rd(9),
+                })
+            };
             let members = decode_members(&self.blobs.get(db, blob).map_err(wrap)?)?;
             let total_len = members.iter().map(|m| m.len).sum();
             self.rows.insert(id, (rid, blob));
@@ -103,6 +137,8 @@ impl CatalogStore {
                     offset,
                     len,
                 },
+                replica,
+                checksum,
             ));
         }
         Ok(out)
@@ -224,21 +260,26 @@ mod tests {
     fn insert_load_roundtrip() {
         let mut db = Database::for_tests();
         let mut cs = CatalogStore::create(&mut db).unwrap();
-        cs.insert(&mut db, &meta(1), addr(0)).unwrap();
-        cs.insert(&mut db, &meta(2), addr(3)).unwrap();
+        cs.insert(&mut db, &meta(1), addr(0), None, 0xFEED).unwrap();
+        cs.insert(&mut db, &meta(2), addr(3), Some(addr(7)), 42)
+            .unwrap();
         let mut loaded = cs.load_all(&mut db).unwrap();
-        loaded.sort_by_key(|(m, _)| m.id);
+        loaded.sort_by_key(|(m, ..)| m.id);
         assert_eq!(loaded.len(), 2);
         assert_eq!(loaded[0].0, meta(1));
         assert_eq!(loaded[0].1, addr(0));
+        assert_eq!(loaded[0].2, None);
+        assert_eq!(loaded[0].3, 0xFEED);
         assert_eq!(loaded[1].1, addr(3));
+        assert_eq!(loaded[1].2, Some(addr(7)));
+        assert_eq!(loaded[1].3, 42);
     }
 
     #[test]
     fn remove_drops_entry() {
         let mut db = Database::for_tests();
         let mut cs = CatalogStore::create(&mut db).unwrap();
-        cs.insert(&mut db, &meta(1), addr(0)).unwrap();
+        cs.insert(&mut db, &meta(1), addr(0), None, 0).unwrap();
         cs.remove(&mut db, 1).unwrap();
         assert!(cs.load_all(&mut db).unwrap().is_empty());
         // idempotent
@@ -250,18 +291,21 @@ mod tests {
         let mut db = Database::for_tests();
         let mut cs = CatalogStore::create(&mut db).unwrap();
         let m = meta(1);
-        cs.insert(&mut db, &m, addr(0)).unwrap();
-        cs.update_addr(&mut db, 1, &m, addr(9)).unwrap();
+        cs.insert(&mut db, &m, addr(0), Some(addr(4)), 11).unwrap();
+        cs.update_addr(&mut db, 1, &m, addr(9), Some(addr(4)), 11)
+            .unwrap();
         let loaded = cs.load_all(&mut db).unwrap();
         assert_eq!(loaded.len(), 1);
         assert_eq!(loaded[0].1.medium, 9);
+        assert_eq!(loaded[0].2, Some(addr(4)), "replica survives relocation");
+        assert_eq!(loaded[0].3, 11, "checksum survives relocation");
     }
 
     #[test]
     fn mutations_work_after_reload() {
         let mut db = Database::for_tests();
         let mut cs = CatalogStore::create(&mut db).unwrap();
-        cs.insert(&mut db, &meta(1), addr(0)).unwrap();
+        cs.insert(&mut db, &meta(1), addr(0), None, 0).unwrap();
         cs.load_all(&mut db).unwrap(); // rebuilds row map
         cs.remove(&mut db, 1).unwrap();
         assert!(cs.load_all(&mut db).unwrap().is_empty());

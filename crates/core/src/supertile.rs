@@ -121,6 +121,20 @@ pub fn decode_all(meta: &SuperTileMeta, payload: &Bytes) -> Result<Vec<Tile>> {
         .collect()
 }
 
+/// 64-bit FNV-1a checksum of a super-tile **wire** payload (the exact
+/// bytes written to the medium, after optional compression). Computed
+/// once at export, stored in the catalog, and verified on every full
+/// super-tile fetch; a mismatch means the medium (or the read path)
+/// silently corrupted the data, and the fetch falls back to the replica.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,5 +228,18 @@ mod tests {
         let (payload, meta) = encode_supertile(1, 7, &tiles);
         let t = decode_member(&meta, &payload, 102).unwrap();
         assert_eq!(t.data.get_f64(&Point::new(vec![25, 3])).unwrap(), 25003.0);
+    }
+
+    #[test]
+    fn checksum_catches_any_single_bit_flip() {
+        let (payload, _) = encode_supertile(1, 7, &make_tiles());
+        let base = checksum64(&payload);
+        assert_eq!(base, checksum64(&payload), "deterministic");
+        let mut buf = payload.to_vec();
+        for bit in [0usize, 7, 63, buf.len() * 8 - 1] {
+            buf[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(checksum64(&buf), base, "bit {bit} flip undetected");
+            buf[bit / 8] ^= 1 << (bit % 8);
+        }
     }
 }

@@ -13,6 +13,7 @@ use crate::config::{HeavenConfig, PrefetchPolicy};
 use crate::error::{HeavenError, Result};
 use crate::persist::CatalogStore;
 use crate::precomp::PrecompCatalog;
+use crate::recovery::{read_with_recovery, RecoveryMetrics};
 use crate::scheduler::{count_exchanges, schedule, FetchRequest};
 use crate::sizing::optimal_supertile_size;
 use crate::supertile::{decode_member, SuperTileId};
@@ -151,6 +152,7 @@ pub struct Heaven {
     pub(crate) catalog_store: CatalogStore,
     pub(crate) config: HeavenConfig,
     metrics: HeavenMetrics,
+    pub(crate) recovery: RecoveryMetrics,
     pub(crate) registry: MetricsRegistry,
     pub(crate) bus: TraceBus,
     active_query: Option<ActiveQuery>,
@@ -193,6 +195,7 @@ impl Heaven {
             catalog_store,
             config,
             metrics: HeavenMetrics::new(&registry),
+            recovery: RecoveryMetrics::new(&registry),
             registry,
             bus,
             active_query: None,
@@ -416,6 +419,14 @@ impl Heaven {
         self.store.library_mut().set_slot_config(config);
     }
 
+    /// Arm (or disarm, with `None`) deterministic fault injection on the
+    /// underlying library (see [`heaven_tape::FaultConfig`]). Typically
+    /// combined with [`HeavenConfig::dual_copy`] so injected failures are
+    /// recoverable.
+    pub fn set_fault_plan(&mut self, config: Option<heaven_tape::FaultConfig>) {
+        self.store.library_mut().set_fault_plan(config);
+    }
+
     /// Occupy every drive with scratch media, modelling other users of the
     /// shared library: the next archive access pays a full media exchange.
     /// Used by experiments to measure truly cold retrievals.
@@ -431,15 +442,23 @@ impl Heaven {
     // -- catalog mutation (write-through to the base RDBMS) -------------------
 
     /// Register an exported super-tile in the in-memory catalog *and* the
-    /// persistent catalog tables.
+    /// persistent catalog tables, together with its optional second
+    /// archive copy and wire-payload checksum.
     pub(crate) fn register_supertile(
         &mut self,
         meta: crate::supertile::SuperTileMeta,
         addr: heaven_hsm::BlockAddress,
+        replica: Option<heaven_hsm::BlockAddress>,
+        checksum: u64,
     ) -> Result<()> {
         self.catalog_store
-            .insert(self.adb.database_mut(), &meta, addr)?;
+            .insert(self.adb.database_mut(), &meta, addr, replica, checksum)?;
+        let st = meta.id;
         self.catalog.register(meta, addr);
+        self.catalog.set_checksum(st, checksum);
+        if let Some(r) = replica {
+            self.catalog.register_replica(st, r);
+        }
         Ok(())
     }
 
@@ -474,8 +493,18 @@ impl Heaven {
     ) -> Result<()> {
         self.catalog.relocate(st, addr)?;
         let meta = self.catalog.meta(st)?.clone();
-        self.catalog_store
-            .update_addr(self.adb.database_mut(), st, &meta, addr)?;
+        // Compaction rewrites the identical payload, so the replica and
+        // checksum carry over unchanged.
+        let replica = self.catalog.replica(st);
+        let checksum = self.catalog.checksum(st).unwrap_or(0);
+        self.catalog_store.update_addr(
+            self.adb.database_mut(),
+            st,
+            &meta,
+            addr,
+            replica,
+            checksum,
+        )?;
         Ok(())
     }
 
@@ -487,10 +516,16 @@ impl Heaven {
         let mut catalog = SuperTileCatalog::new();
         let mut max_id = 0;
         let mut live: HashMap<MediumId, u64> = HashMap::new();
-        for (meta, addr) in loaded {
+        for (meta, addr, replica, checksum) in loaded {
             max_id = max_id.max(meta.id);
             *live.entry(addr.medium).or_insert(0) += addr.len;
+            let st = meta.id;
             catalog.register(meta, addr);
+            catalog.set_checksum(st, checksum);
+            if let Some(r) = replica {
+                *live.entry(r.medium).or_insert(0) += r.len;
+                catalog.register_replica(st, r);
+            }
         }
         catalog.bump_next_id(max_id);
         debug_assert_eq!(self.catalog_store.len(), catalog.len());
@@ -564,8 +599,19 @@ impl Heaven {
             ],
         );
         let t0 = clock.now_s();
+        let replica = self.catalog.replica(st);
+        let checksum = self.catalog.checksum(st);
         let result: Result<Bytes> = (|| {
-            let raw = self.store.read(addr)?;
+            let raw = read_with_recovery(
+                &mut self.store,
+                st,
+                addr,
+                replica,
+                checksum,
+                &self.config.retry,
+                &self.recovery,
+                &self.bus,
+            )?;
             self.metrics.st_tape_fetches.inc();
             self.metrics.st_tape_bytes.add(addr.len);
             self.metrics.st_fetch_bytes_hist.observe(addr.len as f64);
@@ -712,8 +758,12 @@ impl Heaven {
             self.note_schedule(&to_fetch, &mounted, cached_sts, "request-order");
             ordered.extend(to_fetch.iter().map(|r| r.st));
         }
-        // partial reads need uncompressed on-media layout
-        let random_access = !self.store.library().profile().linear_seek && !self.config.compress;
+        // Partial reads need the uncompressed on-media layout; they also
+        // bypass the whole-payload checksum, so under fault injection we
+        // fall back to full (verifiable) super-tile fetches.
+        let random_access = !self.store.library().profile().linear_seek
+            && !self.config.compress
+            && !self.store.faults_enabled();
         for st in ordered {
             let meta_st = self.catalog.meta(st)?.clone();
             let needed = pending.get(&st).cloned().unwrap_or_default();
@@ -825,7 +875,18 @@ impl Heaven {
                 continue;
             }
             let t0 = self.store.clock().now_s();
-            let payload = self.store.read(r.addr)?;
+            let replica = self.catalog.replica(r.st);
+            let checksum = self.catalog.checksum(r.st);
+            let payload = read_with_recovery(
+                &mut self.store,
+                r.st,
+                r.addr,
+                replica,
+                checksum,
+                &self.config.retry,
+                &self.recovery,
+                &self.bus,
+            )?;
             self.metrics.st_tape_fetches.inc();
             self.metrics.st_tape_bytes.add(r.addr.len);
             self.metrics.st_fetch_bytes_hist.observe(r.addr.len as f64);
@@ -870,7 +931,20 @@ impl Heaven {
                 t0,
                 &[("st", st.into()), ("bytes", addr.len.into())],
             );
-            let payload = self.store.read(addr)?;
+            // Prefetch is best-effort: a super-tile that can't be staged
+            // now simply stays on tape for the demand path to recover.
+            let Ok(payload) = read_with_recovery(
+                &mut self.store,
+                st,
+                addr,
+                self.catalog.replica(st),
+                self.catalog.checksum(st),
+                &self.config.retry,
+                &self.recovery,
+                &self.bus,
+            ) else {
+                continue;
+            };
             self.metrics.st_tape_fetches.inc();
             self.metrics.st_tape_bytes.add(addr.len);
             let refetch = self.store.estimate_read_s(addr);

@@ -1,0 +1,136 @@
+//! Property tests of the failure model: under *any* seeded fault
+//! schedule, with dual-copy archival on, every query either returns the
+//! exact fault-free bytes or fails with a typed
+//! [`HeavenError::MediaLost`] — never silent corruption — and every
+//! corrupted read is caught by its checksum.
+
+use heaven_array::{CellType, MDArray, Minterval, Point, Tile, Tiling};
+use heaven_arraydb::ArrayDb;
+use heaven_core::{ExportMode, Heaven, HeavenConfig, HeavenError};
+use heaven_rdbms::Database;
+use heaven_tape::{DeviceProfile, DiskProfile, FaultConfig, SimClock, TapeLibrary};
+use proptest::prelude::*;
+
+const TILE_EDGE: i64 = 16;
+const GRID: i64 = 2;
+
+fn mi(b: &[(i64, i64)]) -> Minterval {
+    Minterval::new(b).unwrap()
+}
+
+fn tile_region(t: i64) -> Minterval {
+    let (gx, gy) = (t % GRID, t / GRID);
+    mi(&[
+        (gx * TILE_EDGE, (gx + 1) * TILE_EDGE - 1),
+        (gy * TILE_EDGE, (gy + 1) * TILE_EDGE - 1),
+    ])
+}
+
+/// A small archived system: one object, GRID x GRID tiles, one
+/// super-tile per tile, dual-copy on. Exports happen fault-free; the
+/// plan is armed afterwards so only the read path sees chaos.
+fn build(plan: Option<FaultConfig>) -> (Heaven, u64) {
+    let clock = SimClock::new();
+    let db = Database::new(DiskProfile::scsi2003(), clock.clone(), 4096);
+    let mut adb = ArrayDb::create(db).unwrap();
+    adb.create_collection("chaos", CellType::F32, 2).unwrap();
+    let dom = mi(&[(0, GRID * TILE_EDGE - 1), (0, GRID * TILE_EDGE - 1)]);
+    let arr = MDArray::generate(dom, CellType::F32, |p: &Point| {
+        (p.coord(0) * 1000 + p.coord(1)) as f64
+    });
+    let oid = adb
+        .insert_object(
+            "chaos",
+            &arr,
+            Tiling::Regular {
+                tile_shape: vec![TILE_EDGE as u64, TILE_EDGE as u64],
+            },
+        )
+        .unwrap();
+    let tile_encoded = (Tile::header_len(2) + (TILE_EDGE * TILE_EDGE) as usize * 4) as u64;
+    let config = HeavenConfig {
+        supertile_bytes: Some(tile_encoded),
+        mem_cache_bytes: 0,
+        dual_copy: true,
+        ..HeavenConfig::default()
+    };
+    let lib = TapeLibrary::new(DeviceProfile::ibm3590(), 2, clock);
+    let mut heaven = Heaven::new(adb, lib, config);
+    heaven.export_object(oid, ExportMode::Tct).unwrap();
+    heaven.set_fault_plan(plan);
+    (heaven, oid)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any fault schedule: correct bytes or a typed `MediaLost`, never a
+    /// silently wrong answer; checksum failures account for every
+    /// corrupted read.
+    #[test]
+    fn faults_never_cause_silent_corruption(
+        seed in 0u64..10_000,
+        drive in 0.0f64..0.6,
+        media in 0.0f64..0.6,
+        corrupt in 0.0f64..0.6,
+        robot in 0.0f64..0.5,
+    ) {
+        let (mut clean, oid) = build(None);
+        let reference: Vec<MDArray> = (0..GRID * GRID)
+            .map(|t| clean.fetch_region_hierarchical(oid, &tile_region(t)).unwrap())
+            .collect();
+
+        let mut fc = FaultConfig::chaos(seed);
+        fc.drive_failure_per_read = drive;
+        fc.media_read_error_per_read = media;
+        fc.corrupt_per_read = corrupt;
+        fc.robot_contention_per_mount = robot;
+        let (mut faulty, oid_f) = build(Some(fc));
+        prop_assert_eq!(oid_f, oid);
+
+        for t in 0..GRID * GRID {
+            match faulty.fetch_region_hierarchical(oid, &tile_region(t)) {
+                Ok(got) => prop_assert_eq!(
+                    &got,
+                    &reference[t as usize],
+                    "tile {} returned wrong bytes under faults",
+                    t
+                ),
+                Err(HeavenError::MediaLost { .. }) => {} // typed loss is allowed
+                Err(e) => prop_assert!(false, "untyped failure leaked: {e}"),
+            }
+        }
+        let m = faulty.metrics();
+        prop_assert_eq!(
+            m.counter("hsm.checksum_failures").get(),
+            m.counter("tape.corrupted_reads").get(),
+            "every corrupted read must be rejected by its checksum"
+        );
+        // MediaLost is only legal when both copies were actually exhausted.
+        if m.counter("hsm.media_lost").get() > 0 {
+            prop_assert!(
+                m.counter("tape.drive_failures").get()
+                    + m.counter("tape.media_read_errors").get()
+                    + m.counter("tape.corrupted_reads").get()
+                    > 0
+            );
+        }
+    }
+
+    /// With faults disabled the whole ladder is dormant: zero recovery
+    /// activity, byte-exact answers.
+    #[test]
+    fn quiet_plan_is_a_no_op(seed in 0u64..10_000) {
+        let (mut clean, oid) = build(None);
+        let (mut quiet, _) = build(Some(FaultConfig::quiet(seed)));
+        for t in 0..GRID * GRID {
+            let a = clean.fetch_region_hierarchical(oid, &tile_region(t)).unwrap();
+            let b = quiet.fetch_region_hierarchical(oid, &tile_region(t)).unwrap();
+            prop_assert_eq!(a, b);
+        }
+        let m = quiet.metrics();
+        for c in ["hsm.retries", "hsm.failovers", "hsm.checksum_failures", "hsm.media_lost"] {
+            prop_assert_eq!(m.counter(c).get(), 0, "{} must stay zero", c);
+        }
+    }
+}

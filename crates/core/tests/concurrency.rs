@@ -1,7 +1,9 @@
 //! Multi-session concurrency: sharded-cache integrity under parallel
 //! load, single-session determinism against the single-owner system,
-//! cross-session request coalescing, and batched staging beating
-//! per-session FIFO on media exchanges.
+//! cross-session request coalescing, batched staging beating per-session
+//! FIFO on media exchanges, and seeded-chaos determinism (same seed →
+//! byte-identical answers and identical fault/recovery counters, single-
+//! session and 8-thread concurrent).
 
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
@@ -13,7 +15,7 @@ use heaven_core::{
     TileCache,
 };
 use heaven_rdbms::Database;
-use heaven_tape::{DeviceProfile, DiskProfile, SimClock, TapeLibrary};
+use heaven_tape::{DeviceProfile, DiskProfile, FaultConfig, SimClock, TapeLibrary};
 
 /// Edge of one square tile in cells.
 const TILE_EDGE: i64 = 32;
@@ -36,6 +38,16 @@ fn tile_region(t: i64) -> Minterval {
 /// Build a Heaven holding `objects` exported objects, each GRID x GRID
 /// tiles with one super-tile per tile, each object on its own medium.
 fn build_multi(objects: usize, drives: usize, batching: bool) -> (Heaven, Vec<u64>) {
+    build_dual(objects, drives, batching, false)
+}
+
+/// [`build_multi`] with dual-copy archival selectable (chaos tests).
+fn build_dual(
+    objects: usize,
+    drives: usize,
+    batching: bool,
+    dual_copy: bool,
+) -> (Heaven, Vec<u64>) {
     let clock = SimClock::new();
     let db = Database::new(DiskProfile::scsi2003(), clock.clone(), 4096);
     let mut adb = ArrayDb::create(db).unwrap();
@@ -64,6 +76,7 @@ fn build_multi(objects: usize, drives: usize, batching: bool) -> (Heaven, Vec<u6
         medium_per_object: true,
         cache_shards: 8,
         cross_session_batching: batching,
+        dual_copy,
         ..HeavenConfig::default()
     };
     let lib = TapeLibrary::new(DeviceProfile::ibm3590(), drives, clock);
@@ -298,5 +311,208 @@ fn session_lanes_overlap_warm_queries_in_simulated_time() {
     assert!(
         overlapped_s < serial_s * 0.5,
         "4 lanes ({overlapped_s:.3}s) must overlap well under half of serial ({serial_s:.3}s)"
+    );
+}
+
+// ---------------------------------------------------------------- chaos
+
+/// Fault/recovery counters that are keyed per (kind, medium, offset,
+/// attempt) and therefore identical across thread interleavings.
+/// `tape.robot_stalls` is deliberately absent: contention is rolled per
+/// *mount*, and mount counts legitimately vary with scheduling order.
+const CHAOS_COUNTERS: [&str; 8] = [
+    "tape.drive_failures",
+    "tape.media_read_errors",
+    "tape.corrupted_reads",
+    "hsm.checksum_failures",
+    "hsm.retries",
+    "hsm.failovers",
+    "hsm.media_lost",
+    "sched.requeued_fetches",
+];
+
+fn chaos_counters(m: &heaven_obs::MetricsRegistry) -> Vec<u64> {
+    CHAOS_COUNTERS.iter().map(|n| m.counter(n).get()).collect()
+}
+
+#[test]
+fn chaos_same_seed_is_deterministic_single_session() {
+    let run = |plan: Option<FaultConfig>| -> (Vec<MDArray>, Vec<u64>) {
+        let (mut h, oids) = build_dual(2, 2, false, true);
+        h.set_fault_plan(plan);
+        let mut results = Vec::new();
+        for &oid in &oids {
+            for t in 0..GRID * GRID {
+                results.push(h.fetch_region_hierarchical(oid, &tile_region(t)).unwrap());
+            }
+        }
+        (results, chaos_counters(h.metrics()))
+    };
+    // Seed chosen so the chaos schedule never corrupts both copies of a
+    // super-tile; outcomes are seed-deterministic, so it stays valid.
+    let seed = 11u64;
+    let (clean, clean_ctr) = run(None);
+    let (a, a_ctr) = run(Some(FaultConfig::chaos(seed)));
+    let (b, b_ctr) = run(Some(FaultConfig::chaos(seed)));
+    assert_eq!(a, b, "same seed must give byte-identical answers");
+    assert_eq!(a_ctr, b_ctr, "same seed must give identical fault counters");
+    assert_eq!(a, clean, "recovery must reproduce the fault-free bytes");
+    assert_eq!(clean_ctr.iter().sum::<u64>(), 0, "no faults without a plan");
+    let by_name: std::collections::HashMap<&str, u64> = CHAOS_COUNTERS
+        .iter()
+        .copied()
+        .zip(a_ctr.iter().copied())
+        .collect();
+    assert!(
+        by_name["tape.drive_failures"]
+            + by_name["tape.media_read_errors"]
+            + by_name["tape.corrupted_reads"]
+            > 0,
+        "chaos rates must actually inject faults: {by_name:?}"
+    );
+    assert_eq!(
+        by_name["hsm.checksum_failures"], by_name["tape.corrupted_reads"],
+        "every corrupted read must be caught by its checksum"
+    );
+    assert_eq!(
+        by_name["hsm.media_lost"], 0,
+        "dual copies must survive this seed"
+    );
+    assert!(
+        by_name["hsm.retries"] > 0,
+        "transient errors must be retried"
+    );
+}
+
+#[test]
+fn chaos_same_seed_is_deterministic_concurrent() {
+    // 8 sessions x 4 disjoint tile regions over 2 objects, batching on.
+    let workers = 8usize;
+    let per_worker = ((GRID * GRID) / 4) as usize; // 4 tiles each
+    let run = |plan: Option<FaultConfig>| -> (Vec<Vec<MDArray>>, Vec<u64>) {
+        let (h, oids) = build_dual(2, 2, true, true);
+        let mut h = h.into_concurrent();
+        h.set_batch_window(Duration::from_millis(25));
+        h.set_fault_plan(plan);
+        let h = h;
+        let barrier = Barrier::new(workers);
+        let results: Vec<Vec<MDArray>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let h = &h;
+                    let oids = &oids;
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        let session = h.session();
+                        barrier.wait();
+                        (0..per_worker)
+                            .map(|t| {
+                                let tile = ((w / 2) * per_worker + t) as i64;
+                                session
+                                    .fetch_region(oids[w % 2], &tile_region(tile))
+                                    .unwrap()
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        (results, chaos_counters(h.metrics()))
+    };
+    let seed = 3u64;
+    let (clean, _) = run(None);
+    let (a, a_ctr) = run(Some(FaultConfig::chaos(seed)));
+    let (b, b_ctr) = run(Some(FaultConfig::chaos(seed)));
+    assert_eq!(
+        a, b,
+        "same seed must give byte-identical answers across threads"
+    );
+    assert_eq!(
+        a_ctr, b_ctr,
+        "access-keyed fault counters must not depend on interleaving"
+    );
+    assert_eq!(a, clean, "recovery must reproduce the fault-free bytes");
+    let by_name: std::collections::HashMap<&str, u64> = CHAOS_COUNTERS
+        .iter()
+        .copied()
+        .zip(a_ctr.iter().copied())
+        .collect();
+    assert!(
+        by_name["tape.drive_failures"]
+            + by_name["tape.media_read_errors"]
+            + by_name["tape.corrupted_reads"]
+            > 0,
+        "chaos rates must actually inject faults: {by_name:?}"
+    );
+    assert_eq!(
+        by_name["hsm.checksum_failures"], by_name["tape.corrupted_reads"],
+        "every corrupted read must be caught by its checksum"
+    );
+    assert_eq!(
+        by_name["hsm.media_lost"], 0,
+        "dual copies must survive this seed"
+    );
+}
+
+#[test]
+fn batcher_requeues_survive_drive_failures() {
+    // Drive-failure-only chaos: every failed batched fetch must requeue
+    // (retry or replica failover) without losing a coalesced waiter, and
+    // the requeue count must reconcile exactly with the injected failures.
+    let workers = 8usize;
+    let per_worker = ((GRID * GRID) / 4) as usize;
+    let run = |plan: Option<FaultConfig>| -> (Vec<Vec<MDArray>>, Vec<u64>) {
+        let (h, oids) = build_dual(2, 2, true, true);
+        let mut h = h.into_concurrent();
+        h.set_batch_window(Duration::from_millis(25));
+        h.set_fault_plan(plan);
+        let h = h;
+        let barrier = Barrier::new(workers);
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let h = &h;
+                    let oids = &oids;
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        let session = h.session();
+                        barrier.wait();
+                        (0..per_worker)
+                            .map(|t| {
+                                let tile = ((w / 2) * per_worker + t) as i64;
+                                session
+                                    .fetch_region(oids[w % 2], &tile_region(tile))
+                                    .unwrap()
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        (results, chaos_counters(h.metrics()))
+    };
+    let mut fc = FaultConfig::quiet(17);
+    fc.drive_failure_per_read = 0.3;
+    let (clean, _) = run(None);
+    let (faulty, ctr) = run(Some(fc));
+    assert_eq!(faulty, clean, "no waiter may be lost or fed wrong bytes");
+    let by_name: std::collections::HashMap<&str, u64> = CHAOS_COUNTERS
+        .iter()
+        .copied()
+        .zip(ctr.iter().copied())
+        .collect();
+    assert!(
+        by_name["sched.requeued_fetches"] > 0,
+        "a 30% drive-failure rate must force requeues"
+    );
+    assert_eq!(
+        by_name["sched.requeued_fetches"], by_name["tape.drive_failures"],
+        "every drive failure requeues its fetch exactly once: {by_name:?}"
+    );
+    assert_eq!(
+        by_name["hsm.media_lost"], 0,
+        "retries + replica must recover all"
     );
 }

@@ -27,6 +27,10 @@ pub struct DirectStore {
     library: TapeLibrary,
     /// Media opened for filling, in creation order.
     fill_media: Vec<MediumId>,
+    /// Media opened for second-copy (replica) filling, kept disjoint from
+    /// the primary fill media so dual-copy archival never puts both
+    /// copies of a super-tile on one medium.
+    replica_media: Vec<MediumId>,
 }
 
 impl DirectStore {
@@ -35,7 +39,13 @@ impl DirectStore {
         DirectStore {
             library,
             fill_media: Vec::new(),
+            replica_media: Vec::new(),
         }
+    }
+
+    /// Whether the underlying library has a fault schedule installed.
+    pub fn faults_enabled(&self) -> bool {
+        self.library.faults_enabled()
     }
 
     /// The shared simulated clock.
@@ -84,6 +94,34 @@ impl DirectStore {
             _ => {
                 let m = self.library.add_medium();
                 self.fill_media.push(m);
+                m
+            }
+        };
+        self.write_to(
+            medium,
+            if len == 0 {
+                WritePayload::Phantom(0)
+            } else {
+                payload
+            },
+        )
+    }
+
+    /// Append a **second archive copy**, guaranteed to land on a medium
+    /// different from `avoid` (the primary copy's). Dual-copy archival
+    /// reads the replica when the primary copy fails or is corrupt; one
+    /// bad medium can never take out both copies.
+    pub fn append_replica(
+        &mut self,
+        payload: WritePayload,
+        avoid: MediumId,
+    ) -> Result<BlockAddress> {
+        let len = payload.len();
+        let medium = match self.replica_media.last() {
+            Some(&m) if m != avoid && self.library.medium_free(m)? >= len => m,
+            _ => {
+                let m = self.library.add_medium();
+                self.replica_media.push(m);
                 m
             }
         };
@@ -254,6 +292,22 @@ mod tests {
         );
         // Busy time (stats) still accounts both drives' work in full.
         assert_eq!(s.stats().bytes_read, 2 << 20);
+    }
+
+    #[test]
+    fn replica_never_shares_medium_with_primary() {
+        let mut s = store();
+        for i in 0..6 {
+            let payload = vec![i as u8; 256];
+            let primary = s.append(WritePayload::real(payload.clone())).unwrap();
+            let replica = s
+                .append_replica(WritePayload::real(payload.clone()), primary.medium)
+                .unwrap();
+            assert_ne!(primary.medium, replica.medium);
+            assert_eq!(s.read(replica).unwrap(), payload);
+        }
+        // All replicas share one medium (they fit), distinct from fills.
+        assert!(!s.fill_media().iter().any(|m| s.replica_media.contains(m)));
     }
 
     #[test]

@@ -12,8 +12,8 @@ use crate::disk::{DiskStats, StagingDisk};
 use crate::error::{HsmError, Result};
 use crate::policy::WatermarkPolicy;
 use bytes::Bytes;
-use heaven_obs::{Field, Histogram, MetricsRegistry, TraceBus};
-use heaven_tape::{MediumId, SimClock, TapeLibrary, TapeStats, WritePayload};
+use heaven_obs::{Counter, Field, Histogram, MetricsRegistry, TraceBus};
+use heaven_tape::{key64, FaultKind, MediumId, SimClock, TapeLibrary, TapeStats, WritePayload};
 
 /// A hierarchical storage management system: staging disk + tape library +
 /// file catalog + purge policy.
@@ -31,6 +31,8 @@ pub struct HsmSystem {
     /// Duration distributions for whole-file operations (simulated s).
     stage_hist: Histogram,
     archive_hist: Histogram,
+    /// Injected staging-disk-full watermark storms weathered.
+    storms: Counter,
 }
 
 impl HsmSystem {
@@ -47,6 +49,7 @@ impl HsmSystem {
             bus: TraceBus::noop(),
             stage_hist: private.histogram("hsm.stage_hist_s"),
             archive_hist: private.histogram("hsm.archive_hist_s"),
+            storms: private.counter("hsm.watermark_storms"),
         }
     }
 
@@ -61,6 +64,14 @@ impl HsmSystem {
         let archive = registry.histogram("hsm.archive_hist_s");
         archive.merge_from(&self.archive_hist);
         self.archive_hist = archive;
+        let storms = registry.counter("hsm.watermark_storms");
+        storms.add(self.storms.get());
+        self.storms = storms;
+    }
+
+    /// Injected watermark storms weathered so far.
+    pub fn watermark_storms(&self) -> u64 {
+        self.storms.get()
     }
 
     /// The shared simulated clock.
@@ -205,6 +216,27 @@ impl HsmSystem {
                 ("medium", Field::U64(entry.medium)),
             ],
         );
+        // Injected staging-disk-full storm: a burst of foreign staging
+        // traffic fills the disk past the high watermark and the
+        // watermark daemon purges down to the low mark. The foreign
+        // files are newer than ours, so our entire staged working set is
+        // the LRU victim — it vanishes through no fault of this
+        // workload, exactly what a shared HSM does under load.
+        if self
+            .library
+            .roll_fault(FaultKind::StagingStorm, key64(name.as_bytes()), 0)
+        {
+            while let Some((victim, _)) = self.disk.lru_candidate() {
+                self.note_purge(&victim, "storm");
+                self.disk.remove(&victim);
+            }
+            self.storms.inc();
+            self.bus.event(
+                "hsm.watermark_storm",
+                self.clock().now_s(),
+                &[("file", Field::dyn_str(name))],
+            );
+        }
         // Purge down to the low watermark if the incoming file pushes us
         // past the high watermark.
         if self
@@ -423,6 +455,29 @@ mod tests {
         );
         heaven_obs::trace::check_well_nested(&recs).unwrap();
         assert!(registry.counter("tape.bytes_read").get() >= 1 << 20);
+    }
+
+    #[test]
+    fn watermark_storm_purges_staged_files() {
+        use heaven_tape::FaultConfig;
+        let mut h = hsm(1 << 30);
+        h.archive("a", WritePayload::Phantom(10 << 20)).unwrap();
+        h.archive("b", WritePayload::Phantom(10 << 20)).unwrap();
+        h.read("a").unwrap();
+        assert!(h.is_staged("a"));
+        h.library_mut().set_fault_plan(Some(FaultConfig {
+            staging_storm_per_stage: 1.0,
+            ..FaultConfig::quiet(1)
+        }));
+        h.read("b").unwrap(); // stage of b triggers the storm
+        assert_eq!(h.watermark_storms(), 1);
+        assert!(
+            !h.is_staged("a"),
+            "storm must purge the previously staged file"
+        );
+        // Correctness is unaffected: a re-stages cleanly.
+        h.library_mut().set_fault_plan(None);
+        h.read("a").unwrap();
     }
 
     #[test]

@@ -18,6 +18,23 @@ pub enum TapeError {
     NoDrives,
     /// Attempt to register more media than the library has slots.
     NoFreeSlots,
+    /// A drive failed mid-transfer (injected fault); the medium was
+    /// ejected and the drive is out of service until repaired.
+    DriveFailed { drive: u64, medium: u64 },
+    /// A media segment could not be read (injected bad-segment fault).
+    MediaReadError { medium: u64, offset: u64 },
+}
+
+impl TapeError {
+    /// Whether the error is transient: a retry (possibly on another
+    /// drive) or the other archive copy may still succeed. Structural
+    /// errors (unknown medium, unwritten bytes, full medium) are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            TapeError::DriveFailed { .. } | TapeError::MediaReadError { .. }
+        )
+    }
 }
 
 impl fmt::Display for TapeError {
@@ -41,6 +58,18 @@ impl fmt::Display for TapeError {
             ),
             TapeError::NoDrives => write!(f, "library has no drives"),
             TapeError::NoFreeSlots => write!(f, "library has no free slots"),
+            TapeError::DriveFailed { drive, medium } => {
+                write!(
+                    f,
+                    "drive {drive} failed mid-transfer reading medium {medium}"
+                )
+            }
+            TapeError::MediaReadError { medium, offset } => {
+                write!(
+                    f,
+                    "unreadable segment on medium {medium} at offset {offset}"
+                )
+            }
         }
     }
 }

@@ -12,6 +12,7 @@
 
 pub mod clock;
 pub mod error;
+pub mod fault;
 pub mod library;
 pub mod media;
 pub mod profile;
@@ -19,6 +20,7 @@ pub mod stats;
 
 pub use clock::SimClock;
 pub use error::{Result, TapeError};
+pub use fault::{key64, FaultConfig, FaultKind, FaultPlan, FaultStats};
 pub use library::{SlotConfig, TapeLibrary, WritePayload};
 pub use media::{Medium, MediumId, Segment};
 pub use profile::{DeviceProfile, DiskProfile};

@@ -8,6 +8,7 @@
 
 use crate::clock::SimClock;
 use crate::error::{Result, TapeError};
+use crate::fault::{FaultConfig, FaultKind, FaultPlan, FaultStats};
 use crate::media::{Medium, MediumId};
 use crate::profile::DeviceProfile;
 use crate::stats::TapeStats;
@@ -32,6 +33,11 @@ struct TapeMetrics {
     bytes_written: Counter,
     shelf_fetches: Counter,
     shelf_s: FloatCounter,
+    /// Injected-fault counters (see `fault::FaultPlan`).
+    drive_failures: Counter,
+    media_read_errors: Counter,
+    robot_stalls: Counter,
+    corrupted_reads: Counter,
     /// Per-operation duration distributions (simulated seconds).
     exchange_hist: Histogram,
     locate_hist: Histogram,
@@ -54,6 +60,10 @@ impl TapeMetrics {
             bytes_written: registry.counter("tape.bytes_written"),
             shelf_fetches: registry.counter("tape.shelf_fetches"),
             shelf_s: registry.fcounter("tape.shelf_s"),
+            drive_failures: registry.counter("tape.drive_failures"),
+            media_read_errors: registry.counter("tape.media_read_errors"),
+            robot_stalls: registry.counter("tape.robot_stalls"),
+            corrupted_reads: registry.counter("tape.corrupted_reads"),
             exchange_hist: registry.histogram("tape.exchange_hist_s"),
             locate_hist: registry.histogram("tape.locate_hist_s"),
             transfer_hist: registry.histogram("tape.transfer_hist_s"),
@@ -77,6 +87,10 @@ impl TapeMetrics {
         next.bytes_written.add(self.bytes_written.get());
         next.shelf_fetches.add(self.shelf_fetches.get());
         next.shelf_s.add(self.shelf_s.get());
+        next.drive_failures.add(self.drive_failures.get());
+        next.media_read_errors.add(self.media_read_errors.get());
+        next.robot_stalls.add(self.robot_stalls.get());
+        next.corrupted_reads.add(self.corrupted_reads.get());
         next.exchange_hist.merge_from(&self.exchange_hist);
         next.locate_hist.merge_from(&self.locate_hist);
         next.transfer_hist.merge_from(&self.transfer_hist);
@@ -139,6 +153,9 @@ struct Drive {
     head_pos: u64,
     /// Logical timestamp of last use, for LRU eviction.
     last_used: u64,
+    /// Simulated instant the drive comes back from repair; `0.0` means
+    /// healthy. A failed drive is skipped by the mount path until then.
+    failed_until_s: f64,
 }
 
 /// Slot configuration: how many media the robot can hold, and how long an
@@ -171,6 +188,8 @@ pub struct TapeLibrary {
     shelved: std::collections::BTreeSet<MediumId>,
     /// Last-use tick per in-library medium, for shelf eviction.
     media_last_used: BTreeMap<MediumId, u64>,
+    /// Seeded fault schedule; `None` is a perfect world.
+    fault: Option<FaultPlan>,
 }
 
 impl TapeLibrary {
@@ -184,6 +203,7 @@ impl TapeLibrary {
                     mounted: None,
                     head_pos: 0,
                     last_used: 0,
+                    failed_until_s: 0.0,
                 };
                 drives.max(1)
             ],
@@ -195,6 +215,40 @@ impl TapeLibrary {
             slot_config: None,
             shelved: Default::default(),
             media_last_used: BTreeMap::new(),
+            fault: None,
+        }
+    }
+
+    /// Install (or clear) a seeded fault schedule. All subsequent reads
+    /// and mounts roll against it; writes are never failed (archival is
+    /// verified at export time in the layers above).
+    pub fn set_fault_plan(&mut self, cfg: Option<FaultConfig>) {
+        self.fault = cfg.map(FaultPlan::new);
+    }
+
+    /// Whether a fault schedule is installed.
+    pub fn faults_enabled(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Counters of faults injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            drive_failures: self.metrics.drive_failures.get(),
+            media_read_errors: self.metrics.media_read_errors.get(),
+            robot_stalls: self.metrics.robot_stalls.get(),
+            corrupted_reads: self.metrics.corrupted_reads.get(),
+        }
+    }
+
+    /// Roll the fault schedule on behalf of an upper layer (the HSM uses
+    /// this for staging-disk watermark storms). Returns `false` when no
+    /// plan is installed.
+    pub fn roll_fault(&mut self, kind: FaultKind, a: u64, b: u64) -> bool {
+        let now = self.clock.now_s();
+        match self.fault.as_mut() {
+            Some(plan) => plan.roll(kind, a, b, now),
+            None => false,
         }
     }
 
@@ -356,18 +410,52 @@ impl TapeLibrary {
             return Ok(di);
         }
         self.unshelve(id);
-        // Pick a drive: empty first, else least recently used.
+        // Injected robot contention: another client holds the robot arm;
+        // the exchange waits out the stall on the simulated clock.
+        if let Some(plan) = self.fault.as_mut() {
+            let now = self.clock.now_s();
+            if plan.roll(FaultKind::RobotContention, id, 0, now) {
+                let stall = plan.config().robot_stall_s;
+                self.clock.advance_s(stall);
+                self.metrics.robot_stalls.inc();
+                self.bus.event(
+                    "tape.robot_stall",
+                    self.clock.now_s(),
+                    &[("medium", Field::U64(id)), ("cost_s", Field::F64(stall))],
+                );
+            }
+        }
+        // Failed drives are out of service until repaired; if every drive
+        // is down, wait (in simulated time) for the earliest repair.
+        if self
+            .drives
+            .iter()
+            .all(|d| d.failed_until_s > self.clock.now_s())
+        {
+            let repair = self
+                .drives
+                .iter()
+                .map(|d| d.failed_until_s)
+                .fold(f64::INFINITY, f64::min);
+            // One microsecond of slack: the clock rounds to its microsecond
+            // grid, which can land just short of `repair` and leave every
+            // drive still nominally in repair.
+            self.clock.advance_to_s(repair + 1e-6);
+        }
+        // Pick a healthy drive: empty first, else least recently used.
+        let now = self.clock.now_s();
         let di = self
             .drives
             .iter()
-            .position(|d| d.mounted.is_none())
+            .position(|d| d.mounted.is_none() && d.failed_until_s <= now)
             .unwrap_or_else(|| {
                 self.drives
                     .iter()
                     .enumerate()
+                    .filter(|(_, d)| d.failed_until_s <= now)
                     .min_by_key(|(_, d)| d.last_used)
                     .map(|(i, _)| i)
-                    .expect("at least one drive")
+                    .expect("at least one healthy drive")
             });
         // Evict the current occupant.
         if let Some(evicted) = self.drives[di].mounted {
@@ -401,10 +489,12 @@ impl TapeLibrary {
                 ("cost_s", Field::F64(mount)),
             ],
         );
+        let failed_until_s = self.drives[di].failed_until_s;
         self.drives[di] = Drive {
             mounted: Some(id),
             head_pos: 0,
             last_used: op,
+            failed_until_s,
         };
         Ok(di)
     }
@@ -465,6 +555,92 @@ impl TapeLibrary {
     /// the clock, but no host-memory copy happens.
     pub fn read(&mut self, id: MediumId, offset: u64, len: u64) -> Result<Bytes> {
         let di = self.ensure_mounted(id)?;
+        // Roll the fault schedule for this read attempt. The roll order
+        // short-circuits (a drive failure pre-empts a media error), but
+        // each class keeps its own per-(medium, offset) attempt counter,
+        // so the outcome sequence is deterministic per access regardless
+        // of thread interleaving.
+        enum Injected {
+            None,
+            DriveFail,
+            MediaErr,
+            Corrupt(u64),
+        }
+        let injected = match self.fault.as_mut() {
+            Some(plan) => {
+                let now = self.clock.now_s();
+                if plan.roll(FaultKind::DriveFailure, id, offset, now) {
+                    Injected::DriveFail
+                } else if plan.roll(FaultKind::MediaReadError, id, offset, now) {
+                    Injected::MediaErr
+                } else if let Some(bit) = plan.roll_corrupt(id, offset, now) {
+                    Injected::Corrupt(bit)
+                } else {
+                    Injected::None
+                }
+            }
+            None => Injected::None,
+        };
+        match injected {
+            Injected::DriveFail => {
+                // The drive dies halfway through the transfer: charge the
+                // locate plus half the transfer, eject the medium, and
+                // take the drive out of service for the repair window.
+                let head = self.drives[di].head_pos;
+                let locate = self.profile.locate_time_s(head, offset);
+                let partial = self.profile.transfer_time_s(len) * 0.5;
+                self.clock.advance_s(locate + partial);
+                self.metrics.locate_s.add(locate);
+                self.metrics.transfer_s.add(partial);
+                let repair = self
+                    .fault
+                    .as_ref()
+                    .map(|p| p.config().drive_repair_s)
+                    .unwrap_or(0.0);
+                let now = self.clock.now_s();
+                let last_used = self.drives[di].last_used;
+                self.drives[di] = Drive {
+                    mounted: None,
+                    head_pos: 0,
+                    last_used,
+                    failed_until_s: now + repair,
+                };
+                self.metrics.drive_failures.inc();
+                self.bus.event(
+                    "tape.drive_failure",
+                    now,
+                    &[
+                        ("drive", Field::U64(di as u64)),
+                        ("medium", Field::U64(id)),
+                        ("offset", Field::U64(offset)),
+                        ("repair_s", Field::F64(repair)),
+                    ],
+                );
+                return Err(TapeError::DriveFailed {
+                    drive: di as u64,
+                    medium: id,
+                });
+            }
+            Injected::MediaErr => {
+                // A bad segment: discovered after the locate and a full
+                // (failed) transfer pass; the head stays at the segment.
+                let head = self.drives[di].head_pos;
+                let locate = self.profile.locate_time_s(head, offset);
+                let transfer = self.profile.transfer_time_s(len);
+                self.clock.advance_s(locate + transfer);
+                self.metrics.locate_s.add(locate);
+                self.metrics.transfer_s.add(transfer);
+                self.drives[di].head_pos = offset;
+                self.metrics.media_read_errors.inc();
+                self.bus.event(
+                    "tape.media_read_error",
+                    self.clock.now_s(),
+                    &[("medium", Field::U64(id)), ("offset", Field::U64(offset))],
+                );
+                return Err(TapeError::MediaReadError { medium: id, offset });
+            }
+            _ => {}
+        }
         let head = self.drives[di].head_pos;
         let locate = self.profile.locate_time_s(head, offset);
         if locate > 0.0 {
@@ -504,6 +680,27 @@ impl TapeLibrary {
         );
         let data = self.medium(id)?.read(offset, len)?;
         self.drives[di].head_pos = offset + len;
+        if let Injected::Corrupt(bit) = injected {
+            // Silent corruption: one bit of the payload flips. The copy
+            // is deliberate — the stored segment stays pristine, only
+            // this read observes the flip (a dirty head, a bad cable).
+            if !data.is_empty() {
+                let mut buf = data.to_vec();
+                let b = (bit as usize) % (buf.len() * 8);
+                buf[b / 8] ^= 1 << (b % 8);
+                self.metrics.corrupted_reads.inc();
+                self.bus.event(
+                    "tape.corrupt",
+                    self.clock.now_s(),
+                    &[
+                        ("medium", Field::U64(id)),
+                        ("offset", Field::U64(offset)),
+                        ("bit", Field::U64(b as u64)),
+                    ],
+                );
+                return Ok(Bytes::from(buf));
+            }
+        }
         Ok(data)
     }
 
@@ -796,6 +993,132 @@ mod tests {
         assert!((l.clock().now_s() - (t0 + dt)).abs() < 1e-9);
         // Stats accrued normally.
         assert_eq!(l.stats().bytes_read, 5 << 20);
+    }
+
+    #[test]
+    fn drive_failure_ejects_and_repairs() {
+        let mut l = lib(1);
+        l.set_fault_plan(Some(FaultConfig {
+            drive_failure_per_read: 1.0,
+            drive_repair_s: 120.0,
+            ..FaultConfig::quiet(1)
+        }));
+        let m = l.add_medium();
+        l.write(m, WritePayload::real(vec![5u8; 1024])).unwrap();
+        let err = l.read(m, 0, 1024).unwrap_err();
+        assert!(matches!(err, TapeError::DriveFailed { medium, .. } if medium == m));
+        assert!(err.is_transient());
+        assert_eq!(l.fault_stats().drive_failures, 1);
+        assert!(l.mounted_in(m).is_none(), "medium ejected on failure");
+        // The single drive is down: the next mount waits out the repair
+        // window on the simulated clock, then the read is re-rolled.
+        l.set_fault_plan(Some(FaultConfig::quiet(1))); // stop further faults
+        let t0 = l.clock().now_s();
+        let data = l.read(m, 0, 1024).unwrap();
+        assert_eq!(data, vec![5u8; 1024]);
+        assert!(
+            l.clock().now_s() - t0 >= 120.0,
+            "mount must wait for drive repair"
+        );
+    }
+
+    #[test]
+    fn failed_drive_is_skipped_when_another_is_healthy() {
+        let mut l = lib(2);
+        l.set_fault_plan(Some(FaultConfig {
+            drive_failure_per_read: 1.0,
+            drive_repair_s: 1000.0,
+            ..FaultConfig::quiet(2)
+        }));
+        let m = l.add_medium();
+        l.write(m, WritePayload::Phantom(100)).unwrap();
+        assert!(l.read(m, 0, 100).is_err());
+        l.set_fault_plan(Some(FaultConfig::quiet(2)));
+        let t0 = l.clock().now_s();
+        l.read(m, 0, 100).unwrap();
+        // Failover to the second (healthy) drive: only a mount, no
+        // 1000-second repair wait.
+        assert!(l.clock().now_s() - t0 < 1000.0);
+    }
+
+    #[test]
+    fn media_read_error_keeps_drive_alive() {
+        let mut l = lib(1);
+        l.set_fault_plan(Some(FaultConfig {
+            media_read_error_per_read: 1.0,
+            ..FaultConfig::quiet(3)
+        }));
+        let m = l.add_medium();
+        l.write(m, WritePayload::Phantom(100)).unwrap();
+        let err = l.read(m, 0, 100).unwrap_err();
+        assert!(matches!(err, TapeError::MediaReadError { .. }));
+        assert!(err.is_transient());
+        assert_eq!(l.fault_stats().media_read_errors, 1);
+        assert!(l.mounted_in(m).is_some(), "medium stays mounted");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut l = lib(1);
+        l.set_fault_plan(Some(FaultConfig {
+            corrupt_per_read: 1.0,
+            ..FaultConfig::quiet(4)
+        }));
+        let m = l.add_medium();
+        let payload = vec![0xAAu8; 256];
+        l.write(m, WritePayload::real(payload.clone())).unwrap();
+        let data = l.read(m, 0, 256).unwrap();
+        let flipped: u32 = data
+            .iter()
+            .zip(&payload)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1, "exactly one bit must flip");
+        assert_eq!(l.fault_stats().corrupted_reads, 1);
+        // The stored segment itself is pristine.
+        l.set_fault_plan(None);
+        assert_eq!(l.read(m, 0, 256).unwrap(), payload);
+    }
+
+    #[test]
+    fn robot_stall_charges_simulated_time() {
+        let mut l = lib(1);
+        let m = l.add_medium();
+        l.write(m, WritePayload::Phantom(10)).unwrap();
+        let m2 = l.add_medium();
+        l.write(m2, WritePayload::Phantom(10)).unwrap(); // m mounted out
+        l.set_fault_plan(Some(FaultConfig {
+            robot_contention_per_mount: 1.0,
+            robot_stall_s: 30.0,
+            ..FaultConfig::quiet(5)
+        }));
+        let t0 = l.clock().now_s();
+        l.read(m, 0, 10).unwrap(); // forces a mount → stall
+        assert!(l.clock().now_s() - t0 >= 30.0);
+        assert_eq!(l.fault_stats().robot_stalls, 1);
+    }
+
+    #[test]
+    fn same_seed_injects_identical_faults() {
+        let run = |seed: u64| -> (Vec<bool>, FaultStats) {
+            let mut l = lib(1);
+            l.set_fault_plan(Some(FaultConfig::chaos(seed)));
+            let m = l.add_medium();
+            for _ in 0..8 {
+                l.write(m, WritePayload::Phantom(1 << 16)).unwrap();
+            }
+            let outcomes = (0..8)
+                .flat_map(|i| (0..4).map(move |_| i))
+                .map(|i| l.read(m, i * (1 << 16), 1 << 16).is_ok())
+                .collect();
+            (outcomes, l.fault_stats())
+        };
+        let (a, sa) = run(77);
+        let (b, sb) = run(77);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        let (c, sc) = run(78);
+        assert!(a != c || sa != sc, "different seeds should differ");
     }
 
     #[test]

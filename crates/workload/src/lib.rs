@@ -7,9 +7,11 @@
 //! generators are seeded and deterministic.
 
 pub mod data;
+pub mod mixed;
 pub mod queries;
 
 pub use data::{cfd_field, climate_field, climate_field_tile, satellite_image};
+pub use mixed::{adversarial_mix, MixedOp};
 pub use queries::{
     directional_queries, framing_workloads, hot_region_queries, random_box, selectivity_queries,
     session_streams, slice_queries,

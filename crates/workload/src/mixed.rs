@@ -1,0 +1,127 @@
+//! Adversarial mixed ingest + query streams for chaos benchmarking.
+//!
+//! The clean workloads in [`crate::queries`] read one archived object with
+//! a single access pattern. Fault-tolerance tails (p99/p99.9 under drive
+//! failures and media errors) only show up when the archive is *churning*:
+//! new objects keep arriving (each export appends to fresh tape regions
+//! and steals drives) while queries alternate between the hot,
+//! just-ingested object and cold objects deep in the archive (forcing
+//! media exchanges right when a drive may be down). [`adversarial_mix`]
+//! generates exactly that interleaving — seeded and deterministic, so a
+//! faulty run and its clean twin execute the identical operation stream.
+
+use heaven_array::Minterval;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One operation of a mixed stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MixedOp {
+    /// Ingest (generate + export) the next object; the driver assigns it
+    /// the next object index.
+    Ingest,
+    /// Query a region of an already-ingested object (index into the
+    /// ingest order: `0` is the oldest, higher is newer).
+    Query {
+        /// Which object to read, as an index into ingest order.
+        object: usize,
+        /// The region to read.
+        region: Minterval,
+    },
+}
+
+/// Generate an adversarial mixed stream of `ops` operations over objects
+/// sharing `domain`.
+///
+/// `initial_objects` exist before the stream starts (index
+/// `0..initial_objects`); every `ingest_every`-th operation ingests a new
+/// object. Queries alternate between *hot* (the newest object — likely
+/// staged, but its medium is the one exports are appending to) and *cold*
+/// (uniformly random over the whole archive — likely a fresh mount).
+/// Regions are `selectivity`-sized boxes from [`crate::random_box`].
+/// Fully deterministic in `seed`.
+pub fn adversarial_mix(
+    domain: &Minterval,
+    initial_objects: usize,
+    ops: usize,
+    ingest_every: usize,
+    selectivity: f64,
+    seed: u64,
+) -> Vec<MixedOp> {
+    assert!(initial_objects > 0, "need at least one queryable object");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ingest_every = ingest_every.max(1);
+    let mut count = initial_objects;
+    let mut out = Vec::with_capacity(ops);
+    for i in 0..ops {
+        if (i + 1) % ingest_every == 0 {
+            out.push(MixedOp::Ingest);
+            count += 1;
+            continue;
+        }
+        let object = if rng.gen_bool(0.5) {
+            count - 1 // hot: the newest object
+        } else {
+            rng.gen_range(0..count) // cold: anywhere in the archive
+        };
+        let region = crate::random_box(domain, selectivity, &mut rng);
+        out.push(MixedOp::Query { object, region });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom() -> Minterval {
+        Minterval::new(&[(0, 255), (0, 255)]).unwrap()
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a = adversarial_mix(&dom(), 2, 200, 10, 0.01, 42);
+        let b = adversarial_mix(&dom(), 2, 200, 10, 0.01, 42);
+        assert_eq!(a, b);
+        let c = adversarial_mix(&dom(), 2, 200, 10, 0.01, 43);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn ingest_cadence_and_query_targets_are_valid() {
+        let ops = adversarial_mix(&dom(), 3, 100, 7, 0.02, 1);
+        assert_eq!(ops.len(), 100);
+        let mut count = 3usize;
+        let mut ingests = 0usize;
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                MixedOp::Ingest => {
+                    assert_eq!((i + 1) % 7, 0, "ingests land on the cadence");
+                    count += 1;
+                    ingests += 1;
+                }
+                MixedOp::Query { object, region } => {
+                    assert!(*object < count, "query target must exist");
+                    assert!(dom().contains(region), "region inside the domain");
+                }
+            }
+        }
+        assert_eq!(ingests, 100 / 7);
+    }
+
+    #[test]
+    fn queries_mix_hot_and_cold() {
+        let ops = adversarial_mix(&dom(), 8, 400, 1000, 0.01, 5);
+        let (mut hot, mut cold) = (0usize, 0usize);
+        for op in &ops {
+            if let MixedOp::Query { object, .. } = op {
+                if *object == 7 {
+                    hot += 1;
+                } else {
+                    cold += 1;
+                }
+            }
+        }
+        assert!(hot > 100, "newest object must dominate ({hot} hot)");
+        assert!(cold > 50, "cold archive reads must occur ({cold} cold)");
+    }
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Measure fault-load tails: the adversarial mixed ingest+query stream run
+# clean vs under seeded chaos (drive failures, media errors, bit rot),
+# dual-copy + recovery on. Reports p50/p99/p99.9 simulated latency, the
+# recovery overhead, and verifies every answer byte-exactly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# cargo runs bench binaries from the package dir: make the path absolute
+out="$(pwd)/${1:-BENCH_faults.json}"
+cargo bench -p heaven-bench --bench faults -- --json "$out"

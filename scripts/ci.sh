@@ -58,6 +58,25 @@ assert d["cold"]["batched_mounts"] < d["cold"]["fifo_mounts"], d["cold"]
 EOF
 rm -f "$tmpjson"
 
+echo "==> seeded chaos smoke"
+# The fault-schedule property tests (any schedule: exact bytes or typed
+# MediaLost, never silent corruption) run optimized, then one faults
+# bench pass checks the injected/recovered ledger end to end.
+cargo test -q --release -p heaven-core --test chaos_proptests
+chaosjson="$(mktemp)"
+cargo bench -p heaven-bench --bench faults -- --json "$chaosjson" > /dev/null
+python3 - "$chaosjson" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+clean, faulty = d["clean"], d["faulty"]
+assert clean["silent_corruption"] == 0 and faulty["silent_corruption"] == 0, d
+assert clean["media_lost_queries"] == 0, clean
+assert faulty["drive_failures"] > 0 and faulty["retries"] > 0, faulty
+assert faulty["checksum_failures"] == faulty["corrupted_reads"], faulty
+assert d["recovery_overhead_p99"] >= 1.0, d
+EOF
+rm -f "$chaosjson"
+
 echo "==> ring-path allocation guarantee"
 # Named explicitly so a regression in the zero-allocation fast path fails
 # CI even if someone filters these files out of the workspace run.

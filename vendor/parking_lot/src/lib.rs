@@ -15,7 +15,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{self, TryLockError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 pub use sync::MutexGuard;
 pub use sync::{RwLockReadGuard, RwLockWriteGuard};
@@ -97,6 +97,49 @@ impl<T: ?Sized> Mutex<T> {
 
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A condition variable compatible with this shim's [`Mutex`]. Because
+/// our `MutexGuard` *is* `std::sync::MutexGuard`, waits use the std
+/// consuming-guard convention: `wait` takes the guard and returns it
+/// re-acquired (rather than `parking_lot`'s `&mut guard` signature).
+/// Poisoning is transparently cleared, matching the rest of the shim.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar(sync::Condvar::new())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Atomically release the guard and sleep until notified; returns
+    /// the re-acquired guard. Spurious wakeups are possible — callers
+    /// loop on their predicate.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Like [`Condvar::wait`] with a timeout; the boolean is `true` when
+    /// the wait timed out rather than being notified.
+    pub fn wait_for<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (g, res) = self
+            .0
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        (g, res.timed_out())
     }
 }
 
@@ -204,5 +247,36 @@ mod tests {
         let m = Mutex::new(());
         let (_g, wait) = m.lock_timed();
         assert_eq!(wait, 0.0);
+    }
+
+    #[test]
+    fn condvar_notifies_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut g = lock.lock();
+            while !*g {
+                g = cv.wait(g);
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let lock = Mutex::new(());
+        let cv = Condvar::new();
+        let g = lock.lock();
+        let t0 = Instant::now();
+        let (_g, timed_out) = cv.wait_for(g, Duration::from_millis(5));
+        assert!(timed_out);
+        assert!(t0.elapsed() >= Duration::from_millis(4));
     }
 }
