@@ -22,7 +22,10 @@ pub mod tile;
 pub mod tiling;
 pub mod value;
 
-pub use codec::{rle_compress, rle_decompress, rle_ratio};
+pub use codec::{
+    decode_wire, encode_wire, rle_compress, rle_decompress, rle_ratio, Codec, CodecPolicy,
+    WireError,
+};
 pub use domain::{Interval, Minterval, Point};
 pub use error::{ArrayError, Result};
 pub use frame::{subtract_box, Frame};

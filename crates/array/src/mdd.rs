@@ -238,15 +238,9 @@ impl MDArray {
     }
 
     /// Sum of all cells as f64 (convenience used by tests and condensers).
+    /// Delegates to the typed bulk kernel in [`crate::ops`].
     pub fn sum(&self) -> f64 {
-        let n = self.domain.cell_count() as usize;
-        let mut acc = 0.0;
-        for i in 0..n {
-            acc += CellValue::read(self.cell_type, self.bytes(), i)
-                .expect("in range")
-                .as_f64();
-        }
-        acc
+        crate::ops::sum_cells(self.cell_type, self.bytes())
     }
 }
 

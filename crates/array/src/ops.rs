@@ -8,7 +8,7 @@
 use crate::domain::{Minterval, Point};
 use crate::error::{ArrayError, Result};
 use crate::mdd::MDArray;
-use crate::value::{CellType, CellValue};
+use crate::value::{with_scalar, CellType, CellValue, Scalar};
 
 /// Trim: restrict the array to a sub-box (dimensionality preserved).
 pub fn trim(a: &MDArray, region: &Minterval) -> Result<MDArray> {
@@ -86,12 +86,26 @@ impl UnaryOp {
     }
 }
 
+/// Map every cell of `src` through `f`, reading as `S` and writing as
+/// `O` — one monomorphized pass over the contiguous buffers, no per-cell
+/// bounds checks or enum boxing.
+fn map_cells<S: Scalar, O: Scalar>(src: &[u8], dst: &mut [u8], f: impl Fn(f64) -> f64) {
+    for (sb, db) in src.chunks_exact(S::SIZE).zip(dst.chunks_exact_mut(O::SIZE)) {
+        O::from_f64(f(S::from_le(sb).to_f64())).write_le(db);
+    }
+}
+
 /// Apply a unary induced operation.
 pub fn induced_unary(a: &MDArray, op: UnaryOp) -> MDArray {
     let out_ty = op.result_type(a.cell_type());
-    MDArray::generate(a.domain().clone(), out_ty, |p| {
-        op.apply(a.get_f64(p).expect("point from own domain"))
-    })
+    let n = a.domain().cell_count() as usize;
+    let mut out = vec![0u8; n * out_ty.size_bytes()];
+    with_scalar!(a.cell_type(), S, {
+        with_scalar!(out_ty, O, {
+            map_cells::<S, O>(a.bytes(), &mut out, |v| op.apply(v));
+        })
+    });
+    MDArray::from_bytes(a.domain().clone(), out_ty, out).expect("buffer sized for domain")
 }
 
 /// A binary induced operation applied cell-wise.
@@ -175,6 +189,21 @@ pub fn induced_binary(a: &MDArray, b: &MDArray, op: BinaryOp) -> Result<MDArray>
         .intersection(b.domain())
         .ok_or(ArrayError::Empty("operand domain intersection"))?;
     let out_ty = op.result_type(a.cell_type(), b.cell_type());
+    if &dom == a.domain() && a.domain() == b.domain() {
+        // Equal domains (the RasDaMan-conformant case): both buffers are
+        // aligned cell-for-cell, so run one typed pass instead of a
+        // per-point domain walk.
+        let n = dom.cell_count() as usize;
+        let mut out = vec![0u8; n * out_ty.size_bytes()];
+        with_scalar!(a.cell_type(), S, {
+            with_scalar!(b.cell_type(), T, {
+                with_scalar!(out_ty, O, {
+                    zip_cells::<S, T, O>(a.bytes(), b.bytes(), &mut out, op)?;
+                })
+            })
+        });
+        return MDArray::from_bytes(dom, out_ty, out);
+    }
     let mut out = MDArray::zeros(dom.clone(), out_ty);
     for p in dom.iter_points() {
         let v = op.apply(a.get_f64(&p)?, b.get_f64(&p)?)?;
@@ -183,15 +212,43 @@ pub fn induced_binary(a: &MDArray, b: &MDArray, op: BinaryOp) -> Result<MDArray>
     Ok(out)
 }
 
+/// Aligned cell-for-cell binary pass; errors out (leaving `dst` partial,
+/// which the caller discards) on a zero divisor.
+fn zip_cells<S: Scalar, T: Scalar, O: Scalar>(
+    a: &[u8],
+    b: &[u8],
+    dst: &mut [u8],
+    op: BinaryOp,
+) -> Result<()> {
+    for ((ab, bb), db) in a
+        .chunks_exact(S::SIZE)
+        .zip(b.chunks_exact(T::SIZE))
+        .zip(dst.chunks_exact_mut(O::SIZE))
+    {
+        let v = op.apply(S::from_le(ab).to_f64(), T::from_le(bb).to_f64())?;
+        O::from_f64(v).write_le(db);
+    }
+    Ok(())
+}
+
 /// Apply a binary induced operation between an array and a scalar.
 pub fn induced_scalar(a: &MDArray, scalar: f64, op: BinaryOp) -> Result<MDArray> {
     let out_ty = op.result_type(a.cell_type(), a.cell_type());
-    let mut out = MDArray::zeros(a.domain().clone(), out_ty);
-    for p in a.domain().iter_points() {
-        let v = op.apply(a.get_f64(&p)?, scalar)?;
-        out.set(&p, v)?;
+    if op == BinaryOp::Div && scalar == 0.0 {
+        // The divisor is the same for every cell; fail before the pass
+        // like the per-point path failed on the first cell.
+        return Err(ArrayError::DivisionByZero);
     }
-    Ok(out)
+    let n = a.domain().cell_count() as usize;
+    let mut out = vec![0u8; n * out_ty.size_bytes()];
+    with_scalar!(a.cell_type(), S, {
+        with_scalar!(out_ty, O, {
+            map_cells::<S, O>(a.bytes(), &mut out, |v| {
+                op.apply(v, scalar).expect("divisor checked nonzero")
+            });
+        })
+    });
+    MDArray::from_bytes(a.domain().clone(), out_ty, out)
 }
 
 /// A condenser (aggregation over all cells).
@@ -234,29 +291,16 @@ impl Condenser {
     }
 
     /// Evaluate over a whole array.
+    ///
+    /// Runs a monomorphized fold over the contiguous cell buffer (see
+    /// [`condense_typed`]); accumulation order and f64 widening are
+    /// identical to the old per-point walk, so results are bit-exact.
     pub fn eval(self, a: &MDArray) -> Result<f64> {
         let n = a.domain().cell_count();
         if n == 0 {
             return Err(ArrayError::Empty("condenser input"));
         }
-        let mut acc = match self {
-            Condenser::Min => f64::INFINITY,
-            Condenser::Max => f64::NEG_INFINITY,
-            _ => 0.0,
-        };
-        for (_, v) in a.iter_cells() {
-            let x = v.as_f64();
-            match self {
-                Condenser::Sum | Condenser::Avg => acc += x,
-                Condenser::Min => acc = acc.min(x),
-                Condenser::Max => acc = acc.max(x),
-                Condenser::CountNonZero => {
-                    if x != 0.0 {
-                        acc += 1.0;
-                    }
-                }
-            }
-        }
+        let mut acc = with_scalar!(a.cell_type(), S, { condense_typed::<S>(self, a.bytes()) });
         if self == Condenser::Avg {
             acc /= n as f64;
         }
@@ -289,6 +333,24 @@ impl Condenser {
             }
         })
     }
+}
+
+/// Sequential typed fold over a raw cell buffer — the condenser hot
+/// loop. `chunks_exact` lets the compiler drop per-cell bounds checks
+/// and vectorize the widen-and-accumulate.
+fn condense_typed<S: Scalar>(c: Condenser, buf: &[u8]) -> f64 {
+    let vals = buf.chunks_exact(S::SIZE).map(|b| S::from_le(b).to_f64());
+    match c {
+        Condenser::Sum | Condenser::Avg => vals.fold(0.0, |acc, x| acc + x),
+        Condenser::Min => vals.fold(f64::INFINITY, f64::min),
+        Condenser::Max => vals.fold(f64::NEG_INFINITY, f64::max),
+        Condenser::CountNonZero => vals.fold(0.0, |acc, x| if x != 0.0 { acc + 1.0 } else { acc }),
+    }
+}
+
+/// Sum of all cells of a raw typed buffer (backs [`MDArray::sum`]).
+pub(crate) fn sum_cells(cell_type: CellType, buf: &[u8]) -> f64 {
+    with_scalar!(cell_type, S, { condense_typed::<S>(Condenser::Sum, buf) })
 }
 
 /// Scale (downsample) an array by integer `factors` per axis: each result

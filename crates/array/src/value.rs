@@ -210,6 +210,159 @@ impl CellValue {
     }
 }
 
+/// Monomorphized little-endian scalar access for bulk kernels.
+///
+/// Condensers and induced operations iterate millions of cells; going
+/// through [`CellValue::read`] per cell means a bounds check, a type
+/// match and an enum construction each time. Kernels generic over
+/// `Scalar` instead walk `chunks_exact(SIZE)` over the contiguous cell
+/// buffer, which the compiler unrolls and autovectorizes. Conversion
+/// semantics (f64 widening, saturating narrowing) match `CellValue`
+/// exactly so results are bit-identical to the scalar path.
+pub(crate) trait Scalar: Copy {
+    /// Cell width in bytes ([`CellType::size_bytes`]).
+    const SIZE: usize;
+    /// Read one cell from a `SIZE`-byte little-endian slice.
+    fn from_le(b: &[u8]) -> Self;
+    /// Write one cell into a `SIZE`-byte slice.
+    fn write_le(self, b: &mut [u8]);
+    /// Widen to f64 (lossless for all supported types).
+    fn to_f64(self) -> f64;
+    /// Narrow from f64 with the same saturation as [`CellValue::from_f64`].
+    fn from_f64(v: f64) -> Self;
+}
+
+impl Scalar for u8 {
+    const SIZE: usize = 1;
+    #[inline(always)]
+    fn from_le(b: &[u8]) -> u8 {
+        b[0]
+    }
+    #[inline(always)]
+    fn write_le(self, b: &mut [u8]) {
+        b[0] = self;
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn from_f64(v: f64) -> u8 {
+        v.clamp(0.0, u8::MAX as f64) as u8
+    }
+}
+
+impl Scalar for i16 {
+    const SIZE: usize = 2;
+    #[inline(always)]
+    fn from_le(b: &[u8]) -> i16 {
+        i16::from_le_bytes([b[0], b[1]])
+    }
+    #[inline(always)]
+    fn write_le(self, b: &mut [u8]) {
+        b.copy_from_slice(&self.to_le_bytes());
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn from_f64(v: f64) -> i16 {
+        v.clamp(i16::MIN as f64, i16::MAX as f64) as i16
+    }
+}
+
+impl Scalar for i32 {
+    const SIZE: usize = 4;
+    #[inline(always)]
+    fn from_le(b: &[u8]) -> i32 {
+        i32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+    #[inline(always)]
+    fn write_le(self, b: &mut [u8]) {
+        b.copy_from_slice(&self.to_le_bytes());
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn from_f64(v: f64) -> i32 {
+        v.clamp(i32::MIN as f64, i32::MAX as f64) as i32
+    }
+}
+
+impl Scalar for f32 {
+    const SIZE: usize = 4;
+    #[inline(always)]
+    fn from_le(b: &[u8]) -> f32 {
+        f32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+    #[inline(always)]
+    fn write_le(self, b: &mut [u8]) {
+        b.copy_from_slice(&self.to_le_bytes());
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn from_f64(v: f64) -> f32 {
+        v as f32
+    }
+}
+
+impl Scalar for f64 {
+    const SIZE: usize = 8;
+    #[inline(always)]
+    fn from_le(b: &[u8]) -> f64 {
+        f64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+    #[inline(always)]
+    fn write_le(self, b: &mut [u8]) {
+        b.copy_from_slice(&self.to_le_bytes());
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn from_f64(v: f64) -> f64 {
+        v
+    }
+}
+
+/// Dispatch a [`CellType`] to a monomorphized block: binds the type
+/// alias `$S` to the matching [`Scalar`] implementation and evaluates
+/// `$body` once per variant.
+macro_rules! with_scalar {
+    ($ty:expr, $S:ident, $body:block) => {
+        match $ty {
+            $crate::value::CellType::U8 => {
+                type $S = u8;
+                $body
+            }
+            $crate::value::CellType::I16 => {
+                type $S = i16;
+                $body
+            }
+            $crate::value::CellType::I32 => {
+                type $S = i32;
+                $body
+            }
+            $crate::value::CellType::F32 => {
+                type $S = f32;
+                $body
+            }
+            $crate::value::CellType::F64 => {
+                type $S = f64;
+                $body
+            }
+        }
+    };
+}
+pub(crate) use with_scalar;
+
 impl fmt::Display for CellValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

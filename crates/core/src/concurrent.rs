@@ -347,7 +347,7 @@ impl FetchBatcher {
                         h.metrics.st_tape_fetches.inc();
                         h.metrics.st_tape_bytes.add(r.addr.len);
                         let refetch = store.estimate_read_s(r.addr);
-                        match h.maybe_decompress(raw) {
+                        match h.maybe_decompress(r.st, raw) {
                             Ok(payload) => {
                                 h.st_cache.put(r.st, payload.clone(), refetch);
                                 self.resolve(r.st, Ok((payload, done_s)));
@@ -550,18 +550,22 @@ impl ConcurrentHeaven {
         self.st_cache.clear();
     }
 
-    /// Undo payload compression on bytes read from tape (zero-copy when
-    /// compression is off) — the concurrent twin of
-    /// `Heaven::maybe_decompress`.
-    fn maybe_decompress(&self, bytes: Bytes) -> Result<Bytes> {
-        if self.config.compress {
-            let out = heaven_array::rle_decompress(&bytes)
-                .ok_or_else(|| HeavenError::Codec("corrupt compressed super-tile".into()))?;
-            self.metrics.bytes_copied.add(out.len() as u64);
-            Ok(Bytes::from(out))
-        } else {
-            Ok(bytes)
+    /// Undo payload compression on wire bytes read from tape (zero-copy
+    /// when compression is off or the payload shipped raw) — the
+    /// concurrent twin of `Heaven::maybe_decompress`. The catalogued
+    /// uncompressed length of `st` disambiguates untagged raw
+    /// pass-through from legacy pre-frame RLE streams.
+    fn maybe_decompress(&self, st: SuperTileId, bytes: Bytes) -> Result<Bytes> {
+        if !self.config.compress {
+            return Ok(bytes);
         }
+        let expected = self.catalog.read().meta(st)?.total_len;
+        let (out, codec) = heaven_array::decode_wire(&bytes, expected)
+            .map_err(|e| HeavenError::Codec(format!("corrupt compressed super-tile: {e}")))?;
+        if codec != heaven_array::Codec::Raw {
+            self.metrics.bytes_copied.add(out.len() as u64);
+        }
+        Ok(out)
     }
 
     /// Record the memcpy performed by patching `src` into `out`.
@@ -684,7 +688,7 @@ impl Session<'_> {
             let refetch = store.estimate_read_s(addr);
             let done_s = store.clock().now_s();
             drop(store);
-            let payload = self.h.maybe_decompress(raw)?;
+            let payload = self.h.maybe_decompress(st, raw)?;
             self.h.st_cache.put(st, payload.clone(), refetch);
             self.lane.advance_to_s(done_s);
             Ok(payload)

@@ -2,7 +2,7 @@
 
 use crate::cache::EvictionPolicy;
 use crate::estar::AccessPattern;
-use heaven_array::{Condenser, LinearOrder};
+use heaven_array::{CodecPolicy, Condenser, LinearOrder};
 use heaven_obs::TraceConfig;
 
 /// How super-tiles are formed at export time.
@@ -92,6 +92,11 @@ pub struct HeavenConfig {
     /// Trades CPU for tertiary transfer volume; disables partial
     /// super-tile reads on random-access media.
     pub compress: bool,
+    /// Codec selection policy used when [`Self::compress`] is on: probe
+    /// budget, incompressibility threshold, and an optional forced codec.
+    /// The default probes ~2 KiB per payload and passes incompressible
+    /// payloads through raw (zero-copy).
+    pub codec: CodecPolicy,
     /// Tracing sink for the observability bus (spans and events keyed to
     /// simulated time), plus sampling and per-subsystem level knobs. The
     /// default ([`TraceConfig::off`]) costs one atomic load per
@@ -129,6 +134,7 @@ impl Default for HeavenConfig {
             medium_per_object: false,
             precompute: Vec::new(),
             compress: false,
+            codec: CodecPolicy::default(),
             trace: TraceConfig::off(),
             cache_shards: 1,
             cross_session_batching: true,
@@ -155,6 +161,8 @@ mod tests {
         assert_eq!(c.trace, TraceConfig::off());
         assert!(!c.dual_copy);
         assert_eq!(c.retry.max_retries, 3);
+        assert!(c.codec.forced.is_none());
+        assert!(c.codec.raw_threshold > 0.0 && c.codec.raw_threshold < 1.0);
     }
 
     #[test]

@@ -92,7 +92,7 @@ impl Heaven {
                 encode_supertile(st_id, oid, std::slice::from_ref(&tile))
             };
             raw_bytes += payload.len() as u64;
-            let wire = self.maybe_compress(payload);
+            let wire = self.maybe_compress(payload, meta.cell_type.size_bytes());
             bytes += wire.len() as u64;
             let checksum = checksum64(&wire);
             let addr = self.store.append(WritePayload::Real(wire.clone()))?;
@@ -212,7 +212,7 @@ impl Heaven {
                     .recv()
                     .map_err(|_| HeavenError::Codec("TCT thread gone".into()))?;
                 raw_bytes += payload.len() as u64;
-                let wire = self.maybe_compress(payload);
+                let wire = self.maybe_compress(payload, meta.cell_type.size_bytes());
                 bytes += wire.len() as u64;
                 let checksum = checksum64(&wire);
                 let addr = self.store.append(WritePayload::Real(wire.clone()))?;

@@ -46,8 +46,11 @@ pub use catalog::SuperTileCatalog;
 pub use concurrent::{ConcurrentHeaven, Session};
 pub use config::{ClusteringStrategy, HeavenConfig, PrefetchPolicy, RetryPolicy};
 pub use error::{HeavenError, Result};
+// Codec selection is configured through `HeavenConfig::codec`; re-export
+// the policy types so callers don't need a direct heaven-array dep.
 pub use estar::{estar_partition, AccessPattern};
 pub use export::{pipeline_makespan, ExportMode, ExportReport};
+pub use heaven_array::{Codec, CodecPolicy};
 pub use precomp::{PrecompCatalog, PrecompStats};
 pub use report::ArchiveReport;
 pub use scheduler::{count_exchanges, plan_drive_rounds, schedule, seek_distance, FetchRequest};

@@ -9,6 +9,7 @@
 use crate::error::{HeavenError, Result};
 use crate::supertile::{decode_all, MemberEntry, SuperTileMeta};
 use crate::system::Heaven;
+use bytes::Bytes;
 use heaven_array::{MDArray, ObjectId};
 use heaven_tape::{MediumId, WritePayload};
 
@@ -119,7 +120,7 @@ impl Heaven {
             // Write the new version under a fresh id.
             let new_id = self.catalog.next_id();
             let (new_payload, new_meta) = crate::supertile::encode_supertile(new_id, oid, &tiles);
-            let wire = self.maybe_compress(new_payload);
+            let wire = self.maybe_compress(new_payload, meta.cell_type.size_bytes());
             let checksum = crate::supertile::checksum64(&wire);
             let addr = self.store.append(WritePayload::Real(wire.clone()))?;
             let replica = if self.config.dual_copy {
@@ -162,10 +163,8 @@ impl Heaven {
             for (offset, len) in segments {
                 let raw = self.store.library_mut().read(medium, offset, len)?;
                 let checksum = crate::supertile::checksum64(&raw);
-                let Ok(payload) = self.maybe_decompress(raw) else {
-                    continue;
-                };
-                let Some((members, object)) = parse_supertile_payload(&payload) else {
+                let Some((payload, members, object)) = decode_scavenged(self.config.compress, raw)
+                else {
                     continue;
                 };
                 let st = self.catalog.next_id();
@@ -245,9 +244,38 @@ impl Heaven {
     }
 }
 
+/// Decode a scavenged wire segment without catalog metadata. Framed
+/// payloads are self-describing (the header names the codec); unframed
+/// bytes are tried as raw first — the adaptive encoder ships
+/// incompressible payloads untagged — then as a legacy pre-frame RLE
+/// stream. Every candidate must parse as a run of tile records to be
+/// accepted, which is what rejects foreign segments and wrong guesses.
+fn decode_scavenged(
+    compress: bool,
+    raw: Bytes,
+) -> Option<(Bytes, Vec<MemberEntry>, heaven_array::ObjectId)> {
+    if !compress {
+        let (members, object) = parse_supertile_payload(&raw)?;
+        return Some((raw, members, object));
+    }
+    if let Some(h) = heaven_array::codec::sniff_frame(&raw) {
+        let (payload, _) = heaven_array::decode_wire(&raw, h.orig_len).ok()?;
+        let (members, object) = parse_supertile_payload(&payload)?;
+        return Some((payload, members, object));
+    }
+    if let Some((members, object)) = parse_supertile_payload(&raw) {
+        return Some((raw, members, object));
+    }
+    let payload = Bytes::from(heaven_array::rle_decompress(&raw)?);
+    let (members, object) = parse_supertile_payload(&payload)?;
+    Some((payload, members, object))
+}
+
 /// Parse a buffer as a run of tile records; returns the member directory
 /// and owning object, or `None` when the buffer is not a super-tile.
-fn parse_supertile_payload(payload: &[u8]) -> Option<(Vec<MemberEntry>, heaven_array::ObjectId)> {
+pub(crate) fn parse_supertile_payload(
+    payload: &[u8],
+) -> Option<(Vec<MemberEntry>, heaven_array::ObjectId)> {
     let mut members = Vec::new();
     let mut object = None;
     let mut off = 0usize;
@@ -270,4 +298,114 @@ fn parse_supertile_payload(payload: &[u8]) -> Option<(Vec<MemberEntry>, heaven_a
         return None;
     }
     Some((members, object?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HeavenConfig;
+    use crate::export::ExportMode;
+    use crate::supertile::{checksum64, encode_supertile};
+    use heaven_array::{CellType, MDArray, Minterval, Point, Tiling};
+    use heaven_arraydb::ArrayDb;
+    use heaven_rdbms::Database;
+    use heaven_tape::{DeviceProfile, DiskProfile, SimClock, TapeLibrary, WritePayload};
+
+    fn mi(b: &[(i64, i64)]) -> Minterval {
+        Minterval::new(b).unwrap()
+    }
+
+    fn build(compress: bool, gen: impl Fn(&Point) -> f64) -> (Heaven, ObjectId) {
+        let clock = SimClock::new();
+        let db = Database::new(DiskProfile::scsi2003(), clock.clone(), 4096);
+        let mut adb = ArrayDb::create(db).unwrap();
+        adb.create_collection("m", CellType::U8, 2).unwrap();
+        let arr = MDArray::generate(mi(&[(0, 31), (0, 31)]), CellType::U8, gen);
+        let oid = adb
+            .insert_object(
+                "m",
+                &arr,
+                Tiling::Regular {
+                    tile_shape: vec![16, 16],
+                },
+            )
+            .unwrap();
+        let lib = TapeLibrary::new(DeviceProfile::ibm3590(), 1, clock);
+        let heaven = Heaven::new(
+            adb,
+            lib,
+            HeavenConfig {
+                supertile_bytes: Some(2048),
+                compress,
+                ..HeavenConfig::default()
+            },
+        );
+        (heaven, oid)
+    }
+
+    /// Archives written by the pre-frame code are bare RLE streams with
+    /// no header. Stage one by hand (the old writer's byte layout) and
+    /// check both the hierarchy read path and the media scan decode it.
+    #[test]
+    fn legacy_untagged_rle_archive_still_decodes() {
+        let (mut heaven, oid) = build(true, |_| 7.0);
+        let tiles = heaven.adb.object(oid).unwrap().tiles.clone();
+        let tile_objs: Vec<_> = tiles
+            .iter()
+            .map(|&(_, t)| heaven.adb.read_tile(t).unwrap())
+            .collect();
+        let st_id = heaven.catalog.next_id();
+        let (payload, meta) = encode_supertile(st_id, oid, &tile_objs);
+        let wire = Bytes::from(heaven_array::codec::baseline::rle_compress(&payload));
+        assert!(
+            heaven_array::codec::sniff_frame(&wire).is_none(),
+            "a legacy stream must not sniff as a frame"
+        );
+        assert_ne!(
+            wire.len() as u64,
+            meta.total_len,
+            "legacy RLE of constant data must actually shrink"
+        );
+        let checksum = checksum64(&wire);
+        let addr = heaven.store.append(WritePayload::Real(wire)).unwrap();
+        heaven
+            .register_supertile(meta, addr, None, checksum)
+            .unwrap();
+        for &(_, t) in &tiles {
+            heaven.adb.mark_exported(t).unwrap();
+        }
+        heaven.clear_caches();
+        let back = heaven
+            .fetch_region_hierarchical(oid, &mi(&[(0, 31), (0, 31)]))
+            .unwrap();
+        assert_eq!(back.sum(), 7.0 * 1024.0);
+
+        // The media scan must also recognize the legacy stream.
+        let recovered = heaven.scavenge_catalog_from_media().unwrap();
+        assert_eq!(recovered, 1);
+        heaven.clear_caches();
+        let back = heaven
+            .fetch_region_hierarchical(oid, &mi(&[(0, 31), (0, 31)]))
+            .unwrap();
+        assert_eq!(back.sum(), 7.0 * 1024.0);
+    }
+
+    /// The adaptive encoder ships incompressible payloads as untagged raw
+    /// bytes; the media scan must recover those too (they parse directly,
+    /// without a frame to announce the codec).
+    #[test]
+    fn scavenge_recovers_adaptive_archive() {
+        let noise = |p: &Point| ((p.coord(0) * 37 + p.coord(1) * 101) % 251) as f64;
+        let (mut heaven, oid) = build(true, noise);
+        heaven.export_object(oid, ExportMode::Tct).unwrap();
+        let recovered = heaven.scavenge_catalog_from_media().unwrap();
+        assert!(recovered > 0);
+        heaven.clear_caches();
+        let back = heaven
+            .fetch_region_hierarchical(oid, &mi(&[(0, 31), (0, 31)]))
+            .unwrap();
+        for p in back.domain().iter_points() {
+            assert_eq!(back.get_f64(&p).unwrap(), noise(&p));
+        }
+    }
 }

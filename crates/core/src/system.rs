@@ -18,7 +18,7 @@ use crate::scheduler::{count_exchanges, schedule, FetchRequest};
 use crate::sizing::optimal_supertile_size;
 use crate::supertile::{decode_member, SuperTileId};
 use bytes::Bytes;
-use heaven_array::{Condenser, MDArray, Minterval, ObjectId, TileId};
+use heaven_array::{Codec, Condenser, MDArray, Minterval, ObjectId, TileId};
 use heaven_arraydb::{ArrayDb, ObjectMeta, TileLocation, TileProvider};
 use heaven_hsm::DirectStore;
 use heaven_obs::{
@@ -77,6 +77,15 @@ struct HeavenMetrics {
     prefetch_bytes: Counter,
     region_fetches: Counter,
     bytes_copied: Counter,
+    /// Wire bytes saved by super-tile compression (payload − wire, when
+    /// the encoded form is smaller).
+    codec_bytes_saved: Counter,
+    /// Super-tile payloads shipped as raw pass-through.
+    codec_raw: Counter,
+    /// Super-tile payloads encoded with plain RLE.
+    codec_rle: Counter,
+    /// Super-tile payloads encoded with byte-shuffle + RLE.
+    codec_shuffle: Counter,
     /// Queries whose per-level attribution exceeded the observed clock
     /// delta (overlapping spans); their `other_s` was clamped to zero.
     breakdown_overattributed: Counter,
@@ -98,6 +107,10 @@ impl HeavenMetrics {
             prefetch_bytes: registry.counter("heaven.prefetch_bytes"),
             region_fetches: registry.counter("heaven.region_fetches"),
             bytes_copied: registry.counter("heaven.bytes_copied"),
+            codec_bytes_saved: registry.counter("heaven.codec_bytes_saved"),
+            codec_raw: registry.counter("heaven.codec_raw"),
+            codec_rle: registry.counter("heaven.codec_rle"),
+            codec_shuffle: registry.counter("heaven.codec_shuffle"),
             breakdown_overattributed: registry.counter("heaven.breakdown_overattributed"),
             query_latency: registry.histogram("heaven.query_latency_s"),
             st_fetch_hist: registry.histogram("heaven.st_fetch_hist_s"),
@@ -554,29 +567,56 @@ impl Heaven {
         }
     }
 
-    /// Compress an outgoing super-tile payload if configured. With
-    /// compression off this is a zero-copy pass-through.
-    pub(crate) fn maybe_compress(&self, payload: Bytes) -> Bytes {
-        if self.config.compress {
-            let out = heaven_array::rle_compress(&payload);
-            self.metrics.bytes_copied.add(out.len() as u64);
-            Bytes::from(out)
-        } else {
-            payload
+    /// Encode an outgoing super-tile payload if configured: the adaptive
+    /// codec probes a sample and picks raw / RLE / shuffle-RLE per
+    /// payload. Incompressible payloads stay zero-copy (refcount clone);
+    /// with compression off this is a pass-through.
+    pub(crate) fn maybe_compress(&self, payload: Bytes, cell_size: usize) -> Bytes {
+        if !self.config.compress {
+            return payload;
         }
+        let in_len = payload.len() as u64;
+        let (wire, codec) = heaven_array::encode_wire(&payload, cell_size, &self.config.codec);
+        match codec {
+            Codec::Raw => self.metrics.codec_raw.inc(),
+            Codec::Rle => self.metrics.codec_rle.inc(),
+            Codec::ShuffleRle => self.metrics.codec_shuffle.inc(),
+        }
+        let out_len = wire.len() as u64;
+        if out_len < in_len {
+            self.metrics.codec_bytes_saved.add(in_len - out_len);
+        }
+        if codec != Codec::Raw {
+            // Encoded forms are fresh allocations; raw is a refcount bump.
+            self.metrics.bytes_copied.add(out_len);
+        }
+        self.bus.event(
+            "heaven.codec_encode",
+            self.clock().now_s(),
+            &[
+                ("codec", codec.name().into()),
+                ("in_bytes", in_len.into()),
+                ("out_bytes", out_len.into()),
+            ],
+        );
+        wire
     }
 
-    /// Undo [`Self::maybe_compress`] on bytes read from tape. Zero-copy
-    /// when compression is off.
-    pub(crate) fn maybe_decompress(&self, bytes: Bytes) -> Result<Bytes> {
-        if self.config.compress {
-            let out = heaven_array::rle_decompress(&bytes)
-                .ok_or_else(|| HeavenError::Codec("corrupt compressed super-tile".into()))?;
-            self.metrics.bytes_copied.add(out.len() as u64);
-            Ok(Bytes::from(out))
-        } else {
-            Ok(bytes)
+    /// Undo [`Self::maybe_compress`] on wire bytes read from tape.
+    /// `expected_len` is the catalogued uncompressed payload length; it
+    /// disambiguates untagged raw pass-through (wire length equals it)
+    /// from legacy pre-frame RLE streams, keeping the raw path O(1).
+    /// Zero-copy when compression is off or the payload shipped raw.
+    pub(crate) fn maybe_decompress(&self, bytes: Bytes, expected_len: u64) -> Result<Bytes> {
+        if !self.config.compress {
+            return Ok(bytes);
         }
+        let (out, codec) = heaven_array::decode_wire(&bytes, expected_len)
+            .map_err(|e| HeavenError::Codec(format!("corrupt compressed super-tile: {e}")))?;
+        if codec != Codec::Raw {
+            self.metrics.bytes_copied.add(out.len() as u64);
+        }
+        Ok(out)
     }
 
     /// Ensure a super-tile's payload is available *uncompressed*; returns
@@ -588,6 +628,7 @@ impl Heaven {
             return Ok(p);
         }
         let addr = self.catalog.address(st)?;
+        let total_len = self.catalog.meta(st)?.total_len;
         let clock = self.clock();
         let span = self.bus.span(
             "heaven.st_fetch",
@@ -615,7 +656,7 @@ impl Heaven {
             self.metrics.st_tape_fetches.inc();
             self.metrics.st_tape_bytes.add(addr.len);
             self.metrics.st_fetch_bytes_hist.observe(addr.len as f64);
-            let payload = self.maybe_decompress(raw)?;
+            let payload = self.maybe_decompress(raw, total_len)?;
             let refetch = self.store.estimate_read_s(addr);
             self.st_cache.put(st, payload.clone(), refetch);
             Ok(payload)

@@ -29,7 +29,7 @@ fn tile_region(t: i64) -> Minterval {
 /// A small archived system: one object, GRID x GRID tiles, one
 /// super-tile per tile, dual-copy on. Exports happen fault-free; the
 /// plan is armed afterwards so only the read path sees chaos.
-fn build(plan: Option<FaultConfig>) -> (Heaven, u64) {
+fn build(plan: Option<FaultConfig>, compress: bool) -> (Heaven, u64) {
     let clock = SimClock::new();
     let db = Database::new(DiskProfile::scsi2003(), clock.clone(), 4096);
     let mut adb = ArrayDb::create(db).unwrap();
@@ -52,6 +52,7 @@ fn build(plan: Option<FaultConfig>) -> (Heaven, u64) {
         supertile_bytes: Some(tile_encoded),
         mem_cache_bytes: 0,
         dual_copy: true,
+        compress,
         ..HeavenConfig::default()
     };
     let lib = TapeLibrary::new(DeviceProfile::ibm3590(), 2, clock);
@@ -75,7 +76,7 @@ proptest! {
         corrupt in 0.0f64..0.6,
         robot in 0.0f64..0.5,
     ) {
-        let (mut clean, oid) = build(None);
+        let (mut clean, oid) = build(None, false);
         let reference: Vec<MDArray> = (0..GRID * GRID)
             .map(|t| clean.fetch_region_hierarchical(oid, &tile_region(t)).unwrap())
             .collect();
@@ -85,7 +86,7 @@ proptest! {
         fc.media_read_error_per_read = media;
         fc.corrupt_per_read = corrupt;
         fc.robot_contention_per_mount = robot;
-        let (mut faulty, oid_f) = build(Some(fc));
+        let (mut faulty, oid_f) = build(Some(fc), false);
         prop_assert_eq!(oid_f, oid);
 
         for t in 0..GRID * GRID {
@@ -121,8 +122,8 @@ proptest! {
     /// activity, byte-exact answers.
     #[test]
     fn quiet_plan_is_a_no_op(seed in 0u64..10_000) {
-        let (mut clean, oid) = build(None);
-        let (mut quiet, _) = build(Some(FaultConfig::quiet(seed)));
+        let (mut clean, oid) = build(None, false);
+        let (mut quiet, _) = build(Some(FaultConfig::quiet(seed)), false);
         for t in 0..GRID * GRID {
             let a = clean.fetch_region_hierarchical(oid, &tile_region(t)).unwrap();
             let b = quiet.fetch_region_hierarchical(oid, &tile_region(t)).unwrap();
@@ -132,5 +133,48 @@ proptest! {
         for c in ["hsm.retries", "hsm.failovers", "hsm.checksum_failures", "hsm.media_lost"] {
             prop_assert_eq!(m.counter(c).get(), 0, "{} must stay zero", c);
         }
+    }
+
+    /// Compression under chaos: the adaptive codec sits between the wire
+    /// checksum and the cache. A flipped bit in a compressed block must
+    /// surface as a typed error and fail over to the replica — never a
+    /// panic, a codec-level wrong answer, or silently wrong bytes.
+    #[test]
+    fn compressed_archive_survives_chaos(
+        seed in 0u64..10_000,
+        drive in 0.0f64..0.5,
+        media in 0.0f64..0.5,
+        corrupt in 0.0f64..0.6,
+    ) {
+        let (mut clean, oid) = build(None, true);
+        let reference: Vec<MDArray> = (0..GRID * GRID)
+            .map(|t| clean.fetch_region_hierarchical(oid, &tile_region(t)).unwrap())
+            .collect();
+
+        let mut fc = FaultConfig::chaos(seed);
+        fc.drive_failure_per_read = drive;
+        fc.media_read_error_per_read = media;
+        fc.corrupt_per_read = corrupt;
+        fc.robot_contention_per_mount = 0.0;
+        let (mut faulty, _) = build(Some(fc), true);
+
+        for t in 0..GRID * GRID {
+            match faulty.fetch_region_hierarchical(oid, &tile_region(t)) {
+                Ok(got) => prop_assert_eq!(
+                    &got,
+                    &reference[t as usize],
+                    "tile {} returned wrong bytes under faults with compression",
+                    t
+                ),
+                Err(HeavenError::MediaLost { .. }) => {} // typed loss is allowed
+                Err(e) => prop_assert!(false, "untyped failure leaked through the codec: {e}"),
+            }
+        }
+        let m = faulty.metrics();
+        prop_assert_eq!(
+            m.counter("hsm.checksum_failures").get(),
+            m.counter("tape.corrupted_reads").get(),
+            "every corrupted compressed read must be rejected by its checksum"
+        );
     }
 }

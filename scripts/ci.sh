@@ -77,6 +77,37 @@ assert d["recovery_overhead_p99"] >= 1.0, d
 EOF
 rm -f "$chaosjson"
 
+echo "==> no per-point CellValue::read in condenser hot loops"
+# Aggregation kernels must run the monomorphized per-cell-type loops;
+# a CellValue::read in ops.rs reintroduces a match per point.
+if grep -n 'CellValue::read' crates/array/src/ops.rs; then
+  echo "CellValue::read in crates/array/src/ops.rs: use the typed kernels"
+  exit 1
+fi
+
+echo "==> codec bench smoke"
+# One pass over all payload classes: schema keys present, the fast RLE
+# decode holds its margin over the scalar reference on run-heavy data,
+# and the adaptive probe stays within 1% of a raw pass-through on
+# incompressible data (which must select the raw codec).
+codecjson="$(mktemp)"
+cargo bench -p heaven-bench --bench codec -- --json "$codecjson" > /dev/null
+for key in '"bench": "codec"' '"adaptive_raw_overhead_vs_memcpy_pct"' '"classes"' '"rle_decode_speedup"'; do
+  grep -q "$key" "$codecjson" || { echo "BENCH_codec.json missing $key"; exit 1; }
+done
+python3 - "$codecjson" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+classes = {c["class"]: c for c in d["classes"]}
+assert {"constant", "classified", "ramp_i32", "random"} <= classes.keys(), classes.keys()
+assert classes["constant"]["rle_decode_speedup"] >= 4.0, classes["constant"]
+assert classes["constant"]["seed_rle_decode_speedup"] >= 1.0, classes["constant"]
+assert d["adaptive_raw_overhead_vs_memcpy_pct"] <= 1.0, d["adaptive_raw_overhead_vs_memcpy_pct"]
+adaptive = [r for r in classes["random"]["codecs"] if r["mode"] == "adaptive"]
+assert adaptive and adaptive[0]["codec"] == "raw", adaptive
+EOF
+rm -f "$codecjson"
+
 echo "==> ring-path allocation guarantee"
 # Named explicitly so a regression in the zero-allocation fast path fails
 # CI even if someone filters these files out of the workspace run.

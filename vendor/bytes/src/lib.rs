@@ -26,6 +26,7 @@ pub struct Bytes {
 
 impl Bytes {
     /// An empty buffer (no allocation).
+    #[inline]
     pub fn new() -> Bytes {
         Bytes::default()
     }
@@ -34,31 +35,37 @@ impl Bytes {
     ///
     /// The real crate borrows static data without copying; this shim copies
     /// once, which is equivalent for everything downstream.
+    #[inline]
     pub fn from_static(data: &'static [u8]) -> Bytes {
         Bytes::copy_from_slice(data)
     }
 
     /// Copy an arbitrary slice into a fresh buffer.
+    #[inline]
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
         Bytes::from(data.to_vec())
     }
 
     /// Length of this view in bytes.
+    #[inline]
     pub fn len(&self) -> usize {
         self.end - self.start
     }
 
     /// Whether the view is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.start == self.end
     }
 
     /// Copy the viewed bytes into an owned `Vec`.
+    #[inline]
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
     }
 
     /// The viewed bytes.
+    #[inline]
     pub fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }
@@ -67,6 +74,7 @@ impl Bytes {
     ///
     /// `range` is relative to this view. Panics when out of bounds, like
     /// slice indexing.
+    #[inline]
     pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
         let lo = match range.start_bound() {
             Bound::Included(&n) => n,
@@ -92,6 +100,7 @@ impl Bytes {
 
     /// Split off and return the first `at` bytes; `self` keeps the rest.
     /// O(1); both halves share the allocation.
+    #[inline]
     pub fn split_to(&mut self, at: usize) -> Bytes {
         let head = self.slice(..at);
         self.start += at;
@@ -100,6 +109,7 @@ impl Bytes {
 
     /// Split off and return the bytes from `at` on; `self` keeps the
     /// prefix. O(1); both halves share the allocation.
+    #[inline]
     pub fn split_off(&mut self, at: usize) -> Bytes {
         let tail = self.slice(at..);
         self.end = self.start + at;
@@ -107,6 +117,7 @@ impl Bytes {
     }
 
     /// Shorten the view to `len` bytes (no-op if already shorter).
+    #[inline]
     pub fn truncate(&mut self, len: usize) {
         if len < self.len() {
             self.end = self.start + len;
@@ -114,6 +125,7 @@ impl Bytes {
     }
 
     /// Number of `Bytes` handles sharing this allocation (diagnostics).
+    #[inline]
     pub fn ref_count(&self) -> usize {
         Arc::strong_count(&self.data)
     }
@@ -121,12 +133,14 @@ impl Bytes {
 
 impl Deref for Bytes {
     type Target = [u8];
+    #[inline]
     fn deref(&self) -> &[u8] {
         self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
+    #[inline]
     fn as_ref(&self) -> &[u8] {
         self.as_slice()
     }
@@ -134,6 +148,7 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     /// O(1): moves the `Vec` behind an `Arc` without copying the payload.
+    #[inline]
     fn from(v: Vec<u8>) -> Bytes {
         let end = v.len();
         Bytes {
@@ -145,18 +160,21 @@ impl From<Vec<u8>> for Bytes {
 }
 
 impl From<&[u8]> for Bytes {
+    #[inline]
     fn from(v: &[u8]) -> Bytes {
         Bytes::copy_from_slice(v)
     }
 }
 
 impl std::fmt::Debug for Bytes {
+    #[inline]
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Bytes(len={})", self.len())
     }
 }
 
 impl PartialEq for Bytes {
+    #[inline]
     fn eq(&self, other: &Bytes) -> bool {
         self.as_slice() == other.as_slice()
     }
@@ -165,30 +183,35 @@ impl PartialEq for Bytes {
 impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
+    #[inline]
     fn eq(&self, other: &[u8]) -> bool {
         self.as_slice() == other
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
+    #[inline]
     fn eq(&self, other: &&[u8]) -> bool {
         self.as_slice() == *other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
+    #[inline]
     fn eq(&self, other: &Vec<u8>) -> bool {
         self.as_slice() == other.as_slice()
     }
 }
 
 impl PartialEq<Bytes> for Vec<u8> {
+    #[inline]
     fn eq(&self, other: &Bytes) -> bool {
         self.as_slice() == other.as_slice()
     }
 }
 
 impl Hash for Bytes {
+    #[inline]
     fn hash<H: Hasher>(&self, state: &mut H) {
         self.as_slice().hash(state);
     }
@@ -200,50 +223,95 @@ impl Hash for Bytes {
 pub struct BytesMut(Vec<u8>);
 
 impl BytesMut {
+    #[inline]
     pub fn new() -> BytesMut {
         BytesMut::default()
     }
 
+    #[inline]
     pub fn with_capacity(cap: usize) -> BytesMut {
         BytesMut(Vec::with_capacity(cap))
     }
 
+    #[inline]
     pub fn len(&self) -> usize {
         self.0.len()
     }
 
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
 
+    #[inline]
     pub fn capacity(&self) -> usize {
         self.0.capacity()
     }
 
+    #[inline]
     pub fn reserve(&mut self, additional: usize) {
         self.0.reserve(additional);
     }
 
+    #[inline]
     pub fn clear(&mut self) {
         self.0.clear();
     }
 
+    #[inline]
     pub fn extend_from_slice(&mut self, data: &[u8]) {
         self.0.extend_from_slice(data);
     }
 
     /// Alias of [`Self::extend_from_slice`] matching the real crate's
     /// `BufMut` vocabulary.
+    #[inline]
     pub fn put_slice(&mut self, data: &[u8]) {
         self.extend_from_slice(data);
     }
 
+    #[inline]
     pub fn put_u8(&mut self, b: u8) {
         self.0.push(b);
     }
 
+    /// Resize to `len` bytes, filling any new tail with `value`. Growing
+    /// by a constant byte lowers to `memset`, which is what the RLE
+    /// decoder's run fills rely on.
+    #[inline]
+    pub fn resize(&mut self, len: usize, value: u8) {
+        self.0.resize(len, value);
+    }
+
+    /// Shorten to `len` bytes (no-op if already shorter).
+    #[inline]
+    pub fn truncate(&mut self, len: usize) {
+        self.0.truncate(len);
+    }
+
+    /// The reserved-but-uninitialized tail, for writers that fill bytes
+    /// in place and then commit them with [`Self::set_len`] (mirrors the
+    /// real crate).
+    #[inline]
+    pub fn spare_capacity_mut(&mut self) -> &mut [std::mem::MaybeUninit<u8>] {
+        self.0.spare_capacity_mut()
+    }
+
+    /// Set the initialized length directly.
+    ///
+    /// # Safety
+    ///
+    /// `len` must not exceed the capacity and every byte below `len`
+    /// must have been initialized.
+    #[inline]
+    pub unsafe fn set_len(&mut self, len: usize) {
+        debug_assert!(len <= self.0.capacity());
+        unsafe { self.0.set_len(len) };
+    }
+
     /// Freeze into an immutable shared buffer. O(1): the heap allocation
     /// is moved behind an `Arc`, not reallocated.
+    #[inline]
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.0)
     }
@@ -251,26 +319,38 @@ impl BytesMut {
 
 impl Deref for BytesMut {
     type Target = [u8];
+    #[inline]
     fn deref(&self) -> &[u8] {
         &self.0
     }
 }
 
 impl AsRef<[u8]> for BytesMut {
+    #[inline]
     fn as_ref(&self) -> &[u8] {
         &self.0
     }
 }
 
 impl std::ops::DerefMut for BytesMut {
+    #[inline]
     fn deref_mut(&mut self) -> &mut [u8] {
         &mut self.0
     }
 }
 
 impl From<Vec<u8>> for BytesMut {
+    #[inline]
     fn from(v: Vec<u8>) -> BytesMut {
         BytesMut(v)
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    /// O(1): hands back the underlying allocation (mirrors the real crate).
+    #[inline]
+    fn from(m: BytesMut) -> Vec<u8> {
+        m.0
     }
 }
 
@@ -317,6 +397,18 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_slice_panics() {
         Bytes::from(vec![1, 2, 3]).slice(1..5);
+    }
+
+    #[test]
+    fn resize_fills_and_truncates() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(&[1, 2]);
+        m.resize(6, 9);
+        assert_eq!(&m[..], &[1, 2, 9, 9, 9, 9]);
+        m.resize(3, 0);
+        assert_eq!(&m[..], &[1, 2, 9]);
+        m.truncate(1);
+        assert_eq!(&m[..], &[1]);
     }
 
     #[test]
