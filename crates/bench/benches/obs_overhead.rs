@@ -25,10 +25,19 @@ use heaven_rdbms::Database;
 use heaven_tape::{DeviceProfile, DiskProfile, SimClock, TapeLibrary};
 
 const QUERIES: u32 = 400;
-/// Interleaved repetitions per sink; the fastest is reported. A single
-/// 400-query pass lasts ~10 ms, so one sample is at the mercy of CPU
-/// frequency scaling — best-of-N over interleaved rounds is stable.
-const REPS: u32 = 7;
+/// Interleaved repetitions per sink; each sink reports its fastest pass
+/// and `overhead_vs_off` is the ratio of those minima. A single
+/// 400-query pass lasts ~7 ms, so on a shared single-vCPU runner any
+/// one pass can eat a multi-millisecond scheduling spike — but spikes
+/// only ever *inflate* a pass, so the minimum over enough repetitions
+/// converges on the clean per-query cost and the ratio of minima on the
+/// intrinsic sink overhead. Each system is built once and the timed
+/// loops re-run against it, which makes repetitions cheap enough to take
+/// many: 120 rotated rounds span several seconds of wall clock, so every
+/// sink lands clean passes even through bursty neighbor load. The
+/// execution order rotates each round so drift within a round doesn't
+/// systematically tax whichever sink runs last.
+const REPS: u32 = 120;
 
 fn mi(b: &[(i64, i64)]) -> Minterval {
     Minterval::new(b).unwrap()
@@ -74,21 +83,23 @@ struct SinkResult {
     sink: &'static str,
     ns_per_query: u64,
     queries_per_s: f64,
+    overhead_vs_off: f64,
 }
 
-/// Time `QUERIES` warm bracketed queries once; the first pass (untimed)
-/// stages the super-tiles onto the disk cache.
-fn one_pass(trace: TraceConfig) -> std::time::Duration {
-    let (mut heaven, oid) = build(trace);
-    let regions = [
+fn regions() -> [Minterval; 4] {
+    [
         mi(&[(0, 59), (0, 59)]),
         mi(&[(60, 119), (0, 59)]),
         mi(&[(0, 59), (60, 119)]),
         mi(&[(60, 119), (60, 119)]),
-    ];
-    for r in &regions {
-        heaven.fetch_region_hierarchical(oid, r).unwrap();
-    }
+    ]
+}
+
+/// Time `QUERIES` warm bracketed queries against a prebuilt system. The
+/// ring wraps and the JSONL file grows across passes, so repeated passes
+/// measure the steady-state sink cost, not first-touch setup.
+fn one_pass(heaven: &mut Heaven, oid: u64) -> std::time::Duration {
+    let regions = regions();
     let start = Instant::now();
     for i in 0..QUERIES {
         let r = &regions[i as usize % regions.len()];
@@ -96,18 +107,15 @@ fn one_pass(trace: TraceConfig) -> std::time::Duration {
         std::hint::black_box(heaven.fetch_region_hierarchical(oid, r).unwrap());
         heaven.end_query().unwrap();
     }
-    let elapsed = start.elapsed();
-    heaven.trace().flush();
-    elapsed
+    start.elapsed()
 }
 
-/// Best-of-`REPS` for one sink (the repetitions are interleaved across
-/// sinks by the caller, so slow machine phases hit every sink equally).
-fn finish(sink: &'static str, best: std::time::Duration) -> SinkResult {
+fn finish(sink: &'static str, best: std::time::Duration, overhead_vs_off: f64) -> SinkResult {
     SinkResult {
         sink,
         ns_per_query: (best.as_nanos() / QUERIES as u128) as u64,
         queries_per_s: QUERIES as f64 / best.as_secs_f64(),
+        overhead_vs_off,
     }
 }
 
@@ -123,31 +131,50 @@ fn main() {
     let jsonl_path = std::env::temp_dir().join("heaven_obs_overhead_trace.jsonl");
     let sinks: [(&'static str, &dyn Fn() -> TraceConfig); 4] = [
         ("off", &TraceConfig::off),
-        ("ring", &|| TraceConfig::ring(1 << 16)),
+        ("ring", &|| TraceConfig::ring(1 << 13)),
         ("ring-sample8", &|| {
-            TraceConfig::ring(1 << 16).with_sample(8)
+            TraceConfig::ring(1 << 13).with_sample(8)
         }),
         ("jsonl", &|| TraceConfig::jsonl(jsonl_path.clone())),
     ];
-    let mut best = [std::time::Duration::MAX; 4];
-    for _ in 0..REPS {
-        for (i, (_, mk)) in sinks.iter().enumerate() {
-            best[i] = best[i].min(one_pass(mk()));
+    // Build each sink's system once; warm the disk cache with one
+    // untimed pass over every region.
+    let mut systems: Vec<(Heaven, u64)> = sinks.iter().map(|(_, mk)| build(mk())).collect();
+    for (heaven, oid) in &mut systems {
+        for r in &regions() {
+            heaven.fetch_region_hierarchical(*oid, r).unwrap();
         }
     }
+    let mut rounds: Vec<Vec<std::time::Duration>> = Vec::with_capacity(REPS as usize);
+    for rep in 0..REPS as usize {
+        let mut round = vec![std::time::Duration::ZERO; sinks.len()];
+        for pos in 0..sinks.len() {
+            let i = (pos + rep) % sinks.len();
+            let (heaven, oid) = &mut systems[i];
+            round[i] = one_pass(heaven, *oid);
+        }
+        rounds.push(round);
+    }
+    for (heaven, _) in &systems {
+        heaven.trace().flush();
+    }
+    let best_off = rounds.iter().map(|r| r[0]).min().unwrap();
     let results: Vec<SinkResult> = sinks
         .iter()
-        .zip(best)
-        .map(|(&(name, _), b)| finish(name, b))
+        .enumerate()
+        .map(|(i, &(name, _))| {
+            let best = rounds.iter().map(|r| r[i]).min().unwrap();
+            let overhead = best.as_secs_f64() / best_off.as_secs_f64() - 1.0;
+            finish(name, best, overhead)
+        })
         .collect();
-    let baseline_ns = results[0].ns_per_query.max(1);
     for r in &results {
         println!(
             "obs_overhead/{:<12} {:>9} ns/query  {:>10.0} queries/s  ({:+.1}% vs off)",
             r.sink,
             r.ns_per_query,
             r.queries_per_s,
-            (r.ns_per_query as f64 / baseline_ns as f64 - 1.0) * 100.0,
+            r.overhead_vs_off * 100.0,
         );
     }
     let _ = std::fs::remove_file(&jsonl_path);
@@ -166,7 +193,7 @@ fn main() {
                 r.sink,
                 r.ns_per_query,
                 r.queries_per_s,
-                r.ns_per_query as f64 / baseline_ns as f64 - 1.0,
+                r.overhead_vs_off,
                 if i + 1 < results.len() { "," } else { "" },
             ));
         }

@@ -33,6 +33,18 @@
 //! that exhausts its retries or fails checksum verification fails over
 //! to the replica, and only when every copy is gone do the waiters get a
 //! typed [`HeavenError::MediaLost`].
+//!
+//! The batcher is also where the trace model turns **causal across
+//! sessions**: every tertiary fetch runs inside a `heaven.st_fetch` span
+//! that *links* to the shared `sched.batch` span which staged it, emits
+//! a `sched.served` event decomposing its latency into queue vs service
+//! time (`sched.queue_wait_s` / `sched.service_s` histograms), and every
+//! session record is stamped with the session id — so an offline
+//! profiler (`heaven-prof critical-path`) can attribute any session's
+//! wait to the shared fetch that actually served it. A deterministic
+//! stall watchdog ([`HeavenConfig::stall_window_mult`]) flags fetches
+//! that survive too many drain passes (`sched.stalls` + `sched.stall`
+//! events naming the blocking medium).
 
 use crate::cache::{CacheStats, SuperTileCache, TileCache};
 use crate::catalog::SuperTileCatalog;
@@ -46,10 +58,11 @@ use bytes::Bytes;
 use heaven_array::{MDArray, Minterval, ObjectId, TileId};
 use heaven_arraydb::{ArrayDb, TileLocation};
 use heaven_hsm::{BlockAddress, DirectStore, HsmError};
-use heaven_obs::{Counter, MetricsRegistry, TraceBus};
+use heaven_obs::{Counter, Histogram, MetricsRegistry, TraceBus};
 use heaven_tape::{SimClock, TapeError, TapeStats};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -71,10 +84,27 @@ struct ConcMetrics {
     /// Batched fetches put back in the queue after a transient failure
     /// (retry) or for their replica copy (failover).
     requeued_fetches: Counter,
+    /// Queued fetches flagged by the stall watchdog (once per fetch; see
+    /// [`HeavenConfig::stall_window_mult`]).
+    stalls: Counter,
+    /// Per tertiary fetch: simulated seconds between enqueueing and the
+    /// start of the staging round that served it (includes retry backoff
+    /// and earlier drain passes the fetch requeued through).
+    queue_wait: Histogram,
+    /// Per tertiary fetch: simulated seconds from staging start to
+    /// waiter notification (mount + locate + transfer of its round).
+    service: Histogram,
+    /// Session query latency (same series the single-owner bracketed
+    /// path observes); fed here with the query span as its exemplar.
+    query_latency: Histogram,
 }
 
 impl ConcMetrics {
     fn new(registry: &MetricsRegistry) -> ConcMetrics {
+        let query_latency = registry.histogram("heaven.query_latency_s");
+        // Exemplar tables are sized at registration so the per-query
+        // observe stays allocation-free.
+        query_latency.reserve_exemplars();
         ConcMetrics {
             region_fetches: registry.counter("heaven.region_fetches"),
             st_tape_fetches: registry.counter("heaven.st_tape_fetches"),
@@ -84,6 +114,10 @@ impl ConcMetrics {
             batches: registry.counter("sched.batches"),
             batched_fetches: registry.counter("sched.batched_fetches"),
             requeued_fetches: registry.counter("sched.requeued_fetches"),
+            stalls: registry.counter("sched.stalls"),
+            queue_wait: registry.histogram("sched.queue_wait_s"),
+            service: registry.histogram("sched.service_s"),
+            query_latency,
         }
     }
 }
@@ -98,6 +132,14 @@ struct PendingFetch {
     on_replica: bool,
     replica: Option<BlockAddress>,
     checksum: Option<u64>,
+    /// Shared-clock instant the first waiter enqueued this super-tile
+    /// (survives requeues: queue time accumulates across the ladder).
+    enqueue_s: f64,
+    /// Drain passes this fetch has been seen by (each pass ≈ one batching
+    /// window) — the stall watchdog's deterministic time base.
+    drains: u32,
+    /// Already flagged by the stall watchdog (flag once per fetch).
+    stalled: bool,
 }
 
 /// Why a batched fetch ultimately failed (cloned to every coalesced
@@ -119,15 +161,31 @@ impl FetchFailure {
     }
 }
 
+/// The shared outcome of a successful batched fetch, cloned to every
+/// coalesced waiter (the payload clone is a refcount bump). Besides the
+/// payload it carries the causal/timing context each waiter stamps onto
+/// its own trace: the `sched.batch` span that staged it and the
+/// queue/service decomposition of its latency.
+#[derive(Debug, Clone)]
+struct Served {
+    payload: Bytes,
+    /// Shared-clock instant the staging round completed (waiters
+    /// fast-forward their lanes to it).
+    done_s: f64,
+    /// Enqueue → staging-round start (simulated seconds).
+    queue_s: f64,
+    /// Staging-round start → notification (simulated seconds).
+    service_s: f64,
+    /// The `sched.batch` span that staged this fetch (0 = untraced).
+    batch_span: u64,
+}
+
 /// One in-flight tertiary fetch; every session waiting on the same
 /// super-tile holds the same `Arc<Inflight>` and reads the same outcome.
-/// The payload `Bytes` clone is a refcount bump, and `done_s` is the
-/// shared-clock instant the staging round completed (waiters fast-forward
-/// their lanes to it). `done` is signalled exactly once, when the slot is
-/// filled.
+/// `done` is signalled exactly once, when the slot is filled.
 #[derive(Debug, Default)]
 struct Inflight {
-    slot: Mutex<Option<std::result::Result<(Bytes, f64), FetchFailure>>>,
+    slot: Mutex<Option<std::result::Result<Served, FetchFailure>>>,
     done: Condvar,
 }
 
@@ -171,30 +229,34 @@ impl FetchBatcher {
         }
     }
 
-    /// Fetch a super-tile through the shared batch: returns the
-    /// (decompressed) payload and the shared-clock completion instant.
-    fn fetch(&self, h: &ConcurrentHeaven, p: PendingFetch) -> Result<(Bytes, f64)> {
-        let entry = {
+    /// Fetch a super-tile through the shared batch: returns the shared
+    /// [`Served`] outcome plus whether this waiter coalesced onto an
+    /// already-queued request (vs. registering it).
+    fn fetch(&self, h: &ConcurrentHeaven, mut p: PendingFetch) -> Result<(Served, bool)> {
+        let (entry, coalesced) = {
             let mut map = self.inflight.lock();
             match map.get(&p.req.st) {
                 Some(e) => {
                     h.metrics.coalesced_fetches.inc();
-                    Arc::clone(e)
+                    (Arc::clone(e), true)
                 }
                 None => {
                     let e = Arc::new(Inflight::default());
                     map.insert(p.req.st, Arc::clone(&e));
+                    p.enqueue_s = h.clock.now_s();
                     let mut q = self.queue.lock();
                     q.pending.push(p);
                     q.arrivals += 1;
                     self.arrived.notify_all();
-                    e
+                    (e, false)
                 }
             }
         };
         loop {
             if let Some(outcome) = entry.slot.lock().clone() {
-                return outcome.map_err(FetchFailure::into_error);
+                return outcome
+                    .map(|served| (served, coalesced))
+                    .map_err(FetchFailure::into_error);
             }
             match self.drain.try_lock() {
                 Some(_drainer) => {
@@ -255,11 +317,39 @@ impl FetchBatcher {
     /// affected entries (nobody is left parked on a fetch that will never
     /// complete).
     fn drain_all(&self, h: &ConcurrentHeaven) {
-        let reqs: Vec<PendingFetch> = std::mem::take(&mut self.queue.lock().pending);
+        let mut reqs: Vec<PendingFetch> = std::mem::take(&mut self.queue.lock().pending);
         if reqs.is_empty() {
             return;
         }
         let mut store = h.store.lock();
+        // Stall watchdog: each drain pass is one batching window; a fetch
+        // still pending past `stall_window_mult` passes (it keeps
+        // requeueing through the retry/failover ladder) is flagged once.
+        // The count of passes is interleaving-independent, so seeded
+        // chaos runs flag identical stalls.
+        let stall_after = match h.config.stall_window_mult {
+            m if m > 0.0 => m.ceil() as u32,
+            _ => u32::MAX,
+        };
+        for p in reqs.iter_mut() {
+            p.drains += 1;
+            if p.drains > stall_after && !p.stalled {
+                p.stalled = true;
+                h.metrics.stalls.inc();
+                let now_s = store.clock().now_s();
+                h.bus.event(
+                    "sched.stall",
+                    now_s,
+                    &[
+                        ("st", p.req.st.into()),
+                        ("medium", p.req.addr.medium.into()),
+                        ("drains", (p.drains as u64).into()),
+                        ("waited_s", (now_s - p.enqueue_s).max(0.0).into()),
+                        ("replica", (p.on_replica as u64).into()),
+                    ],
+                );
+            }
+        }
         // Retried requests owe their backoff before re-reading; the whole
         // batch backs off in parallel, so one charge (the largest) covers
         // the drain.
@@ -282,7 +372,10 @@ impl FetchBatcher {
         h.metrics.batched_fetches.add(order.len() as u64);
         let drives = store.library().drive_count();
         let rounds = plan_drive_rounds(&order, drives);
-        h.bus.event(
+        // The batch is a span (not an event) so waiter fetch spans can
+        // link to it: `sched.batch` is the shared cause every coalesced
+        // session's latency traces back to.
+        let batch_span = h.bus.span_start(
             "sched.batch",
             store.clock().now_s(),
             &[
@@ -323,6 +416,9 @@ impl FetchBatcher {
                     on_replica: false,
                     replica: None,
                     checksum: None,
+                    enqueue_s: t0,
+                    drains: 1,
+                    stalled: false,
                 });
                 match res {
                     Ok(raw) => {
@@ -350,7 +446,24 @@ impl FetchBatcher {
                         match h.maybe_decompress(r.st, raw) {
                             Ok(payload) => {
                                 h.st_cache.put(r.st, payload.clone(), refetch);
-                                self.resolve(r.st, Ok((payload, done_s)));
+                                // Decompose the fetch's latency: queue =
+                                // enqueue → this round's staging start
+                                // (backoffs and earlier passes included),
+                                // service = staging start → notify.
+                                let queue_s = (t0 - p.enqueue_s).max(0.0);
+                                let service_s = (done_s - t0).max(0.0);
+                                h.metrics.queue_wait.observe(queue_s);
+                                h.metrics.service.observe(service_s);
+                                self.resolve(
+                                    r.st,
+                                    Ok(Served {
+                                        payload,
+                                        done_s,
+                                        queue_s,
+                                        service_s,
+                                        batch_span,
+                                    }),
+                                );
                             }
                             Err(e) => self.resolve(r.st, Err(FetchFailure::Other(e.to_string()))),
                         }
@@ -377,6 +490,7 @@ impl FetchBatcher {
                 }
             }
         }
+        h.bus.span_end(batch_span, store.clock().now_s());
     }
 
     /// Move a request to its second archive copy, or declare the
@@ -427,7 +541,7 @@ impl FetchBatcher {
         self.queue.lock().pending.push(p);
     }
 
-    fn resolve(&self, st: SuperTileId, outcome: std::result::Result<(Bytes, f64), FetchFailure>) {
+    fn resolve(&self, st: SuperTileId, outcome: std::result::Result<Served, FetchFailure>) {
         let entry = self.inflight.lock().remove(&st);
         if let Some(e) = entry {
             let mut slot = e.slot.lock();
@@ -460,6 +574,9 @@ pub struct ConcurrentHeaven {
     clock: SimClock,
     metrics: ConcMetrics,
     recovery: RecoveryMetrics,
+    /// Monotone session-id source; ids key trace records (`"session":N`)
+    /// and the profiler's per-session lanes.
+    next_session: AtomicU64,
 }
 
 impl ConcurrentHeaven {
@@ -483,15 +600,18 @@ impl ConcurrentHeaven {
             clock,
             metrics,
             recovery,
+            next_session: AtomicU64::new(1),
         }
     }
 
     /// Open a query session with its own simulated-time lane (forked at
-    /// the shared clock's current instant). Dropping the session re-joins
-    /// the shared timeline.
+    /// the shared clock's current instant) and a fresh session id for
+    /// trace attribution. Dropping the session re-joins the shared
+    /// timeline.
     pub fn session(&self) -> Session<'_> {
         Session {
             h: self,
+            id: self.next_session.fetch_add(1, Ordering::Relaxed),
             lane: self.clock.fork(),
         }
     }
@@ -517,6 +637,11 @@ impl ConcurrentHeaven {
     /// The shared metrics registry.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.registry
+    }
+
+    /// The trace bus (span/event/link stream keyed to simulated time).
+    pub fn trace(&self) -> &TraceBus {
+        &self.bus
     }
 
     /// The active configuration.
@@ -585,6 +710,7 @@ impl ConcurrentHeaven {
 #[derive(Debug)]
 pub struct Session<'h> {
     h: &'h ConcurrentHeaven,
+    id: u64,
     lane: SimClock,
 }
 
@@ -594,6 +720,11 @@ impl Session<'_> {
         self.lane.now_s()
     }
 
+    /// This session's trace id (stamped as `"session":N` on its records).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// The session's private clock lane.
     pub fn lane(&self) -> &SimClock {
         &self.lane
@@ -601,8 +732,32 @@ impl Session<'_> {
 
     /// Materialize `region` of `oid` across the hierarchy — the
     /// multi-session twin of [`Heaven::fetch_region_hierarchical`].
+    ///
+    /// Opens a root `query` span stamped with this session's id, and
+    /// observes `heaven.query_latency_s` with the span as the histogram
+    /// exemplar — so a slow Prometheus bucket names the concrete trace
+    /// to chase. (Plain `span_start`, not the sampling bracket: head
+    /// sampling's divert flag is bus-global and concurrent sessions
+    /// would race it.)
     pub fn fetch_region(&self, oid: ObjectId, region: &Minterval) -> Result<MDArray> {
         self.h.metrics.region_fetches.inc();
+        self.h.bus.set_session(self.id);
+        let start_s = self.lane.now_s();
+        let span = self
+            .h
+            .bus
+            .span_start("query", start_s, &[("oid", oid.into())]);
+        let res = self.fetch_region_inner(oid, region);
+        let end_s = self.lane.now_s();
+        self.h.bus.span_end(span, end_s);
+        self.h
+            .metrics
+            .query_latency
+            .observe_with_exemplar((end_s - start_s).max(0.0), span, span);
+        res
+    }
+
+    fn fetch_region_inner(&self, oid: ObjectId, region: &Minterval) -> Result<MDArray> {
         let meta = self.h.adb.lock().object(oid)?.clone();
         let target = meta.domain.intersection(region).ok_or_else(|| {
             HeavenError::Config(format!(
@@ -649,6 +804,13 @@ impl Session<'_> {
     /// session's lane), else a tertiary fetch — batched across sessions,
     /// or per-session FIFO when batching is off. Either path runs the
     /// full recovery ladder (retry, failover, dual-copy) under faults.
+    ///
+    /// Tertiary fetches run inside a `heaven.st_fetch` span. On the
+    /// batched path the span **links** to the shared `sched.batch` span
+    /// that staged the payload (the cross-session causal edge) and emits
+    /// a `sched.served` event carrying the queue/service decomposition,
+    /// so `heaven-prof critical-path` can attribute this session's wait
+    /// to the shared fetch.
     fn supertile_payload(&self, st: SuperTileId) -> Result<Bytes> {
         if let Some(p) = self.h.st_cache.get_clocked(st, &self.lane) {
             return Ok(p);
@@ -657,42 +819,109 @@ impl Session<'_> {
             let cat = self.h.catalog.read();
             (cat.address(st)?, cat.replica(st), cat.checksum(st))
         };
-        if self.h.config.cross_session_batching {
-            let p = PendingFetch {
-                req: FetchRequest { st, addr },
-                attempt: 0,
-                on_replica: false,
-                replica,
-                checksum,
-            };
-            let (payload, done_s) = self.h.batcher.fetch(self.h, p)?;
-            self.lane.advance_to_s(done_s);
-            Ok(payload)
+        let batched = self.h.config.cross_session_batching;
+        let span = self.h.bus.span_start(
+            "heaven.st_fetch",
+            self.lane.now_s(),
+            &[("st", st.into()), ("batched", (batched as u64).into())],
+        );
+        let res = if batched {
+            self.batched_payload(st, addr, replica, checksum, span)
         } else {
-            // Per-session FIFO: mount-and-read in request order, holding
-            // the store for the whole access (the baseline the batcher is
-            // measured against).
-            let mut store = self.h.store.lock();
-            let raw = read_with_recovery(
-                &mut store,
-                st,
-                addr,
-                replica,
-                checksum,
-                &self.h.config.retry,
-                &self.h.recovery,
-                &self.h.bus,
-            )?;
-            self.h.metrics.st_tape_fetches.inc();
-            self.h.metrics.st_tape_bytes.add(addr.len);
-            let refetch = store.estimate_read_s(addr);
-            let done_s = store.clock().now_s();
-            drop(store);
-            let payload = self.h.maybe_decompress(st, raw)?;
-            self.h.st_cache.put(st, payload.clone(), refetch);
-            self.lane.advance_to_s(done_s);
-            Ok(payload)
-        }
+            self.fifo_payload(st, addr, replica, checksum)
+        };
+        self.h.bus.span_end(span, self.lane.now_s());
+        res
+    }
+
+    /// The cross-session batched tertiary path (see `supertile_payload`).
+    fn batched_payload(
+        &self,
+        st: SuperTileId,
+        addr: BlockAddress,
+        replica: Option<BlockAddress>,
+        checksum: Option<u64>,
+        span: u64,
+    ) -> Result<Bytes> {
+        let p = PendingFetch {
+            req: FetchRequest { st, addr },
+            attempt: 0,
+            on_replica: false,
+            replica,
+            checksum,
+            enqueue_s: 0.0, // stamped at registration, under the lock
+            drains: 0,
+            stalled: false,
+        };
+        let (served, coalesced) = self.h.batcher.fetch(self.h, p)?;
+        self.h.bus.link(
+            "sched.link",
+            served.done_s,
+            span,
+            served.batch_span,
+            &[("st", st.into()), ("coalesced", (coalesced as u64).into())],
+        );
+        self.h.bus.event(
+            "sched.served",
+            served.done_s,
+            &[
+                ("st", st.into()),
+                ("queue_s", served.queue_s.into()),
+                ("service_s", served.service_s.into()),
+                ("batch", served.batch_span.into()),
+                ("coalesced", (coalesced as u64).into()),
+            ],
+        );
+        self.lane.advance_to_s(served.done_s);
+        Ok(served.payload)
+    }
+
+    /// The per-session FIFO tertiary path: mount-and-read in request
+    /// order, holding the store for the whole access (the baseline the
+    /// batcher is measured against). Queue time is zero by construction;
+    /// the whole access is service time.
+    fn fifo_payload(
+        &self,
+        st: SuperTileId,
+        addr: BlockAddress,
+        replica: Option<BlockAddress>,
+        checksum: Option<u64>,
+    ) -> Result<Bytes> {
+        let mut store = self.h.store.lock();
+        let t0 = store.clock().now_s();
+        let raw = read_with_recovery(
+            &mut store,
+            st,
+            addr,
+            replica,
+            checksum,
+            &self.h.config.retry,
+            &self.h.recovery,
+            &self.h.bus,
+        )?;
+        self.h.metrics.st_tape_fetches.inc();
+        self.h.metrics.st_tape_bytes.add(addr.len);
+        let refetch = store.estimate_read_s(addr);
+        let done_s = store.clock().now_s();
+        drop(store);
+        let payload = self.h.maybe_decompress(st, raw)?;
+        self.h.st_cache.put(st, payload.clone(), refetch);
+        let service_s = (done_s - t0).max(0.0);
+        self.h.metrics.queue_wait.observe(0.0);
+        self.h.metrics.service.observe(service_s);
+        self.h.bus.event(
+            "sched.served",
+            done_s,
+            &[
+                ("st", st.into()),
+                ("queue_s", 0.0.into()),
+                ("service_s", service_s.into()),
+                ("batch", 0u64.into()),
+                ("coalesced", 0u64.into()),
+            ],
+        );
+        self.lane.advance_to_s(done_s);
+        Ok(payload)
     }
 }
 

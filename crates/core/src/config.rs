@@ -118,6 +118,15 @@ pub struct HeavenConfig {
     pub dual_copy: bool,
     /// Retry/backoff policy for tertiary reads.
     pub retry: RetryPolicy,
+    /// Stall watchdog threshold for batched tertiary fetches, expressed
+    /// as a multiple of the batcher's drain window: a queued fetch that
+    /// survives this many drain passes without being served (it keeps
+    /// requeueing through the retry/failover ladder) is flagged once via
+    /// the `sched.stalls` counter and a `sched.stall` trace event naming
+    /// the blocking medium. `0.0` disables the watchdog. Runs entirely
+    /// on deterministic drain-pass counts, so chaos runs stay
+    /// seed-reproducible.
+    pub stall_window_mult: f64,
 }
 
 impl Default for HeavenConfig {
@@ -140,6 +149,7 @@ impl Default for HeavenConfig {
             cross_session_batching: true,
             dual_copy: false,
             retry: RetryPolicy::default(),
+            stall_window_mult: 4.0,
         }
     }
 }
@@ -161,6 +171,7 @@ mod tests {
         assert_eq!(c.trace, TraceConfig::off());
         assert!(!c.dual_copy);
         assert_eq!(c.retry.max_retries, 3);
+        assert!(c.stall_window_mult > 0.0, "watchdog on by default");
         assert!(c.codec.forced.is_none());
         assert!(c.codec.raw_threshold > 0.0 && c.codec.raw_threshold < 1.0);
     }

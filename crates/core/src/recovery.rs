@@ -105,6 +105,7 @@ pub(crate) fn read_with_recovery(
                         clock.now_s(),
                         &[
                             ("st", Field::U64(st)),
+                            ("medium", Field::U64(addr.medium)),
                             ("attempt", Field::U64(attempt as u64)),
                             ("backoff_s", Field::F64(backoff)),
                         ],

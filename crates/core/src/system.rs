@@ -99,6 +99,10 @@ struct HeavenMetrics {
 
 impl HeavenMetrics {
     fn new(registry: &MetricsRegistry) -> HeavenMetrics {
+        let query_latency = registry.histogram("heaven.query_latency_s");
+        // Pre-size the exemplar table so the per-query exemplar write in
+        // `end_query` stays allocation-free.
+        query_latency.reserve_exemplars();
         HeavenMetrics {
             st_tape_fetches: registry.counter("heaven.st_tape_fetches"),
             st_tape_bytes: registry.counter("heaven.st_tape_bytes"),
@@ -112,7 +116,7 @@ impl HeavenMetrics {
             codec_rle: registry.counter("heaven.codec_rle"),
             codec_shuffle: registry.counter("heaven.codec_shuffle"),
             breakdown_overattributed: registry.counter("heaven.breakdown_overattributed"),
-            query_latency: registry.histogram("heaven.query_latency_s"),
+            query_latency,
             st_fetch_hist: registry.histogram("heaven.st_fetch_hist_s"),
             st_fetch_bytes_hist: registry.histogram("heaven.st_fetch_bytes"),
         }
@@ -342,7 +346,13 @@ impl Heaven {
             self.metrics.breakdown_overattributed.inc();
         }
         b.other_s = residual.max(0.0);
-        self.metrics.query_latency.observe(total_s);
+        // Stamp the query's own span as the exemplar so a p99 bucket in
+        // the Prometheus exposition points straight at a trace span
+        // (`q.span == 0` — sampled-out or tracing off — degrades to a
+        // plain observe).
+        self.metrics
+            .query_latency
+            .observe_with_exemplar(total_s, q.span, q.span);
         // No per-query flush: the JSONL sink drains in batches off the
         // hot path and flushes on drop (see `heaven-obs`).
         self.last_breakdown = Some(b.clone());

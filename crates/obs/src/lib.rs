@@ -34,8 +34,8 @@ pub mod trace;
 
 pub use breakdown::QueryBreakdown;
 pub use metrics::{
-    bucket_index, bucket_upper_bound, Counter, FloatCounter, Gauge, HistSnapshot, HistSummary,
-    Histogram, MetricValue, MetricsRegistry, NUM_BUCKETS,
+    bucket_index, bucket_upper_bound, escape_label_value, Counter, Exemplar, FloatCounter, Gauge,
+    HistSnapshot, HistSummary, Histogram, MetricValue, MetricsRegistry, NUM_BUCKETS,
 };
 pub use sym::{Subsystem, Sym};
 pub use trace::{

@@ -151,6 +151,20 @@ pub fn bucket_index(v: f64) -> usize {
     k.clamp(1, (NUM_BUCKETS - 1) as i64) as usize
 }
 
+/// A concrete observation a histogram bucket can point back to: the
+/// trace/span that produced the latest value landing in that bucket.
+/// Exposed in OpenMetrics exemplar syntax by
+/// [`MetricsRegistry::render_prometheus`], so "what is in the p99.9
+/// bucket?" has an answer a profiler can chase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exemplar {
+    /// Root span of the trace (the bracketed query span).
+    pub trace: u64,
+    /// The specific span that observed the value.
+    pub span: u64,
+    pub value: f64,
+}
+
 /// Full snapshot of a [`Histogram`]: summary statistics plus per-bucket
 /// counts. Supports quantile estimation and lossless merge.
 #[derive(Debug, Clone, PartialEq)]
@@ -161,6 +175,10 @@ pub struct HistSnapshot {
     pub max: f64,
     /// Per-bucket observation counts (see [`bucket_upper_bound`]).
     pub counts: Vec<u64>,
+    /// Last exemplar per bucket; empty until the first
+    /// [`HistSnapshot::observe_with_exemplar`] so plain histograms pay
+    /// nothing.
+    pub exemplars: Vec<Option<Exemplar>>,
 }
 
 impl Default for HistSnapshot {
@@ -171,6 +189,7 @@ impl Default for HistSnapshot {
             min: 0.0,
             max: 0.0,
             counts: vec![0; NUM_BUCKETS],
+            exemplars: Vec::new(),
         }
     }
 }
@@ -204,6 +223,34 @@ impl HistSnapshot {
         self.counts[bucket_index(value)] += 1;
     }
 
+    /// Record one observation and remember `(trace, span)` as the
+    /// bucket's exemplar (last write wins). A zero trace/span pair (no
+    /// active trace) degrades to a plain [`HistSnapshot::observe`].
+    pub fn observe_with_exemplar(&mut self, value: f64, trace: u64, span: u64) {
+        self.observe(value);
+        if trace == 0 && span == 0 {
+            return;
+        }
+        if self.exemplars.is_empty() {
+            self.exemplars = vec![None; NUM_BUCKETS];
+        }
+        self.exemplars[bucket_index(value)] = Some(Exemplar { trace, span, value });
+    }
+
+    /// The stored exemplar for bucket `i`, if any.
+    pub fn exemplar(&self, i: usize) -> Option<Exemplar> {
+        self.exemplars.get(i).copied().flatten()
+    }
+
+    /// Pre-size the exemplar table so the first
+    /// [`HistSnapshot::observe_with_exemplar`] on the hot path performs
+    /// no allocation.
+    pub fn reserve_exemplars(&mut self) {
+        if self.exemplars.is_empty() {
+            self.exemplars = vec![None; NUM_BUCKETS];
+        }
+    }
+
     /// Merge another snapshot into this one. Because every histogram
     /// shares one fixed bucket layout, this is lossless: the result's
     /// buckets equal the buckets of the concatenated sample streams.
@@ -222,6 +269,16 @@ impl HistSnapshot {
         self.sum += other.sum;
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
+        }
+        if !other.exemplars.is_empty() {
+            if self.exemplars.is_empty() {
+                self.exemplars = vec![None; NUM_BUCKETS];
+            }
+            for (a, b) in self.exemplars.iter_mut().zip(&other.exemplars) {
+                if b.is_some() {
+                    *a = *b; // the merged-in stream is the newer one
+                }
+            }
         }
     }
 
@@ -296,6 +353,23 @@ impl Histogram {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .observe(value);
+    }
+
+    /// Observe a value and retain `(trace, span)` as the exemplar of the
+    /// bucket the value lands in (see [`HistSnapshot::observe_with_exemplar`]).
+    pub fn observe_with_exemplar(&self, value: f64, trace: u64, span: u64) {
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .observe_with_exemplar(value, trace, span);
+    }
+
+    /// Pre-size the exemplar table (allocation-free observations after).
+    pub fn reserve_exemplars(&self) {
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .reserve_exemplars();
     }
 
     /// Scalar summary (count/sum/min/max).
@@ -386,6 +460,35 @@ fn prom_f64(v: f64) -> String {
         "-Inf".to_string()
     } else {
         format!("{v:?}")
+    }
+}
+
+/// Escape a label value for the Prometheus/OpenMetrics text format:
+/// backslash, double-quote and newline must be backslash-escaped inside
+/// the quoted value.
+pub fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Append an OpenMetrics exemplar suffix (` # {trace_id="…",span_id="…"} v`)
+/// to a `_bucket` sample line, if the bucket has one.
+fn write_exemplar(out: &mut String, ex: Option<Exemplar>) {
+    if let Some(ex) = ex {
+        out.push_str(&format!(
+            " # {{trace_id=\"{}\",span_id=\"{}\"}} {}",
+            ex.trace,
+            ex.span,
+            prom_f64(ex.value)
+        ));
     }
 }
 
@@ -529,12 +632,23 @@ impl MetricsRegistry {
                 }
                 MetricValue::Histogram(h) => {
                     out.push_str(&format!("# TYPE {pname} histogram\n"));
-                    for (ub, cum) in h.cumulative_buckets() {
-                        out.push_str(&format!(
-                            "{pname}_bucket{{le=\"{}\"}} {cum}\n",
-                            prom_f64(ub)
-                        ));
+                    let mut cum = 0u64;
+                    for (i, &c) in h.counts.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        cum += c;
+                        let ub = bucket_upper_bound(i);
+                        if !ub.is_finite() {
+                            continue; // overflow rides the +Inf line below
+                        }
+                        out.push_str(&format!("{pname}_bucket{{le=\"{}\"}} {cum}", prom_f64(ub)));
+                        write_exemplar(&mut out, h.exemplar(i));
+                        out.push('\n');
                     }
+                    out.push_str(&format!("{pname}_bucket{{le=\"+Inf\"}} {}", h.count));
+                    write_exemplar(&mut out, h.exemplar(NUM_BUCKETS - 1));
+                    out.push('\n');
                     out.push_str(&format!("{pname}_sum {}\n", prom_f64(h.sum)));
                     out.push_str(&format!("{pname}_count {}\n", h.count));
                 }

@@ -84,7 +84,7 @@ impl Subsystem {
     pub fn of_name(name: &str) -> Subsystem {
         let prefix = name.split('.').next().unwrap_or(name);
         match prefix {
-            "query" | "heaven" | "trace" => Subsystem::Core,
+            "query" | "heaven" | "trace" | "sched" => Subsystem::Core,
             "tape" => Subsystem::Tape,
             "hsm" => Subsystem::Hsm,
             "cache" => Subsystem::Cache,
@@ -351,6 +351,7 @@ mod tests {
             ("query", Subsystem::Core),
             ("heaven.st_fetch", Subsystem::Core),
             ("trace.config", Subsystem::Core),
+            ("sched.batch", Subsystem::Core),
             ("tape.transfer", Subsystem::Tape),
             ("hsm.stage", Subsystem::Hsm),
             ("cache.st.hit", Subsystem::Cache),

@@ -66,15 +66,18 @@ use crate::sym::{Subsystem, Sym};
 pub type SpanId = u64;
 
 /// Inline fields per record; excess fields are dropped (the widest
-/// instrumentation site today uses 6).
-pub const MAX_FIELDS: usize = 8;
+/// instrumentation site today uses 6). Keep this tight: every record
+/// write sweeps the whole POD through the ring slot, so unused capacity
+/// is pure memory traffic on the fast path.
+pub const MAX_FIELDS: usize = 6;
 
 /// Inline string-byte budget per record (see [`Field::dyn_str`]).
-const SBUF: usize = 64;
+const SBUF: usize = 40;
 
 /// Longest dynamic string stored inline by [`Field::dyn_str`]; longer
-/// ones fall back to interning.
-const SMALL_CAP: usize = 46;
+/// ones fall back to interning. Held at `SBUF - 2` so a `SmallStr`
+/// always fits the record's inline buffer when it is the only string.
+const SMALL_CAP: usize = 38;
 
 /// Pending-ring capacity in front of the JSONL writer.
 const JSONL_PENDING: usize = 8192;
@@ -249,6 +252,11 @@ pub enum RecordKind {
     SpanEnd,
     /// An instantaneous event inside `parent` (the innermost open span).
     Event,
+    /// A causal edge between two spans that may live on different
+    /// threads/sessions: `span` is the *linking* span (e.g. a waiter's
+    /// `heaven.st_fetch`), `parent` the *linked-to* span (e.g. the shared
+    /// `sched.batch` that served it). Links carry no nesting semantics.
+    Link,
 }
 
 impl RecordKind {
@@ -257,6 +265,7 @@ impl RecordKind {
             RecordKind::SpanStart => "span_start",
             RecordKind::SpanEnd => "span_end",
             RecordKind::Event => "event",
+            RecordKind::Link => "link",
         }
     }
 
@@ -264,6 +273,7 @@ impl RecordKind {
         match v {
             0 => RecordKind::SpanStart,
             1 => RecordKind::SpanEnd,
+            3 => RecordKind::Link,
             _ => RecordKind::Event,
         }
     }
@@ -287,8 +297,12 @@ pub struct TraceRecord {
     /// The span this record belongs to (`SpanStart`/`SpanEnd`: the span
     /// itself; `Event`: 0, events hang off `parent`).
     pub span: SpanId,
-    /// Enclosing span, if any.
+    /// Enclosing span, if any (for [`RecordKind::Link`]: the linked-to
+    /// span).
     pub parent: Option<SpanId>,
+    /// Session that emitted this record, if the emitting thread declared
+    /// one via [`TraceBus::set_session`].
+    pub session: Option<u64>,
     /// Structured payload.
     pub fields: Vec<(&'static str, Field)>,
 }
@@ -315,6 +329,10 @@ impl TraceRecord {
                 out.push_str(&p.to_string());
             }
             None => out.push_str(",\"parent\":null"),
+        }
+        if let Some(s) = self.session {
+            out.push_str(",\"session\":");
+            out.push_str(&s.to_string());
         }
         if !self.fields.is_empty() {
             out.push_str(",\"fields\":{");
@@ -364,6 +382,8 @@ struct CompactRecord {
     span: u64,
     /// 0 = no parent (span ids start at 1).
     parent: u64,
+    /// 0 = no session declared (session ids start at 1).
+    session: u64,
     name: Sym,
     kind: u8,
     nf: u8,
@@ -379,6 +399,7 @@ impl CompactRecord {
         wall_s: 0.0,
         span: 0,
         parent: 0,
+        session: 0,
         name: Sym(0),
         kind: 0,
         nf: 0,
@@ -473,6 +494,7 @@ impl CompactRecord {
             wall_unix_s: self.wall_s,
             span: self.span,
             parent: (self.parent != 0).then_some(self.parent),
+            session: (self.session != 0).then_some(self.session),
             fields: (0..self.nf as usize)
                 .map(|i| self.decode_field(i))
                 .collect(),
@@ -504,6 +526,10 @@ impl CompactRecord {
             json::write_u64(out, self.parent);
         } else {
             out.push_str(",\"parent\":null");
+        }
+        if self.session != 0 {
+            out.push_str(",\"session\":");
+            json::write_u64(out, self.session);
         }
         if self.nf > 0 {
             out.push_str(",\"fields\":{");
@@ -615,6 +641,16 @@ impl SlotRing {
     }
 
     fn push(&self, rec: &CompactRecord) -> u64 {
+        self.push_with(|slot| *slot = *rec)
+    }
+
+    /// Claim a slot and let `fill` write the record in place, inside the
+    /// seqlock write section. The slot still holds whatever record lived
+    /// there a lap ago: `fill` must set every header field, and readers
+    /// never look past `nf` fields or `sused` string bytes, so the stale
+    /// tail needs no zeroing. Building in place spares the fast path a
+    /// stack-local zero-init plus a whole-record copy per record.
+    fn push_with(&self, fill: impl FnOnce(&mut CompactRecord)) -> u64 {
         let claim = self.head.fetch_add(1, Ordering::AcqRel);
         let slot = &self.slots[(claim & self.mask) as usize];
         // Acquire on the RMW keeps the payload write from being
@@ -624,7 +660,7 @@ impl SlotRing {
         // SAFETY: the claim cursor hands each claim to exactly one
         // writer; a lapped writer for the same slot bumped the version
         // first, so readers discard whatever they copied.
-        unsafe { std::ptr::write(slot.rec.get(), *rec) };
+        fill(unsafe { &mut *slot.rec.get() });
         slot.ver.store(claim * 2 + 2, Ordering::Release);
         claim
     }
@@ -817,6 +853,9 @@ struct Frame {
 
 struct SpanStack {
     bus_id: u64,
+    /// Session this thread currently works on behalf of (0 = none),
+    /// stamped onto every record; see [`TraceBus::set_session`].
+    session: u64,
     frames: Vec<Frame>,
 }
 
@@ -836,6 +875,7 @@ fn with_stack<R>(bus_id: u64, f: impl FnOnce(&mut SpanStack) -> R) -> R {
                 }
                 v.push(SpanStack {
                     bus_id,
+                    session: 0,
                     frames: Vec::with_capacity(32),
                 });
                 v.len() - 1
@@ -1037,19 +1077,8 @@ impl TraceBus {
         self.inner.dropped_slow.load(Ordering::Relaxed)
     }
 
-    /// Route a finished record to the active sink (the allocation-free
-    /// tail of the fast path).
-    fn sink(&self, rec: &CompactRecord) {
-        let inner = &*self.inner;
-        if inner.diverted.load(Ordering::Relaxed) {
-            if let Some(side) = &inner.side {
-                side.push(rec);
-            }
-            return;
-        }
-        self.sink_main(rec);
-    }
-
+    /// Route an already-built record to the main ring (slow-query
+    /// promotion); the hot path builds records in place via `emit`.
     fn sink_main(&self, rec: &CompactRecord) {
         let inner = &*self.inner;
         let Some(ring) = &inner.ring else { return };
@@ -1064,6 +1093,7 @@ impl TraceBus {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn emit(
         &self,
         kind: RecordKind,
@@ -1071,20 +1101,93 @@ impl TraceBus {
         sim_s: f64,
         span: u64,
         parent: u64,
+        session: u64,
         fields: &[(&'static str, Field)],
     ) {
-        let mut rec = CompactRecord {
-            seq: self.inner.seq.fetch_add(1, Ordering::Relaxed),
-            sim_s,
-            wall_s: f64::from_bits(self.inner.wall_cache.load(Ordering::Relaxed)),
-            span,
-            parent,
-            name,
-            kind: kind as u8,
-            ..CompactRecord::EMPTY
+        let inner = &*self.inner;
+        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        let wall_s = f64::from_bits(inner.wall_cache.load(Ordering::Relaxed));
+        // Build the record directly in its ring slot (see `push_with`):
+        // the hot path writes only the bytes this record actually uses.
+        let fill = |rec: &mut CompactRecord| {
+            rec.seq = seq;
+            rec.sim_s = sim_s;
+            rec.wall_s = wall_s;
+            rec.span = span;
+            rec.parent = parent;
+            rec.session = session;
+            rec.name = name;
+            rec.kind = kind as u8;
+            rec.sused = 0;
+            rec.encode_fields(fields);
         };
-        rec.encode_fields(fields);
-        self.sink(&rec);
+        if inner.diverted.load(Ordering::Relaxed) {
+            if let Some(side) = &inner.side {
+                side.push_with(fill);
+            }
+            return;
+        }
+        let Some(ring) = &inner.ring else { return };
+        ring.push_with(fill);
+        if let Some(j) = &inner.jsonl {
+            if ring.head().wrapping_sub(j.tail.load(Ordering::Relaxed)) >= JSONL_BATCH {
+                match j.writer.get() {
+                    Some(t) => t.unpark(),
+                    None => drain_jsonl(inner, false),
+                }
+            }
+        }
+    }
+
+    /// Declare the session the **current thread** works on behalf of;
+    /// every subsequent record emitted from this thread carries it (0
+    /// clears). Session identity survives span pushes/pops, so a worker
+    /// thread sets it once per unit of session work.
+    pub fn set_session(&self, session: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        with_stack(self.inner.bus_id, |st| st.session = session);
+    }
+
+    /// The current thread's declared session (0 = none).
+    pub fn current_session(&self) -> u64 {
+        if !self.is_enabled() {
+            return 0;
+        }
+        with_stack(self.inner.bus_id, |st| st.session)
+    }
+
+    /// Record a causal link `from_span → to_span` (e.g. a waiter's fetch
+    /// span to the shared `sched.batch` span that served it). Links cross
+    /// thread and session boundaries, carry no nesting semantics, and
+    /// ride the same allocation-free compact-record path as spans.
+    /// No-op if either span id is 0 (disabled or level-filtered span).
+    pub fn link(
+        &self,
+        name: &'static str,
+        sim_s: f64,
+        from_span: SpanId,
+        to_span: SpanId,
+        fields: &[(&'static str, Field)],
+    ) {
+        if !self.is_enabled() || from_span == 0 || to_span == 0 {
+            return;
+        }
+        let sym = Sym::intern_static(name);
+        if self.inner.levels[sym.subsystem() as usize] < TraceLevel::Spans {
+            return;
+        }
+        let session = with_stack(self.inner.bus_id, |st| st.session);
+        self.emit(
+            RecordKind::Link,
+            sym,
+            sim_s,
+            from_span,
+            to_span,
+            session,
+            fields,
+        );
     }
 
     /// Open a span. Returns its id; pass it to [`TraceBus::span_end`].
@@ -1102,14 +1205,14 @@ impl TraceBus {
             return 0; // children attach to the grandparent: still nested
         }
         let id = self.inner.next_span.fetch_add(1, Ordering::Relaxed);
-        let parent = with_stack(self.inner.bus_id, |st| {
+        let (parent, session) = with_stack(self.inner.bus_id, |st| {
             let parent = st.frames.last().map_or(0, |f| f.id);
             st.frames.push(Frame {
                 id,
                 name: sym,
                 start_s: sim_s,
             });
-            parent
+            (parent, st.session)
         });
         if parent == 0 {
             // Root span: refresh the coarse wall-clock stamp shared by
@@ -1118,7 +1221,15 @@ impl TraceBus {
                 .wall_cache
                 .store(wall_now_s().to_bits(), Ordering::Relaxed);
         }
-        self.emit(RecordKind::SpanStart, sym, sim_s, id, parent, fields);
+        self.emit(
+            RecordKind::SpanStart,
+            sym,
+            sim_s,
+            id,
+            parent,
+            session,
+            fields,
+        );
         id
     }
 
@@ -1142,6 +1253,7 @@ impl TraceBus {
                     sim_s,
                     frame.id,
                     parent,
+                    st.session,
                     &[("dur_s", Field::F64(dur))],
                 );
                 if frame.id == id {
@@ -1160,8 +1272,10 @@ impl TraceBus {
         if self.inner.levels[sym.subsystem() as usize] < TraceLevel::All {
             return;
         }
-        let parent = with_stack(self.inner.bus_id, |st| st.frames.last().map_or(0, |f| f.id));
-        self.emit(RecordKind::Event, sym, sim_s, 0, parent, fields);
+        let (parent, session) = with_stack(self.inner.bus_id, |st| {
+            (st.frames.last().map_or(0, |f| f.id), st.session)
+        });
+        self.emit(RecordKind::Event, sym, sim_s, 0, parent, session, fields);
     }
 
     /// RAII span helper: the span closes (at `end_sim_s` supplied then)
@@ -1229,6 +1343,7 @@ impl TraceBus {
                 RecordKind::Event,
                 Sym::intern_static("trace.slow_query_dropped"),
                 sim_s,
+                0,
                 0,
                 0,
                 &[("dur_s", Field::F64(dur))],
@@ -1332,6 +1447,10 @@ pub fn check_well_nested(records: &[TraceRecord]) -> Result<usize, String> {
                     ));
                 }
             }
+            // Links are causal edges across threads/sessions; they carry
+            // no nesting semantics and may reference spans opened (and
+            // even closed) anywhere in the trace.
+            RecordKind::Link => {}
         }
     }
     Ok(max_depth)
@@ -1550,9 +1669,42 @@ mod tests {
             wall_unix_s: 0.0,
             span: 0,
             parent: None,
+            session: None,
             fields: vec![("msg", Field::Str("a\"b".into()))],
         };
         assert!(rec.to_json().contains(r#""msg":"a\"b""#));
+    }
+
+    #[test]
+    fn links_and_sessions_round_trip() {
+        let bus = TraceBus::ring(64);
+        bus.set_session(7);
+        let q = bus.span_start("query", 0.0, &[]);
+        let f = bus.span_start("heaven.st_fetch", 0.5, &[]);
+        bus.link("sched.link", 1.0, f, 999, &[("coalesced", Field::U64(1))]);
+        bus.span_end(f, 2.0);
+        bus.span_end(q, 3.0);
+        bus.set_session(0);
+        bus.event("e", 4.0, &[]);
+        let recs = bus.records();
+        check_well_nested(&recs).unwrap();
+        let link = recs.iter().find(|r| r.kind == RecordKind::Link).unwrap();
+        assert_eq!(link.name, "sched.link");
+        assert_eq!(link.span, f);
+        assert_eq!(link.parent, Some(999));
+        assert_eq!(link.session, Some(7));
+        assert!(link.to_json().contains("\"kind\":\"link\""));
+        assert!(link.to_json().contains("\"session\":7"));
+        // Every record inside the session carries it; the cleared-session
+        // event does not.
+        assert!(recs
+            .iter()
+            .filter(|r| r.name != "e")
+            .all(|r| r.session == Some(7)));
+        assert_eq!(recs.iter().find(|r| r.name == "e").unwrap().session, None);
+        // Links with a zero endpoint are dropped, not emitted.
+        bus.link("sched.link", 5.0, 0, 999, &[]);
+        assert!(!bus.records().iter().any(|r| r.sim_s == 5.0));
     }
 
     #[test]

@@ -40,16 +40,24 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 /// One representative warm-query record mix: a query span with a dynamic
-/// label, a nested fetch span, and a six-field tape event (the widest
-/// instrumentation site in the tree).
+/// label, a nested fetch span with a coalescing link, and a six-field
+/// tape event (the widest instrumentation site in the tree).
 fn run_queries(bus: &TraceBus, rounds: u64) {
     for i in 0..rounds {
         let t = i as f64;
+        bus.set_session(1 + (i & 7));
         let q = bus.span_start("query", t, &[("label", Field::dyn_str("bench warm query"))]);
         let f = bus.span_start(
             "heaven.st_fetch",
             t + 0.1,
             &[("st", Field::U64(i)), ("bytes", Field::U64(1 << 16))],
+        );
+        bus.link(
+            "sched.link",
+            t + 0.15,
+            f,
+            q,
+            &[("st", Field::U64(i)), ("coalesced", Field::U64(i & 1))],
         );
         bus.event(
             "tape.transfer",
@@ -82,7 +90,7 @@ fn ring_fast_path_is_allocation_free() {
     assert_eq!(
         after - before,
         0,
-        "ring-path span_start/event/span_end must not allocate \
+        "ring-path span_start/link/event/span_end must not allocate \
          ({} allocations across 256 warm queries)",
         after - before
     );
@@ -91,4 +99,8 @@ fn ring_fast_path_is_allocation_free() {
     let recs = bus.records();
     assert_eq!(recs.len(), 4096);
     assert!(recs.iter().any(|r| r.name == "tape.transfer"));
+    // Link records made it through with their session stamp intact.
+    assert!(recs
+        .iter()
+        .any(|r| r.kind == heaven_obs::RecordKind::Link && r.session.is_some()));
 }

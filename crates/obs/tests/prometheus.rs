@@ -1,0 +1,131 @@
+//! Conformance tests for the Prometheus/OpenMetrics text exposition:
+//! label-value escaping, cumulative-bucket monotonicity, the mandatory
+//! `+Inf` bucket equalling `_count`, and exemplar suffix syntax.
+
+use heaven_obs::{escape_label_value, MetricsRegistry};
+
+/// Strip an exemplar suffix (` # {...} v`) from a sample line, returning
+/// the bare sample and the suffix (if any).
+fn split_exemplar(line: &str) -> (&str, Option<&str>) {
+    match line.split_once(" # ") {
+        Some((sample, ex)) => (sample, Some(ex)),
+        None => (line, None),
+    }
+}
+
+#[test]
+fn label_values_escape_backslash_quote_newline() {
+    assert_eq!(escape_label_value("plain"), "plain");
+    assert_eq!(escape_label_value(r#"a\b"#), r#"a\\b"#);
+    assert_eq!(escape_label_value(r#"say "hi""#), r#"say \"hi\""#);
+    assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+    assert_eq!(
+        escape_label_value("\\\"\n"),
+        "\\\\\\\"\\n",
+        "all three escapes compose"
+    );
+}
+
+#[test]
+fn buckets_are_cumulative_and_inf_equals_count() {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("heaven.query_latency_s");
+    for v in [0.001, 0.05, 0.05, 1.0, 30.0, 3000.0] {
+        h.observe(v);
+    }
+    let text = reg.render_prometheus();
+    let mut last = 0u64;
+    let mut inf = None;
+    let mut count = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("heaven_query_latency_s_bucket") {
+            let (sample, _) = split_exemplar(rest);
+            let v: u64 = sample.split_whitespace().last().unwrap().parse().unwrap();
+            assert!(v >= last, "bucket counts must be non-decreasing: {line}");
+            last = v;
+            if sample.starts_with("{le=\"+Inf\"}") {
+                inf = Some(v);
+            }
+        } else if let Some(rest) = line.strip_prefix("heaven_query_latency_s_count ") {
+            count = Some(rest.parse::<u64>().unwrap());
+        }
+    }
+    assert_eq!(inf, Some(6), "+Inf bucket must close out every sample");
+    assert_eq!(inf, count, "+Inf bucket must equal _count");
+}
+
+#[test]
+fn exemplar_suffix_is_openmetrics_shaped() {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("heaven.query_latency_s");
+    h.observe(0.25); // no exemplar on this bucket
+    h.observe_with_exemplar(4.5, 0xDEAD, 0xBEEF);
+    let text = reg.render_prometheus();
+    let with_ex: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("heaven_query_latency_s_bucket") && l.contains(" # "))
+        .collect();
+    assert_eq!(with_ex.len(), 1, "exactly one bucket carries it: {text}");
+    let (sample, suffix) = split_exemplar(with_ex[0]);
+    let suffix = suffix.unwrap();
+    // `# {trace_id="…",span_id="…"} value` with decimal ids.
+    assert_eq!(
+        suffix,
+        format!(
+            "{{trace_id=\"{}\",span_id=\"{}\"}} 4.5",
+            0xDEADu64, 0xBEEFu64
+        ),
+        "{text}"
+    );
+    // The exemplar rides the bucket that the observation landed in: its
+    // value must not exceed the bucket's upper bound.
+    let le: f64 = sample
+        .split("le=\"")
+        .nth(1)
+        .unwrap()
+        .split('"')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(4.5 <= le, "exemplar value 4.5 beyond bucket bound {le}");
+    // A (0, 0) exemplar is "no trace context" and must not be emitted.
+    let reg2 = MetricsRegistry::new();
+    let h2 = reg2.histogram("heaven.query_latency_s");
+    h2.observe_with_exemplar(1.0, 0, 0);
+    assert!(!reg2.render_prometheus().contains(" # "));
+}
+
+#[test]
+fn last_observation_wins_within_a_bucket() {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("heaven.query_latency_s");
+    // Both land in the same log bucket (strictly inside [2^0, 2^0.25));
+    // the later exemplar replaces the earlier so operators always jump
+    // to a recent trace.
+    assert_eq!(
+        heaven_obs::bucket_index(1.05),
+        heaven_obs::bucket_index(1.10)
+    );
+    h.observe_with_exemplar(1.05, 11, 11);
+    h.observe_with_exemplar(1.10, 22, 22);
+    let text = reg.render_prometheus();
+    assert!(text.contains("trace_id=\"22\""), "{text}");
+    assert!(!text.contains("trace_id=\"11\""), "{text}");
+}
+
+#[test]
+fn merged_snapshots_carry_exemplars() {
+    let reg_a = MetricsRegistry::new();
+    let reg_b = MetricsRegistry::new();
+    reg_a
+        .histogram("heaven.query_latency_s")
+        .observe_with_exemplar(2.0, 7, 7);
+    reg_b.histogram("heaven.query_latency_s").observe(2.0);
+    let mut snap = reg_b.histogram("heaven.query_latency_s").snapshot();
+    snap.merge(&reg_a.histogram("heaven.query_latency_s").snapshot());
+    let idx = heaven_obs::bucket_index(2.0);
+    let ex = snap.exemplar(idx).expect("merge keeps the exemplar");
+    assert_eq!((ex.trace, ex.span), (7, 7));
+    assert_eq!(snap.count, 2);
+}

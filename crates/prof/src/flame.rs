@@ -44,7 +44,9 @@ pub fn collapsed_stacks(records: &[ProfRecord]) -> String {
                     node.end_s = Some(rec.sim_s);
                 }
             }
-            ProfKind::Event => {}
+            // Links carry no duration; the linked batch span is charged
+            // to its own (the drainer's) stack.
+            ProfKind::Event | ProfKind::Link => {}
         }
     }
     // A span the trace never closed (truncated file) ends with the trace.

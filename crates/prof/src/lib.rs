@@ -8,10 +8,16 @@
 //! - [`flame`]: a collapsed-stack profile from span nesting, compatible
 //!   with `flamegraph.pl` and speedscope,
 //! - [`timeline`]: a windowed utilization report (per-drive busy %,
-//!   robot-arm busy %, super-tile cache hit rate) as JSON,
+//!   robot-arm busy %, super-tile cache hit rate) as JSON, plus
+//!   per-session lanes of query spans and the coalescing edges
+//!   (`sched.link` records) between them,
 //! - [`tail`]: a tail-latency table per span name, built on the
-//!   log-bucketed [`heaven_obs::HistSnapshot`] quantile estimator.
+//!   log-bucketed [`heaven_obs::HistSnapshot`] quantile estimator,
+//! - [`critical`]: per-query critical-path attribution — queue vs.
+//!   service vs. local time, following span links across sessions to the
+//!   shared batch that actually staged the bytes.
 
+pub mod critical;
 pub mod flame;
 pub mod json;
 pub mod tail;

@@ -14,8 +14,12 @@
 //! * `timeline.json` — windowed drive/robot utilization and cache hit
 //!   rate over simulated time,
 //! * `tail.txt` — per-span-name tail-latency table (also printed to
-//!   stdout).
+//!   stdout),
+//! * `critical_path.json` — per-query queue/service/local attribution,
+//!   following span links across sessions to the shared batch fetch
+//!   that staged each query's bytes (summary table also printed).
 
+use heaven_prof::critical;
 use heaven_prof::flame::{collapsed_stacks, folded_total_s};
 use heaven_prof::tail::{render_table, tail_report};
 use heaven_prof::timeline::utilization_timeline;
@@ -124,6 +128,19 @@ fn run(args: &Args) -> Result<(), String> {
         rows.len()
     );
     print!("{table}");
+
+    let report = critical::critical_path(&records);
+    let cp_path = write("critical_path.json", &(critical::to_json(&report) + "\n"))?;
+    let links: usize = report.iter().map(|q| q.links.len()).sum();
+    let coalesced: u64 = report.iter().map(|q| q.coalesced).sum();
+    println!(
+        "\nwrote {} ({} queries, {links} links, {coalesced} coalesced fetches)",
+        cp_path.display(),
+        report.len()
+    );
+    if !report.is_empty() {
+        print!("{}", critical::render(&report));
+    }
     Ok(())
 }
 

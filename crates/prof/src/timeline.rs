@@ -41,12 +41,43 @@ impl Window {
     }
 }
 
+/// One span on a session's lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneSpan {
+    pub name: String,
+    pub span: u64,
+    pub start_s: f64,
+    pub end_s: f64,
+}
+
+/// All spans stamped with one session id, in start order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lane {
+    pub session: u64,
+    pub spans: Vec<LaneSpan>,
+}
+
+/// One coalescing edge: a waiter's span → the shared span it rode
+/// (parsed from `sched.link` records).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    pub name: String,
+    pub from: u64,
+    pub to: u64,
+    pub sim_s: f64,
+}
+
 /// The whole utilization report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Timeline {
     pub window_s: f64,
     pub total_s: f64,
     pub windows: Vec<Window>,
+    /// Per-session lanes of session-stamped spans (empty for
+    /// single-owner traces, which never call `set_session`).
+    pub lanes: Vec<Lane>,
+    /// Cross-lane coalescing edges from link records.
+    pub edges: Vec<Edge>,
 }
 
 /// Merge possibly-overlapping `(start, end)` intervals into a disjoint
@@ -81,7 +112,40 @@ pub fn utilization_timeline(records: &[ProfRecord], window_s: f64) -> Timeline {
     let mut robot_iv: Vec<(f64, f64)> = Vec::new();
     let mut hits: Vec<f64> = Vec::new();
     let mut misses: Vec<f64> = Vec::new();
+    // Session lanes: session-stamped spans, closed by their end record
+    // (or the trace end when truncated), plus link-record edges.
+    let mut lane_spans: BTreeMap<u64, Vec<LaneSpan>> = BTreeMap::new();
+    let mut open: BTreeMap<u64, (u64, usize)> = BTreeMap::new(); // span → (session, idx)
+    let mut edges: Vec<Edge> = Vec::new();
     for rec in records {
+        match rec.kind {
+            ProfKind::SpanStart => {
+                if let Some(session) = rec.session {
+                    let spans = lane_spans.entry(session).or_default();
+                    open.insert(rec.span, (session, spans.len()));
+                    spans.push(LaneSpan {
+                        name: rec.name.clone(),
+                        span: rec.span,
+                        start_s: rec.sim_s,
+                        end_s: total_s,
+                    });
+                }
+            }
+            ProfKind::SpanEnd => {
+                if let Some((session, idx)) = open.remove(&rec.span) {
+                    lane_spans.get_mut(&session).expect("open lane")[idx].end_s = rec.sim_s;
+                }
+            }
+            ProfKind::Link => {
+                edges.push(Edge {
+                    name: rec.name.clone(),
+                    from: rec.span,
+                    to: rec.parent.unwrap_or(0),
+                    sim_s: rec.sim_s,
+                });
+            }
+            ProfKind::Event => {}
+        }
         if rec.kind != ProfKind::Event {
             continue;
         }
@@ -150,6 +214,11 @@ pub fn utilization_timeline(records: &[ProfRecord], window_s: f64) -> Timeline {
         window_s,
         total_s,
         windows,
+        lanes: lane_spans
+            .into_iter()
+            .map(|(session, spans)| Lane { session, spans })
+            .collect(),
+        edges,
     }
 }
 
@@ -194,6 +263,45 @@ impl Timeline {
             out.push_str(&w.cache_misses.to_string());
             out.push_str(",\"cache_hit_rate\":");
             json::write_f64(&mut out, w.hit_rate());
+            out.push('}');
+        }
+        out.push_str("],\"lanes\":[");
+        for (i, lane) in self.lanes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"session\":");
+            out.push_str(&lane.session.to_string());
+            out.push_str(",\"spans\":[");
+            for (j, s) in lane.spans.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"name\":");
+                json::write_str(&mut out, &s.name);
+                out.push_str(",\"span\":");
+                out.push_str(&s.span.to_string());
+                out.push_str(",\"start_s\":");
+                json::write_f64(&mut out, s.start_s);
+                out.push_str(",\"end_s\":");
+                json::write_f64(&mut out, s.end_s);
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"edges\":[");
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json::write_str(&mut out, &e.name);
+            out.push_str(",\"from\":");
+            out.push_str(&e.from.to_string());
+            out.push_str(",\"to\":");
+            out.push_str(&e.to.to_string());
+            out.push_str(",\"sim_s\":");
+            json::write_f64(&mut out, e.sim_s);
             out.push('}');
         }
         out.push_str("]}");
@@ -280,6 +388,33 @@ mod tests {
         assert!(js.contains("\"robot_busy_s\":1"), "{js}");
         assert!(js.contains("\"cache_hit_rate\":1"), "{js}");
         // the JSON parses back with our own parser
+        crate::json::parse(&js).unwrap();
+    }
+
+    #[test]
+    fn session_lanes_and_coalescing_edges() {
+        let bus = TraceBus::ring(64);
+        bus.set_session(1);
+        let q1 = bus.span_start("query", 0.0, &[]);
+        let b = bus.span_start("sched.batch", 0.5, &[]);
+        bus.span_end(b, 3.0);
+        bus.span_end(q1, 4.0);
+        bus.set_session(2);
+        let q2 = bus.span_start("query", 1.0, &[]);
+        bus.link("sched.link", 3.0, q2, b, &[("coalesced", Field::U64(1))]);
+        // q2 left open: its lane span must close at the trace end.
+        let recs = load_trace(&trace_text(&bus)).unwrap();
+        let tl = utilization_timeline(&recs, 10.0);
+        assert_eq!(tl.lanes.len(), 2);
+        assert_eq!(tl.lanes[0].session, 1);
+        assert_eq!(tl.lanes[0].spans.len(), 2);
+        assert_eq!(tl.lanes[1].session, 2);
+        assert_eq!(tl.lanes[1].spans[0].end_s, tl.total_s);
+        assert_eq!(tl.edges.len(), 1);
+        assert_eq!((tl.edges[0].from, tl.edges[0].to), (q2, b));
+        let js = tl.to_json();
+        assert!(js.contains("\"lanes\":["), "{js}");
+        assert!(js.contains("\"edges\":["), "{js}");
         crate::json::parse(&js).unwrap();
     }
 }

@@ -14,6 +14,10 @@ pub enum ProfKind {
     SpanStart,
     SpanEnd,
     Event,
+    /// A causal edge between two spans (`span` → `parent`), emitted when
+    /// work is shared — e.g. a session's fetch coalescing onto another
+    /// session's in-flight batch.
+    Link,
 }
 
 /// One parsed trace record.
@@ -25,6 +29,9 @@ pub struct ProfRecord {
     pub sim_s: f64,
     pub span: u64,
     pub parent: Option<u64>,
+    /// Session id the emitting thread was stamped with (absent before the
+    /// first `set_session`, and on single-owner traces).
+    pub session: Option<u64>,
     pub fields: BTreeMap<String, Json>,
 }
 
@@ -48,6 +55,7 @@ pub fn parse_record(line: &str) -> Result<ProfRecord, String> {
         Some("span_start") => ProfKind::SpanStart,
         Some("span_end") => ProfKind::SpanEnd,
         Some("event") => ProfKind::Event,
+        Some("link") => ProfKind::Link,
         other => return Err(format!("bad kind {other:?}")),
     };
     let fields = match v.get("fields") {
@@ -72,6 +80,7 @@ pub fn parse_record(line: &str) -> Result<ProfRecord, String> {
             .ok_or("missing sim_s".to_string())?,
         span: v.get("span").and_then(Json::as_u64).unwrap_or(0),
         parent: v.get("parent").and_then(Json::as_u64),
+        session: v.get("session").and_then(Json::as_u64),
         fields,
     })
 }

@@ -5,5 +5,6 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # cargo runs bench binaries from the package dir: make the path absolute
-out="$(pwd)/${1:-BENCH_obs_overhead.json}"
+out="${1:-BENCH_obs_overhead.json}"
+case "$out" in /*) ;; *) out="$(pwd)/$out" ;; esac
 cargo bench -p heaven-bench --bench obs_overhead -- --json "$out"

@@ -84,7 +84,8 @@ fn collect_spans(recs: &[TraceRecord]) -> HashMap<SpanId, Span> {
                     .expect("span_end carries dur_s");
                 spans.get_mut(&rec.span).expect("end after start").dur_s = dur;
             }
-            RecordKind::Event => {}
+            // Links are edges between spans, not time containers.
+            RecordKind::Event | RecordKind::Link => {}
         }
     }
     spans
